@@ -1,0 +1,180 @@
+// Reproduction harness for the paper's incremental machine learning
+// discussion (§2: "a field of incremental machine learning has emerged to
+// cater to Big Data streaming analytics ... designed to work with
+// incomplete data [and] to quantify the change between one or more states
+// of the model") and the Heron "online machine learning" use case (§3).
+//
+// Tables: prequential accuracy of the three one-pass learners; drift
+// recovery (the model-state-change the quote calls out), with ADWIN
+// detecting the drift the learner then relearns; robustness to missing
+// features; and the decayed-counter trending dial.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/anomaly/adwin.h"
+#include "core/frequency/decayed_counter.h"
+#include "core/ml/online_classifiers.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace streamlib;
+
+void BM_LogisticUpdate(benchmark::State& state) {
+  OnlineLogisticRegression model(16, 0.05);
+  Rng rng(1);
+  std::vector<double> x(16);
+  for (auto _ : state) {
+    for (auto& v : x) v = rng.NextGaussian();
+    model.Update(x, x[0] > 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogisticUpdate);
+
+void BM_NaiveBayesUpdate(benchmark::State& state) {
+  StreamingNaiveBayes model(16);
+  Rng rng(2);
+  std::vector<double> x(16);
+  for (auto _ : state) {
+    for (auto& v : x) v = rng.NextGaussian();
+    model.Update(x, x[0] > 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveBayesUpdate);
+
+void BM_DecayedCounterAdd(benchmark::State& state) {
+  DecayedCounter<uint64_t> counter(1000.0);
+  workload::ZipfGenerator zipf(100000, 1.1, 3);
+  double t = 0;
+  for (auto _ : state) {
+    counter.Add(zipf.Next(), t);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecayedCounterAdd);
+
+// Concept: label = sign(w . x + b) with weights that FLIP mid-stream.
+std::pair<std::vector<double>, bool> Example(Rng* rng, bool flipped) {
+  std::vector<double> x = {rng->NextGaussian(), rng->NextGaussian(),
+                           rng->NextGaussian()};
+  double z = 1.5 * x[0] - 1.0 * x[1] + 0.5 * x[2];
+  if (flipped) z = -z;
+  return {x, z + 0.3 * rng->NextGaussian() > 0};
+}
+
+void PrintTables() {
+  using bench::Row;
+
+  bench::TableTitle("S2-ml",
+                    "prequential (test-then-train) accuracy, one pass");
+  Row("%-22s | %12s %12s", "learner", "overall", "last-1k");
+  {
+    Rng rng(11);
+    OnlineLogisticRegression logistic(3, 0.1);
+    OnlinePerceptron perceptron(3);
+    StreamingNaiveBayes bayes(3);
+    PrequentialEvaluator e_log(1000);
+    PrequentialEvaluator e_per(1000);
+    PrequentialEvaluator e_nb(1000);
+    for (int i = 0; i < 100000; i++) {
+      auto [x, y] = Example(&rng, false);
+      e_log.Record(logistic.Predict(x), y);
+      logistic.Update(x, y);
+      e_per.Record(perceptron.Predict(x), y);
+      perceptron.Update(x, y);
+      e_nb.Record(bayes.Predict(x), y);
+      bayes.Update(x, y);
+    }
+    Row("%-22s | %11.2f%% %11.2f%%", "logistic (SGD)",
+        100 * e_log.OverallAccuracy(), 100 * e_log.WindowAccuracy());
+    Row("%-22s | %11.2f%% %11.2f%%", "perceptron",
+        100 * e_per.OverallAccuracy(), 100 * e_per.WindowAccuracy());
+    Row("%-22s | %11.2f%% %11.2f%%", "gaussian naive bayes",
+        100 * e_nb.OverallAccuracy(), 100 * e_nb.WindowAccuracy());
+  }
+
+  bench::TableTitle("S2-ml/drift",
+                    "concept flips at t=50k: window accuracy around the "
+                    "flip + ADWIN change alarm on the error stream");
+  {
+    Rng rng(13);
+    OnlineLogisticRegression model(3, 0.1);
+    PrequentialEvaluator eval(500);
+    AdwinDetector drift_alarm(0.002);
+    int alarm_at = -1;
+    Row("%10s | %12s", "step", "window acc");
+    for (int i = 0; i < 100000; i++) {
+      auto [x, y] = Example(&rng, i >= 50000);
+      const bool predicted = model.Predict(x);
+      eval.Record(predicted, y);
+      model.Update(x, y);
+      if (drift_alarm.AddAndDetect(predicted == y ? 0.0 : 1.0) &&
+          i >= 50000 && alarm_at < 0) {
+        alarm_at = i;
+      }
+      if (i == 49999 || i == 50400 || i == 52000 || i == 99999) {
+        Row("%10d | %11.2f%%", i + 1, 100 * eval.WindowAccuracy());
+      }
+    }
+    Row("ADWIN flagged the model-state change %d steps after the flip",
+        alarm_at - 50000);
+    Row("paper-shape check: accuracy collapses at the flip, the change");
+    Row("detector fires within a few hundred errors, and the one-pass");
+    Row("learner relearns the inverted concept without a restart.");
+  }
+
+  bench::TableTitle("S2-ml/incomplete",
+                    "'designed to work with incomplete data': accuracy vs "
+                    "missing-feature rate (gaussian NB skips NaNs)");
+  Row("%14s | %12s", "missing rate", "window acc");
+  for (double missing : {0.0, 0.2, 0.5, 0.8}) {
+    Rng rng(17);
+    StreamingNaiveBayes model(3);
+    PrequentialEvaluator eval(2000);
+    const double kNan = std::nan("");
+    for (int i = 0; i < 50000; i++) {
+      auto [x, y] = Example(&rng, false);
+      for (auto& v : x) {
+        if (rng.NextBool(missing)) v = kNan;
+      }
+      eval.Record(model.Predict(x), y);
+      model.Update(x, y);
+    }
+    Row("%13.0f%% | %11.2f%%", 100 * missing, 100 * eval.WindowAccuracy());
+  }
+  Row("(accuracy degrades gracefully rather than failing: each prediction");
+  Row("uses whatever features arrived)");
+
+  bench::TableTitle("S2-ml/trending-decay",
+                    "exponentially decayed counts: how fast 'trending' "
+                    "follows a topic switch");
+  Row("%12s | %-12s %-12s", "half-life", "t=1999", "t=2600");
+  for (double half_life : {100.0, 1000.0, 10000.0}) {
+    DecayedCounter<int> counter(half_life);
+    // Topic 1 dominates [0, 2000); topic 2 dominates [2000, 4000). The
+    // early query must run before topic 2's (later-timestamped) arrivals.
+    for (int t = 0; t < 2000; t++) counter.Add(1, t);
+    auto early = counter.Trending(1999.0, 0.0001);
+    // Topic 2 takes over, but only 600 occurrences vs topic 1's 2000:
+    // whether "trending" flips depends on the recency dial.
+    for (int t = 2000; t < 2600; t++) counter.Add(2, t);
+    auto late = counter.Trending(2600.0, 0.0001);
+    Row("%12.0f | top=%-8d top=%-8d", half_life,
+        early.empty() ? -1 : early[0].first,
+        late.empty() ? -1 : late[0].first);
+  }
+  Row("paper-shape check: short half-lives switch 'trending' to the new");
+  Row("topic immediately; long half-lives remember history — the recency");
+  Row("dial real trending systems expose.");
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

@@ -1,0 +1,187 @@
+// Reproduction harness for Table 1, row "Anomaly Detection" (application:
+// sensor networks). Experiment T1-anomaly: precision/recall of EWMA,
+// CUSUM, robust-MAD and Half-Space Trees on labeled spike streams;
+// level-shift detection delay (CUSUM/ADWIN); throughput.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/anomaly/adwin.h"
+#include "core/anomaly/ewma_detector.h"
+#include "core/anomaly/half_space_trees.h"
+#include "core/anomaly/robust_detector.h"
+#include "workload/timeseries.h"
+
+namespace {
+
+using namespace streamlib;
+
+void BM_EwmaDetect(benchmark::State& state) {
+  EwmaDetector detector(0.05, 4.0);
+  Rng rng(1);
+  for (auto _ : state) detector.AddAndDetect(rng.NextGaussian());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EwmaDetect);
+
+void BM_RobustMadDetect(benchmark::State& state) {
+  RobustMadDetector detector(128, 5.0);
+  Rng rng(2);
+  for (auto _ : state) detector.AddAndDetect(rng.NextGaussian());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RobustMadDetect);
+
+void BM_HstDetect(benchmark::State& state) {
+  HstDetector detector(25, 8, 250, 4, 0.6, 3);
+  Rng rng(4);
+  for (auto _ : state) detector.AddAndDetect(rng.NextGaussian());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HstDetect);
+
+void BM_AdwinDetect(benchmark::State& state) {
+  AdwinDetector detector(0.002);
+  Rng rng(5);
+  for (auto _ : state) detector.AddAndDetect(rng.NextGaussian());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdwinDetect);
+
+struct PR {
+  double precision;
+  double recall;
+};
+
+PR Evaluate(AnomalyDetector* detector, double spike_magnitude,
+            uint64_t seed) {
+  workload::TimeSeriesConfig config;
+  config.base_level = 100.0;
+  config.noise_sigma = 2.0;
+  config.spike_probability = 0.002;
+  config.spike_magnitude = spike_magnitude;
+  workload::TimeSeriesGenerator gen(config, seed);
+  const int n = 50000;
+  std::vector<bool> truth(n);
+  std::vector<bool> flagged(n);
+  for (int i = 0; i < n; i++) {
+    auto p = gen.Next();
+    truth[i] = p.label != workload::AnomalyKind::kNone;
+    flagged[i] = detector->AddAndDetect(p.value);
+  }
+  int tp = 0;
+  int fp = 0;
+  int fn = 0;
+  for (int i = 2000; i < n; i++) {
+    auto near = [&](const std::vector<bool>& v) {
+      for (int d = -2; d <= 2; d++) {
+        if (i + d >= 0 && i + d < n && v[i + d]) return true;
+      }
+      return false;
+    };
+    if (flagged[i]) near(truth) ? tp++ : fp++;
+    if (truth[i] && !near(flagged)) fn++;
+  }
+  PR pr;
+  pr.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 1.0;
+  pr.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 1.0;
+  return pr;
+}
+
+void PrintTables() {
+  using bench::Row;
+  bench::TableTitle("T1-anomaly",
+                    "spike detection: precision / recall vs spike size");
+  Row("%-18s | %8s sigma: %6s %6s | %8s sigma: %6s %6s",
+      "detector", "6", "prec", "rec", "12", "prec", "rec");
+  struct Maker {
+    const char* name;
+    std::unique_ptr<AnomalyDetector> (*make)();
+  };
+  const Maker makers[] = {
+      {"ewma", [] {
+         return std::unique_ptr<AnomalyDetector>(
+             new EwmaDetector(0.05, 4.0));
+       }},
+      {"robust-mad", [] {
+         return std::unique_ptr<AnomalyDetector>(
+             new RobustMadDetector(128, 5.0));
+       }},
+      {"half-space-trees", [] {
+         return std::unique_ptr<AnomalyDetector>(
+             new HstDetector(25, 8, 250, 4, 0.6, 7));
+       }},
+  };
+  for (const Maker& m : makers) {
+    auto d6 = m.make();
+    const PR small = Evaluate(d6.get(), 6.0, 11);
+    auto d12 = m.make();
+    const PR large = Evaluate(d12.get(), 12.0, 13);
+    Row("%-18s | %15s %5.1f%% %5.1f%% | %16s %5.1f%% %5.1f%%", m.name, "",
+        100 * small.precision, 100 * small.recall, "",
+        100 * large.precision, 100 * large.recall);
+  }
+  Row("paper-shape check: all detectors approach perfect recall as spikes");
+  Row("grow; the robust (median/MAD) detector holds precision where");
+  Row("moment-based baselines degrade.");
+
+  bench::TableTitle("T1-anomaly/shift",
+                    "level-shift detection delay (steps after the shift)");
+  Row("%10s | %12s %12s", "shift", "CUSUM delay", "ADWIN delay");
+  for (double shift : {1.0, 2.0, 4.0}) {
+    Rng rng(17);
+    CusumDetector cusum(0.5, 8.0, 500);
+    AdwinDetector adwin(0.002);
+    int cusum_delay = -1;
+    int adwin_delay = -1;
+    const int kShiftAt = 5000;
+    for (int i = 0; i < 12000; i++) {
+      const double v = rng.NextGaussian() + (i >= kShiftAt ? shift : 0.0);
+      if (cusum.AddAndDetect(v) && i >= kShiftAt && cusum_delay < 0) {
+        cusum_delay = i - kShiftAt;
+      }
+      if (adwin.AddAndDetect(v) && i >= kShiftAt && adwin_delay < 0) {
+        adwin_delay = i - kShiftAt;
+      }
+    }
+    Row("%9.1fs | %12d %12d", shift, cusum_delay, adwin_delay);
+  }
+  Row("paper-shape check: delay shrinks as the shift grows; both detectors");
+  Row("catch shifts a 4-sigma point detector never fires on.");
+
+  bench::TableTitle("T1-anomaly/contamination",
+                    "robustness: 5%% gross outliers in the baseline");
+  Rng rng(19);
+  EwmaDetector ewma(0.05, 4.0);
+  RobustMadDetector robust(128, 6.0);
+  int ewma_missed = 0;
+  int robust_missed = 0;
+  int outliers = 0;
+  for (int i = 0; i < 30000; i++) {
+    const bool outlier = rng.NextBool(0.05);
+    const double v = outlier ? 500.0 + rng.NextGaussian() : rng.NextGaussian();
+    const bool e = ewma.AddAndDetect(v);
+    const bool r = robust.AddAndDetect(v);
+    if (i < 1000) continue;
+    if (outlier) {
+      outliers++;
+      if (!e) ewma_missed++;
+      if (!r) robust_missed++;
+    }
+  }
+  Row("outliers: %d | ewma missed: %d (%.1f%%) | robust missed: %d (%.1f%%)",
+      outliers, ewma_missed, 100.0 * ewma_missed / outliers, robust_missed,
+      100.0 * robust_missed / outliers);
+  Row("note: both implementations withhold flagged points from their");
+  Row("baselines (robustification), so both resist this contamination; an");
+  Row("unguarded moment-based EWMA would absorb it — the masking failure");
+  Row("the median/MAD literature warns about.");
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

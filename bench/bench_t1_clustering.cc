@@ -1,0 +1,190 @@
+// Reproduction harness for Table 1, row "Clustering" (application: medical
+// imaging / any feature stream). Experiment T1-clustering: SSE of online
+// k-means, CluStream micro-clusters and STREAM k-median against the batch
+// k-means++ baseline on Gaussian mixtures; memory; throughput; and a
+// concept-drift scenario where recency-aware micro-clusters shine.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/clustering/kmeans_util.h"
+#include "core/clustering/micro_clusters.h"
+#include "core/clustering/online_kmeans.h"
+#include "core/clustering/stream_kmedian.h"
+
+namespace {
+
+using namespace streamlib;
+
+std::vector<Point> Mixture(const std::vector<Point>& centers, double sigma,
+                           size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    const Point& c = centers[rng.NextBounded(centers.size())];
+    Point p(c.size());
+    for (size_t j = 0; j < c.size(); j++) {
+      p[j] = c[j] + sigma * rng.NextGaussian();
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+const std::vector<Point> kCenters = {{0, 0},   {12, 0}, {0, 12},
+                                     {12, 12}, {6, 20}, {20, 6}};
+
+void BM_OnlineKMeansAdd(benchmark::State& state) {
+  OnlineKMeans km(8, 4, 1);
+  Rng rng(2);
+  Point p(4);
+  for (auto _ : state) {
+    for (auto& v : p) v = rng.NextGaussian();
+    km.Add(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineKMeansAdd);
+
+void BM_CluStreamAdd(benchmark::State& state) {
+  CluStream cs(100, 4, 2.0, 3);
+  Rng rng(4);
+  Point p(4);
+  uint64_t t = 0;
+  for (auto _ : state) {
+    for (auto& v : p) v = rng.NextGaussian();
+    cs.Add(p, static_cast<double>(t++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CluStreamAdd);
+
+void BM_StreamKMedianAdd(benchmark::State& state) {
+  StreamKMedian skm(8, 256, 5);
+  Rng rng(6);
+  Point p(4);
+  for (auto _ : state) {
+    for (auto& v : p) v = rng.NextGaussian();
+    skm.Add(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamKMedianAdd);
+
+void PrintTables() {
+  using bench::Row;
+  const size_t kN = 50000;
+  const size_t kK = kCenters.size();
+
+  bench::TableTitle("T1-clustering",
+                    "SSE vs batch k-means++ baseline (lower is better)");
+  auto data = Mixture(kCenters, 1.0, kN, 41);
+  std::vector<WeightedPoint> weighted;
+  weighted.reserve(data.size());
+  for (auto& p : data) weighted.push_back(WeightedPoint{p, 1.0});
+
+  Rng rng(43);
+  auto batch = WeightedKMeans(weighted, kK, 25, &rng);
+  const double batch_sse = WeightedSse(weighted, batch);
+
+  OnlineKMeans online(kK, 2, 47);
+  CluStream clustream(80, 2, 2.0, 53);
+  StreamKMedian skm(kK, 400, 59);
+  for (size_t i = 0; i < data.size(); i++) {
+    online.Add(data[i]);
+    clustream.Add(data[i], static_cast<double>(i));
+    skm.Add(data[i]);
+  }
+  std::vector<WeightedPoint> online_centers;
+  for (size_t c = 0; c < online.centers().size(); c++) {
+    online_centers.push_back(WeightedPoint{
+        online.centers()[c], static_cast<double>(online.counts()[c])});
+  }
+  const double online_sse = WeightedSse(weighted, online_centers);
+  const double clustream_sse =
+      WeightedSse(weighted, clustream.MacroClusters(kK));
+  const double skm_sse = WeightedSse(weighted, skm.Centers());
+
+  Row("%-22s %14s %10s %14s", "algorithm", "SSE", "vs batch", "state");
+  Row("%-22s %14.0f %9.2fx %14s", "batch k-means++ (ref)", batch_sse, 1.0,
+      "full dataset");
+  Row("%-22s %14.0f %9.2fx %10zu pts", "online k-means", online_sse,
+      online_sse / batch_sse, online.centers().size());
+  Row("%-22s %14.0f %9.2fx %7zu micro", "CluStream", clustream_sse,
+      clustream_sse / batch_sse, clustream.micro_clusters().size());
+  Row("%-22s %14.0f %9.2fx %10zu pts", "STREAM k-median", skm_sse,
+      skm_sse / batch_sse, skm.RetainedPoints());
+  Row("paper-shape check: all streaming clusterers land within a small");
+  Row("constant of the batch optimum while holding O(k)..O(q) state.");
+
+  bench::TableTitle("T1-clustering/drift",
+                    "concept drift: clusters move mid-stream");
+  // Phase 1 around kCenters; phase 2 shifted by (30, 30).
+  std::vector<Point> shifted;
+  for (const Point& c : kCenters) shifted.push_back({c[0] + 30, c[1] + 30});
+  auto phase1 = Mixture(kCenters, 1.0, kN / 2, 61);
+  auto phase2 = Mixture(shifted, 1.0, kN / 2, 67);
+
+  CluStream drift_cs(80, 2, 2.0, 71);
+  OnlineKMeans drift_km(kK, 2, 73);
+  uint64_t t = 0;
+  for (const auto& p : phase1) {
+    drift_cs.Add(p, static_cast<double>(t++));
+    drift_km.Add(p);
+  }
+  for (const auto& p : phase2) {
+    drift_cs.Add(p, static_cast<double>(t++));
+    drift_km.Add(p);
+  }
+  // Score against the *current* (phase 2) distribution only.
+  std::vector<WeightedPoint> current;
+  for (auto& p : phase2) current.push_back(WeightedPoint{p, 1.0});
+  Rng rng2(79);
+  const double ref = WeightedSse(
+      current, WeightedKMeans(current, kK, 25, &rng2));
+  std::vector<WeightedPoint> km_centers;
+  for (size_t c = 0; c < drift_km.centers().size(); c++) {
+    km_centers.push_back(WeightedPoint{
+        drift_km.centers()[c], static_cast<double>(drift_km.counts()[c])});
+  }
+  Row("%-22s %14s %10s", "algorithm", "SSE(now)", "vs batch-now");
+  Row("%-22s %14.0f %9.2fx", "batch on phase2 (ref)", ref, 1.0);
+  const double cs_sse = WeightedSse(current, drift_cs.MacroClusters(kK));
+  const double km_sse = WeightedSse(current, km_centers);
+  Row("%-22s %14.0f %9.2fx", "CluStream", cs_sse, cs_sse / ref);
+  Row("%-22s %14.0f %9.2fx", "online k-means", km_sse, km_sse / ref);
+  Row("paper-shape check: CluStream's micro-clusters migrate with the");
+  Row("drift; online k-means' 1/n learning rate freezes centers at the");
+  Row("historical mixture — the stream-evolution motivation of [33, 34].");
+
+  bench::TableTitle("T1-clustering/horizon",
+                    "CluStream pyramidal time frame: clustering any "
+                    "recent horizon by snapshot subtraction");
+  {
+    CluStream pyramidal(80, 2, 2.0, 83);
+    uint64_t t2 = 0;
+    for (const auto& p : phase1) pyramidal.Add(p, static_cast<double>(t2++));
+    for (const auto& p : phase2) pyramidal.Add(p, static_cast<double>(t2++));
+    const double full_ref = WeightedSse(
+        current, pyramidal.MacroClustersOverHorizon(kK, 1e18));
+    const double recent_ref = WeightedSse(
+        current, pyramidal.MacroClustersOverHorizon(
+                     kK, static_cast<double>(phase2.size()) * 0.8));
+    Row("%-30s %14s", "query", "SSE vs phase-2 data");
+    Row("%-30s %14.0f", "horizon = all history", full_ref);
+    Row("%-30s %14.0f", "horizon = recent only", recent_ref);
+    Row("snapshots retained: %zu (O(log T), not one per tick)",
+        pyramidal.SnapshotCount());
+    Row("paper-shape check: subtracting the pre-horizon snapshot (CF");
+    Row("additivity + id lists) recovers the *current* mixture that the");
+    Row("all-history query smears — CluStream's signature query.");
+  }
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

@@ -1,0 +1,182 @@
+// Reproduction harness for Table 1, row "Filtering" (application: set
+// membership). Experiments T1-filtering and ablation A-bloom-blocked.
+//
+// Timing section: insert/lookup throughput of the four filters.
+// Table section: measured false-positive rate vs target across FPP sweep;
+// bits/key accounting; blocked-vs-standard Bloom ablation; cuckoo deletion.
+
+#include <cstdint>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/hash.h"
+#include "core/filtering/blocked_bloom_filter.h"
+#include "core/filtering/bloom_filter.h"
+#include "core/filtering/counting_bloom_filter.h"
+#include "core/filtering/cuckoo_filter.h"
+#include "core/filtering/deletable_bloom_filter.h"
+#include "core/filtering/stable_bloom_filter.h"
+
+namespace {
+
+using namespace streamlib;
+
+constexpr uint64_t kKeys = 1000000;
+
+void BM_BloomAdd(benchmark::State& state) {
+  BloomFilter filter = BloomFilter::WithExpectedItems(kKeys, 0.01);
+  uint64_t i = 0;
+  for (auto _ : state) filter.AddHash(Mix64(i++));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomAdd);
+
+void BM_BloomContains(benchmark::State& state) {
+  BloomFilter filter = BloomFilter::WithExpectedItems(kKeys, 0.01);
+  for (uint64_t i = 0; i < kKeys; i++) filter.AddHash(Mix64(i));
+  uint64_t i = 0;
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= filter.ContainsHash(Mix64(i++));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomContains);
+
+void BM_BlockedBloomContains(benchmark::State& state) {
+  BlockedBloomFilter filter =
+      BlockedBloomFilter::WithExpectedItems(kKeys, 0.01);
+  for (uint64_t i = 0; i < kKeys; i++) filter.AddHash(Mix64(i));
+  uint64_t i = 0;
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= filter.ContainsHash(Mix64(i++));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockedBloomContains);
+
+void BM_CuckooContains(benchmark::State& state) {
+  CuckooFilter filter(kKeys);
+  for (uint64_t i = 0; i < kKeys; i++) filter.AddHash(Mix64(i));
+  uint64_t i = 0;
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= filter.ContainsHash(Mix64(i++));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooContains);
+
+double MeasureFpp(const auto& filter, uint64_t probes) {
+  uint64_t fps = 0;
+  for (uint64_t i = 0; i < probes; i++) {
+    if (filter.ContainsHash(Mix64(0xffff0000ULL + i))) fps++;
+  }
+  return 100.0 * static_cast<double>(fps) / static_cast<double>(probes);
+}
+
+void PrintTables() {
+  using bench::Row;
+  const uint64_t kProbes = 500000;
+
+  bench::TableTitle("T1-filtering",
+                    "Bloom family: measured FPP vs target, bits per key");
+  Row("%8s | %9s %9s | %9s %9s | %9s", "target", "bloom fpp", "bits/key",
+      "blocked", "bits/key", "cuckoo fpp");
+  for (double fpp : {0.1, 0.03, 0.01, 0.003, 0.001}) {
+    BloomFilter bloom = BloomFilter::WithExpectedItems(kKeys, fpp);
+    BlockedBloomFilter blocked =
+        BlockedBloomFilter::WithExpectedItems(kKeys, fpp);
+    CuckooFilter cuckoo(kKeys);
+    for (uint64_t i = 0; i < kKeys; i++) {
+      const uint64_t h = Mix64(i);
+      bloom.AddHash(h);
+      blocked.AddHash(h);
+      cuckoo.AddHash(h);
+    }
+    Row("%7.2f%% | %8.3f%% %9.1f | %8.3f%% %9.1f | %8.4f%%", 100 * fpp,
+        MeasureFpp(bloom, kProbes),
+        8.0 * static_cast<double>(bloom.MemoryBytes()) / kKeys,
+        MeasureFpp(blocked, kProbes),
+        8.0 * static_cast<double>(blocked.MemoryBytes()) / kKeys,
+        MeasureFpp(cuckoo, kProbes));
+  }
+  Row("paper-shape check: blocked Bloom trades a small FPP inflation for");
+  Row("one-cache-line probes (see BM_BlockedBloomContains speedup above);");
+  Row("cuckoo reaches ~0.01%% FPP from 16-bit fingerprints and supports "
+      "deletion.");
+
+  bench::TableTitle("T1-filtering/delete",
+                    "deletable filters: counting Bloom vs cuckoo");
+  CountingBloomFilter counting =
+      CountingBloomFilter::WithExpectedItems(kKeys / 10, 0.01);
+  CuckooFilter cuckoo(kKeys / 10);
+  for (uint64_t i = 0; i < kKeys / 10; i++) {
+    counting.AddHash(Mix64(i));
+    cuckoo.AddHash(Mix64(i));
+  }
+  for (uint64_t i = 0; i < kKeys / 20; i++) {
+    counting.RemoveHash(Mix64(i));
+    cuckoo.RemoveHash(Mix64(i));
+  }
+  uint64_t counting_fn = 0;
+  uint64_t cuckoo_fn = 0;
+  for (uint64_t i = kKeys / 20; i < kKeys / 10; i++) {
+    if (!counting.ContainsHash(Mix64(i))) counting_fn++;
+    if (!cuckoo.ContainsHash(Mix64(i))) cuckoo_fn++;
+  }
+  Row("after deleting half the keys: false negatives on survivors — "
+      "counting: %llu, cuckoo: %llu (both must be 0)",
+      static_cast<unsigned long long>(counting_fn),
+      static_cast<unsigned long long>(cuckoo_fn));
+  Row("memory: counting Bloom %zu B (4-bit counters) vs cuckoo %zu B",
+      counting.MemoryBytes(), cuckoo.MemoryBytes());
+
+  // Deletable Bloom [143]: probabilistic deletion at ~1 bit of overhead
+  // per region instead of 4 bits per counter.
+  DeletableBloomFilter dlbf(1 << 17, 4, 8192);
+  const uint64_t kDlbfKeys = kKeys / 100;
+  for (uint64_t i = 0; i < kDlbfKeys; i++) dlbf.AddHash(Mix64(i));
+  uint64_t deletable = 0;
+  for (uint64_t i = 0; i < kDlbfKeys; i++) {
+    if (dlbf.RemoveHash(Mix64(i))) deletable++;
+  }
+  Row("deletable Bloom [143]: %.1f%% of keys deletable at load %.2f "
+      "(collided regions: %.1f%%), %zu B total",
+      100.0 * static_cast<double>(deletable) / kDlbfKeys,
+      static_cast<double>(kDlbfKeys) * 4 / (1 << 17),
+      100.0 * dlbf.CollidedRegionFraction(), dlbf.MemoryBytes());
+
+  bench::TableTitle("T1-filtering/dedup",
+                    "stable Bloom on an unbounded stream (stream "
+                    "imperfections requirement)");
+  StableBloomFilter stable(1 << 18, 4, 3, 10, 97);
+  BloomFilter plain(1 << 18, 4);
+  Row("%12s | %12s %12s", "inserts", "stable fpp%", "plain fpp%");
+  for (uint64_t phase = 1; phase <= 4; phase++) {
+    for (uint64_t i = (phase - 1) * 250000; i < phase * 250000; i++) {
+      stable.AddAndCheckDuplicateHash(Mix64(i));
+      plain.AddHash(Mix64(i));
+    }
+    uint64_t stable_fp = 0;
+    uint64_t plain_fp = 0;
+    for (uint64_t i = 0; i < 100000; i++) {
+      const uint64_t h = Mix64(0xdead0000ULL + i);
+      if (stable.ContainsHash(h)) stable_fp++;
+      if (plain.ContainsHash(h)) plain_fp++;
+    }
+    Row("%12llu | %11.2f%% %11.2f%%",
+        static_cast<unsigned long long>(phase * 250000),
+        stable_fp / 1000.0, plain_fp / 1000.0);
+  }
+  Row("paper-shape check: the plain filter saturates toward 100%% FPP; the");
+  Row("stable filter converges to a bounded plateau.");
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

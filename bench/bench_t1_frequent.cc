@@ -1,0 +1,240 @@
+// Reproduction harness for Table 1, row "Finding Frequent Elements"
+// (application: trending hashtags). Experiments T1-frequent and ablation
+// A-cms-conservative — the head-to-head follows the methodology of the
+// experimental studies the paper cites (Cormode–Hadjieleftheriou [65],
+// Manerikar–Palpanas [124]): recall/precision at threshold theta over
+// Zipf streams of varying skew, plus space and update cost.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "core/frequency/count_min_sketch.h"
+#include "core/frequency/count_sketch.h"
+#include "core/frequency/dyadic_count_min.h"
+#include "core/frequency/lossy_counting.h"
+#include "core/frequency/misra_gries.h"
+#include "core/frequency/space_saving.h"
+#include "core/frequency/sticky_sampling.h"
+#include "core/frequency/topk_tracker.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace streamlib;
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  SpaceSaving<uint64_t> ss(static_cast<size_t>(state.range(0)));
+  workload::ZipfGenerator zipf(1000000, 1.1, 1);
+  for (auto _ : state) ss.Add(zipf.Next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_MisraGriesAdd(benchmark::State& state) {
+  MisraGries<uint64_t> mg(1024);
+  workload::ZipfGenerator zipf(1000000, 1.1, 2);
+  for (auto _ : state) mg.Add(zipf.Next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MisraGriesAdd);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  CountMinSketch cms(4096, 4, state.range(0) != 0);
+  workload::ZipfGenerator zipf(1000000, 1.1, 3);
+  for (auto _ : state) cms.Add(zipf.Next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd)->Arg(0)->Arg(1);  // plain / conservative
+
+void BM_LossyCountingAdd(benchmark::State& state) {
+  LossyCounting<uint64_t> lc(0.001);
+  workload::ZipfGenerator zipf(1000000, 1.1, 4);
+  for (auto _ : state) lc.Add(zipf.Next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LossyCountingAdd);
+
+struct Quality {
+  double recall;
+  double precision;
+  double avg_rel_err;  // Over true heavy hitters.
+  size_t space_entries;
+};
+
+template <typename Reported>
+Quality Score(const std::map<uint64_t, uint64_t>& exact,
+              const Reported& reported_items, uint64_t threshold,
+              size_t space) {
+  std::set<uint64_t> truth;
+  for (const auto& [item, count] : exact) {
+    if (count >= threshold) truth.insert(item);
+  }
+  std::set<uint64_t> reported;
+  std::map<uint64_t, uint64_t> estimates;
+  for (const auto& r : reported_items) {
+    reported.insert(r.key);
+    estimates[r.key] = r.estimate;
+  }
+  size_t hit = 0;
+  double rel_err = 0.0;
+  for (uint64_t item : truth) {
+    if (reported.count(item)) hit++;
+    const double est = static_cast<double>(estimates.count(item)
+                                               ? estimates[item]
+                                               : 0);
+    const double ex = static_cast<double>(exact.at(item));
+    rel_err += std::abs(est - ex) / ex;
+  }
+  size_t true_pos = 0;
+  for (uint64_t item : reported) {
+    if (truth.count(item)) true_pos++;
+  }
+  Quality q;
+  q.recall = truth.empty() ? 1.0 : static_cast<double>(hit) / truth.size();
+  q.precision = reported.empty()
+                    ? 1.0
+                    : static_cast<double>(true_pos) / reported.size();
+  q.avg_rel_err = truth.empty() ? 0.0 : rel_err / truth.size();
+  q.space_entries = space;
+  return q;
+}
+
+void PrintTables() {
+  using bench::Row;
+  const uint64_t kN = 2000000;
+  const double kTheta = 0.001;  // Heavy = >= 0.1% of the stream.
+  const uint64_t kThreshold = static_cast<uint64_t>(kTheta * kN);
+
+  bench::TableTitle(
+      "T1-frequent",
+      "heavy hitters @ theta=0.1%: recall / precision / relative error");
+  Row("%6s %-14s %8s %10s %10s %10s", "skew", "algorithm", "recall",
+      "precision", "avg err", "entries");
+
+  for (double skew : {1.0, 1.25, 1.5}) {
+    workload::ZipfGenerator zipf(1000000, skew, 17);
+    std::map<uint64_t, uint64_t> exact;
+    MisraGries<uint64_t> mg(2000);
+    SpaceSaving<uint64_t> ss(2000);
+    LossyCounting<uint64_t> lc(kTheta / 2);
+    StickySampling<uint64_t> sticky(kTheta / 2, kTheta, 0.01, 19);
+    TopKTracker<uint64_t> topk(200, 8192, 4);
+    for (uint64_t i = 0; i < kN; i++) {
+      const uint64_t item = zipf.Next();
+      exact[item]++;
+      mg.Add(item);
+      ss.Add(item);
+      lc.Add(item);
+      sticky.Add(item);
+      topk.Add(item);
+    }
+    // Query each at the theta threshold, adjusted per algorithm contract.
+    const Quality q_mg =
+        Score(exact, mg.HeavyHitters(kThreshold - mg.MaxError()), kThreshold,
+              mg.size());
+    const Quality q_ss =
+        Score(exact, ss.HeavyHitters(kThreshold), kThreshold, ss.size());
+    const Quality q_lc = Score(
+        exact,
+        lc.HeavyHitters(kThreshold -
+                        static_cast<uint64_t>(kTheta / 2 * kN)),
+        kThreshold, lc.size());
+    const Quality q_st = Score(
+        exact,
+        sticky.HeavyHitters(kThreshold -
+                            static_cast<uint64_t>(kTheta / 2 * kN)),
+        kThreshold, sticky.size());
+    const Quality q_tk =
+        Score(exact, topk.TopK(), kThreshold, 200);
+
+    Row("%6.2f %-14s %7.1f%% %9.1f%% %9.2f%% %10zu", skew, "misra-gries",
+        100 * q_mg.recall, 100 * q_mg.precision, 100 * q_mg.avg_rel_err,
+        q_mg.space_entries);
+    Row("%6s %-14s %7.1f%% %9.1f%% %9.2f%% %10zu", "", "space-saving",
+        100 * q_ss.recall, 100 * q_ss.precision, 100 * q_ss.avg_rel_err,
+        q_ss.space_entries);
+    Row("%6s %-14s %7.1f%% %9.1f%% %9.2f%% %10zu", "", "lossy-counting",
+        100 * q_lc.recall, 100 * q_lc.precision, 100 * q_lc.avg_rel_err,
+        q_lc.space_entries);
+    Row("%6s %-14s %7.1f%% %9.1f%% %9.2f%% %10zu", "", "sticky-sampling",
+        100 * q_st.recall, 100 * q_st.precision, 100 * q_st.avg_rel_err,
+        q_st.space_entries);
+    Row("%6s %-14s %7.1f%% %9.1f%% %9.2f%% %10zu", "", "cms-topk",
+        100 * q_tk.recall, 100 * q_tk.precision, 100 * q_tk.avg_rel_err,
+        q_tk.space_entries);
+  }
+  Row("paper-shape check (per [65]): counter-based methods (SpaceSaving)");
+  Row("achieve 100%% recall with high precision at small space; all methods");
+  Row("improve with skew.");
+
+  bench::TableTitle("A-cms-conservative",
+                    "conservative update halves (or better) CMS overestimate");
+  Row("%10s | %14s %14s | %10s", "width", "plain avg-over",
+      "conservative", "ratio");
+  workload::ZipfGenerator zipf(1000000, 1.05, 23);
+  std::map<uint64_t, uint64_t> exact;
+  std::vector<uint64_t> stream;
+  stream.reserve(kN / 2);
+  for (uint64_t i = 0; i < kN / 2; i++) {
+    const uint64_t item = zipf.Next();
+    stream.push_back(item);
+    exact[item]++;
+  }
+  for (uint32_t width : {512u, 2048u, 8192u}) {
+    CountMinSketch plain(width, 4, false);
+    CountMinSketch conservative(width, 4, true);
+    for (uint64_t item : stream) {
+      plain.Add(item);
+      conservative.Add(item);
+    }
+    double over_plain = 0;
+    double over_cons = 0;
+    for (const auto& [item, count] : exact) {
+      over_plain += static_cast<double>(plain.Estimate(item) - count);
+      over_cons += static_cast<double>(conservative.Estimate(item) - count);
+    }
+    over_plain /= static_cast<double>(exact.size());
+    over_cons /= static_cast<double>(exact.size());
+    Row("%10u | %14.1f %14.1f | %9.2fx", width, over_plain, over_cons,
+        over_plain / std::max(over_cons, 1e-9));
+  }
+
+  bench::TableTitle("T1-frequent/range",
+                    "dyadic Count-Min: range counts & quantiles from point "
+                    "sketches (CM paper §4 [66])");
+  {
+    DyadicCountMin dcm(16, 4096, 5);
+    workload::ZipfGenerator value_gen(1 << 16, 0.4, 29);
+    std::vector<uint32_t> values;
+    const int n = 500000;
+    values.reserve(n);
+    for (int i = 0; i < n; i++) {
+      const uint32_t v = static_cast<uint32_t>(value_gen.Next());
+      dcm.Add(v);
+      values.push_back(v);
+    }
+    Row("%18s | %12s %12s", "range", "exact", "dyadic-CM");
+    for (auto [lo, hi] : std::vector<std::pair<uint32_t, uint32_t>>{
+             {0, 100}, {0, 1000}, {500, 5000}, {10000, 65535}}) {
+      uint64_t exact_count = 0;
+      for (uint32_t v : values) {
+        if (v >= lo && v <= hi) exact_count++;
+      }
+      Row("[%7u, %7u] | %12llu %12llu", lo, hi,
+          static_cast<unsigned long long>(exact_count),
+          static_cast<unsigned long long>(dcm.EstimateRange(lo, hi)));
+    }
+    std::vector<uint32_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    Row("quantiles: p50 dyadic=%u exact=%u, p90 dyadic=%u exact=%u",
+        dcm.Quantile(0.5), sorted[n / 2], dcm.Quantile(0.9),
+        sorted[n * 9 / 10]);
+    Row("memory: %zu KB across 17 levels", dcm.MemoryBytes() / 1024);
+  }
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

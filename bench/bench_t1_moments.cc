@@ -1,0 +1,119 @@
+// Reproduction harness for Table 1, row "Estimating Moments" (application:
+// databases — self-join size). Experiment T1-moments: F2 error of the AMS
+// tug-of-war sketch and Count-Sketch across skew; F_k (k=1..3) via AMS
+// sampling; streaming entropy.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/frequency/count_sketch.h"
+#include "core/moments/ams_sketch.h"
+#include "core/moments/fk_estimator.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace streamlib;
+
+void BM_AmsAdd(benchmark::State& state) {
+  AmsSketch ams(5, static_cast<uint32_t>(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) ams.AddHash(i++ * 0x9e3779b97f4a7c15ULL, 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AmsAdd)->Arg(16)->Arg(64);
+
+void BM_CountSketchAdd(benchmark::State& state) {
+  CountSketch cs(4096, 5);
+  uint64_t i = 0;
+  for (auto _ : state) cs.AddHash(i++ * 0x9e3779b97f4a7c15ULL, 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchAdd);
+
+void PrintTables() {
+  using bench::Row;
+  const uint64_t kN = 1000000;
+
+  bench::TableTitle("T1-moments",
+                    "F2 (self-join size) relative error vs skew");
+  Row("%6s | %14s | %12s %12s", "skew", "exact F2", "AMS(9x64)",
+      "CountSketch");
+  for (double skew : {0.8, 1.1, 1.5}) {
+    workload::ZipfGenerator zipf(100000, skew, 41);
+    AmsSketch ams(9, 64);
+    CountSketch cs(4096, 5);
+    std::map<uint64_t, uint64_t> exact;
+    for (uint64_t i = 0; i < kN; i++) {
+      const uint64_t item = zipf.Next();
+      ams.Add(item);
+      cs.Add(item);
+      exact[item]++;
+    }
+    double f2 = 0;
+    for (const auto& [item, f] : exact) {
+      f2 += static_cast<double>(f) * static_cast<double>(f);
+    }
+    Row("%6.2f | %14.3e | %+11.2f%% %+11.2f%%", skew, f2,
+        100.0 * (ams.EstimateF2() - f2) / f2,
+        100.0 * (cs.EstimateF2() - f2) / f2);
+  }
+  Row("paper-shape check: both sketches estimate F2 within a few percent");
+  Row("from KBs of state; error is skew-robust (AMS guarantee is");
+  Row("distribution-free).");
+
+  bench::TableTitle("T1-moments/fk",
+                    "general F_k via AMS suffix sampling (k = 1, 2, 3)");
+  Row("%4s | %14s %14s %10s", "k", "exact", "estimate", "err");
+  workload::ZipfGenerator zipf(10000, 1.1, 43);
+  std::map<uint64_t, uint64_t> exact;
+  std::vector<uint64_t> stream;
+  for (uint64_t i = 0; i < 300000; i++) {
+    const uint64_t item = zipf.Next();
+    stream.push_back(item);
+    exact[item]++;
+  }
+  for (int k : {1, 2, 3}) {
+    FkEstimator fk(k, 9, 400, 47 + k);
+    for (uint64_t item : stream) fk.Add(item);
+    double truth = 0;
+    for (const auto& [item, f] : exact) {
+      truth += std::pow(static_cast<double>(f), k);
+    }
+    Row("%4d | %14.3e %14.3e %+9.2f%%", k, truth, fk.Estimate(),
+        100.0 * (fk.Estimate() - truth) / truth);
+  }
+
+  bench::TableTitle("T1-moments/entropy", "streaming empirical entropy");
+  Row("%24s | %10s %10s", "stream", "exact H", "estimate");
+  struct Case {
+    const char* name;
+    double skew;
+  };
+  for (const Case& c : {Case{"uniform-ish (s=0.2)", 0.2},
+                        Case{"zipf s=1.0", 1.0}, Case{"zipf s=2.0", 2.0}}) {
+    workload::ZipfGenerator gen(4096, c.skew, 53);
+    EntropyEstimator ent(9, 400, 59);
+    std::map<uint64_t, uint64_t> counts;
+    const uint64_t n = 400000;
+    for (uint64_t i = 0; i < n; i++) {
+      const uint64_t item = gen.Next();
+      ent.Add(item);
+      counts[item]++;
+    }
+    double h = 0;
+    for (const auto& [item, f] : counts) {
+      const double p = static_cast<double>(f) / static_cast<double>(n);
+      h -= p * std::log2(p);
+    }
+    Row("%24s | %10.3f %10.3f", c.name, h, ent.Estimate());
+  }
+  Row("paper-shape check: entropy falls as skew rises; the sampling");
+  Row("estimator tracks it without storing the distribution.");
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

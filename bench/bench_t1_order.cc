@@ -1,0 +1,144 @@
+// Reproduction harness for Table 1, rows "Counting Inversions" (measuring
+// sortedness) and "Finding Subsequences" (LIS). Experiments T1-inversions
+// and T1-subsequences: estimator error vs sample size across disorder
+// levels; LIS memory and bounded-budget accuracy.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/order/inversions.h"
+#include "core/order/lis.h"
+
+namespace {
+
+using namespace streamlib;
+
+void BM_ExactInversionAdd(benchmark::State& state) {
+  ExactInversionCounter counter(1 << 20);
+  Rng rng(1);
+  for (auto _ : state) {
+    counter.Add(static_cast<uint32_t>(rng.NextBounded(1 << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactInversionAdd);
+
+void BM_SampledInversionAdd(benchmark::State& state) {
+  SampledInversionEstimator estimator(1024, 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    estimator.Add(static_cast<uint32_t>(rng.NextBounded(1 << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampledInversionAdd);
+
+void BM_LisAdd(benchmark::State& state) {
+  LisTracker tracker;
+  Rng rng(4);
+  for (auto _ : state) tracker.Add(rng.NextDouble());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LisAdd);
+
+// A stream with controlled disorder: mostly ascending, `swap_rate` of
+// positions replaced by random values.
+std::vector<uint32_t> DisorderedStream(uint64_t n, double swap_rate,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  for (uint64_t i = 0; i < n; i++) {
+    out[i] = rng.NextBool(swap_rate)
+                 ? static_cast<uint32_t>(rng.NextBounded(n))
+                 : static_cast<uint32_t>(i);
+  }
+  return out;
+}
+
+void PrintTables() {
+  using bench::Row;
+  const uint64_t kN = 100000;
+
+  bench::TableTitle("T1-inversions",
+                    "sortedness: estimator vs exact across disorder levels");
+  Row("%10s | %14s %14s %8s | %10s", "disorder", "exact inv",
+      "sampled(1k)", "err", "sortedness");
+  for (double swap_rate : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+    auto stream = DisorderedStream(kN, swap_rate, 91);
+    ExactInversionCounter exact(static_cast<uint32_t>(kN));
+    SampledInversionEstimator sampled(1000, 93);
+    for (uint32_t v : stream) {
+      exact.Add(v);
+      sampled.Add(v);
+    }
+    const double truth = static_cast<double>(exact.Inversions());
+    const double est = sampled.Estimate();
+    Row("%9.0f%% | %14.3e %14.3e %+7.1f%% | %10.4f", 100 * swap_rate, truth,
+        est, truth > 0 ? 100.0 * (est - truth) / truth : 0.0,
+        exact.Sortedness());
+  }
+  Row("paper-shape check: inversions rise smoothly with disorder; the");
+  Row("O(k)-space sampling estimator tracks the O(U)-space exact counter.");
+
+  bench::TableTitle("T1-inversions/samples",
+                    "estimator error shrinks with sample size (~1/k)");
+  Row("%10s | %10s", "samples", "err");
+  auto stream = DisorderedStream(kN, 0.3, 95);
+  ExactInversionCounter exact(static_cast<uint32_t>(kN));
+  for (uint32_t v : stream) exact.Add(v);
+  const double truth = static_cast<double>(exact.Inversions());
+  for (size_t k : {64, 256, 1024, 4096}) {
+    SampledInversionEstimator sampled(k, 97);
+    for (uint32_t v : stream) sampled.Add(v);
+    Row("%10zu | %+9.2f%%", k,
+        100.0 * (sampled.Estimate() - truth) / truth);
+  }
+
+  bench::TableTitle("T1-subsequences",
+                    "LIS: patience memory O(L); bounded-budget estimates");
+  Row("%-26s %10s %10s %10s", "stream", "true LIS", "budget64",
+      "memory");
+  struct Case {
+    const char* name;
+    std::vector<double> data;
+  };
+  std::vector<Case> cases;
+  {
+    Rng rng(99);
+    std::vector<double> random(50000);
+    for (auto& v : random) v = rng.NextDouble();
+    cases.push_back({"random permutation (50k)", std::move(random)});
+    std::vector<double> ascending(50000);
+    for (size_t i = 0; i < ascending.size(); i++) {
+      ascending[i] = static_cast<double>(i);
+    }
+    cases.push_back({"fully ascending (50k)", std::move(ascending)});
+    std::vector<double> noisy(50000);
+    for (size_t i = 0; i < noisy.size(); i++) {
+      noisy[i] = rng.NextBool(0.7) ? static_cast<double>(i)
+                                   : rng.NextDouble() * 50000.0;
+    }
+    cases.push_back({"70% ascending (50k)", std::move(noisy)});
+  }
+  for (const Case& c : cases) {
+    LisTracker tracker;
+    BoundedLisEstimator bounded(64);
+    for (double v : c.data) {
+      tracker.Add(v);
+      bounded.Add(v);
+    }
+    Row("%-26s %10zu %10zu %7zu vals", c.name, tracker.Length(),
+        bounded.Estimate(), tracker.MemoryValues());
+  }
+  Row("paper-shape check: random streams need only O(sqrt n) memory for");
+  Row("exact LIS; monotone streams stay exact even under a 64-value budget");
+  Row("(the Omega(n) lower bound [87, 152] bites only for adversarial");
+  Row("streams, where the bounded estimator degrades to an upper bound).");
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

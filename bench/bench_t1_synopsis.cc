@@ -1,0 +1,147 @@
+// Reproduction harness for the paper's synopsis-construction section
+// (Section 2): histograms (equi-width, V-optimal exact & greedy,
+// end-biased) and Haar wavelet top-k synopses. Experiment T1-synopsis.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/histogram/end_biased_histogram.h"
+#include "core/histogram/equi_width_histogram.h"
+#include "core/histogram/v_optimal_histogram.h"
+#include "core/wavelet/haar_wavelet.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace streamlib;
+
+void BM_EquiWidthAdd(benchmark::State& state) {
+  EquiWidthHistogram hist(0, 1000, 256);
+  Rng rng(1);
+  for (auto _ : state) hist.Add(rng.NextDouble() * 1000.0);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EquiWidthAdd);
+
+void BM_VOptimalGreedy(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (auto& v : values) v = rng.NextGaussian();
+  for (auto _ : state) {
+    auto buckets = VOptimalHistogram::BuildGreedy(values, 32);
+    benchmark::DoNotOptimize(buckets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VOptimalGreedy)->Arg(1000)->Arg(10000);
+
+void BM_HaarTransform(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> signal(static_cast<size_t>(state.range(0)));
+  for (auto& v : signal) v = rng.NextGaussian();
+  for (auto _ : state) {
+    auto coeffs = HaarWavelet::Transform(signal);
+    benchmark::DoNotOptimize(coeffs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HaarTransform)->Arg(1024)->Arg(16384);
+
+// A step signal with unequal segment lengths (where equi-width loses).
+std::vector<double> StepSignal(size_t n, int segments, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  double level = 0;
+  for (int s = 0; s < segments; s++) {
+    level += rng.NextGaussian() * 20.0;
+    const size_t len = n / segments / 2 + rng.NextBounded(n / segments);
+    for (size_t i = 0; i < len && out.size() < n; i++) {
+      out.push_back(level + rng.NextGaussian());
+    }
+  }
+  while (out.size() < n) out.push_back(level);
+  return out;
+}
+
+void PrintTables() {
+  using bench::Row;
+
+  bench::TableTitle("T1-synopsis/histograms",
+                    "piecewise-constant SSE: V-optimal vs greedy vs "
+                    "equal-split, 16 buckets");
+  Row("%10s | %12s %12s %12s | %12s", "n", "v-opt (DP)", "greedy",
+      "equal-split", "greedy/opt");
+  for (size_t n : {500, 1000, 2000}) {
+    auto values = StepSignal(n, 12, 401);
+    auto optimal = VOptimalHistogram::BuildExact(values, 16);
+    auto greedy = VOptimalHistogram::BuildGreedy(values, 16);
+    // Equal-split baseline: 16 equal-length index buckets.
+    double equal_sse = 0;
+    for (int b = 0; b < 16; b++) {
+      const size_t lo = b * n / 16;
+      const size_t hi = (b + 1) * n / 16;
+      double mean = 0;
+      for (size_t i = lo; i < hi; i++) mean += values[i];
+      mean /= static_cast<double>(hi - lo);
+      for (size_t i = lo; i < hi; i++) {
+        equal_sse += (values[i] - mean) * (values[i] - mean);
+      }
+    }
+    const double opt_sse = VOptimalHistogram::TotalSse(optimal);
+    const double greedy_sse = VOptimalHistogram::TotalSse(greedy);
+    Row("%10zu | %12.1f %12.1f %12.1f | %11.2fx", n, opt_sse, greedy_sse,
+        equal_sse, greedy_sse / std::max(opt_sse, 1e-9));
+  }
+  Row("paper-shape check: V-optimal (the DP optimum) dominates; the");
+  Row("one-pass greedy merge stays within a small factor; equal splits");
+  Row("pay for ignoring the data.");
+
+  bench::TableTitle("T1-synopsis/end-biased",
+                    "end-biased histogram on skewed value frequencies");
+  workload::ZipfGenerator zipf(100000, 1.3, 403);
+  EndBiasedHistogram eb(64);
+  std::unordered_map<int64_t, uint64_t> exact;
+  for (int i = 0; i < 500000; i++) {
+    const int64_t v = static_cast<int64_t>(zipf.Next());
+    eb.Add(v);
+    exact[v]++;
+  }
+  Row("%8s | %12s %12s", "value", "exact freq", "end-biased");
+  for (int64_t v : {0, 1, 2, 10, 1000}) {
+    Row("%8lld | %12llu %12.1f", static_cast<long long>(v),
+        static_cast<unsigned long long>(exact[v]), eb.EstimateFrequency(v));
+  }
+  Row("tail mass spread uniformly: %llu over the untracked values",
+      static_cast<unsigned long long>(eb.TailMass()));
+
+  bench::TableTitle("T1-synopsis/wavelets",
+                    "Haar top-k synopsis: L2 error vs retained coefficients");
+  // Piecewise signal + a sine: compressible in the Haar basis.
+  const size_t kLen = 2048;
+  Rng rng(407);
+  std::vector<double> signal(kLen);
+  for (size_t i = 0; i < kLen; i++) {
+    signal[i] = (i < kLen / 3 ? 10.0 : i < 2 * kLen / 3 ? -5.0 : 2.0) +
+                3.0 * std::sin(static_cast<double>(i) * 0.02) +
+                0.3 * rng.NextGaussian();
+  }
+  double signal_norm = 0;
+  for (double v : signal) signal_norm += v * v;
+  signal_norm = std::sqrt(signal_norm);
+  Row("%10s | %12s %14s", "k kept", "L2 error", "error/||signal||");
+  for (size_t k : {8, 32, 128, 512, 2048}) {
+    const double err = HaarWavelet::SynopsisError(signal, k);
+    Row("%10zu | %12.3f %13.2f%%", k, err, 100.0 * err / signal_norm);
+  }
+  Row("paper-shape check: the largest-coefficient rule gives the steep");
+  Row("L2 decay that makes wavelet synopses competitive summaries [91].");
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

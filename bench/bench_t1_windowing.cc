@@ -1,0 +1,175 @@
+// Reproduction harness for Table 1, rows "Basic Counting" (popularity
+// analysis) and "Significant One Counting" (traffic accounting).
+// Experiments T1-basic-counting and T1-significant-ones: DGIM error vs its
+// 1/(2(k-1)) bound across k and window sizes; space vs the exact buffer;
+// the significant-one counter's space saving at equal decision quality.
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/windowing/eh_sum.h"
+#include "core/windowing/exponential_histogram.h"
+#include "core/windowing/significant_ones.h"
+#include "core/windowing/sliding_aggregator.h"
+#include "core/windowing/sliding_topk.h"
+#include "workload/bit_stream.h"
+
+namespace {
+
+using namespace streamlib;
+
+void BM_DgimAdd(benchmark::State& state) {
+  ExponentialHistogram eh(1 << 20, static_cast<uint32_t>(state.range(0)));
+  workload::BernoulliBitStream bits(0.5, 1);
+  for (auto _ : state) eh.Add(bits.Next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DgimAdd)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_EhSumAdd(benchmark::State& state) {
+  EhSum sum(1 << 16, 8, 10);
+  uint32_t i = 0;
+  for (auto _ : state) sum.Add(i++ % 1000);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EhSumAdd);
+
+void BM_TwoStacksAdd(benchmark::State& state) {
+  SlidingAggregator<VarianceMonoid> agg(1 << 12);
+  double v = 0;
+  for (auto _ : state) {
+    agg.Add(VarianceMonoid::Of(v));
+    v += 0.7;
+    if (v > 100) v = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoStacksAdd);
+
+struct DgimRun {
+  double max_rel_err;
+  size_t buckets;
+};
+
+DgimRun RunDgim(uint64_t window, uint32_t k, double p_one, uint64_t seed) {
+  ExponentialHistogram eh(window, k);
+  workload::BurstyBitStream bits(0.9, p_one, 0.002, 0.01, seed);
+  std::deque<bool> exact_bits;
+  uint64_t exact = 0;
+  DgimRun run{0.0, 0};
+  const uint64_t steps = window * 6;
+  for (uint64_t i = 0; i < steps; i++) {
+    const bool bit = bits.Next();
+    eh.Add(bit);
+    exact_bits.push_back(bit);
+    if (bit) exact++;
+    if (exact_bits.size() > window) {
+      if (exact_bits.front()) exact--;
+      exact_bits.pop_front();
+    }
+    if (i > window && i % 257 == 0 && exact > 0) {
+      const double err =
+          std::fabs(static_cast<double>(eh.Estimate()) -
+                    static_cast<double>(exact)) /
+          static_cast<double>(exact);
+      run.max_rel_err = std::max(run.max_rel_err, err);
+    }
+  }
+  run.buckets = eh.NumBuckets();
+  return run;
+}
+
+void PrintTables() {
+  using bench::Row;
+
+  bench::TableTitle("T1-basic-counting",
+                    "DGIM: max relative error vs bound, space vs exact");
+  Row("%6s %10s | %12s %12s | %10s %12s", "k", "window", "bound",
+      "measured", "buckets", "exact bits");
+  for (uint32_t k : {2, 4, 8, 16, 32}) {
+    const uint64_t window = 1 << 16;
+    DgimRun run = RunDgim(window, k, 0.05, 61 + k);
+    Row("%6u %10llu | %11.2f%% %11.2f%% | %10zu %12llu", k,
+        static_cast<unsigned long long>(window),
+        100.0 / (2.0 * (k - 1)), 100.0 * run.max_rel_err, run.buckets,
+        static_cast<unsigned long long>(window));
+  }
+  Row("paper-shape check: error halves as k doubles; space stays");
+  Row("O(k log W) buckets vs the W-bit exact buffer.");
+
+  bench::TableTitle("T1-basic-counting/window-sweep",
+                    "DGIM space is logarithmic in the window");
+  Row("%12s | %10s %16s", "window", "buckets", "exact buffer bits");
+  for (uint64_t window : {1ull << 10, 1ull << 14, 1ull << 18, 1ull << 22}) {
+    DgimRun run = RunDgim(window, 8, 0.3, 71);
+    Row("%12llu | %10zu %16llu", static_cast<unsigned long long>(window),
+        run.buckets, static_cast<unsigned long long>(window));
+  }
+
+  bench::TableTitle("T1-significant-ones",
+                    "Lee–Ting relaxation: space saving at equal decisions");
+  Row("%8s %6s | %10s %10s %8s | %10s %10s", "theta", "eps", "soc bkts",
+      "dgim bkts", "ratio", "soc err%", "signif?");
+  const uint64_t kWindow = 1 << 18;
+  for (double theta : {0.1, 0.2, 0.4}) {
+    const double eps = 0.1;
+    SignificantOneCounter soc(kWindow, theta, eps);
+    ExponentialHistogram dgim(
+        kWindow, static_cast<uint32_t>(std::ceil(1.0 / eps)) + 1);
+    workload::BernoulliBitStream bits(0.5, 83);
+    std::deque<bool> ring;
+    uint64_t exact = 0;
+    double max_err = 0;
+    for (uint64_t i = 0; i < kWindow * 3; i++) {
+      const bool bit = bits.Next();
+      soc.Add(bit);
+      dgim.Add(bit);
+      ring.push_back(bit);
+      if (bit) exact++;
+      if (ring.size() > kWindow) {
+        if (ring.front()) exact--;
+        ring.pop_front();
+      }
+      if (i > kWindow && i % 1031 == 0) {
+        max_err = std::max(
+            max_err, std::fabs(static_cast<double>(soc.Estimate()) -
+                               static_cast<double>(exact)) /
+                         static_cast<double>(exact));
+      }
+    }
+    Row("%8.2f %6.2f | %10zu %10zu %7.1fx | %9.2f%% %10s", theta, eps,
+        soc.NumBuckets(), dgim.NumBuckets(),
+        static_cast<double>(dgim.NumBuckets()) /
+            static_cast<double>(soc.NumBuckets()),
+        100.0 * max_err, soc.IsSignificant() ? "yes" : "no");
+  }
+  Row("paper-shape check: the significant-one counter spends");
+  Row("eps*theta*W of absolute slack to cut buckets by the theta-dependent");
+  Row("factor while staying inside eps on significant windows.");
+
+  bench::TableTitle("T1-window-topk",
+                    "sliding-window top-k monitoring [138, 166]: k-skyband "
+                    "candidates vs the full window");
+  Row("%6s %12s | %14s %12s", "k", "window", "candidates", "vs W");
+  for (uint64_t w : {10000ull, 100000ull, 1000000ull}) {
+    SlidingTopK<uint64_t> topk(10, w);
+    Rng rng(301);
+    for (uint64_t i = 0; i < 2 * w; i++) {
+      topk.Add(rng.NextDouble(), i);
+    }
+    Row("%6d %12llu | %14zu %11.0fx", 10,
+        static_cast<unsigned long long>(w), topk.CandidateCount(),
+        static_cast<double>(w) /
+            static_cast<double>(topk.CandidateCount()));
+  }
+  Row("paper-shape check: the candidate set grows ~ k log(W/k), so the");
+  Row("space ratio vs buffering the window widens with W — the 'time- and");
+  Row("space-efficient' property of [138].");
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

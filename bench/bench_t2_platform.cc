@@ -1,0 +1,221 @@
+// Reproduction harness for Table 2 (streaming platforms) — the design axes
+// the paper's Section 3 narrative turns on, measured on the in-process
+// topology engine:
+//   * A-executor-model: Storm-style multiplexed executors vs Heron-style
+//     dedicated per-task threads ("running each task in a process of its
+//     own ... improved performance").
+//   * A-ack-overhead: at-most-once vs at-least-once (XOR-ledger acking,
+//     Storm's reliability model) — the throughput cost of guarantees.
+//   * queue capacity: the backpressure knob.
+//
+// Workload: the word-count topology every platform paper uses
+// (spout -> splitter x3 -> fields-grouped counter x4 -> sink).
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "platform/components.h"
+#include "platform/engine.h"
+#include "platform/event_time.h"
+#include "platform/topology.h"
+#include "workload/zipf.h"
+
+namespace {
+
+using namespace streamlib;
+using namespace streamlib::platform;
+
+struct RunResult {
+  double throughput_ktps;  // Spout tuples per second / 1000.
+  double p50_latency_us;
+  double p99_latency_us;
+  uint64_t backpressure_stalls;
+  uint64_t completed;
+  uint64_t failed;
+};
+
+RunResult RunWordCount(uint64_t n_tuples, const EngineConfig& config) {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  auto sink = std::make_shared<TupleSink>();
+
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "spout",
+      [counter, n_tuples]() -> std::unique_ptr<Spout> {
+        auto zipf = std::make_shared<workload::ZipfGenerator>(10000, 1.1,
+                                                              counter->load() + 7);
+        return std::make_unique<GeneratorSpout>(
+            [counter, n_tuples, zipf]() -> std::optional<Tuple> {
+              if (counter->fetch_add(1) >= n_tuples) return std::nullopt;
+              std::string word("w");  // Avoids GCC 12 -Wrestrict FP.
+              word += std::to_string(zipf->Next() % 5000);
+              return Tuple::Of(std::move(word));
+            });
+      },
+      2);
+  builder.AddBolt(
+      "split",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [](const Tuple& in, OutputCollector* out) {
+              out->Emit(Tuple::Of(in.Str(0)));
+            });
+      },
+      3, {{"spout", Grouping::Shuffle()}});
+  builder.AddBolt(
+      "count", []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<CountingBolt>();
+      },
+      4, {{"split", Grouping::Fields(0)}});
+  builder.AddBolt(
+      "sink",
+      [sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(sink.get());
+      },
+      1, {{"count", Grouping::Global()}});
+
+  TopologyEngine engine(builder.Build().value(), config);
+  WallTimer timer;
+  engine.Run();
+  const double seconds = timer.ElapsedSeconds();
+
+  RunResult result;
+  result.throughput_ktps =
+      static_cast<double>(n_tuples) / seconds / 1000.0;
+  auto& split_metrics = engine.metrics().ForComponent("count");
+  result.p50_latency_us = split_metrics.LatencyPercentileNanos(0.5) / 1000.0;
+  result.p99_latency_us = split_metrics.LatencyPercentileNanos(0.99) / 1000.0;
+  result.backpressure_stalls =
+      engine.metrics().ForComponent("spout").backpressure_stalls() +
+      engine.metrics().ForComponent("split").backpressure_stalls();
+  result.completed = engine.completed_roots();
+  result.failed = engine.failed_roots();
+  return result;
+}
+
+void BM_TopologyWordCount(benchmark::State& state) {
+  // End-to-end engine runs (30k tuples each) under the default config.
+  for (auto _ : state) {
+    EngineConfig config;
+    const RunResult r = RunWordCount(30000, config);
+    benchmark::DoNotOptimize(r.throughput_ktps);
+  }
+  state.SetItemsProcessed(state.iterations() * 30000);
+}
+BENCHMARK(BM_TopologyWordCount)->Unit(benchmark::kMillisecond);
+
+void PrintTables() {
+  using bench::Row;
+  const uint64_t kTuples = 300000;
+
+  bench::TableTitle("T2-platforms / A-executor-model",
+                    "Storm-style multiplexing vs Heron-style dedicated "
+                    "executors (word count, 8 bolt tasks)");
+  Row("%-26s | %12s %12s %12s", "execution model", "ktuples/s",
+      "p50 lat us", "p99 lat us");
+  {
+    EngineConfig config;
+    config.mode = ExecutionMode::kDedicated;
+    const RunResult r = RunWordCount(kTuples, config);
+    Row("%-26s | %12.0f %12.0f %12.0f", "dedicated (Heron-like)",
+        r.throughput_ktps, r.p50_latency_us, r.p99_latency_us);
+  }
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    EngineConfig config;
+    config.mode = ExecutionMode::kMultiplexed;
+    config.multiplexed_threads = threads;
+    const RunResult r = RunWordCount(kTuples, config);
+    char label[64];
+    std::snprintf(label, sizeof(label), "multiplexed x%u (Storm-like)",
+                  threads);
+    Row("%-26s | %12.0f %12.0f %12.0f", label, r.throughput_ktps,
+        r.p50_latency_us, r.p99_latency_us);
+  }
+  Row("paper-shape check (Heron, Section 3): a starved multiplexed pool");
+  Row("(x1) loses to dedicated executors on throughput and median latency");
+  Row("because every tuple crosses the multiplexer's polling loop; growing");
+  Row("the pool recovers throughput — but only dedicated executors get the");
+  Row("right parallelism with no pool-size tuning, Heron's operability");
+  Row("argument. (Multiplexed mode also buffers unboundedly under");
+  Row("imbalance — see the backpressure table — the other Storm pain.)");
+
+  bench::TableTitle("A-ack-overhead",
+                    "delivery guarantees: at-most-once vs at-least-once "
+                    "(XOR-ledger acker)");
+  Row("%-26s | %12s %12s %12s", "semantics", "ktuples/s", "completed",
+      "failed");
+  {
+    EngineConfig config;
+    config.semantics = DeliverySemantics::kAtMostOnce;
+    const RunResult r = RunWordCount(kTuples, config);
+    Row("%-26s | %12.0f %12s %12s", "at-most-once", r.throughput_ktps, "-",
+        "-");
+  }
+  {
+    EngineConfig config;
+    config.semantics = DeliverySemantics::kAtLeastOnce;
+    const RunResult r = RunWordCount(kTuples, config);
+    Row("%-26s | %12.0f %12llu %12llu", "at-least-once",
+        r.throughput_ktps, static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.failed));
+  }
+  Row("paper-shape check (Storm, Section 3): tuple-tree tracking costs");
+  Row("throughput — every edge is ledgered — in exchange for the");
+  Row("completed/failed accounting that enables replay.");
+
+  bench::TableTitle("T2-platforms/backpressure",
+                    "bounded queues: capacity vs stalls (flow control)");
+  Row("%-14s | %12s %14s", "queue cap", "ktuples/s", "producer stalls");
+  for (size_t capacity : {16, 256, 4096}) {
+    EngineConfig config;
+    config.queue_capacity = capacity;
+    const RunResult r = RunWordCount(kTuples, config);
+    Row("%-14zu | %12.0f %14llu", capacity, r.throughput_ktps,
+        static_cast<unsigned long long>(r.backpressure_stalls));
+  }
+  Row("paper-shape check: small queues convert imbalance into producer");
+  Row("stalls (backpressure) rather than unbounded buffering — the");
+  Row("flow-control requirement the platform section lists.");
+
+  bench::TableTitle("T2-platforms/out-of-order",
+                    "event-time windows + watermarks: lateness bound vs "
+                    "drops and correctness (the 'stream imperfections' "
+                    "requirement)");
+  Row("%12s | %10s %14s %14s", "lateness", "drops", "drop rate",
+      "window counts");
+  for (int64_t lateness : {0, 20, 100, 400}) {
+    // Events arrive shuffled by up to +-100 positions around real time.
+    platform::EventTimeWindower<int> windower(100, lateness);
+    Rng rng(881);
+    uint64_t fired_total = 0;
+    const int kEvents = 50000;
+    for (int i = 0; i < kEvents; i++) {
+      const int64_t event_time =
+          i + static_cast<int64_t>(rng.NextBounded(200)) - 100;
+      for (const auto& window : windower.Add(event_time, 1)) {
+        fired_total += window.values.size();
+      }
+    }
+    for (const auto& window : windower.Flush()) {
+      fired_total += window.values.size();
+    }
+    Row("%12lld | %10llu %13.2f%% %14llu",
+        static_cast<long long>(lateness),
+        static_cast<unsigned long long>(windower.late_drops()),
+        100.0 * static_cast<double>(windower.late_drops()) / kEvents,
+        static_cast<unsigned long long>(fired_total));
+  }
+  Row("paper-shape check: drops + windowed always equals the event count");
+  Row("(nothing silently lost); raising the lateness bound past the");
+  Row("disorder spread (two adjacent arrivals can differ by 200 here)");
+  Row("drives drops to zero — bounded, explicit out-of-order handling.");
+}
+
+}  // namespace
+
+STREAMLIB_BENCH_MAIN(PrintTables)

@@ -1,0 +1,43 @@
+#ifndef STREAMLIB_BENCH_BENCH_UTIL_H_
+#define STREAMLIB_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace streamlib::bench {
+
+/// Prints the header of a reproduction table (the paper-artifact section
+/// each bench binary emits after its google-benchmark timing section).
+inline void TableTitle(const char* experiment_id, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("REPRODUCTION %s — %s\n", experiment_id, description);
+  std::printf("================================================================\n");
+}
+
+/// printf-style row helper so tables align.
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Standard main body: run the registered google-benchmark timings, then
+/// the caller's reproduction tables.
+#define STREAMLIB_BENCH_MAIN(print_tables_fn)                          \
+  int main(int argc, char** argv) {                                    \
+    ::benchmark::Initialize(&argc, argv);                              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                             \
+    print_tables_fn();                                                 \
+    return 0;                                                          \
+  }
+
+}  // namespace streamlib::bench
+
+#endif  // STREAMLIB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// Online fraud scoring — the paper's fraud-detection application (Table 1
+// "Correlation -> Fraud detection", §3 "online fraud detection" as the
+// batch+stream integration case) built from streamlib's incremental-ML and
+// sketch layers:
+//   * per-merchant transaction velocity from a DecayedCounter feeds the
+//     feature vector (a classic fraud signal),
+//   * an online logistic model scores transactions test-then-train,
+//   * ADWIN watches the error stream for concept drift (fraud patterns
+//     change!) and reports when the model had to relearn.
+//
+//   ./fraud_scoring
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "core/anomaly/adwin.h"
+#include "core/frequency/decayed_counter.h"
+#include "core/ml/online_classifiers.h"
+#include "workload/zipf.h"
+
+int main() {
+  using namespace streamlib;
+
+  constexpr int kTransactions = 200000;
+  constexpr int kDriftAt = 120000;
+
+  Rng rng(404);
+  workload::ZipfGenerator merchants(5000, 1.1, 405);
+  DecayedCounter<uint64_t> merchant_velocity(/*half_life=*/500.0);
+  OnlineLogisticRegression model(/*dimensions=*/4, /*learning_rate=*/0.05);
+  PrequentialEvaluator eval(2000);
+  AdwinDetector drift_alarm(0.002);
+
+  int frauds = 0;
+  int caught = 0;
+  int false_alarms = 0;
+  int drift_detected_at = -1;
+
+  std::printf("scoring %d transactions (fraud pattern shifts at %d)...\n",
+              kTransactions, kDriftAt);
+
+  for (int i = 0; i < kTransactions; i++) {
+    const uint64_t merchant = merchants.Next();
+    const double amount = std::exp(3.0 + 1.2 * rng.NextGaussian());
+    const double hour = static_cast<double>(i % 24);
+    merchant_velocity.Add(merchant, static_cast<double>(i));
+    const double velocity =
+        merchant_velocity.Estimate(merchant, static_cast<double>(i));
+
+    // Ground truth: fraud concentrates on high amounts at night through
+    // low-velocity merchants; after the drift, daytime card-testing bursts
+    // at high-velocity merchants dominate instead.
+    double fraud_score;
+    if (i < kDriftAt) {
+      fraud_score = 0.8 * std::log(amount / 40.0) +
+                    (hour < 6 ? 1.2 : -0.8) - 0.1 * velocity;
+    } else {
+      fraud_score = 0.15 * velocity + (hour >= 9 && hour <= 17 ? 1.0 : -1.0) -
+                    0.3 * std::log(amount / 40.0);
+    }
+    const bool is_fraud = fraud_score + 0.7 * rng.NextGaussian() > 1.8;
+
+    const std::vector<double> features = {std::log(amount), hour / 24.0,
+                                          velocity,
+                                          hour < 6 ? 1.0 : 0.0};
+    const bool flagged = model.Predict(features);
+    eval.Record(flagged, is_fraud);
+    model.Update(features, is_fraud);
+
+    if (drift_alarm.AddAndDetect(flagged == is_fraud ? 0.0 : 1.0) &&
+        i >= kDriftAt && drift_detected_at < 0) {
+      drift_detected_at = i;
+    }
+
+    if (i > 5000) {  // After warm-up.
+      if (is_fraud) {
+        frauds++;
+        if (flagged) caught++;
+      } else if (flagged) {
+        false_alarms++;
+      }
+    }
+  }
+
+  std::printf("\n== scoring quality (after warm-up) ==\n");
+  std::printf("  frauds: %d   caught: %d (%.1f%%)   false alarms: %d "
+              "(%.3f%% of legit)\n",
+              frauds, caught, 100.0 * caught / frauds, false_alarms,
+              100.0 * false_alarms / (kTransactions - 5000 - frauds));
+  std::printf("  prequential accuracy: overall %.2f%%, last-2k %.2f%%\n",
+              100 * eval.OverallAccuracy(), 100 * eval.WindowAccuracy());
+  if (drift_detected_at >= 0) {
+    std::printf("\n== drift ==\n");
+    std::printf("  fraud pattern shifted at %d; ADWIN flagged the error-rate "
+                "change %d transactions later\n",
+                kDriftAt, drift_detected_at - kDriftAt);
+    std::printf("  the one-pass model relearned without any restart — the "
+                "incremental-ML property the paper highlights\n");
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Network traffic accounting — three Table 1 rows on one packet stream:
+//   * Hierarchical heavy hitters: which hosts AND subnets are hot
+//     (Cormode et al., the "hierarchical heavy hitters" row).
+//   * Basic counting (DGIM): how many SYN packets in the last N packets.
+//   * Significant-one counting (Lee & Ting / Estan & Varghese): the same
+//     question, cheaper, when only theta-significant windows matter.
+//
+//   ./network_monitor
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/frequency/hierarchical_heavy_hitters.h"
+#include "core/windowing/exponential_histogram.h"
+#include "core/windowing/significant_ones.h"
+#include "workload/bit_stream.h"
+#include "workload/zipf.h"
+
+namespace {
+
+// Renders a.b.c.d from a packed IPv4.
+void PrintAddr(uint32_t addr, int bits) {
+  std::printf("%u.%u.%u.%u/%d", addr >> 24, (addr >> 16) & 0xff,
+              (addr >> 8) & 0xff, addr & 0xff, bits);
+}
+
+}  // namespace
+
+int main() {
+  using namespace streamlib;
+
+  constexpr uint64_t kPackets = 2000000;
+  constexpr uint64_t kWindow = 1 << 16;
+
+  // Synthetic traffic: a hot /24 (10.1.7.0/24 spread over hosts), one hot
+  // single host (192.168.3.9), and heavy-tailed background.
+  Rng rng(31);
+  workload::ZipfGenerator background(1 << 20, 1.05, 33);
+  workload::BurstyBitStream syn_bits(0.8, 0.02, 0.001, 0.02, 35);
+
+  HierarchicalHeavyHitters hhh(/*counters_per_level=*/512);
+  ExponentialHistogram syn_window(kWindow, /*k=*/16);
+  SignificantOneCounter syn_significant(kWindow, /*theta=*/0.2, /*eps=*/0.1);
+
+  std::printf("monitoring %llu packets...\n",
+              static_cast<unsigned long long>(kPackets));
+
+  uint64_t exact_recent_syns = 0;  // Rolling exact count via simple ring.
+  std::vector<bool> ring(kWindow, false);
+  uint64_t pos = 0;
+
+  for (uint64_t i = 0; i < kPackets; i++) {
+    uint32_t src;
+    const double dice = rng.NextDouble();
+    if (dice < 0.15) {
+      // Hot subnet: 10.1.7.0/24.
+      src = (10u << 24) | (1u << 16) | (7u << 8) |
+            static_cast<uint32_t>(rng.NextBounded(256));
+    } else if (dice < 0.22) {
+      // Hot host.
+      src = (192u << 24) | (168u << 16) | (3u << 8) | 9u;
+    } else {
+      src = static_cast<uint32_t>((background.Next() + 1) * 2654435761u);
+    }
+    hhh.Add(src);
+
+    const bool syn = syn_bits.Next();
+    syn_window.Add(syn);
+    syn_significant.Add(syn);
+    const size_t slot = pos % kWindow;
+    if (pos >= kWindow && ring[slot]) exact_recent_syns--;
+    ring[slot] = syn;
+    if (syn) exact_recent_syns++;
+    pos++;
+  }
+
+  const uint64_t threshold = kPackets / 20;  // 5% of traffic.
+  std::printf("\n== hierarchical heavy hitters (>= 5%% of traffic) ==\n");
+  for (const auto& r : hhh.Query(threshold)) {
+    std::printf("  ");
+    PrintAddr(r.prefix, r.prefix_bits);
+    std::printf("  total ~%llu  own-traffic ~%llu\n",
+                static_cast<unsigned long long>(r.count),
+                static_cast<unsigned long long>(r.conditioned));
+  }
+
+  std::printf("\n== SYN flood watch: 1s in the last %llu packets ==\n",
+              static_cast<unsigned long long>(kWindow));
+  std::printf("  exact:                 %llu\n",
+              static_cast<unsigned long long>(exact_recent_syns));
+  std::printf("  DGIM (%3zu buckets):    %llu\n", syn_window.NumBuckets(),
+              static_cast<unsigned long long>(syn_window.Estimate()));
+  std::printf("  significant-ones (%2zu buckets): %llu  significant=%s\n",
+              syn_significant.NumBuckets(),
+              static_cast<unsigned long long>(syn_significant.Estimate()),
+              syn_significant.IsSignificant() ? "yes" : "no");
+  std::printf("\n  (the significant-one counter holds %.1fx fewer buckets "
+              "for the same decision)\n",
+              static_cast<double>(syn_window.NumBuckets()) /
+                  static_cast<double>(syn_significant.NumBuckets()));
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Quickstart: a ten-minute tour of streamlib's sketch layer.
+//
+// Streams one million Zipf-distributed events through the four workhorse
+// summaries the paper's Section 2 surveys — membership (Bloom), cardinality
+// (HyperLogLog), frequency (Count-Min + SpaceSaving) and quantiles
+// (t-digest) — and compares every estimate against the exact answer.
+//
+//   ./quickstart
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/cardinality/hyperloglog.h"
+#include "core/filtering/bloom_filter.h"
+#include "core/frequency/count_min_sketch.h"
+#include "core/frequency/space_saving.h"
+#include "core/quantiles/tdigest.h"
+#include "workload/text_stream.h"
+#include "workload/zipf.h"
+
+namespace {
+
+constexpr uint64_t kEvents = 1000000;
+constexpr uint64_t kVocabulary = 200000;
+
+}  // namespace
+
+int main() {
+  using namespace streamlib;
+
+  std::printf("streamlib quickstart: %llu Zipf(1.1) events over %llu keys\n\n",
+              static_cast<unsigned long long>(kEvents),
+              static_cast<unsigned long long>(kVocabulary));
+
+  workload::TextStreamGenerator stream(kVocabulary, 1.1, /*seed=*/2025);
+
+  // The summaries under demonstration.
+  HyperLogLog distinct(/*precision=*/12);
+  CountMinSketch counts = CountMinSketch::WithErrorBound(0.0005, 0.01);
+  SpaceSaving<std::string> trending(/*capacity=*/100);
+  TDigest latency(/*compression=*/100);
+  BloomFilter seen = BloomFilter::WithExpectedItems(kVocabulary, 0.01);
+
+  // Ground truth for the comparison table.
+  std::map<std::string, uint64_t> exact_counts;
+  std::set<std::string> exact_distinct;
+
+  for (uint64_t i = 0; i < kEvents; i++) {
+    const std::string& tag = stream.Next();
+    distinct.Add(tag);
+    counts.Add(tag);
+    trending.Add(tag);
+    seen.Add(tag);
+    // Pretend each event carries a latency measurement (Zipf-shaped).
+    latency.Add(1.0 + static_cast<double>(i % 997) * 0.25);
+
+    exact_counts[tag]++;
+    exact_distinct.insert(tag);
+  }
+
+  std::printf("== cardinality (HyperLogLog, p=12, %zu bytes) ==\n",
+              distinct.MemoryBytes());
+  std::printf("  exact distinct: %zu   estimate: %.0f   error: %+.2f%%\n\n",
+              exact_distinct.size(), distinct.Estimate(),
+              100.0 * (distinct.Estimate() - exact_distinct.size()) /
+                  exact_distinct.size());
+
+  std::printf("== frequency (Count-Min %u x %u, SpaceSaving k=100) ==\n",
+              counts.width(), counts.depth());
+  std::printf("  %-8s %10s %10s %10s\n", "tag", "exact", "cms", "spacesaving");
+  for (uint64_t rank = 0; rank < 5; rank++) {
+    const std::string& tag = stream.TokenForRank(rank);
+    std::printf("  %-8s %10llu %10llu %10llu\n", tag.c_str(),
+                static_cast<unsigned long long>(exact_counts[tag]),
+                static_cast<unsigned long long>(counts.Estimate(tag)),
+                static_cast<unsigned long long>(trending.Estimate(tag)));
+  }
+
+  std::printf("\n== trending top-5 (SpaceSaving) ==\n");
+  for (const auto& item : trending.TopK(5)) {
+    std::printf("  %-8s ~%llu (max overestimate %llu)\n", item.key.c_str(),
+                static_cast<unsigned long long>(item.estimate),
+                static_cast<unsigned long long>(item.error_bound));
+  }
+
+  std::printf("\n== quantiles (t-digest, %zu centroids) ==\n",
+              latency.NumCentroids());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    std::printf("  p%-5g = %.2f\n", q * 100, latency.Quantile(q));
+  }
+
+  std::printf("\n== membership (Bloom, %.1f bits/key) ==\n",
+              8.0 * static_cast<double>(seen.MemoryBytes()) / kVocabulary);
+  uint64_t false_positives = 0;
+  const uint64_t kProbes = 100000;
+  for (uint64_t i = 0; i < kProbes; i++) {
+    std::string unseen_key = "never-" + std::to_string(i);
+    if (seen.Contains(unseen_key)) false_positives++;
+  }
+  std::printf("  false-positive rate on unseen keys: %.3f%% (target 1%%)\n",
+              100.0 * static_cast<double>(false_positives) / kProbes);
+
+  std::printf("\nDone. Each summary used kilobytes against a %llu-event "
+              "stream.\n",
+              static_cast<unsigned long long>(kEvents));
+  return 0;
+}

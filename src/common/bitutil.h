@@ -1,0 +1,46 @@
+#ifndef STREAMLIB_COMMON_BITUTIL_H_
+#define STREAMLIB_COMMON_BITUTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace streamlib {
+
+/// Bit-twiddling helpers shared by the sketch implementations. All are thin
+/// wrappers over C++20 <bit> with the edge cases the sketches rely on pinned
+/// down explicitly.
+
+/// Number of leading zero bits in `x`; 64 when x == 0.
+inline int CountLeadingZeros64(uint64_t x) { return std::countl_zero(x); }
+
+/// Number of trailing zero bits in `x`; 64 when x == 0.
+inline int CountTrailingZeros64(uint64_t x) { return std::countr_zero(x); }
+
+/// Number of set bits.
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+
+/// True iff `x` is a power of two (and nonzero).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x must be >= 1 and <= 2^63).
+inline uint64_t NextPowerOfTwo(uint64_t x) { return std::bit_ceil(x); }
+
+/// floor(log2(x)); x must be nonzero.
+inline int Log2Floor(uint64_t x) { return 63 - CountLeadingZeros64(x); }
+
+/// ceil(log2(x)); x must be nonzero.
+inline int Log2Ceil(uint64_t x) {
+  return IsPowerOfTwo(x) ? Log2Floor(x) : Log2Floor(x) + 1;
+}
+
+/// Position (1-based) of the leftmost 1-bit in the low `bits` bits of `x`,
+/// i.e. the HyperLogLog rho function: rho(0...0) == bits + 1.
+inline int RankOfLeadingOne(uint64_t x, int bits) {
+  if (x == 0) return bits + 1;
+  int lz = CountLeadingZeros64(x) - (64 - bits);
+  return lz + 1;
+}
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_COMMON_BITUTIL_H_

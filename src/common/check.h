@@ -1,0 +1,48 @@
+#ifndef STREAMLIB_COMMON_CHECK_H_
+#define STREAMLIB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// Precondition / invariant checking macros.
+///
+/// streamlib does not use exceptions. Violated preconditions are programming
+/// errors and abort the process with a diagnostic; recoverable failures are
+/// reported through `Status` / `Result<T>` (see status.h).
+
+/// Aborts the process with a diagnostic if `condition` is false. Always
+/// enabled (including release builds): the cost is a predictable branch, and
+/// the streaming structures in this library are cheap enough that correctness
+/// checks dominate debugging time, not CPU time.
+#define STREAMLIB_CHECK(condition)                                          \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "STREAMLIB_CHECK failed: %s at %s:%d\n",         \
+                   #condition, __FILE__, __LINE__);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Like STREAMLIB_CHECK but with a custom printf-style message.
+#define STREAMLIB_CHECK_MSG(condition, ...)                                 \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "STREAMLIB_CHECK failed: %s at %s:%d: ",         \
+                   #condition, __FILE__, __LINE__);                         \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define STREAMLIB_DCHECK(condition) \
+  do {                              \
+  } while (0)
+#else
+#define STREAMLIB_DCHECK(condition) STREAMLIB_CHECK(condition)
+#endif
+
+#endif  // STREAMLIB_COMMON_CHECK_H_

@@ -1,0 +1,81 @@
+#ifndef STREAMLIB_COMMON_HASH_H_
+#define STREAMLIB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace streamlib {
+
+/// \file hash.h
+/// Hash functions used by every sketch in the library.
+///
+/// All sketches hash their input once to a 64-bit (or 128-bit) value and then
+/// derive whatever index/fingerprint bits they need. Two independent families
+/// are provided:
+///   * MurmurHash3 x64 (the de-facto standard for sketch libraries such as
+///     DataSketches and stream-lib, which the paper cites), and
+///   * a 64-bit finalizer-based hash (SplitMix64 finalizer) for integer keys
+///     on hot paths.
+/// Seeds make the families usable as pairwise-independent-ish hash function
+/// collections for Count-Min / Count-Sketch style structures.
+
+/// 128-bit hash output.
+struct Hash128 {
+  uint64_t low;
+  uint64_t high;
+};
+
+/// MurmurHash3 x64 128-bit over an arbitrary byte buffer.
+Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed);
+
+/// MurmurHash3 x64, truncated to the low 64 bits.
+inline uint64_t Murmur3_64(const void* data, size_t len, uint64_t seed) {
+  return Murmur3_128(data, len, seed).low;
+}
+
+/// Strong 64-bit mix of a 64-bit key (SplitMix64 / Murmur3 fmix64 finalizer).
+/// Bijective for seed-free use; seeded variant XORs the seed in first.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Seeded 64-bit integer hash.
+inline uint64_t HashInt64(uint64_t x, uint64_t seed = 0) {
+  return Mix64(x + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// Hashes an arbitrary trivially-copyable value or a string-like value to a
+/// seeded 64-bit digest. This is the single entry point sketches use, so that
+/// every sketch accepts the same key types.
+template <typename T>
+inline uint64_t HashValue(const T& value, uint64_t seed = 0) {
+  if constexpr (std::is_convertible_v<const T&, std::string_view>) {
+    std::string_view sv(value);
+    return Murmur3_64(sv.data(), sv.size(), seed);
+  } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+    return HashInt64(static_cast<uint64_t>(value), seed);
+  } else {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "HashValue requires string-like or trivially copyable T");
+    return Murmur3_64(&value, sizeof(T), seed);
+  }
+}
+
+/// Kirsch–Mitzenmacher double hashing: derives the i-th hash from two base
+/// hashes, g_i(x) = h1 + i * h2. Used by the Bloom-filter family; the paper
+/// cites Kirsch & Mitzenmacher ("Less hashing, same performance").
+inline uint64_t DoubleHash(uint64_t h1, uint64_t h2, uint32_t i) {
+  return h1 + static_cast<uint64_t>(i) * h2;
+}
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_COMMON_HASH_H_

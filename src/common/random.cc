@@ -1,0 +1,5 @@
+#include "common/random.h"
+
+// Rng is header-only; this translation unit exists so the common library has
+// a home for future out-of-line randomness helpers and to keep one .cc per
+// header as a rule.

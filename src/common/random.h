@@ -1,0 +1,112 @@
+#ifndef STREAMLIB_COMMON_RANDOM_H_
+#define STREAMLIB_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**). Every
+/// randomized structure in streamlib takes an explicit seed and owns one of
+/// these, so runs are exactly reproducible. Satisfies the C++
+/// UniformRandomBitGenerator requirements so it plugs into <random>
+/// distributions if callers want them.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; different seeds give independent-looking streams
+  /// (SplitMix64 expansion of the seed, per the xoshiro authors' guidance).
+  explicit Rng(uint64_t seed = 0xdeadbeefcafef00dULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    // SplitMix64 to expand the 64-bit seed into 256 bits of state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; i++) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound) {
+    STREAMLIB_DCHECK(bound != 0);
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(Next()) *
+            static_cast<unsigned __int128>(bound);
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in (0, 1] — safe for log().
+  double NextDoublePositive() {
+    return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) draw.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller (polar form discarded spare).
+  double NextGaussian() {
+    // Marsaglia polar method.
+    double u;
+    double v;
+    double s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  /// Exponential with rate `lambda` (> 0).
+  double NextExponential(double lambda) {
+    STREAMLIB_DCHECK(lambda > 0);
+    return -std::log(NextDoublePositive()) / lambda;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_COMMON_RANDOM_H_

@@ -1,0 +1,3 @@
+#include "common/serde.h"
+
+// ByteWriter / ByteReader are header-only; see serde.h.

@@ -1,0 +1,137 @@
+#ifndef STREAMLIB_COMMON_STATUS_H_
+#define STREAMLIB_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// Machine-readable error category, modeled on the usual database-library
+/// status vocabulary (Arrow / RocksDB style).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"…).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. streamlib never throws; fallible
+/// operations (deserialization, merges of incompatible sketches, …) return
+/// `Status` or `Result<T>`.
+///
+/// The OK status carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder. On success holds a `T`; on failure holds the
+/// error `Status`. Accessing the value of an error result aborts.
+/// T need not be default-constructible.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: lets functions `return value;`.
+  Result(T value) : status_(), value_(std::move(value)) {}
+
+  /// Implicit from error status: lets functions `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {
+    STREAMLIB_CHECK_MSG(!status_.ok(),
+                        "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    STREAMLIB_CHECK_MSG(ok(), "Result::value() on error: %s",
+                        status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    STREAMLIB_CHECK_MSG(ok(), "Result::value() on error: %s",
+                        status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    STREAMLIB_CHECK_MSG(ok(), "Result::value() on error: %s",
+                        status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status out of the current function.
+#define STREAMLIB_RETURN_NOT_OK(expr)            \
+  do {                                           \
+    ::streamlib::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef STREAMLIB_COMMON_TIMER_H_
+#define STREAMLIB_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace streamlib {
+
+/// Monotonic wall-clock stopwatch for the bench harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_COMMON_TIMER_H_

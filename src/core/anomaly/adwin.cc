@@ -1,0 +1,115 @@
+#include "core/anomaly/adwin.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+AdwinDetector::AdwinDetector(double delta, uint32_t max_buckets_per_row)
+    : delta_(delta), max_per_row_(max_buckets_per_row) {
+  STREAMLIB_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  STREAMLIB_CHECK_MSG(max_buckets_per_row >= 2, "need >= 2 buckets per row");
+}
+
+double AdwinDetector::Mean() const {
+  return total_count_ == 0 ? 0.0
+                           : total_sum_ / static_cast<double>(total_count_);
+}
+
+bool AdwinDetector::AddAndDetect(double value) {
+  buckets_.push_front(Bucket{value, 0.0, 1});
+  total_sum_ += value;
+  total_count_ += 1;
+  Compress();
+  return DetectAndShrink();
+}
+
+void AdwinDetector::Compress() {
+  // Merge the two oldest buckets of any row exceeding max_per_row_.
+  // Rows are contiguous runs of equal count, newest first.
+  size_t row_start = 0;
+  while (row_start < buckets_.size()) {
+    const uint64_t row_count = buckets_[row_start].count;
+    size_t row_end = row_start;
+    while (row_end < buckets_.size() && buckets_[row_end].count == row_count) {
+      row_end++;
+    }
+    const size_t row_size = row_end - row_start;
+    if (row_size <= max_per_row_) {
+      row_start = row_end;
+      continue;
+    }
+    // Merge the two oldest buckets of this row (indices row_end-2, row_end-1)
+    // into one bucket of the next row; Chan's parallel variance combine.
+    Bucket& a = buckets_[row_end - 2];
+    Bucket& b = buckets_[row_end - 1];
+    const double na = static_cast<double>(a.count);
+    const double nb = static_cast<double>(b.count);
+    const double delta_mean = b.sum / nb - a.sum / na;
+    Bucket merged;
+    merged.count = a.count + b.count;
+    merged.sum = a.sum + b.sum;
+    merged.variance_sum = a.variance_sum + b.variance_sum +
+                          delta_mean * delta_mean * na * nb / (na + nb);
+    buckets_[row_end - 2] = merged;
+    buckets_.erase(buckets_.begin() + static_cast<long>(row_end) - 1);
+    // The merged bucket joined the next row; continue scanning from it.
+    row_start = row_end - 1;
+  }
+}
+
+bool AdwinDetector::DetectAndShrink() {
+  if (total_count_ < 4) return false;
+  bool change = false;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    // Scan cuts from oldest to newest: W0 = suffix (old), W1 = prefix (new).
+    double sum0 = 0.0;
+    uint64_t n0 = 0;
+    const double total_mean = Mean();
+    // Window variance for the normal-regime bound.
+    double variance_sum = 0.0;
+    for (const Bucket& b : buckets_) {
+      const double mean_b = b.sum / static_cast<double>(b.count);
+      variance_sum += b.variance_sum +
+                      static_cast<double>(b.count) * (mean_b - total_mean) *
+                          (mean_b - total_mean);
+    }
+    const double variance =
+        variance_sum / static_cast<double>(total_count_);
+
+    for (size_t i = buckets_.size(); i-- > 1;) {
+      sum0 += buckets_[i].sum;
+      n0 += buckets_[i].count;
+      const uint64_t n1 = total_count_ - n0;
+      if (n0 < 2 || n1 < 2) continue;
+      const double mean0 = sum0 / static_cast<double>(n0);
+      const double mean1 =
+          (total_sum_ - sum0) / static_cast<double>(n1);
+      // ADWIN2 bound: eps = sqrt(2/m * V * ln(2/d')) + 2/(3m) * ln(2/d'),
+      // m = harmonic mean of n0, n1; d' = delta / ln(n).
+      const double m =
+          1.0 / (1.0 / static_cast<double>(n0) + 1.0 / static_cast<double>(n1));
+      const double dprime =
+          delta_ / std::log(static_cast<double>(total_count_));
+      const double ln_term = std::log(2.0 / dprime);
+      const double eps = std::sqrt(2.0 / m * variance * ln_term) +
+                         2.0 / (3.0 * m) * ln_term;
+      if (std::fabs(mean0 - mean1) > eps) {
+        // Drop the oldest bucket and re-scan.
+        const Bucket& oldest = buckets_.back();
+        total_sum_ -= oldest.sum;
+        total_count_ -= oldest.count;
+        buckets_.pop_back();
+        change = true;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return change;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,23 @@
+#ifndef STREAMLIB_CORE_ANOMALY_DETECTORS_H_
+#define STREAMLIB_CORE_ANOMALY_DETECTORS_H_
+
+#include <cstdint>
+
+namespace streamlib {
+
+/// Common interface of the streaming anomaly detectors, so the bench can
+/// drive every detector through the same precision/recall harness.
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Consumes the next observation; returns true if it is flagged anomalous.
+  virtual bool AddAndDetect(double value) = 0;
+
+  /// Human-readable detector name for reports.
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_ANOMALY_DETECTORS_H_

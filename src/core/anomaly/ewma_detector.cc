@@ -1,0 +1,75 @@
+#include "core/anomaly/ewma_detector.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+EwmaDetector::EwmaDetector(double alpha, double threshold_sigmas,
+                           uint64_t warmup)
+    : alpha_(alpha), threshold_(threshold_sigmas), warmup_(warmup) {
+  STREAMLIB_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  STREAMLIB_CHECK_MSG(threshold_sigmas > 0.0, "threshold must be positive");
+}
+
+double EwmaDetector::Sigma() const { return std::sqrt(variance_); }
+
+bool EwmaDetector::AddAndDetect(double value) {
+  count_++;
+  if (count_ == 1) {
+    mean_ = value;
+    variance_ = 0.0;
+    return false;
+  }
+  const double deviation = value - mean_;
+  const double sigma = Sigma();
+  const bool anomalous =
+      count_ > warmup_ && sigma > 0.0 &&
+      std::fabs(deviation) > threshold_ * sigma;
+  // Anomalous points do not update the baseline (standard robustification:
+  // a spike must not poison the mean it is judged against).
+  if (!anomalous) {
+    mean_ += alpha_ * deviation;
+    variance_ = (1.0 - alpha_) * (variance_ + alpha_ * deviation * deviation);
+  }
+  return anomalous;
+}
+
+CusumDetector::CusumDetector(double drift, double threshold, uint64_t warmup)
+    : drift_(drift), threshold_(threshold), warmup_(warmup) {
+  STREAMLIB_CHECK_MSG(drift >= 0.0, "drift must be nonnegative");
+  STREAMLIB_CHECK_MSG(threshold > 0.0, "threshold must be positive");
+  STREAMLIB_CHECK_MSG(warmup >= 2, "warmup must be >= 2");
+}
+
+bool CusumDetector::AddAndDetect(double value) {
+  count_++;
+  if (count_ <= warmup_) {
+    // Welford baseline accumulation.
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    if (count_ == warmup_) {
+      sigma_ = std::sqrt(m2_ / static_cast<double>(warmup_ - 1));
+      if (sigma_ <= 0.0) sigma_ = 1e-9;
+    }
+    return false;
+  }
+  const double z = (value - mean_) / sigma_;
+  pos_ = std::max(0.0, pos_ + z - drift_);
+  neg_ = std::max(0.0, neg_ - z - drift_);
+  if (pos_ > threshold_ || neg_ > threshold_) {
+    // Alarm: reset accumulators and re-learn the baseline from scratch so
+    // repeated alarms are not raised for the same (now persistent) level.
+    pos_ = 0.0;
+    neg_ = 0.0;
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,70 @@
+#ifndef STREAMLIB_CORE_ANOMALY_EWMA_DETECTOR_H_
+#define STREAMLIB_CORE_ANOMALY_EWMA_DETECTOR_H_
+
+#include <cstdint>
+
+#include "core/anomaly/detectors.h"
+
+namespace streamlib {
+
+/// EWMA control chart: exponentially weighted moving estimates of mean and
+/// variance; a point is anomalous when its deviation from the EWMA mean
+/// exceeds `threshold_sigmas` EWMA standard deviations. O(1) state — the
+/// baseline online detector for the sensor-stream application in Table 1.
+class EwmaDetector : public AnomalyDetector {
+ public:
+  /// \param alpha             smoothing factor in (0, 1]; smaller = smoother.
+  /// \param threshold_sigmas  flag when |x - mean| > this many sigmas.
+  /// \param warmup            observations consumed before flagging starts.
+  EwmaDetector(double alpha, double threshold_sigmas, uint64_t warmup = 30);
+
+  bool AddAndDetect(double value) override;
+  const char* Name() const override { return "ewma"; }
+
+  double mean() const { return mean_; }
+  double Sigma() const;
+
+ private:
+  double alpha_;
+  double threshold_;
+  uint64_t warmup_;
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+/// CUSUM (cumulative sum) change detector: accumulates one-sided deviations
+/// beyond a slack `drift`; fires when either accumulator exceeds
+/// `threshold`. Detects small persistent shifts (level changes) that
+/// point-wise detectors miss — complementary to EwmaDetector, as the anomaly
+/// bench shows on level-shift workloads.
+class CusumDetector : public AnomalyDetector {
+ public:
+  /// \param drift      slack per step in sigmas (insensitivity to noise).
+  /// \param threshold  alarm level in sigmas.
+  /// \param warmup     observations used to learn the baseline mean/sigma.
+  CusumDetector(double drift, double threshold, uint64_t warmup = 100);
+
+  bool AddAndDetect(double value) override;
+  const char* Name() const override { return "cusum"; }
+
+  double PositiveSum() const { return pos_; }
+  double NegativeSum() const { return neg_; }
+
+ private:
+  double drift_;
+  double threshold_;
+  uint64_t warmup_;
+  uint64_t count_ = 0;
+  // Baseline statistics learned during warmup (then frozen; CUSUM resets
+  // re-learn after each alarm).
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sigma_ = 1.0;
+  double pos_ = 0.0;
+  double neg_ = 0.0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_ANOMALY_EWMA_DETECTOR_H_

@@ -1,0 +1,160 @@
+#include "core/anomaly/half_space_trees.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+HalfSpaceTrees::HalfSpaceTrees(uint32_t num_trees, uint32_t depth,
+                               uint32_t window_size, uint32_t dimensions,
+                               uint64_t seed)
+    : depth_(depth), window_size_(window_size), dimensions_(dimensions) {
+  STREAMLIB_CHECK_MSG(num_trees >= 1, "need at least one tree");
+  STREAMLIB_CHECK_MSG(depth >= 1 && depth <= 20, "depth must be in [1, 20]");
+  STREAMLIB_CHECK_MSG(window_size >= 1, "window_size must be >= 1");
+  STREAMLIB_CHECK_MSG(dimensions >= 1, "dimensions must be >= 1");
+  Rng rng(seed);
+  trees_.resize(num_trees);
+  for (Tree& tree : trees_) BuildTree(&tree, &rng);
+}
+
+void HalfSpaceTrees::BuildTree(Tree* tree, Rng* rng) {
+  // Randomly perturbed workspace per the paper: for each dimension draw
+  // s ~ U(0,1); the workspace is [s - 2*max(s, 1-s), s + 2*max(s, 1-s)],
+  // which always covers [0,1] but randomizes the split structure.
+  tree->workspace_min.resize(dimensions_);
+  tree->workspace_max.resize(dimensions_);
+  for (uint32_t d = 0; d < dimensions_; d++) {
+    const double s = rng->NextDouble();
+    const double span = 2.0 * std::max(s, 1.0 - s);
+    tree->workspace_min[d] = s - span;
+    tree->workspace_max[d] = s + span;
+  }
+  tree->nodes.assign((size_t{1} << (depth_ + 1)) - 1, Node{});
+  std::vector<double> mins = tree->workspace_min;
+  std::vector<double> maxs = tree->workspace_max;
+  BuildNode(tree, 0, &mins, &maxs, 0, rng);
+}
+
+void HalfSpaceTrees::BuildNode(Tree* tree, size_t index,
+                               std::vector<double>* mins,
+                               std::vector<double>* maxs, uint32_t depth,
+                               Rng* rng) {
+  if (depth == depth_) return;  // Leaf.
+  Node& node = tree->nodes[index];
+  node.split_dimension =
+      static_cast<uint32_t>(rng->NextBounded(dimensions_));
+  const uint32_t d = node.split_dimension;
+  node.split_value = ((*mins)[d] + (*maxs)[d]) / 2.0;
+
+  const double saved_max = (*maxs)[d];
+  (*maxs)[d] = node.split_value;
+  BuildNode(tree, 2 * index + 1, mins, maxs, depth + 1, rng);
+  (*maxs)[d] = saved_max;
+
+  const double saved_min = (*mins)[d];
+  (*mins)[d] = node.split_value;
+  BuildNode(tree, 2 * index + 2, mins, maxs, depth + 1, rng);
+  (*mins)[d] = saved_min;
+}
+
+double HalfSpaceTrees::Score(const std::vector<double>& point) const {
+  STREAMLIB_CHECK_MSG(point.size() == dimensions_, "dimension mismatch");
+  double score = 0.0;
+  for (const Tree& tree : trees_) {
+    size_t index = 0;
+    for (uint32_t depth = 0; depth < depth_; depth++) {
+      const Node& node = tree.nodes[index];
+      const uint64_t mass = node.mass_reference;
+      // Early termination on sparse nodes (paper's sizeLimit optimization
+      // folded into scoring): a region this empty scores by what it has.
+      if (mass <= 1) {
+        score += static_cast<double>(mass) * std::ldexp(1.0, depth);
+        break;
+      }
+      if (depth + 1 == depth_) {
+        score += static_cast<double>(mass) * std::ldexp(1.0, depth);
+        break;
+      }
+      index = point[node.split_dimension] < node.split_value
+                  ? 2 * index + 1
+                  : 2 * index + 2;
+    }
+  }
+  return score;
+}
+
+double HalfSpaceTrees::ScoreAndUpdate(const std::vector<double>& point) {
+  const double score = Score(point);
+  // Record mass along each tree path in the latest window.
+  for (Tree& tree : trees_) {
+    size_t index = 0;
+    for (uint32_t depth = 0; depth <= depth_; depth++) {
+      tree.nodes[index].mass_latest++;
+      if (depth == depth_) break;
+      const Node& node = tree.nodes[index];
+      index = point[node.split_dimension] < node.split_value
+                  ? 2 * index + 1
+                  : 2 * index + 2;
+    }
+  }
+  count_++;
+  in_window_++;
+  if (in_window_ >= window_size_) {
+    in_window_ = 0;
+    for (Tree& tree : trees_) {
+      for (Node& node : tree.nodes) {
+        node.mass_reference = node.mass_latest;
+        node.mass_latest = 0;
+      }
+    }
+  }
+  return score;
+}
+
+HstDetector::HstDetector(uint32_t num_trees, uint32_t depth,
+                         uint32_t window_size, uint32_t dimensions,
+                         double ratio, uint64_t seed)
+    : trees_(num_trees, depth, window_size, dimensions, seed),
+      dimensions_(dimensions),
+      ratio_(ratio) {
+  STREAMLIB_CHECK_MSG(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1)");
+}
+
+bool HstDetector::AddAndDetect(double value) {
+  count_++;
+  if (count_ == 1) {
+    running_min_ = value;
+    running_max_ = value;
+  } else {
+    running_min_ = std::min(running_min_, value);
+    running_max_ = std::max(running_max_, value);
+  }
+  const double span = std::max(running_max_ - running_min_, 1e-12);
+  const double normalized =
+      std::clamp((value - running_min_) / span, 0.0, 1.0);
+  shingle_.push_back(normalized);
+  if (shingle_.size() > dimensions_) {
+    shingle_.erase(shingle_.begin());
+  }
+  if (shingle_.size() < dimensions_) return false;
+
+  last_score_ = trees_.ScoreAndUpdate(shingle_);
+  // Warm-up: two full windows before trusting the reference mass.
+  const uint64_t warmup = 2ULL * 250ULL;
+  if (count_ < warmup) {
+    score_ewma_ = score_ewma_ == 0.0
+                      ? last_score_
+                      : 0.98 * score_ewma_ + 0.02 * last_score_;
+    return false;
+  }
+  const bool anomalous = last_score_ < ratio_ * score_ewma_;
+  if (!anomalous) {
+    score_ewma_ = 0.98 * score_ewma_ + 0.02 * last_score_;
+  }
+  return anomalous;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,97 @@
+#ifndef STREAMLIB_CORE_ANOMALY_HALF_SPACE_TREES_H_
+#define STREAMLIB_CORE_ANOMALY_HALF_SPACE_TREES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/anomaly/detectors.h"
+
+namespace streamlib {
+
+/// Streaming Half-Space Trees (Tan, Ting & Liu, IJCAI 2011, cited as [153]):
+/// an ensemble of random binary space-partitioning trees over [0,1]^d.
+/// Each node halves a random dimension of a randomly perturbed workspace;
+/// leaves record *mass* (point counts) over a reference window. A point's
+/// anomaly score is the mass of the nodes it falls into (weighted 2^depth):
+/// low mass = sparsely populated region = anomalous. Mass profiles come from
+/// the previous window while the current window fills — the one-pass,
+/// constant-memory design that makes HS-Trees "fast anomaly detection for
+/// streaming data".
+class HalfSpaceTrees {
+ public:
+  /// \param num_trees    ensemble size t (paper default 25).
+  /// \param depth        tree depth h (paper default 15; memory is 2^h nodes
+  ///                     per tree, so keep h moderate).
+  /// \param window_size  points per mass window psi (paper default 250).
+  /// \param dimensions   input dimensionality d.
+  /// \param seed         RNG seed for workspace/split randomization.
+  HalfSpaceTrees(uint32_t num_trees, uint32_t depth, uint32_t window_size,
+                 uint32_t dimensions, uint64_t seed);
+
+  /// Scores `point` (each coordinate in [0,1]) against the reference mass,
+  /// then records it in the current window. Higher score = more normal.
+  double ScoreAndUpdate(const std::vector<double>& point);
+
+  /// Score only (no update) — for inspecting without perturbing the model.
+  double Score(const std::vector<double>& point) const;
+
+  uint64_t count() const { return count_; }
+  uint32_t num_trees() const { return static_cast<uint32_t>(trees_.size()); }
+
+ private:
+  struct Node {
+    uint32_t split_dimension = 0;
+    double split_value = 0.0;
+    uint64_t mass_reference = 0;
+    uint64_t mass_latest = 0;
+  };
+
+  struct Tree {
+    // Perfect binary tree in heap layout: node i has children 2i+1, 2i+2.
+    std::vector<Node> nodes;
+    std::vector<double> workspace_min;
+    std::vector<double> workspace_max;
+  };
+
+  void BuildTree(Tree* tree, Rng* rng);
+  void BuildNode(Tree* tree, size_t index, std::vector<double>* mins,
+                 std::vector<double>* maxs, uint32_t depth, Rng* rng);
+
+  uint32_t depth_;
+  uint32_t window_size_;
+  uint32_t dimensions_;
+  std::vector<Tree> trees_;
+  uint64_t count_ = 0;
+  uint64_t in_window_ = 0;
+};
+
+/// Univariate adaptor: shingles the last `dimensions` observations into a
+/// point (normalized by running min/max), scores with HalfSpaceTrees, and
+/// flags observations whose score falls below `ratio` times the EWMA of
+/// recent scores.
+class HstDetector : public AnomalyDetector {
+ public:
+  HstDetector(uint32_t num_trees, uint32_t depth, uint32_t window_size,
+              uint32_t dimensions, double ratio, uint64_t seed);
+
+  bool AddAndDetect(double value) override;
+  const char* Name() const override { return "half-space-trees"; }
+
+  double last_score() const { return last_score_; }
+
+ private:
+  HalfSpaceTrees trees_;
+  uint32_t dimensions_;
+  double ratio_;
+  std::vector<double> shingle_;
+  double running_min_ = 0.0;
+  double running_max_ = 0.0;
+  double score_ewma_ = 0.0;
+  double last_score_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_ANOMALY_HALF_SPACE_TREES_H_

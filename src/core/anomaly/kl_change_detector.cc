@@ -1,0 +1,131 @@
+#include "core/anomaly/kl_change_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+KlChangeDetector::KlChangeDetector(size_t window_size, size_t num_bins,
+                                   double significance, uint64_t seed)
+    : window_size_(window_size),
+      num_bins_(num_bins),
+      significance_(significance),
+      rng_(seed) {
+  STREAMLIB_CHECK_MSG(window_size >= 50, "window must be >= 50");
+  STREAMLIB_CHECK_MSG(num_bins >= 2, "need at least 2 bins");
+  STREAMLIB_CHECK_MSG(significance > 0.0 && significance < 0.5,
+                      "significance in (0, 0.5)");
+}
+
+std::vector<double> KlChangeDetector::BinEdges() const {
+  // Equi-width bins spanning the reference window's range, padded so the
+  // current window's excursions land in the edge bins rather than outside.
+  double lo = reference_.front();
+  double hi = reference_.front();
+  for (double v : reference_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double pad = (hi - lo + 1e-12) * 0.1;
+  lo -= pad;
+  hi += pad;
+  std::vector<double> edges(num_bins_ + 1);
+  for (size_t b = 0; b <= num_bins_; b++) {
+    edges[b] = lo + (hi - lo) * static_cast<double>(b) /
+                        static_cast<double>(num_bins_);
+  }
+  return edges;
+}
+
+std::vector<double> KlChangeDetector::HistogramOf(
+    const std::deque<double>& window, const std::vector<double>& edges) const {
+  // Laplace-smoothed relative frequencies (KL needs q > 0 everywhere).
+  std::vector<double> counts(num_bins_, 1.0);
+  for (double v : window) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    size_t bin = it == edges.begin()
+                     ? 0
+                     : static_cast<size_t>(it - edges.begin()) - 1;
+    if (bin >= num_bins_) bin = num_bins_ - 1;
+    counts[bin] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  for (double& c : counts) c /= total;
+  return counts;
+}
+
+double KlChangeDetector::KlDivergence(const std::vector<double>& p,
+                                      const std::vector<double>& q) {
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); i++) {
+    if (p[i] > 0.0) kl += p[i] * std::log(p[i] / q[i]);
+  }
+  return kl;
+}
+
+void KlChangeDetector::Rebaseline() {
+  reference_ = current_;
+  current_.clear();
+  // Bootstrap the alarm threshold: at detection time BOTH windows are
+  // independent samples of the underlying distribution, so the null
+  // distribution of the statistic is the divergence between two
+  // *independent* resamples of the reference (resampling only one side
+  // would systematically underestimate the noise and double the false
+  // alarms).
+  const std::vector<double> edges = BinEdges();
+  const int kResamples = 200;
+  std::vector<double> divergences;
+  divergences.reserve(kResamples);
+  std::deque<double> resample_p;
+  std::deque<double> resample_q;
+  for (int r = 0; r < kResamples; r++) {
+    resample_p.clear();
+    resample_q.clear();
+    for (size_t i = 0; i < window_size_; i++) {
+      resample_p.push_back(reference_[rng_.NextBounded(reference_.size())]);
+      resample_q.push_back(reference_[rng_.NextBounded(reference_.size())]);
+    }
+    divergences.push_back(KlDivergence(HistogramOf(resample_p, edges),
+                                       HistogramOf(resample_q, edges)));
+  }
+  std::sort(divergences.begin(), divergences.end());
+  const size_t idx = std::min<size_t>(
+      divergences.size() - 1,
+      static_cast<size_t>((1.0 - significance_) * divergences.size()));
+  threshold_ = divergences[idx];
+}
+
+bool KlChangeDetector::AddAndDetect(double value) {
+  if (reference_.size() < window_size_) {
+    reference_.push_back(value);
+    if (reference_.size() == window_size_) {
+      // Initial threshold calibration.
+      current_ = reference_;
+      Rebaseline();
+      current_.clear();
+    }
+    return false;
+  }
+  current_.push_back(value);
+  if (current_.size() > window_size_) current_.pop_front();
+  if (current_.size() < window_size_) return false;
+
+  // Check periodically (every window_size/8 points), not per point — the
+  // divergence moves slowly and the histogram pass is O(window).
+  if (++since_check_ < window_size_ / 8) return false;
+  since_check_ = 0;
+
+  const std::vector<double> edges = BinEdges();
+  last_divergence_ = KlDivergence(HistogramOf(current_, edges),
+                                  HistogramOf(reference_, edges));
+  if (last_divergence_ > threshold_) {
+    Rebaseline();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,65 @@
+#include "core/anomaly/robust_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+namespace {
+
+// Consistency constant: MAD * 1.4826 estimates sigma for gaussian data.
+constexpr double kMadToSigma = 1.4826;
+
+double MedianOf(std::vector<double>* v) {
+  STREAMLIB_CHECK(!v->empty());
+  const size_t mid = v->size() / 2;
+  std::nth_element(v->begin(), v->begin() + mid, v->end());
+  double m = (*v)[mid];
+  if (v->size() % 2 == 0) {
+    // Lower-mid is the max of the left partition.
+    const double lower = *std::max_element(v->begin(), v->begin() + mid);
+    m = (m + lower) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace
+
+RobustMadDetector::RobustMadDetector(size_t window, double threshold)
+    : window_(window), threshold_(threshold) {
+  STREAMLIB_CHECK_MSG(window >= 5, "window must be >= 5");
+  STREAMLIB_CHECK_MSG(threshold > 0.0, "threshold must be positive");
+}
+
+double RobustMadDetector::Median() const {
+  scratch_.assign(values_.begin(), values_.end());
+  return MedianOf(&scratch_);
+}
+
+double RobustMadDetector::MadSigma() const {
+  const double median = Median();
+  scratch_.assign(values_.begin(), values_.end());
+  for (double& x : scratch_) x = std::fabs(x - median);
+  return MedianOf(&scratch_) * kMadToSigma;
+}
+
+bool RobustMadDetector::AddAndDetect(double value) {
+  bool anomalous = false;
+  if (values_.size() >= window_ / 2) {
+    const double median = Median();
+    const double sigma = MadSigma();
+    if (sigma > 0.0 &&
+        std::fabs(value - median) > threshold_ * sigma) {
+      anomalous = true;
+    }
+  }
+  // Anomalous points are excluded from the baseline window.
+  if (!anomalous) {
+    values_.push_back(value);
+    if (values_.size() > window_) values_.pop_front();
+  }
+  return anomalous;
+}
+
+}  // namespace streamlib

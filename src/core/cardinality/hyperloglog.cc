@@ -1,0 +1,136 @@
+#include "core/cardinality/hyperloglog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "common/serde.h"
+
+namespace streamlib {
+
+HyperLogLog::HyperLogLog(int precision, bool sparse)
+    : precision_(precision), sparse_(sparse) {
+  STREAMLIB_CHECK_MSG(precision >= 4 && precision <= 18,
+                      "precision must be in [4, 18]");
+  if (!sparse_) registers_.assign(size_t{1} << precision_, 0);
+}
+
+double HyperLogLog::Alpha(uint32_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  if (sparse_) {
+    // Exact hash set while small: sorted insert with dedup.
+    auto it = std::lower_bound(sparse_hashes_.begin(), sparse_hashes_.end(),
+                               hash);
+    if (it == sparse_hashes_.end() || *it != hash) {
+      sparse_hashes_.insert(it, hash);
+    }
+    if (sparse_hashes_.size() > SparseLimit()) Densify();
+    return;
+  }
+  AddHashDense(hash);
+}
+
+void HyperLogLog::AddHashDense(uint64_t hash) {
+  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
+  // The remaining 64-p low bits, kept low-aligned for RankOfLeadingOne.
+  const uint64_t remaining = (hash << precision_) >> precision_;
+  const uint8_t rank =
+      static_cast<uint8_t>(RankOfLeadingOne(remaining, 64 - precision_));
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+void HyperLogLog::Densify() {
+  registers_.assign(size_t{1} << precision_, 0);
+  sparse_ = false;
+  for (uint64_t h : sparse_hashes_) AddHashDense(h);
+  sparse_hashes_.clear();
+  sparse_hashes_.shrink_to_fit();
+}
+
+double HyperLogLog::Estimate() const {
+  if (sparse_) {
+    // The sparse set is exact up to 64-bit hash collisions (negligible).
+    return static_cast<double>(sparse_hashes_.size());
+  }
+  return EstimateDense();
+}
+
+double HyperLogLog::EstimateDense() const {
+  const uint32_t m = num_registers();
+  double inverse_sum = 0.0;
+  uint32_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) zeros++;
+  }
+  const double md = static_cast<double>(m);
+  const double raw = Alpha(m) * md * md / inverse_sum;
+  // Small-range correction: linear counting while any register is empty and
+  // the raw estimate is below the 2.5m threshold from the HLL paper.
+  if (raw <= 2.5 * md && zeros > 0) {
+    return md * std::log(md / static_cast<double>(zeros));
+  }
+  // 64-bit hashing: no large-range correction required (HLL++ observation).
+  return raw;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("HLL merge: precision mismatch");
+  }
+  if (other.sparse_) {
+    for (uint64_t h : other.sparse_hashes_) AddHash(h);
+    return Status::OK();
+  }
+  if (sparse_) Densify();
+  for (size_t i = 0; i < registers_.size(); i++) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::OK();
+}
+
+size_t HyperLogLog::MemoryBytes() const {
+  if (sparse_) return sparse_hashes_.size() * sizeof(uint64_t);
+  return registers_.size();
+}
+
+std::vector<uint8_t> HyperLogLog::Serialize() const {
+  HyperLogLog dense = *this;
+  if (dense.sparse_) dense.Densify();
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(dense.precision_));
+  w.PutBytes(dense.registers_.data(), dense.registers_.size());
+  return w.TakeBytes();
+}
+
+Result<HyperLogLog> HyperLogLog::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint8_t precision;
+  STREAMLIB_RETURN_NOT_OK(r.GetU8(&precision));
+  if (precision < 4 || precision > 18) {
+    return Status::Corruption("HLL: precision out of range");
+  }
+  HyperLogLog hll(precision, /*sparse=*/false);
+  if (r.remaining() != hll.registers_.size()) {
+    return Status::Corruption("HLL: register payload size mismatch");
+  }
+  STREAMLIB_RETURN_NOT_OK(
+      r.GetBytes(hll.registers_.data(), hll.registers_.size()));
+  return hll;
+}
+
+}  // namespace streamlib

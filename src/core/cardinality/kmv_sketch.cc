@@ -1,0 +1,75 @@
+#include "core/cardinality/kmv_sketch.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamlib {
+namespace {
+
+// Maps a 64-bit hash to (0, 1].
+double ToUnit(uint64_t h) {
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace
+
+KmvSketch::KmvSketch(uint32_t k) : k_(k) {
+  STREAMLIB_CHECK_MSG(k >= 3, "k must be >= 3 for a meaningful estimate");
+}
+
+void KmvSketch::AddHash(uint64_t hash) {
+  if (minima_.size() < k_) {
+    minima_.insert(hash);
+    return;
+  }
+  auto last = std::prev(minima_.end());
+  if (hash < *last && minima_.find(hash) == minima_.end()) {
+    minima_.erase(last);
+    minima_.insert(hash);
+  }
+}
+
+double KmvSketch::Estimate() const {
+  if (minima_.size() < k_) {
+    return static_cast<double>(minima_.size());  // Exact below k.
+  }
+  const double kth = ToUnit(*std::prev(minima_.end()));
+  return (static_cast<double>(k_) - 1.0) / kth;
+}
+
+Status KmvSketch::Merge(const KmvSketch& other) {
+  if (other.k_ != k_) {
+    return Status::InvalidArgument("KMV merge: k mismatch");
+  }
+  for (uint64_t h : other.minima_) AddHash(h);
+  return Status::OK();
+}
+
+double KmvSketch::EstimateJaccard(const KmvSketch& a, const KmvSketch& b) {
+  STREAMLIB_CHECK_MSG(a.k_ == b.k_, "Jaccard requires equal k");
+  // k smallest hashes of the union.
+  std::vector<uint64_t> merged;
+  merged.reserve(a.minima_.size() + b.minima_.size());
+  std::set_union(a.minima_.begin(), a.minima_.end(), b.minima_.begin(),
+                 b.minima_.end(), std::back_inserter(merged));
+  const size_t k = std::min<size_t>(a.k_, merged.size());
+  if (k == 0) return 0.0;
+  // Fraction of the union's k minima present in both sketches.
+  size_t in_both = 0;
+  for (size_t i = 0; i < k; i++) {
+    const uint64_t h = merged[i];
+    if (a.minima_.count(h) != 0 && b.minima_.count(h) != 0) in_both++;
+  }
+  return static_cast<double>(in_both) / static_cast<double>(k);
+}
+
+double KmvSketch::EstimateIntersection(const KmvSketch& a,
+                                       const KmvSketch& b) {
+  KmvSketch u = a;
+  STREAMLIB_CHECK(u.Merge(b).ok());
+  return EstimateJaccard(a, b) * u.Estimate();
+}
+
+}  // namespace streamlib

@@ -1,0 +1,56 @@
+#ifndef STREAMLIB_CORE_CARDINALITY_KMV_SKETCH_H_
+#define STREAMLIB_CORE_CARDINALITY_KMV_SKETCH_H_
+
+#include <cstdint>
+#include <set>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace streamlib {
+
+/// K-Minimum-Values sketch (Bar-Yossef et al., cited as [46]; Giroire [92];
+/// the basis of "theta" sketches in DataSketches [141]). Keeps the k smallest
+/// distinct 64-bit hash values; the k-th smallest, mapped to (0,1], estimates
+/// distinct count as (k-1)/h_(k). Unlike HLL, KMV sketches compose under set
+/// *intersection* as well as union, enabling Jaccard estimates — the
+/// "audience overlap" query in the paper's site-analysis application.
+class KmvSketch {
+ public:
+  /// \param k  number of minima retained; stderr ~ 1/sqrt(k-2).
+  explicit KmvSketch(uint32_t k);
+
+  template <typename T>
+  void Add(const T& key) {
+    AddHash(HashValue(key, kHashSeed));
+  }
+
+  void AddHash(uint64_t hash);
+
+  /// Estimated distinct count. Exact while fewer than k distinct hashes.
+  double Estimate() const;
+
+  /// In-place union with a sketch of the same k.
+  Status Merge(const KmvSketch& other);
+
+  /// Estimated Jaccard similarity |A ∩ B| / |A ∪ B| of the two underlying
+  /// sets, via the k smallest values of the union.
+  static double EstimateJaccard(const KmvSketch& a, const KmvSketch& b);
+
+  /// Estimated intersection size: Jaccard * |A ∪ B|.
+  static double EstimateIntersection(const KmvSketch& a, const KmvSketch& b);
+
+  uint32_t k() const { return k_; }
+  size_t size() const { return minima_.size(); }
+  size_t MemoryBytes() const { return minima_.size() * sizeof(uint64_t); }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x6c62272e07bb0142ULL;
+
+  uint32_t k_;
+  std::set<uint64_t> minima_;  // The up-to-k smallest distinct hashes.
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CARDINALITY_KMV_SKETCH_H_

@@ -1,0 +1,38 @@
+#include "core/cardinality/linear_counter.h"
+
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace streamlib {
+
+LinearCounter::LinearCounter(uint64_t num_bits)
+    : num_bits_((num_bits + 63) / 64 * 64) {
+  STREAMLIB_CHECK_MSG(num_bits >= 64, "need at least 64 bits");
+  words_.assign(num_bits_ / 64, 0);
+}
+
+void LinearCounter::AddHash(uint64_t hash) {
+  const uint64_t bit = hash % num_bits_;
+  words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+}
+
+double LinearCounter::Estimate() const {
+  uint64_t set_bits = 0;
+  for (uint64_t w : words_) set_bits += PopCount64(w);
+  const uint64_t zero_bits = num_bits_ - set_bits;
+  const double m = static_cast<double>(num_bits_);
+  if (zero_bits == 0) return m * std::log(m);  // Saturated.
+  return m * std::log(m / static_cast<double>(zero_bits));
+}
+
+Status LinearCounter::Union(const LinearCounter& other) {
+  if (other.num_bits_ != num_bits_) {
+    return Status::InvalidArgument("LinearCounter union: size mismatch");
+  }
+  for (size_t i = 0; i < words_.size(); i++) words_[i] |= other.words_[i];
+  return Status::OK();
+}
+
+}  // namespace streamlib

@@ -1,0 +1,47 @@
+#ifndef STREAMLIB_CORE_CARDINALITY_LINEAR_COUNTER_H_
+#define STREAMLIB_CORE_CARDINALITY_LINEAR_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace streamlib {
+
+/// Linear (probabilistic) counting — Whang et al.; the small-range estimator
+/// HyperLogLog falls back to. A bitmap of m bits is populated by hashing;
+/// the estimate is m * ln(m / zero_bits). Accurate while the map is sparse
+/// (distinct count up to a small multiple of m); memory O(m) bits.
+class LinearCounter {
+ public:
+  /// \param num_bits  bitmap size (rounded up to a multiple of 64).
+  explicit LinearCounter(uint64_t num_bits);
+
+  template <typename T>
+  void Add(const T& key) {
+    AddHash(HashValue(key, kHashSeed));
+  }
+
+  void AddHash(uint64_t hash);
+
+  /// Estimated number of distinct keys. Returns num_bits * ln(num_bits) as a
+  /// saturation cap when every bit is set.
+  double Estimate() const;
+
+  /// In-place union with an identically sized counter.
+  Status Union(const LinearCounter& other);
+
+  uint64_t num_bits() const { return num_bits_; }
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x8badf00d8badf00dULL;
+
+  uint64_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CARDINALITY_LINEAR_COUNTER_H_

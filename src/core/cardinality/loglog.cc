@@ -1,0 +1,35 @@
+#include "core/cardinality/loglog.h"
+
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace streamlib {
+
+LogLogCounter::LogLogCounter(int precision) : precision_(precision) {
+  STREAMLIB_CHECK_MSG(precision >= 4 && precision <= 16,
+                      "precision must be in [4, 16]");
+  registers_.assign(size_t{1} << precision_, 0);
+}
+
+void LogLogCounter::AddHash(uint64_t hash) {
+  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
+  // The remaining 64-p low bits, kept low-aligned for RankOfLeadingOne.
+  const uint64_t remaining = (hash << precision_) >> precision_;
+  const uint8_t rank =
+      static_cast<uint8_t>(RankOfLeadingOne(remaining, 64 - precision_));
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+double LogLogCounter::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double rank_sum = 0.0;
+  for (uint8_t r : registers_) rank_sum += r;
+  // alpha_m -> Gamma(-1/m)^m-based constant; 0.39701 is the asymptotic value
+  // (Durand & Flajolet), accurate for m >= 64.
+  const double alpha = 0.39701;
+  return alpha * m * std::exp2(rank_sum / m);
+}
+
+}  // namespace streamlib

@@ -1,0 +1,51 @@
+#include "core/cardinality/pcsa.h"
+
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace streamlib {
+
+namespace {
+// Flajolet–Martin correction constant phi.
+constexpr double kPhi = 0.77351;
+}  // namespace
+
+PcsaCounter::PcsaCounter(uint32_t num_bitmaps) {
+  STREAMLIB_CHECK_MSG(num_bitmaps >= 2, "need at least 2 bitmaps");
+  bitmaps_.assign(NextPowerOfTwo(num_bitmaps), 0);
+}
+
+void PcsaCounter::AddHash(uint64_t hash) {
+  const uint64_t m = bitmaps_.size();
+  const uint64_t bucket = hash & (m - 1);
+  const uint64_t rest = hash >> Log2Floor(m);
+  // Rank = number of trailing zeros of the remaining bits (capped at 63).
+  int rank = CountTrailingZeros64(rest);
+  if (rank > 63) rank = 63;
+  bitmaps_[bucket] |= uint64_t{1} << rank;
+}
+
+double PcsaCounter::Estimate() const {
+  const double m = static_cast<double>(bitmaps_.size());
+  double rank_sum = 0.0;
+  for (uint64_t bitmap : bitmaps_) {
+    // R = position of the lowest 0 bit.
+    const uint64_t inverted = ~bitmap;
+    rank_sum += static_cast<double>(CountTrailingZeros64(inverted));
+  }
+  return m / kPhi * std::exp2(rank_sum / m);
+}
+
+Status PcsaCounter::Merge(const PcsaCounter& other) {
+  if (other.bitmaps_.size() != bitmaps_.size()) {
+    return Status::InvalidArgument("PCSA merge: bitmap count mismatch");
+  }
+  for (size_t i = 0; i < bitmaps_.size(); i++) {
+    bitmaps_[i] |= other.bitmaps_[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace streamlib

@@ -1,0 +1,50 @@
+#ifndef STREAMLIB_CORE_CARDINALITY_PCSA_H_
+#define STREAMLIB_CORE_CARDINALITY_PCSA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace streamlib {
+
+/// Probabilistic Counting with Stochastic Averaging — Flajolet & Martin,
+/// FOCS 1983 (cited as [86]; the ancestor of the whole LogLog/HyperLogLog
+/// line). Each of m bitmaps records which trailing-zero ranks have been
+/// seen among its hash partition; the estimate is m/phi * 2^(mean R) where
+/// R is each bitmap's lowest unset position and phi ~ 0.77351 is the FM
+/// magic constant. Standard error ~ 0.78/sqrt(m) — kept as the historical
+/// baseline the cardinality bench charts against LogLog and HLL.
+class PcsaCounter {
+ public:
+  /// \param num_bitmaps  m (rounded up to a power of two), 64 bits each.
+  explicit PcsaCounter(uint32_t num_bitmaps);
+
+  template <typename T>
+  void Add(const T& key) {
+    AddHash(HashValue(key, kHashSeed));
+  }
+
+  void AddHash(uint64_t hash);
+
+  /// Estimated distinct count.
+  double Estimate() const;
+
+  /// In-place union (bitwise OR of bitmaps).
+  Status Merge(const PcsaCounter& other);
+
+  uint32_t num_bitmaps() const {
+    return static_cast<uint32_t>(bitmaps_.size());
+  }
+  size_t MemoryBytes() const { return bitmaps_.size() * sizeof(uint64_t); }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x7fe5f0cc10b0a482ULL;
+
+  std::vector<uint64_t> bitmaps_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CARDINALITY_PCSA_H_

@@ -1,0 +1,85 @@
+#include "core/cardinality/sliding_hyperloglog.h"
+
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace streamlib {
+
+SlidingHyperLogLog::SlidingHyperLogLog(int precision, uint64_t max_window)
+    : precision_(precision), max_window_(max_window) {
+  STREAMLIB_CHECK_MSG(precision >= 4 && precision <= 16,
+                      "precision must be in [4, 16]");
+  STREAMLIB_CHECK_MSG(max_window >= 1, "max_window must be >= 1");
+  registers_.resize(size_t{1} << precision_);
+}
+
+void SlidingHyperLogLog::AddHash(uint64_t hash, uint64_t timestamp) {
+  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
+  // The remaining 64-p low bits, kept low-aligned for RankOfLeadingOne.
+  const uint64_t remaining = (hash << precision_) >> precision_;
+  const uint8_t rank =
+      static_cast<uint8_t>(RankOfLeadingOne(remaining, 64 - precision_));
+
+  std::deque<Entry>& lfpm = registers_[index];
+  // Expire entries older than the maximum horizon.
+  while (!lfpm.empty() &&
+         lfpm.front().timestamp + max_window_ <= timestamp) {
+    lfpm.pop_front();
+  }
+  // Dominance pruning: an older entry with rank <= the new rank can never be
+  // the max of any future window that still contains the new entry.
+  while (!lfpm.empty() && lfpm.back().rank <= rank) {
+    lfpm.pop_back();
+  }
+  lfpm.push_back(Entry{timestamp, rank});
+}
+
+double SlidingHyperLogLog::Estimate(uint64_t now, uint64_t window) const {
+  STREAMLIB_CHECK_MSG(window >= 1 && window <= max_window_,
+                      "window out of range");
+  const uint32_t m = uint32_t{1} << precision_;
+
+  double inverse_sum = 0.0;
+  uint32_t zeros = 0;
+  for (const auto& lfpm : registers_) {
+    // Ranks within an LFPM are strictly decreasing in time, so the first
+    // unexpired entry carries the window maximum. An entry is in the window
+    // iff timestamp + window > now (avoids unsigned underflow of now-window).
+    uint8_t best = 0;
+    for (const Entry& e : lfpm) {
+      if (e.timestamp + window > now) {
+        best = e.rank;
+        break;
+      }
+    }
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(best));
+    if (best == 0) zeros++;
+  }
+
+  const double md = static_cast<double>(m);
+  const double alpha =
+      m <= 16 ? 0.673
+      : m <= 32 ? 0.697
+      : m <= 64 ? 0.709
+                : 0.7213 / (1.0 + 1.079 / md);
+  const double raw = alpha * md * md / inverse_sum;
+  if (raw <= 2.5 * md && zeros > 0) {
+    return md * std::log(md / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+size_t SlidingHyperLogLog::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& lfpm : registers_) total += lfpm.size();
+  return total;
+}
+
+size_t SlidingHyperLogLog::MemoryBytes() const {
+  return TotalEntries() * sizeof(Entry) +
+         registers_.size() * sizeof(std::deque<Entry>);
+}
+
+}  // namespace streamlib

@@ -1,0 +1,58 @@
+#ifndef STREAMLIB_CORE_CARDINALITY_SLIDING_HYPERLOGLOG_H_
+#define STREAMLIB_CORE_CARDINALITY_SLIDING_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace streamlib {
+
+/// Sliding HyperLogLog (Chabchoub & Hébrail, cited as [54]): answers
+/// "how many distinct keys in the last w time units" for *any* w up to a
+/// configured maximum. Each register keeps the List of Possible Future
+/// Maxima (LFPM): (timestamp, rank) pairs where no later pair has an equal
+/// or higher rank; expired and dominated pairs are pruned, so per-register
+/// memory stays O(log window) in expectation.
+class SlidingHyperLogLog {
+ public:
+  /// \param precision   p in [4, 16]; 2^p registers.
+  /// \param max_window  maximum look-back horizon in time units.
+  SlidingHyperLogLog(int precision, uint64_t max_window);
+
+  /// Records a key arrival at time `timestamp` (monotonically nondecreasing).
+  template <typename T>
+  void Add(const T& key, uint64_t timestamp) {
+    AddHash(HashValue(key, kHashSeed), timestamp);
+  }
+
+  void AddHash(uint64_t hash, uint64_t timestamp);
+
+  /// Estimated distinct keys among arrivals in (now - window, now].
+  /// `window` must be <= max_window; `now` >= the last Add timestamp.
+  double Estimate(uint64_t now, uint64_t window) const;
+
+  int precision() const { return precision_; }
+  uint64_t max_window() const { return max_window_; }
+
+  /// Total LFPM entries across registers (memory diagnostic).
+  size_t TotalEntries() const;
+  size_t MemoryBytes() const;
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x5bd1e9955bd1e995ULL;
+
+  struct Entry {
+    uint64_t timestamp;
+    uint8_t rank;
+  };
+
+  int precision_;
+  uint64_t max_window_;
+  std::vector<std::deque<Entry>> registers_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CARDINALITY_SLIDING_HYPERLOGLOG_H_

@@ -1,0 +1,59 @@
+#include "core/cardinality/windowed_minhash.h"
+
+#include <limits>
+
+namespace streamlib {
+
+WindowedMinHash::WindowedMinHash(uint32_t num_hashes, uint64_t window)
+    : window_(window) {
+  STREAMLIB_CHECK_MSG(num_hashes >= 1, "need at least one hash");
+  STREAMLIB_CHECK_MSG(window >= 1, "window must be >= 1");
+  queues_.resize(num_hashes);
+}
+
+void WindowedMinHash::AddHash(uint64_t hash, uint64_t time) {
+  for (uint32_t i = 0; i < queues_.size(); i++) {
+    const uint64_t value = HashInt64(hash, i + 1);
+    std::deque<Entry>& queue = queues_[i];
+    // Expire entries that left the window.
+    while (!queue.empty() && queue.front().time + window_ <= time) {
+      queue.pop_front();
+    }
+    // Dominance pruning: an older entry with value >= the newcomer's can
+    // never again be the minimum of a window containing the newcomer.
+    while (!queue.empty() && queue.back().value >= value) {
+      queue.pop_back();
+    }
+    queue.push_back(Entry{time, value});
+  }
+}
+
+uint64_t WindowedMinHash::MinOf(uint32_t i, uint64_t now) const {
+  STREAMLIB_CHECK(i < queues_.size());
+  for (const Entry& e : queues_[i]) {
+    if (e.time + window_ > now) return e.value;
+  }
+  return std::numeric_limits<uint64_t>::max();
+}
+
+double WindowedMinHash::EstimateJaccard(const WindowedMinHash& a,
+                                        const WindowedMinHash& b,
+                                        uint64_t now) {
+  STREAMLIB_CHECK_MSG(
+      a.queues_.size() == b.queues_.size() && a.window_ == b.window_,
+      "geometry mismatch");
+  uint32_t agree = 0;
+  for (uint32_t i = 0; i < a.queues_.size(); i++) {
+    if (a.MinOf(i, now) == b.MinOf(i, now)) agree++;
+  }
+  return static_cast<double>(agree) /
+         static_cast<double>(a.queues_.size());
+}
+
+size_t WindowedMinHash::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& queue : queues_) total += queue.size();
+  return total;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,71 @@
+#ifndef STREAMLIB_CORE_CARDINALITY_WINDOWED_MINHASH_H_
+#define STREAMLIB_CORE_CARDINALITY_WINDOWED_MINHASH_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace streamlib {
+
+/// Similarity over data stream windows — the problem of Datar &
+/// Muthukrishnan (cited as [73], "estimating rarity and similarity over
+/// data stream windows"). A bank of k min-hash functions, each maintained
+/// over a sliding window with a monotonic queue (the same
+/// dominated-entry pruning as sliding HyperLogLog): per function, entries
+/// whose hash is >= a fresher entry's hash can never again be the window
+/// minimum, so expected memory is O(k log W).
+///
+/// The Jaccard similarity of two windowed streams is estimated as the
+/// fraction of hash functions whose window minima agree — the classic
+/// min-wise estimator, now valid for *any* aligned window position.
+class WindowedMinHash {
+ public:
+  /// \param num_hashes  k; similarity stderr ~ 1/sqrt(k).
+  /// \param window      sliding window length in arrivals.
+  WindowedMinHash(uint32_t num_hashes, uint64_t window);
+
+  /// Records a key arriving at position `time` (monotonically
+  /// nondecreasing; share a clock between streams being compared).
+  template <typename T>
+  void Add(const T& key, uint64_t time) {
+    AddHash(HashValue(key, kHashSeed), time);
+  }
+
+  void AddHash(uint64_t hash, uint64_t time);
+
+  /// Estimated Jaccard similarity of the two streams' current windows.
+  /// Both must share geometry and have seen data.
+  static double EstimateJaccard(const WindowedMinHash& a,
+                                const WindowedMinHash& b, uint64_t now);
+
+  /// Current minimum of hash function `i` over the window, or UINT64_MAX.
+  uint64_t MinOf(uint32_t i, uint64_t now) const;
+
+  uint32_t num_hashes() const {
+    return static_cast<uint32_t>(queues_.size());
+  }
+  uint64_t window() const { return window_; }
+
+  /// Total retained entries across functions (memory diagnostic).
+  size_t TotalEntries() const;
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x243f6a8885a308d3ULL;
+
+  struct Entry {
+    uint64_t time;
+    uint64_t value;
+  };
+
+  uint64_t window_;
+  // Per function: entries with strictly increasing hash values front-to-
+  // back; front = current window minimum (after expiry).
+  std::vector<std::deque<Entry>> queues_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CARDINALITY_WINDOWED_MINHASH_H_

@@ -1,0 +1,77 @@
+#include "core/cardinality/windowed_rarity.h"
+
+namespace streamlib {
+
+WindowedRarity::WindowedRarity(uint32_t num_hashes, uint64_t window)
+    : window_(window) {
+  STREAMLIB_CHECK_MSG(num_hashes >= 1, "need at least one hash");
+  STREAMLIB_CHECK_MSG(window >= 1, "window must be >= 1");
+  queues_.resize(num_hashes);
+}
+
+void WindowedRarity::AddHash(uint64_t hash, uint64_t time) {
+  STREAMLIB_DCHECK(time >= last_time_);
+  last_time_ = time;
+  occurrences_[hash].push_back(time);
+
+  for (uint32_t i = 0; i < queues_.size(); i++) {
+    const uint64_t value = HashInt64(hash, i + 1);
+    std::deque<Entry>& queue = queues_[i];
+    while (!queue.empty() && queue.front().time + window_ <= time) {
+      queue.pop_front();
+    }
+    while (!queue.empty() && queue.back().value >= value) {
+      queue.pop_back();
+    }
+    queue.push_back(Entry{time, value, hash});
+  }
+
+  // Periodic GC: drop occurrence histories of keys no queue references —
+  // only referenced keys can become a window minimum, and by the time an
+  // evicted key re-enters the candidate set its dropped occurrences have
+  // expired, so counts at query time stay exact.
+  if ((time & 0xff) == 0) {
+    std::unordered_map<uint64_t, uint32_t> referenced;
+    for (const auto& queue : queues_) {
+      for (const Entry& e : queue) referenced[e.key_hash]++;
+    }
+    for (auto it = occurrences_.begin(); it != occurrences_.end();) {
+      if (referenced.find(it->first) == referenced.end()) {
+        it = occurrences_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+const WindowedRarity::Entry* WindowedRarity::MinEntry(uint32_t i,
+                                                      uint64_t now) const {
+  for (const Entry& e : queues_[i]) {
+    if (e.time + window_ > now) return &e;
+  }
+  return nullptr;
+}
+
+double WindowedRarity::EstimateRarity(uint32_t alpha, uint64_t now) const {
+  uint32_t eligible = 0;
+  uint32_t hits = 0;
+  for (uint32_t i = 0; i < queues_.size(); i++) {
+    const Entry* entry = MinEntry(i, now);
+    if (entry == nullptr) continue;
+    eligible++;
+    auto it = occurrences_.find(entry->key_hash);
+    if (it == occurrences_.end()) continue;  // Should not happen.
+    // Lazily prune expired timestamps.
+    std::deque<uint64_t>& times = it->second;
+    while (!times.empty() && times.front() + window_ <= now) {
+      times.pop_front();
+    }
+    if (times.size() == alpha) hits++;
+  }
+  return eligible == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(eligible);
+}
+
+}  // namespace streamlib

@@ -1,0 +1,72 @@
+#ifndef STREAMLIB_CORE_CARDINALITY_WINDOWED_RARITY_H_
+#define STREAMLIB_CORE_CARDINALITY_WINDOWED_RARITY_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace streamlib {
+
+/// Alpha-rarity over sliding windows — the other half of Datar &
+/// Muthukrishnan [73]: the fraction of *distinct* items in the window that
+/// occur exactly alpha times (alpha = 1 is the classic "rarity": the share
+/// of singletons, a staleness/novelty signal for caches and crawlers).
+///
+/// Construction, per the paper's min-wise idea: k independent min-hash
+/// functions each select one distinct item of the window uniformly (the
+/// window minimum); for each selected item the estimator tracks its exact
+/// in-window occurrence count (timestamps of that item only). The fraction
+/// of selected items with count == alpha is an unbiased rarity estimate
+/// with stderr ~ 1/sqrt(k). Memory: O(k log W) for the min-queues plus the
+/// tracked items' timestamps.
+class WindowedRarity {
+ public:
+  /// \param num_hashes  k samplers; stderr ~ 1/sqrt(k).
+  /// \param window      sliding window length in arrivals.
+  WindowedRarity(uint32_t num_hashes, uint64_t window);
+
+  /// Records a key arriving at position `time` (monotone nondecreasing).
+  template <typename T>
+  void Add(const T& key, uint64_t time) {
+    AddHash(HashValue(key, kHashSeed), time);
+  }
+
+  void AddHash(uint64_t hash, uint64_t time);
+
+  /// Estimated fraction of the window's distinct items occurring exactly
+  /// `alpha` times, as of time `now`.
+  double EstimateRarity(uint32_t alpha, uint64_t now) const;
+
+  uint64_t window() const { return window_; }
+  uint32_t num_hashes() const {
+    return static_cast<uint32_t>(queues_.size());
+  }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x452821e638d01377ULL;
+
+  struct Entry {
+    uint64_t time;
+    uint64_t value;     // Hash under this function.
+    uint64_t key_hash;  // Original key hash (identifies the item).
+  };
+
+  /// The key hash currently selected by function `i` (its window minimum),
+  /// or nullopt when the window is empty.
+  const Entry* MinEntry(uint32_t i, uint64_t now) const;
+
+  uint64_t window_;
+  std::vector<std::deque<Entry>> queues_;  // Monotonic min-queues.
+  // Occurrence timestamps per key hash, pruned lazily to the window. Only
+  // keys that are (or recently were) some function's minimum are retained.
+  mutable std::unordered_map<uint64_t, std::deque<uint64_t>> occurrences_;
+  uint64_t last_time_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CARDINALITY_WINDOWED_RARITY_H_

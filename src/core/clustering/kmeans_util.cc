@@ -1,0 +1,130 @@
+#include "core/clustering/kmeans_util.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  STREAMLIB_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); i++) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+namespace {
+
+size_t NearestCenter(const Point& p,
+                     const std::vector<WeightedPoint>& centers) {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centers.size(); c++) {
+    const double d = SquaredDistance(p, centers[c].point);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<WeightedPoint> WeightedKMeans(
+    const std::vector<WeightedPoint>& points, size_t k, int iterations,
+    Rng* rng) {
+  STREAMLIB_CHECK_MSG(!points.empty(), "empty input");
+  STREAMLIB_CHECK_MSG(k >= 1, "k must be >= 1");
+  k = std::min(k, points.size());
+
+  // k-means++ seeding on weighted points.
+  std::vector<WeightedPoint> centers;
+  centers.reserve(k);
+  double total_weight = 0.0;
+  for (const auto& p : points) total_weight += p.weight;
+  // First center: weight-proportional draw.
+  {
+    double target = rng->NextDouble() * total_weight;
+    size_t pick = 0;
+    for (size_t i = 0; i < points.size(); i++) {
+      target -= points[i].weight;
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back(WeightedPoint{points[pick].point, 0.0});
+  }
+  std::vector<double> d2(points.size());
+  while (centers.size() < k) {
+    double sum = 0.0;
+    for (size_t i = 0; i < points.size(); i++) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centers) {
+        best = std::min(best, SquaredDistance(points[i].point, c.point));
+      }
+      d2[i] = best * points[i].weight;
+      sum += d2[i];
+    }
+    if (sum <= 0.0) break;  // All mass already on centers.
+    double target = rng->NextDouble() * sum;
+    size_t pick = points.size() - 1;
+    for (size_t i = 0; i < points.size(); i++) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back(WeightedPoint{points[pick].point, 0.0});
+  }
+
+  // Lloyd iterations.
+  const size_t dim = points[0].point.size();
+  for (int iter = 0; iter < iterations; iter++) {
+    std::vector<Point> sums(centers.size(), Point(dim, 0.0));
+    std::vector<double> weights(centers.size(), 0.0);
+    for (const auto& p : points) {
+      const size_t c = NearestCenter(p.point, centers);
+      for (size_t j = 0; j < dim; j++) sums[c][j] += p.point[j] * p.weight;
+      weights[c] += p.weight;
+    }
+    for (size_t c = 0; c < centers.size(); c++) {
+      if (weights[c] > 0.0) {
+        for (size_t j = 0; j < dim; j++) {
+          centers[c].point[j] = sums[c][j] / weights[c];
+        }
+      }
+      centers[c].weight = weights[c];
+    }
+  }
+  // Final assignment weights (covers the iterations == 0 case).
+  if (iterations == 0) {
+    std::vector<double> weights(centers.size(), 0.0);
+    for (const auto& p : points) {
+      weights[NearestCenter(p.point, centers)] += p.weight;
+    }
+    for (size_t c = 0; c < centers.size(); c++) centers[c].weight = weights[c];
+  }
+  return centers;
+}
+
+double WeightedSse(const std::vector<WeightedPoint>& points,
+                   const std::vector<WeightedPoint>& centers) {
+  STREAMLIB_CHECK_MSG(!centers.empty(), "no centers");
+  double sse = 0.0;
+  for (const auto& p : points) {
+    double best = std::numeric_limits<double>::max();
+    for (const auto& c : centers) {
+      best = std::min(best, SquaredDistance(p.point, c.point));
+    }
+    sse += best * p.weight;
+  }
+  return sse;
+}
+
+}  // namespace streamlib

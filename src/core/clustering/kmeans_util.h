@@ -1,0 +1,43 @@
+#ifndef STREAMLIB_CORE_CLUSTERING_KMEANS_UTIL_H_
+#define STREAMLIB_CORE_CLUSTERING_KMEANS_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace streamlib {
+
+/// A point in R^d. All clustering code shares this representation.
+using Point = std::vector<double>;
+
+/// Squared Euclidean distance.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// A point with a weight (coreset element / collapsed cluster).
+struct WeightedPoint {
+  Point point;
+  double weight = 1.0;
+};
+
+/// Weighted k-means++ seeding followed by Lloyd iterations. The building
+/// block for the STREAM k-median hierarchy and the batch baseline in the
+/// clustering bench.
+///
+/// \param points      weighted input points (weights > 0).
+/// \param k           number of centers (k <= points.size() effective).
+/// \param iterations  Lloyd iterations after seeding.
+/// \param rng         randomness for seeding.
+/// \returns k centers with weights = total assigned weight.
+std::vector<WeightedPoint> WeightedKMeans(
+    const std::vector<WeightedPoint>& points, size_t k, int iterations,
+    Rng* rng);
+
+/// Weighted sum of squared distances from each point to its nearest center.
+double WeightedSse(const std::vector<WeightedPoint>& points,
+                   const std::vector<WeightedPoint>& centers);
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CLUSTERING_KMEANS_UTIL_H_

@@ -1,0 +1,266 @@
+#include "core/clustering/micro_clusters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+Point MicroCluster::Centroid() const {
+  STREAMLIB_CHECK(n > 0);
+  Point c(linear_sum.size());
+  for (size_t j = 0; j < c.size(); j++) {
+    c[j] = linear_sum[j] / static_cast<double>(n);
+  }
+  return c;
+}
+
+double MicroCluster::Radius() const {
+  if (n <= 1) return 0.0;
+  double sum = 0.0;
+  const double nd = static_cast<double>(n);
+  for (size_t j = 0; j < linear_sum.size(); j++) {
+    const double mean = linear_sum[j] / nd;
+    const double var = squared_sum[j] / nd - mean * mean;
+    sum += std::max(var, 0.0);
+  }
+  return std::sqrt(sum);
+}
+
+double MicroCluster::MeanTimestamp() const {
+  return n == 0 ? 0.0 : timestamp_sum / static_cast<double>(n);
+}
+
+void MicroCluster::Absorb(const Point& p, double timestamp) {
+  if (n == 0) {
+    linear_sum.assign(p.size(), 0.0);
+    squared_sum.assign(p.size(), 0.0);
+  }
+  n++;
+  for (size_t j = 0; j < p.size(); j++) {
+    linear_sum[j] += p[j];
+    squared_sum[j] += p[j] * p[j];
+  }
+  timestamp_sum += timestamp;
+  timestamp_sq += timestamp * timestamp;
+}
+
+void MicroCluster::Merge(const MicroCluster& other) {
+  if (other.n == 0) return;
+  if (n == 0) {
+    *this = other;
+    return;
+  }
+  n += other.n;
+  for (size_t j = 0; j < linear_sum.size(); j++) {
+    linear_sum[j] += other.linear_sum[j];
+    squared_sum[j] += other.squared_sum[j];
+  }
+  timestamp_sum += other.timestamp_sum;
+  timestamp_sq += other.timestamp_sq;
+  // Union the sorted id lists.
+  std::vector<uint32_t> merged;
+  merged.reserve(ids.size() + other.ids.size());
+  std::merge(ids.begin(), ids.end(), other.ids.begin(), other.ids.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  ids = std::move(merged);
+}
+
+void MicroCluster::Subtract(const MicroCluster& other) {
+  STREAMLIB_CHECK_MSG(other.n <= n, "subtracting a larger cluster");
+  n -= other.n;
+  for (size_t j = 0; j < linear_sum.size(); j++) {
+    linear_sum[j] -= other.linear_sum[j];
+    squared_sum[j] -= other.squared_sum[j];
+  }
+  timestamp_sum -= other.timestamp_sum;
+  timestamp_sq -= other.timestamp_sq;
+}
+
+bool MicroCluster::ContainsIds(const MicroCluster& other) const {
+  return std::includes(ids.begin(), ids.end(), other.ids.begin(),
+                       other.ids.end());
+}
+
+CluStream::CluStream(size_t max_micro_clusters, size_t dim,
+                     double radius_factor, uint64_t seed)
+    : budget_(max_micro_clusters),
+      dim_(dim),
+      radius_factor_(radius_factor),
+      rng_(seed) {
+  STREAMLIB_CHECK_MSG(max_micro_clusters >= 2, "budget must be >= 2");
+  STREAMLIB_CHECK_MSG(radius_factor > 0.0, "radius factor must be positive");
+}
+
+size_t CluStream::FindNearest(const Point& p) const {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < micro_.size(); i++) {
+    const double d = SquaredDistance(p, micro_[i].Centroid());
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void CluStream::MergeClosestPair() {
+  size_t best_a = 0;
+  size_t best_b = 1;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < micro_.size(); i++) {
+    const Point ci = micro_[i].Centroid();
+    for (size_t j = i + 1; j < micro_.size(); j++) {
+      const double d = SquaredDistance(ci, micro_[j].Centroid());
+      if (d < best_d) {
+        best_d = d;
+        best_a = i;
+        best_b = j;
+      }
+    }
+  }
+  micro_[best_a].Merge(micro_[best_b]);
+  micro_.erase(micro_.begin() + static_cast<long>(best_b));
+}
+
+void CluStream::MaybeSnapshot(double timestamp) {
+  // Snapshot on integer-time boundaries only (fractional times attach to
+  // the preceding boundary having been taken already).
+  const int64_t tick = static_cast<int64_t>(timestamp);
+  if (tick <= 0 ||
+      static_cast<double>(tick) <= last_timestamp_) {
+    return;
+  }
+  // Pyramidal retention with alpha = 2: a snapshot at time t belongs to
+  // order i = largest power of two dividing t; keep the 3 newest per order.
+  snapshots_.push_back(Snapshot{static_cast<double>(tick), micro_});
+  auto order_of = [](int64_t t) {
+    int order = 0;
+    while (t % 2 == 0 && order < 62) {
+      t /= 2;
+      order++;
+    }
+    return order;
+  };
+  const int new_order = order_of(tick);
+  int same_order = 0;
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (order_of(static_cast<int64_t>(it->timestamp)) == new_order) {
+      same_order++;
+      if (same_order > 3) {
+        snapshots_.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+}
+
+void CluStream::Add(const Point& point, double timestamp) {
+  STREAMLIB_CHECK_MSG(point.size() == dim_, "dimension mismatch");
+  count_++;
+  MaybeSnapshot(timestamp);
+  last_timestamp_ = timestamp;
+  if (micro_.size() < budget_) {
+    MicroCluster mc;
+    mc.Absorb(point, timestamp);
+    mc.ids.push_back(next_id_++);
+    micro_.push_back(std::move(mc));
+    return;
+  }
+  const size_t nearest = FindNearest(point);
+  MicroCluster& mc = micro_[nearest];
+  // Boundary: radius_factor * RMS radius; singleton clusters use the
+  // distance to the next-closest micro-cluster (CluStream's heuristic).
+  double boundary = radius_factor_ * mc.Radius();
+  if (mc.n == 1) {
+    double next_d = std::numeric_limits<double>::max();
+    const Point c = mc.Centroid();
+    for (size_t i = 0; i < micro_.size(); i++) {
+      if (i == nearest) continue;
+      next_d = std::min(next_d, SquaredDistance(c, micro_[i].Centroid()));
+    }
+    boundary = std::sqrt(next_d);
+  }
+  // Robustification: cap every boundary at radius_factor times the median
+  // mature-cluster radius. Without it, the first point of an abrupt global
+  // shift spawns a singleton whose nearest-cluster distance spans the whole
+  // new region, and one mega-cluster swallows every new mode.
+  {
+    std::vector<double> radii;
+    radii.reserve(micro_.size());
+    for (const MicroCluster& m : micro_) {
+      if (m.n >= 2) radii.push_back(m.Radius());
+    }
+    if (radii.size() >= micro_.size() / 2 && !radii.empty()) {
+      std::nth_element(radii.begin(), radii.begin() + radii.size() / 2,
+                       radii.end());
+      const double median = radii[radii.size() / 2];
+      if (median > 0.0) {
+        boundary = std::min(boundary, radius_factor_ * 2.0 * median);
+      }
+    }
+  }
+  const double dist =
+      std::sqrt(SquaredDistance(point, mc.Centroid()));
+  if (dist <= boundary) {
+    mc.Absorb(point, timestamp);
+    return;
+  }
+  // Outside every boundary: new micro-cluster; merge two closest to stay in
+  // budget.
+  MergeClosestPair();
+  MicroCluster fresh;
+  fresh.Absorb(point, timestamp);
+  fresh.ids.push_back(next_id_++);
+  micro_.push_back(std::move(fresh));
+}
+
+std::vector<WeightedPoint> CluStream::MacroClustersOverHorizon(
+    size_t k, double horizon) {
+  STREAMLIB_CHECK_MSG(!micro_.empty(), "no data");
+  // Closest snapshot at or before now - horizon.
+  const double cutoff = last_timestamp_ - horizon;
+  const Snapshot* base = nullptr;
+  for (const Snapshot& snap : snapshots_) {
+    if (snap.timestamp <= cutoff &&
+        (base == nullptr || snap.timestamp > base->timestamp)) {
+      base = &snap;
+    }
+  }
+  std::vector<WeightedPoint> inputs;
+  if (base == nullptr) {
+    // Horizon covers everything we have: fall back to the full state.
+    return MacroClusters(k);
+  }
+  for (const MicroCluster& current : micro_) {
+    MicroCluster windowed = current;
+    for (const MicroCluster& old : base->clusters) {
+      if (windowed.ContainsIds(old) && old.n <= windowed.n) {
+        windowed.Subtract(old);
+      }
+    }
+    if (windowed.n > 0) {
+      inputs.push_back(WeightedPoint{windowed.Centroid(),
+                                     static_cast<double>(windowed.n)});
+    }
+  }
+  if (inputs.empty()) return MacroClusters(k);
+  return WeightedKMeans(inputs, k, /*iterations=*/20, &rng_);
+}
+
+std::vector<WeightedPoint> CluStream::MacroClusters(size_t k) {
+  STREAMLIB_CHECK_MSG(!micro_.empty(), "no data");
+  std::vector<WeightedPoint> inputs;
+  inputs.reserve(micro_.size());
+  for (const MicroCluster& mc : micro_) {
+    inputs.push_back(
+        WeightedPoint{mc.Centroid(), static_cast<double>(mc.n)});
+  }
+  return WeightedKMeans(inputs, k, /*iterations=*/20, &rng_);
+}
+
+}  // namespace streamlib

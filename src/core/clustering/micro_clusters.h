@@ -1,0 +1,107 @@
+#ifndef STREAMLIB_CORE_CLUSTERING_MICRO_CLUSTERS_H_
+#define STREAMLIB_CORE_CLUSTERING_MICRO_CLUSTERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/clustering/kmeans_util.h"
+
+namespace streamlib {
+
+/// A cluster-feature (CF) vector — the additive sufficient statistics of
+/// BIRCH / CluStream micro-clusters: count, linear sum, squared sum, plus
+/// the temporal sums CluStream adds for recency-based eviction. Carries the
+/// sorted id list CluStream uses so historical snapshots can be
+/// *subtracted* (ids only ever merge, so an old cluster's ids are a subset
+/// of exactly one current cluster's).
+struct MicroCluster {
+  uint64_t n = 0;
+  Point linear_sum;           ///< per-dimension sum of points
+  Point squared_sum;          ///< per-dimension sum of squares
+  double timestamp_sum = 0.0; ///< sum of arrival timestamps
+  double timestamp_sq = 0.0;  ///< sum of squared timestamps
+  std::vector<uint32_t> ids;  ///< sorted identity set (CluStream id lists)
+
+  /// Centroid of the absorbed points.
+  Point Centroid() const;
+
+  /// RMS deviation of absorbed points from the centroid (cluster radius).
+  double Radius() const;
+
+  /// Mean arrival time (recency signal for eviction).
+  double MeanTimestamp() const;
+
+  void Absorb(const Point& p, double timestamp);
+  void Merge(const MicroCluster& other);
+
+  /// Subtracts another CF (must describe a subset of this one's points —
+  /// the pyramidal-time-frame subtraction of CluStream).
+  void Subtract(const MicroCluster& other);
+
+  /// True iff other's id list is a subset of this one's.
+  bool ContainsIds(const MicroCluster& other) const;
+};
+
+/// CluStream-style online micro-clustering (Aggarwal et al.; the paper cites
+/// the stream-clustering surveys [34, 149]): maintain q >> k micro-clusters
+/// online; each point is absorbed by its nearest micro-cluster if within its
+/// boundary (radius_factor * radius), otherwise it seeds a new micro-cluster
+/// and the stalest (or two closest) existing ones are merged to stay within
+/// budget. Macro-clusters for any k are produced offline by weighted k-means
+/// over the micro-cluster centroids.
+class CluStream {
+ public:
+  /// \param max_micro_clusters  q, the online budget.
+  /// \param dim                 point dimensionality.
+  /// \param radius_factor       boundary multiplier t (paper default 2).
+  /// \param seed                RNG for the offline macro stage.
+  CluStream(size_t max_micro_clusters, size_t dim, double radius_factor,
+            uint64_t seed);
+
+  /// Absorbs one point arriving at `timestamp`.
+  void Add(const Point& point, double timestamp);
+
+  /// Offline macro-clustering: weighted k-means over micro-centroids.
+  std::vector<WeightedPoint> MacroClusters(size_t k);
+
+  /// Macro-clusters of only the points arriving in (now - horizon, now] —
+  /// CluStream's pyramidal-time-frame query: the micro-cluster snapshot
+  /// closest before the horizon is *subtracted* from the current state (CF
+  /// additivity + id-list matching), then macro-clustered. Accuracy is
+  /// snapshot-granular: the effective horizon is the distance to the
+  /// nearest retained snapshot.
+  std::vector<WeightedPoint> MacroClustersOverHorizon(size_t k,
+                                                      double horizon);
+
+  const std::vector<MicroCluster>& micro_clusters() const { return micro_; }
+  uint64_t count() const { return count_; }
+  size_t SnapshotCount() const { return snapshots_.size(); }
+
+ private:
+  size_t FindNearest(const Point& p) const;
+  void MergeClosestPair();
+  void MaybeSnapshot(double timestamp);
+
+  struct Snapshot {
+    double timestamp;
+    std::vector<MicroCluster> clusters;
+  };
+
+  size_t budget_;
+  size_t dim_;
+  double radius_factor_;
+  Rng rng_;
+  std::vector<MicroCluster> micro_;
+  uint64_t count_ = 0;
+  uint32_t next_id_ = 0;
+  double last_timestamp_ = 0.0;
+  // Pyramidal time frame: snapshots at times divisible by 2^order, at most
+  // 3 retained per order (alpha = 2, the paper's smallest setting).
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CLUSTERING_MICRO_CLUSTERS_H_

@@ -1,0 +1,71 @@
+#include "core/clustering/online_kmeans.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+OnlineKMeans::OnlineKMeans(size_t k, size_t dim, uint64_t seed,
+                           size_t seed_buffer)
+    : k_(k), dim_(dim), seed_buffer_(seed_buffer), rng_(seed) {
+  STREAMLIB_CHECK_MSG(k >= 1, "k must be >= 1");
+  STREAMLIB_CHECK_MSG(dim >= 1, "dim must be >= 1");
+  if (seed_buffer_ == 0) seed_buffer_ = 32 * k;
+  if (seed_buffer_ < k) seed_buffer_ = k;
+}
+
+size_t OnlineKMeans::Classify(const Point& point) const {
+  STREAMLIB_CHECK_MSG(!centers_.empty(), "no centers yet");
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t c = 0; c < centers_.size(); c++) {
+    const double d = SquaredDistance(point, centers_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void OnlineKMeans::SeedFromBuffer() {
+  std::vector<WeightedPoint> weighted;
+  weighted.reserve(buffer_.size());
+  for (auto& p : buffer_) weighted.push_back(WeightedPoint{std::move(p), 1.0});
+  std::vector<WeightedPoint> seeded =
+      WeightedKMeans(weighted, k_, /*iterations=*/5, &rng_);
+  centers_.clear();
+  counts_.clear();
+  for (auto& c : seeded) {
+    centers_.push_back(std::move(c.point));
+    counts_.push_back(static_cast<uint64_t>(c.weight));
+  }
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  seeded_ = true;
+}
+
+size_t OnlineKMeans::Add(const Point& point) {
+  STREAMLIB_CHECK_MSG(point.size() == dim_, "dimension mismatch");
+  count_++;
+  if (!seeded_) {
+    buffer_.push_back(point);
+    // Interim centers: the buffered prefix (so Classify works pre-seed).
+    if (centers_.size() < k_) {
+      centers_.push_back(point);
+      counts_.push_back(1);
+    }
+    if (buffer_.size() >= seed_buffer_) SeedFromBuffer();
+    return buffer_.empty() ? Classify(point) : buffer_.size() - 1;
+  }
+  const size_t c = Classify(point);
+  counts_[c]++;
+  const double rate = 1.0 / static_cast<double>(counts_[c]);
+  for (size_t j = 0; j < dim_; j++) {
+    centers_[c][j] += rate * (point[j] - centers_[c][j]);
+  }
+  return c;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,58 @@
+#ifndef STREAMLIB_CORE_CLUSTERING_ONLINE_KMEANS_H_
+#define STREAMLIB_CORE_CLUSTERING_ONLINE_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/clustering/kmeans_util.h"
+
+namespace streamlib {
+
+/// Sequential (online) k-means — MacQueen's algorithm with a k-means++ warm
+/// start: the first `seed_buffer` points are buffered and seeded/Lloyd-
+/// refined once (naive first-k seeding folds mixture components whenever two
+/// seeds land in one cluster); every later point moves its nearest center by
+/// 1/n_c toward itself. O(kd) per point after warm-up, O(kd + buffer)
+/// memory; the fastest streaming clusterer and the baseline the clustering
+/// bench compares CluStream/STREAM against.
+class OnlineKMeans {
+ public:
+  /// \param k            number of clusters.
+  /// \param dim          point dimensionality.
+  /// \param seed         RNG seed for the warm start.
+  /// \param seed_buffer  points buffered for seeding (default 32k points,
+  ///                     min k).
+  OnlineKMeans(size_t k, size_t dim, uint64_t seed, size_t seed_buffer = 0);
+
+  /// Feeds one point; returns the index of the assigned cluster (the
+  /// buffer index during warm-up).
+  size_t Add(const Point& point);
+
+  /// Index of the nearest center (no update). Valid after >= k points.
+  size_t Classify(const Point& point) const;
+
+  /// Current centers (after warm-up: k centers; before: buffered prefix).
+  const std::vector<Point>& centers() const { return centers_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  uint64_t count() const { return count_; }
+  bool seeded() const { return seeded_; }
+
+ private:
+  void SeedFromBuffer();
+
+  size_t k_;
+  size_t dim_;
+  size_t seed_buffer_;
+  Rng rng_;
+  bool seeded_ = false;
+  std::vector<Point> buffer_;
+  std::vector<Point> centers_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CLUSTERING_ONLINE_KMEANS_H_

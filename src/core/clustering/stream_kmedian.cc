@@ -1,0 +1,53 @@
+#include "core/clustering/stream_kmedian.h"
+
+#include "common/check.h"
+
+namespace streamlib {
+
+StreamKMedian::StreamKMedian(size_t k, size_t chunk_size, uint64_t seed)
+    : k_(k), chunk_size_(chunk_size), rng_(seed) {
+  STREAMLIB_CHECK_MSG(k >= 1, "k must be >= 1");
+  STREAMLIB_CHECK_MSG(chunk_size >= 2 * k, "chunk_size should be >= 2k");
+}
+
+void StreamKMedian::Add(const Point& point) {
+  count_++;
+  buffer_.push_back(WeightedPoint{point, 1.0});
+  if (buffer_.size() >= chunk_size_) {
+    // Collapse the raw chunk to k weighted centers at level 0.
+    std::vector<WeightedPoint> centers =
+        WeightedKMeans(buffer_, k_, /*iterations=*/10, &rng_);
+    buffer_.clear();
+    if (levels_.empty()) levels_.emplace_back();
+    auto& level0 = levels_[0];
+    level0.insert(level0.end(), centers.begin(), centers.end());
+    if (level0.size() >= chunk_size_) CollapseLevel(0);
+  }
+}
+
+void StreamKMedian::CollapseLevel(size_t level) {
+  std::vector<WeightedPoint> centers =
+      WeightedKMeans(levels_[level], k_, /*iterations=*/10, &rng_);
+  levels_[level].clear();
+  if (levels_.size() <= level + 1) levels_.emplace_back();
+  auto& next = levels_[level + 1];
+  next.insert(next.end(), centers.begin(), centers.end());
+  if (next.size() >= chunk_size_) CollapseLevel(level + 1);
+}
+
+std::vector<WeightedPoint> StreamKMedian::Centers() {
+  std::vector<WeightedPoint> all = buffer_;
+  for (const auto& level : levels_) {
+    all.insert(all.end(), level.begin(), level.end());
+  }
+  STREAMLIB_CHECK_MSG(!all.empty(), "no data");
+  return WeightedKMeans(all, k_, /*iterations=*/20, &rng_);
+}
+
+size_t StreamKMedian::RetainedPoints() const {
+  size_t total = buffer_.size();
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,51 @@
+#ifndef STREAMLIB_CORE_CLUSTERING_STREAM_KMEDIAN_H_
+#define STREAMLIB_CORE_CLUSTERING_STREAM_KMEDIAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/clustering/kmeans_util.h"
+
+namespace streamlib {
+
+/// STREAM-style divide-and-conquer k-median/k-means clustering (Guha,
+/// Mishra, Motwani & O'Callaghan, FOCS 2000, cited as [98]; the engineering
+/// follow-up is O'Callaghan et al. [132]): buffer the stream in chunks of m
+/// points, collapse each chunk to k weighted centers, and when a level
+/// accumulates m centers collapse *those* recursively — a constant-memory
+/// hierarchy whose final clustering provably approximates the batch optimum
+/// within a constant factor per level.
+class StreamKMedian {
+ public:
+  /// \param k           number of clusters.
+  /// \param chunk_size  m, points buffered per collapse (>= 2k sensible).
+  /// \param seed        RNG seed for the k-means++ stages.
+  StreamKMedian(size_t k, size_t chunk_size, uint64_t seed);
+
+  /// Feeds one point.
+  void Add(const Point& point);
+
+  /// Final clustering: collapse everything retained to k weighted centers.
+  std::vector<WeightedPoint> Centers();
+
+  /// Number of weighted points currently retained across all levels.
+  size_t RetainedPoints() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  void CollapseLevel(size_t level);
+
+  size_t k_;
+  size_t chunk_size_;
+  Rng rng_;
+  std::vector<WeightedPoint> buffer_;                 // Level 0 raw points.
+  std::vector<std::vector<WeightedPoint>> levels_;    // Collapsed centers.
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CLUSTERING_STREAM_KMEDIAN_H_

@@ -1,0 +1,80 @@
+#include "core/correlation/dft_sketch.h"
+
+#include <cmath>
+
+namespace streamlib {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+DftCorrelationSketch::DftCorrelationSketch(size_t window,
+                                           size_t num_coefficients)
+    : w_(window) {
+  STREAMLIB_CHECK_MSG(window >= 4, "window must be >= 4");
+  STREAMLIB_CHECK_MSG(num_coefficients >= 1 && num_coefficients < window / 2,
+                      "coefficients must be in [1, window/2)");
+  coeffs_.assign(num_coefficients, {0.0, 0.0});
+  omega_.reserve(num_coefficients);
+  for (size_t k = 1; k <= num_coefficients; k++) {
+    const double angle = kTwoPi * static_cast<double>(k) /
+                         static_cast<double>(window);
+    omega_.emplace_back(std::cos(angle), std::sin(angle));
+  }
+}
+
+void DftCorrelationSketch::Add(double value) {
+  double retired = 0.0;
+  if (window_.size() == w_) {
+    retired = window_.front();
+    window_.pop_front();
+    sum_ -= retired;
+    sum_sq_ -= retired * retired;
+  }
+  window_.push_back(value);
+  sum_ += value;
+  sum_sq_ += value * value;
+  // Sliding DFT: X_k' = omega^k * (X_k - retired + value). While filling,
+  // the recurrence with retired = 0 grows the same coefficients as a batch
+  // DFT of the zero-padded window rotated per step; once full it matches
+  // the true window DFT up to accumulated floating-point drift.
+  const std::complex<double> delta(value - retired, 0.0);
+  for (size_t k = 0; k < coeffs_.size(); k++) {
+    coeffs_[k] = omega_[k] * (coeffs_[k] + delta);
+  }
+}
+
+double DftCorrelationSketch::Mean() const {
+  return window_.empty() ? 0.0
+                         : sum_ / static_cast<double>(window_.size());
+}
+
+double DftCorrelationSketch::StdDev() const {
+  if (window_.empty()) return 0.0;
+  const double n = static_cast<double>(window_.size());
+  const double var = sum_sq_ / n - (sum_ / n) * (sum_ / n);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double DftCorrelationSketch::ApproxCorrelation(
+    const DftCorrelationSketch& a, const DftCorrelationSketch& b) {
+  STREAMLIB_CHECK_MSG(a.w_ == b.w_ &&
+                          a.coeffs_.size() == b.coeffs_.size(),
+                      "sketch geometry mismatch");
+  STREAMLIB_CHECK_MSG(a.Ready() && b.Ready(), "windows not full");
+  const double w = static_cast<double>(a.w_);
+  const double sigma = a.StdDev() * b.StdDev();
+  if (sigma <= 0.0) return 0.0;
+  // Parseval: sum_i x_i y_i = (1/W) sum_k X_k conj(Y_k). The k=0 term is
+  // W^2 * mean_a * mean_b, which the covariance subtracts; negative
+  // frequencies mirror the retained positive ones (real inputs), hence the
+  // factor 2.
+  double cross = 0.0;
+  for (size_t k = 0; k < a.coeffs_.size(); k++) {
+    cross += (a.coeffs_[k] * std::conj(b.coeffs_[k])).real();
+  }
+  const double covariance = 2.0 * cross / w;
+  return covariance / (w * sigma);
+}
+
+}  // namespace streamlib

@@ -1,0 +1,58 @@
+#include "core/correlation/pattern_matcher.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+std::vector<double> PatternMatcher::ZNormalize(const std::vector<double>& v) {
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  const double sigma = var > 0.0 ? std::sqrt(var) : 1.0;
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); i++) out[i] = (v[i] - mean) / sigma;
+  return out;
+}
+
+PatternMatcher::PatternMatcher(std::vector<double> pattern, double threshold)
+    : threshold_(threshold) {
+  STREAMLIB_CHECK_MSG(pattern.size() >= 4, "pattern must have >= 4 points");
+  STREAMLIB_CHECK_MSG(threshold > 0.0, "threshold must be positive");
+  pattern_ = ZNormalize(pattern);
+}
+
+double PatternMatcher::CurrentDistance() const {
+  if (window_.size() < pattern_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::vector<double> normalized =
+      ZNormalize(std::vector<double>(window_.begin(), window_.end()));
+  double sum = 0.0;
+  for (size_t i = 0; i < pattern_.size(); i++) {
+    const double d = normalized[i] - pattern_[i];
+    sum += d * d;
+  }
+  // Per-point RMS so the threshold is length-independent.
+  return std::sqrt(sum / static_cast<double>(pattern_.size()));
+}
+
+bool PatternMatcher::AddAndMatch(double value) {
+  position_++;
+  window_.push_back(value);
+  if (window_.size() > pattern_.size()) window_.pop_front();
+  if (window_.size() < pattern_.size()) return false;
+  const double dist = CurrentDistance();
+  if (dist <= threshold_) {
+    matches_.push_back(PatternMatch{position_, dist});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace streamlib

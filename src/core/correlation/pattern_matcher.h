@@ -1,0 +1,53 @@
+#ifndef STREAMLIB_CORE_CORRELATION_PATTERN_MATCHER_H_
+#define STREAMLIB_CORE_CORRELATION_PATTERN_MATCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace streamlib {
+
+/// A detected occurrence of the template pattern.
+struct PatternMatch {
+  uint64_t end_position = 0;  ///< stream position of the match's last point
+  double distance = 0.0;      ///< z-normalized Euclidean distance
+};
+
+/// Streaming temporal-pattern detection (Table 1 row "Temporal Pattern
+/// Analysis"; the shape-matching lineage is SpADe [60] and the
+/// time-warping work of Toyoda et al. [159]): slide a z-normalized template
+/// over the stream and report windows whose normalized Euclidean distance
+/// falls below a threshold. Z-normalization makes detection invariant to
+/// the window's offset and scale — the core trick of shape-based pattern
+/// queries — at O(|pattern|) per arrival.
+class PatternMatcher {
+ public:
+  /// \param pattern    the template shape (length >= 4).
+  /// \param threshold  max z-normalized distance (per-point RMS) to match.
+  PatternMatcher(std::vector<double> pattern, double threshold);
+
+  /// Feeds one observation; returns true if the window ending here matches.
+  bool AddAndMatch(double value);
+
+  /// All matches so far.
+  const std::vector<PatternMatch>& matches() const { return matches_; }
+
+  /// Distance of the current window to the template (infinity until full).
+  double CurrentDistance() const;
+
+  uint64_t position() const { return position_; }
+
+ private:
+  static std::vector<double> ZNormalize(const std::vector<double>& v);
+
+  std::vector<double> pattern_;  // Z-normalized template.
+  double threshold_;
+  std::deque<double> window_;
+  uint64_t position_ = 0;
+  std::vector<PatternMatch> matches_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_CORRELATION_PATTERN_MATCHER_H_

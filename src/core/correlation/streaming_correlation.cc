@@ -1,0 +1,125 @@
+#include "core/correlation/streaming_correlation.h"
+
+#include <cmath>
+
+namespace streamlib {
+
+WindowedCorrelation::WindowedCorrelation(size_t window) : window_(window) {
+  STREAMLIB_CHECK_MSG(window >= 2, "window must be >= 2");
+}
+
+void WindowedCorrelation::Add(double x, double y) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_yy_ += y * y;
+  sum_xy_ += x * y;
+  if (xs_.size() > window_) {
+    const double ox = xs_.front();
+    const double oy = ys_.front();
+    xs_.pop_front();
+    ys_.pop_front();
+    sum_x_ -= ox;
+    sum_y_ -= oy;
+    sum_xx_ -= ox * ox;
+    sum_yy_ -= oy * oy;
+    sum_xy_ -= ox * oy;
+  }
+}
+
+double WindowedCorrelation::MeanX() const {
+  return xs_.empty() ? 0.0 : sum_x_ / static_cast<double>(xs_.size());
+}
+
+double WindowedCorrelation::MeanY() const {
+  return ys_.empty() ? 0.0 : sum_y_ / static_cast<double>(ys_.size());
+}
+
+double WindowedCorrelation::Correlation() const {
+  const double n = static_cast<double>(xs_.size());
+  if (n < 2.0) return 0.0;
+  const double cov = sum_xy_ - sum_x_ * sum_y_ / n;
+  const double var_x = sum_xx_ - sum_x_ * sum_x_ / n;
+  const double var_y = sum_yy_ - sum_y_ * sum_y_ / n;
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+CrossCorrelator::CrossCorrelator(size_t window, size_t max_lag) {
+  STREAMLIB_CHECK_MSG(window >= 2, "window must be >= 2");
+  correlators_.reserve(max_lag + 1);
+  for (size_t lag = 0; lag <= max_lag; lag++) {
+    correlators_.emplace_back(window);
+  }
+}
+
+void CrossCorrelator::Add(double x, double y) {
+  y_history_.push_back(y);
+  for (size_t lag = 0; lag < correlators_.size(); lag++) {
+    if (y_history_.size() > lag) {
+      const double delayed =
+          y_history_[y_history_.size() - 1 - lag];
+      correlators_[lag].Add(x, delayed);
+    }
+  }
+  if (y_history_.size() > correlators_.size()) y_history_.pop_front();
+}
+
+double CrossCorrelator::CorrelationAtLag(size_t lag) const {
+  STREAMLIB_CHECK(lag < correlators_.size());
+  return correlators_[lag].Correlation();
+}
+
+size_t CrossCorrelator::BestLag() const {
+  size_t best = 0;
+  double best_corr = correlators_[0].Correlation();
+  for (size_t lag = 1; lag < correlators_.size(); lag++) {
+    const double c = correlators_[lag].Correlation();
+    if (c > best_corr) {
+      best_corr = c;
+      best = lag;
+    }
+  }
+  return best;
+}
+
+CorrelationMatrix::CorrelationMatrix(size_t num_streams, size_t window)
+    : m_(num_streams) {
+  STREAMLIB_CHECK_MSG(num_streams >= 2, "need at least two streams");
+  pairs_.reserve(m_ * (m_ - 1) / 2);
+  for (size_t i = 0; i < m_ * (m_ - 1) / 2; i++) {
+    pairs_.emplace_back(window);
+  }
+}
+
+void CorrelationMatrix::Add(const std::vector<double>& values) {
+  STREAMLIB_CHECK_MSG(values.size() == m_, "stream count mismatch");
+  for (size_t i = 0; i < m_; i++) {
+    for (size_t j = i + 1; j < m_; j++) {
+      pairs_[IndexOf(i, j)].Add(values[i], values[j]);
+    }
+  }
+}
+
+double CorrelationMatrix::Correlation(size_t i, size_t j) const {
+  STREAMLIB_CHECK(i != j && i < m_ && j < m_);
+  if (i > j) std::swap(i, j);
+  return pairs_[IndexOf(i, j)].Correlation();
+}
+
+std::vector<std::pair<size_t, size_t>> CorrelationMatrix::CorrelatedPairs(
+    double threshold) const {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t i = 0; i < m_; i++) {
+    for (size_t j = i + 1; j < m_; j++) {
+      if (std::fabs(pairs_[IndexOf(i, j)].Correlation()) >= threshold) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace streamlib

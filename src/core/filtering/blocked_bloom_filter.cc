@@ -1,0 +1,54 @@
+#include "core/filtering/blocked_bloom_filter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+BlockedBloomFilter::BlockedBloomFilter(uint64_t num_bits, uint32_t num_hashes)
+    : num_blocks_((num_bits + kBlockBits - 1) / kBlockBits),
+      num_hashes_(num_hashes) {
+  STREAMLIB_CHECK_MSG(num_bits >= kBlockBits, "need at least one block");
+  STREAMLIB_CHECK_MSG(num_hashes >= 1, "need at least one hash");
+  words_.assign(num_blocks_ * kWordsPerBlock, 0);
+}
+
+BlockedBloomFilter BlockedBloomFilter::WithExpectedItems(
+    uint64_t expected_items, double fpp) {
+  STREAMLIB_CHECK_MSG(expected_items >= 1, "expected_items must be >= 1");
+  STREAMLIB_CHECK_MSG(fpp > 0.0 && fpp < 1.0, "fpp must be in (0, 1)");
+  const double ln2 = 0.6931471805599453;
+  const double m = -static_cast<double>(expected_items) * std::log(fpp) /
+                   (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  return BlockedBloomFilter(
+      std::max<uint64_t>(kBlockBits, static_cast<uint64_t>(m) + 1),
+      std::max<uint32_t>(1, static_cast<uint32_t>(std::lround(k))));
+}
+
+void BlockedBloomFilter::AddHash(uint64_t hash) {
+  // High bits pick the block; the remaining entropy drives in-block probes.
+  const uint64_t block = (hash >> 32) % num_blocks_;
+  uint64_t* base = &words_[block * kWordsPerBlock];
+  uint64_t h = Mix64(hash);
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    const uint32_t bit = static_cast<uint32_t>(h) % kBlockBits;
+    base[bit >> 6] |= uint64_t{1} << (bit & 63);
+    h = Mix64(h + 0x9e3779b97f4a7c15ULL);
+  }
+}
+
+bool BlockedBloomFilter::ContainsHash(uint64_t hash) const {
+  const uint64_t block = (hash >> 32) % num_blocks_;
+  const uint64_t* base = &words_[block * kWordsPerBlock];
+  uint64_t h = Mix64(hash);
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    const uint32_t bit = static_cast<uint32_t>(h) % kBlockBits;
+    if ((base[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+    h = Mix64(h + 0x9e3779b97f4a7c15ULL);
+  }
+  return true;
+}
+
+}  // namespace streamlib

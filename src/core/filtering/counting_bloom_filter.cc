@@ -1,0 +1,70 @@
+#include "core/filtering/counting_bloom_filter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+CountingBloomFilter::CountingBloomFilter(uint64_t num_counters,
+                                         uint32_t num_hashes)
+    : num_counters_((num_counters + 15) / 16 * 16), num_hashes_(num_hashes) {
+  STREAMLIB_CHECK_MSG(num_counters >= 16, "need at least 16 counters");
+  STREAMLIB_CHECK_MSG(num_hashes >= 1, "need at least one hash");
+  words_.assign(num_counters_ / 16, 0);
+}
+
+CountingBloomFilter CountingBloomFilter::WithExpectedItems(
+    uint64_t expected_items, double fpp) {
+  STREAMLIB_CHECK_MSG(expected_items >= 1, "expected_items must be >= 1");
+  STREAMLIB_CHECK_MSG(fpp > 0.0 && fpp < 1.0, "fpp must be in (0, 1)");
+  const double ln2 = 0.6931471805599453;
+  const double m = -static_cast<double>(expected_items) * std::log(fpp) /
+                   (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  return CountingBloomFilter(
+      std::max<uint64_t>(16, static_cast<uint64_t>(m) + 1),
+      std::max<uint32_t>(1, static_cast<uint32_t>(std::lround(k))));
+}
+
+void CountingBloomFilter::AddHash(uint64_t hash) {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    const uint64_t slot = DoubleHash(h1, h2, i) % num_counters_;
+    const uint64_t c = GetCounter(slot);
+    if (c < kCounterMax) SetCounter(slot, c + 1);
+  }
+}
+
+void CountingBloomFilter::RemoveHash(uint64_t hash) {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    const uint64_t slot = DoubleHash(h1, h2, i) % num_counters_;
+    const uint64_t c = GetCounter(slot);
+    // Saturated counters stick: decrementing one could underflow the true
+    // count and cause false negatives for co-hashed keys.
+    if (c > 0 && c < kCounterMax) SetCounter(slot, c - 1);
+  }
+}
+
+bool CountingBloomFilter::ContainsHash(uint64_t hash) const {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    const uint64_t slot = DoubleHash(h1, h2, i) % num_counters_;
+    if (GetCounter(slot) == 0) return false;
+  }
+  return true;
+}
+
+uint64_t CountingBloomFilter::SaturatedCounters() const {
+  uint64_t saturated = 0;
+  for (uint64_t slot = 0; slot < num_counters_; slot++) {
+    if (GetCounter(slot) == kCounterMax) saturated++;
+  }
+  return saturated;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,77 @@
+#ifndef STREAMLIB_CORE_FILTERING_COUNTING_BLOOM_FILTER_H_
+#define STREAMLIB_CORE_FILTERING_COUNTING_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace streamlib {
+
+/// Counting Bloom filter (Fan et al.; improved constructions surveyed in
+/// Bonomi et al., cited as [50]): replaces each bit with a 4-bit saturating
+/// counter so keys can be *deleted* — the capability plain Bloom filters
+/// lack. Counters saturate at 15 and then stick (a saturated counter is never
+/// decremented), trading a vanishing false-negative-on-delete risk for
+/// correctness under overflow.
+class CountingBloomFilter {
+ public:
+  /// \param num_counters  number of 4-bit counters (rounded up to 16/word)
+  /// \param num_hashes    probes per key
+  CountingBloomFilter(uint64_t num_counters, uint32_t num_hashes);
+
+  /// Sizes for `expected_items` at target false-positive probability `fpp`
+  /// (same geometry math as BloomFilter; 4 bits per slot instead of 1).
+  static CountingBloomFilter WithExpectedItems(uint64_t expected_items,
+                                               double fpp);
+
+  template <typename T>
+  void Add(const T& key) {
+    AddHash(HashValue(key, kHashSeed));
+  }
+
+  /// Removes one previous insertion of `key`. Removing a key that was never
+  /// added may introduce false negatives for other keys — caller contract,
+  /// as in all counting-Bloom designs.
+  template <typename T>
+  void Remove(const T& key) {
+    RemoveHash(HashValue(key, kHashSeed));
+  }
+
+  template <typename T>
+  bool Contains(const T& key) const {
+    return ContainsHash(HashValue(key, kHashSeed));
+  }
+
+  void AddHash(uint64_t hash);
+  void RemoveHash(uint64_t hash);
+  bool ContainsHash(uint64_t hash) const;
+
+  uint64_t num_counters() const { return num_counters_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Number of counters at the saturation value (overflow diagnostic).
+  uint64_t SaturatedCounters() const;
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x71ee9ae7b2dca7d5ULL;
+  static constexpr uint64_t kCounterMax = 15;
+
+  uint64_t GetCounter(uint64_t slot) const {
+    return (words_[slot >> 4] >> ((slot & 15) * 4)) & 0xf;
+  }
+  void SetCounter(uint64_t slot, uint64_t v) {
+    const uint64_t shift = (slot & 15) * 4;
+    words_[slot >> 4] =
+        (words_[slot >> 4] & ~(uint64_t{0xf} << shift)) | (v << shift);
+  }
+
+  uint64_t num_counters_;
+  uint32_t num_hashes_;
+  std::vector<uint64_t> words_;  // 16 counters per word.
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FILTERING_COUNTING_BLOOM_FILTER_H_

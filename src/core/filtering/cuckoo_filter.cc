@@ -1,0 +1,107 @@
+#include "core/filtering/cuckoo_filter.h"
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace streamlib {
+
+CuckooFilter::CuckooFilter(uint64_t capacity, uint64_t seed) : rng_(seed) {
+  STREAMLIB_CHECK_MSG(capacity >= 1, "capacity must be >= 1");
+  const uint64_t needed =
+      (capacity + kBucketSize - 1) / kBucketSize * 100 / 95 + 1;
+  num_buckets_ = NextPowerOfTwo(std::max<uint64_t>(needed, 2));
+  slots_.assign(num_buckets_ * kBucketSize, 0);
+}
+
+uint16_t CuckooFilter::FingerprintOf(uint64_t hash) const {
+  // Low 16 bits, remapped away from the empty-slot sentinel 0.
+  uint16_t fp = static_cast<uint16_t>(hash & 0xffff);
+  return fp == 0 ? 1 : fp;
+}
+
+uint64_t CuckooFilter::IndexOf(uint64_t hash) const {
+  return (hash >> 16) & (num_buckets_ - 1);
+}
+
+uint64_t CuckooFilter::AltIndex(uint64_t index, uint16_t fp) const {
+  // Partial-key cuckoo hashing: xor with a hash of the fingerprint gives an
+  // involution, so AltIndex(AltIndex(i, fp), fp) == i.
+  return (index ^ HashInt64(fp, 0xc0ffee)) & (num_buckets_ - 1);
+}
+
+bool CuckooFilter::InsertIntoBucket(uint64_t index, uint16_t fp) {
+  uint16_t* bucket = &slots_[index * kBucketSize];
+  for (uint32_t i = 0; i < kBucketSize; i++) {
+    if (bucket[i] == 0) {
+      bucket[i] = fp;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::BucketContains(uint64_t index, uint16_t fp) const {
+  const uint16_t* bucket = &slots_[index * kBucketSize];
+  for (uint32_t i = 0; i < kBucketSize; i++) {
+    if (bucket[i] == fp) return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::RemoveFromBucket(uint64_t index, uint16_t fp) {
+  uint16_t* bucket = &slots_[index * kBucketSize];
+  for (uint32_t i = 0; i < kBucketSize; i++) {
+    if (bucket[i] == fp) {
+      bucket[i] = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::AddHash(uint64_t hash) {
+  uint16_t fp = FingerprintOf(hash);
+  const uint64_t i1 = IndexOf(hash);
+  const uint64_t i2 = AltIndex(i1, fp);
+  if (InsertIntoBucket(i1, fp) || InsertIntoBucket(i2, fp)) {
+    size_++;
+    return true;
+  }
+  // Relocation loop: evict a random resident and push it to its alternate.
+  uint64_t index = rng_.NextBool(0.5) ? i1 : i2;
+  for (uint32_t kick = 0; kick < kMaxKicks; kick++) {
+    uint16_t* bucket = &slots_[index * kBucketSize];
+    const uint32_t victim = static_cast<uint32_t>(rng_.NextBounded(kBucketSize));
+    std::swap(fp, bucket[victim]);
+    index = AltIndex(index, fp);
+    if (InsertIntoBucket(index, fp)) {
+      size_++;
+      return true;
+    }
+  }
+  // Filter full. The displaced fingerprint `fp` is currently homeless; put
+  // the original back is impossible without history, so we report failure —
+  // matching the reference implementation's behaviour (the caller's last
+  // inserted key is the one reported as failed, and one prior fingerprint
+  // may have been dropped; callers must treat false as "stop inserting").
+  return false;
+}
+
+bool CuckooFilter::ContainsHash(uint64_t hash) const {
+  const uint16_t fp = FingerprintOf(hash);
+  const uint64_t i1 = IndexOf(hash);
+  if (BucketContains(i1, fp)) return true;
+  return BucketContains(AltIndex(i1, fp), fp);
+}
+
+bool CuckooFilter::RemoveHash(uint64_t hash) {
+  const uint16_t fp = FingerprintOf(hash);
+  const uint64_t i1 = IndexOf(hash);
+  if (RemoveFromBucket(i1, fp) || RemoveFromBucket(AltIndex(i1, fp), fp)) {
+    size_--;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,80 @@
+#ifndef STREAMLIB_CORE_FILTERING_CUCKOO_FILTER_H_
+#define STREAMLIB_CORE_FILTERING_CUCKOO_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Cuckoo filter (Fan, Andersen, Kaminsky & Mitzenmacher, cited as [82]):
+/// approximate membership with deletion support and, at low false-positive
+/// targets, fewer bits per key than Bloom filters. Stores 16-bit fingerprints
+/// in 4-way buckets; each key has two candidate buckets related by
+/// partial-key cuckoo hashing (i2 = i1 XOR hash(fingerprint)), and inserts
+/// displace residents BFS-style up to a kick budget.
+class CuckooFilter {
+ public:
+  /// \param capacity  design capacity in keys. The filter allocates
+  ///                  ceil(capacity / (4 * 0.95)) buckets rounded to a power
+  ///                  of two (95% is the paper's achievable load factor).
+  /// \param seed      seed for the eviction-victim RNG.
+  explicit CuckooFilter(uint64_t capacity, uint64_t seed = 0x1234abcd);
+
+  /// Inserts a key. Returns false when the filter is full (kick budget
+  /// exhausted) — callers should treat that as "resize needed".
+  template <typename T>
+  bool Add(const T& key) {
+    return AddHash(HashValue(key, kHashSeed));
+  }
+
+  template <typename T>
+  bool Contains(const T& key) const {
+    return ContainsHash(HashValue(key, kHashSeed));
+  }
+
+  /// Deletes one insertion of the key. Returns false when no matching
+  /// fingerprint exists (the key was never added, or its fingerprint was
+  /// displaced by a colliding delete). Deleting never-added keys can cause
+  /// false negatives for co-hashed keys — caller contract, as in the paper.
+  template <typename T>
+  bool Remove(const T& key) {
+    return RemoveHash(HashValue(key, kHashSeed));
+  }
+
+  bool AddHash(uint64_t hash);
+  bool ContainsHash(uint64_t hash) const;
+  bool RemoveHash(uint64_t hash);
+
+  /// Number of fingerprints currently stored.
+  uint64_t size() const { return size_; }
+  uint64_t num_buckets() const { return num_buckets_; }
+  double LoadFactor() const {
+    return static_cast<double>(size_) /
+           static_cast<double>(num_buckets_ * kBucketSize);
+  }
+  size_t MemoryBytes() const { return slots_.size() * sizeof(uint16_t); }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x7a3f9d2b1c45e6f8ULL;
+  static constexpr uint32_t kBucketSize = 4;
+  static constexpr uint32_t kMaxKicks = 500;
+
+  uint16_t FingerprintOf(uint64_t hash) const;
+  uint64_t IndexOf(uint64_t hash) const;
+  uint64_t AltIndex(uint64_t index, uint16_t fp) const;
+  bool InsertIntoBucket(uint64_t index, uint16_t fp);
+  bool BucketContains(uint64_t index, uint16_t fp) const;
+  bool RemoveFromBucket(uint64_t index, uint16_t fp);
+
+  uint64_t num_buckets_;  // Power of two.
+  Rng rng_;
+  std::vector<uint16_t> slots_;  // num_buckets_ * kBucketSize; 0 = empty.
+  uint64_t size_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FILTERING_CUCKOO_FILTER_H_

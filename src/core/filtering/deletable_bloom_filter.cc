@@ -1,0 +1,66 @@
+#include "core/filtering/deletable_bloom_filter.h"
+
+#include "common/check.h"
+
+namespace streamlib {
+
+DeletableBloomFilter::DeletableBloomFilter(uint64_t num_bits,
+                                           uint32_t num_hashes,
+                                           uint32_t num_regions)
+    : num_bits_((num_bits + 63) / 64 * 64), num_hashes_(num_hashes) {
+  STREAMLIB_CHECK_MSG(num_bits >= 64, "need at least 64 bits");
+  STREAMLIB_CHECK_MSG(num_hashes >= 1, "need at least one hash");
+  STREAMLIB_CHECK_MSG(num_regions >= 1 && num_regions <= num_bits,
+                      "regions must be in [1, num_bits]");
+  words_.assign(num_bits_ / 64, 0);
+  regions_.assign(num_regions, false);
+}
+
+void DeletableBloomFilter::AddHash(uint64_t hash) {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    const uint64_t bit = DoubleHash(h1, h2, i) % num_bits_;
+    if (GetBit(bit)) {
+      // Second writer to this bit: its whole region becomes non-deletable.
+      regions_[RegionOf(bit)] = true;
+    } else {
+      SetBit(bit);
+    }
+  }
+}
+
+bool DeletableBloomFilter::ContainsHash(uint64_t hash) const {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    const uint64_t bit = DoubleHash(h1, h2, i) % num_bits_;
+    if (!GetBit(bit)) return false;
+  }
+  return true;
+}
+
+bool DeletableBloomFilter::RemoveHash(uint64_t hash) {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  bool cleared_any = false;
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    const uint64_t bit = DoubleHash(h1, h2, i) % num_bits_;
+    if (!regions_[RegionOf(bit)]) {
+      ClearBit(bit);
+      cleared_any = true;
+    }
+  }
+  return cleared_any;
+}
+
+double DeletableBloomFilter::CollidedRegionFraction() const {
+  size_t collided = 0;
+  for (bool r : regions_) {
+    if (r) collided++;
+  }
+  return static_cast<double>(collided) /
+         static_cast<double>(regions_.size());
+}
+
+}  // namespace streamlib

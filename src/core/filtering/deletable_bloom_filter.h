@@ -1,0 +1,81 @@
+#ifndef STREAMLIB_CORE_FILTERING_DELETABLE_BLOOM_FILTER_H_
+#define STREAMLIB_CORE_FILTERING_DELETABLE_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace streamlib {
+
+/// Deletable Bloom Filter (Rothenberg, Macapuna, Verdi & Magalhães, cited
+/// as [143]): supports *probabilistic* deletion at a fraction of the space
+/// counting Bloom filters pay. The bit array is split into r regions; a
+/// small collision bitmap records which regions ever had a bit set twice.
+/// Deleting a key resets only its bits in collision-free regions — always
+/// safe (no false negatives for other keys); a key is fully removable when
+/// at least one of its bits lies in a collision-free region, which the
+/// paper shows holds for most keys at practical load.
+class DeletableBloomFilter {
+ public:
+  /// \param num_bits     bit array size (rounded up to 64).
+  /// \param num_hashes   probes per key.
+  /// \param num_regions  r collision-tracking regions (the overhead is
+  ///                     r bits; more regions = higher delete success).
+  DeletableBloomFilter(uint64_t num_bits, uint32_t num_hashes,
+                       uint32_t num_regions);
+
+  template <typename T>
+  void Add(const T& key) {
+    AddHash(HashValue(key, kHashSeed));
+  }
+
+  template <typename T>
+  bool Contains(const T& key) const {
+    return ContainsHash(HashValue(key, kHashSeed));
+  }
+
+  /// Attempts to delete a previously added key. Returns true if at least
+  /// one of its bits was reset (the key will no longer be reported present
+  /// unless other keys cover all its positions); false when every bit lies
+  /// in a collided region (the deletion could not be safely applied).
+  template <typename T>
+  bool Remove(const T& key) {
+    return RemoveHash(HashValue(key, kHashSeed));
+  }
+
+  void AddHash(uint64_t hash);
+  bool ContainsHash(uint64_t hash) const;
+  bool RemoveHash(uint64_t hash);
+
+  /// Fraction of regions marked collided (deletability diagnostic).
+  double CollidedRegionFraction() const;
+
+  uint64_t num_bits() const { return num_bits_; }
+  size_t MemoryBytes() const {
+    return words_.size() * sizeof(uint64_t) + (regions_.size() + 7) / 8;
+  }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x1b873593c2b2ae35ULL;
+
+  uint32_t RegionOf(uint64_t bit) const {
+    return static_cast<uint32_t>(bit * regions_.size() / num_bits_);
+  }
+  bool GetBit(uint64_t bit) const {
+    return (words_[bit >> 6] >> (bit & 63)) & 1;
+  }
+  void SetBit(uint64_t bit) { words_[bit >> 6] |= uint64_t{1} << (bit & 63); }
+  void ClearBit(uint64_t bit) {
+    words_[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+  }
+
+  uint64_t num_bits_;
+  uint32_t num_hashes_;
+  std::vector<uint64_t> words_;
+  std::vector<bool> regions_;  // true = region has had a bit collision.
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FILTERING_DELETABLE_BLOOM_FILTER_H_

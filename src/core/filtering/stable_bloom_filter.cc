@@ -1,0 +1,46 @@
+#include "core/filtering/stable_bloom_filter.h"
+
+#include "common/check.h"
+
+namespace streamlib {
+
+StableBloomFilter::StableBloomFilter(uint64_t num_cells, uint32_t num_hashes,
+                                     uint8_t cell_max,
+                                     uint32_t decrement_count, uint64_t seed)
+    : num_cells_(num_cells),
+      num_hashes_(num_hashes),
+      cell_max_(cell_max),
+      decrement_count_(decrement_count),
+      rng_(seed) {
+  STREAMLIB_CHECK_MSG(num_cells >= 64, "need at least 64 cells");
+  STREAMLIB_CHECK_MSG(num_hashes >= 1, "need at least one hash");
+  STREAMLIB_CHECK_MSG(cell_max >= 1, "cell_max must be >= 1");
+  cells_.assign(num_cells, 0);
+}
+
+bool StableBloomFilter::AddAndCheckDuplicateHash(uint64_t hash) {
+  const bool duplicate = ContainsHash(hash);
+  // Decay: decrement `decrement_count` uniformly random cells.
+  for (uint32_t i = 0; i < decrement_count_; i++) {
+    const uint64_t cell = rng_.NextBounded(num_cells_);
+    if (cells_[cell] > 0) cells_[cell]--;
+  }
+  // Mark: set the key's cells to the maximum.
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    cells_[DoubleHash(h1, h2, i) % num_cells_] = cell_max_;
+  }
+  return duplicate;
+}
+
+bool StableBloomFilter::ContainsHash(uint64_t hash) const {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = Mix64(hash ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; i++) {
+    if (cells_[DoubleHash(h1, h2, i) % num_cells_] == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,60 @@
+#ifndef STREAMLIB_CORE_FILTERING_STABLE_BLOOM_FILTER_H_
+#define STREAMLIB_CORE_FILTERING_STABLE_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Stable Bloom filter (Deng & Rafiei, SIGMOD 2006) for *duplicate detection
+/// in unbounded streams* — the "stream imperfections" requirement the paper
+/// lists for production systems (dedup of redelivered events). A plain Bloom
+/// filter saturates on an infinite stream; the stable variant decays: before
+/// each insertion it decrements `decrement_count` random cells, so stale
+/// entries fade and the false-positive rate converges to a stable limit
+/// (at the cost of a bounded false-negative rate for old duplicates).
+class StableBloomFilter {
+ public:
+  /// \param num_cells        number of d-bit cells
+  /// \param num_hashes       probes per key
+  /// \param cell_max         maximum cell value (d bits => (1<<d)-1); fresh
+  ///                         insertions set cells to this value
+  /// \param decrement_count  cells decremented per insertion (the decay rate)
+  StableBloomFilter(uint64_t num_cells, uint32_t num_hashes, uint8_t cell_max,
+                    uint32_t decrement_count, uint64_t seed);
+
+  /// Returns true iff the key was (probably) already present, then marks it
+  /// present — the one-call dedup primitive.
+  template <typename T>
+  bool AddAndCheckDuplicate(const T& key) {
+    return AddAndCheckDuplicateHash(HashValue(key, kHashSeed));
+  }
+
+  template <typename T>
+  bool Contains(const T& key) const {
+    return ContainsHash(HashValue(key, kHashSeed));
+  }
+
+  bool AddAndCheckDuplicateHash(uint64_t hash);
+  bool ContainsHash(uint64_t hash) const;
+
+  uint64_t num_cells() const { return num_cells_; }
+  size_t MemoryBytes() const { return cells_.size(); }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x31415926535897ULL;
+
+  uint64_t num_cells_;
+  uint32_t num_hashes_;
+  uint8_t cell_max_;
+  uint32_t decrement_count_;
+  Rng rng_;
+  std::vector<uint8_t> cells_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FILTERING_STABLE_BLOOM_FILTER_H_

@@ -1,0 +1,131 @@
+#include "core/frequency/count_min_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/serde.h"
+
+namespace streamlib {
+
+CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth,
+                               bool conservative)
+    : width_(width), depth_(depth), conservative_(conservative) {
+  STREAMLIB_CHECK_MSG(width >= 1, "width must be >= 1");
+  STREAMLIB_CHECK_MSG(depth >= 1 && depth <= 64, "depth must be in [1, 64]");
+  table_.assign(static_cast<size_t>(width_) * depth_, 0);
+}
+
+CountMinSketch CountMinSketch::WithErrorBound(double eps, double delta,
+                                              bool conservative) {
+  STREAMLIB_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  STREAMLIB_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  const uint32_t width =
+      static_cast<uint32_t>(std::ceil(std::exp(1.0) / eps));
+  const uint32_t depth = static_cast<uint32_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(width, std::max<uint32_t>(1, depth), conservative);
+}
+
+uint64_t CountMinSketch::ColumnOf(uint64_t hash, uint32_t row) const {
+  // Independent row hashes via seeded remixing of the base digest.
+  return HashInt64(hash, row + 1) % width_;
+}
+
+void CountMinSketch::AddHash(uint64_t hash, uint64_t count) {
+  total_count_ += count;
+  if (!conservative_) {
+    for (uint32_t row = 0; row < depth_; row++) {
+      Cell(row, ColumnOf(hash, row)) += count;
+    }
+    return;
+  }
+  // Conservative update: raise each counter only as far as the post-update
+  // point estimate requires.
+  uint64_t current = EstimateHash(hash);
+  const uint64_t target = current + count;
+  for (uint32_t row = 0; row < depth_; row++) {
+    uint64_t& cell = Cell(row, ColumnOf(hash, row));
+    cell = std::max(cell, target);
+  }
+}
+
+uint64_t CountMinSketch::EstimateHash(uint64_t hash) const {
+  uint64_t estimate = std::numeric_limits<uint64_t>::max();
+  for (uint32_t row = 0; row < depth_; row++) {
+    estimate = std::min(estimate, Cell(row, ColumnOf(hash, row)));
+  }
+  return estimate;
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_) {
+    return Status::InvalidArgument("CMS merge: geometry mismatch");
+  }
+  for (size_t i = 0; i < table_.size(); i++) table_[i] += other.table_[i];
+  total_count_ += other.total_count_;
+  return Status::OK();
+}
+
+Result<uint64_t> CountMinSketch::InnerProduct(
+    const CountMinSketch& other) const {
+  if (other.width_ != width_ || other.depth_ != depth_) {
+    return Status::InvalidArgument("CMS inner product: geometry mismatch");
+  }
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (uint32_t row = 0; row < depth_; row++) {
+    uint64_t dot = 0;
+    for (uint64_t col = 0; col < width_; col++) {
+      dot += Cell(row, col) * other.Cell(row, col);
+    }
+    best = std::min(best, dot);
+  }
+  return best;
+}
+
+std::vector<uint8_t> CountMinSketch::Serialize() const {
+  ByteWriter w;
+  w.PutU32(width_);
+  w.PutU32(depth_);
+  w.PutU8(conservative_ ? 1 : 0);
+  w.PutU64(total_count_);
+  for (uint64_t cell : table_) w.PutVarint(cell);
+  return w.TakeBytes();
+}
+
+Result<CountMinSketch> CountMinSketch::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint32_t width;
+  uint32_t depth;
+  uint8_t conservative;
+  uint64_t total;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&width));
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&depth));
+  STREAMLIB_RETURN_NOT_OK(r.GetU8(&conservative));
+  STREAMLIB_RETURN_NOT_OK(r.GetU64(&total));
+  if (width < 1 || depth < 1 || depth > 64) {
+    return Status::Corruption("CMS: geometry out of range");
+  }
+  // Each cell is at least one varint byte: a corrupted geometry claiming
+  // more cells than the payload could hold must be rejected *before*
+  // allocating the table (a flipped width bit would otherwise trigger a
+  // multi-gigabyte allocation).
+  if (static_cast<uint64_t>(width) * depth > r.remaining()) {
+    return Status::Corruption("CMS: geometry exceeds payload");
+  }
+  CountMinSketch sketch(width, depth, conservative != 0);
+  sketch.total_count_ = total;
+  for (uint64_t& cell : sketch.table_) {
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&cell));
+  }
+  if (!r.AtEnd()) return Status::Corruption("CMS: trailing bytes");
+  return sketch;
+}
+
+double CountMinSketch::ErrorBound() const {
+  return std::exp(1.0) / static_cast<double>(width_) *
+         static_cast<double>(total_count_);
+}
+
+}  // namespace streamlib

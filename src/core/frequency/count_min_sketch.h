@@ -1,0 +1,91 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_COUNT_MIN_SKETCH_H_
+#define STREAMLIB_CORE_FREQUENCY_COUNT_MIN_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace streamlib {
+
+/// Count-Min sketch (Cormode & Muthukrishnan, cited as [66]): a d x w
+/// counter array; each key increments one counter per row, point queries
+/// take the row-wise *minimum*. With w = ceil(e/eps) and d = ceil(ln(1/dl)),
+/// estimates overcount by at most eps * n with probability 1 - dl.
+/// Linear (merge-able) and supports weighted updates — the workhorse sketch
+/// behind distributed heavy-hitter pipelines (Summingbird-style, per the
+/// paper's Lambda discussion).
+///
+/// The optional *conservative update* (Estan & Varghese [81]) increments
+/// only the counters that equal the current minimum, provably never
+/// increasing error; its effect is measured by the A-cms-conservative
+/// ablation bench.
+class CountMinSketch {
+ public:
+  /// \param width  counters per row (error ~ e/width of total count).
+  /// \param depth  rows (failure probability ~ exp(-depth)).
+  /// \param conservative  enable conservative update.
+  CountMinSketch(uint32_t width, uint32_t depth, bool conservative = false);
+
+  /// Sizes the sketch for overcount <= eps*n with probability >= 1 - delta.
+  static CountMinSketch WithErrorBound(double eps, double delta,
+                                       bool conservative = false);
+
+  template <typename T>
+  void Add(const T& key, uint64_t count = 1) {
+    AddHash(HashValue(key, kHashSeed), count);
+  }
+
+  template <typename T>
+  uint64_t Estimate(const T& key) const {
+    return EstimateHash(HashValue(key, kHashSeed));
+  }
+
+  void AddHash(uint64_t hash, uint64_t count);
+  uint64_t EstimateHash(uint64_t hash) const;
+
+  /// In-place merge with an identically shaped, same-mode sketch.
+  /// (Conservative-update sketches are not linear; merging them degrades
+  /// their tightened bound back to the standard CM guarantee.)
+  Status Merge(const CountMinSketch& other);
+
+  /// Estimated inner product of the two frequency vectors (self-join size
+  /// when `other` is this sketch) — min over rows of the row dot-product.
+  Result<uint64_t> InnerProduct(const CountMinSketch& other) const;
+
+  /// Serializes to bytes / restores — used by the platform checkpoint
+  /// store so stateful bolts can persist sketch state.
+  std::vector<uint8_t> Serialize() const;
+  static Result<CountMinSketch> Deserialize(const std::vector<uint8_t>& bytes);
+
+  uint64_t total_count() const { return total_count_; }
+  uint32_t width() const { return width_; }
+  uint32_t depth() const { return depth_; }
+  bool conservative() const { return conservative_; }
+  size_t MemoryBytes() const { return table_.size() * sizeof(uint64_t); }
+
+  /// Additive error bound eps*n implied by the geometry: e/width * n.
+  double ErrorBound() const;
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x0b4c61d34d2f5ee9ULL;
+
+  uint64_t& Cell(uint32_t row, uint64_t col) {
+    return table_[static_cast<size_t>(row) * width_ + col];
+  }
+  const uint64_t& Cell(uint32_t row, uint64_t col) const {
+    return table_[static_cast<size_t>(row) * width_ + col];
+  }
+  uint64_t ColumnOf(uint64_t hash, uint32_t row) const;
+
+  uint32_t width_;
+  uint32_t depth_;
+  bool conservative_;
+  uint64_t total_count_ = 0;
+  std::vector<uint64_t> table_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_COUNT_MIN_SKETCH_H_

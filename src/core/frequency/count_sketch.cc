@@ -1,0 +1,64 @@
+#include "core/frequency/count_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+CountSketch::CountSketch(uint32_t width, uint32_t depth)
+    : width_(width), depth_(depth) {
+  STREAMLIB_CHECK_MSG(width >= 1, "width must be >= 1");
+  STREAMLIB_CHECK_MSG(depth >= 1 && depth <= 64, "depth must be in [1, 64]");
+  table_.assign(static_cast<size_t>(width_) * depth_, 0);
+}
+
+void CountSketch::AddHash(uint64_t hash, int64_t count) {
+  for (uint32_t row = 0; row < depth_; row++) {
+    const uint64_t h = HashInt64(hash, row + 1);
+    const uint64_t col = (h >> 1) % width_;
+    const int64_t sign = (h & 1) != 0 ? 1 : -1;
+    Cell(row, col) += sign * count;
+  }
+}
+
+int64_t CountSketch::EstimateHash(uint64_t hash) const {
+  std::vector<int64_t> row_estimates;
+  row_estimates.reserve(depth_);
+  for (uint32_t row = 0; row < depth_; row++) {
+    const uint64_t h = HashInt64(hash, row + 1);
+    const uint64_t col = (h >> 1) % width_;
+    const int64_t sign = (h & 1) != 0 ? 1 : -1;
+    row_estimates.push_back(sign * Cell(row, col));
+  }
+  std::nth_element(row_estimates.begin(),
+                   row_estimates.begin() + row_estimates.size() / 2,
+                   row_estimates.end());
+  return row_estimates[row_estimates.size() / 2];
+}
+
+double CountSketch::EstimateF2() const {
+  std::vector<double> row_f2;
+  row_f2.reserve(depth_);
+  for (uint32_t row = 0; row < depth_; row++) {
+    double sum = 0.0;
+    for (uint64_t col = 0; col < width_; col++) {
+      const double c = static_cast<double>(Cell(row, col));
+      sum += c * c;
+    }
+    row_f2.push_back(sum);
+  }
+  std::nth_element(row_f2.begin(), row_f2.begin() + row_f2.size() / 2,
+                   row_f2.end());
+  return row_f2[row_f2.size() / 2];
+}
+
+Status CountSketch::Merge(const CountSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_) {
+    return Status::InvalidArgument("CountSketch merge: geometry mismatch");
+  }
+  for (size_t i = 0; i < table_.size(); i++) table_[i] += other.table_[i];
+  return Status::OK();
+}
+
+}  // namespace streamlib

@@ -1,0 +1,86 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_DECAYED_COUNTER_H_
+#define STREAMLIB_CORE_FREQUENCY_DECAYED_COUNTER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// Exponentially time-decayed counting — the practical cousin of the
+/// polynomial-decay frequent-items problem (Feigenblat, Itzhaki & Porat,
+/// cited as [84]) and the recency weighting behind real trending systems:
+/// an occurrence at time t contributes 2^-((now - t)/half_life) to the
+/// current count. Counts are stored in *scaled* form (divided by
+/// 2^-(t/half_life) at insert time... equivalently multiplied by
+/// 2^(t/half_life)) so decay needs no per-tick updates; periodic
+/// renormalization keeps the scale within double range.
+template <typename Key>
+class DecayedCounter {
+ public:
+  /// \param half_life  time units for a count to halve.
+  explicit DecayedCounter(double half_life) : half_life_(half_life) {
+    STREAMLIB_CHECK_MSG(half_life > 0.0, "half life must be positive");
+  }
+
+  /// Records `weight` occurrences of `key` at time `now` (nondecreasing).
+  void Add(const Key& key, double now, double weight = 1.0) {
+    STREAMLIB_DCHECK(now >= last_time_);
+    last_time_ = std::max(last_time_, now);
+    // Scaled weight: weight * 2^((now - origin) / half_life).
+    const double scaled =
+        weight * std::exp2((now - origin_) / half_life_);
+    counts_[key] += scaled;
+    if (scaled > 1e100) Renormalize(now);
+  }
+
+  /// Decayed count of `key` as of time `now`.
+  double Estimate(const Key& key, double now) const {
+    auto it = counts_.find(key);
+    if (it == counts_.end()) return 0.0;
+    return it->second * std::exp2(-(now - origin_) / half_life_);
+  }
+
+  /// Keys with decayed count >= threshold at `now`, descending. Also prunes
+  /// entries that have decayed below `threshold / 1000` (the bounded-memory
+  /// property decayed counters buy: stale keys evaporate).
+  std::vector<std::pair<Key, double>> Trending(double now, double threshold) {
+    const double scale = std::exp2(-(now - origin_) / half_life_);
+    std::vector<std::pair<Key, double>> out;
+    for (auto it = counts_.begin(); it != counts_.end();) {
+      const double value = it->second * scale;
+      if (value < threshold / 1000.0) {
+        it = counts_.erase(it);
+        continue;
+      }
+      if (value >= threshold) out.emplace_back(it->first, value);
+      ++it;
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    return out;
+  }
+
+  size_t size() const { return counts_.size(); }
+
+ private:
+  void Renormalize(double now) {
+    const double factor = std::exp2(-(now - origin_) / half_life_);
+    for (auto& [key, value] : counts_) value *= factor;
+    origin_ = now;
+  }
+
+  double half_life_;
+  double origin_ = 0.0;
+  double last_time_ = 0.0;
+  std::unordered_map<Key, double> counts_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_DECAYED_COUNTER_H_

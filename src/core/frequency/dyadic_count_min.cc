@@ -1,0 +1,83 @@
+#include "core/frequency/dyadic_count_min.h"
+
+#include "common/check.h"
+
+namespace streamlib {
+
+DyadicCountMin::DyadicCountMin(uint32_t universe_bits, uint32_t width,
+                               uint32_t depth)
+    : universe_bits_(universe_bits) {
+  STREAMLIB_CHECK_MSG(universe_bits >= 1 && universe_bits <= 32,
+                      "universe_bits must be in [1, 32]");
+  levels_.reserve(universe_bits + 1);
+  for (uint32_t l = 0; l <= universe_bits; l++) {
+    levels_.emplace_back(width, depth, /*conservative=*/false);
+  }
+}
+
+void DyadicCountMin::Add(uint32_t value, uint64_t count) {
+  STREAMLIB_CHECK_MSG(
+      universe_bits_ == 32 || value < (uint32_t{1} << universe_bits_),
+      "value outside universe");
+  total_ += count;
+  for (uint32_t l = 0; l <= universe_bits_; l++) {
+    // Key at level l: the prefix (value >> l), salted by the level so the
+    // same numeric prefix at different levels doesn't collide.
+    const uint64_t key = (static_cast<uint64_t>(l) << 32) | (value >> l);
+    levels_[l].Add(key, count);
+  }
+}
+
+uint64_t DyadicCountMin::EstimatePoint(uint32_t value) const {
+  return levels_[0].Estimate(static_cast<uint64_t>(value));
+}
+
+uint64_t DyadicCountMin::EstimateRange(uint32_t lo, uint32_t hi) const {
+  STREAMLIB_CHECK_MSG(lo <= hi, "invalid range");
+  // Greedy dyadic decomposition of [lo, hi].
+  uint64_t sum = 0;
+  uint64_t a = lo;
+  const uint64_t b = hi;
+  while (a <= b) {
+    // Largest level l such that a is aligned to 2^l and the block fits.
+    uint32_t l = 0;
+    while (l < universe_bits_) {
+      const uint64_t block = uint64_t{1} << (l + 1);
+      if ((a & (block - 1)) != 0) break;          // Alignment fails.
+      if (a + block - 1 > b) break;               // Block overshoots.
+      l++;
+    }
+    const uint64_t key = (static_cast<uint64_t>(l) << 32) | (a >> l);
+    sum += levels_[l].Estimate(key);
+    a += uint64_t{1} << l;
+  }
+  return sum;
+}
+
+uint32_t DyadicCountMin::Quantile(double phi) const {
+  STREAMLIB_CHECK_MSG(phi >= 0.0 && phi <= 1.0, "phi must be in [0, 1]");
+  STREAMLIB_CHECK_MSG(total_ > 0, "quantile of empty sketch");
+  const uint64_t target =
+      static_cast<uint64_t>(phi * static_cast<double>(total_));
+  // Binary search the smallest x with prefix count >= target.
+  uint64_t lo = 0;
+  uint64_t hi = (universe_bits_ == 32 ? ~uint32_t{0}
+                                      : (uint32_t{1} << universe_bits_) - 1);
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (EstimateRange(0, static_cast<uint32_t>(mid)) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return static_cast<uint32_t>(lo);
+}
+
+size_t DyadicCountMin::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.MemoryBytes();
+  return total;
+}
+
+}  // namespace streamlib

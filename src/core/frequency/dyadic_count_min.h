@@ -1,0 +1,49 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_DYADIC_COUNT_MIN_H_
+#define STREAMLIB_CORE_FREQUENCY_DYADIC_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frequency/count_min_sketch.h"
+
+namespace streamlib {
+
+/// Dyadic Count-Min structure — the *range query* and *quantile* machinery
+/// from the Count-Min paper itself (Cormode & Muthukrishnan [66], §4):
+/// one CM sketch per dyadic level of a 2^bits integer universe; a range
+/// [a, b] decomposes into at most 2·bits dyadic intervals, each answered by
+/// one sketch, so range counts carry error 2·bits·eps·n and quantiles fall
+/// out by binary search over prefix counts. The structure that turns a
+/// point-query sketch into a full distribution summary.
+class DyadicCountMin {
+ public:
+  /// \param universe_bits  values in [0, 2^universe_bits), <= 32.
+  /// \param width/depth    per-level CM geometry.
+  DyadicCountMin(uint32_t universe_bits, uint32_t width, uint32_t depth);
+
+  /// Adds `count` occurrences of `value`.
+  void Add(uint32_t value, uint64_t count = 1);
+
+  /// Point estimate (level-0 sketch).
+  uint64_t EstimatePoint(uint32_t value) const;
+
+  /// Estimated number of stream items with value in [lo, hi] (inclusive).
+  uint64_t EstimateRange(uint32_t lo, uint32_t hi) const;
+
+  /// Value x such that rank(x) ~ phi * n, via binary search on prefix
+  /// counts. Rank error ~ 2 * universe_bits * (e/width) * n.
+  uint32_t Quantile(double phi) const;
+
+  uint64_t total_count() const { return total_; }
+  size_t MemoryBytes() const;
+
+ private:
+  uint32_t universe_bits_;
+  uint64_t total_ = 0;
+  std::vector<CountMinSketch> levels_;  // levels_[l]: prefixes of length
+                                        // universe_bits - l (l = 0 exact).
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_DYADIC_COUNT_MIN_H_

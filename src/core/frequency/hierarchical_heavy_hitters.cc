@@ -1,0 +1,64 @@
+#include "core/frequency/hierarchical_heavy_hitters.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+HierarchicalHeavyHitters::HierarchicalHeavyHitters(size_t counters_per_level) {
+  levels_.reserve(kLevels);
+  for (int level = 0; level < kLevels; level++) {
+    levels_.emplace_back(counters_per_level);
+  }
+}
+
+void HierarchicalHeavyHitters::Add(uint32_t key, uint64_t increment) {
+  count_ += increment;
+  for (int level = 0; level < kLevels; level++) {
+    levels_[level].Add(key & MaskFor(level), increment);
+  }
+}
+
+uint64_t HierarchicalHeavyHitters::EstimatePrefix(uint32_t prefix,
+                                                  int prefix_bits) const {
+  STREAMLIB_CHECK_MSG(prefix_bits % 8 == 0 && prefix_bits <= 32,
+                      "prefix_bits must be one of 0, 8, 16, 24, 32");
+  const int level = (32 - prefix_bits) / 8;
+  return levels_[level].Estimate(prefix & MaskFor(level));
+}
+
+std::vector<HhhResult> HierarchicalHeavyHitters::Query(
+    uint64_t threshold) const {
+  std::vector<HhhResult> out;
+  // Count already attributed to heavy descendants, keyed by ancestor prefix
+  // at the *next* level up.
+  std::unordered_map<uint32_t, uint64_t> attributed;
+
+  for (int level = 0; level < kLevels; level++) {
+    std::unordered_map<uint32_t, uint64_t> next_attributed;
+    for (const auto& item : levels_[level].HeavyHitters(1)) {
+      const uint32_t prefix = item.key;
+      uint64_t discounted = item.estimate;
+      auto it = attributed.find(prefix);
+      const uint64_t child_sum = it == attributed.end() ? 0 : it->second;
+      discounted = discounted > child_sum ? discounted - child_sum : 0;
+
+      const uint32_t parent =
+          level + 1 < kLevels ? (prefix & MaskFor(level + 1)) : 0;
+      if (discounted >= threshold) {
+        out.push_back(HhhResult{prefix, 32 - level * 8, item.estimate,
+                                discounted});
+        // The full (undiscounted-from-here) mass is now attributed upward.
+        next_attributed[parent] += item.estimate;
+      } else {
+        // Pass through descendants' attribution to the parent level.
+        next_attributed[parent] += child_sum;
+      }
+    }
+    attributed = std::move(next_attributed);
+  }
+  return out;
+}
+
+}  // namespace streamlib

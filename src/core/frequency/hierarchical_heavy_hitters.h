@@ -1,0 +1,59 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_HIERARCHICAL_HEAVY_HITTERS_H_
+#define STREAMLIB_CORE_FREQUENCY_HIERARCHICAL_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frequency/space_saving.h"
+
+namespace streamlib {
+
+/// A hierarchical heavy hitter: a prefix whose *conditioned* count (its own
+/// traffic minus traffic already attributed to heavy descendants) exceeds
+/// the threshold.
+struct HhhResult {
+  uint32_t prefix = 0;         ///< prefix value, low bits zeroed
+  int prefix_bits = 32;        ///< prefix length in bits
+  uint64_t count = 0;          ///< estimated total count under this prefix
+  uint64_t conditioned = 0;    ///< count minus heavy-descendant counts
+};
+
+/// Hierarchical heavy hitters over a 32-bit key hierarchy (Cormode, Korn,
+/// Muthukrishnan & Srivastava, cited as [67]) — the "which subnets are
+/// hot" generalization of heavy hitters for network accounting. Keys are
+/// aggregated at byte-granularity prefix levels (/32, /24, /16, /8, /0);
+/// each level runs its own SpaceSaving summary and the query conditions
+/// parent counts on already-reported heavy descendants, so a hot /24 does
+/// not also report its /16 and /8 ancestors.
+class HierarchicalHeavyHitters {
+ public:
+  /// \param counters_per_level  SpaceSaving capacity at each prefix level.
+  explicit HierarchicalHeavyHitters(size_t counters_per_level);
+
+  /// Processes one occurrence of a 32-bit key (e.g. an IPv4 address).
+  void Add(uint32_t key, uint64_t increment = 1);
+
+  /// Prefixes whose conditioned count >= threshold, deepest level first.
+  std::vector<HhhResult> Query(uint64_t threshold) const;
+
+  /// Estimated count of an arbitrary prefix.
+  uint64_t EstimatePrefix(uint32_t prefix, int prefix_bits) const;
+
+  uint64_t count() const { return count_; }
+
+  static constexpr int kLevels = 5;  // /32, /24, /16, /8, /0.
+
+ private:
+  static uint32_t MaskFor(int level) {
+    // level 0 => /32 ... level 4 => /0.
+    const int bits = 32 - level * 8;
+    return bits == 0 ? 0 : ~uint32_t{0} << (32 - bits);
+  }
+
+  uint64_t count_ = 0;
+  std::vector<SpaceSaving<uint32_t>> levels_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_HIERARCHICAL_HEAVY_HITTERS_H_

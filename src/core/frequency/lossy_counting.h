@@ -1,0 +1,99 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_LOSSY_COUNTING_H_
+#define STREAMLIB_CORE_FREQUENCY_LOSSY_COUNTING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "core/frequency/misra_gries.h"
+
+namespace streamlib {
+
+/// Lossy Counting (Manku & Motwani, VLDB 2002, cited as [125]): processes
+/// the stream in buckets of width ceil(1/eps); at each bucket boundary every
+/// entry whose count + bucket-slack falls below the bucket id is pruned.
+/// Guarantees: no item with true frequency >= theta*n is missed when queried
+/// with threshold (theta - eps)*n, estimates undercount by at most eps*n,
+/// and space is O((1/eps) log(eps n)).
+template <typename Key>
+class LossyCounting {
+ public:
+  /// \param eps  frequency-error bound (e.g. 0.001); space ~ (1/eps) log(eps n).
+  explicit LossyCounting(double eps) : eps_(eps) {
+    STREAMLIB_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    bucket_width_ = static_cast<uint64_t>(std::ceil(1.0 / eps));
+    current_bucket_ = 1;
+  }
+
+  /// Processes one occurrence of `key`.
+  void Add(const Key& key) {
+    count_++;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.count++;
+    } else {
+      // New entry may have been pruned before: charge it the maximum count
+      // it could have had, current_bucket - 1.
+      entries_.emplace(key, Entry{1, current_bucket_ - 1});
+    }
+    if (count_ % bucket_width_ == 0) {
+      Prune();
+      current_bucket_++;
+    }
+  }
+
+  /// Estimated count (an underestimate by at most eps*n; 0 if untracked).
+  uint64_t Estimate(const Key& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? 0 : it->second.count;
+  }
+
+  /// Items with estimated count >= threshold, sorted descending. Querying
+  /// with threshold = (theta - eps) * n yields all true theta-heavy hitters.
+  std::vector<FrequentItem<Key>> HeavyHitters(uint64_t threshold) const {
+    std::vector<FrequentItem<Key>> out;
+    for (const auto& [key, e] : entries_) {
+      if (e.count >= threshold) {
+        out.push_back(FrequentItem<Key>{key, e.count, e.delta});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FrequentItem<Key>& a, const FrequentItem<Key>& b) {
+                return a.estimate > b.estimate;
+              });
+    return out;
+  }
+
+  uint64_t count() const { return count_; }
+  size_t size() const { return entries_.size(); }
+  double eps() const { return eps_; }
+
+ private:
+  struct Entry {
+    uint64_t count;
+    uint64_t delta;  // Maximum undercount (bucket id at insertion - 1).
+  };
+
+  void Prune() {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.count + it->second.delta <= current_bucket_) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  double eps_;
+  uint64_t bucket_width_;
+  uint64_t current_bucket_;
+  uint64_t count_ = 0;
+  std::unordered_map<Key, Entry> entries_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_LOSSY_COUNTING_H_

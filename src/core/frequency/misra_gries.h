@@ -1,0 +1,104 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_MISRA_GRIES_H_
+#define STREAMLIB_CORE_FREQUENCY_MISRA_GRIES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// A heavy-hitter candidate with its estimated count and error bound.
+template <typename Key>
+struct FrequentItem {
+  Key key{};
+  uint64_t estimate = 0;     ///< Estimated frequency (algorithm-specific bias).
+  uint64_t error_bound = 0;  ///< Max overestimate; true count in
+                             ///< [estimate - error_bound, estimate] for
+                             ///< SpaceSaving, [estimate, estimate +
+                             ///< error_bound] for Misra–Gries.
+};
+
+/// Misra–Gries / FREQUENT algorithm (rediscovered by Demaine et al. [75] and
+/// Karp et al. [114], both cited): k-1 counters answer "which items occur
+/// more than n/k times" with *underestimates* whose error is at most n/k.
+/// The classic deterministic heavy-hitter summary; O(k) space, O(1) amortized
+/// update.
+///
+/// Application (Table 1): trending hashtags — items above a frequency
+/// threshold theta = 1/k.
+template <typename Key>
+class MisraGries {
+ public:
+  /// \param num_counters  k-1 counters: detects items with freq > n/k where
+  ///                      k = num_counters + 1; estimate error <= n/k.
+  explicit MisraGries(size_t num_counters) : capacity_(num_counters) {
+    STREAMLIB_CHECK_MSG(num_counters >= 1, "need at least one counter");
+    counters_.reserve(capacity_ * 2);
+  }
+
+  /// Processes one occurrence of `key`.
+  void Add(const Key& key) {
+    count_++;
+    auto it = counters_.find(key);
+    if (it != counters_.end()) {
+      it->second++;
+      return;
+    }
+    if (counters_.size() < capacity_) {
+      counters_.emplace(key, 1);
+      return;
+    }
+    // Decrement-all step: every counter (and the new item, implicitly) loses
+    // one; zeroed counters are evicted.
+    for (auto iter = counters_.begin(); iter != counters_.end();) {
+      if (--iter->second == 0) {
+        iter = counters_.erase(iter);
+      } else {
+        ++iter;
+      }
+    }
+  }
+
+  /// Estimated count for `key` (an underestimate; 0 if untracked). The true
+  /// count is at most Estimate(key) + MaxError().
+  uint64_t Estimate(const Key& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Upper bound on undercounting: n / (capacity + 1).
+  uint64_t MaxError() const { return count_ / (capacity_ + 1); }
+
+  /// Items whose estimated count exceeds `threshold`, sorted by estimate
+  /// descending. With threshold = theta*n - MaxError() this returns every
+  /// item of true frequency >= theta*n (no false negatives).
+  std::vector<FrequentItem<Key>> HeavyHitters(uint64_t threshold) const {
+    std::vector<FrequentItem<Key>> out;
+    for (const auto& [key, cnt] : counters_) {
+      if (cnt >= threshold) {
+        out.push_back(FrequentItem<Key>{key, cnt, MaxError()});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FrequentItem<Key>& a, const FrequentItem<Key>& b) {
+                return a.estimate > b.estimate;
+              });
+    return out;
+  }
+
+  uint64_t count() const { return count_; }
+  size_t size() const { return counters_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  uint64_t count_ = 0;
+  std::unordered_map<Key, uint64_t> counters_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_MISRA_GRIES_H_

@@ -1,0 +1,95 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_SLIDING_FREQUENT_H_
+#define STREAMLIB_CORE_FREQUENCY_SLIDING_FREQUENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "core/frequency/space_saving.h"
+
+namespace streamlib {
+
+/// Heavy hitters over a sequence-based sliding window (the problem of Hung,
+/// Lee & Ting [106] and Lee & Ting [119]), implemented with the
+/// jumping-window / basic-window decomposition: the window of size W is
+/// split into B panes, each summarized by its own SpaceSaving sketch; panes
+/// rotate as the stream advances and a query sums per-pane estimates.
+/// The window covered is the last (B-1..B)/B * W elements (pane
+/// granularity), and per-key error is bounded by B * pane_n / capacity.
+template <typename Key>
+class SlidingWindowFrequent {
+ public:
+  /// \param window     sliding window size W in elements.
+  /// \param num_panes  decomposition granularity B (window staleness W/B).
+  /// \param capacity   SpaceSaving counters per pane.
+  SlidingWindowFrequent(uint64_t window, size_t num_panes, size_t capacity)
+      : pane_size_(window / num_panes),
+        num_panes_(num_panes),
+        capacity_(capacity) {
+    STREAMLIB_CHECK_MSG(num_panes >= 1, "need at least one pane");
+    STREAMLIB_CHECK_MSG(window >= num_panes, "window smaller than pane count");
+    panes_.emplace_back(capacity_);
+  }
+
+  void Add(const Key& key) {
+    panes_.back().Add(key);
+    in_current_pane_++;
+    if (in_current_pane_ >= pane_size_) {
+      in_current_pane_ = 0;
+      panes_.emplace_back(capacity_);
+      if (panes_.size() > num_panes_) panes_.pop_front();
+    }
+  }
+
+  /// Estimated count of `key` within the covered window.
+  uint64_t Estimate(const Key& key) const {
+    uint64_t total = 0;
+    for (const auto& pane : panes_) {
+      // Only count monitored keys: unmonitored SpaceSaving estimates are
+      // upper bounds that would compound across panes.
+      if (pane.ErrorOf(key) < pane.Estimate(key)) total += pane.Estimate(key);
+    }
+    return total;
+  }
+
+  /// Items whose window estimate >= threshold, sorted descending.
+  std::vector<FrequentItem<Key>> HeavyHitters(uint64_t threshold) const {
+    std::unordered_map<Key, uint64_t> totals;
+    std::unordered_map<Key, uint64_t> errors;
+    for (const auto& pane : panes_) {
+      for (const auto& item : pane.HeavyHitters(1)) {
+        totals[item.key] += item.estimate;
+        errors[item.key] += item.error_bound;
+      }
+    }
+    std::vector<FrequentItem<Key>> out;
+    for (const auto& [key, total] : totals) {
+      if (total >= threshold) {
+        out.push_back(FrequentItem<Key>{key, total, errors[key]});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FrequentItem<Key>& a, const FrequentItem<Key>& b) {
+                return a.estimate > b.estimate;
+              });
+    return out;
+  }
+
+  /// Number of stream elements currently covered by the panes.
+  uint64_t CoveredElements() const {
+    return (panes_.size() - 1) * pane_size_ + in_current_pane_;
+  }
+
+ private:
+  uint64_t pane_size_;
+  size_t num_panes_;
+  size_t capacity_;
+  uint64_t in_current_pane_ = 0;
+  std::deque<SpaceSaving<Key>> panes_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_SLIDING_FREQUENT_H_

@@ -1,0 +1,112 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_STICKY_SAMPLING_H_
+#define STREAMLIB_CORE_FREQUENCY_STICKY_SAMPLING_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/frequency/misra_gries.h"
+
+namespace streamlib {
+
+/// Sticky Sampling (Manku & Motwani, VLDB 2002, cited as [125] alongside
+/// Lossy Counting): the probabilistic sibling of Lossy Counting. Entries
+/// are *sampled in* at a rate that halves as the stream grows; at each rate
+/// change, every tracked counter survives a run of coin flips. With
+/// probability 1 - delta, all items of frequency >= theta*n are reported
+/// when queried at threshold (theta - eps)*n, using expected
+/// O((1/eps) log(1/(theta*delta))) entries — *independent of n*, the
+/// property that distinguishes it from Lossy Counting's log(eps n) growth.
+template <typename Key>
+class StickySampling {
+ public:
+  /// \param eps    frequency error bound.
+  /// \param theta  support threshold the guarantee targets (> eps).
+  /// \param delta  failure probability.
+  StickySampling(double eps, double theta, double delta, uint64_t seed)
+      : eps_(eps), rng_(seed) {
+    STREAMLIB_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    STREAMLIB_CHECK_MSG(theta > eps, "theta must exceed eps");
+    STREAMLIB_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta in (0, 1)");
+    // t = (1/eps) * ln(1/(theta*delta)); the first 2t elements are sampled
+    // at rate 1, the next 2t at rate 2, then 4t at rate 4, ...
+    t_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(
+               1.0 / eps * std::log(1.0 / (theta * delta)))));
+    window_end_ = 2 * t_;
+  }
+
+  void Add(const Key& key) {
+    count_++;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second++;
+    } else if (rate_ == 1 || rng_.NextBounded(rate_) == 0) {
+      entries_.emplace(key, 1);
+    }
+    if (count_ >= window_end_) {
+      rate_ *= 2;
+      window_end_ += rate_ * t_;
+      Resample();
+    }
+  }
+
+  /// Estimated count (an underestimate; 0 if untracked).
+  uint64_t Estimate(const Key& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  /// Items with estimate >= threshold. Query with (theta - eps) * n for the
+  /// probabilistic no-false-negative guarantee.
+  std::vector<FrequentItem<Key>> HeavyHitters(uint64_t threshold) const {
+    std::vector<FrequentItem<Key>> out;
+    for (const auto& [key, cnt] : entries_) {
+      if (cnt >= threshold) {
+        out.push_back(FrequentItem<Key>{
+            key, cnt, static_cast<uint64_t>(eps_ * count_)});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FrequentItem<Key>& a, const FrequentItem<Key>& b) {
+                return a.estimate > b.estimate;
+              });
+    return out;
+  }
+
+  uint64_t count() const { return count_; }
+  size_t size() const { return entries_.size(); }
+  uint64_t sampling_rate() const { return rate_; }
+
+ private:
+  /// Rate doubled: each tracked count is diminished by a geometric number
+  /// of failed coin flips; entries reaching zero are dropped (the paper's
+  /// "for each entry, repeatedly toss an unbiased coin" step).
+  void Resample() {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      uint64_t cnt = it->second;
+      while (cnt > 0 && rng_.NextBool(0.5)) cnt--;
+      if (cnt == 0) {
+        it = entries_.erase(it);
+      } else {
+        it->second = cnt;
+        ++it;
+      }
+    }
+  }
+
+  double eps_;
+  Rng rng_;
+  uint64_t t_;
+  uint64_t rate_ = 1;
+  uint64_t window_end_;
+  uint64_t count_ = 0;
+  std::unordered_map<Key, uint64_t> entries_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_STICKY_SAMPLING_H_

@@ -1,0 +1,89 @@
+#ifndef STREAMLIB_CORE_FREQUENCY_TOPK_TRACKER_H_
+#define STREAMLIB_CORE_FREQUENCY_TOPK_TRACKER_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/frequency/count_min_sketch.h"
+#include "core/frequency/misra_gries.h"
+
+namespace streamlib {
+
+/// Top-k tracking via Count-Min sketch + candidate set (the composition used
+/// by stream-lib/DataSketches "topk" and surveyed in Homem & Carvalho,
+/// cited as [104]): the sketch supplies point estimates for *every* key;
+/// a size-k ordered candidate set keeps the keys whose estimates are
+/// currently largest. Unlike SpaceSaving the estimates come from a sketch,
+/// so the same structure also answers point queries for non-top keys.
+template <typename Key>
+class TopKTracker {
+ public:
+  /// \param k      number of tracked top items.
+  /// \param width  Count-Min width (error ~ e/width of stream length).
+  /// \param depth  Count-Min depth.
+  TopKTracker(size_t k, uint32_t width, uint32_t depth)
+      : k_(k), sketch_(width, depth, /*conservative=*/true) {
+    STREAMLIB_CHECK_MSG(k >= 1, "k must be >= 1");
+  }
+
+  void Add(const Key& key, uint64_t increment = 1) {
+    sketch_.Add(key, increment);
+    const uint64_t estimate = sketch_.Estimate(key);
+
+    auto it = candidates_.find(key);
+    if (it != candidates_.end()) {
+      ordered_.erase({it->second, key});
+      it->second = estimate;
+      ordered_.insert({estimate, key});
+      return;
+    }
+    if (candidates_.size() < k_) {
+      candidates_.emplace(key, estimate);
+      ordered_.insert({estimate, key});
+      return;
+    }
+    const auto& min_entry = *ordered_.begin();
+    if (estimate > min_entry.first) {
+      candidates_.erase(min_entry.second);
+      ordered_.erase(ordered_.begin());
+      candidates_.emplace(key, estimate);
+      ordered_.insert({estimate, key});
+    }
+  }
+
+  /// Point estimate for any key (Count-Min upper bound).
+  uint64_t Estimate(const Key& key) const { return sketch_.Estimate(key); }
+
+  /// Current top-k, sorted by estimated count descending.
+  std::vector<FrequentItem<Key>> TopK() const {
+    std::vector<FrequentItem<Key>> out;
+    out.reserve(ordered_.size());
+    for (auto it = ordered_.rbegin(); it != ordered_.rend(); ++it) {
+      out.push_back(FrequentItem<Key>{
+          it->second, it->first,
+          static_cast<uint64_t>(sketch_.ErrorBound())});
+    }
+    return out;
+  }
+
+  uint64_t count() const { return sketch_.total_count(); }
+  size_t k() const { return k_; }
+  size_t MemoryBytes() const {
+    return sketch_.MemoryBytes() +
+           candidates_.size() * (sizeof(Key) + sizeof(uint64_t)) * 3;
+  }
+
+ private:
+  size_t k_;
+  CountMinSketch sketch_;
+  std::unordered_map<Key, uint64_t> candidates_;     // Key -> last estimate.
+  std::set<std::pair<uint64_t, Key>> ordered_;       // (estimate, key).
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_FREQUENCY_TOPK_TRACKER_H_

@@ -1,0 +1,110 @@
+#include "core/graph/graph_algorithms.h"
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+bool GreedyMatching::AddEdge(uint32_t u, uint32_t v) {
+  STREAMLIB_CHECK_MSG(u != v, "self-loops not allowed");
+  if (matched_.count(u) != 0 || matched_.count(v) != 0) return false;
+  matched_.insert(u);
+  matched_.insert(v);
+  matching_.emplace_back(u, v);
+  return true;
+}
+
+std::vector<uint32_t> GreedyMatching::VertexCover() const {
+  std::vector<uint32_t> cover;
+  cover.reserve(matched_.size());
+  for (uint32_t v : matched_) cover.push_back(v);
+  return cover;
+}
+
+void IncrementalComponents::Ensure(uint32_t v) {
+  if (parent_.emplace(v, v).second) {
+    size_.emplace(v, 1);
+    components_++;
+  }
+}
+
+uint32_t IncrementalComponents::Find(uint32_t v) {
+  Ensure(v);
+  uint32_t root = v;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[v] != root) {
+    const uint32_t next = parent_[v];
+    parent_[v] = root;
+    v = next;
+  }
+  return root;
+}
+
+bool IncrementalComponents::AddEdge(uint32_t u, uint32_t v) {
+  uint32_t ru = Find(u);
+  uint32_t rv = Find(v);
+  if (ru == rv) return false;
+  if (size_[ru] < size_[rv]) std::swap(ru, rv);
+  parent_[rv] = ru;
+  size_[ru] += size_[rv];
+  components_--;
+  return true;
+}
+
+void DynamicPathOracle::AddEdge(uint32_t u, uint32_t v) {
+  STREAMLIB_CHECK_MSG(u != v, "self-loops not allowed");
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  num_edges_++;
+}
+
+uint32_t DynamicPathOracle::BoundedDistance(uint32_t u, uint32_t v,
+                                            uint32_t max_hops) const {
+  if (u == v) return 0;
+  // Depth-bounded BFS from u.
+  std::unordered_map<uint32_t, uint32_t> dist;
+  std::deque<uint32_t> frontier;
+  dist.emplace(u, 0);
+  frontier.push_back(u);
+  while (!frontier.empty()) {
+    const uint32_t node = frontier.front();
+    frontier.pop_front();
+    const uint32_t d = dist[node];
+    if (d >= max_hops) continue;
+    auto it = adjacency_.find(node);
+    if (it == adjacency_.end()) continue;
+    for (uint32_t next : it->second) {
+      if (dist.emplace(next, d + 1).second) {
+        if (next == v) return d + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return std::numeric_limits<uint32_t>::max();
+}
+
+bool DynamicPathOracle::HasPathWithin(uint32_t u, uint32_t v,
+                                      uint32_t max_hops) const {
+  return BoundedDistance(u, v, max_hops) <= max_hops;
+}
+
+GreedySpanner::GreedySpanner(uint32_t stretch) : stretch_(stretch) {
+  STREAMLIB_CHECK_MSG(stretch >= 1, "stretch must be >= 1");
+}
+
+bool GreedySpanner::AddEdge(uint32_t u, uint32_t v) {
+  STREAMLIB_CHECK_MSG(u != v, "self-loops not allowed");
+  seen_++;
+  // Keep iff the spanner cannot already connect u and v within t hops —
+  // otherwise the existing path certifies the stretch bound for this edge.
+  if (oracle_.HasPathWithin(u, v, stretch_)) return false;
+  oracle_.AddEdge(u, v);
+  kept_++;
+  return true;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,125 @@
+#ifndef STREAMLIB_CORE_GRAPH_GRAPH_ALGORITHMS_H_
+#define STREAMLIB_CORE_GRAPH_GRAPH_ALGORITHMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace streamlib {
+
+/// Greedy maximal matching over an edge stream (the one-pass 2-approximation
+/// of maximum matching from the semi-streaming literature the paper cites —
+/// Feigenbaum et al. [83]; size-estimation refinements are [113, 80, 61]):
+/// accept an edge iff both endpoints are currently unmatched. O(1) per edge,
+/// O(V) memory.
+class GreedyMatching {
+ public:
+  GreedyMatching() = default;
+
+  /// Processes one edge; returns true if it joined the matching.
+  bool AddEdge(uint32_t u, uint32_t v);
+
+  /// Matching size (>= half the maximum matching).
+  size_t Size() const { return matching_.size(); }
+
+  const std::vector<std::pair<uint32_t, uint32_t>>& matching() const {
+    return matching_;
+  }
+
+  /// The matched vertices double as a 2-approximate vertex cover — the
+  /// classic duality, and the "vertex cover" entry of Table 1's graph row.
+  std::vector<uint32_t> VertexCover() const;
+
+  bool IsMatched(uint32_t v) const { return matched_.count(v) != 0; }
+
+ private:
+  std::unordered_set<uint32_t> matched_;
+  std::vector<std::pair<uint32_t, uint32_t>> matching_;
+};
+
+/// Incremental connected components over an edge stream via union-find with
+/// path compression + union by size. O(alpha(V)) per edge.
+class IncrementalComponents {
+ public:
+  IncrementalComponents() = default;
+
+  /// Processes one edge; returns true if it merged two components.
+  bool AddEdge(uint32_t u, uint32_t v);
+
+  /// Component representative of v (v itself if unseen).
+  uint32_t Find(uint32_t v);
+
+  bool Connected(uint32_t u, uint32_t v) { return Find(u) == Find(v); }
+
+  /// Number of components among vertices seen so far.
+  size_t NumComponents() const { return components_; }
+  size_t NumVertices() const { return parent_.size(); }
+
+ private:
+  void Ensure(uint32_t v);
+
+  std::unordered_map<uint32_t, uint32_t> parent_;
+  std::unordered_map<uint32_t, uint32_t> size_;
+  size_t components_ = 0;
+};
+
+/// Bounded-length path queries on a dynamic (insert-only) graph — Table 1
+/// row "Path Analysis" (cited as [79]): does a path of length <= ell exist
+/// between two nodes right now? Edges insert in O(1); queries run a
+/// depth-bounded bidirectional BFS over the current adjacency.
+class DynamicPathOracle {
+ public:
+  DynamicPathOracle() = default;
+
+  void AddEdge(uint32_t u, uint32_t v);
+
+  /// True iff a path of length <= max_hops connects u and v.
+  bool HasPathWithin(uint32_t u, uint32_t v, uint32_t max_hops) const;
+
+  /// Shortest hop distance, or UINT32_MAX if beyond max_hops/disconnected.
+  uint32_t BoundedDistance(uint32_t u, uint32_t v, uint32_t max_hops) const;
+
+  size_t NumEdges() const { return num_edges_; }
+
+ private:
+  std::unordered_map<uint32_t, std::vector<uint32_t>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+/// Greedy multiplicative t-spanner over an edge stream — the "spanners"
+/// entry of Table 1's graph row (semi-streaming model of Feigenbaum et al.
+/// [83]; sketch-based successors in [35]): keep an arriving edge iff the
+/// spanner built so far has no path of length <= t between its endpoints.
+/// Every pairwise distance is then preserved within factor t, while the
+/// kept-edge count stays far below the stream (girth argument).
+class GreedySpanner {
+ public:
+  /// \param stretch  t >= 1; larger stretch keeps fewer edges.
+  explicit GreedySpanner(uint32_t stretch);
+
+  /// Processes one edge; returns true if it joined the spanner.
+  bool AddEdge(uint32_t u, uint32_t v);
+
+  /// Spanner distance between two vertices, capped at `max_hops`
+  /// (UINT32_MAX when farther/disconnected).
+  uint32_t SpannerDistance(uint32_t u, uint32_t v, uint32_t max_hops) const {
+    return oracle_.BoundedDistance(u, v, max_hops);
+  }
+
+  size_t SpannerEdges() const { return kept_; }
+  uint64_t StreamEdges() const { return seen_; }
+  uint32_t stretch() const { return stretch_; }
+
+ private:
+  uint32_t stretch_;
+  uint64_t seen_ = 0;
+  size_t kept_ = 0;
+  DynamicPathOracle oracle_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_GRAPH_GRAPH_ALGORITHMS_H_

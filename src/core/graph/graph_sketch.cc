@@ -1,0 +1,207 @@
+#include "core/graph/graph_sketch.h"
+
+#include <numeric>
+
+#include "common/bitutil.h"
+
+namespace streamlib {
+
+L0Sampler::L0Sampler(uint64_t domain, uint64_t seed)
+    : domain_(domain), seed_(seed) {
+  STREAMLIB_CHECK_MSG(domain >= 1, "domain must be nonempty");
+  levels_.resize(static_cast<size_t>(Log2Ceil(domain) + 2));
+}
+
+int L0Sampler::LevelOf(uint64_t index) const {
+  // Geometric level: number of leading zeros of the index hash, capped.
+  const uint64_t h = HashInt64(index, seed_);
+  int level = CountLeadingZeros64(h);
+  const int max_level = static_cast<int>(levels_.size()) - 1;
+  return level > max_level ? max_level : level;
+}
+
+uint64_t L0Sampler::FingerprintOf(uint64_t index) const {
+  return HashInt64(index, seed_ ^ 0xf00dfeedULL) % kPrime;
+}
+
+void L0Sampler::Update(uint64_t index, int64_t delta) {
+  STREAMLIB_DCHECK(index < domain_);
+  // Coordinate `index` lives in levels 0..LevelOf(index): subsampling at
+  // rate 2^-l keeps it while l <= its geometric level.
+  const int top = LevelOf(index);
+  const uint64_t fp = FingerprintOf(index);
+  for (int l = 0; l <= top; l++) {
+    Level& level = levels_[l];
+    level.count += delta;
+    level.index_sum += static_cast<__int128>(delta) *
+                       static_cast<__int128>(index);
+    // Fingerprint arithmetic mod p with signed delta.
+    const uint64_t term = fp % kPrime;
+    if (delta >= 0) {
+      level.fingerprint =
+          (level.fingerprint + static_cast<uint64_t>(delta) % kPrime * term) %
+          kPrime;
+    } else {
+      const uint64_t sub =
+          (static_cast<uint64_t>(-delta) % kPrime) * term % kPrime;
+      level.fingerprint = (level.fingerprint + kPrime - sub) % kPrime;
+    }
+  }
+}
+
+std::optional<uint64_t> L0Sampler::Sample() const {
+  // Scan from the sparsest level down: the first level passing the
+  // 1-sparse test yields a valid coordinate.
+  for (size_t l = levels_.size(); l-- > 0;) {
+    const Level& level = levels_[l];
+    if (level.count == 0) continue;
+    // Candidate index = index_sum / count; must divide exactly.
+    const __int128 count = level.count;
+    if (level.index_sum % count != 0) continue;
+    const __int128 candidate = level.index_sum / count;
+    if (candidate < 0 ||
+        candidate >= static_cast<__int128>(domain_)) {
+      continue;
+    }
+    const uint64_t index = static_cast<uint64_t>(candidate);
+    // Verify: the level actually contains this coordinate and the
+    // fingerprint matches count * h(index).
+    if (LevelOf(index) < static_cast<int>(l)) continue;
+    const uint64_t magnitude =
+        level.count > 0 ? static_cast<uint64_t>(level.count)
+                        : static_cast<uint64_t>(-level.count);
+    uint64_t expected =
+        (magnitude % kPrime) * (FingerprintOf(index) % kPrime) % kPrime;
+    if (level.count < 0) expected = (kPrime - expected) % kPrime;
+    if (expected != level.fingerprint) continue;
+    return index;
+  }
+  return std::nullopt;
+}
+
+Status L0Sampler::Merge(const L0Sampler& other) {
+  if (other.domain_ != domain_ || other.seed_ != seed_) {
+    return Status::InvalidArgument("L0 merge: domain/seed mismatch");
+  }
+  for (size_t l = 0; l < levels_.size(); l++) {
+    levels_[l].count += other.levels_[l].count;
+    levels_[l].index_sum += other.levels_[l].index_sum;
+    levels_[l].fingerprint =
+        (levels_[l].fingerprint + other.levels_[l].fingerprint) % kPrime;
+  }
+  return Status::OK();
+}
+
+AgmConnectivitySketch::AgmConnectivitySketch(uint32_t num_vertices,
+                                             uint64_t seed)
+    : n_(num_vertices) {
+  STREAMLIB_CHECK_MSG(num_vertices >= 2, "need at least two vertices");
+  rounds_ = static_cast<uint32_t>(Log2Ceil(num_vertices)) + 1;
+  const uint64_t edge_domain =
+      static_cast<uint64_t>(n_) * static_cast<uint64_t>(n_);
+  sketches_.reserve(rounds_);
+  for (uint32_t r = 0; r < rounds_; r++) {
+    std::vector<L0Sampler> row;
+    row.reserve(n_);
+    for (uint32_t v = 0; v < n_; v++) {
+      // One seed per round: all vertices in a round share it so their
+      // sketches are mergeable; rounds are independent.
+      row.emplace_back(edge_domain, seed ^ (0x9e3779b97f4a7c15ULL * (r + 1)));
+    }
+    sketches_.push_back(std::move(row));
+  }
+}
+
+uint64_t AgmConnectivitySketch::EdgeId(uint32_t a, uint32_t b) const {
+  STREAMLIB_DCHECK(a < b);
+  return static_cast<uint64_t>(a) * n_ + b;
+}
+
+void AgmConnectivitySketch::UpdateEdge(uint32_t u, uint32_t v, int64_t delta) {
+  STREAMLIB_CHECK_MSG(u != v && u < n_ && v < n_, "invalid edge");
+  const uint32_t a = std::min(u, v);
+  const uint32_t b = std::max(u, v);
+  const uint64_t id = EdgeId(a, b);
+  // Signed incidence: +1 at the lower endpoint, -1 at the higher one, so
+  // edges internal to a merged vertex set cancel in the summed sketch.
+  for (uint32_t r = 0; r < rounds_; r++) {
+    sketches_[r][a].Update(id, delta);
+    sketches_[r][b].Update(id, -delta);
+  }
+}
+
+std::vector<uint32_t> AgmConnectivitySketch::ComputeComponents() const {
+  // Union-find over vertices.
+  std::vector<uint32_t> parent(n_);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  const uint64_t edge_domain =
+      static_cast<uint64_t>(n_) * static_cast<uint64_t>(n_);
+  for (uint32_t r = 0; r < rounds_; r++) {
+    // Sum each component's sketches for this round (linearity!), then
+    // sample one crossing edge per component and contract.
+    std::vector<std::optional<L0Sampler>> component_sum(n_);
+    for (uint32_t v = 0; v < n_; v++) {
+      const uint32_t root = find(v);
+      if (!component_sum[root].has_value()) {
+        component_sum[root] = sketches_[r][v];  // Copy seeds the sum.
+      } else {
+        STREAMLIB_CHECK(component_sum[root]->Merge(sketches_[r][v]).ok());
+      }
+    }
+    (void)edge_domain;
+    bool progressed = false;
+    for (uint32_t root = 0; root < n_; root++) {
+      if (!component_sum[root].has_value() || find(root) != root) continue;
+      const auto edge = component_sum[root]->Sample();
+      if (!edge.has_value()) continue;  // Isolated or fully merged.
+      const uint32_t a = static_cast<uint32_t>(*edge / n_);
+      const uint32_t b = static_cast<uint32_t>(*edge % n_);
+      const uint32_t ra = find(a);
+      const uint32_t rb = find(b);
+      if (ra != rb) {
+        parent[ra] = rb;
+        progressed = true;
+      }
+    }
+    if (!progressed) break;
+  }
+  for (uint32_t v = 0; v < n_; v++) find(v);
+  return parent;
+}
+
+size_t AgmConnectivitySketch::NumComponents() const {
+  std::vector<uint32_t> parent = ComputeComponents();
+  size_t roots = 0;
+  for (uint32_t v = 0; v < n_; v++) {
+    if (parent[v] == v) roots++;
+  }
+  return roots;
+}
+
+bool AgmConnectivitySketch::Connected(uint32_t u, uint32_t v) const {
+  STREAMLIB_CHECK(u < n_ && v < n_);
+  std::vector<uint32_t> parent = ComputeComponents();
+  auto find = [&parent](uint32_t x) {
+    while (parent[x] != x) x = parent[x];
+    return x;
+  };
+  return find(u) == find(v);
+}
+
+size_t AgmConnectivitySketch::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& row : sketches_) {
+    for (const auto& sampler : row) total += sampler.MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,104 @@
+#ifndef STREAMLIB_CORE_GRAPH_GRAPH_SKETCH_H_
+#define STREAMLIB_CORE_GRAPH_GRAPH_SKETCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace streamlib {
+
+/// L0 sampler over a high-dimensional +-1 update vector: returns a uniform
+/// (whp) nonzero coordinate of the current vector, even after deletions —
+/// the primitive underneath dynamic graph sketching. Standard construction:
+/// log(D) levels, each subsampling coordinates at rate 2^-level, with
+/// 1-sparse recovery (count, index-weighted sum, fingerprint) per level.
+/// Linear: samplers with the same seed add coordinate-wise via Merge.
+class L0Sampler {
+ public:
+  /// \param domain  coordinate space size D.
+  /// \param seed    hash seed; merges require equal seeds.
+  L0Sampler(uint64_t domain, uint64_t seed);
+
+  /// Adds `delta` (typically +-1) to coordinate `index`.
+  void Update(uint64_t index, int64_t delta);
+
+  /// A nonzero coordinate of the vector, or nullopt when the vector is
+  /// (apparently) zero or every level is too crowded to decode.
+  std::optional<uint64_t> Sample() const;
+
+  /// Coordinate-wise addition; requires identical domain and seed.
+  Status Merge(const L0Sampler& other);
+
+  uint64_t domain() const { return domain_; }
+  size_t MemoryBytes() const { return levels_.size() * sizeof(Level); }
+
+ private:
+  struct Level {
+    int64_t count = 0;        // sum of c_i
+    __int128 index_sum = 0;   // sum of c_i * i
+    uint64_t fingerprint = 0; // sum of c_i * h(i) mod p
+  };
+
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+  /// Highest level this coordinate participates in (geometric via hash).
+  int LevelOf(uint64_t index) const;
+  uint64_t FingerprintOf(uint64_t index) const;
+
+  uint64_t domain_;
+  uint64_t seed_;
+  std::vector<Level> levels_;
+};
+
+/// Dynamic graph connectivity in sketch space — Ahn, Guha & McGregor
+/// (PODS 2012, cited as [35]): each vertex sketches its signed edge-
+/// incidence vector with O(log^3 n) space; because the sketches are
+/// *linear*, summing the sketches of a vertex set S yields a sketch of the
+/// edges crossing the cut (S, V-S) — internal edges cancel. Boruvka over
+/// the summed sketches then answers connectivity, spanning forest and
+/// component counts on a stream WITH edge deletions, which none of the
+/// combinatorial one-pass structures (union-find etc.) can handle.
+class AgmConnectivitySketch {
+ public:
+  /// \param num_vertices  n; space is O(n log^3 n).
+  /// \param seed          randomness for the samplers.
+  AgmConnectivitySketch(uint32_t num_vertices, uint64_t seed);
+
+  /// Inserts an undirected edge (u != v).
+  void AddEdge(uint32_t u, uint32_t v) { UpdateEdge(u, v, +1); }
+
+  /// Deletes a previously inserted edge — the operation that motivates
+  /// sketch-based graph streaming.
+  void RemoveEdge(uint32_t u, uint32_t v) { UpdateEdge(u, v, -1); }
+
+  /// Number of connected components among the n vertices (isolated
+  /// vertices count individually). Runs Boruvka over sketch sums; correct
+  /// with high probability.
+  size_t NumComponents() const;
+
+  /// Whether u and v are connected (whp).
+  bool Connected(uint32_t u, uint32_t v) const;
+
+  uint32_t num_vertices() const { return n_; }
+  size_t MemoryBytes() const;
+
+ private:
+  void UpdateEdge(uint32_t u, uint32_t v, int64_t delta);
+  uint64_t EdgeId(uint32_t a, uint32_t b) const;  // a < b required.
+
+  /// Runs Boruvka; returns the final parent array (component labels).
+  std::vector<uint32_t> ComputeComponents() const;
+
+  uint32_t n_;
+  uint32_t rounds_;
+  // sketches_[round][vertex]: independent sampler per Boruvka round.
+  std::vector<std::vector<L0Sampler>> sketches_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_GRAPH_GRAPH_SKETCH_H_

@@ -1,0 +1,86 @@
+#include "core/graph/triangle_counter.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+TriangleCounter::TriangleCounter(size_t edge_budget, uint64_t seed)
+    : budget_(edge_budget), rng_(seed) {
+  STREAMLIB_CHECK_MSG(edge_budget >= 6, "edge budget must be >= 6");
+  edges_.reserve(edge_budget);
+}
+
+bool TriangleCounter::SampleContains(uint32_t u, uint32_t v) const {
+  auto it = adjacency_.find(u);
+  return it != adjacency_.end() && it->second.count(v) != 0;
+}
+
+void TriangleCounter::SampleInsert(uint32_t u, uint32_t v) {
+  adjacency_[u].insert(v);
+  adjacency_[v].insert(u);
+  sample_count_++;
+}
+
+void TriangleCounter::SampleRemove(uint32_t u, uint32_t v) {
+  adjacency_[u].erase(v);
+  adjacency_[v].erase(u);
+  if (adjacency_[u].empty()) adjacency_.erase(u);
+  if (adjacency_[v].empty()) adjacency_.erase(v);
+  sample_count_--;
+}
+
+void TriangleCounter::AddEdge(uint32_t u, uint32_t v) {
+  STREAMLIB_CHECK_MSG(u != v, "self-loops not allowed");
+  edges_seen_++;
+  if (SampleContains(u, v)) return;  // Duplicate of a sampled edge.
+
+  // TRIÈST-IMPR: count triangles this edge closes in the sample, weighted
+  // by eta(t) = max(1, (t-1)(t-2) / (M(M-1))) — the inverse probability
+  // that both wedge edges survived in the reservoir.
+  const double t = static_cast<double>(edges_seen_);
+  const double m = static_cast<double>(budget_);
+  const double eta = std::max(1.0, (t - 1.0) * (t - 2.0) / (m * (m - 1.0)));
+  auto iu = adjacency_.find(u);
+  auto iv = adjacency_.find(v);
+  if (iu != adjacency_.end() && iv != adjacency_.end()) {
+    const auto& small =
+        iu->second.size() <= iv->second.size() ? iu->second : iv->second;
+    const auto& large =
+        iu->second.size() <= iv->second.size() ? iv->second : iu->second;
+    for (uint32_t w : small) {
+      if (large.count(w) != 0) estimate_ += eta;
+    }
+  }
+
+  // Reservoir step over edges.
+  if (sample_count_ < budget_) {
+    SampleInsert(u, v);
+    edges_.emplace_back(u, v);
+    return;
+  }
+  if (rng_.NextDouble() < m / t) {
+    const size_t victim = rng_.NextBounded(edges_.size());
+    SampleRemove(edges_[victim].first, edges_[victim].second);
+    edges_[victim] = {u, v};
+    SampleInsert(u, v);
+  }
+}
+
+void ExactTriangleCounter::AddEdge(uint32_t u, uint32_t v) {
+  STREAMLIB_CHECK_MSG(u != v, "self-loops not allowed");
+  edges_seen_++;
+  auto& nu = adjacency_[u];
+  auto& nv = adjacency_[v];
+  if (nu.count(v) != 0) return;  // Duplicate edge.
+  const auto& small = nu.size() <= nv.size() ? nu : nv;
+  const auto& large = nu.size() <= nv.size() ? nv : nu;
+  for (uint32_t w : small) {
+    if (large.count(w) != 0) triangles_++;
+  }
+  nu.insert(v);
+  nv.insert(u);
+}
+
+}  // namespace streamlib

@@ -1,0 +1,39 @@
+#include "core/histogram/end_biased_histogram.h"
+
+namespace streamlib {
+
+EndBiasedHistogram::EndBiasedHistogram(size_t num_tracked)
+    : tracked_(num_tracked) {}
+
+void EndBiasedHistogram::Add(int64_t value, uint64_t weight) {
+  tracked_.Add(value, weight);
+  total_ += weight;
+}
+
+double EndBiasedHistogram::EstimateFrequency(int64_t value) const {
+  const uint64_t est = tracked_.Estimate(value);
+  const uint64_t err = tracked_.ErrorOf(value);
+  if (est > err) return static_cast<double>(est);
+  // Untracked: spread the residual mass uniformly over a nominal tail of
+  // the same order as the tracked set (end-biased convention).
+  const uint64_t tail = TailMass();
+  const double tail_values =
+      static_cast<double>(tracked_.capacity()) * 2.0 + 1.0;
+  return static_cast<double>(tail) / tail_values;
+}
+
+std::vector<FrequentItem<int64_t>> EndBiasedHistogram::FrequentValues(
+    uint64_t threshold) const {
+  return tracked_.HeavyHitters(threshold);
+}
+
+uint64_t EndBiasedHistogram::TailMass() const {
+  uint64_t tracked_mass = 0;
+  for (const auto& item : tracked_.HeavyHitters(1)) {
+    const uint64_t guaranteed = item.estimate - item.error_bound;
+    tracked_mass += guaranteed;
+  }
+  return total_ > tracked_mass ? total_ - tracked_mass : 0;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,45 @@
+#ifndef STREAMLIB_CORE_HISTOGRAM_END_BIASED_HISTOGRAM_H_
+#define STREAMLIB_CORE_HISTOGRAM_END_BIASED_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frequency/space_saving.h"
+
+namespace streamlib {
+
+/// End-biased histogram (per the paper's synopsis taxonomy): exact counts
+/// for values whose frequency clears a threshold, a single uniform bucket
+/// for everything else. The streaming adaptation tracks the frequent values
+/// with SpaceSaving (counts are then eps-approximate rather than exact,
+/// with the usual n/k bound) and attributes the residual mass to the
+/// uniform tail.
+class EndBiasedHistogram {
+ public:
+  /// \param num_tracked  values tracked individually (SpaceSaving capacity).
+  explicit EndBiasedHistogram(size_t num_tracked);
+
+  void Add(int64_t value, uint64_t weight = 1);
+
+  /// Estimated frequency of `value`: the tracked estimate if monitored,
+  /// otherwise the uniform-tail per-value mass.
+  double EstimateFrequency(int64_t value) const;
+
+  /// Tracked (value, count) pairs with count >= threshold, descending.
+  std::vector<FrequentItem<int64_t>> FrequentValues(uint64_t threshold) const;
+
+  /// Total stream mass not attributed to tracked values.
+  uint64_t TailMass() const;
+
+  /// Number of distinct untracked values seen (upper-bounded estimate used
+  /// to spread the tail mass; exact while few, capped at 2x tracked size).
+  uint64_t total() const { return total_; }
+
+ private:
+  SpaceSaving<int64_t> tracked_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_HISTOGRAM_END_BIASED_HISTOGRAM_H_

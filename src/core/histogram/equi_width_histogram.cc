@@ -1,0 +1,87 @@
+#include "core/histogram/equi_width_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamlib {
+
+EquiWidthHistogram::EquiWidthHistogram(double lo, double hi,
+                                       size_t num_buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(num_buckets)) {
+  STREAMLIB_CHECK_MSG(hi > lo, "domain must be nonempty");
+  STREAMLIB_CHECK_MSG(num_buckets >= 1, "need at least one bucket");
+  counts_.assign(num_buckets, 0);
+}
+
+void EquiWidthHistogram::Add(double value, uint64_t weight) {
+  double idx = (value - lo_) / width_;
+  size_t bucket;
+  if (idx < 0.0) {
+    bucket = 0;
+  } else if (idx >= static_cast<double>(counts_.size())) {
+    bucket = counts_.size() - 1;
+  } else {
+    bucket = static_cast<size_t>(idx);
+  }
+  counts_[bucket] += weight;
+  total_ += weight;
+}
+
+double EquiWidthHistogram::EstimateRank(double value) const {
+  double rank = 0.0;
+  for (size_t i = 0; i < counts_.size(); i++) {
+    if (value >= BucketHigh(i)) {
+      rank += static_cast<double>(counts_[i]);
+    } else if (value > BucketLow(i)) {
+      rank += static_cast<double>(counts_[i]) * (value - BucketLow(i)) / width_;
+      break;
+    } else {
+      break;
+    }
+  }
+  return rank;
+}
+
+double EquiWidthHistogram::EstimateQuantile(double phi) const {
+  STREAMLIB_CHECK_MSG(phi >= 0.0 && phi <= 1.0, "phi must be in [0, 1]");
+  const double target = phi * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); i++) {
+    const double c = static_cast<double>(counts_[i]);
+    if (cum + c >= target) {
+      const double frac = c > 0.0 ? (target - cum) / c : 0.0;
+      return BucketLow(i) + frac * width_;
+    }
+    cum += c;
+  }
+  return BucketHigh(counts_.size() - 1);
+}
+
+double EquiWidthHistogram::SseAgainst(
+    const std::vector<double>& sorted_values) const {
+  // For each bucket, the piecewise-constant model predicts the bucket mean;
+  // SSE sums squared deviation of member values from their bucket mean.
+  double sse = 0.0;
+  size_t begin = 0;
+  for (size_t b = 0; b < counts_.size(); b++) {
+    const double hi = BucketHigh(b);
+    size_t end = begin;
+    while (end < sorted_values.size() &&
+           (sorted_values[end] < hi || b + 1 == counts_.size())) {
+      end++;
+    }
+    if (end > begin) {
+      double mean = 0.0;
+      for (size_t i = begin; i < end; i++) mean += sorted_values[i];
+      mean /= static_cast<double>(end - begin);
+      for (size_t i = begin; i < end; i++) {
+        const double d = sorted_values[i] - mean;
+        sse += d * d;
+      }
+    }
+    begin = end;
+  }
+  return sse;
+}
+
+}  // namespace streamlib

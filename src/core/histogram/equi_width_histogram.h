@@ -1,0 +1,56 @@
+#ifndef STREAMLIB_CORE_HISTOGRAM_EQUI_WIDTH_HISTOGRAM_H_
+#define STREAMLIB_CORE_HISTOGRAM_EQUI_WIDTH_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// Equi-width streaming histogram over a fixed value domain [lo, hi):
+/// the domain is split into equal buckets and each observation increments
+/// one counter (out-of-range values clamp to the edge buckets). The paper's
+/// synopsis-construction section lists equi-width histograms as the baseline
+/// distribution summary.
+class EquiWidthHistogram {
+ public:
+  EquiWidthHistogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double value, uint64_t weight = 1);
+
+  /// Count in bucket `i`.
+  uint64_t BucketCount(size_t i) const {
+    STREAMLIB_CHECK(i < counts_.size());
+    return counts_[i];
+  }
+
+  /// [lo, hi) range of bucket `i`.
+  double BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double BucketHigh(size_t i) const { return BucketLow(i) + width_; }
+
+  /// Estimated count of observations <= value, assuming uniform spread
+  /// within buckets.
+  double EstimateRank(double value) const;
+
+  /// Estimated value at quantile phi (inverse of EstimateRank).
+  double EstimateQuantile(double phi) const;
+
+  /// Sum of squared errors of the piecewise-constant density against the
+  /// per-bucket uniform assumption — the V-optimal objective evaluated on
+  /// this partition, used by the histogram bench to compare layouts.
+  double SseAgainst(const std::vector<double>& sorted_values) const;
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_HISTOGRAM_EQUI_WIDTH_HISTOGRAM_H_

@@ -1,0 +1,171 @@
+#include "core/histogram/v_optimal_histogram.h"
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace streamlib {
+namespace {
+
+// SSE of approximating values[i, j) by their mean, from prefix sums.
+double SegmentSse(const std::vector<double>& prefix_sum,
+                  const std::vector<double>& prefix_sq, size_t i, size_t j) {
+  const double n = static_cast<double>(j - i);
+  if (n <= 1.0) return 0.0;
+  const double s = prefix_sum[j] - prefix_sum[i];
+  const double q = prefix_sq[j] - prefix_sq[i];
+  return q - s * s / n;
+}
+
+double SegmentMean(const std::vector<double>& prefix_sum, size_t i, size_t j) {
+  return (prefix_sum[j] - prefix_sum[i]) / static_cast<double>(j - i);
+}
+
+void BuildPrefixes(const std::vector<double>& values,
+                   std::vector<double>* prefix_sum,
+                   std::vector<double>* prefix_sq) {
+  prefix_sum->assign(values.size() + 1, 0.0);
+  prefix_sq->assign(values.size() + 1, 0.0);
+  for (size_t i = 0; i < values.size(); i++) {
+    (*prefix_sum)[i + 1] = (*prefix_sum)[i] + values[i];
+    (*prefix_sq)[i + 1] = (*prefix_sq)[i] + values[i] * values[i];
+  }
+}
+
+}  // namespace
+
+std::vector<HistogramBucket> VOptimalHistogram::BuildExact(
+    const std::vector<double>& values, size_t num_buckets) {
+  STREAMLIB_CHECK_MSG(!values.empty(), "empty input");
+  STREAMLIB_CHECK_MSG(num_buckets >= 1, "need at least one bucket");
+  const size_t n = values.size();
+  const size_t b = std::min(num_buckets, n);
+
+  std::vector<double> prefix_sum;
+  std::vector<double> prefix_sq;
+  BuildPrefixes(values, &prefix_sum, &prefix_sq);
+
+  constexpr double kInf = std::numeric_limits<double>::max();
+  // dp[j]: min SSE of covering values[0, j) with the current bucket budget.
+  std::vector<double> dp(n + 1, kInf);
+  std::vector<std::vector<size_t>> split(b + 1,
+                                         std::vector<size_t>(n + 1, 0));
+  for (size_t j = 0; j <= n; j++) {
+    dp[j] = SegmentSse(prefix_sum, prefix_sq, 0, j);
+  }
+  for (size_t budget = 2; budget <= b; budget++) {
+    std::vector<double> next(n + 1, kInf);
+    for (size_t j = budget; j <= n; j++) {
+      for (size_t i = budget - 1; i < j; i++) {
+        const double cost =
+            dp[i] + SegmentSse(prefix_sum, prefix_sq, i, j);
+        if (cost < next[j]) {
+          next[j] = cost;
+          split[budget][j] = i;
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+
+  // Reconstruct boundaries.
+  std::vector<HistogramBucket> buckets(b);
+  size_t j = n;
+  for (size_t budget = b; budget >= 1; budget--) {
+    const size_t i = budget == 1 ? 0 : split[budget][j];
+    buckets[budget - 1] = HistogramBucket{
+        i, j, SegmentMean(prefix_sum, i, j),
+        SegmentSse(prefix_sum, prefix_sq, i, j)};
+    j = i;
+  }
+  return buckets;
+}
+
+std::vector<HistogramBucket> VOptimalHistogram::BuildGreedy(
+    const std::vector<double>& values, size_t num_buckets) {
+  STREAMLIB_CHECK_MSG(!values.empty(), "empty input");
+  STREAMLIB_CHECK_MSG(num_buckets >= 1, "need at least one bucket");
+  const size_t n = values.size();
+
+  std::vector<double> prefix_sum;
+  std::vector<double> prefix_sq;
+  BuildPrefixes(values, &prefix_sum, &prefix_sq);
+
+  // Doubly linked list of bucket boundaries over [0, n].
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> next(n + 1);
+  std::vector<bool> alive(n + 1, true);
+  for (size_t i = 0; i <= n; i++) {
+    prev[i] = i == 0 ? 0 : i - 1;
+    next[i] = i == n ? n : i + 1;
+  }
+
+  struct Merge {
+    double cost;
+    size_t boundary;  // Interior boundary to remove.
+    uint64_t version; // For lazy invalidation.
+  };
+  struct MergeGreater {
+    bool operator()(const Merge& a, const Merge& b) const {
+      return a.cost > b.cost;
+    }
+  };
+  std::vector<uint64_t> version(n + 1, 0);
+  std::priority_queue<Merge, std::vector<Merge>, MergeGreater> heap;
+
+  auto merge_cost = [&](size_t boundary) {
+    const size_t left = prev[boundary];
+    const size_t right = next[boundary];
+    return SegmentSse(prefix_sum, prefix_sq, left, right) -
+           SegmentSse(prefix_sum, prefix_sq, left, boundary) -
+           SegmentSse(prefix_sum, prefix_sq, boundary, right);
+  };
+
+  for (size_t i = 1; i < n; i++) {
+    heap.push(Merge{merge_cost(i), i, 0});
+  }
+
+  size_t buckets_left = n;
+  while (buckets_left > num_buckets && !heap.empty()) {
+    const Merge top = heap.top();
+    heap.pop();
+    const size_t boundary = top.boundary;
+    if (!alive[boundary] || top.version != version[boundary]) continue;
+    // Remove the boundary: splice the linked list.
+    const size_t left = prev[boundary];
+    const size_t right = next[boundary];
+    alive[boundary] = false;
+    next[left] = right;
+    prev[right] = left;
+    buckets_left--;
+    // Refresh the two neighbouring interior boundaries.
+    for (size_t nb : {left, right}) {
+      if (nb != 0 && nb != n && alive[nb]) {
+        version[nb]++;
+        heap.push(Merge{merge_cost(nb), nb, version[nb]});
+      }
+    }
+  }
+
+  std::vector<HistogramBucket> out;
+  size_t begin = 0;
+  while (begin < n) {
+    const size_t end = next[begin] == begin ? n : next[begin];
+    out.push_back(HistogramBucket{
+        begin, end, SegmentMean(prefix_sum, begin, end),
+        SegmentSse(prefix_sum, prefix_sq, begin, end)});
+    begin = end;
+  }
+  return out;
+}
+
+double VOptimalHistogram::TotalSse(
+    const std::vector<HistogramBucket>& buckets) {
+  double total = 0.0;
+  for (const auto& b : buckets) total += b.sse;
+  return total;
+}
+
+}  // namespace streamlib

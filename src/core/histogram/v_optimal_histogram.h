@@ -1,0 +1,43 @@
+#ifndef STREAMLIB_CORE_HISTOGRAM_V_OPTIMAL_HISTOGRAM_H_
+#define STREAMLIB_CORE_HISTOGRAM_V_OPTIMAL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace streamlib {
+
+/// One bucket of a piecewise-constant value approximation.
+struct HistogramBucket {
+  size_t begin = 0;    ///< first value index covered (inclusive)
+  size_t end = 0;      ///< one past the last value index covered
+  double mean = 0.0;   ///< the constant approximating values in [begin, end)
+  double sse = 0.0;    ///< sum of squared error within the bucket
+};
+
+/// V-Optimal histogram construction (the paper's synopsis section defines it
+/// as the piecewise-constant approximation minimizing total squared error;
+/// streaming constructions are Guha–Koudas–Shim, cited as [96]).
+///
+/// `BuildExact` is the O(n^2 b) dynamic program (the evaluation baseline);
+/// `BuildGreedy` is a one-pass merge heuristic standing in for the streaming
+/// (1+eps)-approximation, whose SSE the histogram bench compares against the
+/// exact optimum.
+class VOptimalHistogram {
+ public:
+  /// Exact DP over `values` (in sequence order) with `num_buckets` pieces.
+  static std::vector<HistogramBucket> BuildExact(
+      const std::vector<double>& values, size_t num_buckets);
+
+  /// Greedy bottom-up pairwise merging to `num_buckets` pieces: start from
+  /// fine-grained buckets and repeatedly merge the adjacent pair with the
+  /// smallest SSE increase. O(n log n), single pass over the data.
+  static std::vector<HistogramBucket> BuildGreedy(
+      const std::vector<double>& values, size_t num_buckets);
+
+  /// Total SSE of a bucket list.
+  static double TotalSse(const std::vector<HistogramBucket>& buckets);
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_HISTOGRAM_V_OPTIMAL_HISTOGRAM_H_

@@ -1,0 +1,137 @@
+#include "core/ml/online_classifiers.h"
+
+#include <cmath>
+
+namespace streamlib {
+
+OnlineLogisticRegression::OnlineLogisticRegression(size_t dimensions,
+                                                   double learning_rate,
+                                                   double l2)
+    : dims_(dimensions), lr_(learning_rate), l2_(l2) {
+  STREAMLIB_CHECK_MSG(dimensions >= 1, "need at least one feature");
+  STREAMLIB_CHECK_MSG(learning_rate > 0.0, "learning rate must be positive");
+  STREAMLIB_CHECK_MSG(l2 >= 0.0, "l2 must be nonnegative");
+  weights_.assign(dimensions + 1, 0.0);
+}
+
+double OnlineLogisticRegression::PredictProbability(
+    const std::vector<double>& features) const {
+  STREAMLIB_DCHECK(features.size() == dims_);
+  double z = weights_[dims_];  // Bias.
+  for (size_t i = 0; i < dims_; i++) z += weights_[i] * features[i];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+void OnlineLogisticRegression::Update(const std::vector<double>& features,
+                                      bool label) {
+  const double error =
+      (label ? 1.0 : 0.0) - PredictProbability(features);
+  for (size_t i = 0; i < dims_; i++) {
+    weights_[i] += lr_ * (error * features[i] - l2_ * weights_[i]);
+  }
+  weights_[dims_] += lr_ * error;  // Bias is not regularized.
+  updates_++;
+}
+
+OnlinePerceptron::OnlinePerceptron(size_t dimensions) : dims_(dimensions) {
+  STREAMLIB_CHECK_MSG(dimensions >= 1, "need at least one feature");
+  weights_.assign(dimensions + 1, 0.0);
+}
+
+bool OnlinePerceptron::Predict(const std::vector<double>& features) const {
+  STREAMLIB_DCHECK(features.size() == dims_);
+  double z = weights_[dims_];
+  for (size_t i = 0; i < dims_; i++) z += weights_[i] * features[i];
+  return z >= 0.0;
+}
+
+bool OnlinePerceptron::Update(const std::vector<double>& features,
+                              bool label) {
+  const bool predicted = Predict(features);
+  if (predicted == label) return false;
+  const double direction = label ? 1.0 : -1.0;
+  for (size_t i = 0; i < dims_; i++) {
+    weights_[i] += direction * features[i];
+  }
+  weights_[dims_] += direction;
+  mistakes_++;
+  return true;
+}
+
+StreamingNaiveBayes::StreamingNaiveBayes(size_t dimensions)
+    : dims_(dimensions) {
+  STREAMLIB_CHECK_MSG(dimensions >= 1, "need at least one feature");
+  moments_[0].assign(dimensions, Moments{});
+  moments_[1].assign(dimensions, Moments{});
+}
+
+void StreamingNaiveBayes::Update(const std::vector<double>& features,
+                                 bool label) {
+  STREAMLIB_DCHECK(features.size() == dims_);
+  const int cls = label ? 1 : 0;
+  counts_[cls]++;
+  for (size_t i = 0; i < dims_; i++) {
+    const double x = features[i];
+    if (std::isnan(x)) continue;  // Missing feature: skip.
+    Moments& m = moments_[cls][i];
+    m.n++;
+    const double delta = x - m.mean;
+    m.mean += delta / static_cast<double>(m.n);
+    m.m2 += delta * (x - m.mean);
+  }
+}
+
+double StreamingNaiveBayes::LogOdds(
+    const std::vector<double>& features) const {
+  if (counts_[0] == 0 || counts_[1] == 0) return 0.0;
+  const double total =
+      static_cast<double>(counts_[0]) + static_cast<double>(counts_[1]);
+  double log_odds = std::log(static_cast<double>(counts_[1]) / total) -
+                    std::log(static_cast<double>(counts_[0]) / total);
+  for (size_t i = 0; i < dims_; i++) {
+    const double x = features[i];
+    if (std::isnan(x)) continue;
+    double ll[2];
+    for (int cls = 0; cls < 2; cls++) {
+      const Moments& m = moments_[cls][i];
+      if (m.n < 2) return 0.0;  // Not enough evidence yet.
+      const double var =
+          std::max(m.m2 / static_cast<double>(m.n - 1), 1e-9);
+      const double d = x - m.mean;
+      ll[cls] = -0.5 * std::log(2.0 * 3.14159265358979 * var) -
+                d * d / (2.0 * var);
+    }
+    log_odds += ll[1] - ll[0];
+  }
+  return log_odds;
+}
+
+PrequentialEvaluator::PrequentialEvaluator(size_t window) : window_(window) {
+  STREAMLIB_CHECK_MSG(window >= 1, "window must be >= 1");
+}
+
+void PrequentialEvaluator::Record(bool predicted, bool truth) {
+  total_++;
+  const bool correct = predicted == truth;
+  if (correct) correct_++;
+  recent_.push_back(correct);
+  if (correct) recent_correct_++;
+  if (recent_.size() > window_) {
+    if (recent_.front()) recent_correct_--;
+    recent_.pop_front();
+  }
+}
+
+double PrequentialEvaluator::OverallAccuracy() const {
+  return total_ == 0
+             ? 0.0
+             : static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+double PrequentialEvaluator::WindowAccuracy() const {
+  return recent_.empty() ? 0.0
+                         : static_cast<double>(recent_correct_) /
+                               static_cast<double>(recent_.size());
+}
+
+}  // namespace streamlib

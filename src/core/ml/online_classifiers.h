@@ -1,0 +1,128 @@
+#ifndef STREAMLIB_CORE_ML_ONLINE_CLASSIFIERS_H_
+#define STREAMLIB_CORE_ML_ONLINE_CLASSIFIERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// \file online_classifiers.h
+/// Incremental machine learning — the paper (§2) singles out the emergence
+/// of "incremental machine learning ... designed to work with incomplete
+/// data" for streaming analytics, and lists online ML among the Heron use
+/// cases. These are the standard one-pass learners: each example is used
+/// for prediction *before* its label updates the model (prequential /
+/// test-then-train protocol, evaluated by PrequentialEvaluator).
+
+/// Online logistic regression by stochastic gradient descent with L2
+/// regularization. O(d) per example; handles binary labels {0, 1}.
+class OnlineLogisticRegression {
+ public:
+  /// \param dimensions     feature count (a bias term is added internally).
+  /// \param learning_rate  SGD step size.
+  /// \param l2             L2 regularization strength (0 disables).
+  OnlineLogisticRegression(size_t dimensions, double learning_rate,
+                           double l2 = 0.0);
+
+  /// P(label = 1 | features).
+  double PredictProbability(const std::vector<double>& features) const;
+
+  /// Hard prediction at the 0.5 boundary.
+  bool Predict(const std::vector<double>& features) const {
+    return PredictProbability(features) >= 0.5;
+  }
+
+  /// One SGD step on (features, label).
+  void Update(const std::vector<double>& features, bool label);
+
+  const std::vector<double>& weights() const { return weights_; }
+  uint64_t updates() const { return updates_; }
+
+ private:
+  size_t dims_;
+  double lr_;
+  double l2_;
+  std::vector<double> weights_;  // dims_ + 1 (bias last).
+  uint64_t updates_ = 0;
+};
+
+/// The classic online perceptron: mistake-driven additive updates. Kept as
+/// the simplest baseline (and the one with the classic mistake bound).
+class OnlinePerceptron {
+ public:
+  explicit OnlinePerceptron(size_t dimensions);
+
+  bool Predict(const std::vector<double>& features) const;
+
+  /// Updates only on mistakes; returns true if a mistake occurred.
+  bool Update(const std::vector<double>& features, bool label);
+
+  uint64_t mistakes() const { return mistakes_; }
+
+ private:
+  size_t dims_;
+  std::vector<double> weights_;  // dims_ + 1 (bias last).
+  uint64_t mistakes_ = 0;
+};
+
+/// Streaming Gaussian naive Bayes: per-class, per-feature running mean and
+/// variance by Welford's method. Probabilistic, no tuning, adapts as
+/// moments accumulate — the "works with incomplete data" end of the
+/// spectrum (features can be missing per example).
+class StreamingNaiveBayes {
+ public:
+  explicit StreamingNaiveBayes(size_t dimensions);
+
+  /// Log-odds of class 1 vs class 0; missing features are NaN and skipped.
+  double LogOdds(const std::vector<double>& features) const;
+
+  bool Predict(const std::vector<double>& features) const {
+    return LogOdds(features) >= 0.0;
+  }
+
+  void Update(const std::vector<double>& features, bool label);
+
+  uint64_t count(bool label) const { return counts_[label ? 1 : 0]; }
+
+ private:
+  struct Moments {
+    uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+
+  size_t dims_;
+  uint64_t counts_[2] = {0, 0};
+  std::vector<Moments> moments_[2];  // Per class, per feature.
+};
+
+/// Prequential (test-then-train) evaluation: the standard protocol for
+/// streaming learners — every example is first scored against the current
+/// model, then used to update it; accuracy is tracked overall and over a
+/// sliding window so concept-drift recovery is visible.
+class PrequentialEvaluator {
+ public:
+  explicit PrequentialEvaluator(size_t window = 1000);
+
+  /// Records one (prediction, truth) pair.
+  void Record(bool predicted, bool truth);
+
+  double OverallAccuracy() const;
+  double WindowAccuracy() const;
+  uint64_t count() const { return total_; }
+
+ private:
+  size_t window_;
+  uint64_t total_ = 0;
+  uint64_t correct_ = 0;
+  std::deque<bool> recent_;
+  uint64_t recent_correct_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_ML_ONLINE_CLASSIFIERS_H_

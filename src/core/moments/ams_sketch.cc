@@ -1,0 +1,53 @@
+#include "core/moments/ams_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+AmsSketch::AmsSketch(uint32_t groups, uint32_t group_size)
+    : groups_(groups), group_size_(group_size) {
+  STREAMLIB_CHECK_MSG(groups >= 1, "groups must be >= 1");
+  STREAMLIB_CHECK_MSG(group_size >= 1, "group_size must be >= 1");
+  counters_.assign(static_cast<size_t>(groups_) * group_size_, 0);
+}
+
+void AmsSketch::AddHash(uint64_t hash, int64_t count) {
+  for (size_t c = 0; c < counters_.size(); c++) {
+    // Counter-specific +-1 hash of the key. Mix64 gives strong (empirically
+    // 4-wise-like) independence, the standard engineering substitute for the
+    // paper's explicit 4-wise family.
+    const uint64_t h = HashInt64(hash, c + 1);
+    counters_[c] += (h & 1) != 0 ? count : -count;
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> means;
+  means.reserve(groups_);
+  for (uint32_t g = 0; g < groups_; g++) {
+    double sum = 0.0;
+    for (uint32_t j = 0; j < group_size_; j++) {
+      const double x =
+          static_cast<double>(counters_[static_cast<size_t>(g) * group_size_ + j]);
+      sum += x * x;
+    }
+    means.push_back(sum / static_cast<double>(group_size_));
+  }
+  std::nth_element(means.begin(), means.begin() + means.size() / 2,
+                   means.end());
+  return means[means.size() / 2];
+}
+
+Status AmsSketch::Merge(const AmsSketch& other) {
+  if (other.groups_ != groups_ || other.group_size_ != group_size_) {
+    return Status::InvalidArgument("AMS merge: geometry mismatch");
+  }
+  for (size_t i = 0; i < counters_.size(); i++) {
+    counters_[i] += other.counters_[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace streamlib

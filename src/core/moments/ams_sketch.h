@@ -1,0 +1,55 @@
+#ifndef STREAMLIB_CORE_MOMENTS_AMS_SKETCH_H_
+#define STREAMLIB_CORE_MOMENTS_AMS_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace streamlib {
+
+/// AMS "tug-of-war" sketch for the second frequency moment F2 (Alon, Matias
+/// & Szegedy, STOC 1996 — the paper credits this work with introducing
+/// randomized sketching, cited as [39]). Each atomic counter accumulates
+/// sum_i sign(i) * f_i; its square is an unbiased F2 estimate. Variance is
+/// tamed by median-of-means: `groups` groups of `group_size` counters,
+/// mean within a group, median across groups.
+///
+/// Application (Table 1): self-join size estimation in databases.
+class AmsSketch {
+ public:
+  /// \param groups      number of independent groups (median dimension);
+  ///                    failure probability ~ exp(-groups/...).
+  /// \param group_size  counters averaged per group (variance dimension);
+  ///                    relative error ~ 1/sqrt(group_size).
+  AmsSketch(uint32_t groups, uint32_t group_size);
+
+  template <typename T>
+  void Add(const T& key, int64_t count = 1) {
+    AddHash(HashValue(key, kHashSeed), count);
+  }
+
+  void AddHash(uint64_t hash, int64_t count);
+
+  /// Median-of-means estimate of F2 = sum_i f_i^2.
+  double EstimateF2() const;
+
+  /// In-place merge (the sketch is linear).
+  Status Merge(const AmsSketch& other);
+
+  uint32_t groups() const { return groups_; }
+  uint32_t group_size() const { return group_size_; }
+  size_t MemoryBytes() const { return counters_.size() * sizeof(int64_t); }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x6a09e667f3bcc908ULL;
+
+  uint32_t groups_;
+  uint32_t group_size_;
+  std::vector<int64_t> counters_;  // groups_ * group_size_.
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_MOMENTS_AMS_SKETCH_H_

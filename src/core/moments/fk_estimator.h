@@ -1,0 +1,167 @@
+#ifndef STREAMLIB_CORE_MOMENTS_FK_ESTIMATOR_H_
+#define STREAMLIB_CORE_MOMENTS_FK_ESTIMATOR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// The AMS *sampling* estimator for arbitrary frequency moments F_k =
+/// sum_i f_i^k (Alon, Matias & Szegedy [39]; improved bounds in
+/// Coppersmith–Kumar [63] and Indyk–Woodruff [109], all cited). Each sample
+/// picks a uniformly random stream position (by reservoir), then counts the
+/// occurrences r of that element in the suffix; X = n*(r^k - (r-1)^k) is an
+/// unbiased F_k estimate. Median-of-means over the samples controls
+/// variance.
+class FkEstimator {
+ public:
+  /// \param k           moment order (k >= 1; k = 2 cross-checks AmsSketch).
+  /// \param groups      median dimension.
+  /// \param group_size  mean dimension (samples per group).
+  /// \param seed        RNG seed.
+  FkEstimator(int k, uint32_t groups, uint32_t group_size, uint64_t seed)
+      : k_(k), groups_(groups), group_size_(group_size), rng_(seed) {
+    STREAMLIB_CHECK_MSG(k >= 1, "moment order must be >= 1");
+    STREAMLIB_CHECK_MSG(groups >= 1 && group_size >= 1, "need samples");
+    samples_.assign(static_cast<size_t>(groups) * group_size, Sample{});
+  }
+
+  /// Processes one stream element (keys compared by 64-bit hash).
+  template <typename T>
+  void Add(const T& key) {
+    AddHash(HashValue(key, kHashSeed));
+  }
+
+  void AddHash(uint64_t hash) {
+    count_++;
+    for (Sample& s : samples_) {
+      // Reservoir over positions: the current position is the sample's
+      // anchor with probability 1/count.
+      if (rng_.NextBounded(count_) == 0) {
+        s.key_hash = hash;
+        s.suffix_count = 1;
+      } else if (s.key_hash == hash && s.suffix_count > 0) {
+        s.suffix_count++;
+      }
+    }
+  }
+
+  /// Median-of-means estimate of F_k.
+  double Estimate() const {
+    STREAMLIB_CHECK_MSG(count_ > 0, "estimate of empty stream");
+    std::vector<double> means;
+    means.reserve(groups_);
+    const double n = static_cast<double>(count_);
+    for (uint32_t g = 0; g < groups_; g++) {
+      double sum = 0.0;
+      for (uint32_t j = 0; j < group_size_; j++) {
+        const Sample& s =
+            samples_[static_cast<size_t>(g) * group_size_ + j];
+        const double r = static_cast<double>(s.suffix_count);
+        sum += n * (std::pow(r, k_) - std::pow(r - 1.0, k_));
+      }
+      means.push_back(sum / static_cast<double>(group_size_));
+    }
+    std::nth_element(means.begin(), means.begin() + means.size() / 2,
+                     means.end());
+    return means[means.size() / 2];
+  }
+
+  uint64_t count() const { return count_; }
+  int k() const { return k_; }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0xbb67ae8584caa73bULL;
+
+  struct Sample {
+    uint64_t key_hash = 0;
+    uint64_t suffix_count = 0;
+  };
+
+  int k_;
+  uint32_t groups_;
+  uint32_t group_size_;
+  Rng rng_;
+  std::vector<Sample> samples_;
+  uint64_t count_ = 0;
+};
+
+/// Streaming empirical-entropy estimator built on the same suffix-counting
+/// samples: X = f(r) - f(r-1) with f(x) = x log2(n/x) is an unbiased
+/// estimate of H = sum_i (f_i/n) log2(n/f_i) (the Chakrabarti–Cormode–
+/// McGregor construction in its basic form).
+class EntropyEstimator {
+ public:
+  EntropyEstimator(uint32_t groups, uint32_t group_size, uint64_t seed)
+      : groups_(groups), group_size_(group_size), rng_(seed) {
+    STREAMLIB_CHECK_MSG(groups >= 1 && group_size >= 1, "need samples");
+    samples_.assign(static_cast<size_t>(groups) * group_size, Sample{});
+  }
+
+  template <typename T>
+  void Add(const T& key) {
+    AddHash(HashValue(key, kHashSeed));
+  }
+
+  void AddHash(uint64_t hash) {
+    count_++;
+    for (Sample& s : samples_) {
+      if (rng_.NextBounded(count_) == 0) {
+        s.key_hash = hash;
+        s.suffix_count = 1;
+      } else if (s.key_hash == hash && s.suffix_count > 0) {
+        s.suffix_count++;
+      }
+    }
+  }
+
+  /// Median-of-means estimate of the empirical entropy in bits.
+  double Estimate() const {
+    STREAMLIB_CHECK_MSG(count_ > 0, "estimate of empty stream");
+    const double n = static_cast<double>(count_);
+    auto f = [n](double x) {
+      return x <= 0.0 ? 0.0 : x * std::log2(n / x);
+    };
+    std::vector<double> means;
+    means.reserve(groups_);
+    for (uint32_t g = 0; g < groups_; g++) {
+      double sum = 0.0;
+      for (uint32_t j = 0; j < group_size_; j++) {
+        const Sample& s =
+            samples_[static_cast<size_t>(g) * group_size_ + j];
+        const double r = static_cast<double>(s.suffix_count);
+        sum += f(r) - f(r - 1.0);
+      }
+      means.push_back(sum / static_cast<double>(group_size_));
+    }
+    std::nth_element(means.begin(), means.begin() + means.size() / 2,
+                     means.end());
+    return means[means.size() / 2];
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0x3c6ef372fe94f82bULL;
+
+  struct Sample {
+    uint64_t key_hash = 0;
+    uint64_t suffix_count = 0;
+  };
+
+  uint32_t groups_;
+  uint32_t group_size_;
+  Rng rng_;
+  std::vector<Sample> samples_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_MOMENTS_FK_ESTIMATOR_H_

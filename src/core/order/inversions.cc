@@ -1,0 +1,80 @@
+#include "core/order/inversions.h"
+
+#include "common/check.h"
+
+namespace streamlib {
+
+ExactInversionCounter::ExactInversionCounter(uint32_t domain_size)
+    : domain_(domain_size) {
+  STREAMLIB_CHECK_MSG(domain_size >= 1, "domain must be nonempty");
+  tree_.assign(domain_size + 1, 0);
+}
+
+uint64_t ExactInversionCounter::PrefixCount(uint32_t value) const {
+  // Sum of counts for values in [0, value] (Fenwick is 1-based).
+  uint64_t sum = 0;
+  for (uint32_t i = value + 1; i > 0; i -= i & (~i + 1)) {
+    sum += tree_[i];
+  }
+  return sum;
+}
+
+uint64_t ExactInversionCounter::Add(uint32_t value) {
+  STREAMLIB_CHECK_MSG(value < domain_, "value out of domain");
+  // Inversions contributed: previously seen elements strictly greater.
+  const uint64_t greater = count_ - PrefixCount(value);
+  inversions_ += greater;
+  count_++;
+  for (uint32_t i = value + 1; i <= domain_; i += i & (~i + 1)) {
+    tree_[i] += 1;
+  }
+  return greater;
+}
+
+double ExactInversionCounter::Sortedness() const {
+  if (count_ < 2) return 1.0;
+  const double max_inv =
+      static_cast<double>(count_) * static_cast<double>(count_ - 1) / 2.0;
+  return 1.0 - static_cast<double>(inversions_) / max_inv;
+}
+
+SampledInversionEstimator::SampledInversionEstimator(size_t sample_size,
+                                                     uint64_t seed)
+    : capacity_(sample_size), rng_(seed) {
+  STREAMLIB_CHECK_MSG(sample_size >= 2, "need at least two samples");
+  reservoir_.reserve(sample_size);
+}
+
+void SampledInversionEstimator::Add(uint32_t value) {
+  const uint64_t position = count_++;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(Sample{position, value});
+    return;
+  }
+  const uint64_t j = rng_.NextBounded(count_);
+  if (j < capacity_) reservoir_[j] = Sample{position, value};
+}
+
+double SampledInversionEstimator::Estimate() const {
+  if (count_ < 2 || reservoir_.size() < 2) return 0.0;
+  uint64_t inverted = 0;
+  uint64_t pairs = 0;
+  for (size_t i = 0; i < reservoir_.size(); i++) {
+    for (size_t j = i + 1; j < reservoir_.size(); j++) {
+      const Sample& a = reservoir_[i];
+      const Sample& b = reservoir_[j];
+      if (a.position == b.position) continue;
+      pairs++;
+      const Sample& earlier = a.position < b.position ? a : b;
+      const Sample& later = a.position < b.position ? b : a;
+      if (earlier.value > later.value) inverted++;
+    }
+  }
+  if (pairs == 0) return 0.0;
+  const double total_pairs =
+      static_cast<double>(count_) * static_cast<double>(count_ - 1) / 2.0;
+  return static_cast<double>(inverted) / static_cast<double>(pairs) *
+         total_pairs;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,51 @@
+#include "core/order/lis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+void LisTracker::Add(double value) {
+  count_++;
+  auto it = std::lower_bound(tails_.begin(), tails_.end(), value);
+  if (it == tails_.end()) {
+    tails_.push_back(value);
+  } else {
+    *it = value;
+  }
+}
+
+BoundedLisEstimator::BoundedLisEstimator(size_t budget) : budget_(budget) {
+  STREAMLIB_CHECK_MSG(budget >= 4, "budget must be >= 4");
+  tails_.reserve(budget + 1);
+}
+
+void BoundedLisEstimator::Add(double value) {
+  count_++;
+  if (tails_.empty() || value > tails_.back()) {
+    tails_.push_back(value);
+    length_++;  // A genuine (or over-detected, post-thinning) extension.
+    if (tails_.size() > budget_) Thin();
+    return;
+  }
+  *std::lower_bound(tails_.begin(), tails_.end(), value) = value;
+}
+
+void BoundedLisEstimator::Thin() {
+  // Drop every second tail but always retain the maximum (back), so the
+  // extension test `value > tails_.back()` stays anchored to the best
+  // available lower bound on the true patience maximum.
+  std::vector<double> kept;
+  kept.reserve(tails_.size() / 2 + 1);
+  for (size_t i = 1; i < tails_.size(); i += 2) {
+    kept.push_back(tails_[i]);
+  }
+  if (kept.empty() || kept.back() != tails_.back()) {
+    kept.push_back(tails_.back());
+  }
+  tails_ = std::move(kept);
+  thinned_ = true;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,73 @@
+#ifndef STREAMLIB_CORE_ORDER_LIS_H_
+#define STREAMLIB_CORE_ORDER_LIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace streamlib {
+
+/// Exact longest-increasing-subsequence *length* tracking via patience
+/// sorting: `tails_[l]` is the smallest possible tail of an increasing
+/// subsequence of length l+1; each arrival binary-searches and replaces.
+/// O(log L) per element, O(L) memory where L is the current LIS length —
+/// already sublinear for most streams, and the baseline for the
+/// bounded-memory estimator below (the streaming-LIS problem of
+/// Liben-Nowell et al. [122] and the lower bounds of Gál–Gopalan [87] /
+/// Sun–Woodruff [152], all cited).
+class LisTracker {
+ public:
+  LisTracker() = default;
+
+  /// Processes one value (strictly increasing subsequences).
+  void Add(double value);
+
+  /// Current LIS length of the stream seen so far.
+  size_t Length() const { return tails_.size(); }
+
+  uint64_t count() const { return count_; }
+
+  /// Memory held, in values (equals the LIS length).
+  size_t MemoryValues() const { return tails_.size(); }
+
+ private:
+  std::vector<double> tails_;
+  uint64_t count_ = 0;
+};
+
+/// Bounded-memory LIS length estimator: runs patience sorting but keeps at
+/// most `budget` tails by periodically dropping every second one (the
+/// maximum tail is always retained), while an exact counter records every
+/// length extension. The estimate is exact while the LIS fits the budget
+/// and exact on monotone streams; after thinning it *never underestimates*
+/// (the retained maximum is <= the true patience maximum, so extensions are
+/// only over-detected), with overestimate governed by the inter-tail gaps —
+/// the eps-additive space/accuracy trade-off the streaming-LIS lower bounds
+/// show is unavoidable (deterministic exact LIS needs Omega(n) space).
+class BoundedLisEstimator {
+ public:
+  explicit BoundedLisEstimator(size_t budget);
+
+  void Add(double value);
+
+  /// Estimated LIS length (exact while within budget; an upper bound after).
+  size_t Estimate() const { return length_; }
+
+  /// True once thinning has happened (estimate no longer exact).
+  bool IsApproximate() const { return thinned_; }
+
+  size_t MemoryValues() const { return tails_.size(); }
+
+ private:
+  void Thin();
+
+  size_t budget_;
+  bool thinned_ = false;
+  size_t length_ = 0;  // Number of length extensions (the estimate).
+  std::vector<double> tails_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_ORDER_LIS_H_

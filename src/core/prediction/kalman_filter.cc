@@ -1,0 +1,88 @@
+#include "core/prediction/kalman_filter.h"
+
+#include "common/check.h"
+
+namespace streamlib {
+
+ScalarKalmanFilter::ScalarKalmanFilter(double process_noise,
+                                       double observation_noise)
+    : q_(process_noise), r_(observation_noise) {
+  STREAMLIB_CHECK_MSG(process_noise > 0.0, "Q must be positive");
+  STREAMLIB_CHECK_MSG(observation_noise > 0.0, "R must be positive");
+}
+
+double ScalarKalmanFilter::Update(double observation) {
+  count_++;
+  if (count_ == 1) {
+    level_ = observation;
+    variance_ = r_;
+    return level_;
+  }
+  // Predict.
+  variance_ += q_;
+  // Update.
+  const double gain = variance_ / (variance_ + r_);
+  level_ += gain * (observation - level_);
+  variance_ *= (1.0 - gain);
+  return level_;
+}
+
+double ScalarKalmanFilter::PredictMissing() {
+  variance_ += q_;
+  return level_;
+}
+
+VelocityKalmanFilter::VelocityKalmanFilter(double process_noise,
+                                           double observation_noise)
+    : q_(process_noise), r_(observation_noise) {
+  STREAMLIB_CHECK_MSG(process_noise > 0.0, "Q must be positive");
+  STREAMLIB_CHECK_MSG(observation_noise > 0.0, "R must be positive");
+}
+
+void VelocityKalmanFilter::Predict() {
+  // x = F x with F = [[1, 1], [0, 1]].
+  level_ += trend_;
+  // P = F P F^T + Q (Q only on the trend component, discrete white noise).
+  const double p00 = p00_ + 2.0 * p01_ + p11_ + q_ / 4.0;
+  const double p01 = p01_ + p11_ + q_ / 2.0;
+  const double p11 = p11_ + q_;
+  p00_ = p00;
+  p01_ = p01;
+  p11_ = p11;
+}
+
+double VelocityKalmanFilter::Update(double observation) {
+  count_++;
+  if (count_ == 1) {
+    level_ = observation;
+    trend_ = 0.0;
+    p00_ = r_;
+    p01_ = 0.0;
+    p11_ = 1.0;
+    return level_;
+  }
+  Predict();
+  // Innovation with H = [1, 0].
+  const double innovation = observation - level_;
+  const double s = p00_ + r_;
+  const double k0 = p00_ / s;
+  const double k1 = p01_ / s;
+  level_ += k0 * innovation;
+  trend_ += k1 * innovation;
+  // Joseph-free covariance update (numerically fine at this scale):
+  // P = (I - K H) P.
+  const double p00 = (1.0 - k0) * p00_;
+  const double p01 = (1.0 - k0) * p01_;
+  const double p11 = p11_ - k1 * p01_;
+  p00_ = p00;
+  p01_ = p01;
+  p11_ = p11;
+  return level_;
+}
+
+double VelocityKalmanFilter::PredictMissing() {
+  Predict();
+  return level_;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,90 @@
+#include "core/prediction/online_ar.h"
+
+#include "common/check.h"
+
+namespace streamlib {
+
+OnlineArModel::OnlineArModel(size_t order, double forgetting)
+    : order_(order), lambda_(forgetting) {
+  STREAMLIB_CHECK_MSG(order >= 1, "order must be >= 1");
+  STREAMLIB_CHECK_MSG(forgetting > 0.0 && forgetting <= 1.0,
+                      "forgetting factor must be in (0, 1]");
+  coeffs_.assign(order, 0.0);
+  // P initialized to a large multiple of identity (weak prior).
+  p_.assign(order * order, 0.0);
+  for (size_t i = 0; i < order; i++) p_[i * order + i] = 1000.0;
+}
+
+double OnlineArModel::Forecast() const {
+  if (lags_.size() < order_) {
+    return lags_.empty() ? 0.0 : lags_.front();  // Persistence fallback.
+  }
+  double forecast = 0.0;
+  for (size_t i = 0; i < order_; i++) forecast += coeffs_[i] * lags_[i];
+  return forecast;
+}
+
+void OnlineArModel::Update(double value) {
+  count_++;
+  if (lags_.size() == order_) {
+    // RLS step with regressor x = lag vector.
+    // k = P x / (lambda + x^T P x)
+    std::vector<double> px(order_, 0.0);
+    for (size_t i = 0; i < order_; i++) {
+      for (size_t j = 0; j < order_; j++) {
+        px[i] += p_[i * order_ + j] * lags_[j];
+      }
+    }
+    double xpx = 0.0;
+    for (size_t i = 0; i < order_; i++) xpx += lags_[i] * px[i];
+    const double denom = lambda_ + xpx;
+    const double error = value - Forecast();
+    for (size_t i = 0; i < order_; i++) {
+      coeffs_[i] += px[i] / denom * error;
+    }
+    // P = (P - k x^T P) / lambda, with k = px / denom.
+    for (size_t i = 0; i < order_; i++) {
+      for (size_t j = 0; j < order_; j++) {
+        p_[i * order_ + j] =
+            (p_[i * order_ + j] - px[i] * px[j] / denom) / lambda_;
+      }
+    }
+  }
+  lags_.push_front(value);
+  if (lags_.size() > order_) lags_.pop_back();
+}
+
+double OnlineArModel::ForecastAhead(size_t horizon) const {
+  STREAMLIB_CHECK_MSG(horizon >= 1, "horizon must be >= 1");
+  std::deque<double> lags = lags_;
+  double prediction = Forecast();
+  for (size_t step = 1; step < horizon; step++) {
+    if (lags.size() == order_) lags.pop_back();
+    lags.push_front(prediction);
+    prediction = 0.0;
+    for (size_t i = 0; i < order_ && i < lags.size(); i++) {
+      prediction += coeffs_[i] * lags[i];
+    }
+  }
+  return prediction;
+}
+
+HoltWinters::HoltWinters(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  STREAMLIB_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  STREAMLIB_CHECK_MSG(beta > 0.0 && beta < 1.0, "beta must be in (0, 1)");
+}
+
+void HoltWinters::Update(double value) {
+  count_++;
+  if (count_ == 1) {
+    level_ = value;
+    trend_ = 0.0;
+    return;
+  }
+  const double prev_level = level_;
+  level_ = alpha_ * value + (1.0 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,73 @@
+#ifndef STREAMLIB_CORE_PREDICTION_ONLINE_AR_H_
+#define STREAMLIB_CORE_PREDICTION_ONLINE_AR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace streamlib {
+
+/// Online autoregressive model AR(p) fit by recursive least squares with a
+/// forgetting factor — the "adaptive forecasting" approach for data streams
+/// (APForecast, cited as [164], is of this family). Coefficients adapt as
+/// the stream drifts; prediction is the inner product of the learned
+/// coefficients with the lag vector.
+class OnlineArModel {
+ public:
+  /// \param order       AR order p (number of lags).
+  /// \param forgetting  RLS forgetting factor lambda in (0, 1]; 1 = none.
+  OnlineArModel(size_t order, double forgetting = 0.999);
+
+  /// One-step-ahead forecast from the current lags (0 until p lags seen).
+  double Forecast() const;
+
+  /// Incorporates one observation: updates coefficients against the
+  /// forecast error, then pushes the value into the lag window.
+  void Update(double value);
+
+  /// Forecast `horizon` steps ahead by iterating the model on its own
+  /// predictions.
+  double ForecastAhead(size_t horizon) const;
+
+  const std::vector<double>& coefficients() const { return coeffs_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  size_t order_;
+  double lambda_;
+  std::vector<double> coeffs_;       // AR coefficients, newest lag first.
+  std::vector<double> p_;            // RLS inverse-covariance, row-major.
+  std::deque<double> lags_;          // Newest first.
+  uint64_t count_ = 0;
+};
+
+/// Holt–Winters double exponential smoothing (level + trend): the classic
+/// lightweight forecaster for trending streams; the prediction bench
+/// compares it to the Kalman and AR models on drift and seasonality.
+class HoltWinters {
+ public:
+  /// \param alpha  level smoothing in (0, 1).
+  /// \param beta   trend smoothing in (0, 1).
+  HoltWinters(double alpha, double beta);
+
+  /// One-step-ahead forecast (level + trend).
+  double Forecast() const { return level_ + trend_; }
+
+  /// Incorporates one observation.
+  void Update(double value);
+
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_PREDICTION_ONLINE_AR_H_

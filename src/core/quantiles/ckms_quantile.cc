@@ -1,0 +1,121 @@
+#include "core/quantiles/ckms_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+CkmsQuantile::CkmsQuantile(std::vector<QuantileTarget> targets)
+    : targets_(std::move(targets)) {
+  STREAMLIB_CHECK_MSG(!targets_.empty(), "need at least one target");
+  for (const QuantileTarget& t : targets_) {
+    STREAMLIB_CHECK_MSG(t.quantile > 0.0 && t.quantile < 1.0,
+                        "target quantile must be in (0, 1)");
+    STREAMLIB_CHECK_MSG(t.error > 0.0 && t.error < 1.0,
+                        "target error must be in (0, 1)");
+  }
+  buffer_.reserve(kBufferSize);
+}
+
+double CkmsQuantile::Invariant(double rank, uint64_t n) const {
+  double min_f = std::numeric_limits<double>::max();
+  const double nd = static_cast<double>(n);
+  for (const QuantileTarget& t : targets_) {
+    double f;
+    if (rank <= t.quantile * nd) {
+      f = 2.0 * t.error * (nd - rank) / (1.0 - t.quantile);
+    } else {
+      f = 2.0 * t.error * rank / t.quantile;
+    }
+    min_f = std::min(min_f, f);
+  }
+  return std::max(min_f, 1.0);
+}
+
+void CkmsQuantile::Add(double value) {
+  buffer_.push_back(value);
+  if (buffer_.size() >= kBufferSize) Flush();
+}
+
+void CkmsQuantile::Flush() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+
+  // Merge the sorted buffer into the tuple list in one pass.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  size_t ti = 0;
+  double rank = 0.0;  // rmin of the last emitted tuple.
+  for (double v : buffer_) {
+    while (ti < tuples_.size() && tuples_[ti].value <= v) {
+      rank += static_cast<double>(tuples_[ti].g);
+      merged.push_back(tuples_[ti++]);
+    }
+    uint64_t delta;
+    if (merged.empty() || ti >= tuples_.size()) {
+      delta = 0;  // New min or max.
+    } else {
+      delta = static_cast<uint64_t>(
+                  std::floor(Invariant(rank, count_))) -
+              1;
+    }
+    merged.push_back(Tuple{v, 1, delta});
+    count_++;
+  }
+  while (ti < tuples_.size()) merged.push_back(tuples_[ti++]);
+  tuples_ = std::move(merged);
+  buffer_.clear();
+  Compress();
+}
+
+void CkmsQuantile::Compress() {
+  if (tuples_.size() < 3) return;
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_[0]);
+  // Track rmin of the *next* tuple for the invariant evaluation.
+  double rank = static_cast<double>(tuples_[0].g);
+  for (size_t i = 1; i + 1 < tuples_.size(); i++) {
+    const Tuple& cur = tuples_[i];
+    Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(cur.g + next.g + next.delta) <=
+        Invariant(rank, count_)) {
+      next.g += cur.g;  // Merge cur into next.
+    } else {
+      out.push_back(cur);
+    }
+    rank += static_cast<double>(cur.g);
+  }
+  out.push_back(tuples_.back());
+  tuples_ = std::move(out);
+}
+
+double CkmsQuantile::Query(double phi) {
+  Flush();
+  STREAMLIB_CHECK_MSG(!tuples_.empty(), "query on empty summary");
+  STREAMLIB_CHECK_MSG(phi >= 0.0 && phi <= 1.0, "phi must be in [0, 1]");
+
+  const double n = static_cast<double>(count_);
+  const double rank = phi * n;
+  const double allowed = Invariant(rank, count_) / 2.0;
+
+  uint64_t rmin = 0;
+  for (size_t i = 0; i + 1 < tuples_.size(); i++) {
+    rmin += tuples_[i].g;
+    const Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(rmin + next.g + next.delta) > rank + allowed) {
+      return tuples_[i].value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+size_t CkmsQuantile::SummarySize() {
+  Flush();
+  return tuples_.size();
+}
+
+}  // namespace streamlib

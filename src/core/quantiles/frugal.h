@@ -1,0 +1,100 @@
+#ifndef STREAMLIB_CORE_QUANTILES_FRUGAL_H_
+#define STREAMLIB_CORE_QUANTILES_FRUGAL_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Frugal-1U streaming quantile estimator (Ma, Muthukrishnan & Sandler,
+/// cited as [123]): tracks one quantile using *one unit of memory* — a single
+/// running value nudged up with probability phi and down with probability
+/// 1-phi. Converges to the true quantile for stationary streams; accuracy is
+/// workload-dependent (no worst-case guarantee), which is exactly the
+/// trade-off the frugal-streaming paper explores and the quantile bench
+/// quantifies against GK/CKMS/t-digest.
+class Frugal1U {
+ public:
+  /// \param phi   quantile to track, in (0, 1).
+  /// \param seed  RNG seed.
+  Frugal1U(double phi, uint64_t seed) : phi_(phi), rng_(seed) {
+    STREAMLIB_CHECK_MSG(phi > 0.0 && phi < 1.0, "phi must be in (0, 1)");
+  }
+
+  void Add(double value) {
+    if (!initialized_) {
+      estimate_ = value;
+      initialized_ = true;
+      return;
+    }
+    if (value > estimate_ && rng_.NextBool(phi_)) {
+      estimate_ += 1.0;
+    } else if (value < estimate_ && rng_.NextBool(1.0 - phi_)) {
+      estimate_ -= 1.0;
+    }
+  }
+
+  double Estimate() const { return estimate_; }
+  double phi() const { return phi_; }
+
+ private:
+  double phi_;
+  Rng rng_;
+  double estimate_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Frugal-2U: the two-variables refinement from the same paper — an adaptive
+/// step size grows while updates keep pushing in one direction and shrinks on
+/// direction reversals, giving much faster convergence when the estimate is
+/// far from the quantile while keeping O(1) memory.
+class Frugal2U {
+ public:
+  Frugal2U(double phi, uint64_t seed) : phi_(phi), rng_(seed) {
+    STREAMLIB_CHECK_MSG(phi > 0.0 && phi < 1.0, "phi must be in (0, 1)");
+  }
+
+  void Add(double value) {
+    if (!initialized_) {
+      estimate_ = value;
+      initialized_ = true;
+      return;
+    }
+    if (value > estimate_ && rng_.NextBool(phi_)) {
+      step_ += sign_ > 0 ? 1.0 : -1.0;
+      estimate_ += step_ > 0 ? step_ : 1.0;
+      if (estimate_ > value) {  // Overshoot: take back the excess.
+        step_ += value - estimate_;
+        estimate_ = value;
+      }
+      if (sign_ < 0 && step_ > 1.0) step_ = 1.0;
+      sign_ = 1;
+    } else if (value < estimate_ && rng_.NextBool(1.0 - phi_)) {
+      step_ += sign_ < 0 ? 1.0 : -1.0;
+      estimate_ -= step_ > 0 ? step_ : 1.0;
+      if (estimate_ < value) {
+        step_ += estimate_ - value;
+        estimate_ = value;
+      }
+      if (sign_ > 0 && step_ > 1.0) step_ = 1.0;
+      sign_ = -1;
+    }
+  }
+
+  double Estimate() const { return estimate_; }
+  double phi() const { return phi_; }
+
+ private:
+  double phi_;
+  Rng rng_;
+  double estimate_ = 0.0;
+  double step_ = 1.0;
+  int sign_ = 1;
+  bool initialized_ = false;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_QUANTILES_FRUGAL_H_

@@ -1,0 +1,76 @@
+#include "core/quantiles/gk_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+GkQuantile::GkQuantile(double eps) : eps_(eps) {
+  STREAMLIB_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  compress_every_ = std::max<uint64_t>(1, static_cast<uint64_t>(1.0 / (2.0 * eps_)));
+}
+
+void GkQuantile::Add(double value) {
+  // Locate insertion point (first tuple with value > v).
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& t) { return v < t.value; });
+
+  uint64_t delta;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    delta = 0;  // New min or max is exact.
+  } else {
+    delta = static_cast<uint64_t>(
+        std::floor(2.0 * eps_ * static_cast<double>(count_)));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  count_++;
+
+  if (count_ % compress_every_ == 0) Compress();
+}
+
+void GkQuantile::Compress() {
+  if (tuples_.size() < 3) return;
+  const uint64_t threshold = static_cast<uint64_t>(
+      std::floor(2.0 * eps_ * static_cast<double>(count_)));
+  // Merge tuple i into i+1 when combined uncertainty stays within threshold.
+  // Single right-to-left pass, writing survivors in place.
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  // Iterate left to right, accumulating merges into the next tuple.
+  size_t i = 0;
+  out.push_back(tuples_[0]);  // Minimum is always kept exact.
+  for (i = 1; i + 1 < tuples_.size(); i++) {
+    const Tuple& cur = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (cur.g + next.g + next.delta <= threshold) {
+      // Merge cur into next (defer: fold cur.g into next when emitted).
+      tuples_[i + 1].g += cur.g;
+    } else {
+      out.push_back(cur);
+    }
+  }
+  if (tuples_.size() > 1) out.push_back(tuples_.back());
+  tuples_ = std::move(out);
+}
+
+double GkQuantile::Query(double phi) const {
+  STREAMLIB_CHECK_MSG(!tuples_.empty(), "query on empty summary");
+  STREAMLIB_CHECK_MSG(phi >= 0.0 && phi <= 1.0, "phi must be in [0, 1]");
+  const double n = static_cast<double>(count_);
+  const double rank = std::ceil(phi * n);
+  const double margin = eps_ * n;
+
+  uint64_t rmin = 0;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const double lo = static_cast<double>(rmin);
+    const double hi = static_cast<double>(rmin + t.delta);
+    if (rank - lo <= margin && hi - rank <= margin) return t.value;
+  }
+  return tuples_.back().value;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,54 @@
+#ifndef STREAMLIB_CORE_QUANTILES_GK_QUANTILE_H_
+#define STREAMLIB_CORE_QUANTILES_GK_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace streamlib {
+
+/// Greenwald–Khanna quantile summary (SIGMOD 2001, cited as [93]):
+/// eps-approximate quantiles of an unbounded stream in O((1/eps) log(eps n))
+/// space. A query for quantile phi returns an element whose rank is within
+/// eps*n of ceil(phi*n), deterministically (no randomness, no assumptions on
+/// value distribution or arrival order).
+///
+/// Application (Table 1): network latency analysis — p50/p99/p999 tracking.
+class GkQuantile {
+ public:
+  /// \param eps  rank-error bound, in (0, 1); e.g. 0.001 for p99 tracking.
+  explicit GkQuantile(double eps);
+
+  /// Inserts one observation.
+  void Add(double value);
+
+  /// Value with rank within eps*n of ceil(phi*n). phi in [0, 1].
+  /// Requires at least one insertion.
+  double Query(double phi) const;
+
+  uint64_t count() const { return count_; }
+  double eps() const { return eps_; }
+
+  /// Number of summary tuples held (space diagnostic; the GK guarantee is
+  /// O((1/eps) log(eps n))).
+  size_t SummarySize() const { return tuples_.size(); }
+  size_t MemoryBytes() const { return tuples_.size() * sizeof(Tuple); }
+
+ private:
+  struct Tuple {
+    double value;     // Sampled value v_i.
+    uint64_t g;       // rmin(v_i) - rmin(v_{i-1}).
+    uint64_t delta;   // rmax(v_i) - rmin(v_i).
+  };
+
+  void Compress();
+
+  double eps_;
+  uint64_t count_ = 0;
+  uint64_t compress_every_;  // Compress period: floor(1/(2 eps)).
+  std::vector<Tuple> tuples_;  // Sorted by value.
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_QUANTILES_GK_QUANTILE_H_

@@ -1,0 +1,105 @@
+#include "core/quantiles/qdigest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace streamlib {
+
+QDigest::QDigest(uint32_t universe_bits, uint32_t compression)
+    : universe_bits_(universe_bits), compression_(compression) {
+  STREAMLIB_CHECK_MSG(universe_bits >= 1 && universe_bits <= 32,
+                      "universe_bits must be in [1, 32]");
+  STREAMLIB_CHECK_MSG(compression >= 1, "compression must be >= 1");
+}
+
+uint64_t QDigest::RangeMax(uint64_t node) const {
+  // Descend to the rightmost leaf of the subtree.
+  const uint32_t node_level = static_cast<uint32_t>(Log2Floor(node));
+  const uint32_t depth = universe_bits_ - node_level;
+  const uint64_t rightmost = ((node + 1) << depth) - 1;
+  return rightmost - (uint64_t{1} << universe_bits_);
+}
+
+void QDigest::Add(uint32_t value, uint64_t weight) {
+  STREAMLIB_CHECK_MSG(
+      universe_bits_ == 32 || value < (uint32_t{1} << universe_bits_),
+      "value outside the universe");
+  nodes_[LeafOf(value)] += weight;
+  count_ += weight;
+  since_compress_ += weight;
+  if (since_compress_ * compression_ >= count_ &&
+      nodes_.size() > 4 * compression_) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void QDigest::Compress() {
+  const uint64_t threshold = count_ / compression_;
+  if (threshold == 0) return;
+  // Bottom-up sweep, strictly level by level so merges created at level d
+  // cascade into the level d-1 pass of the same Compress call.
+  for (uint32_t level = universe_bits_; level >= 1; level--) {
+    std::vector<uint64_t> ids;
+    const uint64_t level_begin = uint64_t{1} << level;
+    const uint64_t level_end = uint64_t{1} << (level + 1);
+    ids.reserve(nodes_.size());
+    for (const auto& [id, cnt] : nodes_) {
+      if (id >= level_begin && id < level_end) ids.push_back(id);
+    }
+    for (uint64_t id : ids) {
+      auto it = nodes_.find(id);
+      if (it == nodes_.end()) continue;  // Consumed as a sibling already.
+      const uint64_t sibling = id ^ 1;
+      const uint64_t parent = id / 2;
+      auto sib_it = nodes_.find(sibling);
+      auto par_it = nodes_.find(parent);
+      const uint64_t sib_count = sib_it == nodes_.end() ? 0 : sib_it->second;
+      const uint64_t par_count = par_it == nodes_.end() ? 0 : par_it->second;
+      if (it->second + sib_count + par_count < threshold) {
+        nodes_[parent] = par_count + it->second + sib_count;
+        nodes_.erase(id);
+        if (sib_it != nodes_.end()) nodes_.erase(sibling);
+      }
+    }
+  }
+}
+
+uint32_t QDigest::Quantile(double phi) const {
+  STREAMLIB_CHECK_MSG(phi >= 0.0 && phi <= 1.0, "phi must be in [0, 1]");
+  STREAMLIB_CHECK_MSG(count_ > 0, "quantile of empty digest");
+  // Post-order by range max, smaller ranges first on ties: accumulating in
+  // this order yields conservative ranks (the q-digest query rule).
+  std::vector<std::pair<uint64_t, uint64_t>> entries(nodes_.begin(),
+                                                     nodes_.end());
+  std::sort(entries.begin(), entries.end(),
+            [this](const auto& a, const auto& b) {
+              const uint64_t max_a = RangeMax(a.first);
+              const uint64_t max_b = RangeMax(b.first);
+              if (max_a != max_b) return max_a < max_b;
+              return a.first > b.first;  // Deeper (smaller range) first.
+            });
+  const double target = phi * static_cast<double>(count_);
+  double cum = 0.0;
+  for (const auto& [id, cnt] : entries) {
+    cum += static_cast<double>(cnt);
+    if (cum >= target) return static_cast<uint32_t>(RangeMax(id));
+  }
+  return static_cast<uint32_t>(RangeMax(entries.back().first));
+}
+
+Status QDigest::Merge(const QDigest& other) {
+  if (other.universe_bits_ != universe_bits_ ||
+      other.compression_ != compression_) {
+    return Status::InvalidArgument("QDigest merge: parameter mismatch");
+  }
+  for (const auto& [id, cnt] : other.nodes_) nodes_[id] += cnt;
+  count_ += other.count_;
+  Compress();
+  return Status::OK();
+}
+
+}  // namespace streamlib

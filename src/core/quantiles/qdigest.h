@@ -1,0 +1,57 @@
+#ifndef STREAMLIB_CORE_QUANTILES_QDIGEST_H_
+#define STREAMLIB_CORE_QUANTILES_QDIGEST_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace streamlib {
+
+/// Q-digest (Shrivastava, Buragohain, Agrawal & Suri, "Medians and Beyond",
+/// SenSys 2004, cited as [148]): quantile summaries over a *fixed integer
+/// universe* [0, 2^bits) built on a conceptual complete binary tree of
+/// ranges. Rank error is at most log2(U)/compression * n and — unlike GK —
+/// two q-digests over the same universe merge losslessly, which is why the
+/// paper's sensor-network application (in-network aggregation of medians)
+/// uses them.
+class QDigest {
+ public:
+  /// \param universe_bits  values live in [0, 2^universe_bits), <= 32.
+  /// \param compression    k; rank error <= universe_bits/k * n, size
+  ///                       O(k * universe_bits).
+  QDigest(uint32_t universe_bits, uint32_t compression);
+
+  /// Inserts `weight` occurrences of `value`.
+  void Add(uint32_t value, uint64_t weight = 1);
+
+  /// Value whose rank is within (universe_bits/compression)*n of phi*n.
+  uint32_t Quantile(double phi) const;
+
+  /// Merges another digest over the same universe/compression.
+  Status Merge(const QDigest& other);
+
+  uint64_t count() const { return count_; }
+  size_t NumNodes() const { return nodes_.size(); }
+  uint32_t universe_bits() const { return universe_bits_; }
+
+ private:
+  // Heap-style node ids over ranges: root = 1 covers [0, U); node v has
+  // children 2v, 2v+1; leaves are [U, 2U).
+  uint64_t LeafOf(uint32_t value) const {
+    return (uint64_t{1} << universe_bits_) + value;
+  }
+  uint64_t RangeMax(uint64_t node) const;
+
+  void Compress();
+
+  uint32_t universe_bits_;
+  uint32_t compression_;
+  uint64_t count_ = 0;
+  uint64_t since_compress_ = 0;
+  std::unordered_map<uint64_t, uint64_t> nodes_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_QUANTILES_QDIGEST_H_

@@ -1,0 +1,42 @@
+#include "core/quantiles/sliding_quantile.h"
+
+namespace streamlib {
+
+SlidingWindowQuantile::SlidingWindowQuantile(uint64_t window,
+                                             size_t num_panes,
+                                             double compression)
+    : pane_size_(window / num_panes),
+      num_panes_(num_panes),
+      compression_(compression) {
+  STREAMLIB_CHECK_MSG(num_panes >= 1, "need at least one pane");
+  STREAMLIB_CHECK_MSG(window >= num_panes, "window smaller than pane count");
+  panes_.emplace_back(compression_);
+}
+
+void SlidingWindowQuantile::Add(double value) {
+  panes_.back().Add(value);
+  in_current_pane_++;
+  if (in_current_pane_ >= pane_size_) {
+    in_current_pane_ = 0;
+    panes_.emplace_back(compression_);
+    if (panes_.size() > num_panes_) panes_.pop_front();
+  }
+}
+
+double SlidingWindowQuantile::Quantile(double q) {
+  TDigest merged(compression_);
+  for (TDigest& pane : panes_) merged.Merge(pane);
+  return merged.Quantile(q);
+}
+
+uint64_t SlidingWindowQuantile::CoveredCount() const {
+  return (panes_.size() - 1) * pane_size_ + in_current_pane_;
+}
+
+size_t SlidingWindowQuantile::TotalCentroids() {
+  size_t total = 0;
+  for (TDigest& pane : panes_) total += pane.NumCentroids();
+  return total;
+}
+
+}  // namespace streamlib

@@ -1,0 +1,51 @@
+#ifndef STREAMLIB_CORE_QUANTILES_SLIDING_QUANTILE_H_
+#define STREAMLIB_CORE_QUANTILES_SLIDING_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/check.h"
+#include "core/quantiles/tdigest.h"
+
+namespace streamlib {
+
+/// Quantiles over a sliding window — the problem of Arasu & Manku (cited
+/// as [42], "approximate counts and quantiles over sliding windows").
+/// Engineering substitution for their dyadic-level GK construction: the
+/// window is decomposed into B panes, each summarized by a *mergeable*
+/// t-digest; a query merges the live panes (plus the partial current one)
+/// in O(B * compression). Window coverage is pane-granular — the last
+/// (B-1..B)/B * W elements — and rank accuracy is the digest's, since
+/// t-digest merging loses no more than a constant factor of resolution.
+class SlidingWindowQuantile {
+ public:
+  /// \param window       window size W in elements.
+  /// \param num_panes    decomposition granularity B.
+  /// \param compression  per-pane t-digest compression.
+  SlidingWindowQuantile(uint64_t window, size_t num_panes,
+                        double compression);
+
+  /// Feeds one observation.
+  void Add(double value);
+
+  /// Approximate quantile of (roughly) the last `window` observations.
+  double Quantile(double q);
+
+  /// Observations currently covered by the panes.
+  uint64_t CoveredCount() const;
+
+  /// Total centroids retained (space diagnostic).
+  size_t TotalCentroids();
+
+ private:
+  uint64_t pane_size_;
+  size_t num_panes_;
+  double compression_;
+  uint64_t in_current_pane_ = 0;
+  std::deque<TDigest> panes_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_QUANTILES_SLIDING_QUANTILE_H_

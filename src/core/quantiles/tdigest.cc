@@ -1,0 +1,158 @@
+#include "core/quantiles/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+TDigest::TDigest(double compression) : compression_(compression) {
+  STREAMLIB_CHECK_MSG(compression >= 10.0, "compression must be >= 10");
+  buffer_.reserve(static_cast<size_t>(compression_) * 5);
+}
+
+double TDigest::ScaleK(double q) const {
+  return compression_ / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+}
+
+double TDigest::ScaleQ(double k) const {
+  return (std::sin(k * 2.0 * kPi / compression_) + 1.0) / 2.0;
+}
+
+void TDigest::Add(double value, double weight) {
+  STREAMLIB_CHECK_MSG(weight > 0.0, "weight must be positive");
+  STREAMLIB_CHECK_MSG(std::isfinite(value), "value must be finite");
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  buffer_.push_back(Centroid{value, weight});
+  buffered_weight_ += weight;
+  if (buffer_.size() >= buffer_.capacity()) Flush();
+}
+
+void TDigest::Flush() {
+  if (buffer_.empty()) return;
+  buffer_.insert(buffer_.end(), centroids_.begin(), centroids_.end());
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const Centroid& a, const Centroid& b) {
+              return a.mean < b.mean;
+            });
+  const double total = total_weight_ + buffered_weight_;
+
+  std::vector<Centroid> merged;
+  merged.reserve(static_cast<size_t>(2.0 * compression_) + 8);
+  Centroid cur = buffer_[0];
+  double w_so_far = 0.0;               // Weight fully emitted.
+  double k_limit = ScaleK(0.0) + 1.0;  // Next k boundary.
+  for (size_t i = 1; i < buffer_.size(); i++) {
+    const Centroid& next = buffer_[i];
+    const double q_if_merged = (w_so_far + cur.weight + next.weight) / total;
+    if (ScaleK(q_if_merged) <= k_limit) {
+      // Merge next into cur (weighted mean).
+      const double w = cur.weight + next.weight;
+      cur.mean += (next.mean - cur.mean) * next.weight / w;
+      cur.weight = w;
+    } else {
+      w_so_far += cur.weight;
+      k_limit = ScaleK(w_so_far / total) + 1.0;
+      merged.push_back(cur);
+      cur = next;
+    }
+  }
+  merged.push_back(cur);
+
+  centroids_ = std::move(merged);
+  total_weight_ = total;
+  buffered_weight_ = 0.0;
+  buffer_.clear();
+}
+
+double TDigest::Quantile(double q) {
+  STREAMLIB_CHECK_MSG(q >= 0.0 && q <= 1.0, "q must be in [0, 1]");
+  Flush();
+  STREAMLIB_CHECK_MSG(!centroids_.empty(), "quantile of empty digest");
+  if (centroids_.size() == 1) return centroids_[0].mean;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  const double target = q * total_weight_;
+  double cum = 0.0;  // Weight strictly before the current centroid.
+  for (size_t i = 0; i < centroids_.size(); i++) {
+    const Centroid& c = centroids_[i];
+    const double c_mid = cum + c.weight / 2.0;
+    if (target <= c_mid) {
+      // Interpolate between previous centroid midpoint and this one.
+      if (i == 0) {
+        const double frac = target / c_mid;
+        return min_ + frac * (c.mean - min_);
+      }
+      const Centroid& prev = centroids_[i - 1];
+      const double prev_mid = cum - prev.weight / 2.0;
+      const double frac = (target - prev_mid) / (c_mid - prev_mid);
+      return prev.mean + frac * (c.mean - prev.mean);
+    }
+    cum += c.weight;
+  }
+  // Above the last centroid midpoint: interpolate toward max.
+  const Centroid& last = centroids_.back();
+  const double last_mid = total_weight_ - last.weight / 2.0;
+  const double frac =
+      (target - last_mid) / (total_weight_ - last_mid);
+  return last.mean + frac * (max_ - last.mean);
+}
+
+double TDigest::Cdf(double value) {
+  Flush();
+  STREAMLIB_CHECK_MSG(!centroids_.empty(), "cdf of empty digest");
+  if (value <= min_) return value < min_ ? 0.0 : 0.5 / total_weight_;
+  if (value >= max_) return 1.0;
+
+  double cum = 0.0;
+  for (size_t i = 0; i < centroids_.size(); i++) {
+    const Centroid& c = centroids_[i];
+    if (value < c.mean) {
+      const double prev_mean = i == 0 ? min_ : centroids_[i - 1].mean;
+      const double prev_cum =
+          i == 0 ? 0.0 : cum - centroids_[i - 1].weight / 2.0;
+      const double cur_cum = cum + c.weight / 2.0;
+      if (c.mean == prev_mean) return cur_cum / total_weight_;
+      const double frac = (value - prev_mean) / (c.mean - prev_mean);
+      return (prev_cum + frac * (cur_cum - prev_cum)) / total_weight_;
+    }
+    cum += c.weight;
+  }
+  return 1.0;
+}
+
+void TDigest::Merge(const TDigest& other) {
+  TDigest copy = other;
+  copy.Flush();
+  const uint64_t count_before = count_;
+  for (const Centroid& c : copy.centroids_) {
+    Add(c.mean, c.weight);
+  }
+  // Add() counted one observation per centroid; restore the true count and
+  // the exact extrema of the merged stream.
+  count_ = count_before + copy.count_;
+  if (copy.count_ > 0) {
+    min_ = count_before > 0 ? std::min(min_, copy.min_) : copy.min_;
+    max_ = count_before > 0 ? std::max(max_, copy.max_) : copy.max_;
+  }
+}
+
+size_t TDigest::NumCentroids() {
+  Flush();
+  return centroids_.size();
+}
+
+}  // namespace streamlib

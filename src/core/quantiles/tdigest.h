@@ -1,0 +1,81 @@
+#ifndef STREAMLIB_CORE_QUANTILES_TDIGEST_H_
+#define STREAMLIB_CORE_QUANTILES_TDIGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamlib {
+
+/// t-digest (Dunning & Ertl), merging variant — the practical successor to
+/// the GK-family summaries for heavy production use (adopted by most of the
+/// monitoring systems the paper's platform survey feeds into). Centroids are
+/// size-limited by the k1 scale function, which concentrates resolution at
+/// the distribution tails: relative accuracy at q near 0/1 is far better
+/// than the uniform-eps guarantee of GK.
+class TDigest {
+ public:
+  /// \param compression  delta; centroid count is bounded by ~2*compression.
+  explicit TDigest(double compression = 100.0);
+
+  /// Inserts one observation with weight 1.
+  void Add(double value) { Add(value, 1.0); }
+
+  /// Inserts a weighted observation.
+  void Add(double value, double weight);
+
+  /// Approximate value of quantile q in [0, 1]. Requires data.
+  double Quantile(double q);
+
+  /// Approximate CDF: fraction of observations <= value. Requires data.
+  double Cdf(double value);
+
+  /// Merges another digest into this one.
+  void Merge(const TDigest& other);
+
+  double TotalWeight() {
+    Flush();
+    return total_weight_;
+  }
+  uint64_t count() const { return count_; }
+
+  /// Centroid count after compaction (space diagnostic).
+  size_t NumCentroids();
+
+  double Min() {
+    Flush();
+    return min_;
+  }
+  double Max() {
+    Flush();
+    return max_;
+  }
+
+ private:
+  struct Centroid {
+    double mean;
+    double weight;
+  };
+
+  /// Folds the buffer into the centroid list (sort + scale-bounded merge).
+  void Flush();
+
+  /// k1 scale function: k(q) = (delta / 2pi) * asin(2q - 1).
+  double ScaleK(double q) const;
+  /// Inverse: q(k).
+  double ScaleQ(double k) const;
+
+  double compression_;
+  std::vector<Centroid> centroids_;  // Sorted by mean after Flush().
+  std::vector<Centroid> buffer_;
+  double total_weight_ = 0.0;   // Weight folded into centroids_.
+  double buffered_weight_ = 0.0;
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_QUANTILES_TDIGEST_H_

@@ -1,0 +1,48 @@
+#ifndef STREAMLIB_CORE_SAMPLING_BERNOULLI_SAMPLER_H_
+#define STREAMLIB_CORE_SAMPLING_BERNOULLI_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Bernoulli (coin-flip) sampling: every element is kept independently with
+/// probability p. The simplest baseline sampler — unbounded memory growth
+/// (expected p·n), but exactly independent inclusions, which downstream
+/// estimators sometimes require.
+template <typename T>
+class BernoulliSampler {
+ public:
+  BernoulliSampler(double probability, uint64_t seed)
+      : p_(probability), rng_(seed) {
+    STREAMLIB_CHECK_MSG(probability > 0.0 && probability <= 1.0,
+                        "probability must be in (0, 1]");
+  }
+
+  void Add(const T& value) {
+    count_++;
+    if (rng_.NextBool(p_)) sample_.push_back(value);
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t count() const { return count_; }
+  double probability() const { return p_; }
+
+  /// Horvitz–Thompson estimate of the stream length from the sample size.
+  double EstimatedStreamLength() const {
+    return static_cast<double>(sample_.size()) / p_;
+  }
+
+ private:
+  double p_;
+  Rng rng_;
+  std::vector<T> sample_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_SAMPLING_BERNOULLI_SAMPLER_H_

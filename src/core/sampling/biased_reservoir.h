@@ -1,0 +1,56 @@
+#ifndef STREAMLIB_CORE_SAMPLING_BIASED_RESERVOIR_H_
+#define STREAMLIB_CORE_SAMPLING_BIASED_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Biased reservoir sampling in the presence of stream evolution —
+/// Aggarwal, VLDB 2006 (cited as [33]). The sample is exponentially biased
+/// toward recent elements with bias rate lambda = 1/capacity: every arriving
+/// element enters the reservoir; with probability fill-fraction it replaces a
+/// uniformly random resident, otherwise the reservoir grows. Recency bias
+/// makes the sample track concept drift, at the cost of uniformity.
+template <typename T>
+class BiasedReservoirSampler {
+ public:
+  BiasedReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    STREAMLIB_CHECK_MSG(capacity >= 1, "reservoir capacity must be >= 1");
+    sample_.reserve(capacity);
+  }
+
+  /// Every element is admitted (p_in = 1 for lambda = 1/capacity).
+  void Add(const T& value) {
+    count_++;
+    const double fill =
+        static_cast<double>(sample_.size()) / static_cast<double>(capacity_);
+    if (rng_.NextDouble() < fill) {
+      sample_[rng_.NextBounded(sample_.size())] = value;
+    } else {
+      sample_.push_back(value);
+    }
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t count() const { return count_; }
+  size_t capacity() const { return capacity_; }
+
+  /// The exponential bias rate lambda = 1 / capacity: the inclusion
+  /// probability of the element seen r steps ago decays as exp(-lambda r).
+  double bias_rate() const { return 1.0 / static_cast<double>(capacity_); }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<T> sample_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_SAMPLING_BIASED_RESERVOIR_H_

@@ -1,0 +1,132 @@
+#ifndef STREAMLIB_CORE_SAMPLING_CHAIN_SAMPLER_H_
+#define STREAMLIB_CORE_SAMPLING_CHAIN_SAMPLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Chain sampling over a sequence-based sliding window — Babcock, Datar &
+/// Motwani, SODA 2002 (cited as [45]): maintains one uniformly random element
+/// of the last `window` stream elements in expected O(1) memory.
+///
+/// When an element is selected as the sample, the index of its *replacement*
+/// (uniform among the `window` elements that follow it) is pre-drawn; when
+/// that element arrives it is chained, and when the head of the chain expires
+/// the next link becomes the sample. Expired prefixes never invalidate the
+/// sample, unlike naive reservoir sampling over a window.
+template <typename T>
+class ChainSampler {
+ public:
+  ChainSampler(uint64_t window, uint64_t seed) : window_(window), rng_(seed) {
+    STREAMLIB_CHECK_MSG(window >= 1, "window must be >= 1");
+  }
+
+  /// Offers the next stream element.
+  void Add(const T& value) {
+    const uint64_t i = count_++;
+    // Expire the head if it has fallen out of the window [i-window+1, i].
+    while (!chain_.empty() && chain_.front().index + window_ <= i) {
+      chain_.pop_front();
+      // The pre-drawn successor is always within `window_` of its
+      // predecessor, so once the stream has warmed up the chain stays
+      // non-empty; during warm-up reservoir selection below refills it.
+    }
+    // Every arrival becomes the sample with probability 1/min(i+1, window):
+    // reservoir behaviour during warm-up, and steady-state refresh with
+    // probability 1/window afterwards — this is what keeps the sample
+    // uniform over the window rather than frozen to chain succession.
+    const uint64_t denom = i + 1 < window_ ? i + 1 : window_;
+    if (rng_.NextBounded(denom) == 0) {
+      chain_.clear();
+      chain_.push_back(Link{i, value});
+      DrawSuccessor(i);
+      return;
+    }
+    // Capture a pre-drawn successor. This may also refill a transiently
+    // empty chain: when the head expires at exactly the step its successor
+    // arrives, the expiry above runs first.
+    if (i == next_pick_ && i > 0) {
+      chain_.push_back(Link{i, value});
+      DrawSuccessor(i);
+    }
+  }
+
+  /// True once at least one element has been offered.
+  bool HasSample() const { return !chain_.empty(); }
+
+  /// The current sample: a uniform random element of the last
+  /// min(window, count) elements.
+  const T& Sample() const {
+    STREAMLIB_CHECK_MSG(!chain_.empty(), "no sample yet");
+    return chain_.front().value;
+  }
+
+  /// Current chain length (memory diagnostic; expected O(1)).
+  size_t chain_length() const { return chain_.size(); }
+
+  uint64_t count() const { return count_; }
+  uint64_t window() const { return window_; }
+
+ private:
+  struct Link {
+    uint64_t index;
+    T value;
+  };
+
+  void DrawSuccessor(uint64_t index) {
+    next_pick_ = index + 1 + rng_.NextBounded(window_);
+  }
+
+  uint64_t window_;
+  Rng rng_;
+  std::deque<Link> chain_;
+  uint64_t count_ = 0;
+  uint64_t next_pick_ = 0;
+};
+
+/// k independent chain samplers = a with-replacement sample of size k from
+/// the sliding window, the composition suggested in Babcock et al.
+template <typename T>
+class WindowSampler {
+ public:
+  WindowSampler(size_t k, uint64_t window, uint64_t seed) {
+    STREAMLIB_CHECK_MSG(k >= 1, "sample size must be >= 1");
+    chains_.reserve(k);
+    for (size_t i = 0; i < k; i++) {
+      chains_.emplace_back(window, seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    }
+  }
+
+  void Add(const T& value) {
+    for (auto& chain : chains_) chain.Add(value);
+  }
+
+  /// The current with-replacement window sample.
+  std::vector<T> Sample() const {
+    std::vector<T> out;
+    out.reserve(chains_.size());
+    for (const auto& chain : chains_) {
+      if (chain.HasSample()) out.push_back(chain.Sample());
+    }
+    return out;
+  }
+
+  /// Total chain links held (memory diagnostic).
+  size_t TotalChainLength() const {
+    size_t total = 0;
+    for (const auto& chain : chains_) total += chain.chain_length();
+    return total;
+  }
+
+ private:
+  std::vector<ChainSampler<T>> chains_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_SAMPLING_CHAIN_SAMPLER_H_

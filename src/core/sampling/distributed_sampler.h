@@ -1,0 +1,104 @@
+#ifndef STREAMLIB_CORE_SAMPLING_DISTRIBUTED_SAMPLER_H_
+#define STREAMLIB_CORE_SAMPLING_DISTRIBUTED_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Continuous random sampling from distributed streams — Cormode,
+/// Muthukrishnan, Yi & Zhang (PODS 2010 / JACM 2012, cited as [69, 70]):
+/// k sites observe local streams; a coordinator maintains a uniform sample
+/// of the *union* while exchanging only O(k log n + s log n) messages
+/// instead of forwarding every item.
+///
+/// Protocol (binary Bernoulli sampling): every item draws a geometric
+/// "level" (number of consecutive fair-coin heads). Sites forward only
+/// items with level >= the coordinator's current level j; when the
+/// coordinator's buffer outgrows its capacity it increments j, discards
+/// buffered items below the new level, and broadcasts j to all sites.
+/// Conditioned on the final level, retained items are a uniform sample.
+///
+/// This class simulates all parties in-process and meters the messages the
+/// real deployment would send — the communication table in the sampling
+/// bench ("the algorithms should intrinsically distribute computation",
+/// paper §2).
+template <typename T>
+class DistributedSampler {
+ public:
+  /// \param num_sites         k.
+  /// \param sample_capacity   coordinator buffer bound s (> 8).
+  DistributedSampler(uint32_t num_sites, size_t sample_capacity,
+                     uint64_t seed)
+      : num_sites_(num_sites), capacity_(sample_capacity), rng_(seed) {
+    STREAMLIB_CHECK_MSG(num_sites >= 1, "need at least one site");
+    STREAMLIB_CHECK_MSG(sample_capacity > 8, "capacity must exceed 8");
+  }
+
+  /// An item arrives at `site`'s local stream.
+  void AddAtSite(uint32_t site, const T& item) {
+    STREAMLIB_CHECK_MSG(site < num_sites_, "unknown site");
+    count_++;
+    // Geometric level: number of consecutive heads.
+    uint32_t level = 0;
+    while (rng_.NextBool(0.5)) level++;
+    if (level < level_) return;  // Site-local drop: no message.
+    // Site -> coordinator.
+    messages_to_coordinator_++;
+    buffer_.push_back(Entry{item, level});
+    if (buffer_.size() > capacity_) {
+      // Level increment + broadcast to all sites.
+      level_++;
+      broadcasts_++;
+      std::vector<Entry> kept;
+      kept.reserve(buffer_.size() / 2 + 1);
+      for (auto& e : buffer_) {
+        if (e.level >= level_) kept.push_back(std::move(e));
+      }
+      buffer_ = std::move(kept);
+    }
+  }
+
+  /// Current uniform sample of the union of all site streams.
+  std::vector<T> Sample() const {
+    std::vector<T> out;
+    out.reserve(buffer_.size());
+    for (const auto& e : buffer_) out.push_back(e.item);
+    return out;
+  }
+
+  /// Communication metering.
+  uint64_t messages_to_coordinator() const {
+    return messages_to_coordinator_;
+  }
+  uint64_t broadcast_messages() const { return broadcasts_ * num_sites_; }
+  uint64_t total_messages() const {
+    return messages_to_coordinator() + broadcast_messages();
+  }
+
+  uint64_t count() const { return count_; }
+  uint32_t level() const { return level_; }
+  size_t sample_size() const { return buffer_.size(); }
+
+ private:
+  struct Entry {
+    T item;
+    uint32_t level;
+  };
+
+  uint32_t num_sites_;
+  size_t capacity_;
+  Rng rng_;
+  uint32_t level_ = 0;
+  uint64_t count_ = 0;
+  uint64_t messages_to_coordinator_ = 0;
+  uint64_t broadcasts_ = 0;
+  std::vector<Entry> buffer_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_SAMPLING_DISTRIBUTED_SAMPLER_H_

@@ -1,0 +1,4 @@
+#include "core/sampling/reservoir_sampler.h"
+
+// The sampling module is template-based and header-only; this translation
+// unit anchors the module in the core library.

@@ -1,0 +1,109 @@
+#ifndef STREAMLIB_CORE_SAMPLING_RESERVOIR_SAMPLER_H_
+#define STREAMLIB_CORE_SAMPLING_RESERVOIR_SAMPLER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Classic reservoir sampling — Vitter's Algorithm R (Vitter 1985, cited as
+/// [161] in the paper): maintains a uniform random sample of size k over an
+/// unbounded stream using O(k) memory, one RNG draw per element.
+///
+/// Application (Table 1): obtaining a representative subset of a stream for
+/// A/B testing and exploratory analysis.
+template <typename T>
+class ReservoirSampler {
+ public:
+  /// \param capacity  sample size k (>= 1)
+  /// \param seed      RNG seed
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    STREAMLIB_CHECK_MSG(capacity >= 1, "reservoir capacity must be >= 1");
+    sample_.reserve(capacity);
+  }
+
+  /// Offers one stream element to the sampler.
+  void Add(const T& value) {
+    count_++;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      return;
+    }
+    // Element `count_` (1-based) survives with probability k / count_.
+    const uint64_t j = rng_.NextBounded(count_);
+    if (j < capacity_) sample_[j] = value;
+  }
+
+  /// The current sample (uniform without replacement over elements seen).
+  const std::vector<T>& sample() const { return sample_; }
+
+  /// Total number of elements offered.
+  uint64_t count() const { return count_; }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<T> sample_;
+  uint64_t count_ = 0;
+};
+
+/// Reservoir sampling with geometric skipping — Vitter-style "Algorithm L"
+/// (Li 1994). Identical output distribution to Algorithm R but draws O(k log
+/// (n/k)) random numbers total instead of O(n): the sampler computes how many
+/// elements to *skip* before the next replacement. Use when the per-element
+/// cost of the stream is dominated by sampling.
+template <typename T>
+class SkipReservoirSampler {
+ public:
+  SkipReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    STREAMLIB_CHECK_MSG(capacity >= 1, "reservoir capacity must be >= 1");
+    sample_.reserve(capacity);
+    w_ = std::exp(std::log(rng_.NextDoublePositive()) /
+                  static_cast<double>(capacity_));
+  }
+
+  void Add(const T& value) {
+    count_++;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      if (sample_.size() == capacity_) ScheduleNextReplacement();
+      return;
+    }
+    if (count_ >= next_index_) {
+      sample_[rng_.NextBounded(capacity_)] = value;
+      w_ *= std::exp(std::log(rng_.NextDoublePositive()) /
+                     static_cast<double>(capacity_));
+      ScheduleNextReplacement();
+    }
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t count() const { return count_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void ScheduleNextReplacement() {
+    const double skip =
+        std::floor(std::log(rng_.NextDoublePositive()) / std::log(1.0 - w_));
+    next_index_ = count_ + static_cast<uint64_t>(skip) + 1;
+  }
+
+  size_t capacity_;
+  Rng rng_;
+  std::vector<T> sample_;
+  uint64_t count_ = 0;
+  uint64_t next_index_ = 0;
+  double w_ = 0.0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_SAMPLING_RESERVOIR_SAMPLER_H_

@@ -1,0 +1,78 @@
+#ifndef STREAMLIB_CORE_SAMPLING_WEIGHTED_RESERVOIR_H_
+#define STREAMLIB_CORE_SAMPLING_WEIGHTED_RESERVOIR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streamlib {
+
+/// Weighted reservoir sampling — Efraimidis & Spirakis A-Res (cited via the
+/// paper's "weighted sampling [58]" discussion). Each element with weight w
+/// draws key u^(1/w); the k elements with the largest keys form a weighted
+/// sample without replacement: P(element first) = w_i / sum w_j.
+template <typename T>
+class WeightedReservoirSampler {
+ public:
+  WeightedReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    STREAMLIB_CHECK_MSG(capacity >= 1, "reservoir capacity must be >= 1");
+  }
+
+  /// Offers an element with strictly positive weight.
+  void Add(const T& value, double weight) {
+    STREAMLIB_CHECK_MSG(weight > 0.0, "weights must be positive");
+    count_++;
+    // key = u^{1/w}  <=>  log(key) = log(u)/w; we compare in log space for
+    // numerical stability with tiny weights.
+    const double log_key = std::log(rng_.NextDoublePositive()) / weight;
+    if (heap_.size() < capacity_) {
+      heap_.push(Entry{log_key, value});
+      return;
+    }
+    if (log_key > heap_.top().log_key) {
+      heap_.pop();
+      heap_.push(Entry{log_key, value});
+    }
+  }
+
+  /// Extracts the current sample (order unspecified).
+  std::vector<T> Sample() const {
+    std::vector<T> out;
+    out.reserve(heap_.size());
+    auto copy = heap_;
+    while (!copy.empty()) {
+      out.push_back(copy.top().value);
+      copy.pop();
+    }
+    return out;
+  }
+
+  uint64_t count() const { return count_; }
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    double log_key;
+    T value;
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.log_key > b.log_key;  // Min-heap on key.
+    }
+  };
+
+  size_t capacity_;
+  Rng rng_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_SAMPLING_WEIGHTED_RESERVOIR_H_

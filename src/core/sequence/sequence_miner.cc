@@ -1,0 +1,49 @@
+#include "core/sequence/sequence_miner.h"
+
+namespace streamlib {
+
+SequenceMiner::SequenceMiner(size_t max_length, size_t capacity,
+                             size_t max_sessions)
+    : max_length_(max_length),
+      max_sessions_(max_sessions),
+      patterns_(capacity) {
+  STREAMLIB_CHECK_MSG(max_length >= 2, "patterns need length >= 2");
+  STREAMLIB_CHECK_MSG(max_sessions >= 1, "need at least one session slot");
+}
+
+void SequenceMiner::EvictStalest() {
+  auto stalest = sessions_.begin();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->second.last_touch < stalest->second.last_touch) stalest = it;
+  }
+  sessions_.erase(stalest);
+}
+
+void SequenceMiner::Visit(uint64_t session, const std::string& item) {
+  events_++;
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    if (sessions_.size() >= max_sessions_) EvictStalest();
+    it = sessions_.emplace(session, Session{}).first;
+  }
+  Session& state = it->second;
+  state.last_touch = events_;
+  state.recent.push_back(item);
+  if (state.recent.size() > max_length_) state.recent.pop_front();
+
+  // Emit every suffix n-gram ending at the new item (lengths 2..L):
+  // "prev>item", "prevprev>prev>item", ... — each contiguous traversal
+  // through the new click counted exactly once.
+  std::string pattern = item;
+  for (size_t len = 2; len <= state.recent.size(); len++) {
+    const std::string& earlier =
+        state.recent[state.recent.size() - len];
+    std::string next(earlier);
+    next += '>';
+    next += pattern;
+    pattern = std::move(next);
+    patterns_.Add(pattern);
+  }
+}
+
+}  // namespace streamlib

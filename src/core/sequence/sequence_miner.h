@@ -1,0 +1,65 @@
+#ifndef STREAMLIB_CORE_SEQUENCE_SEQUENCE_MINER_H_
+#define STREAMLIB_CORE_SEQUENCE_SEQUENCE_MINER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "core/frequency/misra_gries.h"
+#include "core/frequency/space_saving.h"
+
+namespace streamlib {
+
+/// Streaming sequential-pattern mining — the paper's use case (c):
+/// "determining top-K traversal sequences in streaming clicks" (the
+/// sequence-mining line it cites as [139, 121, 117]). Events arrive as
+/// (session, item) pairs interleaved across sessions; the miner extracts
+/// every contiguous subsequence (n-gram) of lengths 2..max_length within
+/// each session and feeds them to a SpaceSaving summary, so the globally
+/// frequent traversal paths surface with the usual counter-based
+/// guarantees. Idle sessions are evicted LRU-style to bound memory.
+class SequenceMiner {
+ public:
+  /// \param max_length    longest pattern tracked (>= 2).
+  /// \param capacity      SpaceSaving entries for pattern counts.
+  /// \param max_sessions  concurrently tracked sessions (LRU bound).
+  SequenceMiner(size_t max_length, size_t capacity, size_t max_sessions);
+
+  /// Records that `session` visited `item` next.
+  void Visit(uint64_t session, const std::string& item);
+
+  /// The k most frequent traversal sequences (rendered "a>b>c"),
+  /// estimate-descending, with SpaceSaving error bounds.
+  std::vector<FrequentItem<std::string>> TopSequences(size_t k) const {
+    return patterns_.TopK(k);
+  }
+
+  /// Estimated occurrences of an exact pattern (">"-joined).
+  uint64_t Estimate(const std::string& pattern) const {
+    return patterns_.Estimate(pattern);
+  }
+
+  uint64_t events() const { return events_; }
+  size_t active_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::deque<std::string> recent;  // Last max_length items.
+    uint64_t last_touch = 0;
+  };
+
+  void EvictStalest();
+
+  size_t max_length_;
+  size_t max_sessions_;
+  uint64_t events_ = 0;
+  std::unordered_map<uint64_t, Session> sessions_;
+  SpaceSaving<std::string> patterns_;
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_SEQUENCE_SEQUENCE_MINER_H_

@@ -1,0 +1,134 @@
+#include "core/wavelet/haar_wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace streamlib {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730950488;
+
+}  // namespace
+
+std::vector<double> HaarWavelet::Transform(const std::vector<double>& signal) {
+  STREAMLIB_CHECK_MSG(!signal.empty() && IsPowerOfTwo(signal.size()),
+                      "signal length must be a power of two");
+  std::vector<double> work = signal;
+  std::vector<double> out(signal.size());
+  size_t len = signal.size();
+  // Cascade: averages go left, normalized differences are emitted.
+  while (len > 1) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; i++) {
+      const double a = work[2 * i];
+      const double b = work[2 * i + 1];
+      out[half + i] = (a - b) / kSqrt2;  // Detail coefficient.
+      work[i] = (a + b) / kSqrt2;        // Scaled average.
+    }
+    len = half;
+  }
+  out[0] = work[0];  // Overall (scaled) average.
+  return out;
+}
+
+std::vector<double> HaarWavelet::Inverse(
+    const std::vector<double>& coefficients) {
+  STREAMLIB_CHECK_MSG(
+      !coefficients.empty() && IsPowerOfTwo(coefficients.size()),
+      "coefficient length must be a power of two");
+  std::vector<double> work = coefficients;
+  size_t len = 1;
+  while (len < coefficients.size()) {
+    // Invert one cascade level: averages in work[0,len), details in
+    // work[len, 2*len).
+    std::vector<double> merged(2 * len);
+    for (size_t i = 0; i < len; i++) {
+      const double avg = work[i];
+      const double det = work[len + i];
+      merged[2 * i] = (avg + det) / kSqrt2;
+      merged[2 * i + 1] = (avg - det) / kSqrt2;
+    }
+    std::copy(merged.begin(), merged.end(), work.begin());
+    len *= 2;
+  }
+  return work;
+}
+
+std::vector<WaveletCoefficient> HaarWavelet::TopK(
+    const std::vector<double>& coefficients, size_t k) {
+  std::vector<WaveletCoefficient> all;
+  all.reserve(coefficients.size());
+  for (size_t i = 0; i < coefficients.size(); i++) {
+    all.push_back(WaveletCoefficient{i, coefficients[i]});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const WaveletCoefficient& a, const WaveletCoefficient& b) {
+              const double fa = std::fabs(a.value);
+              const double fb = std::fabs(b.value);
+              return fa != fb ? fa > fb : a.index < b.index;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<double> HaarWavelet::Reconstruct(
+    const std::vector<WaveletCoefficient>& coefficients, size_t length) {
+  STREAMLIB_CHECK_MSG(length > 0 && IsPowerOfTwo(length),
+                      "length must be a power of two");
+  std::vector<double> full(length, 0.0);
+  for (const auto& c : coefficients) {
+    STREAMLIB_CHECK(c.index < length);
+    full[c.index] = c.value;
+  }
+  return Inverse(full);
+}
+
+double HaarWavelet::RangeSum(const std::vector<WaveletCoefficient>& synopsis,
+                             size_t length, size_t begin, size_t end) {
+  STREAMLIB_CHECK_MSG(IsPowerOfTwo(length), "length must be a power of two");
+  STREAMLIB_CHECK_MSG(begin <= end && end <= length, "invalid range");
+  auto overlap = [](size_t a_lo, size_t a_hi, size_t b_lo, size_t b_hi) {
+    const size_t lo = std::max(a_lo, b_lo);
+    const size_t hi = std::min(a_hi, b_hi);
+    return hi > lo ? static_cast<double>(hi - lo) : 0.0;
+  };
+  double sum = 0.0;
+  for (const WaveletCoefficient& c : synopsis) {
+    if (c.index == 0) {
+      // Scaling function: constant 1/sqrt(n) everywhere.
+      sum += c.value * static_cast<double>(end - begin) /
+             std::sqrt(static_cast<double>(length));
+      continue;
+    }
+    // Index j in [p, 2p): support n/p starting at (j-p)*(n/p); amplitude
+    // sqrt(p/n); +1 on the first half of the support, -1 on the second.
+    const size_t p = size_t{1} << Log2Floor(c.index);
+    const size_t support = length / p;
+    const size_t offset = (c.index - p) * support;
+    const double amplitude =
+        std::sqrt(static_cast<double>(p) / static_cast<double>(length));
+    const double pos = overlap(begin, end, offset, offset + support / 2);
+    const double neg =
+        overlap(begin, end, offset + support / 2, offset + support);
+    sum += c.value * amplitude * (pos - neg);
+  }
+  return sum;
+}
+
+double HaarWavelet::SynopsisError(const std::vector<double>& signal,
+                                  size_t k) {
+  const std::vector<double> coeffs = Transform(signal);
+  const std::vector<double> approx =
+      Reconstruct(TopK(coeffs, k), signal.size());
+  double err = 0.0;
+  for (size_t i = 0; i < signal.size(); i++) {
+    const double d = signal[i] - approx[i];
+    err += d * d;
+  }
+  return std::sqrt(err);
+}
+
+}  // namespace streamlib

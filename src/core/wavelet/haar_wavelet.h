@@ -1,0 +1,50 @@
+#ifndef STREAMLIB_CORE_WAVELET_HAAR_WAVELET_H_
+#define STREAMLIB_CORE_WAVELET_HAAR_WAVELET_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace streamlib {
+
+/// A retained wavelet coefficient.
+struct WaveletCoefficient {
+  size_t index = 0;    ///< position in the Haar coefficient vector
+  double value = 0.0;  ///< normalized coefficient value
+};
+
+/// Haar wavelet synopsis (the paper's "Wavelets" synopsis family, with the
+/// L2-optimality property of retaining the largest normalized coefficients
+/// [91]): transform a signal of power-of-two length, keep the top-k
+/// coefficients by absolute value, reconstruct approximately.
+class HaarWavelet {
+ public:
+  /// Forward normalized Haar transform. Length must be a power of two.
+  static std::vector<double> Transform(const std::vector<double>& signal);
+
+  /// Inverse of Transform.
+  static std::vector<double> Inverse(const std::vector<double>& coefficients);
+
+  /// The k coefficients with the largest |value| (ties by lower index),
+  /// which minimize L2 reconstruction error among all k-subsets.
+  static std::vector<WaveletCoefficient> TopK(
+      const std::vector<double>& coefficients, size_t k);
+
+  /// Reconstruction from a sparse coefficient set.
+  static std::vector<double> Reconstruct(
+      const std::vector<WaveletCoefficient>& coefficients, size_t length);
+
+  /// L2 error of approximating `signal` with its top-k synopsis.
+  static double SynopsisError(const std::vector<double>& signal, size_t k);
+
+  /// Approximate sum of signal[a, b) directly from a sparse synopsis in
+  /// O(|synopsis|) — each Haar basis function's overlap with a range is
+  /// closed-form, so range aggregates never need reconstruction. This is
+  /// the query pattern that makes wavelet synopses usable as histogram
+  /// replacements in the paper's synopsis section.
+  static double RangeSum(const std::vector<WaveletCoefficient>& synopsis,
+                         size_t length, size_t begin, size_t end);
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_WAVELET_HAAR_WAVELET_H_

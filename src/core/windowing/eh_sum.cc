@@ -1,0 +1,46 @@
+#include "core/windowing/eh_sum.h"
+
+#include "common/check.h"
+
+namespace streamlib {
+
+EhSum::EhSum(uint64_t window, uint32_t k, uint32_t value_bits)
+    : window_(window), value_bits_(value_bits) {
+  STREAMLIB_CHECK_MSG(value_bits >= 1 && value_bits <= 32,
+                      "value_bits must be in [1, 32]");
+  bit_histograms_.reserve(value_bits);
+  for (uint32_t b = 0; b < value_bits; b++) {
+    bit_histograms_.emplace_back(window, k);
+  }
+}
+
+void EhSum::Add(uint32_t value) {
+  STREAMLIB_CHECK_MSG(
+      value_bits_ == 32 || value < (uint32_t{1} << value_bits_),
+      "value exceeds configured bit width");
+  for (uint32_t b = 0; b < value_bits_; b++) {
+    bit_histograms_[b].Add((value >> b) & 1);
+  }
+}
+
+uint64_t EhSum::Estimate() const {
+  uint64_t total = 0;
+  for (uint32_t b = 0; b < value_bits_; b++) {
+    total += bit_histograms_[b].Estimate() << b;
+  }
+  return total;
+}
+
+size_t EhSum::NumBuckets() const {
+  size_t total = 0;
+  for (const auto& h : bit_histograms_) total += h.NumBuckets();
+  return total;
+}
+
+size_t EhSum::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& h : bit_histograms_) total += h.MemoryBytes();
+  return total;
+}
+
+}  // namespace streamlib

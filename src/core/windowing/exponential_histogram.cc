@@ -1,0 +1,60 @@
+#include "core/windowing/exponential_histogram.h"
+
+namespace streamlib {
+
+ExponentialHistogram::ExponentialHistogram(uint64_t window, uint32_t k)
+    : window_(window), k_(k) {
+  STREAMLIB_CHECK_MSG(window >= 1, "window must be >= 1");
+  STREAMLIB_CHECK_MSG(k >= 1, "k must be >= 1");
+}
+
+void ExponentialHistogram::Add(bool bit) {
+  position_++;
+  ExpireOld();
+  if (!bit) return;
+  buckets_.push_back(Bucket{position_, 1});
+  total_ += 1;
+  MergeOverflow();
+}
+
+void ExponentialHistogram::ExpireOld() {
+  // A bucket expires when its newest 1 falls outside the window.
+  while (!buckets_.empty() &&
+         buckets_.front().newest_position + window_ <= position_) {
+    total_ -= buckets_.front().size;
+    buckets_.pop_front();
+  }
+}
+
+void ExponentialHistogram::MergeOverflow() {
+  // Walk size classes from the newest end; when a class has k+2 buckets,
+  // merge its two oldest into one bucket of twice the size (which may
+  // cascade into the next class).
+  uint64_t size = 1;
+  size_t end = buckets_.size();  // Exclusive end of the current class scan.
+  while (true) {
+    // Count buckets of `size` scanning backward from `end`.
+    size_t count = 0;
+    size_t i = end;
+    while (i > 0 && buckets_[i - 1].size == size) {
+      count++;
+      i--;
+    }
+    if (count < k_ + 2) break;
+    // Merge the two oldest of this class: positions i and i+1.
+    buckets_[i].size *= 2;
+    // Keep the newest position of the merged pair (bucket i+1 is newer).
+    buckets_[i].newest_position = buckets_[i + 1].newest_position;
+    buckets_.erase(buckets_.begin() + static_cast<long>(i) + 1);
+    end = i + 1;  // The merged bucket belongs to the next class.
+    size *= 2;
+  }
+}
+
+uint64_t ExponentialHistogram::Estimate() const {
+  if (buckets_.empty()) return 0;
+  // All of every bucket except the oldest, plus half the oldest.
+  return total_ - buckets_.front().size / 2;
+}
+
+}  // namespace streamlib

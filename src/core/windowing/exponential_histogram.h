@@ -1,0 +1,65 @@
+#ifndef STREAMLIB_CORE_WINDOWING_EXPONENTIAL_HISTOGRAM_H_
+#define STREAMLIB_CORE_WINDOWING_EXPONENTIAL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// DGIM exponential histogram (Datar, Gionis, Indyk & Motwani — the "Basic
+/// Counting" row of Table 1, cited as [72]): estimates the number of 1-bits
+/// among the last W stream bits with relative error <= 1/k using
+/// O(k log^2 W) bits of state. Buckets hold power-of-two counts of 1s; at
+/// most k+1 buckets of each size are kept, merging the two oldest on
+/// overflow; the oldest bucket contributes half its size to the estimate.
+///
+/// Application (Table 1): popularity analysis — "how many of the last N
+/// impressions clicked".
+class ExponentialHistogram {
+ public:
+  /// \param window  window size W in stream positions.
+  /// \param k       buckets per size class; relative error <= 1/k... with
+  ///                the guarantee |m_hat - m| <= m/k (set k = ceil(1/eps)).
+  ExponentialHistogram(uint64_t window, uint32_t k);
+
+  /// Processes the next bit of the stream.
+  void Add(bool bit);
+
+  /// Estimated count of 1s among the last `window` bits:
+  /// total bucket mass minus half the oldest bucket.
+  uint64_t Estimate() const;
+
+  /// Upper/lower bounds bracketing the true count.
+  uint64_t UpperBound() const { return total_; }
+  uint64_t LowerBound() const {
+    return buckets_.empty() ? 0 : total_ - buckets_.front().size + 1;
+  }
+
+  uint64_t window() const { return window_; }
+  uint64_t position() const { return position_; }
+
+  /// Number of buckets currently held (space diagnostic, O(k log W)).
+  size_t NumBuckets() const { return buckets_.size(); }
+  size_t MemoryBytes() const { return buckets_.size() * sizeof(Bucket); }
+
+ private:
+  struct Bucket {
+    uint64_t newest_position;  // Arrival index of the newest 1 in the bucket.
+    uint64_t size;             // Number of 1s (a power of two).
+  };
+
+  void ExpireOld();
+  void MergeOverflow();
+
+  uint64_t window_;
+  uint32_t k_;
+  uint64_t position_ = 0;  // Bits consumed so far.
+  uint64_t total_ = 0;     // Sum of bucket sizes.
+  std::deque<Bucket> buckets_;  // Front = oldest (largest sizes).
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_WINDOWING_EXPONENTIAL_HISTOGRAM_H_

@@ -1,0 +1,59 @@
+#include "core/windowing/significant_ones.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib {
+namespace {
+
+// Coarsening granularity: each "super one" fed to the inner histogram
+// represents `g` true ones. Half the absolute error budget eps*theta*W goes
+// to this truncation (2g slack: boundary distortion + pending remainder),
+// half to the histogram's own relative error.
+uint64_t Granularity(uint64_t window, double theta, double eps) {
+  const double budget = eps * theta * static_cast<double>(window) / 4.0;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::floor(budget)));
+}
+
+uint32_t InnerK(double eps) {
+  return static_cast<uint32_t>(std::ceil(1.0 / eps)) + 1;
+}
+
+}  // namespace
+
+SignificantOneCounter::SignificantOneCounter(uint64_t window, double theta,
+                                             double eps)
+    : window_(window),
+      theta_(theta),
+      eps_(eps),
+      granularity_(Granularity(window, theta, eps)),
+      histogram_(window, InnerK(eps)) {
+  STREAMLIB_CHECK_MSG(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+  STREAMLIB_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  STREAMLIB_CHECK_MSG(window >= 1, "window must be >= 1");
+}
+
+void SignificantOneCounter::Add(bool bit) {
+  bool super_one = false;
+  if (bit) {
+    pending_++;
+    if (pending_ >= granularity_) {
+      pending_ = 0;
+      super_one = true;
+    }
+  }
+  histogram_.Add(super_one);
+}
+
+uint64_t SignificantOneCounter::Estimate() const {
+  return histogram_.Estimate() * granularity_ + pending_;
+}
+
+bool SignificantOneCounter::IsSignificant() const {
+  return static_cast<double>(Estimate()) >=
+         theta_ * static_cast<double>(window_);
+}
+
+}  // namespace streamlib

@@ -1,0 +1,55 @@
+#ifndef STREAMLIB_CORE_WINDOWING_SIGNIFICANT_ONES_H_
+#define STREAMLIB_CORE_WINDOWING_SIGNIFICANT_ONES_H_
+
+#include <cstdint>
+
+#include "core/windowing/exponential_histogram.h"
+
+namespace streamlib {
+
+/// Significant-one counting (Lee & Ting, SODA 2006, cited as [119]; the
+/// traffic-accounting application is Estan & Varghese [81]): estimate the
+/// number m of 1s in the sliding window with |m_hat - m| <= eps*m, but the
+/// guarantee is only required when the window is *significant*, i.e.
+/// m >= theta * window. Relaxing the always-accurate requirement converts
+/// part of the error budget into the absolute slack eps*theta*W, which this
+/// implementation spends by *coarsening*: ones are grouped into "super ones"
+/// of g = Theta(eps*theta*W) before entering a DGIM histogram, shrinking the
+/// number of buckets from O(k log^2 W) bits to O(k log(W/(g k))) buckets —
+/// the space ratio the windowing bench reports against plain DGIM.
+class SignificantOneCounter {
+ public:
+  /// \param window  window size W.
+  /// \param theta   significance threshold in (0, 1).
+  /// \param eps     relative error bound required when m >= theta*W.
+  SignificantOneCounter(uint64_t window, double theta, double eps);
+
+  /// Processes the next bit.
+  void Add(bool bit);
+
+  /// Estimated 1-count. Accurate to eps*m whenever m >= theta*window.
+  uint64_t Estimate() const;
+
+  /// True iff the estimate clears the significance threshold (callers use
+  /// this before trusting the relative-error guarantee).
+  bool IsSignificant() const;
+
+  double theta() const { return theta_; }
+  double eps() const { return eps_; }
+  uint64_t window() const { return window_; }
+  uint64_t granularity() const { return granularity_; }
+  size_t NumBuckets() const { return histogram_.NumBuckets(); }
+  size_t MemoryBytes() const { return histogram_.MemoryBytes(); }
+
+ private:
+  uint64_t window_;
+  double theta_;
+  double eps_;
+  uint64_t granularity_;
+  ExponentialHistogram histogram_;
+  uint64_t pending_ = 0;  // Ones not yet grouped into a super one.
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_WINDOWING_SIGNIFICANT_ONES_H_

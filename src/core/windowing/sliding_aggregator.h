@@ -1,0 +1,144 @@
+#ifndef STREAMLIB_CORE_WINDOWING_SLIDING_AGGREGATOR_H_
+#define STREAMLIB_CORE_WINDOWING_SLIDING_AGGREGATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// Exact sliding-window aggregation for any associative combine operation —
+/// the "two stacks" algorithm (the FIFO-queue generalization of the classic
+/// min-stack; the research lineage runs to DABA). Amortized O(1) per element
+/// and O(W) memory, no invertibility required, which is why it handles max,
+/// min and variance alike. The paper lists "maintaining statistics like
+/// variance over sliding windows" as an actively researched primitive.
+///
+/// Monoid must provide:
+///   static Monoid Identity();
+///   static Monoid Combine(const Monoid&, const Monoid&);  // associative
+template <typename Monoid>
+class SlidingAggregator {
+ public:
+  /// \param window  window size W in elements.
+  explicit SlidingAggregator(size_t window) : window_(window) {
+    STREAMLIB_CHECK_MSG(window >= 1, "window must be >= 1");
+  }
+
+  /// Pushes the next element's monoid value, evicting beyond the window.
+  void Add(const Monoid& value) {
+    if (Size() == window_) Evict();
+    back_stack_.push_back(value);
+    back_aggregate_ = Monoid::Combine(back_aggregate_, value);
+  }
+
+  /// Aggregate of the current window contents.
+  Monoid Query() const {
+    const Monoid front = front_stack_.empty()
+                             ? Monoid::Identity()
+                             : front_stack_.back().aggregate;
+    return Monoid::Combine(front, back_aggregate_);
+  }
+
+  size_t Size() const { return front_stack_.size() + back_stack_.size(); }
+  size_t window() const { return window_; }
+
+ private:
+  struct FrontEntry {
+    Monoid value;
+    Monoid aggregate;  // Combine of this value and everything newer-in-front.
+  };
+
+  void Evict() {
+    if (front_stack_.empty()) Flip();
+    if (!front_stack_.empty()) front_stack_.pop_back();
+  }
+
+  /// Moves the back stack into the front stack, computing suffix aggregates
+  /// so that front_stack_.back().aggregate is the combine of all window
+  /// elements currently in front order.
+  void Flip() {
+    Monoid agg = Monoid::Identity();
+    for (auto it = back_stack_.rbegin(); it != back_stack_.rend(); ++it) {
+      agg = Monoid::Combine(*it, agg);
+      front_stack_.push_back(FrontEntry{*it, agg});
+    }
+    back_stack_.clear();
+    back_aggregate_ = Monoid::Identity();
+  }
+
+  size_t window_;
+  std::vector<Monoid> back_stack_;
+  std::vector<FrontEntry> front_stack_;
+  Monoid back_aggregate_ = Monoid::Identity();
+};
+
+/// Sum monoid over doubles.
+struct SumMonoid {
+  double sum = 0.0;
+
+  static SumMonoid Identity() { return SumMonoid{0.0}; }
+  static SumMonoid Combine(const SumMonoid& a, const SumMonoid& b) {
+    return SumMonoid{a.sum + b.sum};
+  }
+  static SumMonoid Of(double v) { return SumMonoid{v}; }
+};
+
+/// Max monoid over doubles.
+struct MaxMonoid {
+  double max = -1.7976931348623157e308;  // -DBL_MAX as identity.
+
+  static MaxMonoid Identity() { return MaxMonoid{}; }
+  static MaxMonoid Combine(const MaxMonoid& a, const MaxMonoid& b) {
+    return MaxMonoid{a.max > b.max ? a.max : b.max};
+  }
+  static MaxMonoid Of(double v) { return MaxMonoid{v}; }
+};
+
+/// Min monoid over doubles.
+struct MinMonoid {
+  double min = 1.7976931348623157e308;
+
+  static MinMonoid Identity() { return MinMonoid{}; }
+  static MinMonoid Combine(const MinMonoid& a, const MinMonoid& b) {
+    return MinMonoid{a.min < b.min ? a.min : b.min};
+  }
+  static MinMonoid Of(double v) { return MinMonoid{v}; }
+};
+
+/// Mean/variance monoid (count, mean, M2) using Chan's parallel combination
+/// formula — exact sliding-window variance without subtraction, immune to
+/// the catastrophic cancellation of the naive sum-of-squares approach.
+struct VarianceMonoid {
+  double count = 0.0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  static VarianceMonoid Identity() { return VarianceMonoid{}; }
+
+  static VarianceMonoid Combine(const VarianceMonoid& a,
+                                const VarianceMonoid& b) {
+    if (a.count == 0.0) return b;
+    if (b.count == 0.0) return a;
+    VarianceMonoid out;
+    out.count = a.count + b.count;
+    const double delta = b.mean - a.mean;
+    out.mean = a.mean + delta * b.count / out.count;
+    out.m2 = a.m2 + b.m2 + delta * delta * a.count * b.count / out.count;
+    return out;
+  }
+
+  static VarianceMonoid Of(double v) { return VarianceMonoid{1.0, v, 0.0}; }
+
+  /// Population variance of the combined elements.
+  double Variance() const { return count > 0.0 ? m2 / count : 0.0; }
+  /// Sample variance (n-1 denominator).
+  double SampleVariance() const {
+    return count > 1.0 ? m2 / (count - 1.0) : 0.0;
+  }
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_WINDOWING_SLIDING_AGGREGATOR_H_

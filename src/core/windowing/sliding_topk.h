@@ -1,0 +1,92 @@
+#ifndef STREAMLIB_CORE_WINDOWING_SLIDING_TOPK_H_
+#define STREAMLIB_CORE_WINDOWING_SLIDING_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamlib {
+
+/// Continuous top-k monitoring over a sliding window — the problem of
+/// Pripužić, Žarko & Aberer (cited as [138]) and Yang et al.'s MinTopK
+/// (cited as [166]). The structure keeps only the *k-skyband*: an element
+/// is discarded forever once k higher-scoring elements that outlive it
+/// exist, because it can never re-enter the top-k while they are alive.
+/// Since arrivals are newest (and so outlive everything resident), each
+/// arrival simply bumps the dominance count of every lower-scoring
+/// resident — giving expected O(k log(W/k)) retained entries instead of W.
+///
+/// Application (Table 1): "time- and space-efficient sliding window top-k
+/// query processing" — dashboards showing the current top scored events.
+template <typename T>
+class SlidingTopK {
+ public:
+  /// \param k       result size.
+  /// \param window  sliding window length in arrivals.
+  SlidingTopK(size_t k, uint64_t window) : k_(k), window_(window) {
+    STREAMLIB_CHECK_MSG(k >= 1, "k must be >= 1");
+    STREAMLIB_CHECK_MSG(window >= k, "window must be >= k");
+  }
+
+  /// Feeds the next element.
+  void Add(double score, T payload) {
+    const uint64_t now = count_++;
+    // Expire elements that left the window.
+    while (!entries_.empty() && entries_.front().expiry <= now) {
+      entries_.pop_front();
+    }
+    // The newcomer outlives every resident: it dominates all residents with
+    // score <= its own. Residents collecting k dominators can never return.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->score <= score && ++it->dominated >= k_) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    entries_.push_back(Entry{now + window_, score, 0, std::move(payload)});
+  }
+
+  /// The current top-k (score descending) among the last `window` arrivals.
+  std::vector<std::pair<double, T>> TopK() const {
+    std::vector<std::pair<double, T>> live;
+    live.reserve(entries_.size());
+    // The newest arrival has index count_ - 1; an entry is in the window
+    // while expiry (= arrival + window) exceeds that index.
+    for (const Entry& e : entries_) {
+      if (count_ == 0 || e.expiry > count_ - 1) {
+        live.emplace_back(e.score, e.payload);
+      }
+    }
+    std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+    if (live.size() > k_) live.resize(k_);
+    return live;
+  }
+
+  /// Candidates retained (the k-skyband size; the space win vs W).
+  size_t CandidateCount() const { return entries_.size(); }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  struct Entry {
+    uint64_t expiry;     // Arrival index at which this element leaves.
+    double score;
+    uint64_t dominated;  // Number of fresher, higher-scoring elements.
+    T payload;
+  };
+
+  size_t k_;
+  uint64_t window_;
+  uint64_t count_ = 0;
+  std::deque<Entry> entries_;  // Arrival order (so expiry is monotone).
+};
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_CORE_WINDOWING_SLIDING_TOPK_H_

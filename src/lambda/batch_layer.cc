@@ -1,0 +1,39 @@
+#include "lambda/batch_layer.h"
+
+#include <algorithm>
+
+namespace streamlib::lambda {
+
+double BatchView::TotalOf(const std::string& key) const {
+  auto it = key_totals.find(key);
+  return it == key_totals.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> BatchView::TopK(size_t k) const {
+  std::vector<std::pair<std::string, double>> all(key_totals.begin(),
+                                                  key_totals.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+BatchView BatchLayer::Recompute(const MasterLog& log) const {
+  return RecomputePrefix(log, log.size());
+}
+
+BatchView BatchLayer::RecomputePrefix(const MasterLog& log,
+                                      uint64_t through_offset) const {
+  BatchView view;
+  view.through_offset = std::min<uint64_t>(through_offset, log.size());
+  std::vector<LogRecord> records;
+  log.Read(0, view.through_offset, &records);
+  for (const LogRecord& r : records) {
+    view.key_totals[r.key] += r.value;
+    view.distinct_keys.Add(r.key);
+  }
+  return view;
+}
+
+}  // namespace streamlib::lambda

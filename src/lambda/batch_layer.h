@@ -1,0 +1,49 @@
+#ifndef STREAMLIB_LAMBDA_BATCH_LAYER_H_
+#define STREAMLIB_LAMBDA_BATCH_LAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cardinality/hyperloglog.h"
+#include "lambda/master_log.h"
+
+namespace streamlib::lambda {
+
+/// A batch view: exact aggregates precomputed over a master-log prefix
+/// (Figure 1, steps 2-3 — the batch layer "pre-computes the batch views",
+/// the serving layer "indexes them for low-latency queries"). Immutable
+/// once built; `through_offset` records the prefix it covers so the speed
+/// layer knows where real-time responsibility begins.
+struct BatchView {
+  uint64_t through_offset = 0;  ///< exclusive end of the covered prefix
+  std::unordered_map<std::string, double> key_totals;  ///< exact sums
+  HyperLogLog distinct_keys{12};  ///< cardinality of the key set
+
+  /// Exact total for a key over the covered prefix (0 if absent).
+  double TotalOf(const std::string& key) const;
+
+  /// Top-k keys by total, descending.
+  std::vector<std::pair<std::string, double>> TopK(size_t k) const;
+};
+
+/// The batch layer: recomputes a BatchView from scratch over the current
+/// master-log prefix. Recomputation latency is what the Lambda Architecture
+/// trades against freshness — the F1 bench measures staleness by
+/// controlling how often this runs.
+class BatchLayer {
+ public:
+  BatchLayer() = default;
+
+  /// Full recompute over log[0, log.size()). O(prefix length).
+  BatchView Recompute(const MasterLog& log) const;
+
+  /// Recompute over an explicit prefix log[0, through_offset).
+  BatchView RecomputePrefix(const MasterLog& log,
+                            uint64_t through_offset) const;
+};
+
+}  // namespace streamlib::lambda
+
+#endif  // STREAMLIB_LAMBDA_BATCH_LAYER_H_

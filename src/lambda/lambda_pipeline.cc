@@ -1,0 +1,44 @@
+#include "lambda/lambda_pipeline.h"
+
+#include "common/check.h"
+
+namespace streamlib::lambda {
+
+LambdaPipeline::LambdaPipeline(const LambdaConfig& config)
+    : config_(config),
+      speed_(config.cms_width, config.cms_depth, config.topk_capacity,
+             config.hll_precision),
+      serving_(&speed_) {
+  STREAMLIB_CHECK_MSG(config.hll_precision == 12,
+                      "batch view HLL precision is fixed at 12; the speed "
+                      "layer must match for merges");
+  STREAMLIB_CHECK_MSG(config.batch_interval_records >= 1,
+                      "batch interval must be >= 1");
+}
+
+void LambdaPipeline::Ingest(int64_t timestamp, const std::string& key,
+                            double value) {
+  const uint64_t offset = log_.Append(timestamp, key, value);
+  LogRecord record;
+  record.offset = offset;
+  record.timestamp = timestamp;
+  record.key = key;
+  record.value = value;
+  speed_.Ingest(record);
+
+  if (log_.size() - serving_.BatchThroughOffset() >=
+      config_.batch_interval_records) {
+    RunBatchNow();
+  }
+}
+
+void LambdaPipeline::RunBatchNow() {
+  BatchView view = batch_.Recompute(log_);
+  const uint64_t covered = view.through_offset;
+  serving_.InstallBatchView(std::move(view));
+  // Hand-off: the speed layer now only owns the (currently empty) suffix.
+  speed_.Reset(covered);
+  batch_recomputes_++;
+}
+
+}  // namespace streamlib::lambda

@@ -1,0 +1,78 @@
+#ifndef STREAMLIB_LAMBDA_LAMBDA_PIPELINE_H_
+#define STREAMLIB_LAMBDA_LAMBDA_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lambda/batch_layer.h"
+#include "lambda/master_log.h"
+#include "lambda/serving_layer.h"
+#include "lambda/speed_layer.h"
+
+namespace streamlib::lambda {
+
+/// Pipeline tuning knobs.
+struct LambdaConfig {
+  /// Batch recompute triggers after this many new records since the last
+  /// batch view (the staleness/work trade-off the F1 bench sweeps).
+  uint64_t batch_interval_records = 10000;
+  uint32_t cms_width = 2048;   ///< speed-layer Count-Min width
+  uint32_t cms_depth = 4;      ///< speed-layer Count-Min depth
+  size_t topk_capacity = 256;  ///< speed-layer SpaceSaving entries
+  int hll_precision = 12;      ///< both layers' HLL precision (must match)
+};
+
+/// The full Lambda Architecture of Figure 1, wired end to end:
+///   1. Ingest() dispatches each event to both the batch layer's master log
+///      and the speed layer.
+///   2-3. The batch layer periodically recomputes exact batch views over the
+///      immutable log, which the serving layer indexes.
+///   4. The speed layer covers only the records the current batch view has
+///      not seen, with the Section-2 sketches.
+///   5. Queries merge batch + real-time views.
+///
+/// Recomputation runs synchronously inside Ingest when due (deterministic
+/// and testable); callers wanting background batches call RunBatchNow from
+/// their own thread — all layers are individually thread-safe.
+class LambdaPipeline {
+ public:
+  explicit LambdaPipeline(const LambdaConfig& config);
+
+  /// Ingests one event into both paths (Figure 1, step 1).
+  void Ingest(int64_t timestamp, const std::string& key, double value);
+
+  /// Forces a batch recompute over the entire current log.
+  void RunBatchNow();
+
+  /// Merged query interface (Figure 1, step 5).
+  double QueryTotal(const std::string& key) const {
+    return serving_.TotalOf(key);
+  }
+  std::vector<std::pair<std::string, double>> QueryTopK(size_t k) const {
+    return serving_.TopK(k);
+  }
+  double QueryDistinctKeys() const { return serving_.DistinctKeys(); }
+
+  const MasterLog& log() const { return log_; }
+  const ServingLayer& serving() const { return serving_; }
+  const SpeedLayer& speed() const { return speed_; }
+  uint64_t batch_recomputes() const { return batch_recomputes_; }
+
+  /// Records not yet covered by the batch view (staleness in records).
+  uint64_t SpeedSuffixLength() const {
+    return log_.size() - serving_.BatchThroughOffset();
+  }
+
+ private:
+  LambdaConfig config_;
+  MasterLog log_;
+  BatchLayer batch_;
+  SpeedLayer speed_;
+  ServingLayer serving_;
+  uint64_t batch_recomputes_ = 0;
+};
+
+}  // namespace streamlib::lambda
+
+#endif  // STREAMLIB_LAMBDA_LAMBDA_PIPELINE_H_

@@ -1,0 +1,71 @@
+#include "lambda/serving_layer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace streamlib::lambda {
+
+ServingLayer::ServingLayer(const SpeedLayer* speed)
+    : speed_(speed), batch_(std::make_shared<BatchView>()) {
+  STREAMLIB_CHECK(speed != nullptr);
+}
+
+void ServingLayer::InstallBatchView(BatchView view) {
+  auto shared = std::make_shared<const BatchView>(std::move(view));
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_ = std::move(shared);
+}
+
+double ServingLayer::TotalOf(const std::string& key) const {
+  std::shared_ptr<const BatchView> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch = batch_;
+  }
+  return batch->TotalOf(key) + speed_->TotalOf(key);
+}
+
+std::vector<std::pair<std::string, double>> ServingLayer::TopK(
+    size_t k) const {
+  std::shared_ptr<const BatchView> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch = batch_;
+  }
+  // Candidates: top keys of either view (taking 2k from each side bounds
+  // the merge error the same way distributed top-k merges do).
+  std::set<std::string> candidates;
+  for (const auto& [key, total] : batch->TopK(2 * k)) candidates.insert(key);
+  for (const auto& [key, total] : speed_->TopK(2 * k)) candidates.insert(key);
+
+  std::vector<std::pair<std::string, double>> merged;
+  merged.reserve(candidates.size());
+  for (const std::string& key : candidates) {
+    merged.emplace_back(key, batch->TotalOf(key) + speed_->TotalOf(key));
+  }
+  std::sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+double ServingLayer::DistinctKeys() const {
+  std::shared_ptr<const BatchView> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch = batch_;
+  }
+  HyperLogLog merged = batch->distinct_keys;
+  STREAMLIB_CHECK(merged.Merge(speed_->DistinctKeysSketch()).ok());
+  return merged.Estimate();
+}
+
+uint64_t ServingLayer::BatchThroughOffset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_->through_offset;
+}
+
+}  // namespace streamlib::lambda

@@ -1,0 +1,48 @@
+#ifndef STREAMLIB_LAMBDA_SERVING_LAYER_H_
+#define STREAMLIB_LAMBDA_SERVING_LAYER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lambda/batch_layer.h"
+#include "lambda/speed_layer.h"
+
+namespace streamlib::lambda {
+
+/// The serving layer (Figure 1, steps 3 & 5): holds the latest batch view
+/// and answers queries by *merging* it with the speed layer's real-time
+/// view — "incoming queries are answered by merging results from batch
+/// views and real-time views". Thread-safe; the batch view is swapped in
+/// atomically when a recompute lands.
+class ServingLayer {
+ public:
+  /// \param speed  the real-time view to merge against (not owned).
+  explicit ServingLayer(const SpeedLayer* speed);
+
+  /// Installs a freshly recomputed batch view.
+  void InstallBatchView(BatchView view);
+
+  /// Merged total for a key: exact batch prefix + approximate suffix.
+  double TotalOf(const std::string& key) const;
+
+  /// Merged top-k: candidate keys from both views, ranked by merged total.
+  std::vector<std::pair<std::string, double>> TopK(size_t k) const;
+
+  /// Merged distinct-key estimate (HLL union of batch and speed sketches).
+  double DistinctKeys() const;
+
+  /// Offset through which results are exact (batch coverage).
+  uint64_t BatchThroughOffset() const;
+
+ private:
+  const SpeedLayer* speed_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const BatchView> batch_;  // Swapped atomically under mu_.
+};
+
+}  // namespace streamlib::lambda
+
+#endif  // STREAMLIB_LAMBDA_SERVING_LAYER_H_

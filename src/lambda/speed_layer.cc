@@ -1,0 +1,72 @@
+#include "lambda/speed_layer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib::lambda {
+
+SpeedLayer::SpeedLayer(uint32_t cms_width, uint32_t cms_depth,
+                       size_t topk_capacity, int hll_precision)
+    : cms_width_(cms_width),
+      cms_depth_(cms_depth),
+      topk_capacity_(topk_capacity),
+      hll_precision_(hll_precision),
+      totals_(cms_width, cms_depth, /*conservative=*/true),
+      topk_(topk_capacity),
+      distinct_(hll_precision) {}
+
+void SpeedLayer::Ingest(const LogRecord& record) {
+  // Record values are event weights (typically 1.0 for count semantics);
+  // the integer sketches ingest the rounded weight.
+  const uint64_t weight = static_cast<uint64_t>(
+      std::llround(std::max(record.value, 0.0)));
+  std::lock_guard<std::mutex> lock(mu_);
+  STREAMLIB_DCHECK(record.offset >= from_offset_);
+  ingested_++;
+  if (weight > 0) {
+    totals_.Add(record.key, weight);
+    topk_.Add(record.key, weight);
+  }
+  distinct_.Add(record.key);
+}
+
+double SpeedLayer::TotalOf(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(totals_.Estimate(key));
+}
+
+std::vector<std::pair<std::string, double>> SpeedLayer::TopK(size_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& item : topk_.TopK(k)) {
+    out.emplace_back(item.key, static_cast<double>(item.estimate));
+  }
+  return out;
+}
+
+HyperLogLog SpeedLayer::DistinctKeysSketch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return distinct_;
+}
+
+void SpeedLayer::Reset(uint64_t from_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  from_offset_ = from_offset;
+  ingested_ = 0;
+  totals_ = CountMinSketch(cms_width_, cms_depth_, /*conservative=*/true);
+  topk_ = SpaceSaving<std::string>(topk_capacity_);
+  distinct_ = HyperLogLog(hll_precision_);
+}
+
+uint64_t SpeedLayer::from_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return from_offset_;
+}
+
+uint64_t SpeedLayer::ingested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingested_;
+}
+
+}  // namespace streamlib::lambda

@@ -1,0 +1,67 @@
+#ifndef STREAMLIB_LAMBDA_SPEED_LAYER_H_
+#define STREAMLIB_LAMBDA_SPEED_LAYER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/cardinality/hyperloglog.h"
+#include "core/frequency/count_min_sketch.h"
+#include "core/frequency/space_saving.h"
+#include "lambda/master_log.h"
+
+namespace streamlib::lambda {
+
+/// The speed layer (Figure 1, step 4): compensates for batch staleness by
+/// maintaining *approximate, incremental* real-time views over the log
+/// suffix the latest batch view does not cover. This is where the paper's
+/// two threads meet: the streaming sketches of Section 2 are exactly what
+/// makes the real-time view cheap (Count-Min for per-key totals,
+/// SpaceSaving for top-k, HyperLogLog for cardinality — the Summingbird
+/// pattern). Thread-safe.
+class SpeedLayer {
+ public:
+  /// \param cms_width/cms_depth  Count-Min geometry for per-key totals.
+  /// \param topk_capacity        SpaceSaving entries for real-time top-k.
+  /// \param hll_precision        HyperLogLog precision for distinct keys.
+  SpeedLayer(uint32_t cms_width, uint32_t cms_depth, size_t topk_capacity,
+             int hll_precision);
+
+  /// Ingests one record (must have offset >= from_offset()).
+  void Ingest(const LogRecord& record);
+
+  /// Real-time estimate of the total for `key` over ingested records.
+  double TotalOf(const std::string& key) const;
+
+  /// Real-time top-k keys by estimated total.
+  std::vector<std::pair<std::string, double>> TopK(size_t k) const;
+
+  /// Real-time distinct-key sketch (merged into the batch one at query).
+  HyperLogLog DistinctKeysSketch() const;
+
+  /// Resets the layer to cover the suffix starting at `from_offset` — the
+  /// hand-off performed whenever a fresh batch view lands. All sketch state
+  /// is discarded (its information is now in the batch view).
+  void Reset(uint64_t from_offset);
+
+  uint64_t from_offset() const;
+  uint64_t ingested() const;
+
+ private:
+  uint32_t cms_width_;
+  uint32_t cms_depth_;
+  size_t topk_capacity_;
+  int hll_precision_;
+
+  mutable std::mutex mu_;
+  uint64_t from_offset_ = 0;
+  uint64_t ingested_ = 0;
+  CountMinSketch totals_;
+  SpaceSaving<std::string> topk_;
+  HyperLogLog distinct_;
+};
+
+}  // namespace streamlib::lambda
+
+#endif  // STREAMLIB_LAMBDA_SPEED_LAYER_H_

@@ -1,0 +1,44 @@
+#include "platform/checkpoint.h"
+
+#include "common/serde.h"
+
+namespace streamlib::platform {
+
+std::vector<uint8_t> DedupLedger::Serialize() const {
+
+  ByteWriter w;
+  w.PutVarint(producers_.size());
+  for (const auto& [producer, state] : producers_) {
+    w.PutU64(producer);
+    w.PutU64(state.watermark);
+    w.PutVarint(state.seen.size());
+    for (uint64_t id : state.seen) w.PutU64(id);
+  }
+  return w.TakeBytes();
+}
+
+Result<DedupLedger> DedupLedger::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint64_t num_producers;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_producers));
+  DedupLedger ledger;
+  for (uint64_t p = 0; p < num_producers; p++) {
+    uint64_t producer;
+    State state;
+    uint64_t num_seen;
+    STREAMLIB_RETURN_NOT_OK(r.GetU64(&producer));
+    STREAMLIB_RETURN_NOT_OK(r.GetU64(&state.watermark));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_seen));
+    for (uint64_t i = 0; i < num_seen; i++) {
+      uint64_t id;
+      STREAMLIB_RETURN_NOT_OK(r.GetU64(&id));
+      state.seen.insert(id);
+    }
+    ledger.producers_.emplace(producer, std::move(state));
+  }
+  if (!r.AtEnd()) return Status::Corruption("DedupLedger: trailing bytes");
+  return ledger;
+}
+
+}  // namespace streamlib::platform

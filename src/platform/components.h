@@ -1,0 +1,128 @@
+#ifndef STREAMLIB_PLATFORM_COMPONENTS_H_
+#define STREAMLIB_PLATFORM_COMPONENTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/topology.h"
+
+namespace streamlib::platform {
+
+/// Spout driven by a generator function: each call produces the next tuple
+/// or nullopt at end of stream. The building block tests, benches and
+/// examples use to feed synthetic workloads into topologies.
+class GeneratorSpout : public Spout {
+ public:
+  using Generator = std::function<std::optional<Tuple>()>;
+
+  explicit GeneratorSpout(Generator generator)
+      : generator_(std::move(generator)) {}
+
+  bool NextTuple(OutputCollector* collector) override {
+    std::optional<Tuple> tuple = generator_();
+    if (!tuple.has_value()) return false;
+    collector->Emit(std::move(*tuple));
+    return true;
+  }
+
+ private:
+  Generator generator_;
+};
+
+/// Bolt wrapping a plain function — for map/filter/flat-map stages without
+/// dedicated classes.
+class FunctionBolt : public Bolt {
+ public:
+  using Fn = std::function<void(const Tuple&, OutputCollector*)>;
+  using FinishFn = std::function<void(OutputCollector*)>;
+
+  explicit FunctionBolt(Fn fn, FinishFn finish = nullptr)
+      : fn_(std::move(fn)), finish_(std::move(finish)) {}
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    fn_(input, collector);
+  }
+
+  void Finish(OutputCollector* collector) override {
+    if (finish_) finish_(collector);
+  }
+
+ private:
+  Fn fn_;
+  FinishFn finish_;
+};
+
+/// Thread-safe terminal sink shared across sink-bolt tasks: collects every
+/// tuple that reaches the end of the topology so callers can inspect
+/// results after Run().
+class TupleSink {
+ public:
+  void Append(const Tuple& tuple) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tuples_.push_back(tuple);
+  }
+
+  std::vector<Tuple> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tuples_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tuples_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Tuple> tuples_;
+};
+
+/// Bolt that writes every input into a shared TupleSink.
+class SinkBolt : public Bolt {
+ public:
+  explicit SinkBolt(TupleSink* sink) : sink_(sink) {}
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    (void)collector;
+    sink_->Append(input);
+  }
+
+ private:
+  TupleSink* sink_;  // Not owned; must outlive the engine run.
+};
+
+/// Per-task word/key counter with fields-grouping semantics: counts string
+/// keys (field 0) and emits (key, count) pairs at Finish — the canonical
+/// word-count bolt of every streaming-platform tutorial, including this
+/// paper's Storm/Heron exposition.
+class CountingBolt : public Bolt {
+ public:
+  CountingBolt() = default;
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    (void)collector;
+    counts_[input.Str(0)]++;
+  }
+
+  void Finish(OutputCollector* collector) override {
+    for (const auto& [key, count] : counts_) {
+      collector->Emit(Tuple::Of(key, static_cast<int64_t>(count)));
+    }
+  }
+
+  const std::unordered_map<std::string, int64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::string, int64_t> counts_;
+};
+
+}  // namespace streamlib::platform
+
+#endif  // STREAMLIB_PLATFORM_COMPONENTS_H_

@@ -1,0 +1,485 @@
+#include "platform/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streamlib::platform {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// A unit of data in flight between tasks.
+struct Message {
+  Tuple tuple;
+  uint64_t root_id = 0;          // Ack-tree root; 0 = untracked.
+  uint64_t edge_id = 0;          // This delivery's ledger entry.
+  uint64_t emit_time_nanos = 0;  // Spout emission time (end-to-end latency).
+};
+
+/// Event sent to the acker thread.
+struct TopologyEngine::AckerEvent {
+  enum Kind { kInit, kUpdate };
+  Kind kind = kUpdate;
+  uint64_t root_id = 0;
+  uint64_t xor_value = 0;
+  size_t spout_task = 0;  // kInit only.
+};
+
+/// One parallel instance of a component.
+struct TopologyEngine::Task {
+  size_t global_index = 0;
+  size_t component_index = 0;
+  uint32_t task_index = 0;
+  std::unique_ptr<Spout> spout;
+  std::unique_ptr<Bolt> bolt;
+  std::unique_ptr<BlockingQueue<Message>> queue;  // Bolts only.
+  std::unique_ptr<TaskCollector> collector;
+  ComponentMetrics* metrics = nullptr;
+};
+
+/// A subscription edge resolved to concrete target tasks.
+struct TopologyEngine::Edge {
+  Grouping grouping;
+  std::vector<Task*> targets;
+};
+
+/// Engine-side OutputCollector for one task: routes, anchors, applies
+/// backpressure, and accumulates the XOR of created edge ids.
+class TopologyEngine::TaskCollector : public OutputCollector {
+ public:
+  TaskCollector(TopologyEngine* engine, Task* task, uint64_t seed)
+      : engine_(engine), task_(task), rng_(seed) {}
+
+  /// Bolt path: set the anchoring context before Execute.
+  void BeginExecute(uint64_t root_id, uint64_t emit_time_nanos) {
+    current_root_ = root_id;
+    current_emit_time_ = emit_time_nanos;
+    xor_out_ = 0;
+  }
+  uint64_t EndExecute() { return xor_out_; }
+
+  uint64_t LastRootId() const override { return last_spout_root_; }
+
+  void Emit(Tuple tuple) override {
+    const bool from_spout = task_->spout != nullptr;
+    uint64_t root = current_root_;
+    uint64_t emit_time = current_emit_time_;
+    if (from_spout) {
+      emit_time = NowNanos();
+      if (engine_->config_.semantics == DeliverySemantics::kAtLeastOnce) {
+        root = engine_->next_root_id_.fetch_add(1, std::memory_order_relaxed);
+        engine_->inflight_roots_.fetch_add(1, std::memory_order_relaxed);
+        last_spout_root_ = root;
+        xor_out_ = 0;
+      }
+    }
+
+    uint64_t edge_xor = 0;
+    const auto& edges = engine_->outgoing_[task_->component_index];
+    for (const Edge& edge : edges) {
+      // Resolve the target task set for this tuple.
+      switch (edge.grouping.kind) {
+        case GroupingKind::kBroadcast:
+          for (Task* target : edge.targets) {
+            edge_xor ^= Send(target, tuple, root, emit_time);
+          }
+          break;
+        case GroupingKind::kShuffle: {
+          Task* target = edge.targets[rng_.NextBounded(edge.targets.size())];
+          edge_xor ^= Send(target, tuple, root, emit_time);
+          break;
+        }
+        case GroupingKind::kFields: {
+          const uint64_t h =
+              HashOfValue(tuple.field(edge.grouping.field_index), 77);
+          Task* target = edge.targets[h % edge.targets.size()];
+          edge_xor ^= Send(target, tuple, root, emit_time);
+          break;
+        }
+        case GroupingKind::kGlobal:
+          edge_xor ^= Send(edge.targets[0], tuple, root, emit_time);
+          break;
+      }
+    }
+    task_->metrics->IncEmitted();
+
+    if (engine_->config_.semantics == DeliverySemantics::kAtLeastOnce) {
+      if (from_spout) {
+        // Register the root with its initial ledger value.
+        engine_->acker_queue_->Push(AckerEvent{AckerEvent::kInit, root,
+                                               edge_xor,
+                                               task_->global_index});
+      } else if (root != 0) {
+        xor_out_ ^= edge_xor;
+      }
+    }
+  }
+
+ private:
+  /// Routes one copy to `target`; returns the created edge id (0 untracked).
+  uint64_t Send(Task* target, const Tuple& tuple, uint64_t root,
+                uint64_t emit_time) {
+    const uint64_t edge_id =
+        root != 0
+            ? engine_->next_edge_id_.fetch_add(1, std::memory_order_relaxed)
+            : 0;
+    Message message;
+    message.tuple = tuple;
+    message.root_id = root;
+    message.edge_id = edge_id;
+    message.emit_time_nanos = emit_time;
+    engine_->pending_messages_.fetch_add(1, std::memory_order_acq_rel);
+    if (!target->queue->TryPush(std::move(message))) {
+      task_->metrics->IncBackpressureStalls();
+      Message retry;
+      retry.tuple = tuple;
+      retry.root_id = root;
+      retry.edge_id = edge_id;
+      retry.emit_time_nanos = emit_time;
+      bool delivered;
+      if (engine_->config_.mode == ExecutionMode::kMultiplexed &&
+          task_->bolt != nullptr) {
+        // A multiplexed executor must never block on a queue it may itself
+        // be responsible for draining (deadlock); fall back to unbounded
+        // buffering — faithfully reproducing pre-backpressure Storm, whose
+        // internal queues grew without bound under imbalance (the failure
+        // mode Heron's dedicated executors + real backpressure fixed).
+        delivered = target->queue->ForcePush(std::move(retry));
+      } else {
+        // Spouts and dedicated-mode bolts block: bounded-queue backpressure.
+        delivered = target->queue->Push(std::move(retry));
+      }
+      if (!delivered) {
+        engine_->pending_messages_.fetch_sub(1, std::memory_order_acq_rel);
+        return 0;  // Queue closed during shutdown; tuple dropped.
+      }
+    }
+    return edge_id;
+  }
+
+  TopologyEngine* engine_;
+  Task* task_;
+  Rng rng_;
+  uint64_t current_root_ = 0;
+  uint64_t current_emit_time_ = 0;
+  uint64_t xor_out_ = 0;
+  uint64_t last_spout_root_ = 0;
+};
+
+TopologyEngine::TopologyEngine(Topology topology, EngineConfig config)
+    : topology_(std::move(topology)), config_(config) {}
+
+TopologyEngine::~TopologyEngine() = default;
+
+void TopologyEngine::BuildTasks() {
+  const auto& components = topology_.components();
+  std::vector<std::vector<Task*>> tasks_by_component(components.size());
+
+  for (size_t ci = 0; ci < components.size(); ci++) {
+    const ComponentSpec& spec = components[ci];
+    for (uint32_t ti = 0; ti < spec.parallelism; ti++) {
+      auto task = std::make_unique<Task>();
+      task->global_index = tasks_.size();
+      task->component_index = ci;
+      task->task_index = ti;
+      task->metrics = &metrics_.ForComponent(spec.name);
+      if (spec.is_spout) {
+        task->spout = spec.spout_factory();
+      } else {
+        task->bolt = spec.bolt_factory();
+        task->queue =
+            std::make_unique<BlockingQueue<Message>>(config_.queue_capacity);
+      }
+      task->collector = std::make_unique<TaskCollector>(
+          this, task.get(),
+          config_.seed ^ (0x9e3779b97f4a7c15ULL * (task->global_index + 1)));
+      tasks_by_component[ci].push_back(task.get());
+      tasks_.push_back(std::move(task));
+    }
+  }
+
+  // Resolve subscription edges into per-source outgoing lists.
+  outgoing_.assign(components.size(), {});
+  for (size_t ci = 0; ci < components.size(); ci++) {
+    for (const Subscription& sub : components[ci].inputs) {
+      const size_t source = topology_.IndexOf(sub.source);
+      Edge edge;
+      edge.grouping = sub.grouping;
+      edge.targets = tasks_by_component[ci];
+      outgoing_[source].push_back(std::move(edge));
+    }
+  }
+}
+
+void TopologyEngine::SpoutLoop(Task* task) {
+  task->spout->Open(task->task_index,
+                    topology_.components()[task->component_index].parallelism);
+  while (true) {
+    if (config_.semantics == DeliverySemantics::kAtLeastOnce) {
+      // Spout throttle: cap in-flight tuple trees.
+      while (inflight_roots_.load(std::memory_order_relaxed) >=
+             config_.max_spout_pending) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    if (!task->spout->NextTuple(task->collector.get())) break;
+  }
+}
+
+void TopologyEngine::ExecuteMessage(Task* task, Message& message) {
+  task->collector->BeginExecute(message.root_id, message.emit_time_nanos);
+  task->bolt->Execute(message.tuple, task->collector.get());
+  const uint64_t xor_out = task->collector->EndExecute();
+  task->metrics->IncExecuted();
+  const uint64_t executed = task->metrics->executed();
+  if (config_.latency_sample_every > 0 &&
+      executed % config_.latency_sample_every == 0 &&
+      message.emit_time_nanos > 0) {
+    task->metrics->RecordLatencyNanos(NowNanos() - message.emit_time_nanos);
+  }
+  if (config_.semantics == DeliverySemantics::kAtLeastOnce &&
+      message.root_id != 0) {
+    acker_queue_->Push(AckerEvent{AckerEvent::kUpdate, message.root_id,
+                                  message.edge_id ^ xor_out, 0});
+  }
+  pending_messages_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void TopologyEngine::DedicatedBoltLoop(Task* task) {
+  task->bolt->Prepare(
+      task->task_index,
+      topology_.components()[task->component_index].parallelism);
+  while (auto message = task->queue->Pop()) {
+    ExecuteMessage(task, *message);
+  }
+}
+
+void TopologyEngine::MultiplexedWorkerLoop(const std::vector<Task*>& tasks) {
+  // One executor thread serving many task queues round-robin (Storm-style
+  // multiplexing): poll each queue for a small batch, sleep when idle.
+  while (true) {
+    bool any = false;
+    for (Task* task : tasks) {
+      for (int batch = 0; batch < 32; batch++) {
+        auto message = task->queue->TryPop();
+        if (!message) break;
+        any = true;
+        ExecuteMessage(task, *message);
+      }
+    }
+    if (!any) {
+      bool all_done = true;
+      for (Task* task : tasks) {
+        if (!task->queue->Closed() || task->queue->Size() > 0) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+}
+
+void TopologyEngine::AckerLoop() {
+  struct RootEntry {
+    uint64_t value = 0;
+    size_t spout_task = 0;
+    bool initialized = false;
+    uint64_t created_nanos = 0;
+  };
+  std::unordered_map<uint64_t, RootEntry> ledger;
+  const uint64_t timeout_nanos =
+      static_cast<uint64_t>(config_.ack_timeout_seconds * 1e9);
+  uint64_t last_scan = NowNanos();
+
+  auto resolve = [&](uint64_t root, RootEntry& entry, bool success) {
+    Task* spout_task = tasks_[entry.spout_task].get();
+    if (success) {
+      completed_roots_.fetch_add(1, std::memory_order_relaxed);
+      spout_task->metrics->IncAcked();
+      spout_task->spout->OnAck(root);
+    } else {
+      failed_roots_.fetch_add(1, std::memory_order_relaxed);
+      spout_task->metrics->IncFailed();
+      spout_task->spout->OnFail(root);
+    }
+    inflight_roots_.fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  while (true) {
+    auto event = acker_queue_->TryPop();
+    if (!event) {
+      if (acker_queue_->Closed()) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      RootEntry& entry = ledger[event->root_id];
+      entry.value ^= event->xor_value;
+      if (event->kind == AckerEvent::kInit) {
+        entry.initialized = true;
+        entry.spout_task = event->spout_task;
+        entry.created_nanos = NowNanos();
+      }
+      if (entry.initialized && entry.value == 0) {
+        resolve(event->root_id, entry, /*success=*/true);
+        ledger.erase(event->root_id);
+      }
+    }
+    // Periodic timeout scan.
+    const uint64_t now = NowNanos();
+    if (now - last_scan > timeout_nanos / 4 + 1000000) {
+      last_scan = now;
+      for (auto it = ledger.begin(); it != ledger.end();) {
+        if (it->second.initialized &&
+            now - it->second.created_nanos > timeout_nanos) {
+          resolve(it->first, it->second, /*success=*/false);
+          it = ledger.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  // Shutdown: anything left unresolved fails.
+  for (auto& [root, entry] : ledger) {
+    if (entry.initialized) resolve(root, entry, /*success=*/false);
+  }
+}
+
+/// Synchronous collector used by the post-drain Finish() pass: emissions
+/// route like live traffic but invoke downstream Execute directly (all
+/// worker threads have stopped, so this is safe and single-threaded).
+class TopologyEngine::FinishCollector : public OutputCollector {
+ public:
+  FinishCollector(TopologyEngine* engine, Task* task, uint64_t seed)
+      : engine_(engine), task_(task), rng_(seed) {}
+
+  void Emit(Tuple tuple) override {
+    task_->metrics->IncEmitted();
+    for (const Edge& edge : engine_->outgoing_[task_->component_index]) {
+      switch (edge.grouping.kind) {
+        case GroupingKind::kBroadcast:
+          for (Task* target : edge.targets) Deliver(target, tuple);
+          break;
+        case GroupingKind::kShuffle:
+          Deliver(edge.targets[rng_.NextBounded(edge.targets.size())], tuple);
+          break;
+        case GroupingKind::kFields: {
+          const uint64_t h =
+              HashOfValue(tuple.field(edge.grouping.field_index), 77);
+          Deliver(edge.targets[h % edge.targets.size()], tuple);
+          break;
+        }
+        case GroupingKind::kGlobal:
+          Deliver(edge.targets[0], tuple);
+          break;
+      }
+    }
+  }
+
+ private:
+  void Deliver(Task* target, const Tuple& tuple) {
+    FinishCollector downstream(engine_, target, rng_.Next());
+    target->bolt->Execute(tuple, &downstream);
+    target->metrics->IncExecuted();
+  }
+
+  TopologyEngine* engine_;
+  Task* task_;
+  Rng rng_;
+};
+
+void TopologyEngine::RunFinishPass() {
+  // Components are already topologically ordered; flush each bolt task so
+  // aggregates emitted here flow to (not-yet-finished) downstream bolts.
+  for (const auto& task : tasks_) {
+    if (task->bolt == nullptr) continue;
+    FinishCollector collector(this, task.get(),
+                              config_.seed ^ task->global_index);
+    task->bolt->Finish(&collector);
+  }
+}
+
+void TopologyEngine::Run() {
+  STREAMLIB_CHECK_MSG(!ran_, "TopologyEngine is single-use");
+  ran_ = true;
+  BuildTasks();
+
+  if (config_.semantics == DeliverySemantics::kAtLeastOnce) {
+    acker_queue_ = std::make_unique<BlockingQueue<AckerEvent>>(1 << 16);
+    acker_thread_ = std::thread([this] { AckerLoop(); });
+  }
+
+  // Bolt executors.
+  std::vector<Task*> bolt_tasks;
+  for (const auto& task : tasks_) {
+    if (task->bolt != nullptr) bolt_tasks.push_back(task.get());
+  }
+  if (config_.mode == ExecutionMode::kDedicated) {
+    for (Task* task : bolt_tasks) {
+      threads_.emplace_back([this, task] { DedicatedBoltLoop(task); });
+    }
+  } else {
+    const uint32_t workers =
+        std::max<uint32_t>(1, config_.multiplexed_threads);
+    std::vector<std::vector<Task*>> assignment(workers);
+    for (size_t i = 0; i < bolt_tasks.size(); i++) {
+      assignment[i % workers].push_back(bolt_tasks[i]);
+    }
+    for (Task* task : bolt_tasks) {
+      task->bolt->Prepare(
+          task->task_index,
+          topology_.components()[task->component_index].parallelism);
+    }
+    for (uint32_t w = 0; w < workers; w++) {
+      if (assignment[w].empty()) continue;
+      auto tasks = assignment[w];
+      threads_.emplace_back(
+          [this, tasks] { MultiplexedWorkerLoop(tasks); });
+    }
+  }
+
+  // Spouts.
+  std::vector<std::thread> spout_threads;
+  for (const auto& task : tasks_) {
+    if (task->spout != nullptr) {
+      spout_threads.emplace_back([this, t = task.get()] { SpoutLoop(t); });
+    }
+  }
+  for (auto& t : spout_threads) t.join();
+  spouts_done_.store(true, std::memory_order_release);
+
+  // Drain: wait until no message is queued or mid-execution, and (at least
+  // once) until every tuple tree resolved.
+  while (pending_messages_.load(std::memory_order_acquire) != 0 ||
+         (config_.semantics == DeliverySemantics::kAtLeastOnce &&
+          inflight_roots_.load(std::memory_order_relaxed) != 0)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  // Stop executors.
+  for (Task* task : bolt_tasks) task->queue->Close();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+
+  if (config_.semantics == DeliverySemantics::kAtLeastOnce) {
+    acker_queue_->Close();
+    acker_thread_.join();
+  }
+
+  RunFinishPass();
+}
+
+}  // namespace streamlib::platform

@@ -1,0 +1,111 @@
+#ifndef STREAMLIB_PLATFORM_ENGINE_H_
+#define STREAMLIB_PLATFORM_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "platform/metrics.h"
+#include "platform/queue.h"
+#include "platform/topology.h"
+
+namespace streamlib::platform {
+
+/// How bolt tasks map onto threads — the architectural axis the paper's
+/// Storm-vs-Heron discussion (Section 3) turns on.
+enum class ExecutionMode {
+  /// Heron-style: every task runs in its own dedicated thread, blocking on
+  /// its own input queue ("each task in a process of its own").
+  kDedicated,
+  /// Storm-style: a small pool of executor threads multiplexes all tasks,
+  /// polling their queues round-robin ("disparate tasks multiplexed in a
+  /// single worker" — the architecture Heron was built to replace).
+  kMultiplexed,
+};
+
+/// Delivery guarantee for spout-rooted tuple trees.
+enum class DeliverySemantics {
+  kAtMostOnce,   ///< no tracking; failures lose tuples
+  kAtLeastOnce,  ///< XOR-ledger acker; spouts see OnAck/OnFail
+};
+
+/// Engine tuning knobs.
+struct EngineConfig {
+  ExecutionMode mode = ExecutionMode::kDedicated;
+  DeliverySemantics semantics = DeliverySemantics::kAtMostOnce;
+  size_t queue_capacity = 1024;      ///< per-task input queue bound
+  uint32_t multiplexed_threads = 2;  ///< executor pool size (kMultiplexed)
+  size_t max_spout_pending = 4096;   ///< at-least-once spout throttle
+  uint64_t seed = 0x5eed;            ///< shuffle-grouping randomness
+  /// Every Nth tuple contributes an end-to-end latency sample.
+  uint32_t latency_sample_every = 64;
+  /// At-least-once: a root not fully acked within this window fails (and
+  /// the spout's OnFail may replay it).
+  double ack_timeout_seconds = 5.0;
+};
+
+/// Executes a topology to completion: runs all spouts until exhausted,
+/// drains in-flight tuples, then runs the Finish() pass. Single-use.
+class TopologyEngine {
+ public:
+  TopologyEngine(Topology topology, EngineConfig config);
+  ~TopologyEngine();
+
+  TopologyEngine(const TopologyEngine&) = delete;
+  TopologyEngine& operator=(const TopologyEngine&) = delete;
+
+  /// Blocking run to completion.
+  void Run();
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Completed (fully acked) tuple trees — at-least-once mode only.
+  uint64_t completed_roots() const {
+    return completed_roots_.load(std::memory_order_relaxed);
+  }
+  /// Failed tuple trees — at-least-once mode only.
+  uint64_t failed_roots() const {
+    return failed_roots_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Task;
+  struct Edge;
+  class TaskCollector;
+  class FinishCollector;
+  struct AckerEvent;
+
+  void BuildTasks();
+  void SpoutLoop(Task* task);
+  void DedicatedBoltLoop(Task* task);
+  void MultiplexedWorkerLoop(const std::vector<Task*>& tasks);
+  void AckerLoop();
+  void ExecuteMessage(Task* task, struct Message& message);
+  void RunFinishPass();
+
+  Topology topology_;
+  EngineConfig config_;
+  MetricsRegistry metrics_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::vector<Edge>> outgoing_;  // Per component index.
+
+  std::atomic<uint64_t> pending_messages_{0};
+  std::atomic<uint64_t> next_root_id_{1};
+  std::atomic<uint64_t> next_edge_id_{1};
+  std::atomic<uint64_t> inflight_roots_{0};
+  std::atomic<uint64_t> completed_roots_{0};
+  std::atomic<uint64_t> failed_roots_{0};
+  std::atomic<bool> spouts_done_{false};
+
+  std::unique_ptr<BlockingQueue<AckerEvent>> acker_queue_;
+  std::thread acker_thread_;
+  std::vector<std::thread> threads_;
+  bool ran_ = false;
+};
+
+}  // namespace streamlib::platform
+
+#endif  // STREAMLIB_PLATFORM_ENGINE_H_

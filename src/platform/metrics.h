@@ -1,0 +1,96 @@
+#ifndef STREAMLIB_PLATFORM_METRICS_H_
+#define STREAMLIB_PLATFORM_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/quantiles/tdigest.h"
+
+namespace streamlib::platform {
+
+/// Per-component runtime counters. Updated lock-free on the hot path;
+/// latency percentiles go through a mutex-guarded t-digest (sampled, so the
+/// lock is off the common path).
+class ComponentMetrics {
+ public:
+  ComponentMetrics() : latency_digest_(100.0) {}
+
+  void IncEmitted(uint64_t n = 1) {
+    emitted_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void IncExecuted(uint64_t n = 1) {
+    executed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void IncAcked(uint64_t n = 1) {
+    acked_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void IncFailed(uint64_t n = 1) {
+    failed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void IncBackpressureStalls(uint64_t n = 1) {
+    backpressure_stalls_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Records one end-to-end latency observation (nanoseconds). Callers
+  /// sample (e.g. every 64th tuple) to keep contention negligible.
+  void RecordLatencyNanos(uint64_t nanos) {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    latency_digest_.Add(static_cast<double>(nanos));
+  }
+
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t acked() const { return acked_.load(std::memory_order_relaxed); }
+  uint64_t failed() const { return failed_.load(std::memory_order_relaxed); }
+  uint64_t backpressure_stalls() const {
+    return backpressure_stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Latency percentile in nanoseconds (0 if no samples).
+  double LatencyPercentileNanos(double q) {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (latency_digest_.count() == 0) return 0.0;
+    return latency_digest_.Quantile(q);
+  }
+
+ private:
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> acked_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> backpressure_stalls_{0};
+  std::mutex latency_mu_;
+  TDigest latency_digest_;
+};
+
+/// Registry mapping component names to metrics; owned by the engine, read
+/// by benches and examples after a run.
+class MetricsRegistry {
+ public:
+  ComponentMetrics& ForComponent(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_[name];
+  }
+
+  std::vector<std::string> ComponentNames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(metrics_.size());
+    for (const auto& [name, m] : metrics_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ComponentMetrics> metrics_;
+};
+
+}  // namespace streamlib::platform
+
+#endif  // STREAMLIB_PLATFORM_METRICS_H_

@@ -1,0 +1,153 @@
+#ifndef STREAMLIB_PLATFORM_STREAM_OPERATORS_H_
+#define STREAMLIB_PLATFORM_STREAM_OPERATORS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "platform/topology.h"
+
+namespace streamlib::platform {
+
+/// Tumbling aggregation operator — the paper's "time windows, aggregation"
+/// streaming operators. Tuples are (key: string, value: double); every
+/// `window_size` inputs the bolt emits (key, sum, count) for each key seen
+/// in the window and resets. Deploy behind a fields grouping so each key's
+/// aggregates are complete.
+class TumblingAggregateBolt : public Bolt {
+ public:
+  explicit TumblingAggregateBolt(uint64_t window_size)
+      : window_size_(window_size) {}
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    auto& slot = aggregates_[input.Str(0)];
+    slot.first += input.Double(1);
+    slot.second++;
+    if (++in_window_ >= window_size_) Flush(collector);
+  }
+
+  void Finish(OutputCollector* collector) override { Flush(collector); }
+
+ private:
+  void Flush(OutputCollector* collector) {
+    for (const auto& [key, agg] : aggregates_) {
+      collector->Emit(Tuple::Of(key, agg.first,
+                                static_cast<int64_t>(agg.second)));
+    }
+    aggregates_.clear();
+    in_window_ = 0;
+  }
+
+  uint64_t window_size_;
+  uint64_t in_window_ = 0;
+  std::unordered_map<std::string, std::pair<double, uint64_t>> aggregates_;
+};
+
+/// Windowed stream-stream equi-join — the Photon problem (cited as [40]:
+/// "fault-tolerant and scalable joining of continuous data streams").
+/// Two logical streams arrive tagged by their side in field 0 ("L"/"R"),
+/// keyed by field 1, with one payload field 2; each side retains its last
+/// `window_per_side` tuples (per task), and every arrival probes the
+/// opposite window, emitting (key, left payload, right payload) for each
+/// match — so out-of-order pairs within the window join exactly once per
+/// pairing. Deploy behind Fields(1) grouping so both sides of a key meet
+/// in the same task.
+class WindowJoinBolt : public Bolt {
+ public:
+  /// \param window_per_side  tuples retained per side per task.
+  explicit WindowJoinBolt(size_t window_per_side)
+      : window_(window_per_side) {}
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    const std::string& side = input.Str(0);
+    const std::string& key = input.Str(1);
+    const bool is_left = side == "L";
+    Side& mine = is_left ? left_ : right_;
+    Side& other = is_left ? right_ : left_;
+
+    // Probe the opposite window.
+    auto it = other.by_key.find(key);
+    if (it != other.by_key.end()) {
+      for (const Tuple& match : it->second) {
+        if (is_left) {
+          collector->Emit(Tuple::Of(key, input.field(2), match.field(2)));
+        } else {
+          collector->Emit(Tuple::Of(key, match.field(2), input.field(2)));
+        }
+        emitted_joins_++;
+      }
+    }
+
+    // Insert into my window; evict my oldest beyond the bound.
+    mine.by_key[key].push_back(input);
+    mine.order.push_back(key);
+    if (mine.order.size() > window_) {
+      const std::string& oldest_key = mine.order.front();
+      auto victim = mine.by_key.find(oldest_key);
+      if (victim != mine.by_key.end()) {
+        victim->second.pop_front();
+        if (victim->second.empty()) mine.by_key.erase(victim);
+      }
+      mine.order.pop_front();
+    }
+  }
+
+  uint64_t emitted_joins() const { return emitted_joins_; }
+
+ private:
+  struct Side {
+    std::unordered_map<std::string, std::deque<Tuple>> by_key;
+    std::deque<std::string> order;  // Arrival order for eviction.
+  };
+
+  size_t window_;
+  Side left_;
+  Side right_;
+  uint64_t emitted_joins_ = 0;
+};
+
+/// Predicate filter operator (the paper's "filtering" operator): passes
+/// tuples satisfying a caller-supplied predicate.
+class FilterBolt : public Bolt {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  explicit FilterBolt(Predicate predicate)
+      : predicate_(std::move(predicate)) {}
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    if (predicate_(input)) collector->Emit(input);
+  }
+
+ private:
+  Predicate predicate_;
+};
+
+/// Enrichment operator (the paper's "enrichment" operator): appends a
+/// value looked up from a reference table by the key in field `key_index`;
+/// misses pass through with a default.
+class EnrichBolt : public Bolt {
+ public:
+  EnrichBolt(std::unordered_map<std::string, Value> reference,
+             size_t key_index, Value default_value)
+      : reference_(std::move(reference)),
+        key_index_(key_index),
+        default_(std::move(default_value)) {}
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    std::vector<Value> values = input.values();
+    auto it = reference_.find(input.Str(key_index_));
+    values.push_back(it == reference_.end() ? default_ : it->second);
+    collector->Emit(Tuple(std::move(values)));
+  }
+
+ private:
+  std::unordered_map<std::string, Value> reference_;
+  size_t key_index_;
+  Value default_;
+};
+
+}  // namespace streamlib::platform
+
+#endif  // STREAMLIB_PLATFORM_STREAM_OPERATORS_H_

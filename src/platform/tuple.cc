@@ -1,0 +1,51 @@
+#include "platform/tuple.h"
+
+#include <cstring>
+
+namespace streamlib::platform {
+
+uint64_t HashOfValue(const Value& v, uint64_t seed) {
+  struct Visitor {
+    uint64_t seed;
+    uint64_t operator()(std::monostate) const { return HashInt64(0, seed); }
+    uint64_t operator()(bool b) const {
+      return HashInt64(b ? 2 : 1, seed);
+    }
+    uint64_t operator()(int64_t x) const {
+      return HashInt64(static_cast<uint64_t>(x) ^ 0x5851f42d4c957f2dULL, seed);
+    }
+    uint64_t operator()(double d) const {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashInt64(bits ^ 0x14057b7ef767814fULL, seed);
+    }
+    uint64_t operator()(const std::string& s) const {
+      return Murmur3_64(s.data(), s.size(), seed);
+    }
+  };
+  return std::visit(Visitor{seed}, v);
+}
+
+std::string ValueToString(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "null"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(int64_t x) const { return std::to_string(x); }
+    std::string operator()(double d) const { return std::to_string(d); }
+    std::string operator()(const std::string& s) const { return s; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); i++) {
+    if (i > 0) out += ", ";
+    out += ValueToString(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace streamlib::platform

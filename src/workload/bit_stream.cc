@@ -1,0 +1,3 @@
+#include "workload/bit_stream.h"
+
+// Bit stream generators are header-only; see bit_stream.h.

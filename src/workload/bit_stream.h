@@ -1,0 +1,65 @@
+#ifndef STREAMLIB_WORKLOAD_BIT_STREAM_H_
+#define STREAMLIB_WORKLOAD_BIT_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace streamlib::workload {
+
+/// Bit-stream generators for the sliding-window counting benches (Table 1
+/// rows "Basic Counting" and "Significant One Counting").
+
+/// I.I.D. Bernoulli(p) bits.
+class BernoulliBitStream {
+ public:
+  BernoulliBitStream(double p, uint64_t seed) : p_(p), rng_(seed) {}
+
+  bool Next() { return rng_.NextBool(p_); }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Two-state Markov (Gilbert) on/off bit stream: bursts of ones interleaved
+/// with quiet periods — the traffic-accounting shape that motivates
+/// significant-one counting (Estan & Varghese).
+class BurstyBitStream {
+ public:
+  /// \param p_on_in_burst    P(bit = 1) while in the burst state
+  /// \param p_on_in_quiet    P(bit = 1) while in the quiet state
+  /// \param p_enter_burst    per-step transition probability quiet -> burst
+  /// \param p_leave_burst    per-step transition probability burst -> quiet
+  BurstyBitStream(double p_on_in_burst, double p_on_in_quiet,
+                  double p_enter_burst, double p_leave_burst, uint64_t seed)
+      : p_on_burst_(p_on_in_burst),
+        p_on_quiet_(p_on_in_quiet),
+        p_enter_(p_enter_burst),
+        p_leave_(p_leave_burst),
+        rng_(seed) {}
+
+  bool Next() {
+    if (in_burst_) {
+      if (rng_.NextBool(p_leave_)) in_burst_ = false;
+    } else {
+      if (rng_.NextBool(p_enter_)) in_burst_ = true;
+    }
+    return rng_.NextBool(in_burst_ ? p_on_burst_ : p_on_quiet_);
+  }
+
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  double p_on_burst_;
+  double p_on_quiet_;
+  double p_enter_;
+  double p_leave_;
+  Rng rng_;
+  bool in_burst_ = false;
+};
+
+}  // namespace streamlib::workload
+
+#endif  // STREAMLIB_WORKLOAD_BIT_STREAM_H_

@@ -1,0 +1,52 @@
+#include "workload/graph_stream.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streamlib::workload {
+
+GraphStreamGenerator::GraphStreamGenerator(uint32_t num_vertices,
+                                           uint64_t seed)
+    : n_(num_vertices), rng_(seed) {
+  STREAMLIB_CHECK_MSG(num_vertices >= 3, "need at least 3 vertices");
+}
+
+Edge GraphStreamGenerator::NextRandomEdge() {
+  uint32_t u = static_cast<uint32_t>(rng_.NextBounded(n_));
+  uint32_t v = static_cast<uint32_t>(rng_.NextBounded(n_ - 1));
+  if (v >= u) v++;  // Uniform over vertices != u.
+  return Edge{u, v};
+}
+
+std::vector<Edge> GraphStreamGenerator::RandomStream(size_t m) {
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (size_t i = 0; i < m; i++) edges.push_back(NextRandomEdge());
+  return edges;
+}
+
+std::vector<Edge> GraphStreamGenerator::StreamWithPlantedTriangles(size_t m,
+                                                                   size_t t) {
+  std::vector<Edge> edges = RandomStream(m);
+  edges.reserve(m + 3 * t);
+  for (size_t i = 0; i < t; i++) {
+    uint32_t a = static_cast<uint32_t>(rng_.NextBounded(n_));
+    uint32_t b = static_cast<uint32_t>(rng_.NextBounded(n_));
+    uint32_t c = static_cast<uint32_t>(rng_.NextBounded(n_));
+    // Retry until the triple is distinct; cheap for n >= 3.
+    while (b == a) b = static_cast<uint32_t>(rng_.NextBounded(n_));
+    while (c == a || c == b) c = static_cast<uint32_t>(rng_.NextBounded(n_));
+    edges.push_back(Edge{a, b});
+    edges.push_back(Edge{b, c});
+    edges.push_back(Edge{a, c});
+  }
+  // Fisher–Yates shuffle so planted edges are interleaved with noise.
+  for (size_t i = edges.size(); i > 1; i--) {
+    const size_t j = rng_.NextBounded(i);
+    std::swap(edges[i - 1], edges[j]);
+  }
+  return edges;
+}
+
+}  // namespace streamlib::workload

@@ -1,0 +1,51 @@
+#ifndef STREAMLIB_WORKLOAD_GRAPH_STREAM_H_
+#define STREAMLIB_WORKLOAD_GRAPH_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace streamlib::workload {
+
+/// An undirected edge in a graph stream.
+struct Edge {
+  uint32_t u = 0;
+  uint32_t v = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+};
+
+/// Random edge-stream generators for the graph-analysis benches (Table 1
+/// rows "Graph analysis" and "Path Analysis"): Erdős–Rényi G(n, m) streams
+/// plus optional planted triangles so the triangle-count estimator has a
+/// known signal to recover.
+class GraphStreamGenerator {
+ public:
+  /// \param num_vertices  vertex count n
+  /// \param seed          RNG seed
+  GraphStreamGenerator(uint32_t num_vertices, uint64_t seed);
+
+  /// A uniformly random edge between distinct vertices (self-loops excluded;
+  /// duplicates possible, as in a real edge stream).
+  Edge NextRandomEdge();
+
+  /// Generates a stream of `m` random edges.
+  std::vector<Edge> RandomStream(size_t m);
+
+  /// Generates a stream of `m` random edges plus `t` planted triangles
+  /// (3 extra edges per triangle over fresh random vertex triples), shuffled.
+  std::vector<Edge> StreamWithPlantedTriangles(size_t m, size_t t);
+
+  uint32_t num_vertices() const { return n_; }
+
+ private:
+  uint32_t n_;
+  Rng rng_;
+};
+
+}  // namespace streamlib::workload
+
+#endif  // STREAMLIB_WORKLOAD_GRAPH_STREAM_H_

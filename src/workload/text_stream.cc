@@ -1,0 +1,25 @@
+#include "workload/text_stream.h"
+
+#include "common/check.h"
+
+namespace streamlib::workload {
+
+TextStreamGenerator::TextStreamGenerator(uint64_t vocabulary_size, double skew,
+                                         uint64_t seed)
+    : zipf_(vocabulary_size, skew, seed) {
+  vocab_.reserve(vocabulary_size);
+  for (uint64_t i = 0; i < vocabulary_size; i++) {
+    vocab_.push_back("tag" + std::to_string(i));
+  }
+}
+
+const std::string& TextStreamGenerator::Next() {
+  return vocab_[zipf_.Next()];
+}
+
+const std::string& TextStreamGenerator::TokenForRank(uint64_t rank) const {
+  STREAMLIB_CHECK(rank < vocab_.size());
+  return vocab_[rank];
+}
+
+}  // namespace streamlib::workload

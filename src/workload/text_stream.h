@@ -1,0 +1,41 @@
+#ifndef STREAMLIB_WORKLOAD_TEXT_STREAM_H_
+#define STREAMLIB_WORKLOAD_TEXT_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/zipf.h"
+
+namespace streamlib::workload {
+
+/// Stream of string tokens ("hashtags") with Zipfian popularity — the
+/// stand-in for the tweet/hashtag streams motivating the paper's "Trending
+/// Hashtags" application of frequent-element sketches.
+class TextStreamGenerator {
+ public:
+  /// \param vocabulary_size   number of distinct tokens
+  /// \param skew              Zipf exponent of token popularity
+  /// \param seed              RNG seed
+  TextStreamGenerator(uint64_t vocabulary_size, double skew, uint64_t seed);
+
+  /// Next token. Token strings are "tag<rank>" so rank (popularity order)
+  /// can be recovered by benches for ground-truth checks.
+  const std::string& Next();
+
+  /// The token string for popularity rank `rank` (0 = most popular).
+  const std::string& TokenForRank(uint64_t rank) const;
+
+  /// Exact popularity of rank `rank` under the generator's distribution.
+  double Probability(uint64_t rank) const { return zipf_.Probability(rank); }
+
+  uint64_t vocabulary_size() const { return vocab_.size(); }
+
+ private:
+  ZipfGenerator zipf_;
+  std::vector<std::string> vocab_;
+};
+
+}  // namespace streamlib::workload
+
+#endif  // STREAMLIB_WORKLOAD_TEXT_STREAM_H_

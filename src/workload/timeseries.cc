@@ -1,0 +1,52 @@
+#include "workload/timeseries.h"
+
+#include <cmath>
+
+namespace streamlib::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+TimeSeriesGenerator::TimeSeriesGenerator(const TimeSeriesConfig& config,
+                                         uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+TimeSeriesPoint TimeSeriesGenerator::Next() {
+  const double t = static_cast<double>(step_);
+  double value = config_.base_level + config_.trend_per_step * t +
+                 level_offset_ +
+                 config_.season_amplitude *
+                     std::sin(kTwoPi * t /
+                              static_cast<double>(config_.season_period)) +
+                 config_.noise_sigma * rng_.NextGaussian();
+
+  AnomalyKind label = AnomalyKind::kNone;
+  if (config_.level_shift_probability > 0.0 &&
+      rng_.NextBool(config_.level_shift_probability)) {
+    const double sign = rng_.NextBool(0.5) ? 1.0 : -1.0;
+    level_offset_ +=
+        sign * config_.level_shift_magnitude * config_.noise_sigma;
+    value += sign * config_.level_shift_magnitude * config_.noise_sigma;
+    label = AnomalyKind::kLevelShift;
+  } else if (config_.spike_probability > 0.0 &&
+             rng_.NextBool(config_.spike_probability)) {
+    const double sign = rng_.NextBool(0.5) ? 1.0 : -1.0;
+    value += sign * config_.spike_magnitude * config_.noise_sigma;
+    label = AnomalyKind::kSpike;
+  }
+
+  last_missing_ = config_.missing_probability > 0.0 &&
+                  rng_.NextBool(config_.missing_probability);
+  step_++;
+  return TimeSeriesPoint{value, label};
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesGenerator::Take(size_t n) {
+  std::vector<TimeSeriesPoint> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; i++) out.push_back(Next());
+  return out;
+}
+
+}  // namespace streamlib::workload

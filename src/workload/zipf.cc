@@ -1,0 +1,86 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamlib::workload {
+namespace {
+
+// (exp(t) - 1) / t, stable near t == 0.
+double Helper2(double t) {
+  if (std::fabs(t) > 1e-8) return std::expm1(t) / t;
+  return 1.0 + t / 2.0 * (1.0 + t / 3.0 * (1.0 + t / 4.0));
+}
+
+// log1p(t) / t, stable near t == 0.
+double Helper1(double t) {
+  if (std::fabs(t) > 1e-8) return std::log1p(t) / t;
+  return 1.0 - t * (0.5 - t * (1.0 / 3.0 - t / 4.0));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s, uint64_t seed)
+    : n_(n), s_(s), rng_(seed) {
+  STREAMLIB_CHECK_MSG(n >= 1, "Zipf domain must be nonempty");
+  STREAMLIB_CHECK_MSG(s > 0.0, "Zipf exponent must be positive");
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  normalizer_ = 0.0;
+  for (uint64_t k = 1; k <= n_; k++) {
+    normalizer_ += std::pow(static_cast<double>(k), -s_);
+  }
+}
+
+double ZipfGenerator::H(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // Guard against numerical drift below the pole.
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfGenerator::Next() {
+  // Hormann & Derflinger rejection-inversion. Expected < 2 iterations.
+  const double shift = 2.0 - HInverse(H(2.5) - std::exp(-s_ * std::log(2.0)));
+  while (true) {
+    const double u = h_n_ + rng_.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= shift ||
+        u >= H(kd + 0.5) - std::exp(-s_ * std::log(kd))) {
+      return k - 1;  // Map to 0-based item ids.
+    }
+  }
+}
+
+double ZipfGenerator::Probability(uint64_t i) const {
+  STREAMLIB_DCHECK(i < n_);
+  return std::pow(static_cast<double>(i + 1), -s_) / normalizer_;
+}
+
+uint64_t ZipfGenerator::CountItemsAboveFrequency(uint64_t stream_len,
+                                                 double threshold) const {
+  // Probability is decreasing in i, so binary search for the first item
+  // whose expected count drops below the threshold.
+  uint64_t lo = 0;
+  uint64_t hi = n_;  // First index with expected count < threshold, if any.
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (static_cast<double>(stream_len) * Probability(mid) >= threshold) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace streamlib::workload

@@ -1,0 +1,54 @@
+#ifndef STREAMLIB_WORKLOAD_ZIPF_H_
+#define STREAMLIB_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace streamlib::workload {
+
+/// Zipf-distributed item generator over the domain {0, 1, ..., n-1}, with
+/// P(item i) proportional to 1 / (i+1)^s.
+///
+/// This is the canonical stand-in for skewed production streams (hashtags,
+/// URLs, user ids): heavy-hitter, cardinality and frequency-sketch behaviour
+/// is governed by the skew parameter `s`, which the benches sweep. Sampling
+/// uses Hormann & Derflinger rejection-inversion, O(1) per draw for any n.
+class ZipfGenerator {
+ public:
+  /// \param n      domain size (>= 1)
+  /// \param s      skew exponent (> 0); s ~ 1.0 is "classic" Zipf.
+  /// \param seed   RNG seed for reproducibility.
+  ZipfGenerator(uint64_t n, double s, uint64_t seed);
+
+  /// Next item id in [0, n).  Item 0 is the most frequent.
+  uint64_t Next();
+
+  /// Exact probability of item `i` under this distribution.
+  double Probability(uint64_t i) const;
+
+  /// Number of items whose expected frequency over a stream of length
+  /// `stream_len` is at least `threshold` (used by heavy-hitter benches to
+  /// compute ground-truth-expected heavy hitters).
+  uint64_t CountItemsAboveFrequency(uint64_t stream_len,
+                                    double threshold) const;
+
+  uint64_t domain_size() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  double H(double x) const;     // Integral of the density.
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  Rng rng_;
+  double h_x1_;
+  double h_n_;
+  double normalizer_;  // Harmonic-like normalization constant H_{n,s}.
+};
+
+}  // namespace streamlib::workload
+
+#endif  // STREAMLIB_WORKLOAD_ZIPF_H_

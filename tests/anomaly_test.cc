@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/anomaly/adwin.h"
+#include "core/anomaly/ewma_detector.h"
+#include "core/anomaly/half_space_trees.h"
+#include "core/anomaly/robust_detector.h"
+#include "workload/timeseries.h"
+
+namespace streamlib {
+namespace {
+
+// Precision/recall of a detector over a labeled spike stream. A detection
+// within +-2 steps of an injected anomaly counts as a hit.
+struct Score {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+Score Evaluate(AnomalyDetector* detector, double spike_probability,
+               uint64_t seed, int n = 50000) {
+  workload::TimeSeriesConfig config;
+  config.base_level = 100.0;
+  config.noise_sigma = 2.0;
+  config.spike_probability = spike_probability;
+  config.spike_magnitude = 12.0;
+  workload::TimeSeriesGenerator gen(config, seed);
+
+  std::vector<bool> truth(n);
+  std::vector<bool> flagged(n);
+  for (int i = 0; i < n; i++) {
+    auto p = gen.Next();
+    truth[i] = p.label != workload::AnomalyKind::kNone;
+    flagged[i] = detector->AddAndDetect(p.value);
+  }
+  int tp = 0;
+  int fp = 0;
+  int fn = 0;
+  for (int i = 0; i < n; i++) {
+    if (flagged[i]) {
+      bool near_truth = false;
+      for (int d = -2; d <= 2; d++) {
+        if (i + d >= 0 && i + d < n && truth[i + d]) near_truth = true;
+      }
+      near_truth ? tp++ : fp++;
+    }
+    if (truth[i]) {
+      bool detected = false;
+      for (int d = -2; d <= 2; d++) {
+        if (i + d >= 0 && i + d < n && flagged[i + d]) detected = true;
+      }
+      if (!detected) fn++;
+    }
+  }
+  Score s;
+  s.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 1.0;
+  s.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 1.0;
+  return s;
+}
+
+TEST(EwmaDetectorTest, CatchesLargeSpikes) {
+  EwmaDetector detector(0.05, 4.0);
+  Score s = Evaluate(&detector, 0.002, 1);
+  EXPECT_GT(s.recall, 0.9);
+  EXPECT_GT(s.precision, 0.5);
+}
+
+TEST(EwmaDetectorTest, QuietOnCleanData) {
+  EwmaDetector detector(0.05, 4.0);
+  Score s = Evaluate(&detector, 0.0, 2);
+  (void)s;
+  // No injected anomalies: any flag is a false positive. Count directly.
+  workload::TimeSeriesConfig config;
+  config.noise_sigma = 1.0;
+  workload::TimeSeriesGenerator gen(config, 3);
+  EwmaDetector clean(0.05, 4.0);
+  int flags = 0;
+  for (int i = 0; i < 50000; i++) {
+    if (clean.AddAndDetect(gen.Next().value)) flags++;
+  }
+  EXPECT_LT(flags, 50);  // << 0.1% false positive rate at 4 sigma.
+}
+
+TEST(RobustMadDetectorTest, CatchesSpikes) {
+  RobustMadDetector detector(128, 5.0);
+  Score s = Evaluate(&detector, 0.002, 4);
+  EXPECT_GT(s.recall, 0.9);
+  EXPECT_GT(s.precision, 0.5);
+}
+
+TEST(RobustMadDetectorTest, SurvivesContamination) {
+  // 5% of points are huge outliers: the MAD baseline must not be dragged,
+  // so ordinary points still pass and outliers still flag.
+  RobustMadDetector detector(128, 6.0);
+  Rng rng(5);
+  int normal_flagged = 0;
+  int outlier_flagged = 0;
+  int normal_count = 0;
+  int outlier_count = 0;
+  for (int i = 0; i < 20000; i++) {
+    const bool outlier = rng.NextBool(0.05);
+    const double v =
+        outlier ? 1000.0 + rng.NextGaussian() : rng.NextGaussian();
+    const bool flagged = detector.AddAndDetect(v);
+    if (i < 500) continue;  // Warm-up.
+    if (outlier) {
+      outlier_count++;
+      if (flagged) outlier_flagged++;
+    } else {
+      normal_count++;
+      if (flagged) normal_flagged++;
+    }
+  }
+  EXPECT_GT(static_cast<double>(outlier_flagged) / outlier_count, 0.95);
+  EXPECT_LT(static_cast<double>(normal_flagged) / normal_count, 0.01);
+}
+
+TEST(CusumDetectorTest, DetectsSmallPersistentShift) {
+  // A 1.5-sigma level shift is invisible to a 4-sigma point detector but
+  // must trip CUSUM within a reasonable delay.
+  CusumDetector cusum(0.5, 8.0, 200);
+  EwmaDetector ewma(0.05, 4.0);
+  Rng rng(6);
+  int cusum_alarm_at = -1;
+  int ewma_alarm_at = -1;
+  for (int i = 0; i < 4000; i++) {
+    const double shift = i >= 2000 ? 1.5 : 0.0;
+    const double v = rng.NextGaussian() + shift;
+    if (cusum.AddAndDetect(v) && i >= 2000 && cusum_alarm_at < 0) {
+      cusum_alarm_at = i;
+    }
+    if (ewma.AddAndDetect(v) && i >= 2000 && ewma_alarm_at < 0) {
+      ewma_alarm_at = i;
+    }
+  }
+  ASSERT_GE(cusum_alarm_at, 2000);
+  EXPECT_LT(cusum_alarm_at, 2200);  // Detected within ~200 steps.
+}
+
+TEST(CusumDetectorTest, NoAlarmsOnStationaryData) {
+  CusumDetector cusum(0.5, 10.0, 200);
+  Rng rng(7);
+  int alarms = 0;
+  for (int i = 0; i < 50000; i++) {
+    if (cusum.AddAndDetect(rng.NextGaussian())) alarms++;
+  }
+  EXPECT_LE(alarms, 2);
+}
+
+TEST(AdwinDetectorTest, DetectsMeanShift) {
+  AdwinDetector adwin(0.002);
+  Rng rng(8);
+  bool detected_before = false;
+  int detected_at = -1;
+  for (int i = 0; i < 6000; i++) {
+    const double v = rng.NextGaussian() * 0.5 + (i >= 3000 ? 2.0 : 0.0);
+    const bool change = adwin.AddAndDetect(v);
+    if (change && i < 3000) detected_before = true;
+    if (change && i >= 3000 && detected_at < 0) detected_at = i;
+  }
+  EXPECT_FALSE(detected_before);
+  ASSERT_GT(detected_at, 0);
+  EXPECT_LT(detected_at, 3300);
+  // After shrinking, the window mean should reflect the new level.
+  EXPECT_NEAR(adwin.Mean(), 2.0, 0.3);
+}
+
+TEST(AdwinDetectorTest, WindowGrowsWhileStationary) {
+  AdwinDetector adwin(0.002);
+  Rng rng(9);
+  for (int i = 0; i < 20000; i++) adwin.AddAndDetect(rng.NextGaussian());
+  EXPECT_GT(adwin.WindowLength(), 10000u);
+  // Memory is logarithmic in the window.
+  EXPECT_LT(adwin.NumBuckets(), 200u);
+}
+
+TEST(HalfSpaceTreesTest, OutlierScoresLowerThanInliers) {
+  HalfSpaceTrees hst(25, 8, 250, 2, 10);
+  Rng rng(10);
+  // Train on a tight cluster around (0.5, 0.5).
+  for (int i = 0; i < 2000; i++) {
+    hst.ScoreAndUpdate({0.5 + rng.NextGaussian() * 0.03,
+                        0.5 + rng.NextGaussian() * 0.03});
+  }
+  const double inlier = hst.Score({0.5, 0.5});
+  const double outlier = hst.Score({0.05, 0.95});
+  EXPECT_GT(inlier, outlier * 3.0);
+}
+
+TEST(HstDetectorTest, FlagsSpikesInTimeSeries) {
+  // Ratio 0.6 is the sweet spot on this workload (see bench_t1_anomaly);
+  // the ensemble detector trades precision for generality vs parametric.
+  HstDetector detector(25, 8, 250, 4, 0.6, 11);
+  Score s = Evaluate(&detector, 0.002, 12, 30000);
+  EXPECT_GT(s.recall, 0.8);
+  EXPECT_GT(s.precision, 0.4);
+}
+
+TEST(DetectorPolymorphismTest, AllDetectorsShareTheInterface) {
+  std::vector<std::unique_ptr<AnomalyDetector>> detectors;
+  detectors.push_back(std::make_unique<EwmaDetector>(0.05, 4.0));
+  detectors.push_back(std::make_unique<CusumDetector>(0.5, 8.0));
+  detectors.push_back(std::make_unique<RobustMadDetector>(64, 5.0));
+  detectors.push_back(std::make_unique<AdwinDetector>(0.01));
+  detectors.push_back(std::make_unique<HstDetector>(10, 6, 100, 2, 0.2, 13));
+  Rng rng(14);
+  for (auto& d : detectors) {
+    for (int i = 0; i < 1000; i++) d->AddAndDetect(rng.NextGaussian());
+    EXPECT_NE(d->Name(), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace streamlib

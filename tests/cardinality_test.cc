@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "core/cardinality/hyperloglog.h"
+#include "core/cardinality/kmv_sketch.h"
+#include "core/cardinality/linear_counter.h"
+#include "core/cardinality/loglog.h"
+#include "core/cardinality/sliding_hyperloglog.h"
+#include "core/cardinality/windowed_minhash.h"
+#include "core/cardinality/windowed_rarity.h"
+
+namespace streamlib {
+namespace {
+
+// ------------------------------------------------------------ LinearCounter
+
+TEST(LinearCounterTest, AccurateWhileSparse) {
+  LinearCounter counter(1 << 16);
+  for (uint64_t i = 0; i < 10000; i++) counter.Add(i);
+  EXPECT_NEAR(counter.Estimate(), 10000.0, 300.0);
+}
+
+TEST(LinearCounterTest, DuplicatesDoNotInflate) {
+  LinearCounter counter(1 << 14);
+  for (int rep = 0; rep < 50; rep++) {
+    for (uint64_t i = 0; i < 1000; i++) counter.Add(i);
+  }
+  EXPECT_NEAR(counter.Estimate(), 1000.0, 100.0);
+}
+
+TEST(LinearCounterTest, UnionEstimatesSetUnion) {
+  LinearCounter a(1 << 14);
+  LinearCounter b(1 << 14);
+  for (uint64_t i = 0; i < 2000; i++) a.Add(i);
+  for (uint64_t i = 1000; i < 3000; i++) b.Add(i);
+  ASSERT_TRUE(a.Union(b).ok());
+  EXPECT_NEAR(a.Estimate(), 3000.0, 200.0);
+}
+
+// ------------------------------------------------------------- HyperLogLog
+
+TEST(HyperLogLogTest, SparseModeIsExact) {
+  HyperLogLog hll(12);
+  for (uint64_t i = 0; i < 100; i++) hll.Add(i);
+  EXPECT_TRUE(hll.IsSparse());
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 100.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesIgnoredInSparseMode) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 10; rep++) {
+    for (uint64_t i = 0; i < 50; i++) hll.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 50.0);
+}
+
+TEST(HyperLogLogTest, UpgradesToDense) {
+  HyperLogLog hll(8);  // Sparse limit = 256 * 0.75 / 8 = 24 entries.
+  for (uint64_t i = 0; i < 1000; i++) hll.Add(i);
+  EXPECT_FALSE(hll.IsSparse());
+}
+
+TEST(HyperLogLogTest, ErrorWithinFourSigma) {
+  // p=12 -> stderr ~ 1.04/64 ~ 1.6%.
+  const int kP = 12;
+  for (uint64_t n : {10000u, 100000u, 1000000u}) {
+    HyperLogLog hll(kP);
+    for (uint64_t i = 0; i < n; i++) hll.Add(i * 0x9e3779b97f4a7c15ULL + n);
+    const double rel_err =
+        std::fabs(hll.Estimate() - static_cast<double>(n)) / n;
+    EXPECT_LT(rel_err, 4 * 1.04 / std::sqrt(4096.0)) << "n=" << n;
+  }
+}
+
+TEST(HyperLogLogTest, MergeEqualsUnionStream) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  HyperLogLog both(12);
+  for (uint64_t i = 0; i < 50000; i++) {
+    a.Add(i);
+    both.Add(i);
+  }
+  for (uint64_t i = 25000; i < 75000; i++) {
+    b.Add(i);
+    both.Add(i);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.Estimate(), both.Estimate());
+}
+
+TEST(HyperLogLogTest, MergeSparseIntoDense) {
+  HyperLogLog dense(10);
+  for (uint64_t i = 0; i < 100000; i++) dense.Add(i);
+  HyperLogLog sparse(10);
+  for (uint64_t i = 100000; i < 100050; i++) sparse.Add(i);
+  ASSERT_TRUE(sparse.IsSparse());
+  ASSERT_TRUE(dense.Merge(sparse).ok());
+  EXPECT_NEAR(dense.Estimate(), 100050.0, 100050.0 * 0.15);
+}
+
+TEST(HyperLogLogTest, MergePrecisionMismatchRejected) {
+  HyperLogLog a(10);
+  HyperLogLog b(12);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(HyperLogLogTest, SerializeRoundTrip) {
+  HyperLogLog hll(11);
+  for (uint64_t i = 0; i < 200000; i++) hll.Add(i);
+  auto bytes = hll.Serialize();
+  auto restored = HyperLogLog::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored.value().Estimate(), hll.Estimate());
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> garbage = {99, 1, 2, 3};
+  EXPECT_FALSE(HyperLogLog::Deserialize(garbage).ok());
+  std::vector<uint8_t> truncated = {12, 0, 0};  // p=12 needs 4096 registers.
+  EXPECT_FALSE(HyperLogLog::Deserialize(truncated).ok());
+}
+
+// Precision sweep: relative error should scale as ~1.04/sqrt(2^p).
+class HllPrecisionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllPrecisionSweep, ErrorScalesWithPrecision) {
+  const int p = GetParam();
+  const uint64_t kN = 500000;
+  HyperLogLog hll(p);
+  for (uint64_t i = 0; i < kN; i++) hll.Add(i);
+  const double stderr_bound = 1.04 / std::sqrt(std::pow(2.0, p));
+  const double rel_err = std::fabs(hll.Estimate() - kN) / kN;
+  EXPECT_LT(rel_err, 5 * stderr_bound) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, HllPrecisionSweep,
+                         ::testing::Values(6, 8, 10, 12, 14));
+
+// ----------------------------------------------------------------- LogLog
+
+TEST(LogLogTest, EstimateWithinExpectedError) {
+  LogLogCounter ll(12);
+  const uint64_t kN = 200000;
+  for (uint64_t i = 0; i < kN; i++) ll.Add(i);
+  // stderr ~ 1.30/sqrt(4096) ~ 2%; allow 5 sigma.
+  EXPECT_NEAR(ll.Estimate(), static_cast<double>(kN), kN * 0.10);
+}
+
+TEST(LogLogTest, HyperLogLogBeatsLogLog) {
+  // Run both over many independent streams; HLL's mean relative error
+  // should not exceed LogLog's (the paper's historical progression).
+  double ll_err = 0;
+  double hll_err = 0;
+  const uint64_t kN = 100000;
+  for (int trial = 0; trial < 5; trial++) {
+    LogLogCounter ll(10);
+    HyperLogLog hll(10, /*sparse=*/false);
+    for (uint64_t i = 0; i < kN; i++) {
+      const uint64_t key = i + trial * 10000000ULL;
+      ll.Add(key);
+      hll.Add(key);
+    }
+    ll_err += std::fabs(ll.Estimate() - kN) / kN;
+    hll_err += std::fabs(hll.Estimate() - kN) / kN;
+  }
+  EXPECT_LT(hll_err, ll_err * 1.5);  // HLL at least comparable; usually better.
+}
+
+// -------------------------------------------------------------------- KMV
+
+TEST(KmvSketchTest, ExactBelowK) {
+  KmvSketch kmv(256);
+  for (uint64_t i = 0; i < 100; i++) kmv.Add(i);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 100.0);
+}
+
+TEST(KmvSketchTest, EstimateWithinExpectedError) {
+  KmvSketch kmv(1024);
+  const uint64_t kN = 500000;
+  for (uint64_t i = 0; i < kN; i++) kmv.Add(i);
+  // stderr ~ 1/sqrt(1022) ~ 3.1%; allow 5 sigma.
+  EXPECT_NEAR(kmv.Estimate(), static_cast<double>(kN), kN * 0.16);
+}
+
+TEST(KmvSketchTest, MergeMatchesUnion) {
+  KmvSketch a(512);
+  KmvSketch b(512);
+  KmvSketch u(512);
+  for (uint64_t i = 0; i < 40000; i++) {
+    a.Add(i);
+    u.Add(i);
+  }
+  for (uint64_t i = 20000; i < 60000; i++) {
+    b.Add(i);
+    u.Add(i);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(KmvSketchTest, JaccardEstimate) {
+  // |A| = |B| = 60000, |A ∩ B| = 30000 -> J = 30000/90000 = 1/3.
+  KmvSketch a(2048);
+  KmvSketch b(2048);
+  for (uint64_t i = 0; i < 60000; i++) a.Add(i);
+  for (uint64_t i = 30000; i < 90000; i++) b.Add(i);
+  EXPECT_NEAR(KmvSketch::EstimateJaccard(a, b), 1.0 / 3.0, 0.05);
+  EXPECT_NEAR(KmvSketch::EstimateIntersection(a, b), 30000.0, 6000.0);
+}
+
+TEST(KmvSketchTest, DisjointSetsHaveZeroJaccard) {
+  KmvSketch a(512);
+  KmvSketch b(512);
+  for (uint64_t i = 0; i < 10000; i++) a.Add(i);
+  for (uint64_t i = 20000; i < 30000; i++) b.Add(i);
+  EXPECT_LT(KmvSketch::EstimateJaccard(a, b), 0.01);
+}
+
+// ---------------------------------------------------- SlidingHyperLogLog
+
+TEST(SlidingHyperLogLogTest, WindowRestrictsCount) {
+  SlidingHyperLogLog shll(12, 10000);
+  // 50k arrivals, each a fresh key, one per tick.
+  for (uint64_t t = 0; t < 50000; t++) shll.Add(t, t);
+  // Window of 10000 at t=49999 covers keys 40000..49999 -> ~10000 distinct.
+  const double est = shll.Estimate(49999, 10000);
+  EXPECT_NEAR(est, 10000.0, 10000.0 * 0.10);
+}
+
+TEST(SlidingHyperLogLogTest, SmallerWindowsSmallerCounts) {
+  SlidingHyperLogLog shll(12, 1 << 14);
+  for (uint64_t t = 0; t < 100000; t++) shll.Add(t, t);
+  const double w_full = shll.Estimate(99999, 1 << 14);
+  const double w_half = shll.Estimate(99999, 1 << 13);
+  EXPECT_GT(w_full, w_half * 1.5);
+  EXPECT_NEAR(w_half, static_cast<double>(1 << 13), (1 << 13) * 0.12);
+}
+
+TEST(SlidingHyperLogLogTest, RepeatedKeysNotOvercounted) {
+  SlidingHyperLogLog shll(10, 1000);
+  // 100 distinct keys repeated over 10000 ticks.
+  for (uint64_t t = 0; t < 10000; t++) shll.Add(t % 100, t);
+  EXPECT_NEAR(shll.Estimate(9999, 1000), 100.0, 25.0);
+}
+
+// ------------------------------------------------------- WindowedMinHash
+
+TEST(WindowedMinHashTest, IdenticalWindowsHaveJaccardOne) {
+  WindowedMinHash a(64, 1000);
+  WindowedMinHash b(64, 1000);
+  for (uint64_t t = 0; t < 3000; t++) {
+    const uint64_t key = t % 200;
+    a.Add(key, t);
+    b.Add(key, t);
+  }
+  EXPECT_DOUBLE_EQ(WindowedMinHash::EstimateJaccard(a, b, 2999), 1.0);
+}
+
+TEST(WindowedMinHashTest, DisjointWindowsNearZero) {
+  WindowedMinHash a(128, 1000);
+  WindowedMinHash b(128, 1000);
+  for (uint64_t t = 0; t < 3000; t++) {
+    a.Add(t % 300, t);
+    b.Add(100000 + t % 300, t);
+  }
+  EXPECT_LT(WindowedMinHash::EstimateJaccard(a, b, 2999), 0.05);
+}
+
+TEST(WindowedMinHashTest, PartialOverlapEstimated) {
+  // Stream A sees keys {0..299}, stream B sees {150..449}: J = 150/450 = 1/3.
+  WindowedMinHash a(512, 10000);
+  WindowedMinHash b(512, 10000);
+  for (uint64_t t = 0; t < 30000; t++) {
+    a.Add(t % 300, t);
+    b.Add(150 + (t % 300), t);
+  }
+  EXPECT_NEAR(WindowedMinHash::EstimateJaccard(a, b, 29999), 1.0 / 3.0,
+              0.08);
+}
+
+TEST(WindowedMinHashTest, WindowForgetsOldKeys) {
+  // Both streams shared keys long ago; currently disjoint.
+  WindowedMinHash a(128, 500);
+  WindowedMinHash b(128, 500);
+  for (uint64_t t = 0; t < 1000; t++) {
+    a.Add(t % 100, t);
+    b.Add(t % 100, t);  // Identical phase.
+  }
+  for (uint64_t t = 1000; t < 3000; t++) {
+    a.Add(t % 100, t);
+    b.Add(50000 + t % 100, t);  // Disjoint phase, >> window long.
+  }
+  EXPECT_LT(WindowedMinHash::EstimateJaccard(a, b, 2999), 0.05);
+}
+
+// -------------------------------------------------------- WindowedRarity
+
+TEST(WindowedRarityTest, AllSingletonsRarityOne) {
+  WindowedRarity rarity(64, 1000);
+  for (uint64_t t = 0; t < 3000; t++) rarity.Add(t, t);  // All distinct.
+  EXPECT_DOUBLE_EQ(rarity.EstimateRarity(1, 2999), 1.0);
+  EXPECT_DOUBLE_EQ(rarity.EstimateRarity(2, 2999), 0.0);
+}
+
+TEST(WindowedRarityTest, AllDoubletonsRarityAtAlphaTwo) {
+  WindowedRarity rarity(64, 1000);
+  // Each key appears exactly twice within every window of 1000.
+  for (uint64_t t = 0; t < 4000; t++) rarity.Add(t / 2, t);
+  EXPECT_DOUBLE_EQ(rarity.EstimateRarity(2, 3999), 1.0);
+  EXPECT_DOUBLE_EQ(rarity.EstimateRarity(1, 3999), 0.0);
+}
+
+TEST(WindowedRarityTest, MixedRarityEstimated) {
+  // Each 800-arrival block interleaves 400 singleton keys with 200 keys
+  // appearing twice: 600 distinct per block, of which 2/3 are singletons.
+  WindowedRarity rarity(512, 1200);
+  uint64_t t = 0;
+  for (int block = 0; block < 10; block++) {
+    for (int i = 0; i < 400; i++) {
+      // Singleton for this cycle.
+      rarity.Add(1000000ull + static_cast<uint64_t>(block) * 1000 + i, t++);
+      // Repeated key: appears in this block twice.
+      const uint64_t repeated =
+          2000000ull + static_cast<uint64_t>(block) * 1000 + i / 2;
+      rarity.Add(repeated, t++);
+    }
+  }
+  EXPECT_NEAR(rarity.EstimateRarity(1, t - 1), 2.0 / 3.0, 0.10);
+  EXPECT_NEAR(rarity.EstimateRarity(2, t - 1), 1.0 / 3.0, 0.10);
+}
+
+TEST(WindowedRarityTest, WindowForgetsOldMultiplicity) {
+  // Keys repeat heavily early, then appear once each: recent window is all
+  // singletons even though history was not.
+  WindowedRarity rarity(64, 500);
+  uint64_t t = 0;
+  for (int rep = 0; rep < 10; rep++) {
+    for (uint64_t k = 0; k < 100; k++) rarity.Add(k, t++);
+  }
+  for (uint64_t k = 1000; k < 1600; k++) rarity.Add(k, t++);
+  EXPECT_DOUBLE_EQ(rarity.EstimateRarity(1, t - 1), 1.0);
+}
+
+TEST(WindowedMinHashTest, MemoryIsLogarithmicInWindow) {
+  WindowedMinHash mh(64, 1 << 16);
+  for (uint64_t t = 0; t < (1 << 18); t++) mh.Add(t, t);  // All distinct.
+  // Expected O(log W) per function ~ 16; allow headroom.
+  EXPECT_LT(mh.TotalEntries(), 64u * 40u);
+}
+
+TEST(SlidingHyperLogLogTest, MemoryStaysBounded) {
+  SlidingHyperLogLog shll(10, 1 << 12);
+  for (uint64_t t = 0; t < 200000; t++) shll.Add(t, t);
+  // LFPM theory: expected entries per register is O(log window).
+  EXPECT_LT(shll.TotalEntries(), (size_t{1} << 10) * 24);
+}
+
+}  // namespace
+}  // namespace streamlib

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/clustering/kmeans_util.h"
+#include "core/clustering/micro_clusters.h"
+#include "core/clustering/online_kmeans.h"
+#include "core/clustering/stream_kmedian.h"
+
+namespace streamlib {
+namespace {
+
+// Gaussian mixture generator with known centers.
+std::vector<Point> MixtureStream(const std::vector<Point>& centers,
+                                 double sigma, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    const Point& c = centers[rng.NextBounded(centers.size())];
+    Point p(c.size());
+    for (size_t j = 0; j < c.size(); j++) {
+      p[j] = c[j] + sigma * rng.NextGaussian();
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// Distance from each true center to the nearest found center.
+double MaxCenterError(const std::vector<Point>& truth,
+                      const std::vector<WeightedPoint>& found) {
+  double worst = 0.0;
+  for (const Point& t : truth) {
+    double best = 1e300;
+    for (const auto& f : found) {
+      best = std::min(best, std::sqrt(SquaredDistance(t, f.point)));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+const std::vector<Point> kCenters = {
+    {0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0, 10.0}};
+
+TEST(WeightedKMeansTest, RecoversWellSeparatedCenters) {
+  auto data = MixtureStream(kCenters, 0.5, 4000, 1);
+  std::vector<WeightedPoint> weighted;
+  for (auto& p : data) weighted.push_back(WeightedPoint{p, 1.0});
+  Rng rng(2);
+  auto centers = WeightedKMeans(weighted, 4, 20, &rng);
+  EXPECT_LT(MaxCenterError(kCenters, centers), 0.5);
+}
+
+TEST(WeightedKMeansTest, RespectsWeights) {
+  // Two locations; one carries 100x the weight. k=1 center must sit near it.
+  std::vector<WeightedPoint> points = {
+      {{0.0, 0.0}, 100.0},
+      {{10.0, 10.0}, 1.0},
+  };
+  Rng rng(3);
+  auto centers = WeightedKMeans(points, 1, 10, &rng);
+  ASSERT_EQ(centers.size(), 1u);
+  EXPECT_LT(centers[0].point[0], 0.5);
+}
+
+TEST(OnlineKMeansTest, CentersConvergeToMixture) {
+  OnlineKMeans km(4, 2, 4);
+  auto data = MixtureStream(kCenters, 0.5, 20000, 5);
+  for (const auto& p : data) km.Add(p);
+  std::vector<WeightedPoint> found;
+  for (size_t c = 0; c < km.centers().size(); c++) {
+    found.push_back(WeightedPoint{
+        km.centers()[c], static_cast<double>(km.counts()[c])});
+  }
+  // MacQueen's online k-means seeds from the first k points and can fold
+  // two mixture components when the seeds collide — a known limitation the
+  // clustering bench quantifies against CluStream/STREAM. Assert the
+  // weaker property: most centers land on true components.
+  int recovered = 0;
+  for (const Point& t : kCenters) {
+    for (const auto& f : found) {
+      if (std::sqrt(SquaredDistance(t, f.point)) < 1.5) {
+        recovered++;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(recovered, 3);
+}
+
+TEST(OnlineKMeansTest, ClassifyIsNearestCenter) {
+  OnlineKMeans km(2, 1, 6);
+  for (int i = 0; i < 500; i++) {
+    km.Add({0.0});
+    km.Add({100.0});
+  }
+  EXPECT_EQ(km.Classify({1.0}), km.Classify({-1.0}));
+  EXPECT_NE(km.Classify({1.0}), km.Classify({99.0}));
+}
+
+TEST(CluStreamTest, MicroClustersStayWithinBudget) {
+  CluStream cs(50, 2, 2.0, 7);
+  auto data = MixtureStream(kCenters, 0.5, 10000, 8);
+  for (size_t i = 0; i < data.size(); i++) {
+    cs.Add(data[i], static_cast<double>(i));
+  }
+  EXPECT_LE(cs.micro_clusters().size(), 50u);
+  EXPECT_EQ(cs.count(), 10000u);
+}
+
+TEST(CluStreamTest, MacroClustersRecoverMixture) {
+  CluStream cs(60, 2, 2.0, 9);
+  auto data = MixtureStream(kCenters, 0.4, 20000, 10);
+  for (size_t i = 0; i < data.size(); i++) {
+    cs.Add(data[i], static_cast<double>(i));
+  }
+  auto macro = cs.MacroClusters(4);
+  EXPECT_LT(MaxCenterError(kCenters, macro), 1.0);
+}
+
+TEST(CluStreamTest, CfVectorAdditivity) {
+  MicroCluster a;
+  MicroCluster b;
+  MicroCluster whole;
+  Rng rng(11);
+  for (int i = 0; i < 100; i++) {
+    Point p = {rng.NextGaussian(), rng.NextGaussian()};
+    (i % 2 == 0 ? a : b).Absorb(p, i);
+    whole.Absorb(p, i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.n, whole.n);
+  EXPECT_NEAR(a.Centroid()[0], whole.Centroid()[0], 1e-9);
+  EXPECT_NEAR(a.Radius(), whole.Radius(), 1e-9);
+  EXPECT_NEAR(a.MeanTimestamp(), whole.MeanTimestamp(), 1e-9);
+}
+
+TEST(CluStreamTest, HorizonQueryIgnoresAncientClusters) {
+  // Phase 1 (t in [0, 20k)): clusters around kCenters.
+  // Phase 2 (t in [20k, 40k)): clusters shifted by +40.
+  // A horizon covering only phase 2 must place all k centers near the
+  // shifted mixture; the full-history query averages both phases.
+  std::vector<Point> shifted;
+  for (const Point& c : kCenters) shifted.push_back({c[0] + 40, c[1] + 40});
+  CluStream cs(80, 2, 2.0, 31);
+  auto phase1 = MixtureStream(kCenters, 0.5, 20000, 32);
+  auto phase2 = MixtureStream(shifted, 0.5, 20000, 33);
+  double t = 0;
+  for (const auto& p : phase1) cs.Add(p, t++);
+  for (const auto& p : phase2) cs.Add(p, t++);
+
+  auto recent = cs.MacroClustersOverHorizon(4, 15000.0);
+  EXPECT_LT(MaxCenterError(shifted, recent), 3.0);
+  // Every recent center is far from the phase-1 region.
+  for (const auto& c : recent) {
+    EXPECT_GT(c.point[0] + c.point[1], 40.0);
+  }
+  // Pyramidal storage holds O(log T) snapshots, not one per tick.
+  EXPECT_LT(cs.SnapshotCount(), 64u);
+}
+
+TEST(CluStreamTest, HorizonBeyondHistoryFallsBackToFullState) {
+  CluStream cs(40, 2, 2.0, 35);
+  auto data = MixtureStream(kCenters, 0.5, 5000, 36);
+  double t = 0;
+  for (const auto& p : data) cs.Add(p, t++);
+  auto all = cs.MacroClustersOverHorizon(4, 1e9);
+  EXPECT_LT(MaxCenterError(kCenters, all), 1.5);
+}
+
+TEST(MicroClusterTest, SubtractInvertsMerge) {
+  MicroCluster a;
+  MicroCluster b;
+  Rng rng(37);
+  for (int i = 0; i < 50; i++) {
+    a.Absorb({rng.NextGaussian(), rng.NextGaussian()}, i);
+  }
+  for (int i = 0; i < 30; i++) {
+    b.Absorb({5 + rng.NextGaussian(), rng.NextGaussian()}, 50 + i);
+  }
+  MicroCluster merged = a;
+  merged.Merge(b);
+  merged.Subtract(a);
+  EXPECT_EQ(merged.n, b.n);
+  EXPECT_NEAR(merged.Centroid()[0], b.Centroid()[0], 1e-9);
+  EXPECT_NEAR(merged.Radius(), b.Radius(), 1e-9);
+}
+
+TEST(StreamKMedianTest, MemoryStaysBounded) {
+  StreamKMedian skm(4, 200, 12);
+  auto data = MixtureStream(kCenters, 0.5, 50000, 13);
+  for (const auto& p : data) skm.Add(p);
+  // Retained points must be far below the stream size (coreset hierarchy).
+  EXPECT_LT(skm.RetainedPoints(), 1000u);
+}
+
+TEST(StreamKMedianTest, SseCloseToBatchKMeans) {
+  auto data = MixtureStream(kCenters, 0.8, 20000, 14);
+  std::vector<WeightedPoint> weighted;
+  for (auto& p : data) weighted.push_back(WeightedPoint{p, 1.0});
+
+  StreamKMedian skm(4, 400, 15);
+  for (const auto& p : data) skm.Add(p);
+  auto stream_centers = skm.Centers();
+
+  Rng rng(16);
+  auto batch_centers = WeightedKMeans(weighted, 4, 25, &rng);
+
+  const double stream_sse = WeightedSse(weighted, stream_centers);
+  const double batch_sse = WeightedSse(weighted, batch_centers);
+  // STREAM guarantees constant-factor; on easy mixtures it is near-optimal.
+  EXPECT_LT(stream_sse, batch_sse * 2.0);
+}
+
+TEST(StreamKMedianTest, RecoversCenters) {
+  StreamKMedian skm(4, 300, 17);
+  auto data = MixtureStream(kCenters, 0.4, 30000, 18);
+  for (const auto& p : data) skm.Add(p);
+  EXPECT_LT(MaxCenterError(kCenters, skm.Centers()), 1.0);
+}
+
+// K sweep: all clusterers should handle various k without violating budgets.
+class ClusteringKSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ClusteringKSweep, BudgetsRespected) {
+  const size_t k = GetParam();
+  OnlineKMeans km(k, 2, 19);
+  StreamKMedian skm(k, std::max<size_t>(2 * k, 64), 20);
+  auto data = MixtureStream(kCenters, 1.0, 5000, 21);
+  for (const auto& p : data) {
+    km.Add(p);
+    skm.Add(p);
+  }
+  EXPECT_LE(km.centers().size(), k);
+  auto centers = skm.Centers();
+  EXPECT_LE(centers.size(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ClusteringKSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace streamlib

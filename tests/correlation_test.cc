@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/correlation/dft_sketch.h"
+#include "core/correlation/pattern_matcher.h"
+#include "core/correlation/streaming_correlation.h"
+
+namespace streamlib {
+namespace {
+
+TEST(WindowedCorrelationTest, PerfectlyCorrelatedStreams) {
+  WindowedCorrelation wc(100);
+  for (int i = 0; i < 1000; i++) {
+    wc.Add(static_cast<double>(i % 37), static_cast<double>(i % 37) * 2.0 + 5.0);
+  }
+  EXPECT_NEAR(wc.Correlation(), 1.0, 1e-9);
+}
+
+TEST(WindowedCorrelationTest, AntiCorrelatedStreams) {
+  WindowedCorrelation wc(100);
+  for (int i = 0; i < 1000; i++) {
+    const double x = static_cast<double>(i % 23);
+    wc.Add(x, -3.0 * x);
+  }
+  EXPECT_NEAR(wc.Correlation(), -1.0, 1e-9);
+}
+
+TEST(WindowedCorrelationTest, IndependentStreamsNearZero) {
+  WindowedCorrelation wc(5000);
+  Rng rng(1);
+  for (int i = 0; i < 10000; i++) {
+    wc.Add(rng.NextGaussian(), rng.NextGaussian());
+  }
+  EXPECT_NEAR(wc.Correlation(), 0.0, 0.05);
+}
+
+TEST(WindowedCorrelationTest, WindowForgetsOldRegime) {
+  WindowedCorrelation wc(200);
+  Rng rng(2);
+  // Phase 1: correlated. Phase 2: anti-correlated for >> window length.
+  for (int i = 0; i < 1000; i++) {
+    const double x = rng.NextGaussian();
+    wc.Add(x, x + 0.1 * rng.NextGaussian());
+  }
+  EXPECT_GT(wc.Correlation(), 0.9);
+  for (int i = 0; i < 1000; i++) {
+    const double x = rng.NextGaussian();
+    wc.Add(x, -x + 0.1 * rng.NextGaussian());
+  }
+  EXPECT_LT(wc.Correlation(), -0.9);
+}
+
+TEST(WindowedCorrelationTest, MatchesBatchPearson) {
+  WindowedCorrelation wc(256);
+  Rng rng(3);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 1000; i++) {
+    const double x = rng.NextGaussian();
+    const double y = 0.6 * x + 0.8 * rng.NextGaussian();
+    wc.Add(x, y);
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  // Batch Pearson over the last 256 points.
+  const size_t start = xs.size() - 256;
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double syy = 0;
+  double sxy = 0;
+  for (size_t i = start; i < xs.size(); i++) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    syy += ys[i] * ys[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double n = 256.0;
+  const double batch =
+      (sxy - sx * sy / n) /
+      std::sqrt((sxx - sx * sx / n) * (syy - sy * sy / n));
+  EXPECT_NEAR(wc.Correlation(), batch, 1e-9);
+}
+
+TEST(CrossCorrelatorTest, FindsTrueLag) {
+  // y leads x by 7 steps: x(t) = base(t), y(t) = base(t + 7) means x
+  // correlates best with y delayed by 7.
+  const size_t kLag = 7;
+  CrossCorrelator cc(512, 20);
+  Rng rng(4);
+  std::vector<double> base;
+  for (int i = 0; i < 5000 + 50; i++) base.push_back(rng.NextGaussian());
+  for (size_t t = kLag; t < 5000; t++) {
+    const double x = base[t - kLag];  // x is the delayed copy.
+    const double y = base[t];
+    cc.Add(x, y);
+  }
+  EXPECT_EQ(cc.BestLag(), kLag);
+  EXPECT_GT(cc.CorrelationAtLag(kLag), 0.95);
+  EXPECT_LT(cc.CorrelationAtLag(0), 0.3);
+}
+
+TEST(CorrelationMatrixTest, DetectsCorrelatedPairAmongNoise) {
+  CorrelationMatrix cm(10, 512);
+  Rng rng(5);
+  for (int t = 0; t < 3000; t++) {
+    std::vector<double> v(10);
+    for (auto& x : v) x = rng.NextGaussian();
+    v[7] = v[2] * 0.9 + 0.3 * rng.NextGaussian();  // Plant a pair (2, 7).
+    cm.Add(v);
+  }
+  auto pairs = cm.CorrelatedPairs(0.7);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 2u);
+  EXPECT_EQ(pairs[0].second, 7u);
+  EXPECT_GT(cm.Correlation(2, 7), 0.8);
+}
+
+TEST(PatternMatcherTest, FindsPlantedPattern) {
+  // Template: one period of a sine. Plant it twice in a noise stream.
+  std::vector<double> pattern;
+  for (int i = 0; i < 32; i++) {
+    pattern.push_back(std::sin(2.0 * 3.14159265 * i / 32.0));
+  }
+  PatternMatcher matcher(pattern, 0.35);
+  Rng rng(6);
+  auto feed_noise = [&](int n) {
+    for (int i = 0; i < n; i++) matcher.AddAndMatch(rng.NextGaussian() * 0.3);
+  };
+  auto feed_pattern = [&](double scale, double offset) {
+    for (double p : pattern) {
+      matcher.AddAndMatch(offset + scale * p + rng.NextGaussian() * 0.02);
+    }
+  };
+  feed_noise(500);
+  feed_pattern(5.0, 100.0);  // Scaled and offset: z-norm must still match.
+  feed_noise(500);
+  feed_pattern(0.5, -20.0);
+  feed_noise(200);
+  ASSERT_GE(matcher.matches().size(), 2u);
+  // First match should end right after the first planted pattern.
+  EXPECT_NEAR(static_cast<double>(matcher.matches()[0].end_position), 532.0,
+              3.0);
+}
+
+// ------------------------------------------------------------ DFT sketch
+
+// Smooth signal generator: low-frequency sine mixture.
+double Smooth(int t) {
+  return std::sin(t * 0.05) + 0.6 * std::sin(t * 0.11 + 1.0) +
+         0.3 * std::sin(t * 0.023);
+}
+
+TEST(DftCorrelationSketchTest, TracksExactCorrelationOnSmoothSeries) {
+  const size_t kW = 256;
+  DftCorrelationSketch a(kW, 12);
+  DftCorrelationSketch b(kW, 12);
+  WindowedCorrelation exact(kW);
+  Rng rng(31);
+  double max_err = 0;
+  for (int t = 0; t < 5000; t++) {
+    const double base = Smooth(t);
+    const double x = base + 0.2 * rng.NextGaussian();
+    const double y = 0.8 * base + 0.3 * rng.NextGaussian();
+    a.Add(x);
+    b.Add(y);
+    exact.Add(x, y);
+    if (t > static_cast<int>(kW) && t % 41 == 0) {
+      max_err = std::max(
+          max_err, std::fabs(DftCorrelationSketch::ApproxCorrelation(a, b) -
+                             exact.Correlation()));
+    }
+  }
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST(DftCorrelationSketchTest, AccuracyImprovesWithCoefficients) {
+  const size_t kW = 256;
+  double errs[2] = {0, 0};
+  const size_t ms[2] = {4, 32};
+  for (int which = 0; which < 2; which++) {
+    DftCorrelationSketch a(kW, ms[which]);
+    DftCorrelationSketch b(kW, ms[which]);
+    WindowedCorrelation exact(kW);
+    Rng rng(33);
+    for (int t = 0; t < 4000; t++) {
+      const double x = Smooth(t) + 0.2 * rng.NextGaussian();
+      const double y = 0.7 * Smooth(t) + 0.3 * rng.NextGaussian();
+      a.Add(x);
+      b.Add(y);
+      exact.Add(x, y);
+      if (t > static_cast<int>(kW) && t % 53 == 0) {
+        errs[which] = std::max(
+            errs[which],
+            std::fabs(DftCorrelationSketch::ApproxCorrelation(a, b) -
+                      exact.Correlation()));
+      }
+    }
+  }
+  EXPECT_LT(errs[1], errs[0]);
+}
+
+TEST(DftCorrelationSketchTest, UncorrelatedSmoothSeriesNearZero) {
+  const size_t kW = 512;
+  DftCorrelationSketch a(kW, 16);
+  DftCorrelationSketch b(kW, 16);
+  for (int t = 0; t < 4000; t++) {
+    a.Add(std::sin(t * 0.05));
+    b.Add(std::sin(t * 0.19 + 0.7));  // Different frequency: orthogonal.
+  }
+  EXPECT_NEAR(DftCorrelationSketch::ApproxCorrelation(a, b), 0.0, 0.05);
+}
+
+TEST(DftCorrelationSketchTest, SynopsisFarSmallerThanWindow) {
+  DftCorrelationSketch sketch(4096, 16);
+  for (int t = 0; t < 5000; t++) sketch.Add(Smooth(t));
+  // Pair comparison touches 34 doubles instead of 4096.
+  EXPECT_EQ(sketch.ComparisonDoubles(), 34u);
+}
+
+TEST(PatternMatcherTest, NoMatchesInPureNoise) {
+  std::vector<double> pattern;
+  for (int i = 0; i < 32; i++) {
+    pattern.push_back(std::sin(2.0 * 3.14159265 * i / 32.0));
+  }
+  PatternMatcher matcher(pattern, 0.2);
+  Rng rng(7);
+  for (int i = 0; i < 20000; i++) matcher.AddAndMatch(rng.NextGaussian());
+  EXPECT_LT(matcher.matches().size(), 5u);
+}
+
+}  // namespace
+}  // namespace streamlib

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/anomaly/kl_change_detector.h"
+#include "core/frequency/decayed_counter.h"
+#include "core/ml/online_classifiers.h"
+#include "core/sampling/distributed_sampler.h"
+#include "platform/event_time.h"
+
+namespace streamlib {
+namespace {
+
+// -------------------------------------------------------- KlChangeDetector
+
+TEST(KlChangeDetectorTest, QuietOnStationaryData) {
+  KlChangeDetector detector(500, 20, 0.001, 1);
+  Rng rng(2);
+  int alarms = 0;
+  for (int i = 0; i < 50000; i++) {
+    if (detector.AddAndDetect(rng.NextGaussian())) alarms++;
+  }
+  EXPECT_LE(alarms, 3);
+}
+
+TEST(KlChangeDetectorTest, DetectsVarianceChangeMeanDetectorsMiss) {
+  // Variance doubles mid-stream with the mean unchanged: CUSUM-class
+  // detectors see nothing; the KL detector must fire.
+  KlChangeDetector kl(500, 20, 0.001, 3);
+  Rng rng(4);
+  int detected_at = -1;
+  for (int i = 0; i < 20000; i++) {
+    const double sigma = i >= 10000 ? 3.0 : 1.0;
+    if (kl.AddAndDetect(sigma * rng.NextGaussian()) && i >= 10000 &&
+        detected_at < 0) {
+      detected_at = i;
+    }
+  }
+  ASSERT_GT(detected_at, 0);
+  EXPECT_LT(detected_at, 11500);  // Within ~1.5 windows of the change.
+}
+
+TEST(KlChangeDetectorTest, DetectsBimodalSplit) {
+  // Unimodal -> bimodal with identical mean and variance direction.
+  KlChangeDetector kl(400, 24, 0.001, 5);
+  Rng rng(6);
+  bool detected = false;
+  for (int i = 0; i < 16000; i++) {
+    double v;
+    if (i < 8000) {
+      v = rng.NextGaussian();
+    } else {
+      v = (rng.NextBool(0.5) ? 3.0 : -3.0) + 0.3 * rng.NextGaussian();
+    }
+    if (kl.AddAndDetect(v) && i >= 8000) detected = true;
+  }
+  EXPECT_TRUE(detected);
+}
+
+// ---------------------------------------------------------- DecayedCounter
+
+TEST(DecayedCounterTest, CountsDecayWithHalfLife) {
+  DecayedCounter<int> counter(100.0);
+  counter.Add(1, 0.0, 8.0);
+  EXPECT_NEAR(counter.Estimate(1, 0.0), 8.0, 1e-9);
+  EXPECT_NEAR(counter.Estimate(1, 100.0), 4.0, 1e-9);
+  EXPECT_NEAR(counter.Estimate(1, 300.0), 1.0, 1e-9);
+}
+
+TEST(DecayedCounterTest, RecentBeatsBiggerButOlder) {
+  DecayedCounter<int> counter(50.0);
+  for (int i = 0; i < 100; i++) counter.Add(1, 0.0);   // Old: 100 hits.
+  for (int i = 0; i < 20; i++) counter.Add(2, 200.0);  // Fresh: 20 hits.
+  // At t=200, key 1 decayed to 100 * 2^-4 = 6.25 < 20.
+  auto trending = counter.Trending(200.0, 1.0);
+  ASSERT_GE(trending.size(), 2u);
+  EXPECT_EQ(trending[0].first, 2);
+  EXPECT_EQ(trending[1].first, 1);
+}
+
+TEST(DecayedCounterTest, StaleKeysEvaporate) {
+  DecayedCounter<int> counter(10.0);
+  for (int k = 0; k < 1000; k++) counter.Add(k, 0.0);
+  EXPECT_EQ(counter.size(), 1000u);
+  counter.Add(9999, 1000.0);  // Far future.
+  counter.Trending(1000.0, 0.5);  // Prunes decayed entries.
+  EXPECT_LE(counter.size(), 2u);
+}
+
+TEST(DecayedCounterTest, RenormalizationKeepsPrecision) {
+  DecayedCounter<int> counter(1.0);  // Aggressive: 2^t scaling explodes.
+  for (int t = 0; t < 1000; t++) {
+    counter.Add(1, static_cast<double>(t));
+  }
+  // Steady state of sum_{j>=0} 2^-j = 2 at the last insert (t=999); one
+  // half-life later it reads ~1.
+  EXPECT_NEAR(counter.Estimate(1, 999.0), 2.0, 0.1);
+  EXPECT_NEAR(counter.Estimate(1, 1000.0), 1.0, 0.05);
+}
+
+// ----------------------------------------------------- Online classifiers
+
+// Linearly separable-ish stream: label = (2x0 - x1 + 0.5 > 0) with noise.
+std::pair<std::vector<double>, bool> MakeExample(Rng* rng) {
+  std::vector<double> x = {rng->NextGaussian(), rng->NextGaussian()};
+  const double margin = 2.0 * x[0] - x[1] + 0.5;
+  const bool label = margin + 0.3 * rng->NextGaussian() > 0;
+  return {x, label};
+}
+
+TEST(OnlineLogisticRegressionTest, LearnsLinearBoundary) {
+  OnlineLogisticRegression model(2, 0.1);
+  PrequentialEvaluator eval(1000);
+  Rng rng(7);
+  for (int i = 0; i < 20000; i++) {
+    auto [x, y] = MakeExample(&rng);
+    eval.Record(model.Predict(x), y);
+    model.Update(x, y);
+  }
+  EXPECT_GT(eval.WindowAccuracy(), 0.9);
+}
+
+TEST(OnlineLogisticRegressionTest, ProbabilitiesAreCalibratedDirection) {
+  OnlineLogisticRegression model(2, 0.1);
+  Rng rng(8);
+  for (int i = 0; i < 20000; i++) {
+    auto [x, y] = MakeExample(&rng);
+    model.Update(x, y);
+  }
+  // A deep-positive point scores near 1, deep-negative near 0.
+  EXPECT_GT(model.PredictProbability({3.0, -3.0}), 0.95);
+  EXPECT_LT(model.PredictProbability({-3.0, 3.0}), 0.05);
+}
+
+TEST(OnlinePerceptronTest, MistakesFlattenOnSeparableData) {
+  // The classic mistake bound (R/gamma)^2 needs a margin: reject examples
+  // too close to the boundary (a gaussian stream otherwise produces points
+  // with vanishing margin and the bound diverges).
+  OnlinePerceptron model(2);
+  Rng rng(9);
+  uint64_t mistakes_first_half = 0;
+  int i = 0;
+  while (i < 20000) {
+    std::vector<double> x = {rng.NextGaussian(), rng.NextGaussian()};
+    const double margin = 2.0 * x[0] - x[1] + 0.5;
+    if (std::fabs(margin) < 0.5) continue;
+    model.Update(x, margin > 0);
+    if (i == 9999) mistakes_first_half = model.mistakes();
+    i++;
+  }
+  const uint64_t mistakes_second_half =
+      model.mistakes() - mistakes_first_half;
+  EXPECT_LT(mistakes_second_half, mistakes_first_half / 2 + 10);
+}
+
+TEST(StreamingNaiveBayesTest, LearnsGaussianClasses) {
+  StreamingNaiveBayes model(2);
+  PrequentialEvaluator eval(1000);
+  Rng rng(10);
+  for (int i = 0; i < 20000; i++) {
+    const bool y = rng.NextBool(0.5);
+    std::vector<double> x = {
+        (y ? 2.0 : -2.0) + rng.NextGaussian(),
+        (y ? -1.0 : 1.0) + rng.NextGaussian(),
+    };
+    eval.Record(model.Predict(x), y);
+    model.Update(x, y);
+  }
+  EXPECT_GT(eval.WindowAccuracy(), 0.95);
+}
+
+TEST(StreamingNaiveBayesTest, HandlesMissingFeatures) {
+  StreamingNaiveBayes model(3);
+  Rng rng(11);
+  PrequentialEvaluator eval(1000);
+  const double kNan = std::nan("");
+  for (int i = 0; i < 20000; i++) {
+    const bool y = rng.NextBool(0.5);
+    std::vector<double> x = {(y ? 2.0 : -2.0) + rng.NextGaussian(),
+                             (y ? -2.0 : 2.0) + rng.NextGaussian(),
+                             rng.NextGaussian()};
+    if (rng.NextBool(0.3)) x[rng.NextBounded(3)] = kNan;  // Drop a feature.
+    eval.Record(model.Predict(x), y);
+    model.Update(x, y);
+  }
+  EXPECT_GT(eval.WindowAccuracy(), 0.9);
+}
+
+TEST(PrequentialEvaluatorTest, WindowTracksDriftRecovery) {
+  PrequentialEvaluator eval(100);
+  // 500 correct, then 500 wrong: overall ~50%, window ~0%.
+  for (int i = 0; i < 500; i++) eval.Record(true, true);
+  for (int i = 0; i < 500; i++) eval.Record(true, false);
+  EXPECT_NEAR(eval.OverallAccuracy(), 0.5, 0.01);
+  EXPECT_NEAR(eval.WindowAccuracy(), 0.0, 0.01);
+}
+
+// ------------------------------------------------------ EventTimeWindower
+
+TEST(WatermarkTrackerTest, WatermarkTrailsMaxEventTime) {
+  platform::WatermarkTracker tracker(10);
+  tracker.Observe(100);
+  EXPECT_EQ(tracker.Watermark(), 90);
+  tracker.Observe(50);  // Out of order but above watermark: not late.
+  EXPECT_EQ(tracker.Watermark(), 90);
+  EXPECT_TRUE(tracker.Observe(80));   // Below watermark: late.
+  EXPECT_FALSE(tracker.Observe(95));  // In order-ish: fine.
+}
+
+TEST(EventTimeWindowerTest, WindowsFireWhenWatermarkPasses) {
+  platform::EventTimeWindower<int> windower(10, 5);
+  EXPECT_TRUE(windower.Add(1, 100).empty());
+  EXPECT_TRUE(windower.Add(5, 101).empty());
+  EXPECT_TRUE(windower.Add(12, 102).empty());
+  // Watermark = 12 - 5 = 7: window [0,10) not yet closed.
+  auto fired = windower.Add(16, 103);
+  // Watermark = 11 >= 10: window [0,10) fires with the two early values.
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].start, 0);
+  EXPECT_EQ(fired[0].end, 10);
+  EXPECT_EQ(fired[0].values.size(), 2u);
+}
+
+TEST(EventTimeWindowerTest, OutOfOrderWithinLatenessIsCaptured) {
+  platform::EventTimeWindower<int> windower(10, 8);
+  windower.Add(11, 1);
+  // Event time 4 is older than max (11) but above watermark (3): captured
+  // into its own window despite arriving after window [10, 20) opened.
+  auto fired = windower.Add(4, 2);
+  EXPECT_EQ(windower.late_drops(), 0u);
+  fired = windower.Add(25, 3);  // Watermark 17: fires [0,10) only.
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].values.size(), 1u);  // The out-of-order event.
+  fired = windower.Add(29, 4);  // Watermark 21: fires [10,20).
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].start, 10);
+  EXPECT_EQ(fired[0].values.size(), 1u);
+}
+
+TEST(EventTimeWindowerTest, TooLateEventsDropAndCount) {
+  platform::EventTimeWindower<int> windower(10, 2);
+  windower.Add(100, 1);
+  windower.Add(50, 2);  // Watermark 98: way late.
+  EXPECT_EQ(windower.late_drops(), 1u);
+}
+
+TEST(EventTimeWindowerTest, FlushDrainsEverything) {
+  platform::EventTimeWindower<int> windower(10, 100);
+  for (int t = 0; t < 55; t += 5) windower.Add(t, t);
+  auto fired = windower.Flush();
+  EXPECT_EQ(fired.size(), 6u);  // Windows [0,10) .. [50,60).
+  EXPECT_EQ(windower.pending_windows(), 0u);
+}
+
+// ---------------------------------------------------- DistributedSampler
+
+TEST(DistributedSamplerTest, SampleIsUniformAcrossSites) {
+  // Site 0 sends 10x more than the others; inclusion must follow item
+  // volume, not site count. Items are tagged with their origin site.
+  const int kTrials = 300;
+  uint64_t from_site0 = 0;
+  uint64_t total = 0;
+  for (int trial = 0; trial < kTrials; trial++) {
+    DistributedSampler<uint32_t> sampler(4, 64, 100 + trial);
+    for (int i = 0; i < 4000; i++) sampler.AddAtSite(0, 0);
+    for (uint32_t s = 1; s < 4; s++) {
+      for (int i = 0; i < 400; i++) sampler.AddAtSite(s, s);
+    }
+    for (uint32_t item : sampler.Sample()) {
+      total++;
+      if (item == 0) from_site0++;
+    }
+  }
+  // Site 0 holds 4000/5200 ~ 77% of the union.
+  EXPECT_NEAR(static_cast<double>(from_site0) / total, 4000.0 / 5200.0,
+              0.05);
+}
+
+TEST(DistributedSamplerTest, CommunicationFarBelowNaive) {
+  DistributedSampler<uint64_t> sampler(8, 128, 12);
+  const uint64_t kItems = 400000;
+  Rng rng(13);
+  for (uint64_t i = 0; i < kItems; i++) {
+    sampler.AddAtSite(static_cast<uint32_t>(rng.NextBounded(8)), i);
+  }
+  // Naive forwarding would send kItems messages; the protocol sends
+  // O(k log n + s log n).
+  EXPECT_LT(sampler.total_messages(), kItems / 50);
+  EXPECT_GE(sampler.sample_size(), 32u);
+  EXPECT_LE(sampler.sample_size(), 128u);
+}
+
+TEST(DistributedSamplerTest, LevelRisesLogarithmically) {
+  DistributedSampler<uint64_t> sampler(2, 32, 14);
+  for (uint64_t i = 0; i < 100000; i++) {
+    sampler.AddAtSite(static_cast<uint32_t>(i % 2), i);
+  }
+  // Expected level ~ log2(n / capacity) ~ log2(3125) ~ 11.6.
+  EXPECT_GE(sampler.level(), 8u);
+  EXPECT_LE(sampler.level(), 16u);
+}
+
+}  // namespace
+}  // namespace streamlib

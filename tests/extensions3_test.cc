@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/sequence/sequence_miner.h"
+#include "core/wavelet/haar_wavelet.h"
+#include "workload/zipf.h"
+
+namespace streamlib {
+namespace {
+
+// ----------------------------------------------------------- SequenceMiner
+
+TEST(SequenceMinerTest, CountsSimpleTraversals) {
+  SequenceMiner miner(3, 100, 10);
+  for (int rep = 0; rep < 50; rep++) {
+    miner.Visit(1, "home");
+    miner.Visit(1, "search");
+    miner.Visit(1, "product");
+  }
+  EXPECT_EQ(miner.Estimate("home>search"), 50u);
+  EXPECT_EQ(miner.Estimate("search>product"), 50u);
+  EXPECT_EQ(miner.Estimate("home>search>product"), 50u);
+  // The wrap-around bigram also occurs (product -> home), once fewer.
+  EXPECT_EQ(miner.Estimate("product>home"), 49u);
+}
+
+TEST(SequenceMinerTest, SessionsAreIndependent) {
+  SequenceMiner miner(2, 100, 10);
+  miner.Visit(1, "a");
+  miner.Visit(2, "x");
+  miner.Visit(1, "b");  // Session 1: a>b.
+  miner.Visit(2, "y");  // Session 2: x>y.
+  EXPECT_EQ(miner.Estimate("a>b"), 1u);
+  EXPECT_EQ(miner.Estimate("x>y"), 1u);
+  EXPECT_EQ(miner.Estimate("a>y"), 0u);  // No cross-session patterns.
+  EXPECT_EQ(miner.Estimate("x>b"), 0u);
+}
+
+TEST(SequenceMinerTest, TopSequencesSurfaceTheCommonFunnel) {
+  SequenceMiner miner(3, 500, 100);
+  workload::ZipfGenerator page_picker(50, 1.0, 1);
+  Rng rng(2);
+  // 80 sessions browse randomly; every 5th session follows the funnel.
+  for (uint64_t s = 0; s < 80; s++) {
+    if (s % 5 == 0) {
+      miner.Visit(s, "landing");
+      miner.Visit(s, "signup");
+      miner.Visit(s, "purchase");
+    }
+    for (int i = 0; i < 20; i++) {
+      miner.Visit(s, "page" + std::to_string(page_picker.Next()));
+    }
+  }
+  auto top = miner.TopSequences(30);
+  bool funnel_found = false;
+  for (const auto& item : top) {
+    if (item.key == "landing>signup>purchase") funnel_found = true;
+  }
+  EXPECT_TRUE(funnel_found);
+}
+
+TEST(SequenceMinerTest, SessionLruBoundHolds) {
+  SequenceMiner miner(2, 100, 5);
+  for (uint64_t s = 0; s < 100; s++) {
+    miner.Visit(s, "only");
+  }
+  EXPECT_LE(miner.active_sessions(), 5u);
+}
+
+// ------------------------------------------------------ Wavelet range sum
+
+TEST(HaarRangeSumTest, FullSynopsisIsExact) {
+  Rng rng(3);
+  std::vector<double> signal(128);
+  for (auto& v : signal) v = rng.NextGaussian() * 10.0;
+  auto coeffs = HaarWavelet::Transform(signal);
+  auto full = HaarWavelet::TopK(coeffs, coeffs.size());
+  for (auto [a, b] : std::vector<std::pair<size_t, size_t>>{
+           {0, 128}, {0, 1}, {5, 9}, {64, 128}, {17, 95}}) {
+    double exact = 0;
+    for (size_t i = a; i < b; i++) exact += signal[i];
+    EXPECT_NEAR(HaarWavelet::RangeSum(full, 128, a, b), exact, 1e-8)
+        << a << " " << b;
+  }
+}
+
+TEST(HaarRangeSumTest, SparseSynopsisApproximatesSmoothSignals) {
+  // Piecewise-constant signal: tiny synopsis answers range sums exactly.
+  std::vector<double> signal(256);
+  for (size_t i = 0; i < 256; i++) {
+    signal[i] = i < 96 ? 10.0 : i < 192 ? -4.0 : 7.0;
+  }
+  auto coeffs = HaarWavelet::Transform(signal);
+  auto sparse = HaarWavelet::TopK(coeffs, 12);
+  for (auto [a, b] : std::vector<std::pair<size_t, size_t>>{
+           {0, 96}, {96, 192}, {50, 150}, {0, 256}}) {
+    double exact = 0;
+    for (size_t i = a; i < b; i++) exact += signal[i];
+    EXPECT_NEAR(HaarWavelet::RangeSum(sparse, 256, a, b), exact,
+                std::fabs(exact) * 0.05 + 20.0)
+        << a << " " << b;
+  }
+}
+
+TEST(HaarRangeSumTest, EmptyRangeIsZero) {
+  std::vector<double> signal(64, 5.0);
+  auto synopsis = HaarWavelet::TopK(HaarWavelet::Transform(signal), 4);
+  EXPECT_DOUBLE_EQ(HaarWavelet::RangeSum(synopsis, 64, 10, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace streamlib

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/cardinality/pcsa.h"
+#include "core/frequency/count_min_sketch.h"
+#include "core/frequency/sticky_sampling.h"
+#include "core/quantiles/qdigest.h"
+#include "platform/checkpoint.h"
+#include "platform/stream_operators.h"
+#include "workload/zipf.h"
+
+namespace streamlib {
+namespace {
+
+// ------------------------------------------------------------------- PCSA
+
+TEST(PcsaTest, EstimateWithinExpectedError) {
+  PcsaCounter pcsa(256);
+  const uint64_t kN = 500000;
+  for (uint64_t i = 0; i < kN; i++) pcsa.Add(i);
+  // stderr ~ 0.78/sqrt(256) ~ 4.9%; allow 5 sigma.
+  EXPECT_NEAR(pcsa.Estimate(), static_cast<double>(kN), kN * 0.25);
+}
+
+TEST(PcsaTest, DuplicatesIgnored) {
+  PcsaCounter pcsa(128);
+  for (int rep = 0; rep < 100; rep++) {
+    for (uint64_t i = 0; i < 1000; i++) pcsa.Add(i);
+  }
+  EXPECT_NEAR(pcsa.Estimate(), 1000.0, 450.0);
+}
+
+TEST(PcsaTest, MergeMatchesUnionStream) {
+  PcsaCounter a(128);
+  PcsaCounter b(128);
+  PcsaCounter u(128);
+  for (uint64_t i = 0; i < 30000; i++) {
+    a.Add(i);
+    u.Add(i);
+  }
+  for (uint64_t i = 15000; i < 45000; i++) {
+    b.Add(i);
+    u.Add(i);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(PcsaTest, MergeSizeMismatchRejected) {
+  PcsaCounter a(64);
+  PcsaCounter b(128);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+// ---------------------------------------------------------------- QDigest
+
+TEST(QDigestTest, QuantilesWithinRankBound) {
+  const uint32_t kBits = 16;
+  const uint32_t kCompression = 200;
+  QDigest digest(kBits, kCompression);
+  Rng rng(1);
+  std::vector<uint32_t> data;
+  const int kN = 100000;
+  for (int i = 0; i < kN; i++) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(1 << kBits));
+    digest.Add(v);
+    data.push_back(v);
+  }
+  std::sort(data.begin(), data.end());
+  // Rank error bound: (bits / compression) * n.
+  const double bound =
+      static_cast<double>(kBits) / kCompression * kN + 1;
+  for (double phi : {0.1, 0.5, 0.9, 0.99}) {
+    const uint32_t answer = digest.Quantile(phi);
+    const double rank = static_cast<double>(
+        std::upper_bound(data.begin(), data.end(), answer) - data.begin());
+    EXPECT_LE(std::fabs(rank - phi * kN), 2 * bound) << "phi=" << phi;
+  }
+}
+
+TEST(QDigestTest, SpaceIsCompressed) {
+  QDigest digest(20, 100);
+  Rng rng(2);
+  for (int i = 0; i < 200000; i++) {
+    digest.Add(static_cast<uint32_t>(rng.NextBounded(1 << 20)));
+  }
+  // O(compression * bits) nodes, far below 200k distinct inputs.
+  EXPECT_LT(digest.NumNodes(), 6000u);
+}
+
+TEST(QDigestTest, MergePreservesQuantiles) {
+  QDigest a(12, 150);
+  QDigest b(12, 150);
+  QDigest whole(12, 150);
+  Rng rng(3);
+  for (int i = 0; i < 50000; i++) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(1 << 12));
+    (i % 2 == 0 ? a : b).Add(v);
+    whole.Add(v);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), whole.count());
+  for (double phi : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(static_cast<double>(a.Quantile(phi)),
+                static_cast<double>(whole.Quantile(phi)), 200.0)
+        << phi;
+  }
+}
+
+TEST(QDigestTest, WeightedInsertions) {
+  QDigest digest(8, 50);
+  digest.Add(10, 900);
+  digest.Add(200, 100);
+  EXPECT_LE(digest.Quantile(0.5), 20u);
+  EXPECT_GE(digest.Quantile(0.95), 190u);
+}
+
+TEST(QDigestTest, MergeParameterMismatchRejected) {
+  QDigest a(12, 100);
+  QDigest b(16, 100);
+  QDigest c(12, 50);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+// --------------------------------------------------------- StickySampling
+
+TEST(StickySamplingTest, NoFalseNegativesWithHighProbability) {
+  const double kEps = 0.001;
+  const double kTheta = 0.01;
+  workload::ZipfGenerator zipf(100000, 1.1, 4);
+  StickySampling<uint64_t> sticky(kEps, kTheta, 0.01, 5);
+  std::map<uint64_t, uint64_t> exact;
+  const uint64_t kN = 500000;
+  for (uint64_t i = 0; i < kN; i++) {
+    const uint64_t item = zipf.Next();
+    sticky.Add(item);
+    exact[item]++;
+  }
+  std::set<uint64_t> reported;
+  for (const auto& item : sticky.HeavyHitters(
+           static_cast<uint64_t>((kTheta - kEps) * kN))) {
+    reported.insert(item.key);
+  }
+  for (const auto& [item, count] : exact) {
+    if (static_cast<double>(count) >= kTheta * kN) {
+      EXPECT_TRUE(reported.count(item)) << item;
+    }
+  }
+}
+
+TEST(StickySamplingTest, SpaceIndependentOfStreamLength) {
+  StickySampling<uint64_t> sticky(0.01, 0.05, 0.01, 6);
+  workload::ZipfGenerator zipf(1000000, 1.0, 7);
+  size_t size_at_100k = 0;
+  for (uint64_t i = 0; i < 1000000; i++) {
+    sticky.Add(zipf.Next());
+    if (i == 100000) size_at_100k = sticky.size();
+  }
+  // Expected entries ~ 2/eps * log(1/(theta*delta)) regardless of n: the
+  // final size must not have grown materially past the early size.
+  EXPECT_LT(sticky.size(), size_at_100k * 3 + 100);
+}
+
+TEST(StickySamplingTest, SamplingRateDoubles) {
+  StickySampling<uint64_t> sticky(0.01, 0.05, 0.1, 8);
+  for (uint64_t i = 0; i < 100000; i++) sticky.Add(i % 50);
+  EXPECT_GT(sticky.sampling_rate(), 1u);
+}
+
+// ----------------------------------------------------- CMS serialization
+
+TEST(CmsSerializationTest, RoundTripPreservesEstimates) {
+  CountMinSketch cms(512, 4, /*conservative=*/true);
+  workload::ZipfGenerator zipf(10000, 1.2, 9);
+  for (int i = 0; i < 100000; i++) cms.Add(zipf.Next());
+  auto bytes = cms.Serialize();
+  auto restored = CountMinSketch::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().total_count(), cms.total_count());
+  EXPECT_EQ(restored.value().conservative(), cms.conservative());
+  for (uint64_t item = 0; item < 100; item++) {
+    EXPECT_EQ(restored.value().Estimate(item), cms.Estimate(item)) << item;
+  }
+}
+
+TEST(CmsSerializationTest, RejectsCorruptPayload) {
+  CountMinSketch cms(64, 3);
+  cms.Add(uint64_t{1});
+  auto bytes = cms.Serialize();
+  bytes.resize(bytes.size() / 2);  // Truncate.
+  EXPECT_FALSE(CountMinSketch::Deserialize(bytes).ok());
+  std::vector<uint8_t> garbage = {0, 0, 0, 0, 99, 0, 0, 0};
+  EXPECT_FALSE(CountMinSketch::Deserialize(garbage).ok());
+}
+
+// ------------------------------------------------------------- Checkpoint
+
+TEST(KvCheckpointStoreTest, PutGetVersioning) {
+  platform::KvCheckpointStore store;
+  EXPECT_FALSE(store.Get("task-0").has_value());
+  EXPECT_EQ(store.Put("task-0", {1, 2, 3}), 1u);
+  EXPECT_EQ(store.Put("task-0", {4, 5}), 2u);
+  auto state = store.Get("task-0");
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(*state, (std::vector<uint8_t>{4, 5}));
+  EXPECT_EQ(store.VersionOf("task-0"), 2u);
+  EXPECT_EQ(store.VersionOf("other"), 0u);
+}
+
+TEST(KvCheckpointStoreTest, SketchStateSurvivesCrash) {
+  // The MillWheel pattern: checkpoint sketch bytes, "crash", restore.
+  platform::KvCheckpointStore store;
+  CountMinSketch cms(256, 4);
+  for (uint64_t i = 0; i < 10000; i++) cms.Add(i % 100);
+  store.Put("counts", cms.Serialize());
+
+  auto restored = CountMinSketch::Deserialize(*store.Get("counts"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().Estimate(uint64_t{7}), cms.Estimate(uint64_t{7}));
+}
+
+TEST(DedupLedgerTest, DetectsRedelivery) {
+  platform::DedupLedger ledger;
+  EXPECT_TRUE(ledger.CheckAndRecord(1, 0));
+  EXPECT_TRUE(ledger.CheckAndRecord(1, 1));
+  EXPECT_FALSE(ledger.CheckAndRecord(1, 0));  // Duplicate.
+  EXPECT_FALSE(ledger.CheckAndRecord(1, 1));
+  EXPECT_TRUE(ledger.CheckAndRecord(2, 0));   // Different producer.
+}
+
+TEST(DedupLedgerTest, WatermarkBoundsMemory) {
+  platform::DedupLedger ledger;
+  // In-order delivery: the watermark advances, retaining nothing.
+  for (uint64_t seq = 0; seq < 100000; seq++) {
+    ASSERT_TRUE(ledger.CheckAndRecord(7, seq));
+  }
+  EXPECT_EQ(ledger.RetainedIds(), 0u);
+  // A gap holds only the out-of-order suffix.
+  EXPECT_TRUE(ledger.CheckAndRecord(7, 100005));
+  EXPECT_EQ(ledger.RetainedIds(), 1u);
+  EXPECT_TRUE(ledger.CheckAndRecord(7, 100000));
+  EXPECT_FALSE(ledger.CheckAndRecord(7, 99999));  // Below watermark.
+}
+
+TEST(DedupLedgerTest, SerializationRoundTrip) {
+  platform::DedupLedger ledger;
+  ledger.CheckAndRecord(1, 0);
+  ledger.CheckAndRecord(1, 5);
+  ledger.CheckAndRecord(2, 3);
+  auto bytes = ledger.Serialize();
+  auto restored = platform::DedupLedger::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  // Restored ledger must remember both processed ids and watermarks.
+  EXPECT_FALSE(restored.value().CheckAndRecord(1, 0));
+  EXPECT_FALSE(restored.value().CheckAndRecord(1, 5));
+  EXPECT_FALSE(restored.value().CheckAndRecord(2, 3));
+  EXPECT_TRUE(restored.value().CheckAndRecord(1, 1));
+}
+
+// -------------------------------------------------------- Stream operators
+
+class CollectingCollector : public platform::OutputCollector {
+ public:
+  void Emit(platform::Tuple tuple) override {
+    tuples.push_back(std::move(tuple));
+  }
+  std::vector<platform::Tuple> tuples;
+};
+
+TEST(TumblingAggregateBoltTest, EmitsPerWindowSums) {
+  platform::TumblingAggregateBolt bolt(4);
+  CollectingCollector out;
+  bolt.Execute(platform::Tuple::Of("a", 1.0), &out);
+  bolt.Execute(platform::Tuple::Of("a", 2.0), &out);
+  bolt.Execute(platform::Tuple::Of("b", 5.0), &out);
+  EXPECT_TRUE(out.tuples.empty());  // Window not full yet.
+  bolt.Execute(platform::Tuple::Of("a", 3.0), &out);
+  ASSERT_EQ(out.tuples.size(), 2u);  // Window of 4 flushed: keys a and b.
+  std::map<std::string, double> sums;
+  for (const auto& t : out.tuples) sums[t.Str(0)] = t.Double(1);
+  EXPECT_DOUBLE_EQ(sums["a"], 6.0);
+  EXPECT_DOUBLE_EQ(sums["b"], 5.0);
+  // Next window starts clean.
+  bolt.Execute(platform::Tuple::Of("a", 10.0), &out);
+  platform::OutputCollector* oc = &out;
+  bolt.Finish(oc);
+  ASSERT_EQ(out.tuples.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.tuples.back().Double(1), 10.0);
+}
+
+TEST(WindowJoinBoltTest, JoinsWithinWindow) {
+  platform::WindowJoinBolt bolt(100);
+  CollectingCollector out;
+  bolt.Execute(platform::Tuple::Of("L", "q1", std::string("ad-7")), &out);
+  bolt.Execute(platform::Tuple::Of("L", "q2", std::string("ad-9")), &out);
+  EXPECT_TRUE(out.tuples.empty());
+  bolt.Execute(platform::Tuple::Of("R", "q1", std::string("click")), &out);
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_EQ(out.tuples[0].Str(0), "q1");
+  EXPECT_EQ(out.tuples[0].Str(1), "ad-7");
+  EXPECT_EQ(out.tuples[0].Str(2), "click");
+}
+
+TEST(WindowJoinBoltTest, OrderIndependentWithinWindow) {
+  platform::WindowJoinBolt bolt(100);
+  CollectingCollector out;
+  // Click (right side) arrives before its query: must still join.
+  bolt.Execute(platform::Tuple::Of("R", "q5", std::string("click")), &out);
+  bolt.Execute(platform::Tuple::Of("L", "q5", std::string("ad-1")), &out);
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_EQ(out.tuples[0].Str(1), "ad-1");
+}
+
+TEST(WindowJoinBoltTest, EvictionBeyondWindow) {
+  platform::WindowJoinBolt bolt(2);  // Tiny per-side window.
+  CollectingCollector out;
+  bolt.Execute(platform::Tuple::Of("L", "old", std::string("x")), &out);
+  bolt.Execute(platform::Tuple::Of("L", "mid", std::string("y")), &out);
+  bolt.Execute(platform::Tuple::Of("L", "new", std::string("z")), &out);
+  // "old" evicted; a matching right tuple no longer joins.
+  bolt.Execute(platform::Tuple::Of("R", "old", std::string("c")), &out);
+  EXPECT_TRUE(out.tuples.empty());
+  bolt.Execute(platform::Tuple::Of("R", "new", std::string("c")), &out);
+  EXPECT_EQ(out.tuples.size(), 1u);
+}
+
+TEST(WindowJoinBoltTest, MultipleMatchesAllEmitted) {
+  platform::WindowJoinBolt bolt(100);
+  CollectingCollector out;
+  bolt.Execute(platform::Tuple::Of("L", "k", std::string("a1")), &out);
+  bolt.Execute(platform::Tuple::Of("L", "k", std::string("a2")), &out);
+  bolt.Execute(platform::Tuple::Of("R", "k", std::string("c")), &out);
+  EXPECT_EQ(out.tuples.size(), 2u);
+  EXPECT_EQ(bolt.emitted_joins(), 2u);
+}
+
+TEST(FilterBoltTest, PassesOnlyMatching) {
+  platform::FilterBolt bolt(
+      [](const platform::Tuple& t) { return t.Int(0) % 2 == 0; });
+  CollectingCollector out;
+  for (int64_t i = 0; i < 10; i++) {
+    bolt.Execute(platform::Tuple::Of(i), &out);
+  }
+  EXPECT_EQ(out.tuples.size(), 5u);
+}
+
+TEST(EnrichBoltTest, AppendsLookupValue) {
+  platform::EnrichBolt bolt(
+      {{"nyc", platform::Value{std::string("america/new_york")}}},
+      /*key_index=*/0, platform::Value{std::string("unknown")});
+  CollectingCollector out;
+  bolt.Execute(platform::Tuple::Of(std::string("nyc"), int64_t{1}), &out);
+  bolt.Execute(platform::Tuple::Of(std::string("xyz"), int64_t{2}), &out);
+  ASSERT_EQ(out.tuples.size(), 2u);
+  EXPECT_EQ(out.tuples[0].Str(2), "america/new_york");
+  EXPECT_EQ(out.tuples[1].Str(2), "unknown");
+}
+
+}  // namespace
+}  // namespace streamlib

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/filtering/blocked_bloom_filter.h"
+#include "core/filtering/bloom_filter.h"
+#include "core/filtering/counting_bloom_filter.h"
+#include "core/filtering/cuckoo_filter.h"
+#include "core/filtering/stable_bloom_filter.h"
+
+namespace streamlib {
+namespace {
+
+std::string Key(uint64_t i) { return "key-" + std::to_string(i); }
+
+// ------------------------------------------------------------- BloomFilter
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter = BloomFilter::WithExpectedItems(10000, 0.01);
+  for (uint64_t i = 0; i < 10000; i++) filter.Add(Key(i));
+  for (uint64_t i = 0; i < 10000; i++) {
+    EXPECT_TRUE(filter.Contains(Key(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  const double kFpp = 0.01;
+  BloomFilter filter = BloomFilter::WithExpectedItems(10000, kFpp);
+  for (uint64_t i = 0; i < 10000; i++) filter.Add(Key(i));
+  uint64_t false_positives = 0;
+  const uint64_t kProbes = 50000;
+  for (uint64_t i = 0; i < kProbes; i++) {
+    if (filter.Contains(Key(1000000 + i))) false_positives++;
+  }
+  const double observed = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(observed, kFpp * 2.0);
+  EXPECT_GT(observed, kFpp / 8.0);  // A zero rate would mean a sizing bug.
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter filter(1024, 4);
+  for (uint64_t i = 0; i < 1000; i++) {
+    EXPECT_FALSE(filter.Contains(Key(i)));
+  }
+}
+
+TEST(BloomFilterTest, UnionCoversBothSets) {
+  BloomFilter a(1 << 16, 5);
+  BloomFilter b(1 << 16, 5);
+  for (uint64_t i = 0; i < 500; i++) a.Add(Key(i));
+  for (uint64_t i = 500; i < 1000; i++) b.Add(Key(i));
+  ASSERT_TRUE(a.Union(b).ok());
+  for (uint64_t i = 0; i < 1000; i++) EXPECT_TRUE(a.Contains(Key(i)));
+}
+
+TEST(BloomFilterTest, UnionGeometryMismatchRejected) {
+  BloomFilter a(1 << 10, 4);
+  BloomFilter b(1 << 12, 4);
+  EXPECT_FALSE(a.Union(b).ok());
+  BloomFilter c(1 << 10, 5);
+  EXPECT_FALSE(a.Union(c).ok());
+}
+
+TEST(BloomFilterTest, CardinalityEstimateTracksInsertions) {
+  BloomFilter filter = BloomFilter::WithExpectedItems(50000, 0.01);
+  for (uint64_t i = 0; i < 20000; i++) filter.Add(i);
+  EXPECT_NEAR(filter.EstimatedCardinality(), 20000.0, 1000.0);
+}
+
+TEST(BloomFilterTest, IntegerAndStringKeysBothWork) {
+  BloomFilter filter(1 << 14, 4);
+  filter.Add(uint64_t{42});
+  filter.Add(std::string("forty-two"));
+  EXPECT_TRUE(filter.Contains(uint64_t{42}));
+  EXPECT_TRUE(filter.Contains(std::string("forty-two")));
+  EXPECT_FALSE(filter.Contains(uint64_t{43}));
+}
+
+// FPP sweep: measured rate should track the configured target across
+// two orders of magnitude.
+class BloomFppSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomFppSweep, MeasuredFppTracksTarget) {
+  const double fpp = GetParam();
+  BloomFilter filter = BloomFilter::WithExpectedItems(20000, fpp);
+  for (uint64_t i = 0; i < 20000; i++) filter.Add(i);
+  uint64_t fps = 0;
+  const uint64_t kProbes = 200000;
+  for (uint64_t i = 0; i < kProbes; i++) {
+    if (filter.Contains(uint64_t{10000000 + i})) fps++;
+  }
+  const double observed = static_cast<double>(fps) / kProbes;
+  EXPECT_LT(observed, fpp * 2.5) << "target " << fpp;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, BloomFppSweep,
+                         ::testing::Values(0.1, 0.03, 0.01, 0.003, 0.001));
+
+// ----------------------------------------------------- CountingBloomFilter
+
+TEST(CountingBloomFilterTest, AddRemoveRestoresAbsence) {
+  CountingBloomFilter filter = CountingBloomFilter::WithExpectedItems(1000, 0.01);
+  filter.Add(Key(1));
+  EXPECT_TRUE(filter.Contains(Key(1)));
+  filter.Remove(Key(1));
+  EXPECT_FALSE(filter.Contains(Key(1)));
+}
+
+TEST(CountingBloomFilterTest, OtherKeysSurviveRemove) {
+  CountingBloomFilter filter = CountingBloomFilter::WithExpectedItems(5000, 0.01);
+  for (uint64_t i = 0; i < 5000; i++) filter.Add(Key(i));
+  for (uint64_t i = 0; i < 2500; i++) filter.Remove(Key(i));
+  for (uint64_t i = 2500; i < 5000; i++) {
+    EXPECT_TRUE(filter.Contains(Key(i))) << i;
+  }
+}
+
+TEST(CountingBloomFilterTest, MultiplicityHonored) {
+  CountingBloomFilter filter(4096, 4);
+  filter.Add(Key(7));
+  filter.Add(Key(7));
+  filter.Remove(Key(7));
+  EXPECT_TRUE(filter.Contains(Key(7)));
+  filter.Remove(Key(7));
+  EXPECT_FALSE(filter.Contains(Key(7)));
+}
+
+TEST(CountingBloomFilterTest, SaturationDoesNotFalseNegate) {
+  CountingBloomFilter filter(64, 2);
+  // Push counters far past the 4-bit max.
+  for (int i = 0; i < 100; i++) filter.Add(Key(1));
+  // Removing more times than max must not clear the sticky counter.
+  for (int i = 0; i < 100; i++) filter.Remove(Key(1));
+  EXPECT_TRUE(filter.Contains(Key(1)));
+  EXPECT_GT(filter.SaturatedCounters(), 0u);
+}
+
+// --------------------------------------------------------- BlockedBloom
+
+TEST(BlockedBloomFilterTest, NoFalseNegatives) {
+  BlockedBloomFilter filter = BlockedBloomFilter::WithExpectedItems(20000, 0.01);
+  for (uint64_t i = 0; i < 20000; i++) filter.Add(i);
+  for (uint64_t i = 0; i < 20000; i++) {
+    EXPECT_TRUE(filter.Contains(i)) << i;
+  }
+}
+
+TEST(BlockedBloomFilterTest, FppDegradedButBounded) {
+  // Blocked filters trade FPP for locality: expect worse than target but
+  // within a small factor (Putze et al. report ~1.2-4x at these parameters).
+  const double kFpp = 0.01;
+  BlockedBloomFilter filter = BlockedBloomFilter::WithExpectedItems(20000, kFpp);
+  for (uint64_t i = 0; i < 20000; i++) filter.Add(i);
+  uint64_t fps = 0;
+  const uint64_t kProbes = 100000;
+  for (uint64_t i = 0; i < kProbes; i++) {
+    if (filter.Contains(uint64_t{5000000 + i})) fps++;
+  }
+  const double observed = static_cast<double>(fps) / kProbes;
+  EXPECT_LT(observed, kFpp * 6.0);
+}
+
+// ------------------------------------------------------------ CuckooFilter
+
+TEST(CuckooFilterTest, InsertAndLookup) {
+  CuckooFilter filter(10000);
+  for (uint64_t i = 0; i < 10000; i++) {
+    ASSERT_TRUE(filter.Add(Key(i))) << i;
+  }
+  for (uint64_t i = 0; i < 10000; i++) {
+    EXPECT_TRUE(filter.Contains(Key(i))) << i;
+  }
+  EXPECT_EQ(filter.size(), 10000u);
+}
+
+TEST(CuckooFilterTest, LowFalsePositiveRate) {
+  CuckooFilter filter(20000);
+  for (uint64_t i = 0; i < 20000; i++) filter.Add(i);
+  uint64_t fps = 0;
+  const uint64_t kProbes = 200000;
+  for (uint64_t i = 0; i < kProbes; i++) {
+    if (filter.Contains(uint64_t{9000000 + i})) fps++;
+  }
+  // 16-bit fingerprints, 4-way buckets: FPP ~ 2*4/2^16 ~ 0.012%.
+  EXPECT_LT(static_cast<double>(fps) / kProbes, 0.002);
+}
+
+TEST(CuckooFilterTest, DeleteRemovesKey) {
+  CuckooFilter filter(1000);
+  for (uint64_t i = 0; i < 1000; i++) filter.Add(i);
+  for (uint64_t i = 0; i < 500; i++) {
+    EXPECT_TRUE(filter.Remove(uint64_t{i})) << i;
+  }
+  for (uint64_t i = 0; i < 500; i++) {
+    EXPECT_FALSE(filter.Contains(uint64_t{i})) << i;
+  }
+  for (uint64_t i = 500; i < 1000; i++) {
+    EXPECT_TRUE(filter.Contains(uint64_t{i})) << i;
+  }
+  EXPECT_EQ(filter.size(), 500u);
+}
+
+TEST(CuckooFilterTest, RemoveAbsentKeyReturnsFalse) {
+  CuckooFilter filter(100);
+  filter.Add(uint64_t{1});
+  EXPECT_FALSE(filter.Remove(uint64_t{999}));
+  EXPECT_EQ(filter.size(), 1u);
+}
+
+TEST(CuckooFilterTest, AchievesHighLoadFactor) {
+  CuckooFilter filter(4096);
+  uint64_t inserted = 0;
+  for (uint64_t i = 0; i < 4096; i++) {
+    if (!filter.Add(i)) break;
+    inserted++;
+  }
+  EXPECT_EQ(inserted, 4096u);
+  EXPECT_GT(filter.LoadFactor(), 0.4);  // Power-of-two rounding halves it.
+}
+
+// --------------------------------------------------------- StableBloom
+
+TEST(StableBloomFilterTest, DetectsImmediateDuplicates) {
+  StableBloomFilter filter(1 << 16, 4, 3, 10, 5);
+  EXPECT_FALSE(filter.AddAndCheckDuplicate(Key(1)));
+  EXPECT_TRUE(filter.AddAndCheckDuplicate(Key(1)));
+}
+
+TEST(StableBloomFilterTest, DoesNotSaturateOnUnboundedStream) {
+  // A plain Bloom filter would saturate; the stable variant must keep its
+  // false-positive rate on fresh keys bounded after 200k distinct inserts.
+  StableBloomFilter filter(1 << 16, 4, 3, 10, 6);
+  for (uint64_t i = 0; i < 200000; i++) {
+    filter.AddAndCheckDuplicate(uint64_t{i});
+  }
+  uint64_t fps = 0;
+  const uint64_t kProbes = 20000;
+  for (uint64_t i = 0; i < kProbes; i++) {
+    if (filter.Contains(uint64_t{10000000 + i})) fps++;
+  }
+  EXPECT_LT(static_cast<double>(fps) / kProbes, 0.30);
+}
+
+TEST(StableBloomFilterTest, RecentDuplicatesStillCaught) {
+  StableBloomFilter filter(1 << 16, 4, 3, 10, 7);
+  for (uint64_t i = 0; i < 100000; i++) {
+    filter.AddAndCheckDuplicate(uint64_t{i});
+  }
+  // Re-adding the most recent keys should flag as duplicate almost always.
+  uint64_t caught = 0;
+  for (uint64_t i = 99000; i < 100000; i++) {
+    if (filter.AddAndCheckDuplicate(uint64_t{i})) caught++;
+  }
+  EXPECT_GT(caught, 900u);
+}
+
+}  // namespace
+}  // namespace streamlib

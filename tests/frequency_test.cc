@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/frequency/count_min_sketch.h"
+#include "core/frequency/count_sketch.h"
+#include "core/frequency/hierarchical_heavy_hitters.h"
+#include "core/frequency/lossy_counting.h"
+#include "core/frequency/misra_gries.h"
+#include "core/frequency/sliding_frequent.h"
+#include "core/frequency/space_saving.h"
+#include "core/frequency/topk_tracker.h"
+#include "workload/zipf.h"
+
+namespace streamlib {
+namespace {
+
+// A deterministic skewed stream with known exact counts.
+struct SkewedStream {
+  std::vector<uint64_t> items;
+  std::map<uint64_t, uint64_t> exact;
+};
+
+SkewedStream MakeZipfStream(uint64_t n, uint64_t domain, double skew,
+                            uint64_t seed) {
+  workload::ZipfGenerator zipf(domain, skew, seed);
+  SkewedStream s;
+  s.items.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    const uint64_t item = zipf.Next();
+    s.items.push_back(item);
+    s.exact[item]++;
+  }
+  return s;
+}
+
+// ------------------------------------------------------------- MisraGries
+
+TEST(MisraGriesTest, NoFalseNegativesAboveThreshold) {
+  auto stream = MakeZipfStream(200000, 10000, 1.2, 1);
+  const size_t kCounters = 199;  // Detects freq > n/200.
+  MisraGries<uint64_t> mg(kCounters);
+  for (uint64_t item : stream.items) mg.Add(item);
+
+  const uint64_t threshold = stream.items.size() / (kCounters + 1);
+  for (const auto& [item, count] : stream.exact) {
+    if (count > threshold) {
+      // Every true heavy hitter must be tracked with estimate >= count - n/k.
+      EXPECT_GE(mg.Estimate(item) + mg.MaxError(), count) << item;
+      EXPECT_GT(mg.Estimate(item), 0u) << item;
+    }
+  }
+}
+
+TEST(MisraGriesTest, EstimatesNeverOvercount) {
+  auto stream = MakeZipfStream(100000, 1000, 1.5, 2);
+  MisraGries<uint64_t> mg(99);
+  for (uint64_t item : stream.items) mg.Add(item);
+  for (const auto& [item, count] : stream.exact) {
+    EXPECT_LE(mg.Estimate(item), count) << item;
+  }
+}
+
+TEST(MisraGriesTest, SpaceBounded) {
+  MisraGries<uint64_t> mg(50);
+  for (uint64_t i = 0; i < 100000; i++) mg.Add(i % 997);
+  EXPECT_LE(mg.size(), 50u);
+}
+
+TEST(MisraGriesTest, StringKeys) {
+  MisraGries<std::string> mg(10);
+  for (int i = 0; i < 1000; i++) mg.Add("popular");
+  for (int i = 0; i < 100; i++) mg.Add("tag" + std::to_string(i));
+  EXPECT_GT(mg.Estimate("popular"), 800u);
+}
+
+// ------------------------------------------------------------ SpaceSaving
+
+TEST(SpaceSavingTest, OverestimatesBoundedByError) {
+  auto stream = MakeZipfStream(200000, 10000, 1.2, 3);
+  SpaceSaving<uint64_t> ss(200);
+  for (uint64_t item : stream.items) ss.Add(item);
+
+  for (const auto& item : ss.HeavyHitters(1)) {
+    const uint64_t exact =
+        stream.exact.count(item.key) ? stream.exact.at(item.key) : 0;
+    EXPECT_GE(item.estimate, exact);                      // Overestimate.
+    EXPECT_LE(item.estimate - item.error_bound, exact);   // Bounded.
+  }
+}
+
+TEST(SpaceSavingTest, FindsAllTrueHeavyHitters) {
+  auto stream = MakeZipfStream(500000, 100000, 1.1, 4);
+  const double kTheta = 0.005;
+  SpaceSaving<uint64_t> ss(1000);  // capacity >> 1/theta.
+  for (uint64_t item : stream.items) ss.Add(item);
+
+  const uint64_t threshold =
+      static_cast<uint64_t>(kTheta * stream.items.size());
+  std::set<uint64_t> reported;
+  for (const auto& item : ss.HeavyHitters(threshold)) {
+    reported.insert(item.key);
+  }
+  for (const auto& [item, count] : stream.exact) {
+    if (count >= threshold) {
+      EXPECT_TRUE(reported.count(item)) << "missed heavy hitter " << item;
+    }
+  }
+}
+
+TEST(SpaceSavingTest, TopKOrderMatchesTrueOrderForClearWinners) {
+  SpaceSaving<std::string> ss(50);
+  // Distinct magnitudes so the order is unambiguous.
+  for (int rank = 0; rank < 10; rank++) {
+    for (int i = 0; i < 1000 >> rank; i++) {
+      ss.Add("item" + std::to_string(rank));
+    }
+  }
+  auto top = ss.TopK(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (int rank = 0; rank < 5; rank++) {
+    EXPECT_EQ(top[rank].key, "item" + std::to_string(rank));
+  }
+}
+
+TEST(SpaceSavingTest, WeightedUpdates) {
+  SpaceSaving<uint64_t> ss(10);
+  ss.Add(1, 100);
+  ss.Add(2, 50);
+  ss.Add(1, 25);
+  EXPECT_EQ(ss.Estimate(1), 125u);
+  EXPECT_EQ(ss.Estimate(2), 50u);
+}
+
+TEST(SpaceSavingTest, MinCountGrowsUnderEviction) {
+  SpaceSaving<uint64_t> ss(4);
+  for (uint64_t i = 0; i < 1000; i++) ss.Add(i);  // All distinct.
+  EXPECT_EQ(ss.size(), 4u);
+  EXPECT_GE(ss.MinCount(), 1000u / 4u / 2u);  // Min rises with evictions.
+}
+
+// ---------------------------------------------------------- LossyCounting
+
+TEST(LossyCountingTest, NoFalseNegativesAtAdjustedThreshold) {
+  auto stream = MakeZipfStream(300000, 50000, 1.1, 5);
+  const double kEps = 0.001;
+  const double kTheta = 0.01;
+  LossyCounting<uint64_t> lc(kEps);
+  for (uint64_t item : stream.items) lc.Add(item);
+
+  const double n = static_cast<double>(stream.items.size());
+  std::set<uint64_t> reported;
+  for (const auto& item :
+       lc.HeavyHitters(static_cast<uint64_t>((kTheta - kEps) * n))) {
+    reported.insert(item.key);
+  }
+  for (const auto& [item, count] : stream.exact) {
+    if (static_cast<double>(count) >= kTheta * n) {
+      EXPECT_TRUE(reported.count(item)) << item;
+    }
+  }
+}
+
+TEST(LossyCountingTest, UndercountBoundedByEpsN) {
+  auto stream = MakeZipfStream(100000, 1000, 1.3, 6);
+  const double kEps = 0.005;
+  LossyCounting<uint64_t> lc(kEps);
+  for (uint64_t item : stream.items) lc.Add(item);
+  for (const auto& [item, count] : stream.exact) {
+    const uint64_t est = lc.Estimate(item);
+    EXPECT_LE(est, count);
+    if (est > 0) {
+      EXPECT_LE(count - est, static_cast<uint64_t>(
+                                 kEps * stream.items.size()) +
+                                 1)
+          << item;
+    }
+  }
+}
+
+TEST(LossyCountingTest, PrunesInfrequentEntries) {
+  LossyCounting<uint64_t> lc(0.01);
+  // 1e5 distinct singletons: nearly all should be pruned.
+  for (uint64_t i = 0; i < 100000; i++) lc.Add(i);
+  EXPECT_LT(lc.size(), 2000u);
+}
+
+// ----------------------------------------------------------- CountMin
+
+TEST(CountMinSketchTest, NeverUndercounts) {
+  auto stream = MakeZipfStream(100000, 10000, 1.1, 7);
+  CountMinSketch cms(2048, 5);
+  for (uint64_t item : stream.items) cms.Add(item);
+  for (const auto& [item, count] : stream.exact) {
+    EXPECT_GE(cms.Estimate(item), count) << item;
+  }
+}
+
+TEST(CountMinSketchTest, OvercountWithinBound) {
+  auto stream = MakeZipfStream(200000, 50000, 1.0, 8);
+  CountMinSketch cms = CountMinSketch::WithErrorBound(0.001, 0.01);
+  for (uint64_t item : stream.items) cms.Add(item);
+  uint64_t violations = 0;
+  for (const auto& [item, count] : stream.exact) {
+    if (cms.Estimate(item) >
+        count + static_cast<uint64_t>(cms.ErrorBound())) {
+      violations++;
+    }
+  }
+  // delta = 0.01: expect ~< 1% of point queries to exceed the bound.
+  EXPECT_LT(violations, stream.exact.size() / 50);
+}
+
+TEST(CountMinSketchTest, ConservativeUpdateNeverWorse) {
+  auto stream = MakeZipfStream(200000, 20000, 1.1, 9);
+  CountMinSketch plain(512, 4, /*conservative=*/false);
+  CountMinSketch conservative(512, 4, /*conservative=*/true);
+  for (uint64_t item : stream.items) {
+    plain.Add(item);
+    conservative.Add(item);
+  }
+  uint64_t plain_err = 0;
+  uint64_t cons_err = 0;
+  for (const auto& [item, count] : stream.exact) {
+    plain_err += plain.Estimate(item) - count;
+    cons_err += conservative.Estimate(item) - count;
+    EXPECT_GE(conservative.Estimate(item), count) << item;  // Still an upper bound.
+    EXPECT_LE(conservative.Estimate(item), plain.Estimate(item)) << item;
+  }
+  EXPECT_LT(cons_err, plain_err);
+}
+
+TEST(CountMinSketchTest, MergeEqualsCombinedStream) {
+  CountMinSketch a(1024, 4);
+  CountMinSketch b(1024, 4);
+  CountMinSketch whole(1024, 4);
+  for (uint64_t i = 0; i < 50000; i++) {
+    const uint64_t item = i % 1000;
+    (i % 2 == 0 ? a : b).Add(item);
+    whole.Add(item);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  for (uint64_t item = 0; item < 1000; item++) {
+    EXPECT_EQ(a.Estimate(item), whole.Estimate(item));
+  }
+}
+
+TEST(CountMinSketchTest, MergeGeometryMismatchRejected) {
+  CountMinSketch a(1024, 4);
+  CountMinSketch b(512, 4);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(CountMinSketchTest, InnerProductEstimatesSelfJoinSize) {
+  // Self-join size = sum f_i^2. Uniform 100 items x 1000 each = 1e8.
+  CountMinSketch cms(4096, 5);
+  for (uint64_t i = 0; i < 100000; i++) cms.Add(i % 100);
+  auto result = cms.InnerProduct(cms);
+  ASSERT_TRUE(result.ok());
+  const double expected = 100.0 * 1000.0 * 1000.0;
+  EXPECT_NEAR(static_cast<double>(result.value()), expected, expected * 0.05);
+}
+
+// ----------------------------------------------------------- CountSketch
+
+TEST(CountSketchTest, UnbiasedPointEstimates) {
+  auto stream = MakeZipfStream(200000, 10000, 1.2, 10);
+  CountSketch cs(4096, 5);
+  for (uint64_t item : stream.items) cs.Add(item);
+  // Heavy items should be recovered closely.
+  int checked = 0;
+  for (const auto& [item, count] : stream.exact) {
+    if (count > 5000) {
+      EXPECT_NEAR(static_cast<double>(cs.Estimate(item)),
+                  static_cast<double>(count), 0.10 * count)
+          << item;
+      checked++;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(CountSketchTest, F2EstimateMatchesExact) {
+  CountSketch cs(8192, 7);
+  double exact_f2 = 0;
+  for (uint64_t item = 0; item < 200; item++) {
+    const uint64_t f = 100 + item * 10;
+    exact_f2 += static_cast<double>(f) * f;
+    cs.Add(item, static_cast<int64_t>(f));
+  }
+  EXPECT_NEAR(cs.EstimateF2(), exact_f2, exact_f2 * 0.10);
+}
+
+TEST(CountSketchTest, SupportsDeletionsViaNegativeCounts) {
+  CountSketch cs(1024, 5);
+  cs.Add(uint64_t{7}, 100);
+  cs.Add(uint64_t{7}, -40);
+  EXPECT_NEAR(static_cast<double>(cs.Estimate(uint64_t{7})), 60.0, 10.0);
+}
+
+// ----------------------------------------------------------- TopKTracker
+
+TEST(TopKTrackerTest, RecoversTrueTopK) {
+  auto stream = MakeZipfStream(300000, 100000, 1.3, 11);
+  TopKTracker<uint64_t> tracker(20, 4096, 5);
+  for (uint64_t item : stream.items) tracker.Add(item);
+
+  // Zipf item ids are popularity-ordered: true top-10 is {0..9}.
+  auto top = tracker.TopK();
+  ASSERT_GE(top.size(), 10u);
+  std::set<uint64_t> reported;
+  for (size_t i = 0; i < 10; i++) reported.insert(top[i].key);
+  int hits = 0;
+  for (uint64_t i = 0; i < 10; i++) {
+    if (reported.count(i)) hits++;
+  }
+  EXPECT_GE(hits, 8);  // Allow rank noise at the boundary.
+}
+
+TEST(TopKTrackerTest, EstimatesAvailableForAnyKey) {
+  TopKTracker<std::string> tracker(5, 1024, 4);
+  for (int i = 0; i < 100; i++) tracker.Add("rare" + std::to_string(i));
+  for (int i = 0; i < 1000; i++) tracker.Add("hot");
+  EXPECT_GE(tracker.Estimate("hot"), 1000u);
+  EXPECT_GE(tracker.Estimate("rare0"), 1u);
+}
+
+// ------------------------------------------- HierarchicalHeavyHitters
+
+TEST(HierarchicalHeavyHittersTest, FindsHotPrefixNotItsAncestors) {
+  HierarchicalHeavyHitters hhh(256);
+  // 10.0.1.* is hot in aggregate (each /32 light); 10.0.2.5 is itself hot.
+  for (uint32_t host = 0; host < 200; host++) {
+    const uint32_t addr = (10u << 24) | (0u << 16) | (1u << 8) | host;
+    for (int i = 0; i < 50; i++) hhh.Add(addr);
+  }
+  const uint32_t hot_host = (10u << 24) | (0u << 16) | (2u << 8) | 5u;
+  for (int i = 0; i < 9000; i++) hhh.Add(hot_host);
+  // Background noise.
+  for (uint32_t i = 0; i < 1000; i++) hhh.Add(0xC0000000u + i * 7919u);
+
+  auto results = hhh.Query(5000);
+  bool found_24 = false;
+  bool found_32 = false;
+  bool reported_8_prefix_of_hot = false;
+  for (const auto& r : results) {
+    if (r.prefix_bits == 24 && r.prefix == ((10u << 24) | (1u << 8))) {
+      found_24 = true;
+    }
+    if (r.prefix_bits == 32 && r.prefix == hot_host) found_32 = true;
+    if (r.prefix_bits == 8 && r.prefix == (10u << 24)) {
+      reported_8_prefix_of_hot = true;
+    }
+  }
+  EXPECT_TRUE(found_24);
+  EXPECT_TRUE(found_32);
+  // The /8 ancestor's conditioned count (~0 after discounting) must not fire.
+  EXPECT_FALSE(reported_8_prefix_of_hot);
+}
+
+TEST(HierarchicalHeavyHittersTest, PrefixEstimates) {
+  HierarchicalHeavyHitters hhh(64);
+  for (int i = 0; i < 1000; i++) hhh.Add((192u << 24) | (168u << 16) | i);
+  EXPECT_GE(hhh.EstimatePrefix(192u << 24, 8), 1000u);
+  EXPECT_GE(hhh.EstimatePrefix((192u << 24) | (168u << 16), 16), 1000u);
+}
+
+// -------------------------------------------------- SlidingWindowFrequent
+
+TEST(SlidingWindowFrequentTest, OldHeavyHitterFadesOut) {
+  SlidingWindowFrequent<uint64_t> swf(10000, 10, 100);
+  // Phase 1: item 1 dominates.
+  for (int i = 0; i < 10000; i++) swf.Add(1);
+  EXPECT_GT(swf.Estimate(1), 5000u);
+  // Phase 2: item 2 dominates for a full window.
+  for (int i = 0; i < 12000; i++) swf.Add(2);
+  EXPECT_EQ(swf.Estimate(1), 0u);
+  EXPECT_GT(swf.Estimate(2), 5000u);
+}
+
+TEST(SlidingWindowFrequentTest, WindowEstimateMagnitude) {
+  SlidingWindowFrequent<uint64_t> swf(1000, 10, 50);
+  for (int round = 0; round < 50; round++) {
+    for (int i = 0; i < 100; i++) swf.Add(i % 10);  // Item j: 10/100 share.
+  }
+  // Each of the 10 items holds ~10% of the last ~1000 elements = ~100.
+  for (uint64_t j = 0; j < 10; j++) {
+    EXPECT_NEAR(static_cast<double>(swf.Estimate(j)), 100.0, 40.0) << j;
+  }
+}
+
+TEST(SlidingWindowFrequentTest, HeavyHittersSortedDescending) {
+  SlidingWindowFrequent<std::string> swf(5000, 5, 50);
+  for (int i = 0; i < 3000; i++) swf.Add("a");
+  for (int i = 0; i < 1500; i++) swf.Add("b");
+  auto hh = swf.HeavyHitters(100);
+  ASSERT_GE(hh.size(), 2u);
+  EXPECT_EQ(hh[0].key, "a");
+  EXPECT_EQ(hh[1].key, "b");
+  EXPECT_GE(hh[0].estimate, hh[1].estimate);
+}
+
+}  // namespace
+}  // namespace streamlib

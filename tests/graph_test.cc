@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/graph/graph_algorithms.h"
+#include "core/graph/graph_sketch.h"
+#include "core/graph/triangle_counter.h"
+#include "workload/graph_stream.h"
+
+namespace streamlib {
+namespace {
+
+TEST(ExactTriangleCounterTest, CountsCliqueTriangles) {
+  // K5 has C(5,3) = 10 triangles.
+  ExactTriangleCounter counter;
+  for (uint32_t u = 0; u < 5; u++) {
+    for (uint32_t v = u + 1; v < 5; v++) counter.AddEdge(u, v);
+  }
+  EXPECT_EQ(counter.Triangles(), 10u);
+}
+
+TEST(ExactTriangleCounterTest, DuplicateEdgesIgnored) {
+  ExactTriangleCounter counter;
+  counter.AddEdge(0, 1);
+  counter.AddEdge(1, 2);
+  counter.AddEdge(0, 2);
+  counter.AddEdge(0, 2);  // Duplicate.
+  counter.AddEdge(2, 0);  // Duplicate, reversed.
+  EXPECT_EQ(counter.Triangles(), 1u);
+}
+
+TEST(TriangleCounterTest, ExactWhileSampleHoldsEverything) {
+  // Budget exceeds the stream: TRIEST degenerates to exact counting.
+  workload::GraphStreamGenerator gen(200, 1);
+  auto edges = gen.StreamWithPlantedTriangles(500, 100);
+  TriangleCounter approx(100000, 2);
+  ExactTriangleCounter exact;
+  for (const auto& e : edges) {
+    approx.AddEdge(e.u, e.v);
+    exact.AddEdge(e.u, e.v);
+  }
+  EXPECT_DOUBLE_EQ(approx.Estimate(), static_cast<double>(exact.Triangles()));
+}
+
+TEST(TriangleCounterTest, EstimateWithinToleranceUnderSampling) {
+  workload::GraphStreamGenerator gen(2000, 3);
+  auto edges = gen.StreamWithPlantedTriangles(20000, 3000);
+  ExactTriangleCounter exact;
+  for (const auto& e : edges) exact.AddEdge(e.u, e.v);
+  const double truth = static_cast<double>(exact.Triangles());
+
+  // Average several independent runs (the estimator is unbiased).
+  double sum = 0.0;
+  const int kRuns = 5;
+  for (int run = 0; run < kRuns; run++) {
+    TriangleCounter approx(5000, 100 + run);
+    for (const auto& e : edges) approx.AddEdge(e.u, e.v);
+    sum += approx.Estimate();
+  }
+  EXPECT_NEAR(sum / kRuns, truth, truth * 0.25);
+}
+
+TEST(TriangleCounterTest, MemoryBounded) {
+  workload::GraphStreamGenerator gen(5000, 5);
+  TriangleCounter counter(1000, 6);
+  for (const auto& e : gen.RandomStream(100000)) counter.AddEdge(e.u, e.v);
+  EXPECT_LE(counter.sample_size(), 1000u);
+}
+
+TEST(GreedyMatchingTest, ProducesValidMatching) {
+  workload::GraphStreamGenerator gen(1000, 7);
+  GreedyMatching matching;
+  for (const auto& e : gen.RandomStream(20000)) matching.AddEdge(e.u, e.v);
+  // No vertex appears twice.
+  std::set<uint32_t> seen;
+  for (const auto& [u, v] : matching.matching()) {
+    EXPECT_TRUE(seen.insert(u).second);
+    EXPECT_TRUE(seen.insert(v).second);
+  }
+}
+
+TEST(GreedyMatchingTest, PerfectMatchingOnDisjointEdges) {
+  GreedyMatching matching;
+  for (uint32_t i = 0; i < 100; i++) {
+    EXPECT_TRUE(matching.AddEdge(2 * i, 2 * i + 1));
+  }
+  EXPECT_EQ(matching.Size(), 100u);
+}
+
+TEST(GreedyMatchingTest, TwoApproximationOnStar) {
+  // Star K_{1,50}: maximum matching = 1; greedy takes exactly 1.
+  GreedyMatching matching;
+  for (uint32_t leaf = 1; leaf <= 50; leaf++) {
+    matching.AddEdge(0, leaf);
+  }
+  EXPECT_EQ(matching.Size(), 1u);
+}
+
+TEST(GreedyMatchingTest, VertexCoverCoversAllEdges) {
+  workload::GraphStreamGenerator gen(500, 8);
+  auto edges = gen.RandomStream(5000);
+  GreedyMatching matching;
+  for (const auto& e : edges) matching.AddEdge(e.u, e.v);
+  std::set<uint32_t> cover;
+  for (uint32_t v : matching.VertexCover()) cover.insert(v);
+  for (const auto& e : edges) {
+    EXPECT_TRUE(cover.count(e.u) || cover.count(e.v));
+  }
+}
+
+TEST(IncrementalComponentsTest, TracksComponentCount) {
+  IncrementalComponents cc;
+  cc.AddEdge(0, 1);
+  cc.AddEdge(2, 3);
+  EXPECT_EQ(cc.NumComponents(), 2u);
+  EXPECT_FALSE(cc.Connected(0, 2));
+  cc.AddEdge(1, 2);
+  EXPECT_EQ(cc.NumComponents(), 1u);
+  EXPECT_TRUE(cc.Connected(0, 3));
+}
+
+TEST(IncrementalComponentsTest, RedundantEdgesDoNotMerge) {
+  IncrementalComponents cc;
+  EXPECT_TRUE(cc.AddEdge(0, 1));
+  EXPECT_FALSE(cc.AddEdge(0, 1));
+  EXPECT_FALSE(cc.AddEdge(1, 0));
+  EXPECT_EQ(cc.NumComponents(), 1u);
+}
+
+TEST(IncrementalComponentsTest, ChainConnectsEnds) {
+  IncrementalComponents cc;
+  for (uint32_t i = 0; i < 9999; i++) cc.AddEdge(i, i + 1);
+  EXPECT_TRUE(cc.Connected(0, 9999));
+  EXPECT_EQ(cc.NumComponents(), 1u);
+}
+
+TEST(DynamicPathOracleTest, BoundedDistanceOnPathGraph) {
+  DynamicPathOracle oracle;
+  for (uint32_t i = 0; i < 20; i++) oracle.AddEdge(i, i + 1);
+  EXPECT_EQ(oracle.BoundedDistance(0, 5, 10), 5u);
+  EXPECT_TRUE(oracle.HasPathWithin(0, 5, 5));
+  EXPECT_FALSE(oracle.HasPathWithin(0, 5, 4));
+  EXPECT_FALSE(oracle.HasPathWithin(0, 20, 19));
+  EXPECT_TRUE(oracle.HasPathWithin(0, 20, 20));
+}
+
+TEST(DynamicPathOracleTest, DynamicInsertionShortensPaths) {
+  DynamicPathOracle oracle;
+  for (uint32_t i = 0; i < 10; i++) oracle.AddEdge(i, i + 1);
+  EXPECT_EQ(oracle.BoundedDistance(0, 10, 20), 10u);
+  oracle.AddEdge(0, 10);  // Shortcut appears dynamically.
+  EXPECT_EQ(oracle.BoundedDistance(0, 10, 20), 1u);
+}
+
+TEST(DynamicPathOracleTest, DisconnectedVertices) {
+  DynamicPathOracle oracle;
+  oracle.AddEdge(0, 1);
+  oracle.AddEdge(5, 6);
+  EXPECT_FALSE(oracle.HasPathWithin(0, 6, 100));
+}
+
+// ------------------------------------------------------------- Spanner
+
+TEST(GreedySpannerTest, StretchBoundHolds) {
+  // Build exact distances alongside; every original edge's endpoints must
+  // be within `stretch` hops in the spanner.
+  const uint32_t kStretch = 3;
+  GreedySpanner spanner(kStretch);
+  workload::GraphStreamGenerator gen(300, 401);
+  auto edges = gen.RandomStream(3000);
+  for (const auto& e : edges) spanner.AddEdge(e.u, e.v);
+  for (size_t i = 0; i < edges.size(); i += 37) {
+    EXPECT_LE(spanner.SpannerDistance(edges[i].u, edges[i].v, kStretch),
+              kStretch)
+        << i;
+  }
+}
+
+TEST(GreedySpannerTest, SparsifiesDenseStreams) {
+  GreedySpanner spanner(3);
+  workload::GraphStreamGenerator gen(200, 403);
+  for (const auto& e : gen.RandomStream(20000)) spanner.AddEdge(e.u, e.v);
+  // 20k stream edges over 200 vertices: the spanner keeps a small fraction.
+  EXPECT_LT(spanner.SpannerEdges(), 4000u);
+  EXPECT_EQ(spanner.StreamEdges(), 20000u);
+}
+
+TEST(GreedySpannerTest, StretchOneKeepsOnlyNewConnections) {
+  // t=1: an edge is kept iff the endpoints are not already adjacent —
+  // i.e. duplicate suppression.
+  GreedySpanner spanner(1);
+  EXPECT_TRUE(spanner.AddEdge(0, 1));
+  EXPECT_FALSE(spanner.AddEdge(0, 1));
+  EXPECT_TRUE(spanner.AddEdge(1, 2));
+  EXPECT_TRUE(spanner.AddEdge(0, 2));  // Distance 2 > 1: kept.
+}
+
+TEST(GreedySpannerTest, LargerStretchKeepsFewerEdges) {
+  size_t kept[2];
+  const uint32_t stretches[2] = {2, 6};
+  for (int which = 0; which < 2; which++) {
+    GreedySpanner spanner(stretches[which]);
+    workload::GraphStreamGenerator gen(150, 405);
+    for (const auto& e : gen.RandomStream(8000)) spanner.AddEdge(e.u, e.v);
+    kept[which] = spanner.SpannerEdges();
+  }
+  EXPECT_LT(kept[1], kept[0]);
+}
+
+// ----------------------------------------------------------- L0 sampling
+
+TEST(L0SamplerTest, RecoversSingleCoordinate) {
+  L0Sampler sampler(1 << 20, 7);
+  sampler.Update(123456, 1);
+  auto sample = sampler.Sample();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(*sample, 123456u);
+}
+
+TEST(L0SamplerTest, DeletionsCancelExactly) {
+  L0Sampler sampler(1 << 16, 9);
+  Rng rng(11);
+  std::vector<uint64_t> coords;
+  for (int i = 0; i < 500; i++) {
+    const uint64_t c = rng.NextBounded(1 << 16);
+    coords.push_back(c);
+    sampler.Update(c, 1);
+  }
+  for (uint64_t c : coords) sampler.Update(c, -1);
+  EXPECT_FALSE(sampler.Sample().has_value());  // Vector is exactly zero.
+}
+
+TEST(L0SamplerTest, SamplesAValidNonzeroCoordinate) {
+  std::set<uint64_t> inserted;
+  L0Sampler sampler(1 << 18, 13);
+  Rng rng(17);
+  while (inserted.size() < 1000) {
+    const uint64_t c = rng.NextBounded(1 << 18);
+    if (inserted.insert(c).second) sampler.Update(c, 1);
+  }
+  auto sample = sampler.Sample();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(inserted.count(*sample)) << *sample;
+}
+
+TEST(L0SamplerTest, MergeIsLinear) {
+  L0Sampler a(1 << 12, 19);
+  L0Sampler b(1 << 12, 19);
+  a.Update(100, 1);
+  b.Update(100, -1);  // Cancels across the merge.
+  b.Update(200, 1);
+  ASSERT_TRUE(a.Merge(b).ok());
+  auto sample = a.Sample();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(*sample, 200u);
+}
+
+TEST(L0SamplerTest, MergeSeedMismatchRejected) {
+  L0Sampler a(1 << 12, 1);
+  L0Sampler b(1 << 12, 2);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+// ------------------------------------------------------ AGM connectivity
+
+TEST(AgmConnectivityTest, PathGraphIsOneComponent) {
+  AgmConnectivitySketch sketch(64, 1);
+  for (uint32_t i = 0; i + 1 < 64; i++) sketch.AddEdge(i, i + 1);
+  EXPECT_EQ(sketch.NumComponents(), 1u);
+  EXPECT_TRUE(sketch.Connected(0, 63));
+}
+
+TEST(AgmConnectivityTest, BridgeInsertAndDelete) {
+  AgmConnectivitySketch sketch(32, 2);
+  for (uint32_t i = 0; i < 16; i++) {
+    for (uint32_t j = i + 1; j < 16; j++) sketch.AddEdge(i, j);
+  }
+  for (uint32_t i = 16; i < 32; i++) {
+    for (uint32_t j = i + 1; j < 32; j++) sketch.AddEdge(i, j);
+  }
+  EXPECT_EQ(sketch.NumComponents(), 2u);
+  EXPECT_FALSE(sketch.Connected(0, 20));
+  sketch.AddEdge(3, 20);
+  EXPECT_EQ(sketch.NumComponents(), 1u);
+  EXPECT_TRUE(sketch.Connected(0, 20));
+  // The deletion no combinatorial one-pass structure supports:
+  sketch.RemoveEdge(3, 20);
+  EXPECT_EQ(sketch.NumComponents(), 2u);
+  EXPECT_FALSE(sketch.Connected(0, 20));
+}
+
+TEST(AgmConnectivityTest, FullDeletionReturnsToIsolation) {
+  AgmConnectivitySketch sketch(64, 3);
+  Rng rng(4);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (int e = 0; e < 200; e++) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextBounded(64));
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(63));
+    if (v >= u) v++;
+    edges.emplace_back(u, v);
+    sketch.AddEdge(u, v);
+  }
+  for (const auto& [u, v] : edges) sketch.RemoveEdge(u, v);
+  EXPECT_EQ(sketch.NumComponents(), 64u);
+}
+
+TEST(AgmConnectivityTest, MatchesUnionFindOnInsertOnlyStreams) {
+  // On insert-only streams the sketch must agree with exact union-find.
+  for (uint64_t seed : {10u, 11u, 12u}) {
+    AgmConnectivitySketch sketch(48, seed);
+    IncrementalComponents exact;
+    for (uint32_t v = 0; v < 48; v++) exact.Find(v);  // Register all.
+    workload::GraphStreamGenerator gen(48, 100 + seed);
+    for (int e = 0; e < 40; e++) {  // Sparse: several components remain.
+      const auto edge = gen.NextRandomEdge();
+      sketch.AddEdge(edge.u, edge.v);
+      exact.AddEdge(edge.u, edge.v);
+    }
+    EXPECT_EQ(sketch.NumComponents(), exact.NumComponents()) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace streamlib

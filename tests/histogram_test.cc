@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/histogram/end_biased_histogram.h"
+#include "core/histogram/equi_width_histogram.h"
+#include "core/histogram/v_optimal_histogram.h"
+
+namespace streamlib {
+namespace {
+
+TEST(EquiWidthHistogramTest, CountsLandInRightBuckets) {
+  EquiWidthHistogram hist(0.0, 100.0, 10);
+  hist.Add(5.0);
+  hist.Add(15.0);
+  hist.Add(15.5);
+  hist.Add(99.9);
+  EXPECT_EQ(hist.BucketCount(0), 1u);
+  EXPECT_EQ(hist.BucketCount(1), 2u);
+  EXPECT_EQ(hist.BucketCount(9), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(EquiWidthHistogramTest, OutOfRangeClampsToEdges) {
+  EquiWidthHistogram hist(0.0, 10.0, 5);
+  hist.Add(-100.0);
+  hist.Add(1e9);
+  EXPECT_EQ(hist.BucketCount(0), 1u);
+  EXPECT_EQ(hist.BucketCount(4), 1u);
+}
+
+TEST(EquiWidthHistogramTest, QuantileOfUniformData) {
+  EquiWidthHistogram hist(0.0, 1000.0, 100);
+  Rng rng(1);
+  for (int i = 0; i < 100000; i++) hist.Add(rng.NextDouble() * 1000.0);
+  EXPECT_NEAR(hist.EstimateQuantile(0.5), 500.0, 15.0);
+  EXPECT_NEAR(hist.EstimateQuantile(0.9), 900.0, 15.0);
+}
+
+TEST(EquiWidthHistogramTest, RankIsMonotone) {
+  EquiWidthHistogram hist(0.0, 100.0, 20);
+  Rng rng(2);
+  for (int i = 0; i < 10000; i++) hist.Add(rng.NextGaussian() * 15.0 + 50.0);
+  double prev = -1.0;
+  for (double v = 0.0; v <= 100.0; v += 2.5) {
+    const double r = hist.EstimateRank(v);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(VOptimalHistogramTest, ExactRecoversPiecewiseConstantData) {
+  // Three perfectly flat segments: 3-bucket V-optimal must have SSE 0.
+  std::vector<double> values;
+  for (int i = 0; i < 50; i++) values.push_back(10.0);
+  for (int i = 0; i < 30; i++) values.push_back(50.0);
+  for (int i = 0; i < 20; i++) values.push_back(-5.0);
+  auto buckets = VOptimalHistogram::BuildExact(values, 3);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(VOptimalHistogram::TotalSse(buckets), 0.0);
+  EXPECT_EQ(buckets[0].end, 50u);
+  EXPECT_EQ(buckets[1].end, 80u);
+  EXPECT_DOUBLE_EQ(buckets[0].mean, 10.0);
+}
+
+TEST(VOptimalHistogramTest, ExactBeatsEquiWidthOnSkewedData) {
+  // Step data with unequal segment lengths: equal-length buckets are
+  // suboptimal; the DP must find a strictly better SSE.
+  std::vector<double> values;
+  Rng rng(3);
+  for (int i = 0; i < 90; i++) values.push_back(rng.NextGaussian() * 0.1);
+  for (int i = 0; i < 10; i++) values.push_back(100.0 + rng.NextGaussian() * 0.1);
+  auto optimal = VOptimalHistogram::BuildExact(values, 2);
+  // Equi-width in index space: split at 50.
+  double equi_sse = 0.0;
+  for (int half = 0; half < 2; half++) {
+    double mean = 0.0;
+    for (int i = half * 50; i < (half + 1) * 50; i++) mean += values[i];
+    mean /= 50.0;
+    for (int i = half * 50; i < (half + 1) * 50; i++) {
+      equi_sse += (values[i] - mean) * (values[i] - mean);
+    }
+  }
+  EXPECT_LT(VOptimalHistogram::TotalSse(optimal), equi_sse * 0.1);
+}
+
+TEST(VOptimalHistogramTest, GreedyWithinFactorOfExact) {
+  std::vector<double> values;
+  Rng rng(4);
+  double level = 0.0;
+  for (int seg = 0; seg < 8; seg++) {
+    level += rng.NextGaussian() * 10.0;
+    const int len = 20 + static_cast<int>(rng.NextBounded(30));
+    for (int i = 0; i < len; i++) {
+      values.push_back(level + rng.NextGaussian());
+    }
+  }
+  auto exact = VOptimalHistogram::BuildExact(values, 8);
+  auto greedy = VOptimalHistogram::BuildGreedy(values, 8);
+  EXPECT_EQ(greedy.size(), 8u);
+  const double exact_sse = VOptimalHistogram::TotalSse(exact);
+  const double greedy_sse = VOptimalHistogram::TotalSse(greedy);
+  EXPECT_GE(greedy_sse, exact_sse - 1e-9);      // Exact is optimal.
+  EXPECT_LE(greedy_sse, exact_sse * 3.0 + 1.0); // Greedy close behind.
+}
+
+TEST(VOptimalHistogramTest, BucketsPartitionTheInput) {
+  std::vector<double> values(137);
+  Rng rng(5);
+  for (auto& v : values) v = rng.NextDouble();
+  for (size_t k : {1u, 3u, 10u}) {
+    auto buckets = VOptimalHistogram::BuildExact(values, k);
+    ASSERT_EQ(buckets.size(), k);
+    EXPECT_EQ(buckets.front().begin, 0u);
+    EXPECT_EQ(buckets.back().end, values.size());
+    for (size_t i = 1; i < buckets.size(); i++) {
+      EXPECT_EQ(buckets[i].begin, buckets[i - 1].end);
+    }
+  }
+}
+
+TEST(EndBiasedHistogramTest, FrequentValuesTrackedIndividually) {
+  EndBiasedHistogram hist(20);
+  for (int i = 0; i < 10000; i++) hist.Add(7);
+  for (int i = 0; i < 5000; i++) hist.Add(13);
+  for (int i = 0; i < 3000; i++) hist.Add(i + 1000);  // Long singleton tail.
+  EXPECT_NEAR(hist.EstimateFrequency(7), 10000.0, 1500.0);
+  EXPECT_NEAR(hist.EstimateFrequency(13), 5000.0, 1500.0);
+  auto frequent = hist.FrequentValues(4000);
+  ASSERT_GE(frequent.size(), 2u);
+  EXPECT_EQ(frequent[0].key, 7);
+}
+
+TEST(EndBiasedHistogramTest, TailValuesGetUniformMass) {
+  EndBiasedHistogram hist(10);
+  for (int i = 0; i < 1000; i++) hist.Add(1);
+  for (int i = 0; i < 5000; i++) hist.Add(i + 100);
+  const double tail_est = hist.EstimateFrequency(999999);
+  EXPECT_GT(tail_est, 0.0);
+  EXPECT_LT(tail_est, 1000.0);
+}
+
+}  // namespace
+}  // namespace streamlib

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/moments/ams_sketch.h"
+#include "core/moments/fk_estimator.h"
+
+namespace streamlib {
+namespace {
+
+// Exact F_k of a stream with `distinct` items of equal frequency `freq`.
+double UniformFk(double distinct, double freq, int k) {
+  return distinct * std::pow(freq, k);
+}
+
+TEST(AmsSketchTest, F2OfUniformStream) {
+  AmsSketch ams(9, 64);
+  const uint64_t kDistinct = 500;
+  const uint64_t kFreq = 200;
+  for (uint64_t rep = 0; rep < kFreq; rep++) {
+    for (uint64_t i = 0; i < kDistinct; i++) ams.Add(i);
+  }
+  const double exact = UniformFk(kDistinct, kFreq, 2);
+  EXPECT_NEAR(ams.EstimateF2(), exact, exact * 0.25);
+}
+
+TEST(AmsSketchTest, F2OfSkewedStream) {
+  // One item with count 10000, 1000 items with count 10:
+  // F2 = 1e8 + 1e5.
+  AmsSketch ams(9, 128);
+  for (int i = 0; i < 10000; i++) ams.Add(uint64_t{0});
+  for (uint64_t item = 1; item <= 1000; item++) {
+    for (int i = 0; i < 10; i++) ams.Add(item);
+  }
+  const double exact = 1e8 + 1e5;
+  EXPECT_NEAR(ams.EstimateF2(), exact, exact * 0.20);
+}
+
+TEST(AmsSketchTest, WeightedUpdatesMatchRepeats) {
+  AmsSketch by_weight(5, 32);
+  AmsSketch by_repeat(5, 32);
+  for (uint64_t item = 0; item < 100; item++) {
+    by_weight.Add(item, 7);
+    for (int i = 0; i < 7; i++) by_repeat.Add(item);
+  }
+  EXPECT_DOUBLE_EQ(by_weight.EstimateF2(), by_repeat.EstimateF2());
+}
+
+TEST(AmsSketchTest, MergeIsLinear) {
+  AmsSketch a(5, 32);
+  AmsSketch b(5, 32);
+  AmsSketch whole(5, 32);
+  for (uint64_t i = 0; i < 5000; i++) {
+    const uint64_t item = i % 100;
+    (i % 2 == 0 ? a : b).Add(item);
+    whole.Add(item);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), whole.EstimateF2());
+}
+
+TEST(AmsSketchTest, MergeGeometryMismatchRejected) {
+  AmsSketch a(5, 32);
+  AmsSketch b(5, 16);
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(FkEstimatorTest, F2MatchesAmsSketch) {
+  FkEstimator fk(2, 9, 200, 17);
+  const uint64_t kDistinct = 100;
+  const uint64_t kFreq = 100;
+  for (uint64_t rep = 0; rep < kFreq; rep++) {
+    for (uint64_t i = 0; i < kDistinct; i++) fk.Add(i);
+  }
+  const double exact = UniformFk(kDistinct, kFreq, 2);
+  EXPECT_NEAR(fk.Estimate(), exact, exact * 0.35);
+}
+
+TEST(FkEstimatorTest, F1IsExactCount) {
+  // k=1: X = n * (r - (r-1)) = n for every sample -> estimate == n exactly.
+  FkEstimator fk(1, 3, 10, 18);
+  for (uint64_t i = 0; i < 12345; i++) fk.Add(i % 100);
+  EXPECT_DOUBLE_EQ(fk.Estimate(), 12345.0);
+}
+
+TEST(FkEstimatorTest, F3OfUniformStream) {
+  FkEstimator fk(3, 9, 300, 19);
+  const uint64_t kDistinct = 50;
+  const uint64_t kFreq = 200;
+  for (uint64_t rep = 0; rep < kFreq; rep++) {
+    for (uint64_t i = 0; i < kDistinct; i++) fk.Add(i);
+  }
+  const double exact = UniformFk(kDistinct, kFreq, 3);
+  EXPECT_NEAR(fk.Estimate(), exact, exact * 0.5);
+}
+
+TEST(EntropyEstimatorTest, UniformStreamEntropy) {
+  // 256 equally frequent items: H = 8 bits.
+  EntropyEstimator ent(9, 300, 20);
+  for (int rep = 0; rep < 100; rep++) {
+    for (uint64_t i = 0; i < 256; i++) ent.Add(i);
+  }
+  EXPECT_NEAR(ent.Estimate(), 8.0, 1.0);
+}
+
+TEST(EntropyEstimatorTest, ConstantStreamHasZeroEntropy) {
+  EntropyEstimator ent(5, 50, 21);
+  // The estimator is unbiased with nonzero variance, so "zero" means small.
+  for (int i = 0; i < 10000; i++) ent.Add(uint64_t{42});
+  EXPECT_NEAR(ent.Estimate(), 0.0, 0.25);
+}
+
+TEST(EntropyEstimatorTest, SkewReducesEntropy) {
+  EntropyEstimator uniform(9, 200, 22);
+  EntropyEstimator skewed(9, 200, 23);
+  for (int rep = 0; rep < 50; rep++) {
+    for (uint64_t i = 0; i < 64; i++) uniform.Add(i);
+  }
+  // Skewed: item 0 dominates 90% of the stream.
+  for (int i = 0; i < 2880; i++) skewed.Add(uint64_t{0});
+  for (int rep = 0; rep < 5; rep++) {
+    for (uint64_t i = 1; i < 64; i++) skewed.Add(i);
+  }
+  EXPECT_GT(uniform.Estimate(), skewed.Estimate() + 1.0);
+}
+
+}  // namespace
+}  // namespace streamlib

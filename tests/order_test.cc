@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/order/inversions.h"
+#include "core/order/lis.h"
+
+namespace streamlib {
+namespace {
+
+uint64_t BruteForceInversions(const std::vector<uint32_t>& v) {
+  uint64_t inv = 0;
+  for (size_t i = 0; i < v.size(); i++) {
+    for (size_t j = i + 1; j < v.size(); j++) {
+      if (v[i] > v[j]) inv++;
+    }
+  }
+  return inv;
+}
+
+size_t BruteForceLis(const std::vector<double>& v) {
+  std::vector<size_t> best(v.size(), 1);
+  size_t lis = v.empty() ? 0 : 1;
+  for (size_t i = 1; i < v.size(); i++) {
+    for (size_t j = 0; j < i; j++) {
+      if (v[j] < v[i]) best[i] = std::max(best[i], best[j] + 1);
+    }
+    lis = std::max(lis, best[i]);
+  }
+  return lis;
+}
+
+TEST(ExactInversionCounterTest, MatchesBruteForce) {
+  Rng rng(1);
+  std::vector<uint32_t> v;
+  ExactInversionCounter counter(1000);
+  for (int i = 0; i < 500; i++) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(1000));
+    v.push_back(x);
+    counter.Add(x);
+  }
+  EXPECT_EQ(counter.Inversions(), BruteForceInversions(v));
+}
+
+TEST(ExactInversionCounterTest, SortedHasZeroReversedHasMax) {
+  ExactInversionCounter sorted(100);
+  ExactInversionCounter reversed(100);
+  for (uint32_t i = 0; i < 100; i++) {
+    sorted.Add(i);
+    reversed.Add(99 - i);
+  }
+  EXPECT_EQ(sorted.Inversions(), 0u);
+  EXPECT_EQ(reversed.Inversions(), 100u * 99u / 2u);
+  EXPECT_DOUBLE_EQ(sorted.Sortedness(), 1.0);
+  EXPECT_DOUBLE_EQ(reversed.Sortedness(), 0.0);
+}
+
+TEST(ExactInversionCounterTest, DuplicatesAreNotInversions) {
+  ExactInversionCounter counter(10);
+  for (int i = 0; i < 100; i++) counter.Add(5);
+  EXPECT_EQ(counter.Inversions(), 0u);
+}
+
+TEST(SampledInversionEstimatorTest, AccurateOnRandomPermutation) {
+  // Random stream: expected inversions = n(n-1)/4.
+  const int kN = 100000;
+  SampledInversionEstimator estimator(1000, 2);
+  ExactInversionCounter exact(1 << 20);
+  Rng rng(3);
+  for (int i = 0; i < kN; i++) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(1 << 20));
+    estimator.Add(x);
+    exact.Add(x);
+  }
+  const double truth = static_cast<double>(exact.Inversions());
+  EXPECT_NEAR(estimator.Estimate(), truth, truth * 0.05);
+}
+
+TEST(SampledInversionEstimatorTest, NearSortedStreamsEstimateLow) {
+  // 1% random swaps: inversion fraction far below 1/2.
+  SampledInversionEstimator estimator(2000, 4);
+  Rng rng(5);
+  const int kN = 50000;
+  for (int i = 0; i < kN; i++) {
+    uint32_t x = static_cast<uint32_t>(i);
+    if (rng.NextBool(0.01)) {
+      x = static_cast<uint32_t>(rng.NextBounded(kN));
+    }
+    estimator.Add(x);
+  }
+  const double max_inv = static_cast<double>(kN) * (kN - 1) / 2.0;
+  EXPECT_LT(estimator.Estimate(), max_inv * 0.05);
+}
+
+TEST(LisTrackerTest, MatchesBruteForce) {
+  Rng rng(6);
+  std::vector<double> v;
+  LisTracker tracker;
+  for (int i = 0; i < 400; i++) {
+    const double x = rng.NextDouble();
+    v.push_back(x);
+    tracker.Add(x);
+  }
+  EXPECT_EQ(tracker.Length(), BruteForceLis(v));
+}
+
+TEST(LisTrackerTest, MonotoneStreams) {
+  LisTracker increasing;
+  LisTracker decreasing;
+  for (int i = 0; i < 1000; i++) {
+    increasing.Add(static_cast<double>(i));
+    decreasing.Add(static_cast<double>(-i));
+  }
+  EXPECT_EQ(increasing.Length(), 1000u);
+  EXPECT_EQ(decreasing.Length(), 1u);
+}
+
+TEST(LisTrackerTest, MemoryEqualsLisLength) {
+  // Random permutation of n has expected LIS ~ 2 sqrt(n): memory sublinear.
+  LisTracker tracker;
+  Rng rng(7);
+  const int kN = 100000;
+  for (int i = 0; i < kN; i++) tracker.Add(rng.NextDouble());
+  EXPECT_LT(tracker.MemoryValues(), 3u * static_cast<size_t>(std::sqrt(kN)));
+}
+
+TEST(BoundedLisEstimatorTest, ExactWithinBudget) {
+  BoundedLisEstimator estimator(256);
+  LisTracker exact;
+  Rng rng(8);
+  for (int i = 0; i < 5000; i++) {
+    const double x = rng.NextDouble();
+    estimator.Add(x);
+    exact.Add(x);
+  }
+  // Random 5000-stream has LIS ~ 140 < 256: still exact.
+  EXPECT_FALSE(estimator.IsApproximate());
+  EXPECT_EQ(estimator.Estimate(), exact.Length());
+}
+
+TEST(BoundedLisEstimatorTest, ApproximatesBeyondBudget) {
+  BoundedLisEstimator estimator(64);
+  LisTracker exact;
+  // Strictly increasing stream: LIS = n, far beyond the 64 budget.
+  for (int i = 0; i < 10000; i++) {
+    estimator.Add(static_cast<double>(i));
+    exact.Add(static_cast<double>(i));
+  }
+  EXPECT_TRUE(estimator.IsApproximate());
+  EXPECT_LE(estimator.MemoryValues(), 64u);
+  // Monotone streams are tracked exactly even after thinning.
+  EXPECT_EQ(estimator.Estimate(), exact.Length());
+}
+
+TEST(BoundedLisEstimatorTest, NeverUnderestimates) {
+  Rng rng(9);
+  for (uint64_t seed : {10u, 11u, 12u}) {
+    BoundedLisEstimator estimator(32);
+    LisTracker exact;
+    Rng local(seed);
+    // Piecewise-increasing stream: long runs interleaved with noise, LIS
+    // well beyond the budget of 32.
+    for (int i = 0; i < 20000; i++) {
+      const double x = local.NextBool(0.8)
+                           ? static_cast<double>(i)
+                           : local.NextDouble() * 20000.0;
+      estimator.Add(x);
+      exact.Add(x);
+    }
+    EXPECT_GE(estimator.Estimate(), exact.Length()) << seed;
+    // And not wildly loose.
+    EXPECT_LE(estimator.Estimate(), exact.Length() * 2) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace streamlib

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/prediction/kalman_filter.h"
+#include "core/prediction/online_ar.h"
+
+namespace streamlib {
+namespace {
+
+TEST(ScalarKalmanFilterTest, ConvergesToConstantLevel) {
+  ScalarKalmanFilter kf(0.001, 1.0);
+  Rng rng(1);
+  double estimate = 0.0;
+  for (int i = 0; i < 5000; i++) {
+    estimate = kf.Update(42.0 + rng.NextGaussian());
+  }
+  EXPECT_NEAR(estimate, 42.0, 0.3);
+  // Posterior uncertainty should have shrunk far below R.
+  EXPECT_LT(kf.uncertainty(), 0.2);
+}
+
+TEST(ScalarKalmanFilterTest, SmoothsNoiseBelowRawVariance) {
+  ScalarKalmanFilter kf(0.01, 4.0);
+  Rng rng(2);
+  double err_raw = 0.0;
+  double err_filtered = 0.0;
+  const double truth = 10.0;
+  for (int i = 0; i < 20000; i++) {
+    const double obs = truth + 2.0 * rng.NextGaussian();
+    const double est = kf.Update(obs);
+    if (i > 100) {
+      err_raw += (obs - truth) * (obs - truth);
+      err_filtered += (est - truth) * (est - truth);
+    }
+  }
+  EXPECT_LT(err_filtered, err_raw / 4.0);
+}
+
+TEST(ScalarKalmanFilterTest, PredictMissingHoldsLevel) {
+  ScalarKalmanFilter kf(0.01, 1.0);
+  for (int i = 0; i < 100; i++) kf.Update(5.0);
+  const double before = kf.uncertainty();
+  const double predicted = kf.PredictMissing();
+  EXPECT_DOUBLE_EQ(predicted, kf.level());
+  EXPECT_NEAR(predicted, 5.0, 0.1);
+  EXPECT_GT(kf.uncertainty(), before);  // Uncertainty grows without data.
+}
+
+TEST(VelocityKalmanFilterTest, TracksLinearTrend) {
+  VelocityKalmanFilter kf(0.01, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 2000; i++) {
+    kf.Update(0.5 * i + rng.NextGaussian());
+  }
+  EXPECT_NEAR(kf.trend(), 0.5, 0.05);
+  EXPECT_NEAR(kf.Forecast(), 0.5 * 2000, 5.0);
+}
+
+TEST(VelocityKalmanFilterTest, BeatsLocalLevelOnDrift) {
+  // On a steadily drifting signal the velocity model's one-step forecast
+  // must have lower error than the local-level model's.
+  ScalarKalmanFilter level_model(0.01, 1.0);
+  VelocityKalmanFilter velocity_model(0.01, 1.0);
+  Rng rng(4);
+  double err_level = 0.0;
+  double err_velocity = 0.0;
+  for (int i = 0; i < 5000; i++) {
+    const double truth = 0.3 * i;
+    const double obs = truth + rng.NextGaussian();
+    if (i > 100) {
+      const double lf = level_model.level();          // Forecast = level.
+      const double vf = velocity_model.Forecast();
+      err_level += (lf - truth) * (lf - truth);
+      err_velocity += (vf - truth) * (vf - truth);
+    }
+    level_model.Update(obs);
+    velocity_model.Update(obs);
+  }
+  EXPECT_LT(err_velocity, err_level);
+}
+
+TEST(VelocityKalmanFilterTest, MissingValueImputationOnRamp) {
+  VelocityKalmanFilter kf(0.01, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 1000; i++) kf.Update(2.0 * i + rng.NextGaussian());
+  // Impute the next 5 missing points: should continue the ramp.
+  for (int m = 1; m <= 5; m++) {
+    const double predicted = kf.PredictMissing();
+    EXPECT_NEAR(predicted, 2.0 * (999 + m), 10.0) << m;
+  }
+}
+
+TEST(OnlineArModelTest, LearnsAr2Coefficients) {
+  // x_t = 1.2 x_{t-1} - 0.4 x_{t-2} + noise (stationary AR(2)).
+  OnlineArModel ar(2, 0.999);
+  Rng rng(6);
+  double x1 = 0.0;
+  double x2 = 0.0;
+  for (int i = 0; i < 30000; i++) {
+    const double x = 1.2 * x1 - 0.4 * x2 + rng.NextGaussian() * 0.5;
+    ar.Update(x);
+    x2 = x1;
+    x1 = x;
+  }
+  ASSERT_EQ(ar.coefficients().size(), 2u);
+  EXPECT_NEAR(ar.coefficients()[0], 1.2, 0.08);
+  EXPECT_NEAR(ar.coefficients()[1], -0.4, 0.08);
+}
+
+TEST(OnlineArModelTest, ForecastBeatsPersistenceOnAr2) {
+  OnlineArModel ar(2, 0.999);
+  Rng rng(7);
+  double x1 = 0.0;
+  double x2 = 0.0;
+  double err_ar = 0.0;
+  double err_persist = 0.0;
+  for (int i = 0; i < 30000; i++) {
+    const double x = 1.2 * x1 - 0.4 * x2 + rng.NextGaussian() * 0.5;
+    if (i > 1000) {
+      const double f = ar.Forecast();
+      err_ar += (f - x) * (f - x);
+      err_persist += (x1 - x) * (x1 - x);
+    }
+    ar.Update(x);
+    x2 = x1;
+    x1 = x;
+  }
+  EXPECT_LT(err_ar, err_persist);
+}
+
+TEST(OnlineArModelTest, ForgettingTracksRegimeChange) {
+  // Coefficients flip mid-stream; a forgetting RLS must re-learn.
+  OnlineArModel ar(1, 0.99);
+  Rng rng(8);
+  double x1 = 1.0;
+  for (int i = 0; i < 20000; i++) {
+    const double coef = i < 10000 ? 0.9 : -0.9;
+    const double x = coef * x1 + rng.NextGaussian() * 0.5;
+    ar.Update(x);
+    x1 = x;
+  }
+  EXPECT_NEAR(ar.coefficients()[0], -0.9, 0.1);
+}
+
+TEST(OnlineArModelTest, MultiStepForecast) {
+  // Deterministic doubling sequence: x_t = 2 x_{t-1} is learned by AR(1);
+  // ForecastAhead should iterate it.
+  OnlineArModel ar(1, 1.0);
+  double x = 1.0;
+  for (int i = 0; i < 60; i++) {
+    ar.Update(x);
+    x *= 1.1;
+  }
+  const double one = ar.ForecastAhead(1);
+  const double three = ar.ForecastAhead(3);
+  EXPECT_NEAR(three / one, 1.1 * 1.1, 0.05);
+}
+
+TEST(HoltWintersTest, TracksTrend) {
+  HoltWinters hw(0.3, 0.1);
+  Rng rng(9);
+  for (int i = 0; i < 5000; i++) {
+    hw.Update(3.0 * i + rng.NextGaussian() * 2.0);
+  }
+  EXPECT_NEAR(hw.trend(), 3.0, 0.3);
+  EXPECT_NEAR(hw.Forecast(), 3.0 * 5000, 30.0);
+}
+
+TEST(HoltWintersTest, FlatSeriesHasZeroTrend) {
+  HoltWinters hw(0.3, 0.1);
+  Rng rng(10);
+  for (int i = 0; i < 5000; i++) hw.Update(7.0 + rng.NextGaussian() * 0.1);
+  EXPECT_NEAR(hw.trend(), 0.0, 0.05);
+  EXPECT_NEAR(hw.level(), 7.0, 0.2);
+}
+
+}  // namespace
+}  // namespace streamlib

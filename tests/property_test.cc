@@ -1,0 +1,357 @@
+// Cross-cutting property tests: invariants every mergeable/serializable/
+// seeded structure in the library must satisfy, regardless of workload.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/cardinality/hyperloglog.h"
+#include "core/cardinality/kmv_sketch.h"
+#include "core/cardinality/linear_counter.h"
+#include "core/cardinality/pcsa.h"
+#include "core/filtering/deletable_bloom_filter.h"
+#include "core/frequency/count_min_sketch.h"
+#include "core/frequency/dyadic_count_min.h"
+#include "core/moments/ams_sketch.h"
+#include "core/quantiles/qdigest.h"
+#include "workload/zipf.h"
+
+namespace streamlib {
+namespace {
+
+// ---------------------------------------------------------------- Merging
+//
+// Property: for mergeable summaries, merging must be order-insensitive —
+// ((A + B) + C) and (A + (B + C)) must answer identically, and both must
+// match the summary of the concatenated stream.
+
+template <typename Sketch, typename AddFn>
+void FillRange(Sketch* s, uint64_t lo, uint64_t hi, AddFn add) {
+  for (uint64_t i = lo; i < hi; i++) add(s, i);
+}
+
+TEST(MergePropertyTest, HyperLogLogMergeIsAssociativeAndStreamEquivalent) {
+  auto add = [](HyperLogLog* h, uint64_t i) { h->Add(i); };
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  HyperLogLog c(12);
+  HyperLogLog whole(12);
+  FillRange(&a, 0, 40000, add);
+  FillRange(&b, 30000, 70000, add);
+  FillRange(&c, 60000, 100000, add);
+  FillRange(&whole, 0, 100000, add);
+
+  HyperLogLog left = a;
+  ASSERT_TRUE(left.Merge(b).ok());
+  ASSERT_TRUE(left.Merge(c).ok());
+  HyperLogLog bc = b;
+  ASSERT_TRUE(bc.Merge(c).ok());
+  HyperLogLog right = a;
+  ASSERT_TRUE(right.Merge(bc).ok());
+
+  EXPECT_DOUBLE_EQ(left.Estimate(), right.Estimate());
+  EXPECT_DOUBLE_EQ(left.Estimate(), whole.Estimate());
+}
+
+TEST(MergePropertyTest, KmvMergeIsAssociativeAndStreamEquivalent) {
+  auto add = [](KmvSketch* s, uint64_t i) { s->Add(i); };
+  KmvSketch a(512);
+  KmvSketch b(512);
+  KmvSketch c(512);
+  KmvSketch whole(512);
+  FillRange(&a, 0, 20000, add);
+  FillRange(&b, 10000, 40000, add);
+  FillRange(&c, 35000, 60000, add);
+  FillRange(&whole, 0, 60000, add);
+
+  KmvSketch left = a;
+  ASSERT_TRUE(left.Merge(b).ok());
+  ASSERT_TRUE(left.Merge(c).ok());
+  KmvSketch bc = b;
+  ASSERT_TRUE(bc.Merge(c).ok());
+  KmvSketch right = a;
+  ASSERT_TRUE(right.Merge(bc).ok());
+
+  EXPECT_DOUBLE_EQ(left.Estimate(), right.Estimate());
+  EXPECT_DOUBLE_EQ(left.Estimate(), whole.Estimate());
+}
+
+TEST(MergePropertyTest, CountMinMergeMatchesCombinedStream) {
+  workload::ZipfGenerator zipf(5000, 1.1, 1);
+  std::vector<uint64_t> stream;
+  for (int i = 0; i < 60000; i++) stream.push_back(zipf.Next());
+
+  CountMinSketch parts[3] = {CountMinSketch(1024, 4),
+                             CountMinSketch(1024, 4),
+                             CountMinSketch(1024, 4)};
+  CountMinSketch whole(1024, 4);
+  for (size_t i = 0; i < stream.size(); i++) {
+    parts[i % 3].Add(stream[i]);
+    whole.Add(stream[i]);
+  }
+  CountMinSketch merged = parts[0];
+  ASSERT_TRUE(merged.Merge(parts[1]).ok());
+  ASSERT_TRUE(merged.Merge(parts[2]).ok());
+  for (uint64_t key = 0; key < 200; key++) {
+    EXPECT_EQ(merged.Estimate(key), whole.Estimate(key)) << key;
+  }
+  EXPECT_EQ(merged.total_count(), whole.total_count());
+}
+
+TEST(MergePropertyTest, AmsMergeIsLinearUnderSplit) {
+  auto add = [](AmsSketch* s, uint64_t i) { s->Add(i % 300); };
+  AmsSketch a(5, 16);
+  AmsSketch b(5, 16);
+  AmsSketch whole(5, 16);
+  FillRange(&a, 0, 30000, add);
+  FillRange(&b, 30000, 60000, add);
+  FillRange(&whole, 0, 60000, add);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), whole.EstimateF2());
+}
+
+TEST(MergePropertyTest, PcsaMergeIsIdempotent) {
+  PcsaCounter a(128);
+  for (uint64_t i = 0; i < 10000; i++) a.Add(i);
+  PcsaCounter b = a;
+  ASSERT_TRUE(b.Merge(a).ok());  // Self-merge must not change the estimate.
+  EXPECT_DOUBLE_EQ(b.Estimate(), a.Estimate());
+}
+
+TEST(MergePropertyTest, LinearCounterUnionIsIdempotent) {
+  LinearCounter a(1 << 14);
+  for (uint64_t i = 0; i < 3000; i++) a.Add(i);
+  LinearCounter b = a;
+  ASSERT_TRUE(b.Union(a).ok());
+  EXPECT_DOUBLE_EQ(b.Estimate(), a.Estimate());
+}
+
+TEST(MergePropertyTest, QDigestMergeOrderInsensitiveWithinError) {
+  Rng rng(2);
+  QDigest parts[3] = {QDigest(12, 100), QDigest(12, 100), QDigest(12, 100)};
+  for (int i = 0; i < 30000; i++) {
+    parts[i % 3].Add(static_cast<uint32_t>(rng.NextBounded(1 << 12)));
+  }
+  QDigest ab = parts[0];
+  ASSERT_TRUE(ab.Merge(parts[1]).ok());
+  ASSERT_TRUE(ab.Merge(parts[2]).ok());
+  QDigest cb = parts[2];
+  ASSERT_TRUE(cb.Merge(parts[1]).ok());
+  ASSERT_TRUE(cb.Merge(parts[0]).ok());
+  EXPECT_EQ(ab.count(), cb.count());
+  // Compression is order-sensitive internally; answers agree within the
+  // rank error bound (12/100 * n each side).
+  for (double phi : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(static_cast<double>(ab.Quantile(phi)),
+                static_cast<double>(cb.Quantile(phi)), 4096.0 * 0.25)
+        << phi;
+  }
+}
+
+// ----------------------------------------------------- Serialization fuzz
+//
+// Property: Deserialize must reject, never crash on, arbitrarily corrupted
+// payloads — truncations, bit flips, random garbage.
+
+TEST(SerializationFuzzTest, HllSurvivesCorruption) {
+  HyperLogLog hll(10);
+  for (uint64_t i = 0; i < 50000; i++) hll.Add(i);
+  const std::vector<uint8_t> good = hll.Serialize();
+  Rng rng(3);
+
+  // Truncations at every prefix length (sampled).
+  for (size_t len = 0; len < good.size(); len += 37) {
+    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+    auto result = HyperLogLog::Deserialize(cut);  // Must not crash.
+    if (result.ok()) {
+      // Only acceptable if the prefix happens to be self-consistent —
+      // with a fixed-size payload that means full length only.
+      EXPECT_EQ(len, good.size());
+    }
+  }
+  // Random bit flips: decode may succeed (registers are free-form bytes),
+  // but must never crash and precision must stay in range.
+  for (int trial = 0; trial < 200; trial++) {
+    std::vector<uint8_t> mutated = good;
+    const size_t at = rng.NextBounded(mutated.size());
+    mutated[at] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+    auto result = HyperLogLog::Deserialize(mutated);
+    if (result.ok()) {
+      EXPECT_GE(result.value().precision(), 4);
+      EXPECT_LE(result.value().precision(), 18);
+    }
+  }
+  // Pure garbage.
+  for (int trial = 0; trial < 100; trial++) {
+    std::vector<uint8_t> garbage(rng.NextBounded(64));
+    for (auto& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.NextBounded(256));
+    }
+    HyperLogLog::Deserialize(garbage);  // Must not crash.
+  }
+}
+
+TEST(SerializationFuzzTest, CmsSurvivesCorruption) {
+  CountMinSketch cms(256, 4);
+  workload::ZipfGenerator zipf(1000, 1.2, 5);
+  for (int i = 0; i < 20000; i++) cms.Add(zipf.Next());
+  const std::vector<uint8_t> good = cms.Serialize();
+  Rng rng(6);
+
+  for (size_t len = 0; len < good.size(); len += 53) {
+    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+    CountMinSketch::Deserialize(cut);  // Must not crash.
+  }
+  for (int trial = 0; trial < 200; trial++) {
+    std::vector<uint8_t> mutated = good;
+    const size_t at = rng.NextBounded(mutated.size());
+    mutated[at] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+    auto result = CountMinSketch::Deserialize(mutated);
+    if (result.ok()) {
+      EXPECT_GE(result.value().width(), 1u);
+      EXPECT_GE(result.value().depth(), 1u);
+    }
+  }
+}
+
+// ------------------------------------------------------------ Determinism
+//
+// Property: identical seeds => bit-identical behaviour, for every
+// randomized structure (the reproducibility convention of the library).
+
+TEST(DeterminismTest, SeededStructuresReproduceExactly) {
+  for (int run = 0; run < 2; run++) {
+    static double first_hll = 0;
+    static uint64_t first_cms = 0;
+    workload::ZipfGenerator zipf(10000, 1.2, 42);
+    HyperLogLog hll(11);
+    CountMinSketch cms(512, 4, true);
+    for (int i = 0; i < 50000; i++) {
+      const uint64_t item = zipf.Next();
+      hll.Add(item);
+      cms.Add(item);
+    }
+    if (run == 0) {
+      first_hll = hll.Estimate();
+      first_cms = cms.Estimate(uint64_t{0});
+    } else {
+      EXPECT_DOUBLE_EQ(hll.Estimate(), first_hll);
+      EXPECT_EQ(cms.Estimate(uint64_t{0}), first_cms);
+    }
+  }
+}
+
+// --------------------------------------------------------- DyadicCountMin
+
+TEST(DyadicCountMinTest, RangeCountsMatchExactWithinBound) {
+  DyadicCountMin dcm(16, 4096, 5);
+  Rng rng(7);
+  std::vector<uint32_t> data;
+  const int kN = 200000;
+  for (int i = 0; i < kN; i++) {
+    const uint32_t v = static_cast<uint32_t>(std::clamp(
+        32768.0 + 8000.0 * rng.NextGaussian(), 0.0, 65535.0));
+    dcm.Add(v);
+    data.push_back(v);
+  }
+  auto exact_range = [&](uint32_t lo, uint32_t hi) {
+    uint64_t count = 0;
+    for (uint32_t v : data) {
+      if (v >= lo && v <= hi) count++;
+    }
+    return count;
+  };
+  // Error bound ~ 2 * 16 levels * (e/4096) * n ~ 2% of n.
+  const double bound = 2.0 * 16.0 * (2.718 / 4096.0) * kN;
+  for (auto [lo, hi] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {0, 65535}, {30000, 35000}, {0, 32768}, {40000, 41000},
+           {12345, 54321}}) {
+    const uint64_t exact = exact_range(lo, hi);
+    const uint64_t est = dcm.EstimateRange(lo, hi);
+    EXPECT_GE(est, exact);                        // CM never undercounts.
+    EXPECT_LE(static_cast<double>(est - exact), bound)
+        << "[" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(DyadicCountMinTest, QuantilesFromRangeCounts) {
+  DyadicCountMin dcm(16, 4096, 5);
+  Rng rng(8);
+  std::vector<uint32_t> data;
+  for (int i = 0; i < 100000; i++) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(1 << 16));
+    dcm.Add(v);
+    data.push_back(v);
+  }
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    const uint32_t answer = dcm.Quantile(phi);
+    const double rank = static_cast<double>(
+        std::upper_bound(data.begin(), data.end(), answer) - data.begin());
+    EXPECT_NEAR(rank / data.size(), phi, 0.03) << phi;
+  }
+}
+
+TEST(DyadicCountMinTest, SingleValueRangeMatchesPoint) {
+  DyadicCountMin dcm(12, 1024, 4);
+  for (int i = 0; i < 1000; i++) dcm.Add(777);
+  EXPECT_EQ(dcm.EstimateRange(777, 777), dcm.EstimatePoint(777));
+  EXPECT_GE(dcm.EstimatePoint(777), 1000u);
+}
+
+// --------------------------------------------------- DeletableBloomFilter
+
+TEST(DeletableBloomFilterTest, BasicMembership) {
+  DeletableBloomFilter filter(1 << 16, 4, 1024);
+  for (uint64_t i = 0; i < 2000; i++) filter.Add(i);
+  for (uint64_t i = 0; i < 2000; i++) EXPECT_TRUE(filter.Contains(i));
+}
+
+TEST(DeletableBloomFilterTest, MostKeysDeletableAtModerateLoad) {
+  // The paper's headline: at moderate load with enough regions, the large
+  // majority of keys can be deleted.
+  DeletableBloomFilter filter(1 << 16, 4, 4096);
+  const uint64_t kKeys = 3000;
+  for (uint64_t i = 0; i < kKeys; i++) filter.Add(i);
+  uint64_t deleted = 0;
+  uint64_t gone = 0;
+  for (uint64_t i = 0; i < kKeys; i++) {
+    if (filter.Remove(i)) {
+      deleted++;
+      if (!filter.Contains(i)) gone++;
+    }
+  }
+  EXPECT_GT(static_cast<double>(deleted) / kKeys, 0.9);
+  EXPECT_GT(static_cast<double>(gone) / deleted, 0.5);
+}
+
+TEST(DeletableBloomFilterTest, DeletionNeverCausesFalseNegativesForOthers) {
+  DeletableBloomFilter filter(1 << 15, 4, 2048);
+  for (uint64_t i = 0; i < 2000; i++) filter.Add(i);
+  // Delete the first half; the second half must all remain present.
+  for (uint64_t i = 0; i < 1000; i++) filter.Remove(i);
+  for (uint64_t i = 1000; i < 2000; i++) {
+    EXPECT_TRUE(filter.Contains(i)) << i;
+  }
+}
+
+TEST(DeletableBloomFilterTest, CollisionFractionGrowsWithLoad) {
+  DeletableBloomFilter filter(1 << 14, 4, 512);
+  double prev = 0.0;
+  for (int phase = 0; phase < 4; phase++) {
+    for (uint64_t i = phase * 1000ull; i < (phase + 1) * 1000ull; i++) {
+      filter.Add(i);
+    }
+    const double fraction = filter.CollidedRegionFraction();
+    EXPECT_GE(fraction, prev);
+    prev = fraction;
+  }
+  EXPECT_GT(prev, 0.1);
+}
+
+}  // namespace
+}  // namespace streamlib

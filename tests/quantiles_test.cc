@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/random.h"
+#include "core/quantiles/ckms_quantile.h"
+#include "core/quantiles/frugal.h"
+#include "core/quantiles/gk_quantile.h"
+#include "core/quantiles/sliding_quantile.h"
+#include "core/quantiles/tdigest.h"
+
+namespace streamlib {
+namespace {
+
+// True rank of `value` within `sorted`: count of elements <= value.
+double RankOf(const std::vector<double>& sorted, double value) {
+  return static_cast<double>(
+      std::upper_bound(sorted.begin(), sorted.end(), value) - sorted.begin());
+}
+
+std::vector<double> UniformStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextDouble() * 1000.0;
+  return v;
+}
+
+std::vector<double> GaussianStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextGaussian() * 10.0 + 50.0;
+  return v;
+}
+
+// ------------------------------------------------------------------- GK
+
+TEST(GkQuantileTest, RankErrorWithinEps) {
+  const double kEps = 0.01;
+  auto data = UniformStream(50000, 1);
+  GkQuantile gk(kEps);
+  for (double v : data) gk.Add(v);
+
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double answer = gk.Query(phi);
+    const double rank = RankOf(sorted, answer);
+    const double target = phi * static_cast<double>(data.size());
+    EXPECT_LE(std::fabs(rank - target), 2.0 * kEps * data.size() + 1)
+        << "phi=" << phi;
+  }
+}
+
+TEST(GkQuantileTest, ExtremesAreExact) {
+  auto data = GaussianStream(10000, 2);
+  GkQuantile gk(0.01);
+  for (double v : data) gk.Add(v);
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(gk.Query(0.0), sorted.front());
+  EXPECT_DOUBLE_EQ(gk.Query(1.0), sorted.back());
+}
+
+TEST(GkQuantileTest, SummaryIsSublinear) {
+  GkQuantile gk(0.01);
+  for (int i = 0; i < 200000; i++) gk.Add(static_cast<double>(i % 9973));
+  // O((1/eps) log(eps n)) ~ a few hundred tuples, vs 200k inputs.
+  EXPECT_LT(gk.SummarySize(), 4000u);
+}
+
+TEST(GkQuantileTest, SortedAndReversedInputs) {
+  for (bool reversed : {false, true}) {
+    GkQuantile gk(0.02);
+    for (int i = 0; i < 20000; i++) {
+      gk.Add(static_cast<double>(reversed ? 20000 - i : i));
+    }
+    EXPECT_NEAR(gk.Query(0.5), 10000.0, 2 * 0.02 * 20000 + 1);
+  }
+}
+
+// Eps sweep: measured rank error must respect each configured bound.
+class GkEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GkEpsSweep, RankErrorBound) {
+  const double eps = GetParam();
+  auto data = UniformStream(30000, 42);
+  GkQuantile gk(eps);
+  for (double v : data) gk.Add(v);
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    const double rank = RankOf(sorted, gk.Query(phi));
+    EXPECT_LE(std::fabs(rank - phi * data.size()), 2 * eps * data.size() + 1)
+        << "eps=" << eps << " phi=" << phi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, GkEpsSweep,
+                         ::testing::Values(0.1, 0.05, 0.01, 0.005, 0.001));
+
+// ------------------------------------------------------------------ CKMS
+
+TEST(CkmsQuantileTest, TargetedQuantilesAccurate) {
+  CkmsQuantile ckms({{0.5, 0.01}, {0.9, 0.005}, {0.99, 0.001}});
+  auto data = GaussianStream(100000, 3);
+  for (double v : data) ckms.Add(v);
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  struct Check {
+    double phi;
+    double eps;
+  };
+  for (const Check& c : {Check{0.5, 0.01}, Check{0.9, 0.005},
+                         Check{0.99, 0.001}}) {
+    const double rank = RankOf(sorted, ckms.Query(c.phi));
+    EXPECT_LE(std::fabs(rank - c.phi * data.size()),
+              3.0 * c.eps * data.size() + 1)
+        << "phi=" << c.phi;
+  }
+}
+
+TEST(CkmsQuantileTest, SummaryIsSublinear) {
+  // Space must stay well below the input size. (Note: targeted CKMS
+  // summaries are known empirically to hold *more* tuples than uniform GK
+  // on uniform streams — newborn tuples are at their invariant cap and only
+  // merge once n grows — so the test asserts sublinearity, not dominance.)
+  CkmsQuantile ckms({{0.99, 0.001}});
+  auto data = UniformStream(100000, 4);
+  for (double v : data) ckms.Add(v);
+  EXPECT_LT(ckms.SummarySize(), data.size() / 10);
+}
+
+TEST(CkmsQuantileTest, HandlesDuplicateHeavyValues) {
+  CkmsQuantile ckms({{0.5, 0.01}});
+  for (int i = 0; i < 50000; i++) ckms.Add(42.0);
+  EXPECT_DOUBLE_EQ(ckms.Query(0.5), 42.0);
+}
+
+// ---------------------------------------------------------------- Frugal
+
+TEST(Frugal1UTest, ConvergesToMedianOfIntegerStream) {
+  Frugal1U frugal(0.5, 5);
+  Rng rng(6);
+  // Uniform integers 0..999: median ~ 500.
+  for (int i = 0; i < 500000; i++) {
+    frugal.Add(static_cast<double>(rng.NextBounded(1000)));
+  }
+  EXPECT_NEAR(frugal.Estimate(), 500.0, 60.0);
+}
+
+TEST(Frugal2UTest, AdaptiveStepClosesLargeGapsQuickly) {
+  // Start 10000 away from the stream's support with only 2000 updates: the
+  // unit-step Frugal-1U cannot close that gap (needs >= 10000 steps), while
+  // Frugal-2U's growing step must get close.
+  Rng rng(7);
+  Frugal1U f1(0.9, 8);
+  Frugal2U f2(0.9, 9);
+  f1.Add(0.0);  // Prime both with a misleading first value.
+  f2.Add(0.0);
+  for (int i = 0; i < 2000; i++) {
+    const double v = 10000.0 + static_cast<double>(rng.NextBounded(1000));
+    f1.Add(v);
+    f2.Add(v);
+  }
+  const double target = 10900.0;
+  EXPECT_GT(std::fabs(f1.Estimate() - target), 7000.0);   // 1U still far.
+  EXPECT_LT(std::fabs(f2.Estimate() - target), 1000.0);   // 2U caught up.
+}
+
+TEST(Frugal2UTest, TracksQuantileOfGaussian) {
+  Frugal2U frugal(0.75, 10);
+  Rng rng(11);
+  for (int i = 0; i < 500000; i++) {
+    frugal.Add(rng.NextGaussian() * 100.0 + 1000.0);
+  }
+  // True p75 of N(1000, 100) = 1000 + 0.6745 * 100 ~ 1067.
+  EXPECT_NEAR(frugal.Estimate(), 1067.0, 50.0);
+}
+
+// --------------------------------------------------------------- TDigest
+
+TEST(TDigestTest, MedianOfUniform) {
+  TDigest digest(100);
+  auto data = UniformStream(100000, 12);
+  for (double v : data) digest.Add(v);
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(digest.Quantile(0.5), sorted[50000], 10.0);
+}
+
+TEST(TDigestTest, TailQuantilesAreTight) {
+  TDigest digest(100);
+  auto data = GaussianStream(200000, 13);
+  for (double v : data) digest.Add(v);
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  // Rank error at p999 should be small (t-digest's selling point).
+  const double q999 = digest.Quantile(0.999);
+  const double rank = RankOf(sorted, q999);
+  EXPECT_NEAR(rank / data.size(), 0.999, 0.0015);
+}
+
+TEST(TDigestTest, ExtremesExact) {
+  TDigest digest(50);
+  auto data = UniformStream(50000, 14);
+  for (double v : data) digest.Add(v);
+  auto minmax = std::minmax_element(data.begin(), data.end());
+  EXPECT_DOUBLE_EQ(digest.Quantile(0.0), *minmax.first);
+  EXPECT_DOUBLE_EQ(digest.Quantile(1.0), *minmax.second);
+  EXPECT_DOUBLE_EQ(digest.Min(), *minmax.first);
+  EXPECT_DOUBLE_EQ(digest.Max(), *minmax.second);
+}
+
+TEST(TDigestTest, CentroidCountBounded) {
+  TDigest digest(100);
+  for (int i = 0; i < 500000; i++) {
+    digest.Add(static_cast<double>(i % 1000));
+  }
+  EXPECT_LT(digest.NumCentroids(), 250u);  // ~2 * compression.
+}
+
+TEST(TDigestTest, CdfIsMonotoneAndCalibrated) {
+  TDigest digest(100);
+  auto data = GaussianStream(100000, 15);
+  for (double v : data) digest.Add(v);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 100.0; x += 5.0) {
+    const double c = digest.Cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  // CDF at the true mean (50) should be ~0.5.
+  EXPECT_NEAR(digest.Cdf(50.0), 0.5, 0.02);
+}
+
+TEST(TDigestTest, MergePreservesQuantiles) {
+  TDigest a(100);
+  TDigest b(100);
+  TDigest whole(100);
+  auto data = UniformStream(100000, 16);
+  for (size_t i = 0; i < data.size(); i++) {
+    (i % 2 == 0 ? a : b).Add(data[i]);
+    whole.Add(data[i]);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(a.Quantile(q), whole.Quantile(q), 15.0) << q;
+  }
+}
+
+// ------------------------------------------------- SlidingWindowQuantile
+
+TEST(SlidingWindowQuantileTest, TracksWindowedDistributionShift) {
+  // Values jump from ~N(100, 5) to ~N(500, 5): the windowed median must
+  // follow while a whole-stream digest stays in between.
+  SlidingWindowQuantile swq(2000, 8, 100.0);
+  TDigest whole(100.0);
+  Rng rng(71);
+  for (int i = 0; i < 10000; i++) {
+    const double v = (i < 5000 ? 100.0 : 500.0) + 5.0 * rng.NextGaussian();
+    swq.Add(v);
+    whole.Add(v);
+  }
+  EXPECT_NEAR(swq.Quantile(0.5), 500.0, 10.0);
+  EXPECT_NEAR(whole.Quantile(0.5), 300.0, 210.0);  // Mixture median.
+}
+
+TEST(SlidingWindowQuantileTest, MatchesExactWindowQuantiles) {
+  SlidingWindowQuantile swq(4096, 8, 100.0);
+  std::deque<double> window;
+  Rng rng(73);
+  for (int i = 0; i < 20000; i++) {
+    const double v = rng.NextDouble() * 1000.0;
+    swq.Add(v);
+    window.push_back(v);
+    if (window.size() > 4096) window.pop_front();
+  }
+  // Compare against the exact covered span (pane granularity differs from
+  // the nominal window by at most one pane).
+  std::vector<double> covered(window.end() - swq.CoveredCount(),
+                              window.end());
+  std::sort(covered.begin(), covered.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double expected =
+        covered[static_cast<size_t>(q * (covered.size() - 1))];
+    EXPECT_NEAR(swq.Quantile(q), expected, 25.0) << q;
+  }
+}
+
+TEST(SlidingWindowQuantileTest, SpaceBounded) {
+  SlidingWindowQuantile swq(100000, 10, 100.0);
+  Rng rng(79);
+  for (int i = 0; i < 300000; i++) swq.Add(rng.NextGaussian());
+  // ~10 panes x ~2*compression centroids << window.
+  EXPECT_LT(swq.TotalCentroids(), 3000u);
+}
+
+TEST(TDigestTest, WeightedInsertions) {
+  TDigest digest(100);
+  digest.Add(10.0, 900.0);
+  digest.Add(20.0, 100.0);
+  // p50 lies inside the weight-900 mass at value 10.
+  EXPECT_NEAR(digest.Quantile(0.5), 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(digest.TotalWeight(), 1000.0);
+}
+
+}  // namespace
+}  // namespace streamlib

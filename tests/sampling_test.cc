@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/sampling/bernoulli_sampler.h"
+#include "core/sampling/biased_reservoir.h"
+#include "core/sampling/chain_sampler.h"
+#include "core/sampling/reservoir_sampler.h"
+#include "core/sampling/weighted_reservoir.h"
+
+namespace streamlib {
+namespace {
+
+TEST(ReservoirSamplerTest, FillsToCapacityExactly) {
+  ReservoirSampler<int> sampler(10, 1);
+  for (int i = 0; i < 5; i++) sampler.Add(i);
+  EXPECT_EQ(sampler.sample().size(), 5u);
+  for (int i = 5; i < 100; i++) sampler.Add(i);
+  EXPECT_EQ(sampler.sample().size(), 10u);
+  EXPECT_EQ(sampler.count(), 100u);
+}
+
+TEST(ReservoirSamplerTest, SampleElementsComeFromStream) {
+  ReservoirSampler<int> sampler(16, 2);
+  for (int i = 0; i < 1000; i++) sampler.Add(i);
+  for (int v : sampler.sample()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+  }
+}
+
+// Uniformity: each element of a stream of length n should appear in the
+// sample with probability k/n. Run many trials and chi-square the inclusion
+// counts over stream positions.
+TEST(ReservoirSamplerTest, InclusionIsUniformAcrossPositions) {
+  const int kN = 100;
+  const int kK = 10;
+  const int kTrials = 20000;
+  std::vector<int> inclusion(kN, 0);
+  for (int t = 0; t < kTrials; t++) {
+    ReservoirSampler<int> sampler(kK, 1000 + t);
+    for (int i = 0; i < kN; i++) sampler.Add(i);
+    for (int v : sampler.sample()) inclusion[v]++;
+  }
+  const double expected = static_cast<double>(kTrials) * kK / kN;
+  double chi2 = 0;
+  for (int i = 0; i < kN; i++) {
+    const double d = inclusion[i] - expected;
+    chi2 += d * d / expected;
+  }
+  // 99 dof; p=0.001 critical value ~ 148.2. Allow generous headroom.
+  EXPECT_LT(chi2, 160.0);
+}
+
+TEST(SkipReservoirSamplerTest, MatchesAlgorithmRDistribution) {
+  const int kN = 100;
+  const int kK = 10;
+  const int kTrials = 20000;
+  std::vector<int> inclusion(kN, 0);
+  for (int t = 0; t < kTrials; t++) {
+    SkipReservoirSampler<int> sampler(kK, 7000 + t);
+    for (int i = 0; i < kN; i++) sampler.Add(i);
+    for (int v : sampler.sample()) inclusion[v]++;
+  }
+  const double expected = static_cast<double>(kTrials) * kK / kN;
+  double chi2 = 0;
+  for (int i = 0; i < kN; i++) {
+    const double d = inclusion[i] - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 160.0);
+}
+
+TEST(SkipReservoirSamplerTest, SampleSizeBounded) {
+  SkipReservoirSampler<uint64_t> sampler(32, 3);
+  for (uint64_t i = 0; i < 100000; i++) sampler.Add(i);
+  EXPECT_EQ(sampler.sample().size(), 32u);
+}
+
+TEST(WeightedReservoirSamplerTest, HeavyWeightDominates) {
+  // One item with weight 1000 among 999 items of weight 1: it should appear
+  // in a size-1 sample roughly 1000/1999 of the time.
+  const int kTrials = 4000;
+  int heavy_sampled = 0;
+  for (int t = 0; t < kTrials; t++) {
+    WeightedReservoirSampler<int> sampler(1, 500 + t);
+    for (int i = 0; i < 999; i++) sampler.Add(i, 1.0);
+    sampler.Add(-1, 1000.0);
+    if (sampler.Sample()[0] == -1) heavy_sampled++;
+  }
+  const double frac = static_cast<double>(heavy_sampled) / kTrials;
+  EXPECT_NEAR(frac, 1000.0 / 1999.0, 0.04);
+}
+
+TEST(WeightedReservoirSamplerTest, SampleWithoutReplacement) {
+  WeightedReservoirSampler<int> sampler(50, 11);
+  for (int i = 0; i < 1000; i++) sampler.Add(i, 1.0 + (i % 7));
+  std::vector<int> s = sampler.Sample();
+  EXPECT_EQ(s.size(), 50u);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());  // Distinct.
+}
+
+TEST(BiasedReservoirSamplerTest, RecentElementsOverrepresented) {
+  // Exponential bias: the newest 10% of a long stream should occupy much
+  // more than 10% of the sample.
+  BiasedReservoirSampler<uint64_t> sampler(100, 9);
+  const uint64_t kN = 100000;
+  for (uint64_t i = 0; i < kN; i++) sampler.Add(i);
+  size_t recent = 0;
+  for (uint64_t v : sampler.sample()) {
+    if (v >= kN * 9 / 10) recent++;
+  }
+  const double frac =
+      static_cast<double>(recent) / static_cast<double>(sampler.sample().size());
+  // With bias 1/100 over a 100k stream, nearly all survivors are recent.
+  EXPECT_GT(frac, 0.5);
+}
+
+TEST(BiasedReservoirSamplerTest, NeverExceedsCapacity) {
+  BiasedReservoirSampler<int> sampler(25, 4);
+  for (int i = 0; i < 10000; i++) {
+    sampler.Add(i);
+    EXPECT_LE(sampler.sample().size(), 25u);
+  }
+}
+
+TEST(ChainSamplerTest, SampleAlwaysInsideWindow) {
+  ChainSampler<uint64_t> sampler(64, 21);
+  for (uint64_t i = 0; i < 5000; i++) {
+    sampler.Add(i);
+    ASSERT_TRUE(sampler.HasSample());
+    EXPECT_LE(sampler.Sample(), i);
+    EXPECT_GT(sampler.Sample() + 64, i);  // Within the last 64 elements.
+  }
+}
+
+TEST(ChainSamplerTest, UniformOverWindow) {
+  // After a long run, the sampled offset from the window head should be
+  // uniform over [0, 64).
+  const uint64_t kW = 64;
+  const int kTrials = 8000;
+  std::vector<int> counts(kW, 0);
+  for (int t = 0; t < kTrials; t++) {
+    ChainSampler<uint64_t> sampler(kW, 40 + t);
+    const uint64_t n = 1000;
+    for (uint64_t i = 0; i < n; i++) sampler.Add(i);
+    counts[sampler.Sample() - (n - kW)]++;
+  }
+  const double expected = static_cast<double>(kTrials) / kW;
+  double chi2 = 0;
+  for (uint64_t i = 0; i < kW; i++) {
+    const double d = counts[i] - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 dof; p=0.001 critical ~ 103.4.
+  EXPECT_LT(chi2, 115.0);
+}
+
+TEST(ChainSamplerTest, ChainStaysShort) {
+  ChainSampler<uint64_t> sampler(1024, 77);
+  for (uint64_t i = 0; i < 200000; i++) sampler.Add(i);
+  // Expected chain length is O(1); catastrophic growth means an expiry bug.
+  EXPECT_LT(sampler.chain_length(), 64u);
+}
+
+TEST(WindowSamplerTest, ProducesKSamplesInWindow) {
+  WindowSampler<uint64_t> sampler(20, 128, 5);
+  for (uint64_t i = 0; i < 10000; i++) sampler.Add(i);
+  std::vector<uint64_t> s = sampler.Sample();
+  EXPECT_EQ(s.size(), 20u);
+  for (uint64_t v : s) EXPECT_GE(v, 10000u - 128u);
+}
+
+TEST(BernoulliSamplerTest, SampleSizeNearExpectation) {
+  BernoulliSampler<int> sampler(0.1, 31);
+  for (int i = 0; i < 100000; i++) sampler.Add(i);
+  EXPECT_NEAR(static_cast<double>(sampler.sample().size()), 10000.0, 400.0);
+  EXPECT_NEAR(sampler.EstimatedStreamLength(), 100000.0, 4000.0);
+}
+
+// Property sweep: every sampler respects its capacity for various k.
+class ReservoirCapacitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ReservoirCapacitySweep, CapacityRespected) {
+  const size_t k = GetParam();
+  ReservoirSampler<int> r(k, 1);
+  SkipReservoirSampler<int> s(k, 2);
+  BiasedReservoirSampler<int> b(k, 3);
+  for (int i = 0; i < 5000; i++) {
+    r.Add(i);
+    s.Add(i);
+    b.Add(i);
+  }
+  EXPECT_EQ(r.sample().size(), std::min<size_t>(k, 5000));
+  EXPECT_EQ(s.sample().size(), std::min<size_t>(k, 5000));
+  EXPECT_LE(b.sample().size(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ReservoirCapacitySweep,
+                         ::testing::Values(1, 2, 7, 64, 1000, 4096));
+
+}  // namespace
+}  // namespace streamlib

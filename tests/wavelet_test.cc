@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/wavelet/haar_wavelet.h"
+
+namespace streamlib {
+namespace {
+
+std::vector<double> RandomSignal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+TEST(HaarWaveletTest, TransformInverseRoundTrip) {
+  for (size_t n : {2u, 8u, 64u, 1024u}) {
+    auto signal = RandomSignal(n, n);
+    auto coeffs = HaarWavelet::Transform(signal);
+    auto restored = HaarWavelet::Inverse(coeffs);
+    ASSERT_EQ(restored.size(), n);
+    for (size_t i = 0; i < n; i++) {
+      EXPECT_NEAR(restored[i], signal[i], 1e-9) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(HaarWaveletTest, TransformPreservesL2Norm) {
+  // Normalized Haar is orthonormal: ||signal|| == ||coefficients||.
+  auto signal = RandomSignal(256, 7);
+  auto coeffs = HaarWavelet::Transform(signal);
+  double s_norm = 0.0;
+  double c_norm = 0.0;
+  for (double x : signal) s_norm += x * x;
+  for (double c : coeffs) c_norm += c * c;
+  EXPECT_NEAR(s_norm, c_norm, 1e-9);
+}
+
+TEST(HaarWaveletTest, ConstantSignalHasOneCoefficient) {
+  std::vector<double> signal(64, 5.0);
+  auto coeffs = HaarWavelet::Transform(signal);
+  EXPECT_NEAR(coeffs[0], 5.0 * std::sqrt(64.0), 1e-9);
+  for (size_t i = 1; i < coeffs.size(); i++) {
+    EXPECT_NEAR(coeffs[i], 0.0, 1e-9);
+  }
+}
+
+TEST(HaarWaveletTest, TopKCapturesStepFunction) {
+  // A signal with one step needs very few Haar coefficients.
+  std::vector<double> signal(128, 1.0);
+  for (size_t i = 64; i < 128; i++) signal[i] = 9.0;
+  const double err = HaarWavelet::SynopsisError(signal, 2);
+  EXPECT_NEAR(err, 0.0, 1e-9);
+}
+
+TEST(HaarWaveletTest, ErrorDecreasesWithK) {
+  auto signal = RandomSignal(512, 11);
+  double prev = 1e300;
+  for (size_t k : {8u, 32u, 128u, 512u}) {
+    const double err = HaarWavelet::SynopsisError(signal, k);
+    EXPECT_LE(err, prev + 1e-12);
+    prev = err;
+  }
+  EXPECT_NEAR(HaarWavelet::SynopsisError(signal, 512), 0.0, 1e-8);
+}
+
+TEST(HaarWaveletTest, TopKIsL2Optimal) {
+  // Keeping the largest coefficients must beat keeping any other subset:
+  // compare against keeping the *smallest* k.
+  auto signal = RandomSignal(256, 13);
+  auto coeffs = HaarWavelet::Transform(signal);
+  const size_t k = 32;
+  auto top = HaarWavelet::TopK(coeffs, k);
+  // Build the worst-k synopsis.
+  auto worst_sorted = HaarWavelet::TopK(coeffs, coeffs.size());
+  std::vector<WaveletCoefficient> worst(worst_sorted.end() - k,
+                                        worst_sorted.end());
+  auto best_approx = HaarWavelet::Reconstruct(top, signal.size());
+  auto worst_approx = HaarWavelet::Reconstruct(worst, signal.size());
+  double best_err = 0.0;
+  double worst_err = 0.0;
+  for (size_t i = 0; i < signal.size(); i++) {
+    best_err += (signal[i] - best_approx[i]) * (signal[i] - best_approx[i]);
+    worst_err +=
+        (signal[i] - worst_approx[i]) * (signal[i] - worst_approx[i]);
+  }
+  EXPECT_LT(best_err, worst_err);
+}
+
+}  // namespace
+}  // namespace streamlib

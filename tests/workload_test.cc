@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "workload/bit_stream.h"
+#include "workload/graph_stream.h"
+#include "workload/text_stream.h"
+#include "workload/timeseries.h"
+#include "workload/zipf.h"
+
+namespace streamlib::workload {
+namespace {
+
+TEST(ZipfGeneratorTest, ProbabilitiesSumToOne) {
+  ZipfGenerator zipf(1000, 1.1, 1);
+  double sum = 0;
+  for (uint64_t i = 0; i < 1000; i++) sum += zipf.Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfGeneratorTest, EmpiricalMatchesTheoretical) {
+  const uint64_t kN = 200000;
+  ZipfGenerator zipf(100, 1.0, 2);
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t i = 0; i < kN; i++) counts[zipf.Next()]++;
+  // The head items must match their theoretical frequencies closely.
+  for (uint64_t item = 0; item < 5; item++) {
+    const double expected = zipf.Probability(item) * kN;
+    EXPECT_NEAR(static_cast<double>(counts[item]), expected,
+                5 * std::sqrt(expected))
+        << item;
+  }
+}
+
+TEST(ZipfGeneratorTest, AllDrawsInDomain) {
+  ZipfGenerator zipf(50, 2.0, 3);
+  for (int i = 0; i < 10000; i++) EXPECT_LT(zipf.Next(), 50u);
+}
+
+TEST(ZipfGeneratorTest, HigherSkewConcentratesMass) {
+  ZipfGenerator flat(1000, 0.5, 4);
+  ZipfGenerator steep(1000, 2.0, 5);
+  EXPECT_LT(flat.Probability(0), steep.Probability(0));
+}
+
+TEST(ZipfGeneratorTest, CountItemsAboveFrequency) {
+  ZipfGenerator zipf(10000, 1.0, 6);
+  // Items with expected count >= 1000 in a 1e6 stream: p >= 0.001.
+  const uint64_t k = zipf.CountItemsAboveFrequency(1000000, 1000.0);
+  for (uint64_t i = 0; i < k; i++) {
+    EXPECT_GE(zipf.Probability(i) * 1e6, 1000.0);
+  }
+  if (k < zipf.domain_size()) {
+    EXPECT_LT(zipf.Probability(k) * 1e6, 1000.0);
+  }
+}
+
+TEST(ZipfGeneratorTest, DeterministicForSeed) {
+  ZipfGenerator a(1000, 1.2, 42);
+  ZipfGenerator b(1000, 1.2, 42);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(TimeSeriesGeneratorTest, NoAnomaliesWhenDisabled) {
+  TimeSeriesConfig config;
+  config.noise_sigma = 1.0;
+  TimeSeriesGenerator gen(config, 7);
+  for (const auto& p : gen.Take(10000)) {
+    EXPECT_EQ(p.label, AnomalyKind::kNone);
+  }
+}
+
+TEST(TimeSeriesGeneratorTest, SpikesInjectedAtConfiguredRate) {
+  TimeSeriesConfig config;
+  config.spike_probability = 0.01;
+  TimeSeriesGenerator gen(config, 8);
+  int spikes = 0;
+  for (const auto& p : gen.Take(100000)) {
+    if (p.label == AnomalyKind::kSpike) spikes++;
+  }
+  EXPECT_NEAR(spikes, 1000, 150);
+}
+
+TEST(TimeSeriesGeneratorTest, SpikesAreLarge) {
+  TimeSeriesConfig config;
+  config.base_level = 0.0;
+  config.noise_sigma = 1.0;
+  config.spike_probability = 0.02;
+  config.spike_magnitude = 10.0;
+  TimeSeriesGenerator gen(config, 9);
+  for (const auto& p : gen.Take(50000)) {
+    if (p.label == AnomalyKind::kSpike) {
+      EXPECT_GT(std::fabs(p.value), 5.0);
+    }
+  }
+}
+
+TEST(TimeSeriesGeneratorTest, LevelShiftPersists) {
+  TimeSeriesConfig config;
+  config.base_level = 0.0;
+  config.noise_sigma = 1.0;
+  config.level_shift_probability = 1e-9;  // Effectively manual control.
+  TimeSeriesGenerator gen(config, 10);
+  // Without shifts the mean stays near 0.
+  double sum = 0;
+  auto pts = gen.Take(20000);
+  for (const auto& p : pts) sum += p.value;
+  EXPECT_NEAR(sum / 20000.0, 0.0, 0.1);
+}
+
+TEST(TimeSeriesGeneratorTest, SeasonalityHasConfiguredPeriod) {
+  TimeSeriesConfig config;
+  config.base_level = 0.0;
+  config.noise_sigma = 0.01;
+  config.season_amplitude = 10.0;
+  config.season_period = 100;
+  TimeSeriesGenerator gen(config, 11);
+  auto pts = gen.Take(400);
+  // Peak near t=25, trough near t=75 (sin wave).
+  EXPECT_GT(pts[25].value, 8.0);
+  EXPECT_LT(pts[75].value, -8.0);
+  EXPECT_GT(pts[125].value, 8.0);
+}
+
+TEST(TextStreamGeneratorTest, TokensAreZipfOrdered) {
+  TextStreamGenerator gen(1000, 1.2, 12);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 100000; i++) counts[gen.Next()]++;
+  EXPECT_GT(counts["tag0"], counts["tag10"]);
+  EXPECT_GT(counts["tag10"], counts["tag500"]);
+}
+
+TEST(TextStreamGeneratorTest, TokenForRankRoundTrips) {
+  TextStreamGenerator gen(100, 1.0, 13);
+  EXPECT_EQ(gen.TokenForRank(0), "tag0");
+  EXPECT_EQ(gen.TokenForRank(99), "tag99");
+}
+
+TEST(GraphStreamGeneratorTest, EdgesAreValid) {
+  GraphStreamGenerator gen(100, 14);
+  for (const Edge& e : gen.RandomStream(10000)) {
+    EXPECT_LT(e.u, 100u);
+    EXPECT_LT(e.v, 100u);
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(GraphStreamGeneratorTest, PlantedTrianglesPresent) {
+  GraphStreamGenerator gen(1000, 15);
+  auto edges = gen.StreamWithPlantedTriangles(100, 50);
+  EXPECT_EQ(edges.size(), 100u + 150u);
+}
+
+TEST(BitStreamTest, BernoulliRate) {
+  BernoulliBitStream stream(0.25, 16);
+  int ones = 0;
+  for (int i = 0; i < 100000; i++) {
+    if (stream.Next()) ones++;
+  }
+  EXPECT_NEAR(ones, 25000, 700);
+}
+
+TEST(BitStreamTest, BurstyStreamHasHighVariance) {
+  // Compare windowed one-counts: bursty should swing far more than iid at
+  // the same average rate.
+  BurstyBitStream bursty(0.9, 0.01, 0.005, 0.01, 17);
+  std::vector<int> window_counts;
+  int count = 0;
+  for (int i = 0; i < 200000; i++) {
+    if (bursty.Next()) count++;
+    if ((i + 1) % 1000 == 0) {
+      window_counts.push_back(count);
+      count = 0;
+    }
+  }
+  double mean = 0;
+  for (int c : window_counts) mean += c;
+  mean /= static_cast<double>(window_counts.size());
+  double var = 0;
+  for (int c : window_counts) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(window_counts.size());
+  // I.i.d. Binomial(1000, p) variance would be < 1000*p ~ mean; bursty far larger.
+  EXPECT_GT(var, 2.0 * mean);
+}
+
+}  // namespace
+}  // namespace streamlib::workload
