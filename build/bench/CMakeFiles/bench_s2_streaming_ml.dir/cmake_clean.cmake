@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s2_streaming_ml.dir/bench_s2_streaming_ml.cc.o"
+  "CMakeFiles/bench_s2_streaming_ml.dir/bench_s2_streaming_ml.cc.o.d"
+  "bench_s2_streaming_ml"
+  "bench_s2_streaming_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s2_streaming_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

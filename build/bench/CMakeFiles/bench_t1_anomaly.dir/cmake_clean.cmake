@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_anomaly.dir/bench_t1_anomaly.cc.o"
+  "CMakeFiles/bench_t1_anomaly.dir/bench_t1_anomaly.cc.o.d"
+  "bench_t1_anomaly"
+  "bench_t1_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

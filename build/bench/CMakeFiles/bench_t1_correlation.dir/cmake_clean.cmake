@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_correlation.dir/bench_t1_correlation.cc.o"
+  "CMakeFiles/bench_t1_correlation.dir/bench_t1_correlation.cc.o.d"
+  "bench_t1_correlation"
+  "bench_t1_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

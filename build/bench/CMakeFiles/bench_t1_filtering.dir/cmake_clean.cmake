@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_filtering.dir/bench_t1_filtering.cc.o"
+  "CMakeFiles/bench_t1_filtering.dir/bench_t1_filtering.cc.o.d"
+  "bench_t1_filtering"
+  "bench_t1_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_frequent.dir/bench_t1_frequent.cc.o"
+  "CMakeFiles/bench_t1_frequent.dir/bench_t1_frequent.cc.o.d"
+  "bench_t1_frequent"
+  "bench_t1_frequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_frequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

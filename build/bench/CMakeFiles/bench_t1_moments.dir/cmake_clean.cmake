@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_moments.dir/bench_t1_moments.cc.o"
+  "CMakeFiles/bench_t1_moments.dir/bench_t1_moments.cc.o.d"
+  "bench_t1_moments"
+  "bench_t1_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

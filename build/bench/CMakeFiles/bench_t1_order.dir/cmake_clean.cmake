@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_order.dir/bench_t1_order.cc.o"
+  "CMakeFiles/bench_t1_order.dir/bench_t1_order.cc.o.d"
+  "bench_t1_order"
+  "bench_t1_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

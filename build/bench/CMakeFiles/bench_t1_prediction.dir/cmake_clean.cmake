@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_prediction.dir/bench_t1_prediction.cc.o"
+  "CMakeFiles/bench_t1_prediction.dir/bench_t1_prediction.cc.o.d"
+  "bench_t1_prediction"
+  "bench_t1_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

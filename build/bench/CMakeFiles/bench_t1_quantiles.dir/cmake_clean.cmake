@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_quantiles.dir/bench_t1_quantiles.cc.o"
+  "CMakeFiles/bench_t1_quantiles.dir/bench_t1_quantiles.cc.o.d"
+  "bench_t1_quantiles"
+  "bench_t1_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t1_synopsis.cc" "bench/CMakeFiles/bench_t1_synopsis.dir/bench_t1_synopsis.cc.o" "gcc" "bench/CMakeFiles/bench_t1_synopsis.dir/bench_t1_synopsis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/streamlib_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lambda/CMakeFiles/streamlib_lambda.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/streamlib_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/streamlib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/streamlib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_synopsis.dir/bench_t1_synopsis.cc.o"
+  "CMakeFiles/bench_t1_synopsis.dir/bench_t1_synopsis.cc.o.d"
+  "bench_t1_synopsis"
+  "bench_t1_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

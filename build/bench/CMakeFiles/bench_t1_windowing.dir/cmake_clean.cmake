@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_windowing.dir/bench_t1_windowing.cc.o"
+  "CMakeFiles/bench_t1_windowing.dir/bench_t1_windowing.cc.o.d"
+  "bench_t1_windowing"
+  "bench_t1_windowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_windowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_click_join.dir/ad_click_join.cpp.o"
+  "CMakeFiles/ad_click_join.dir/ad_click_join.cpp.o.d"
+  "ad_click_join"
+  "ad_click_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_click_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

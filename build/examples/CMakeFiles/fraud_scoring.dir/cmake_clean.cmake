@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_scoring.dir/fraud_scoring.cpp.o"
+  "CMakeFiles/fraud_scoring.dir/fraud_scoring.cpp.o.d"
+  "fraud_scoring"
+  "fraud_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

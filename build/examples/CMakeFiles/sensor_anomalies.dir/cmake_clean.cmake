@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_anomalies.dir/sensor_anomalies.cpp.o"
+  "CMakeFiles/sensor_anomalies.dir/sensor_anomalies.cpp.o.d"
+  "sensor_anomalies"
+  "sensor_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_audience.dir/site_audience.cpp.o"
+  "CMakeFiles/site_audience.dir/site_audience.cpp.o.d"
+  "site_audience"
+  "site_audience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_audience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

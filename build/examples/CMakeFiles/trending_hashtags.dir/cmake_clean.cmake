@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trending_hashtags.dir/trending_hashtags.cpp.o"
+  "CMakeFiles/trending_hashtags.dir/trending_hashtags.cpp.o.d"
+  "trending_hashtags"
+  "trending_hashtags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trending_hashtags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlib_common.dir/hash.cc.o"
+  "CMakeFiles/streamlib_common.dir/hash.cc.o.d"
+  "CMakeFiles/streamlib_common.dir/random.cc.o"
+  "CMakeFiles/streamlib_common.dir/random.cc.o.d"
+  "CMakeFiles/streamlib_common.dir/serde.cc.o"
+  "CMakeFiles/streamlib_common.dir/serde.cc.o.d"
+  "CMakeFiles/streamlib_common.dir/status.cc.o"
+  "CMakeFiles/streamlib_common.dir/status.cc.o.d"
+  "libstreamlib_common.a"
+  "libstreamlib_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlib_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly/adwin.cc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/adwin.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/adwin.cc.o.d"
+  "/root/repo/src/core/anomaly/ewma_detector.cc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/ewma_detector.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/ewma_detector.cc.o.d"
+  "/root/repo/src/core/anomaly/half_space_trees.cc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/half_space_trees.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/half_space_trees.cc.o.d"
+  "/root/repo/src/core/anomaly/kl_change_detector.cc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/kl_change_detector.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/kl_change_detector.cc.o.d"
+  "/root/repo/src/core/anomaly/robust_detector.cc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/robust_detector.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/anomaly/robust_detector.cc.o.d"
+  "/root/repo/src/core/cardinality/hyperloglog.cc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/hyperloglog.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/hyperloglog.cc.o.d"
+  "/root/repo/src/core/cardinality/kmv_sketch.cc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/kmv_sketch.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/kmv_sketch.cc.o.d"
+  "/root/repo/src/core/cardinality/linear_counter.cc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/linear_counter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/linear_counter.cc.o.d"
+  "/root/repo/src/core/cardinality/loglog.cc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/loglog.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/loglog.cc.o.d"
+  "/root/repo/src/core/cardinality/pcsa.cc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/pcsa.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/pcsa.cc.o.d"
+  "/root/repo/src/core/cardinality/sliding_hyperloglog.cc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/sliding_hyperloglog.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/sliding_hyperloglog.cc.o.d"
+  "/root/repo/src/core/cardinality/windowed_minhash.cc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/windowed_minhash.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/windowed_minhash.cc.o.d"
+  "/root/repo/src/core/cardinality/windowed_rarity.cc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/windowed_rarity.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/cardinality/windowed_rarity.cc.o.d"
+  "/root/repo/src/core/clustering/kmeans_util.cc" "src/core/CMakeFiles/streamlib_core.dir/clustering/kmeans_util.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/clustering/kmeans_util.cc.o.d"
+  "/root/repo/src/core/clustering/micro_clusters.cc" "src/core/CMakeFiles/streamlib_core.dir/clustering/micro_clusters.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/clustering/micro_clusters.cc.o.d"
+  "/root/repo/src/core/clustering/online_kmeans.cc" "src/core/CMakeFiles/streamlib_core.dir/clustering/online_kmeans.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/clustering/online_kmeans.cc.o.d"
+  "/root/repo/src/core/clustering/stream_kmedian.cc" "src/core/CMakeFiles/streamlib_core.dir/clustering/stream_kmedian.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/clustering/stream_kmedian.cc.o.d"
+  "/root/repo/src/core/correlation/dft_sketch.cc" "src/core/CMakeFiles/streamlib_core.dir/correlation/dft_sketch.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/correlation/dft_sketch.cc.o.d"
+  "/root/repo/src/core/correlation/pattern_matcher.cc" "src/core/CMakeFiles/streamlib_core.dir/correlation/pattern_matcher.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/correlation/pattern_matcher.cc.o.d"
+  "/root/repo/src/core/correlation/streaming_correlation.cc" "src/core/CMakeFiles/streamlib_core.dir/correlation/streaming_correlation.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/correlation/streaming_correlation.cc.o.d"
+  "/root/repo/src/core/filtering/blocked_bloom_filter.cc" "src/core/CMakeFiles/streamlib_core.dir/filtering/blocked_bloom_filter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/filtering/blocked_bloom_filter.cc.o.d"
+  "/root/repo/src/core/filtering/bloom_filter.cc" "src/core/CMakeFiles/streamlib_core.dir/filtering/bloom_filter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/filtering/bloom_filter.cc.o.d"
+  "/root/repo/src/core/filtering/counting_bloom_filter.cc" "src/core/CMakeFiles/streamlib_core.dir/filtering/counting_bloom_filter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/filtering/counting_bloom_filter.cc.o.d"
+  "/root/repo/src/core/filtering/cuckoo_filter.cc" "src/core/CMakeFiles/streamlib_core.dir/filtering/cuckoo_filter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/filtering/cuckoo_filter.cc.o.d"
+  "/root/repo/src/core/filtering/deletable_bloom_filter.cc" "src/core/CMakeFiles/streamlib_core.dir/filtering/deletable_bloom_filter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/filtering/deletable_bloom_filter.cc.o.d"
+  "/root/repo/src/core/filtering/stable_bloom_filter.cc" "src/core/CMakeFiles/streamlib_core.dir/filtering/stable_bloom_filter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/filtering/stable_bloom_filter.cc.o.d"
+  "/root/repo/src/core/frequency/count_min_sketch.cc" "src/core/CMakeFiles/streamlib_core.dir/frequency/count_min_sketch.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/frequency/count_min_sketch.cc.o.d"
+  "/root/repo/src/core/frequency/count_sketch.cc" "src/core/CMakeFiles/streamlib_core.dir/frequency/count_sketch.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/frequency/count_sketch.cc.o.d"
+  "/root/repo/src/core/frequency/dyadic_count_min.cc" "src/core/CMakeFiles/streamlib_core.dir/frequency/dyadic_count_min.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/frequency/dyadic_count_min.cc.o.d"
+  "/root/repo/src/core/frequency/hierarchical_heavy_hitters.cc" "src/core/CMakeFiles/streamlib_core.dir/frequency/hierarchical_heavy_hitters.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/frequency/hierarchical_heavy_hitters.cc.o.d"
+  "/root/repo/src/core/graph/graph_algorithms.cc" "src/core/CMakeFiles/streamlib_core.dir/graph/graph_algorithms.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/graph/graph_algorithms.cc.o.d"
+  "/root/repo/src/core/graph/graph_sketch.cc" "src/core/CMakeFiles/streamlib_core.dir/graph/graph_sketch.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/graph/graph_sketch.cc.o.d"
+  "/root/repo/src/core/graph/triangle_counter.cc" "src/core/CMakeFiles/streamlib_core.dir/graph/triangle_counter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/graph/triangle_counter.cc.o.d"
+  "/root/repo/src/core/histogram/end_biased_histogram.cc" "src/core/CMakeFiles/streamlib_core.dir/histogram/end_biased_histogram.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/histogram/end_biased_histogram.cc.o.d"
+  "/root/repo/src/core/histogram/equi_width_histogram.cc" "src/core/CMakeFiles/streamlib_core.dir/histogram/equi_width_histogram.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/histogram/equi_width_histogram.cc.o.d"
+  "/root/repo/src/core/histogram/v_optimal_histogram.cc" "src/core/CMakeFiles/streamlib_core.dir/histogram/v_optimal_histogram.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/histogram/v_optimal_histogram.cc.o.d"
+  "/root/repo/src/core/ml/online_classifiers.cc" "src/core/CMakeFiles/streamlib_core.dir/ml/online_classifiers.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/ml/online_classifiers.cc.o.d"
+  "/root/repo/src/core/moments/ams_sketch.cc" "src/core/CMakeFiles/streamlib_core.dir/moments/ams_sketch.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/moments/ams_sketch.cc.o.d"
+  "/root/repo/src/core/order/inversions.cc" "src/core/CMakeFiles/streamlib_core.dir/order/inversions.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/order/inversions.cc.o.d"
+  "/root/repo/src/core/order/lis.cc" "src/core/CMakeFiles/streamlib_core.dir/order/lis.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/order/lis.cc.o.d"
+  "/root/repo/src/core/prediction/kalman_filter.cc" "src/core/CMakeFiles/streamlib_core.dir/prediction/kalman_filter.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/prediction/kalman_filter.cc.o.d"
+  "/root/repo/src/core/prediction/online_ar.cc" "src/core/CMakeFiles/streamlib_core.dir/prediction/online_ar.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/prediction/online_ar.cc.o.d"
+  "/root/repo/src/core/quantiles/ckms_quantile.cc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/ckms_quantile.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/ckms_quantile.cc.o.d"
+  "/root/repo/src/core/quantiles/gk_quantile.cc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/gk_quantile.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/gk_quantile.cc.o.d"
+  "/root/repo/src/core/quantiles/qdigest.cc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/qdigest.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/qdigest.cc.o.d"
+  "/root/repo/src/core/quantiles/sliding_quantile.cc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/sliding_quantile.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/sliding_quantile.cc.o.d"
+  "/root/repo/src/core/quantiles/tdigest.cc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/tdigest.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/quantiles/tdigest.cc.o.d"
+  "/root/repo/src/core/sampling/reservoir_sampler.cc" "src/core/CMakeFiles/streamlib_core.dir/sampling/reservoir_sampler.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/sampling/reservoir_sampler.cc.o.d"
+  "/root/repo/src/core/sequence/sequence_miner.cc" "src/core/CMakeFiles/streamlib_core.dir/sequence/sequence_miner.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/sequence/sequence_miner.cc.o.d"
+  "/root/repo/src/core/wavelet/haar_wavelet.cc" "src/core/CMakeFiles/streamlib_core.dir/wavelet/haar_wavelet.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/wavelet/haar_wavelet.cc.o.d"
+  "/root/repo/src/core/windowing/eh_sum.cc" "src/core/CMakeFiles/streamlib_core.dir/windowing/eh_sum.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/windowing/eh_sum.cc.o.d"
+  "/root/repo/src/core/windowing/exponential_histogram.cc" "src/core/CMakeFiles/streamlib_core.dir/windowing/exponential_histogram.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/windowing/exponential_histogram.cc.o.d"
+  "/root/repo/src/core/windowing/significant_ones.cc" "src/core/CMakeFiles/streamlib_core.dir/windowing/significant_ones.cc.o" "gcc" "src/core/CMakeFiles/streamlib_core.dir/windowing/significant_ones.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/streamlib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

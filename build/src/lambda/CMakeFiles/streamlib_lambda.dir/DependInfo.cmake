@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lambda/batch_layer.cc" "src/lambda/CMakeFiles/streamlib_lambda.dir/batch_layer.cc.o" "gcc" "src/lambda/CMakeFiles/streamlib_lambda.dir/batch_layer.cc.o.d"
+  "/root/repo/src/lambda/lambda_pipeline.cc" "src/lambda/CMakeFiles/streamlib_lambda.dir/lambda_pipeline.cc.o" "gcc" "src/lambda/CMakeFiles/streamlib_lambda.dir/lambda_pipeline.cc.o.d"
+  "/root/repo/src/lambda/master_log.cc" "src/lambda/CMakeFiles/streamlib_lambda.dir/master_log.cc.o" "gcc" "src/lambda/CMakeFiles/streamlib_lambda.dir/master_log.cc.o.d"
+  "/root/repo/src/lambda/serving_layer.cc" "src/lambda/CMakeFiles/streamlib_lambda.dir/serving_layer.cc.o" "gcc" "src/lambda/CMakeFiles/streamlib_lambda.dir/serving_layer.cc.o.d"
+  "/root/repo/src/lambda/speed_layer.cc" "src/lambda/CMakeFiles/streamlib_lambda.dir/speed_layer.cc.o" "gcc" "src/lambda/CMakeFiles/streamlib_lambda.dir/speed_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/streamlib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/streamlib_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/streamlib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

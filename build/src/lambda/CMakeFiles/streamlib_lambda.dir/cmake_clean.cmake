@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlib_lambda.dir/batch_layer.cc.o"
+  "CMakeFiles/streamlib_lambda.dir/batch_layer.cc.o.d"
+  "CMakeFiles/streamlib_lambda.dir/lambda_pipeline.cc.o"
+  "CMakeFiles/streamlib_lambda.dir/lambda_pipeline.cc.o.d"
+  "CMakeFiles/streamlib_lambda.dir/master_log.cc.o"
+  "CMakeFiles/streamlib_lambda.dir/master_log.cc.o.d"
+  "CMakeFiles/streamlib_lambda.dir/serving_layer.cc.o"
+  "CMakeFiles/streamlib_lambda.dir/serving_layer.cc.o.d"
+  "CMakeFiles/streamlib_lambda.dir/speed_layer.cc.o"
+  "CMakeFiles/streamlib_lambda.dir/speed_layer.cc.o.d"
+  "libstreamlib_lambda.a"
+  "libstreamlib_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlib_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/checkpoint.cc" "src/platform/CMakeFiles/streamlib_platform.dir/checkpoint.cc.o" "gcc" "src/platform/CMakeFiles/streamlib_platform.dir/checkpoint.cc.o.d"
+  "/root/repo/src/platform/engine.cc" "src/platform/CMakeFiles/streamlib_platform.dir/engine.cc.o" "gcc" "src/platform/CMakeFiles/streamlib_platform.dir/engine.cc.o.d"
+  "/root/repo/src/platform/topology.cc" "src/platform/CMakeFiles/streamlib_platform.dir/topology.cc.o" "gcc" "src/platform/CMakeFiles/streamlib_platform.dir/topology.cc.o.d"
+  "/root/repo/src/platform/tuple.cc" "src/platform/CMakeFiles/streamlib_platform.dir/tuple.cc.o" "gcc" "src/platform/CMakeFiles/streamlib_platform.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/streamlib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/streamlib_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

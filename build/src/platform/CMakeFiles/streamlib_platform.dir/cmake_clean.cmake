@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlib_platform.dir/checkpoint.cc.o"
+  "CMakeFiles/streamlib_platform.dir/checkpoint.cc.o.d"
+  "CMakeFiles/streamlib_platform.dir/engine.cc.o"
+  "CMakeFiles/streamlib_platform.dir/engine.cc.o.d"
+  "CMakeFiles/streamlib_platform.dir/topology.cc.o"
+  "CMakeFiles/streamlib_platform.dir/topology.cc.o.d"
+  "CMakeFiles/streamlib_platform.dir/tuple.cc.o"
+  "CMakeFiles/streamlib_platform.dir/tuple.cc.o.d"
+  "libstreamlib_platform.a"
+  "libstreamlib_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlib_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bit_stream.cc" "src/workload/CMakeFiles/streamlib_workload.dir/bit_stream.cc.o" "gcc" "src/workload/CMakeFiles/streamlib_workload.dir/bit_stream.cc.o.d"
+  "/root/repo/src/workload/graph_stream.cc" "src/workload/CMakeFiles/streamlib_workload.dir/graph_stream.cc.o" "gcc" "src/workload/CMakeFiles/streamlib_workload.dir/graph_stream.cc.o.d"
+  "/root/repo/src/workload/text_stream.cc" "src/workload/CMakeFiles/streamlib_workload.dir/text_stream.cc.o" "gcc" "src/workload/CMakeFiles/streamlib_workload.dir/text_stream.cc.o.d"
+  "/root/repo/src/workload/timeseries.cc" "src/workload/CMakeFiles/streamlib_workload.dir/timeseries.cc.o" "gcc" "src/workload/CMakeFiles/streamlib_workload.dir/timeseries.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/workload/CMakeFiles/streamlib_workload.dir/zipf.cc.o" "gcc" "src/workload/CMakeFiles/streamlib_workload.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/streamlib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

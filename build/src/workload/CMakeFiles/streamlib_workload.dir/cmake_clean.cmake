@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlib_workload.dir/bit_stream.cc.o"
+  "CMakeFiles/streamlib_workload.dir/bit_stream.cc.o.d"
+  "CMakeFiles/streamlib_workload.dir/graph_stream.cc.o"
+  "CMakeFiles/streamlib_workload.dir/graph_stream.cc.o.d"
+  "CMakeFiles/streamlib_workload.dir/text_stream.cc.o"
+  "CMakeFiles/streamlib_workload.dir/text_stream.cc.o.d"
+  "CMakeFiles/streamlib_workload.dir/timeseries.cc.o"
+  "CMakeFiles/streamlib_workload.dir/timeseries.cc.o.d"
+  "CMakeFiles/streamlib_workload.dir/zipf.cc.o"
+  "CMakeFiles/streamlib_workload.dir/zipf.cc.o.d"
+  "libstreamlib_workload.a"
+  "libstreamlib_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlib_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

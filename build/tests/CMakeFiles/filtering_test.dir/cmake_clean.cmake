@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filtering_test.dir/filtering_test.cc.o"
+  "CMakeFiles/filtering_test.dir/filtering_test.cc.o.d"
+  "filtering_test"
+  "filtering_test.pdb"
+  "filtering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filtering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

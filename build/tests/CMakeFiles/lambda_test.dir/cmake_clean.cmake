@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_test.dir/lambda_test.cc.o"
+  "CMakeFiles/lambda_test.dir/lambda_test.cc.o.d"
+  "lambda_test"
+  "lambda_test.pdb"
+  "lambda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowing_test.dir/windowing_test.cc.o"
+  "CMakeFiles/windowing_test.dir/windowing_test.cc.o.d"
+  "windowing_test"
+  "windowing_test.pdb"
+  "windowing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/filtering_test[1]_include.cmake")
+include("/root/repo/build/tests/cardinality_test[1]_include.cmake")
+include("/root/repo/build/tests/quantiles_test[1]_include.cmake")
+include("/root/repo/build/tests/frequency_test[1]_include.cmake")
+include("/root/repo/build/tests/moments_test[1]_include.cmake")
+include("/root/repo/build/tests/windowing_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/wavelet_test[1]_include.cmake")
+include("/root/repo/build/tests/anomaly_test[1]_include.cmake")
+include("/root/repo/build/tests/prediction_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/correlation_test[1]_include.cmake")
+include("/root/repo/build/tests/order_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/lambda_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions2_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions3_test[1]_include.cmake")
