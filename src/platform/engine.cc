@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "platform/spsc_ring.h"
 
 namespace streamlib::platform {
 
@@ -38,15 +39,48 @@ struct TopologyEngine::AckerEvent {
 };
 
 /// One parallel instance of a component.
+///
+/// Bolt tasks own exactly one input channel: a lock-free SPSC ring when the
+/// task has a single producer task in dedicated mode (the common
+/// spout→bolt pipeline edge), otherwise the mutex-based MPMC BlockingQueue.
+/// The In* helpers dispatch to whichever is present.
 struct TopologyEngine::Task {
   size_t global_index = 0;
   size_t component_index = 0;
   uint32_t task_index = 0;
   std::unique_ptr<Spout> spout;
   std::unique_ptr<Bolt> bolt;
-  std::unique_ptr<BlockingQueue<Message>> queue;  // Bolts only.
+  std::unique_ptr<BlockingQueue<Message>> queue;  // Bolts, multi-producer.
+  std::unique_ptr<SpscRing<Message>> ring;        // Bolts, single-producer.
   std::unique_ptr<TaskCollector> collector;
   ComponentMetrics* metrics = nullptr;
+
+  size_t InPushAll(std::span<Message> b) {
+    return ring ? ring->PushAll(b) : queue->PushAll(b);
+  }
+  size_t InTryPushAll(std::span<Message> b) {
+    return ring ? ring->TryPushAll(b) : queue->TryPushAll(b);
+  }
+  size_t InForcePushAll(std::span<Message> b) {
+    // Rings are never selected in multiplexed mode, the only ForcePush
+    // caller; fall back to a blocking push if that ever changes.
+    return ring ? ring->PushAll(b) : queue->ForcePushAll(b);
+  }
+  size_t InPopBatch(std::vector<Message>& out, size_t max) {
+    return ring ? ring->PopBatch(out, max) : queue->PopBatch(out, max);
+  }
+  size_t InTryPopBatch(std::vector<Message>& out, size_t max) {
+    return ring ? ring->TryPopBatch(out, max) : queue->TryPopBatch(out, max);
+  }
+  void InClose() {
+    if (ring) {
+      ring->Close();
+    } else {
+      queue->Close();
+    }
+  }
+  size_t InSize() const { return ring ? ring->Size() : queue->Size(); }
+  bool InClosed() const { return ring ? ring->Closed() : queue->Closed(); }
 };
 
 /// A subscription edge resolved to concrete target tasks.
@@ -57,10 +91,38 @@ struct TopologyEngine::Edge {
 
 /// Engine-side OutputCollector for one task: routes, anchors, applies
 /// backpressure, and accumulates the XOR of created edge ids.
+///
+/// Emissions do not hit downstream queues directly: they accumulate in
+/// per-target staging buffers and flush as one batch push when a buffer
+/// reaches emit_batch_size or the surrounding Execute/NextTuple batch ends
+/// (FlushAll). This amortizes the lock/notify per queue operation over the
+/// batch while preserving per-target FIFO order. Acker traffic (kInit from
+/// spouts, kUpdate from bolts) is staged and flushed the same way — one
+/// vector push per execute batch.
 class TopologyEngine::TaskCollector : public OutputCollector {
  public:
   TaskCollector(TopologyEngine* engine, Task* task, uint64_t seed)
-      : engine_(engine), task_(task), rng_(seed) {}
+      : engine_(engine),
+        task_(task),
+        rng_(seed),
+        batch_size_(std::max<size_t>(1, engine->config_.emit_batch_size)) {}
+
+  /// Called once after subscription edges are resolved: builds one staging
+  /// slot per distinct downstream task this task can route to.
+  void InitStaging() {
+    slot_of_task_.assign(engine_->tasks_.size(), -1);
+    for (const Edge& edge : engine_->outgoing_[task_->component_index]) {
+      for (Task* target : edge.targets) {
+        if (slot_of_task_[target->global_index] < 0) {
+          slot_of_task_[target->global_index] =
+              static_cast<int32_t>(slots_.size());
+          slots_.emplace_back();
+          slots_.back().target = target;
+          slots_.back().buffer.reserve(batch_size_);
+        }
+      }
+    }
+  }
 
   /// Bolt path: set the anchoring context before Execute.
   void BeginExecute(uint64_t root_id, uint64_t emit_time_nanos) {
@@ -72,12 +134,20 @@ class TopologyEngine::TaskCollector : public OutputCollector {
 
   uint64_t LastRootId() const override { return last_spout_root_; }
 
+  /// Monotonic count of Emit calls (spout loop uses it to detect idle
+  /// polls and flush promptly instead of batching across waits).
+  uint64_t total_emitted() const { return total_emitted_; }
+
   void Emit(Tuple tuple) override {
     const bool from_spout = task_->spout != nullptr;
     uint64_t root = current_root_;
     uint64_t emit_time = current_emit_time_;
     if (from_spout) {
-      emit_time = NowNanos();
+      // Source-side latency sampling: stamp every Nth emission instead of
+      // reading the clock per tuple; executors sample exactly the stamped
+      // tuples (and their descendants, which inherit the stamp).
+      const uint32_t every = engine_->config_.latency_sample_every;
+      emit_time = every > 0 && total_emitted_ % every == 0 ? NowNanos() : 0;
       if (engine_->config_.semantics == DeliverySemantics::kAtLeastOnce) {
         root = engine_->next_root_id_.fetch_add(1, std::memory_order_relaxed);
         engine_->inflight_roots_.fetch_add(1, std::memory_order_relaxed);
@@ -86,92 +156,138 @@ class TopologyEngine::TaskCollector : public OutputCollector {
       }
     }
 
-    uint64_t edge_xor = 0;
-    const auto& edges = engine_->outgoing_[task_->component_index];
-    for (const Edge& edge : edges) {
-      // Resolve the target task set for this tuple.
+    // Resolve this tuple's target task set across all outgoing edges.
+    targets_scratch_.clear();
+    for (const Edge& edge : engine_->outgoing_[task_->component_index]) {
       switch (edge.grouping.kind) {
         case GroupingKind::kBroadcast:
-          for (Task* target : edge.targets) {
-            edge_xor ^= Send(target, tuple, root, emit_time);
-          }
+          for (Task* target : edge.targets) targets_scratch_.push_back(target);
           break;
-        case GroupingKind::kShuffle: {
-          Task* target = edge.targets[rng_.NextBounded(edge.targets.size())];
-          edge_xor ^= Send(target, tuple, root, emit_time);
+        case GroupingKind::kShuffle:
+          targets_scratch_.push_back(
+              edge.targets[rng_.NextBounded(edge.targets.size())]);
           break;
-        }
         case GroupingKind::kFields: {
           const uint64_t h =
               HashOfValue(tuple.field(edge.grouping.field_index), 77);
-          Task* target = edge.targets[h % edge.targets.size()];
-          edge_xor ^= Send(target, tuple, root, emit_time);
+          targets_scratch_.push_back(edge.targets[h % edge.targets.size()]);
           break;
         }
         case GroupingKind::kGlobal:
-          edge_xor ^= Send(edge.targets[0], tuple, root, emit_time);
+          targets_scratch_.push_back(edge.targets[0]);
           break;
       }
     }
-    task_->metrics->IncEmitted();
+
+    uint64_t edge_xor = 0;
+    for (size_t i = 0; i < targets_scratch_.size(); i++) {
+      const bool last = i + 1 == targets_scratch_.size();
+      edge_xor ^= Stage(targets_scratch_[i],
+                        last ? std::move(tuple) : Tuple(tuple), root,
+                        emit_time);
+    }
+    total_emitted_++;
+    unflushed_emits_++;
 
     if (engine_->config_.semantics == DeliverySemantics::kAtLeastOnce) {
       if (from_spout) {
         // Register the root with its initial ledger value.
-        engine_->acker_queue_->Push(AckerEvent{AckerEvent::kInit, root,
-                                               edge_xor,
-                                               task_->global_index});
+        StageAck(AckerEvent{AckerEvent::kInit, root, edge_xor,
+                            task_->global_index});
       } else if (root != 0) {
         xor_out_ ^= edge_xor;
       }
     }
   }
 
+  void StageAck(const AckerEvent& event) { acker_staging_.push_back(event); }
+
+  /// Flushes every staging buffer, the emitted-counter delta, and staged
+  /// acker events. Must run before the owning thread blocks on anything a
+  /// staged tuple could be needed to unblock (execute-batch end, spout
+  /// throttle wait, shutdown).
+  void FlushAll() {
+    for (StagingSlot& slot : slots_) FlushSlot(slot);
+    if (unflushed_emits_ > 0) {
+      task_->metrics->IncEmitted(unflushed_emits_);
+      unflushed_emits_ = 0;
+    }
+    if (!acker_staging_.empty()) {
+      engine_->acker_queue_->PushAll(std::span<AckerEvent>(acker_staging_));
+      acker_staging_.clear();
+    }
+  }
+
  private:
-  /// Routes one copy to `target`; returns the created edge id (0 untracked).
-  uint64_t Send(Task* target, const Tuple& tuple, uint64_t root,
-                uint64_t emit_time) {
+  struct StagingSlot {
+    Task* target = nullptr;
+    std::vector<Message> buffer;
+  };
+
+  /// Stages one copy for `target`; returns the created edge id
+  /// (0 untracked). Flushes the slot when it reaches the batch size.
+  uint64_t Stage(Task* target, Tuple&& tuple, uint64_t root,
+                 uint64_t emit_time) {
     const uint64_t edge_id =
         root != 0
             ? engine_->next_edge_id_.fetch_add(1, std::memory_order_relaxed)
             : 0;
-    Message message;
-    message.tuple = tuple;
+    StagingSlot& slot = slots_[slot_of_task_[target->global_index]];
+    Message& message = slot.buffer.emplace_back();
+    message.tuple = std::move(tuple);
     message.root_id = root;
     message.edge_id = edge_id;
     message.emit_time_nanos = emit_time;
-    engine_->pending_messages_.fetch_add(1, std::memory_order_acq_rel);
-    if (!target->queue->TryPush(std::move(message))) {
+    if (slot.buffer.size() >= batch_size_) FlushSlot(slot);
+    return edge_id;
+  }
+
+  /// Pushes one slot's staged messages downstream as a batch. Fast path is
+  /// a single non-blocking batch push; on a full queue the producer either
+  /// blocks (bounded backpressure: spouts and dedicated-mode bolts) or
+  /// falls back to unbounded buffering (multiplexed bolts, which must
+  /// never block on a queue they may themselves drain — faithfully
+  /// pre-backpressure Storm). The failed prefix stays in place: nothing is
+  /// re-copied on the stall path.
+  void FlushSlot(StagingSlot& slot) {
+    if (slot.buffer.empty()) return;
+    Task* target = slot.target;
+    const size_t n = slot.buffer.size();
+    // Count before pushing so a consumer finishing these messages can
+    // never drive pending_messages_ negative.
+    engine_->pending_messages_.fetch_add(n, std::memory_order_acq_rel);
+    std::span<Message> batch(slot.buffer);
+    size_t delivered = target->InTryPushAll(batch);
+    if (delivered < n) {
       task_->metrics->IncBackpressureStalls();
-      Message retry;
-      retry.tuple = tuple;
-      retry.root_id = root;
-      retry.edge_id = edge_id;
-      retry.emit_time_nanos = emit_time;
-      bool delivered;
+      std::span<Message> rest = batch.subspan(delivered);
       if (engine_->config_.mode == ExecutionMode::kMultiplexed &&
           task_->bolt != nullptr) {
-        // A multiplexed executor must never block on a queue it may itself
-        // be responsible for draining (deadlock); fall back to unbounded
-        // buffering — faithfully reproducing pre-backpressure Storm, whose
-        // internal queues grew without bound under imbalance (the failure
-        // mode Heron's dedicated executors + real backpressure fixed).
-        delivered = target->queue->ForcePush(std::move(retry));
+        delivered += target->InForcePushAll(rest);
       } else {
-        // Spouts and dedicated-mode bolts block: bounded-queue backpressure.
-        delivered = target->queue->Push(std::move(retry));
-      }
-      if (!delivered) {
-        engine_->pending_messages_.fetch_sub(1, std::memory_order_acq_rel);
-        return 0;  // Queue closed during shutdown; tuple dropped.
+        delivered += target->InPushAll(rest);
       }
     }
-    return edge_id;
+    if (delivered < n) {
+      // Queue closed during shutdown; remainder dropped.
+      engine_->pending_messages_.fetch_sub(n - delivered,
+                                           std::memory_order_acq_rel);
+    }
+    task_->metrics->RecordFlush(n);
+    target->metrics->RecordQueueDepth(target->InSize());
+    slot.buffer.clear();
   }
 
   TopologyEngine* engine_;
   Task* task_;
   Rng rng_;
+  const size_t batch_size_;
+  std::vector<StagingSlot> slots_;
+  std::vector<int32_t> slot_of_task_;  // global task index -> slot or -1.
+  std::vector<Task*> targets_scratch_;
+  std::vector<AckerEvent> acker_staging_;
+  uint64_t total_emitted_ = 0;
+  uint64_t unflushed_emits_ = 0;
   uint64_t current_root_ = 0;
   uint64_t current_emit_time_ = 0;
   uint64_t xor_out_ = 0;
@@ -199,8 +315,6 @@ void TopologyEngine::BuildTasks() {
         task->spout = spec.spout_factory();
       } else {
         task->bolt = spec.bolt_factory();
-        task->queue =
-            std::make_unique<BlockingQueue<Message>>(config_.queue_capacity);
       }
       task->collector = std::make_unique<TaskCollector>(
           this, task.get(),
@@ -210,8 +324,13 @@ void TopologyEngine::BuildTasks() {
     }
   }
 
-  // Resolve subscription edges into per-source outgoing lists.
+  // Resolve subscription edges into per-source outgoing lists, counting
+  // each consumer's distinct producer tasks on the way (the SPSC
+  // eligibility test).
   outgoing_.assign(components.size(), {});
+  std::vector<uint64_t> producer_tasks(components.size(), 0);
+  std::vector<std::vector<bool>> counted(
+      components.size(), std::vector<bool>(components.size(), false));
   for (size_t ci = 0; ci < components.size(); ci++) {
     for (const Subscription& sub : components[ci].inputs) {
       const size_t source = topology_.IndexOf(sub.source);
@@ -219,70 +338,130 @@ void TopologyEngine::BuildTasks() {
       edge.grouping = sub.grouping;
       edge.targets = tasks_by_component[ci];
       outgoing_[source].push_back(std::move(edge));
+      if (!counted[ci][source]) {
+        counted[ci][source] = true;
+        producer_tasks[ci] += components[source].parallelism;
+      }
     }
   }
+
+  // Input channels: a bolt task whose input has exactly one producer task
+  // gets the lock-free SPSC ring (dedicated mode only — both endpoints are
+  // single threads there); everything else gets the MPMC blocking queue.
+  for (auto& task : tasks_) {
+    if (task->bolt == nullptr) continue;
+    const bool spsc = config_.enable_spsc &&
+                      config_.mode == ExecutionMode::kDedicated &&
+                      producer_tasks[task->component_index] == 1;
+    if (spsc) {
+      task->ring = std::make_unique<SpscRing<Message>>(config_.queue_capacity);
+      spsc_edges_++;
+    } else {
+      task->queue =
+          std::make_unique<BlockingQueue<Message>>(config_.queue_capacity);
+    }
+  }
+
+  for (auto& task : tasks_) task->collector->InitStaging();
 }
 
 void TopologyEngine::SpoutLoop(Task* task) {
   task->spout->Open(task->task_index,
                     topology_.components()[task->component_index].parallelism);
-  while (true) {
-    if (config_.semantics == DeliverySemantics::kAtLeastOnce) {
-      // Spout throttle: cap in-flight tuple trees.
-      while (inflight_roots_.load(std::memory_order_relaxed) >=
-             config_.max_spout_pending) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      }
+  TaskCollector* collector = task->collector.get();
+  const size_t batch = std::max<size_t>(1, config_.emit_batch_size);
+  const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
+  auto throttled = [this] {
+    return inflight_roots_.load(std::memory_order_relaxed) >=
+           config_.max_spout_pending;
+  };
+  bool done = false;
+  while (!done) {
+    if (track && throttled()) {
+      // Spout throttle: cap in-flight tuple trees. Everything staged must
+      // flush first — a root can only resolve (and release the throttle)
+      // once its tuples are actually delivered.
+      collector->FlushAll();
+      std::unique_lock<std::mutex> lock(progress_mu_);
+      progress_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                            [&] { return !throttled(); });
+      continue;
     }
-    if (!task->spout->NextTuple(task->collector.get())) break;
+    for (size_t i = 0; i < batch && !done; i++) {
+      const uint64_t before = collector->total_emitted();
+      if (!task->spout->NextTuple(collector)) {
+        done = true;
+      } else if (collector->total_emitted() == before) {
+        break;  // Idle poll: flush promptly instead of batching waits.
+      }
+      if (track && throttled()) break;
+    }
+    collector->FlushAll();
   }
 }
 
-void TopologyEngine::ExecuteMessage(Task* task, Message& message) {
-  task->collector->BeginExecute(message.root_id, message.emit_time_nanos);
-  task->bolt->Execute(message.tuple, task->collector.get());
-  const uint64_t xor_out = task->collector->EndExecute();
-  task->metrics->IncExecuted();
-  const uint64_t executed = task->metrics->executed();
-  if (config_.latency_sample_every > 0 &&
-      executed % config_.latency_sample_every == 0 &&
-      message.emit_time_nanos > 0) {
-    task->metrics->RecordLatencyNanos(NowNanos() - message.emit_time_nanos);
+void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
+  TaskCollector* collector = task->collector.get();
+  const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
+  for (Message& message : batch) {
+    collector->BeginExecute(message.root_id, message.emit_time_nanos);
+    task->bolt->Execute(message.tuple, collector);
+    const uint64_t xor_out = collector->EndExecute();
+    if (message.emit_time_nanos > 0) {
+      task->metrics->RecordLatencyNanos(NowNanos() - message.emit_time_nanos);
+    }
+    if (track && message.root_id != 0) {
+      collector->StageAck(AckerEvent{AckerEvent::kUpdate, message.root_id,
+                                     message.edge_id ^ xor_out, 0});
+    }
   }
-  if (config_.semantics == DeliverySemantics::kAtLeastOnce &&
-      message.root_id != 0) {
-    acker_queue_->Push(AckerEvent{AckerEvent::kUpdate, message.root_id,
-                                  message.edge_id ^ xor_out, 0});
+  // Children enqueue (and acker events post) before the parents' pending
+  // count releases, so pending_messages_ == 0 always means fully drained.
+  collector->FlushAll();
+  task->metrics->IncExecuted(batch.size());
+  const uint64_t prev =
+      pending_messages_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+  if (prev == batch.size() &&
+      spouts_done_.load(std::memory_order_acquire)) {
+    progress_cv_.notify_all();  // Wake the drain wait in Run().
   }
-  pending_messages_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void TopologyEngine::DedicatedBoltLoop(Task* task) {
   task->bolt->Prepare(
       task->task_index,
       topology_.components()[task->component_index].parallelism);
-  while (auto message = task->queue->Pop()) {
-    ExecuteMessage(task, *message);
+  const size_t max_batch = std::max<size_t>(1, config_.execute_batch_size);
+  std::vector<Message> batch;
+  batch.reserve(max_batch);
+  while (true) {
+    batch.clear();
+    const size_t n = task->InPopBatch(batch, max_batch);
+    if (n == 0) break;  // Closed and drained.
+    ExecuteBatch(task, std::span<Message>(batch.data(), n));
   }
 }
 
 void TopologyEngine::MultiplexedWorkerLoop(const std::vector<Task*>& tasks) {
   // One executor thread serving many task queues round-robin (Storm-style
-  // multiplexing): poll each queue for a small batch, sleep when idle.
+  // multiplexing): drain each queue in batches, sleep briefly when idle
+  // (a worker polls many queues, so it cannot block on any single one).
+  const size_t max_batch = std::max<size_t>(1, config_.execute_batch_size);
+  std::vector<Message> batch;
+  batch.reserve(max_batch);
   while (true) {
     bool any = false;
     for (Task* task : tasks) {
-      for (int batch = 0; batch < 32; batch++) {
-        auto message = task->queue->TryPop();
-        if (!message) break;
-        any = true;
-        ExecuteMessage(task, *message);
-      }
+      batch.clear();
+      const size_t n = task->InTryPopBatch(batch, max_batch);
+      if (n == 0) continue;
+      any = true;
+      ExecuteBatch(task, std::span<Message>(batch.data(), n));
     }
     if (!any) {
       bool all_done = true;
       for (Task* task : tasks) {
-        if (!task->queue->Closed() || task->queue->Size() > 0) {
+        if (!task->InClosed() || task->InSize() > 0) {
           all_done = false;
           break;
         }
@@ -319,22 +498,28 @@ void TopologyEngine::AckerLoop() {
     inflight_roots_.fetch_sub(1, std::memory_order_relaxed);
   };
 
+  std::vector<AckerEvent> events;
+  events.reserve(1024);
   while (true) {
-    auto event = acker_queue_->TryPop();
-    if (!event) {
-      if (acker_queue_->Closed()) break;
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    } else {
-      RootEntry& entry = ledger[event->root_id];
-      entry.value ^= event->xor_value;
-      if (event->kind == AckerEvent::kInit) {
+    events.clear();
+    // Timed blocking wait (no spin-sleep): wake on traffic, or on the
+    // timeout slice to run the periodic ack-timeout scan.
+    const size_t n = acker_queue_->PopBatchWithTimeout(
+        events, 1024, std::chrono::milliseconds(5));
+    if (n == 0 && acker_queue_->Closed()) break;
+    bool resolved_any = false;
+    for (const AckerEvent& event : events) {
+      RootEntry& entry = ledger[event.root_id];
+      entry.value ^= event.xor_value;
+      if (event.kind == AckerEvent::kInit) {
         entry.initialized = true;
-        entry.spout_task = event->spout_task;
+        entry.spout_task = event.spout_task;
         entry.created_nanos = NowNanos();
       }
       if (entry.initialized && entry.value == 0) {
-        resolve(event->root_id, entry, /*success=*/true);
-        ledger.erase(event->root_id);
+        resolve(event.root_id, entry, /*success=*/true);
+        ledger.erase(event.root_id);
+        resolved_any = true;
       }
     }
     // Periodic timeout scan.
@@ -346,16 +531,25 @@ void TopologyEngine::AckerLoop() {
             now - it->second.created_nanos > timeout_nanos) {
           resolve(it->first, it->second, /*success=*/false);
           it = ledger.erase(it);
+          resolved_any = true;
         } else {
           ++it;
         }
       }
     }
+    if (resolved_any) {
+      progress_cv_.notify_all();  // Throttled spouts / the drain wait.
+    }
   }
   // Shutdown: anything left unresolved fails.
+  bool resolved_any = false;
   for (auto& [root, entry] : ledger) {
-    if (entry.initialized) resolve(root, entry, /*success=*/false);
+    if (entry.initialized) {
+      resolve(root, entry, /*success=*/false);
+      resolved_any = true;
+    }
   }
+  if (resolved_any) progress_cv_.notify_all();
 }
 
 /// Synchronous collector used by the post-drain Finish() pass: emissions
@@ -462,15 +656,22 @@ void TopologyEngine::Run() {
   spouts_done_.store(true, std::memory_order_release);
 
   // Drain: wait until no message is queued or mid-execution, and (at least
-  // once) until every tuple tree resolved.
-  while (pending_messages_.load(std::memory_order_acquire) != 0 ||
-         (config_.semantics == DeliverySemantics::kAtLeastOnce &&
-          inflight_roots_.load(std::memory_order_relaxed) != 0)) {
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  // once) until every tuple tree resolved. Timed waits on progress_cv_
+  // (executors notify on pending hitting zero, the acker on resolves).
+  {
+    auto drained = [this] {
+      return pending_messages_.load(std::memory_order_acquire) == 0 &&
+             (config_.semantics != DeliverySemantics::kAtLeastOnce ||
+              inflight_roots_.load(std::memory_order_relaxed) == 0);
+    };
+    std::unique_lock<std::mutex> lock(progress_mu_);
+    while (!drained()) {
+      progress_cv_.wait_for(lock, std::chrono::microseconds(200));
+    }
   }
 
   // Stop executors.
-  for (Task* task : bolt_tasks) task->queue->Close();
+  for (Task* task : bolt_tasks) task->InClose();
   for (auto& t : threads_) t.join();
   threads_.clear();
 

@@ -2,8 +2,11 @@
 #define STREAMLIB_PLATFORM_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -44,6 +47,17 @@ struct EngineConfig {
   /// At-least-once: a root not fully acked within this window fails (and
   /// the spout's OnFail may replay it).
   double ack_timeout_seconds = 5.0;
+  /// Transport batching: emissions accumulate in per-target staging
+  /// buffers and flush as one batch push when a buffer reaches this size
+  /// (or when the producing Execute/NextTuple batch ends). 1 disables
+  /// output batching (per-tuple pushes, the pre-batching data plane).
+  size_t emit_batch_size = 32;
+  /// Max input messages a bolt executor drains per queue operation.
+  /// 1 disables input batching.
+  size_t execute_batch_size = 128;
+  /// Use a lock-free SPSC ring (instead of the mutex BlockingQueue) for
+  /// bolt input queues with exactly one producer task, in dedicated mode.
+  bool enable_spsc = true;
 };
 
 /// Executes a topology to completion: runs all spouts until exhausted,
@@ -70,6 +84,9 @@ class TopologyEngine {
     return failed_roots_.load(std::memory_order_relaxed);
   }
 
+  /// Number of bolt input queues backed by the SPSC ring (after Run()).
+  size_t spsc_edges() const { return spsc_edges_; }
+
  private:
   struct Task;
   struct Edge;
@@ -82,7 +99,7 @@ class TopologyEngine {
   void DedicatedBoltLoop(Task* task);
   void MultiplexedWorkerLoop(const std::vector<Task*>& tasks);
   void AckerLoop();
-  void ExecuteMessage(Task* task, struct Message& message);
+  void ExecuteBatch(Task* task, std::span<struct Message> batch);
   void RunFinishPass();
 
   Topology topology_;
@@ -91,6 +108,7 @@ class TopologyEngine {
 
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::vector<Edge>> outgoing_;  // Per component index.
+  size_t spsc_edges_ = 0;
 
   std::atomic<uint64_t> pending_messages_{0};
   std::atomic<uint64_t> next_root_id_{1};
@@ -99,6 +117,13 @@ class TopologyEngine {
   std::atomic<uint64_t> completed_roots_{0};
   std::atomic<uint64_t> failed_roots_{0};
   std::atomic<bool> spouts_done_{false};
+
+  /// Signalled on progress the blocked sides wait for: roots resolving
+  /// (spout throttle) and the pipeline draining (Run's drain wait). All
+  /// waits are timed, so a missed notify costs bounded latency, never a
+  /// hang.
+  std::mutex progress_mu_;
+  std::condition_variable progress_cv_;
 
   std::unique_ptr<BlockingQueue<AckerEvent>> acker_queue_;
   std::thread acker_thread_;

@@ -35,6 +35,24 @@ class ComponentMetrics {
     backpressure_stalls_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Records one transport flush of `batch_tuples` tuples from this
+  /// component's staging buffer into a downstream queue. flushes() and
+  /// AvgFlushSize() expose how well emission batching is amortizing.
+  void RecordFlush(uint64_t batch_tuples) {
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    flushed_tuples_.fetch_add(batch_tuples, std::memory_order_relaxed);
+  }
+
+  /// High-watermark gauge of this component's input queue depth, sampled
+  /// by producers after each flush (cheap: one sample per batch).
+  void RecordQueueDepth(uint64_t depth) {
+    uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > current &&
+           !max_queue_depth_.compare_exchange_weak(
+               current, depth, std::memory_order_relaxed)) {
+    }
+  }
+
   /// Records one end-to-end latency observation (nanoseconds). Callers
   /// sample (e.g. every 64th tuple) to keep contention negligible.
   void RecordLatencyNanos(uint64_t nanos) {
@@ -51,6 +69,20 @@ class ComponentMetrics {
   uint64_t backpressure_stalls() const {
     return backpressure_stalls_.load(std::memory_order_relaxed);
   }
+  uint64_t flushes() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+  uint64_t flushed_tuples() const {
+    return flushed_tuples_.load(std::memory_order_relaxed);
+  }
+  /// Mean tuples per transport flush (0 with no flushes).
+  double AvgFlushSize() const {
+    const uint64_t n = flushes();
+    return n == 0 ? 0.0 : static_cast<double>(flushed_tuples()) / n;
+  }
+  uint64_t max_queue_depth() const {
+    return max_queue_depth_.load(std::memory_order_relaxed);
+  }
 
   /// Latency percentile in nanoseconds (0 if no samples).
   double LatencyPercentileNanos(double q) {
@@ -65,6 +97,9 @@ class ComponentMetrics {
   std::atomic<uint64_t> acked_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> backpressure_stalls_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> flushed_tuples_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
   std::mutex latency_mu_;
   TDigest latency_digest_;
 };

@@ -1,11 +1,14 @@
 #ifndef STREAMLIB_PLATFORM_QUEUE_H_
 #define STREAMLIB_PLATFORM_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <vector>
 
 namespace streamlib::platform {
 
@@ -13,6 +16,11 @@ namespace streamlib::platform {
 /// when the queue is full — that *is* the backpressure mechanism of the
 /// engine (a slow bolt stalls its upstreams, exactly the behaviour the
 /// Storm/Heron architecture discussion in the paper revolves around).
+///
+/// The batch operations (PushAll/PopBatch and friends) amortize the mutex
+/// acquisition and condition-variable signalling over whole batches; they
+/// are the transport primitives of the engine's batched data plane
+/// (single-item Push/Pop remain for low-rate control traffic and tests).
 template <typename T>
 class BlockingQueue {
  public:
@@ -48,8 +56,11 @@ class BlockingQueue {
     return true;
   }
 
-  /// Non-blocking push; false when full or closed.
-  bool TryPush(T item) {
+  /// Non-blocking push; false when full or closed. On failure the item is
+  /// *not* consumed: it is handed back to the caller intact, so a stalled
+  /// producer can retry (or fall back to a blocking push) without paying a
+  /// second copy.
+  bool TryPush(T&& item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -57,6 +68,53 @@ class BlockingQueue {
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Blocking batch push: moves every element of `items` into the queue,
+  /// waiting for space as needed (partial batches are admitted as capacity
+  /// frees up, preserving order). Returns the number of items enqueued —
+  /// equal to items.size() unless the queue was closed mid-push, in which
+  /// case the remainder is dropped.
+  size_t PushAll(std::span<T> items) {
+    size_t pushed = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (pushed < items.size()) {
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+      if (closed_) break;
+      while (pushed < items.size() && items_.size() < capacity_) {
+        items_.push_back(std::move(items[pushed++]));
+      }
+      not_empty_.notify_all();
+    }
+    return pushed;
+  }
+
+  /// Non-blocking batch push: moves a prefix of `items` into the queue up
+  /// to the capacity bound and returns its length; the suffix is untouched.
+  size_t TryPushAll(std::span<T> items) {
+    size_t pushed = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return 0;
+      while (pushed < items.size() && items_.size() < capacity_) {
+        items_.push_back(std::move(items[pushed++]));
+      }
+    }
+    if (pushed > 0) not_empty_.notify_all();
+    return pushed;
+  }
+
+  /// Batch ForcePush: ignores the capacity bound; returns items.size(), or
+  /// 0 when closed (nothing is enqueued).
+  size_t ForcePushAll(std::span<T> items) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return 0;
+      for (T& item : items) items_.push_back(std::move(item));
+    }
+    not_empty_.notify_all();
+    return items.size();
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
@@ -84,6 +142,50 @@ class BlockingQueue {
     return item;
   }
 
+  /// Timed pop: waits up to `timeout` for an item. Returns nullopt on
+  /// timeout or when closed and drained.
+  std::optional<T> PopWithTimeout(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return !items_.empty() || closed_; })) {
+      return std::nullopt;  // Timed out.
+    }
+    if (items_.empty()) return std::nullopt;  // Closed and drained.
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocking batch pop: waits until at least one item is available, then
+  /// drains up to `max` items into `out` under a single lock. Returns the
+  /// number appended; 0 means closed and drained.
+  size_t PopBatch(std::vector<T>& out, size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    return DrainLocked(lock, out, max);
+  }
+
+  /// Timed batch pop: like PopBatch but gives up after `timeout` (returning
+  /// 0 without closing). Lets consumers with periodic side-work (the acker's
+  /// timeout scan) block instead of spin-polling.
+  size_t PopBatchWithTimeout(std::vector<T>& out, size_t max,
+                             std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return !items_.empty() || closed_; })) {
+      return 0;
+    }
+    return DrainLocked(lock, out, max);
+  }
+
+  /// Non-blocking batch pop.
+  size_t TryPopBatch(std::vector<T>& out, size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return DrainLocked(lock, out, max);
+  }
+
   /// Closes the queue: pending items drain; pushes fail; pops return
   /// nullopt once empty.
   void Close() {
@@ -106,6 +208,20 @@ class BlockingQueue {
   }
 
  private:
+  /// Moves up to `max` items into `out`; unlocks and signals producers.
+  size_t DrainLocked(std::unique_lock<std::mutex>& lock, std::vector<T>& out,
+                     size_t max) {
+    size_t n = 0;
+    while (n < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      n++;
+    }
+    lock.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
   size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

@@ -294,5 +294,101 @@ TEST(OperatorIntegrationTest, AggregateAndJoinPipelineThroughEngine) {
   EXPECT_EQ(static_cast<uint64_t>(got["west"].second), expected_west_n);
 }
 
+// At-least-once accounting must be exact under transport batching: every
+// spout-emitted root resolves as completed (none failed, none lost) even
+// though tuples and acker events now travel in batches.
+void RunAtLeastOnceAccounting(ExecutionMode mode) {
+  constexpr uint64_t kN = 50000;
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  auto executed = std::make_shared<std::atomic<uint64_t>>(0);
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "src",
+      [counter]() -> std::unique_ptr<Spout> {
+        return std::make_unique<GeneratorSpout>(
+            [counter]() -> std::optional<Tuple> {
+              const uint64_t i = counter->fetch_add(1);
+              if (i >= kN) return std::nullopt;
+              return Tuple::Of(static_cast<int64_t>(i));
+            });
+      },
+      1);
+  builder.AddBolt(
+      "work",
+      [executed]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [executed](const Tuple&, OutputCollector*) {
+              executed->fetch_add(1, std::memory_order_relaxed);
+            });
+      },
+      4, {{"src", Grouping::Shuffle()}});
+
+  EngineConfig config;
+  config.mode = mode;
+  config.semantics = DeliverySemantics::kAtLeastOnce;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  EXPECT_EQ(engine.completed_roots(), kN);
+  EXPECT_EQ(engine.failed_roots(), 0u);
+  EXPECT_EQ(executed->load(), kN);
+}
+
+TEST(EngineBatchingTest, AtLeastOnceAccountingExactDedicated) {
+  RunAtLeastOnceAccounting(ExecutionMode::kDedicated);
+}
+
+TEST(EngineBatchingTest, AtLeastOnceAccountingExactMultiplexed) {
+  RunAtLeastOnceAccounting(ExecutionMode::kMultiplexed);
+}
+
+// A single-producer chain in dedicated mode must select the SPSC ring for
+// every bolt input and still conserve tuples exactly; with the ring
+// disabled the same topology runs on BlockingQueues with identical counts.
+TEST(EngineBatchingTest, SpscChainConservesTuples) {
+  for (const bool enable_spsc : {true, false}) {
+    constexpr uint64_t kN = 100000;
+    auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+    auto sunk = std::make_shared<std::atomic<uint64_t>>(0);
+    TopologyBuilder builder;
+    builder.AddSpout(
+        "src",
+        [counter]() -> std::unique_ptr<Spout> {
+          return std::make_unique<GeneratorSpout>(
+              [counter]() -> std::optional<Tuple> {
+                const uint64_t i = counter->fetch_add(1);
+                if (i >= kN) return std::nullopt;
+                return Tuple::Of(static_cast<int64_t>(i));
+              });
+        },
+        1);
+    builder.AddBolt(
+        "relay",
+        []() -> std::unique_ptr<Bolt> {
+          return std::make_unique<FunctionBolt>(
+              [](const Tuple& t, OutputCollector* out) { out->Emit(t); });
+        },
+        1, {{"src", Grouping::Shuffle()}});
+    builder.AddBolt(
+        "sink",
+        [sunk]() -> std::unique_ptr<Bolt> {
+          return std::make_unique<FunctionBolt>(
+              [sunk](const Tuple&, OutputCollector*) {
+                sunk->fetch_add(1, std::memory_order_relaxed);
+              });
+        },
+        1, {{"relay", Grouping::Global()}});
+
+    EngineConfig config;
+    config.mode = ExecutionMode::kDedicated;
+    config.enable_spsc = enable_spsc;
+    TopologyEngine engine(builder.Build().value(), config);
+    engine.Run();
+
+    EXPECT_EQ(engine.spsc_edges(), enable_spsc ? 2u : 0u);
+    EXPECT_EQ(sunk->load(), kN) << "enable_spsc=" << enable_spsc;
+  }
+}
+
 }  // namespace
 }  // namespace streamlib::platform
