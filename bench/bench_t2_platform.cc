@@ -18,6 +18,9 @@
 //                smoke run) — skips the timing section and word-count
 //                tables.
 //   --out=PATH   where to write BENCH_platform.json (default: cwd).
+//   --telemetry-out=PATH  run a telemetry-instrumented word count (sampler
+//                + sampled tracing) and write the TelemetryReport JSON to
+//                PATH (validated by the telemetry_schema_check ctest).
 //
 // Workload: the word-count topology every platform paper uses
 // (spout -> splitter x3 -> fields-grouped counter x4 -> sink).
@@ -25,6 +28,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -53,10 +57,11 @@ struct RunResult {
   uint64_t failed;
 };
 
-RunResult RunWordCount(uint64_t n_tuples, const EngineConfig& config) {
+/// The shared word-count topology (spout x2 -> split x3 -> count x4 ->
+/// sink x1) used by the timing sections and the telemetry report run.
+Topology MakeWordCountTopology(uint64_t n_tuples,
+                               std::shared_ptr<TupleSink> sink) {
   auto counter = std::make_shared<std::atomic<uint64_t>>(0);
-  auto sink = std::make_shared<TupleSink>();
-
   TopologyBuilder builder;
   builder.AddSpout(
       "spout",
@@ -93,7 +98,12 @@ RunResult RunWordCount(uint64_t n_tuples, const EngineConfig& config) {
       },
       1, {{"count", Grouping::Global()}});
 
-  TopologyEngine engine(builder.Build().value(), config);
+  return builder.Build().value();
+}
+
+RunResult RunWordCount(uint64_t n_tuples, const EngineConfig& config) {
+  auto sink = std::make_shared<TupleSink>();
+  TopologyEngine engine(MakeWordCountTopology(n_tuples, sink), config);
   WallTimer timer;
   engine.Run();
   const double seconds = timer.ElapsedSeconds();
@@ -101,9 +111,9 @@ RunResult RunWordCount(uint64_t n_tuples, const EngineConfig& config) {
   RunResult result;
   result.throughput_ktps =
       static_cast<double>(n_tuples) / seconds / 1000.0;
-  auto& split_metrics = engine.metrics().ForComponent("count");
-  result.p50_latency_us = split_metrics.LatencyPercentileNanos(0.5) / 1000.0;
-  result.p99_latency_us = split_metrics.LatencyPercentileNanos(0.99) / 1000.0;
+  auto count_metrics = engine.metrics().ForComponent("count");
+  result.p50_latency_us = count_metrics.LatencyPercentileNanos(0.5) / 1000.0;
+  result.p99_latency_us = count_metrics.LatencyPercentileNanos(0.99) / 1000.0;
   result.backpressure_stalls =
       engine.metrics().ForComponent("spout").backpressure_stalls() +
       engine.metrics().ForComponent("split").backpressure_stalls();
@@ -262,8 +272,13 @@ const char* GroupingName(GroupingKind g) {
   return g == GroupingKind::kShuffle ? "shuffle" : "fields";
 }
 
-/// One matrix run: generator spout x1 -> trivial work bolt x4.
-void RunMatrixCell(MatrixCell& cell) {
+/// One matrix run: generator spout x1 -> trivial work bolt x4. The
+/// telemetry knobs default to the engine defaults; the overhead section
+/// overrides them to compare instrumented vs dark runs on the same cell.
+void RunMatrixCell(MatrixCell& cell,
+                   uint32_t telemetry_interval_ms =
+                       EngineConfig{}.telemetry_sample_interval_ms,
+                   uint32_t trace_every = 0) {
   auto counter = std::make_shared<std::atomic<uint64_t>>(0);
   const uint64_t n = cell.tuples;
 
@@ -296,6 +311,8 @@ void RunMatrixCell(MatrixCell& cell) {
   config.mode = cell.mode;
   config.semantics = cell.semantics;
   config.multiplexed_threads = 2;
+  config.telemetry_sample_interval_ms = telemetry_interval_ms;
+  config.trace_sample_every = trace_every;
   if (!cell.batched) {
     // The pre-batching data plane: one queue operation per tuple, no
     // staging, no SPSC rings.
@@ -310,8 +327,8 @@ void RunMatrixCell(MatrixCell& cell) {
   cell.seconds = timer.ElapsedSeconds();
   cell.tuples_per_sec = static_cast<double>(n) / cell.seconds;
 
-  auto& work = engine.metrics().ForComponent("work");
-  auto& spout = engine.metrics().ForComponent("spout");
+  auto work = engine.metrics().ForComponent("work");
+  auto spout = engine.metrics().ForComponent("spout");
   cell.p50_latency_us = work.LatencyPercentileNanos(0.5) / 1000.0;
   cell.p99_latency_us = work.LatencyPercentileNanos(0.99) / 1000.0;
   cell.flushes = spout.flushes();
@@ -433,11 +450,82 @@ bool RunTransportMatrix(bool quick, const std::string& out_path) {
   return true;
 }
 
+/// Telemetry overhead: the dedicated/at-most-once/shuffle batched cell
+/// run dark (sampler + tracing off) vs instrumented (10 ms sampler,
+/// 1/1024 tracing) — the acceptance bar is instrumented within 5% of
+/// dark. Best-of-`reps` per config to denoise scheduler jitter.
+void RunTelemetryOverhead(bool quick) {
+  using bench::Row;
+  const int reps = quick ? 1 : 3;
+  const uint64_t n = quick ? 100000u : 1000000u;
+
+  auto best_of = [&](uint32_t interval_ms, uint32_t trace_every) {
+    MatrixCell best;
+    best.mode = ExecutionMode::kDedicated;
+    best.semantics = DeliverySemantics::kAtMostOnce;
+    best.grouping = GroupingKind::kShuffle;
+    best.batched = true;
+    best.tuples = n;
+    for (int rep = 0; rep < reps; rep++) {
+      MatrixCell attempt = best;
+      attempt.tuples_per_sec = 0;
+      RunMatrixCell(attempt, interval_ms, trace_every);
+      if (attempt.tuples_per_sec > best.tuples_per_sec) best = attempt;
+    }
+    return best;
+  };
+
+  const MatrixCell off = best_of(0, 0);
+  const MatrixCell on = best_of(10, 1024);
+  const double ratio =
+      off.tuples_per_sec > 0 ? on.tuples_per_sec / off.tuples_per_sec : 0;
+
+  bench::TableTitle("B-telemetry-overhead",
+                    "10 ms sampler + 1/1024 tracing vs dark run "
+                    "(dedicated / at-most-once / shuffle, batched)");
+  Row("%-24s | %12s %10s", "telemetry", "tuples/s", "p99 us");
+  Row("%-24s | %12.0f %10.0f", "off", off.tuples_per_sec, off.p99_latency_us);
+  Row("%-24s | %12.0f %10.0f", "sampler 10ms + trace 1/1024",
+      on.tuples_per_sec, on.p99_latency_us);
+  Row("instrumented/dark throughput ratio: %.3f (bar: >= 0.95)", ratio);
+}
+
+/// Runs the word-count topology with the sampler at 5 ms and tracing at
+/// 1/64, then writes the TelemetryReport JSON to `path` and prints the
+/// human-readable table. This is what the telemetry_schema_check ctest
+/// consumes: the quick run still lasts long enough for >= 2 sampler
+/// intervals and emits >= 1 complete trace tree.
+bool EmitTelemetryReport(const std::string& path, bool quick) {
+  auto sink = std::make_shared<TupleSink>();
+  const uint64_t n = quick ? 150000u : 500000u;
+
+  EngineConfig config;
+  config.telemetry_sample_interval_ms = 5;
+  config.trace_sample_every = 64;
+
+  TopologyEngine engine(MakeWordCountTopology(n, sink), config);
+  engine.Run();
+
+  const TelemetryReport report = engine.telemetry().BuildReport();
+  report.WriteTable(std::cout);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  report.WriteJson(out);
+  if (!out.good()) return false;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_platform.json";
+  std::string telemetry_out;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; i++) {
     const std::string_view arg = argv[i];
@@ -445,6 +533,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = std::string(arg.substr(6));
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      telemetry_out = std::string(arg.substr(16));
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -458,7 +548,14 @@ int main(int argc, char** argv) {
     }
     ::benchmark::RunSpecifiedBenchmarks();
   }
+  if (!telemetry_out.empty()) {
+    if (!EmitTelemetryReport(telemetry_out, quick)) return 1;
+    if (quick) return 0;  // ctest fixture setup: telemetry report only.
+  }
   if (!RunTransportMatrix(quick, out_path)) return 1;
-  if (!quick) PrintTables();
+  if (!quick) {
+    RunTelemetryOverhead(quick);
+    PrintTables();
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
@@ -85,7 +86,9 @@ int main() {
       },
       1, {{"join", Grouping::Global()}});
 
-  TopologyEngine engine(builder.Build().value(), EngineConfig{});
+  EngineConfig config;
+  config.telemetry_sample_interval_ms = 5;  // Time series for the report.
+  TopologyEngine engine(builder.Build().value(), config);
   std::printf("joining %llu queries with ~%.0f%% click-through...\n",
               static_cast<unsigned long long>(kQueries), 100 * kClickRate);
   engine.Run();
@@ -107,5 +110,8 @@ int main() {
   }
   std::printf("\n(every pending click was matched despite out-of-order "
               "arrival — the Photon guarantee this topology reproduces)\n");
+
+  std::printf("\n");
+  engine.telemetry().BuildReport().WriteTable(std::cout);
   return 0;
 }

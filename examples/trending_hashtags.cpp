@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
@@ -137,6 +138,10 @@ int main() {
   EngineConfig config;
   config.mode = platform::ExecutionMode::kDedicated;
   config.queue_capacity = 4096;
+  // Observability: sample counters + queue depths every 5 ms and trace
+  // every 32nd root so the run ends with a telemetry report to print.
+  config.telemetry_sample_interval_ms = 5;
+  config.trace_sample_every = 32;
   TopologyEngine engine(std::move(topology).value(), config);
 
   std::printf("running trending-hashtags topology "
@@ -146,11 +151,14 @@ int main() {
   auto& metrics = engine.metrics();
   std::printf("\n== engine metrics ==\n");
   for (const std::string& name : metrics.ComponentNames()) {
-    auto& m = metrics.ForComponent(name);
+    auto m = metrics.ForComponent(name);
     std::printf("  %-8s emitted=%8llu executed=%8llu p50 latency=%.1f us\n",
                 name.c_str(), static_cast<unsigned long long>(m.emitted()),
                 static_cast<unsigned long long>(m.executed()),
                 m.LatencyPercentileNanos(0.5) / 1000.0);
   }
+
+  std::printf("\n");
+  engine.telemetry().BuildReport().WriteTable(std::cout);
   return 0;
 }

@@ -19,7 +19,40 @@ uint64_t NowNanos() {
           .count());
 }
 
+/// Per-task trace event buffer size. Bounds tracing memory regardless of
+/// run length; overflow overwrites oldest events (counted, and affected
+/// trees are marked incomplete rather than silently miswired).
+constexpr size_t kTraceRingCapacity = 4096;
+
 }  // namespace
+
+Status EngineConfig::Validate() const {
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (emit_batch_size == 0 || execute_batch_size == 0) {
+    return Status::InvalidArgument(
+        "emit_batch_size / execute_batch_size must be >= 1 (1 disables "
+        "batching)");
+  }
+  if (mode == ExecutionMode::kMultiplexed && multiplexed_threads == 0) {
+    return Status::InvalidArgument(
+        "multiplexed mode needs at least one executor thread");
+  }
+  if (semantics == DeliverySemantics::kAtLeastOnce &&
+      (max_spout_pending == 0 || ack_timeout_seconds <= 0)) {
+    return Status::InvalidArgument(
+        "at-least-once needs max_spout_pending >= 1 and a positive "
+        "ack_timeout_seconds");
+  }
+  // Telemetry knobs: 0 = disabled, not an error. Guard against intervals
+  // so short the sampler becomes a busy loop perturbing the data path.
+  if (telemetry_sample_interval_ms > 60'000) {
+    return Status::InvalidArgument(
+        "telemetry_sample_interval_ms must be <= 60000 (0 disables)");
+  }
+  return Status::OK();
+}
 
 /// A unit of data in flight between tasks.
 struct Message {
@@ -27,6 +60,10 @@ struct Message {
   uint64_t root_id = 0;          // Ack-tree root; 0 = untracked.
   uint64_t edge_id = 0;          // This delivery's ledger entry.
   uint64_t emit_time_nanos = 0;  // Spout emission time (end-to-end latency).
+  // Sampled tracing (all 0 on untraced tuples — the common case).
+  uint64_t trace_id = 0;            // Root span id of the sampled tree.
+  uint64_t trace_parent_span = 0;   // Span of the hop that emitted this.
+  uint64_t trace_enqueue_nanos = 0; // Stage time (queue-wait measurement).
 };
 
 /// Event sent to the acker thread.
@@ -53,7 +90,8 @@ struct TopologyEngine::Task {
   std::unique_ptr<BlockingQueue<Message>> queue;  // Bolts, multi-producer.
   std::unique_ptr<SpscRing<Message>> ring;        // Bolts, single-producer.
   std::unique_ptr<TaskCollector> collector;
-  ComponentMetrics* metrics = nullptr;
+  TaskMetrics* metrics = nullptr;
+  std::unique_ptr<TraceRing> trace_ring;  // Null when tracing is disabled.
 
   size_t InPushAll(std::span<Message> b) {
     return ring ? ring->PushAll(b) : queue->PushAll(b);
@@ -80,6 +118,9 @@ struct TopologyEngine::Task {
     }
   }
   size_t InSize() const { return ring ? ring->Size() : queue->Size(); }
+  size_t InApproxSize() const {
+    return ring ? ring->ApproxSize() : queue->ApproxSize();
+  }
   bool InClosed() const { return ring ? ring->Closed() : queue->Closed(); }
 };
 
@@ -124,10 +165,15 @@ class TopologyEngine::TaskCollector : public OutputCollector {
     }
   }
 
-  /// Bolt path: set the anchoring context before Execute.
-  void BeginExecute(uint64_t root_id, uint64_t emit_time_nanos) {
+  /// Bolt path: set the anchoring context before Execute. `trace_id` and
+  /// `span` propagate the sampled trace (0 on untraced tuples): children
+  /// emitted during this Execute become spans parented under `span`.
+  void BeginExecute(uint64_t root_id, uint64_t emit_time_nanos,
+                    uint64_t trace_id, uint64_t span) {
     current_root_ = root_id;
     current_emit_time_ = emit_time_nanos;
+    current_trace_ = trace_id;
+    current_span_ = span;
     xor_out_ = 0;
   }
   uint64_t EndExecute() { return xor_out_; }
@@ -148,6 +194,21 @@ class TopologyEngine::TaskCollector : public OutputCollector {
       // tuples (and their descendants, which inherit the stamp).
       const uint32_t every = engine_->config_.latency_sample_every;
       emit_time = every > 0 && total_emitted_ % every == 0 ? NowNanos() : 0;
+      // Trace sampling rides the same counter: every Kth root becomes a
+      // span tree, rooted at a span recorded right here.
+      const uint32_t trace_every = engine_->config_.trace_sample_every;
+      if (trace_every > 0 && total_emitted_ % trace_every == 0) {
+        current_trace_ =
+            engine_->next_span_id_.fetch_add(1, std::memory_order_relaxed);
+        current_span_ = current_trace_;
+        task_->trace_ring->Record(TraceEvent{
+            current_trace_, current_trace_, /*parent_span=*/0,
+            static_cast<uint32_t>(task_->global_index), NowNanos(),
+            /*wait_nanos=*/0, /*execute_nanos=*/0});
+      } else {
+        current_trace_ = 0;
+        current_span_ = 0;
+      }
       if (engine_->config_.semantics == DeliverySemantics::kAtLeastOnce) {
         root = engine_->next_root_id_.fetch_add(1, std::memory_order_relaxed);
         engine_->inflight_roots_.fetch_add(1, std::memory_order_relaxed);
@@ -238,6 +299,13 @@ class TopologyEngine::TaskCollector : public OutputCollector {
     message.root_id = root;
     message.edge_id = edge_id;
     message.emit_time_nanos = emit_time;
+    if (current_trace_ != 0) {
+      // Traced path only: one extra clock read to timestamp the enqueue
+      // (queue-wait = dequeue - enqueue at the consumer).
+      message.trace_id = current_trace_;
+      message.trace_parent_span = current_span_;
+      message.trace_enqueue_nanos = NowNanos();
+    }
     if (slot.buffer.size() >= batch_size_) FlushSlot(slot);
     return edge_id;
   }
@@ -274,7 +342,6 @@ class TopologyEngine::TaskCollector : public OutputCollector {
                                            std::memory_order_acq_rel);
     }
     task_->metrics->RecordFlush(n);
-    target->metrics->RecordQueueDepth(target->InSize());
     slot.buffer.clear();
   }
 
@@ -290,6 +357,8 @@ class TopologyEngine::TaskCollector : public OutputCollector {
   uint64_t unflushed_emits_ = 0;
   uint64_t current_root_ = 0;
   uint64_t current_emit_time_ = 0;
+  uint64_t current_trace_ = 0;
+  uint64_t current_span_ = 0;
   uint64_t xor_out_ = 0;
   uint64_t last_spout_root_ = 0;
 };
@@ -310,7 +379,12 @@ void TopologyEngine::BuildTasks() {
       task->global_index = tasks_.size();
       task->component_index = ci;
       task->task_index = ti;
-      task->metrics = &metrics_.ForComponent(spec.name);
+      // Pre-register this task's metrics: the registry freezes before any
+      // worker thread starts, so the run phase never mutates it.
+      task->metrics = &metrics_.RegisterTask(spec.name, ti);
+      if (config_.trace_sample_every > 0) {
+        task->trace_ring = std::make_unique<TraceRing>(kTraceRingCapacity);
+      }
       if (spec.is_spout) {
         task->spout = spec.spout_factory();
       } else {
@@ -363,6 +437,49 @@ void TopologyEngine::BuildTasks() {
   }
 
   for (auto& task : tasks_) task->collector->InitStaging();
+  metrics_.Freeze();
+  telemetry_.Bind(&metrics_, config_.telemetry_sample_interval_ms,
+                  config_.trace_sample_every);
+}
+
+/// Builds the sampler's per-task probes (counters + instantaneous input
+/// depth for bolts) and starts the background sampling thread.
+void TopologyEngine::StartSampler() {
+  if (config_.telemetry_sample_interval_ms == 0) return;
+  std::vector<MetricsSampler::Probe> probes;
+  probes.reserve(tasks_.size());
+  for (auto& task : tasks_) {
+    MetricsSampler::Probe probe;
+    probe.metrics = task->metrics;
+    if (task->bolt != nullptr) {
+      Task* t = task.get();
+      probe.queue_depth = [t] { return t->InApproxSize(); };
+    }
+    probes.push_back(std::move(probe));
+  }
+  sampler_ = std::make_unique<MetricsSampler>(
+      std::move(probes), config_.telemetry_sample_interval_ms);
+  telemetry_.AttachSampler(sampler_.get());
+  sampler_->Start();
+}
+
+/// Merges every task's trace ring into the telemetry span-tree store.
+/// Runs after all worker threads joined — rings are single-writer and the
+/// writers have stopped.
+void TopologyEngine::DrainTraces() {
+  if (config_.trace_sample_every == 0) return;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  std::vector<std::string> task_components;
+  task_components.reserve(tasks_.size());
+  for (auto& task : tasks_) {
+    task_components.push_back(task->metrics->component());
+    std::vector<TraceEvent> drained = task->trace_ring->Drain();
+    events.insert(events.end(), drained.begin(), drained.end());
+    dropped += task->trace_ring->dropped();
+  }
+  telemetry_.mutable_traces().Build(std::move(events), task_components,
+                                    dropped);
 }
 
 void TopologyEngine::SpoutLoop(Task* task) {
@@ -404,9 +521,25 @@ void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
   TaskCollector* collector = task->collector.get();
   const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
   for (Message& message : batch) {
-    collector->BeginExecute(message.root_id, message.emit_time_nanos);
+    // Tracing costs exactly this one branch on untraced tuples; traced
+    // hops pay the span allocation and two clock reads.
+    uint64_t hop_span = 0;
+    uint64_t execute_start = 0;
+    if (message.trace_id != 0) {
+      hop_span = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+      execute_start = NowNanos();
+    }
+    collector->BeginExecute(message.root_id, message.emit_time_nanos,
+                            message.trace_id, hop_span);
     task->bolt->Execute(message.tuple, collector);
     const uint64_t xor_out = collector->EndExecute();
+    if (message.trace_id != 0) {
+      task->trace_ring->Record(TraceEvent{
+          message.trace_id, hop_span, message.trace_parent_span,
+          static_cast<uint32_t>(task->global_index), execute_start,
+          execute_start - message.trace_enqueue_nanos,
+          NowNanos() - execute_start});
+    }
     if (message.emit_time_nanos > 0) {
       task->metrics->RecordLatencyNanos(NowNanos() - message.emit_time_nanos);
     }
@@ -609,7 +742,11 @@ void TopologyEngine::RunFinishPass() {
 void TopologyEngine::Run() {
   STREAMLIB_CHECK_MSG(!ran_, "TopologyEngine is single-use");
   ran_ = true;
+  const Status config_status = config_.Validate();
+  STREAMLIB_CHECK_MSG(config_status.ok(), "invalid EngineConfig: %s",
+                      config_status.ToString().c_str());
   BuildTasks();
+  StartSampler();
 
   if (config_.semantics == DeliverySemantics::kAtLeastOnce) {
     acker_queue_ = std::make_unique<BlockingQueue<AckerEvent>>(1 << 16);
@@ -681,6 +818,12 @@ void TopologyEngine::Run() {
   }
 
   RunFinishPass();
+
+  // Telemetry epilogue: final tail sample (so delta sums equal the final
+  // counters, finish-pass emissions included), then merge the per-task
+  // trace rings into span trees — all writers have joined by now.
+  if (sampler_) sampler_->Stop();
+  DrainTraces();
 }
 
 }  // namespace streamlib::platform

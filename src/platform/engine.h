@@ -10,9 +10,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "platform/metrics.h"
+#include "platform/metrics_sampler.h"
 #include "platform/queue.h"
+#include "platform/telemetry.h"
 #include "platform/topology.h"
+#include "platform/trace.h"
 
 namespace streamlib::platform {
 
@@ -58,6 +62,21 @@ struct EngineConfig {
   /// Use a lock-free SPSC ring (instead of the mutex BlockingQueue) for
   /// bolt input queues with exactly one producer task, in dedicated mode.
   bool enable_spsc = true;
+  /// Telemetry sampler period: every N ms a background thread snapshots
+  /// all per-task counters and instantaneous queue depths into the time
+  /// series exposed by TopologyEngine::telemetry(). 0 disables the sampler
+  /// (no thread, and max_queue_depth stays 0 — the sampler owns gauges).
+  uint32_t telemetry_sample_interval_ms = 10;
+  /// Tuple tracing: every Kth spout root carries a trace id, and each hop
+  /// records (task, queue wait, execute time) into per-task ring buffers
+  /// that merge into span trees after Run(). 0 disables tracing; untraced
+  /// tuples pay exactly one branch per hop.
+  uint32_t trace_sample_every = 0;
+
+  /// Checks knob ranges (0 means "disabled" for the telemetry knobs, not
+  /// an error). Run() aborts on an invalid config; callers building
+  /// configs from user input should validate first.
+  Status Validate() const;
 };
 
 /// Executes a topology to completion: runs all spouts until exhausted,
@@ -74,6 +93,11 @@ class TopologyEngine {
   void Run();
 
   MetricsRegistry& metrics() { return metrics_; }
+
+  /// Observability facade: live time series during Run() (sampler
+  /// snapshots are thread-safe), full report including trace span trees
+  /// once Run() returns. See telemetry.h.
+  Telemetry& telemetry() { return telemetry_; }
 
   /// Completed (fully acked) tuple trees — at-least-once mode only.
   uint64_t completed_roots() const {
@@ -95,6 +119,8 @@ class TopologyEngine {
   struct AckerEvent;
 
   void BuildTasks();
+  void StartSampler();
+  void DrainTraces();
   void SpoutLoop(Task* task);
   void DedicatedBoltLoop(Task* task);
   void MultiplexedWorkerLoop(const std::vector<Task*>& tasks);
@@ -105,6 +131,8 @@ class TopologyEngine {
   Topology topology_;
   EngineConfig config_;
   MetricsRegistry metrics_;
+  Telemetry telemetry_;
+  std::unique_ptr<MetricsSampler> sampler_;
 
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::vector<Edge>> outgoing_;  // Per component index.
@@ -113,6 +141,7 @@ class TopologyEngine {
   std::atomic<uint64_t> pending_messages_{0};
   std::atomic<uint64_t> next_root_id_{1};
   std::atomic<uint64_t> next_edge_id_{1};
+  std::atomic<uint64_t> next_span_id_{1};
   std::atomic<uint64_t> inflight_roots_{0};
   std::atomic<uint64_t> completed_roots_{0};
   std::atomic<uint64_t> failed_roots_{0};

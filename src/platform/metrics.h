@@ -1,23 +1,47 @@
 #ifndef STREAMLIB_PLATFORM_METRICS_H_
 #define STREAMLIB_PLATFORM_METRICS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "core/quantiles/tdigest.h"
 
 namespace streamlib::platform {
 
-/// Per-component runtime counters. Updated lock-free on the hot path;
-/// latency percentiles go through a mutex-guarded t-digest (sampled, so the
-/// lock is off the common path).
-class ComponentMetrics {
+/// Runtime counters for one *task* (one parallel instance of a component).
+/// Updated lock-free on the hot path by exactly the threads that run the
+/// task; latency percentiles go through a mutex-guarded t-digest (sampled,
+/// so the lock is off the common path).
+///
+/// The per-task split is the observability counterpart of the paper's
+/// Storm-vs-Heron argument: a multiplexed counter bag shared by all tasks
+/// of a component both contends on the hot path and hides stragglers —
+/// per-task instances remove the contention and make skew visible.
+class TaskMetrics {
  public:
-  ComponentMetrics() : latency_digest_(100.0) {}
+  TaskMetrics(std::string component, uint32_t task_index, size_t ordinal)
+      : component_(std::move(component)),
+        task_index_(task_index),
+        ordinal_(ordinal),
+        latency_digest_(100.0) {}
+
+  TaskMetrics(const TaskMetrics&) = delete;
+  TaskMetrics& operator=(const TaskMetrics&) = delete;
+
+  /// Component this task instantiates.
+  const std::string& component() const { return component_; }
+  /// Index of this task within its component (0..parallelism-1).
+  uint32_t task_index() const { return task_index_; }
+  /// Registry-wide ordinal — stable task id used by the sampler's time
+  /// series and the telemetry report (== the engine's global task index).
+  size_t ordinal() const { return ordinal_; }
 
   void IncEmitted(uint64_t n = 1) {
     emitted_.fetch_add(n, std::memory_order_relaxed);
@@ -35,16 +59,18 @@ class ComponentMetrics {
     backpressure_stalls_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  /// Records one transport flush of `batch_tuples` tuples from this
-  /// component's staging buffer into a downstream queue. flushes() and
-  /// AvgFlushSize() expose how well emission batching is amortizing.
+  /// Records one transport flush of `batch_tuples` tuples from this task's
+  /// staging buffer into a downstream queue. flushes() and AvgFlushSize()
+  /// expose how well emission batching is amortizing.
   void RecordFlush(uint64_t batch_tuples) {
     flushes_.fetch_add(1, std::memory_order_relaxed);
     flushed_tuples_.fetch_add(batch_tuples, std::memory_order_relaxed);
   }
 
-  /// High-watermark gauge of this component's input queue depth, sampled
-  /// by producers after each flush (cheap: one sample per batch).
+  /// Folds one input-queue depth observation into the high-watermark gauge.
+  /// Owned by the telemetry sampler (periodic instantaneous samples of the
+  /// task's input channel), so the watermark sees drain-side depth too —
+  /// not just the moments producers happened to flush.
   void RecordQueueDepth(uint64_t depth) {
     uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
     while (depth > current &&
@@ -85,13 +111,24 @@ class ComponentMetrics {
   }
 
   /// Latency percentile in nanoseconds (0 if no samples).
-  double LatencyPercentileNanos(double q) {
+  double LatencyPercentileNanos(double q) const {
     std::lock_guard<std::mutex> lock(latency_mu_);
     if (latency_digest_.count() == 0) return 0.0;
     return latency_digest_.Quantile(q);
   }
 
+  /// Merges this task's latency digest into `into` (for component-level
+  /// aggregation).
+  void MergeLatencyInto(TDigest& into) const {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (latency_digest_.count() > 0) into.Merge(latency_digest_);
+  }
+
  private:
+  const std::string component_;
+  const uint32_t task_index_;
+  const size_t ordinal_;
+
   std::atomic<uint64_t> emitted_{0};
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> acked_{0};
@@ -100,30 +137,126 @@ class ComponentMetrics {
   std::atomic<uint64_t> flushes_{0};
   std::atomic<uint64_t> flushed_tuples_{0};
   std::atomic<uint64_t> max_queue_depth_{0};
-  std::mutex latency_mu_;
-  TDigest latency_digest_;
+  mutable std::mutex latency_mu_;
+  mutable TDigest latency_digest_;
 };
 
-/// Registry mapping component names to metrics; owned by the engine, read
-/// by benches and examples after a run.
-class MetricsRegistry {
+/// Value snapshot aggregating every task of one component — the cheap
+/// roll-up view benches, tests, and examples read after (or during) a run.
+/// Counters are sums across tasks; max_queue_depth is the max; the latency
+/// digest is a merge, so percentiles reflect the full sample population.
+class ComponentAggregate {
  public:
-  ComponentMetrics& ForComponent(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return metrics_[name];
+  ComponentAggregate() : latency_digest_(100.0) {}
+
+  uint64_t emitted() const { return emitted_; }
+  uint64_t executed() const { return executed_; }
+  uint64_t acked() const { return acked_; }
+  uint64_t failed() const { return failed_; }
+  uint64_t backpressure_stalls() const { return backpressure_stalls_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t flushed_tuples() const { return flushed_tuples_; }
+  uint64_t max_queue_depth() const { return max_queue_depth_; }
+  size_t task_count() const { return task_count_; }
+
+  /// Mean tuples per transport flush (0 with no flushes).
+  double AvgFlushSize() const {
+    return flushes_ == 0 ? 0.0
+                         : static_cast<double>(flushed_tuples_) / flushes_;
   }
 
-  std::vector<std::string> ComponentNames() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<std::string> names;
-    names.reserve(metrics_.size());
-    for (const auto& [name, m] : metrics_) names.push_back(name);
-    return names;
+  /// Latency percentile in nanoseconds over all tasks' samples (0 if none).
+  double LatencyPercentileNanos(double q) {
+    if (latency_digest_.count() == 0) return 0.0;
+    return latency_digest_.Quantile(q);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, ComponentMetrics> metrics_;
+  friend class MetricsRegistry;
+
+  uint64_t emitted_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t acked_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t backpressure_stalls_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t flushed_tuples_ = 0;
+  uint64_t max_queue_depth_ = 0;
+  size_t task_count_ = 0;
+  TDigest latency_digest_;
+};
+
+/// Registry of per-task metrics; owned by the engine.
+///
+/// Lifecycle contract: every task is registered up front (the engine does
+/// this in BuildTasks, before any worker thread starts), then the registry
+/// is frozen — the run phase only ever reads it. Late registration against
+/// a frozen registry is a programming error and aborts: handing out
+/// references from a concurrently-mutated map was the pre-freeze bug this
+/// contract fixes.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers one task instance. Must happen before Freeze(); the returned
+  /// reference stays valid for the registry's lifetime.
+  TaskMetrics& RegisterTask(const std::string& component,
+                            uint32_t task_index) {
+    STREAMLIB_CHECK_MSG(!frozen(),
+                        "MetricsRegistry is frozen: all tasks must register "
+                        "before the run phase (component %s, task %u)",
+                        component.c_str(), task_index);
+    tasks_.push_back(
+        std::make_unique<TaskMetrics>(component, task_index, tasks_.size()));
+    by_component_[component].push_back(tasks_.back().get());
+    return *tasks_.back();
+  }
+
+  /// Makes the registry read-only; called once registration is complete.
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  /// Aggregated roll-up over every task of `name` (all-zero snapshot for
+  /// unknown components). Safe concurrently with a running topology: task
+  /// counters are atomics and the task set is frozen.
+  ComponentAggregate ForComponent(const std::string& name) const {
+    ComponentAggregate agg;
+    auto it = by_component_.find(name);
+    if (it == by_component_.end()) return agg;
+    for (const TaskMetrics* task : it->second) {
+      agg.emitted_ += task->emitted();
+      agg.executed_ += task->executed();
+      agg.acked_ += task->acked();
+      agg.failed_ += task->failed();
+      agg.backpressure_stalls_ += task->backpressure_stalls();
+      agg.flushes_ += task->flushes();
+      agg.flushed_tuples_ += task->flushed_tuples();
+      agg.max_queue_depth_ =
+          std::max(agg.max_queue_depth_, task->max_queue_depth());
+      task->MergeLatencyInto(agg.latency_digest_);
+      agg.task_count_++;
+    }
+    return agg;
+  }
+
+  std::vector<std::string> ComponentNames() const {
+    std::vector<std::string> names;
+    names.reserve(by_component_.size());
+    for (const auto& [name, tasks] : by_component_) names.push_back(name);
+    return names;
+  }
+
+  /// Task iteration in registration order (== engine global task index).
+  size_t task_count() const { return tasks_.size(); }
+  const TaskMetrics& task(size_t ordinal) const { return *tasks_[ordinal]; }
+  TaskMetrics& mutable_task(size_t ordinal) { return *tasks_[ordinal]; }
+
+ private:
+  std::vector<std::unique_ptr<TaskMetrics>> tasks_;
+  std::map<std::string, std::vector<const TaskMetrics*>> by_component_;
+  std::atomic<bool> frozen_{false};
 };
 
 }  // namespace streamlib::platform

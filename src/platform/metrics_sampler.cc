@@ -1,0 +1,121 @@
+#include "platform/metrics_sampler.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace streamlib::platform {
+
+namespace {
+
+uint64_t MillisBetween(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+MetricsSampler::MetricsSampler(std::vector<Probe> probes, uint32_t interval_ms)
+    : probes_(std::move(probes)), interval_ms_(interval_ms) {
+  STREAMLIB_CHECK_MSG(interval_ms_ > 0,
+                      "MetricsSampler requires a positive interval");
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  STREAMLIB_CHECK_MSG(!running_, "MetricsSampler is single-use");
+  running_ = true;
+  previous_.assign(probes_.size(), CounterSnapshot{});
+  start_time_ = std::chrono::steady_clock::now();
+  last_sample_time_ = start_time_;
+  // Baseline: counters are expected to be zero here (the engine starts the
+  // sampler before any worker thread), but snapshot anyway so a sampler
+  // attached mid-flight still produces correct deltas.
+  for (size_t i = 0; i < probes_.size(); i++) {
+    const TaskMetrics* m = probes_[i].metrics;
+    previous_[i] = CounterSnapshot{m->emitted(),   m->executed(),
+                                   m->acked(),     m->failed(),
+                                   m->backpressure_stalls(), m->flushes(),
+                                   m->flushed_tuples()};
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  // Final tail sample: guarantees at least one sample for sub-interval
+  // runs and makes per-task delta sums equal the final counter totals.
+  TakeSample();
+  running_ = false;
+}
+
+void MetricsSampler::Loop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                          [this] { return stop_requested_; })) {
+      break;
+    }
+    TakeSample();
+  }
+}
+
+void MetricsSampler::TakeSample() {
+  const auto now = std::chrono::steady_clock::now();
+  TelemetrySample sample;
+  sample.t_ms = MillisBetween(start_time_, now);
+  sample.interval_ms = MillisBetween(last_sample_time_, now);
+  last_sample_time_ = now;
+  sample.tasks.reserve(probes_.size());
+  for (size_t i = 0; i < probes_.size(); i++) {
+    const Probe& probe = probes_[i];
+    const TaskMetrics* m = probe.metrics;
+    const CounterSnapshot current{m->emitted(),   m->executed(),
+                                  m->acked(),     m->failed(),
+                                  m->backpressure_stalls(), m->flushes(),
+                                  m->flushed_tuples()};
+    CounterSnapshot& prev = previous_[i];
+    TaskSampleDelta delta;
+    delta.task = static_cast<uint32_t>(m->ordinal());
+    delta.emitted = current.emitted - prev.emitted;
+    delta.executed = current.executed - prev.executed;
+    delta.acked = current.acked - prev.acked;
+    delta.failed = current.failed - prev.failed;
+    delta.backpressure_stalls =
+        current.backpressure_stalls - prev.backpressure_stalls;
+    delta.flushes = current.flushes - prev.flushes;
+    delta.flushed_tuples = current.flushed_tuples - prev.flushed_tuples;
+    if (probe.queue_depth) {
+      delta.queue_depth = probe.queue_depth();
+      // The sampler owns the high-watermark gauge: periodic instantaneous
+      // samples see consumer-side buildup that producer-flush-time
+      // sampling (the old scheme) structurally missed.
+      probe.metrics->RecordQueueDepth(delta.queue_depth);
+    }
+    prev = current;
+    sample.tasks.push_back(delta);
+  }
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  samples_.push_back(std::move(sample));
+}
+
+std::vector<TelemetrySample> MetricsSampler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  return samples_;
+}
+
+size_t MetricsSampler::sample_count() const {
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  return samples_.size();
+}
+
+}  // namespace streamlib::platform

@@ -1,0 +1,116 @@
+#ifndef STREAMLIB_PLATFORM_METRICS_SAMPLER_H_
+#define STREAMLIB_PLATFORM_METRICS_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "platform/metrics.h"
+
+namespace streamlib::platform {
+
+/// One task's slice of a telemetry interval: counter *deltas* over the
+/// interval plus the instantaneous input-queue depth gauge at sample time.
+/// Counters are monotone, so every delta is non-negative, and the deltas of
+/// one task across all samples sum to its final counter values.
+struct TaskSampleDelta {
+  uint32_t task = 0;  ///< TaskMetrics::ordinal() (== engine task index).
+  uint64_t emitted = 0;
+  uint64_t executed = 0;
+  uint64_t acked = 0;
+  uint64_t failed = 0;
+  uint64_t backpressure_stalls = 0;
+  uint64_t flushes = 0;
+  uint64_t flushed_tuples = 0;
+  uint64_t queue_depth = 0;  ///< Gauge, not a delta (0 for spout tasks).
+};
+
+/// One interval snapshot across every task.
+struct TelemetrySample {
+  uint64_t t_ms = 0;         ///< Milliseconds since sampler start.
+  uint64_t interval_ms = 0;  ///< Actual wall time covered by the deltas.
+  std::vector<TaskSampleDelta> tasks;
+};
+
+/// Background sampler: every `interval_ms` it snapshots all task counters
+/// and instantaneous queue depths into an in-memory time series of deltas,
+/// and folds each depth observation into the task's max_queue_depth
+/// watermark (the sampler *owns* gauge sampling — producers no longer
+/// sample depth on flush, which only ever saw producer-side moments and
+/// missed drain-side buildup).
+///
+/// Reads are lock-free against the data path (relaxed atomic counter loads
+/// and ApproxSize queue probes); the time series itself is guarded by a
+/// mutex so Snapshot() is safe from any thread while the topology runs.
+class MetricsSampler {
+ public:
+  /// One sampled task: its metrics (watermark is updated through the same
+  /// pointer) and an optional instantaneous input-depth probe (null for
+  /// spouts, which have no input queue).
+  struct Probe {
+    TaskMetrics* metrics = nullptr;
+    std::function<size_t()> queue_depth;  // May be empty.
+  };
+
+  MetricsSampler(std::vector<Probe> probes, uint32_t interval_ms);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Takes the baseline snapshot and starts the sampling thread. The
+  /// baseline should be taken before any sampled counter moves, so that
+  /// delta sums reproduce final totals.
+  void Start();
+
+  /// Stops the thread and appends one final sample covering the tail
+  /// interval, so even runs shorter than one interval produce a sample and
+  /// delta sums always equal final counter totals.
+  void Stop();
+
+  /// Copy of the time series so far; safe during a live run.
+  std::vector<TelemetrySample> Snapshot() const;
+
+  size_t sample_count() const;
+  uint32_t interval_ms() const { return interval_ms_; }
+
+ private:
+  struct CounterSnapshot {
+    uint64_t emitted = 0;
+    uint64_t executed = 0;
+    uint64_t acked = 0;
+    uint64_t failed = 0;
+    uint64_t backpressure_stalls = 0;
+    uint64_t flushes = 0;
+    uint64_t flushed_tuples = 0;
+  };
+
+  void Loop();
+  void TakeSample();
+
+  const std::vector<Probe> probes_;
+  const uint32_t interval_ms_;
+
+  // Sampling-thread state (touched by Start/Stop only when the thread is
+  // not running).
+  std::vector<CounterSnapshot> previous_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::chrono::steady_clock::time_point last_sample_time_;
+
+  mutable std::mutex samples_mu_;
+  std::vector<TelemetrySample> samples_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace streamlib::platform
+
+#endif  // STREAMLIB_PLATFORM_METRICS_SAMPLER_H_

@@ -1,6 +1,7 @@
 #ifndef STREAMLIB_PLATFORM_QUEUE_H_
 #define STREAMLIB_PLATFORM_QUEUE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -37,6 +38,7 @@ class BlockingQueue {
                    [this] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    SyncApproxLocked();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -51,6 +53,7 @@ class BlockingQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      SyncApproxLocked();
     }
     not_empty_.notify_one();
     return true;
@@ -65,6 +68,7 @@ class BlockingQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      SyncApproxLocked();
     }
     not_empty_.notify_one();
     return true;
@@ -85,6 +89,7 @@ class BlockingQueue {
       while (pushed < items.size() && items_.size() < capacity_) {
         items_.push_back(std::move(items[pushed++]));
       }
+      SyncApproxLocked();
       not_empty_.notify_all();
     }
     return pushed;
@@ -100,6 +105,7 @@ class BlockingQueue {
       while (pushed < items.size() && items_.size() < capacity_) {
         items_.push_back(std::move(items[pushed++]));
       }
+      SyncApproxLocked();
     }
     if (pushed > 0) not_empty_.notify_all();
     return pushed;
@@ -112,6 +118,7 @@ class BlockingQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return 0;
       for (T& item : items) items_.push_back(std::move(item));
+      SyncApproxLocked();
     }
     not_empty_.notify_all();
     return items.size();
@@ -124,6 +131,7 @@ class BlockingQueue {
     if (items_.empty()) return std::nullopt;  // Closed and drained.
     T item = std::move(items_.front());
     items_.pop_front();
+    SyncApproxLocked();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -137,6 +145,7 @@ class BlockingQueue {
       if (items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
+      SyncApproxLocked();
     }
     not_full_.notify_one();
     return item;
@@ -153,6 +162,7 @@ class BlockingQueue {
     if (items_.empty()) return std::nullopt;  // Closed and drained.
     T item = std::move(items_.front());
     items_.pop_front();
+    SyncApproxLocked();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -202,6 +212,14 @@ class BlockingQueue {
     return items_.size();
   }
 
+  /// Lock-free instantaneous depth estimate for samplers and monitors: a
+  /// relaxed read of a counter maintained under the queue lock, so it may
+  /// lag a concurrent push/pop by one operation but never tears and never
+  /// contends with the data path.
+  size_t ApproxSize() const {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
+
   bool Closed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return closed_;
@@ -217,12 +235,19 @@ class BlockingQueue {
       items_.pop_front();
       n++;
     }
+    SyncApproxLocked();
     lock.unlock();
     if (n > 0) not_full_.notify_all();
     return n;
   }
 
+  /// Mirrors items_.size(); written under mu_, read lock-free.
+  void SyncApproxLocked() {
+    approx_size_.store(items_.size(), std::memory_order_relaxed);
+  }
+
   size_t capacity_;
+  std::atomic<size_t> approx_size_{0};
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

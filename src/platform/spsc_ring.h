@@ -193,6 +193,16 @@ class SpscRing {
            head_.load(std::memory_order_acquire);
   }
 
+  /// Instantaneous depth estimate for samplers and monitors: relaxed index
+  /// reads, so a third-party observer pays no ordering cost and never
+  /// perturbs the producer/consumer fast path.
+  size_t ApproxSize() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    // Relaxed reads can observe head ahead of tail; clamp to 0.
+    return tail > head ? static_cast<size_t>(tail - head) : 0;
+  }
+
   size_t capacity() const { return capacity_; }
 
  private:

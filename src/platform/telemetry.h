@@ -1,0 +1,97 @@
+#ifndef STREAMLIB_PLATFORM_TELEMETRY_H_
+#define STREAMLIB_PLATFORM_TELEMETRY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "platform/metrics.h"
+#include "platform/metrics_sampler.h"
+#include "platform/trace.h"
+
+namespace streamlib::platform {
+
+/// Materialized snapshot of everything the observability layer collected:
+/// per-task counters, the sampler's time series, and trace summaries.
+/// Serializable to JSON (machine consumers — the schema the telemetry
+/// ctest validates) and to a human-readable table (examples, bench logs).
+struct TelemetryReport {
+  struct TaskRow {
+    std::string component;
+    uint32_t task_index = 0;
+    uint64_t emitted = 0;
+    uint64_t executed = 0;
+    uint64_t acked = 0;
+    uint64_t failed = 0;
+    uint64_t backpressure_stalls = 0;
+    uint64_t flushes = 0;
+    uint64_t flushed_tuples = 0;
+    uint64_t max_queue_depth = 0;
+    double avg_flush_size = 0;
+    double p50_latency_us = 0;
+    double p99_latency_us = 0;
+  };
+
+  uint32_t sample_interval_ms = 0;  ///< 0 = sampler was disabled.
+  uint32_t trace_sample_every = 0;  ///< 0 = tracing was disabled.
+  /// Indexed by engine task id — TaskSampleDelta::task points here.
+  std::vector<TaskRow> tasks;
+  std::vector<TelemetrySample> time_series;
+  std::vector<TraceTree> trace_trees;
+  std::vector<TraceStore::HopStats> hop_stats;
+  uint64_t trace_events_dropped = 0;
+  uint64_t complete_trace_trees = 0;
+
+  /// Serializes the full report as one JSON document ("schema_version": 1).
+  /// Span trees are capped at `max_json_trees` to bound file size.
+  void WriteJson(std::ostream& out, size_t max_json_trees = 8) const;
+
+  /// Human-readable tables: per-task counters, interval throughput, hop
+  /// percentiles, and one example span tree.
+  void WriteTable(std::ostream& out) const;
+};
+
+/// The engine's observability facade: live access to the sampler's time
+/// series during Run(), and the full report (counters + time series +
+/// traces) once Run() returns. Obtained via TopologyEngine::telemetry().
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Engine wiring (not part of the public surface).
+  void Bind(const MetricsRegistry* registry, uint32_t sample_interval_ms,
+            uint32_t trace_sample_every) {
+    registry_ = registry;
+    sample_interval_ms_ = sample_interval_ms;
+    trace_sample_every_ = trace_sample_every;
+  }
+  void AttachSampler(const MetricsSampler* sampler) { sampler_ = sampler; }
+  TraceStore& mutable_traces() { return traces_; }
+
+  /// Snapshot of the sampler time series; safe to call from any thread
+  /// while the topology is running (empty when the sampler is disabled).
+  std::vector<TelemetrySample> TimeSeries() const {
+    return sampler_ ? sampler_->Snapshot() : std::vector<TelemetrySample>{};
+  }
+
+  /// Trace trees and hop summaries; populated after Run() completes.
+  const TraceStore& traces() const { return traces_; }
+
+  /// Builds the full materialized report. Counters reflect their values at
+  /// call time, so this is normally called after Run().
+  TelemetryReport BuildReport() const;
+
+ private:
+  const MetricsRegistry* registry_ = nullptr;
+  const MetricsSampler* sampler_ = nullptr;
+  TraceStore traces_;
+  uint32_t sample_interval_ms_ = 0;
+  uint32_t trace_sample_every_ = 0;
+};
+
+}  // namespace streamlib::platform
+
+#endif  // STREAMLIB_PLATFORM_TELEMETRY_H_

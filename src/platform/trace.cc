@@ -1,0 +1,124 @@
+#include "platform/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace streamlib::platform {
+
+std::vector<TraceEvent> TraceRing::Drain() const {
+  std::vector<TraceEvent> out;
+  const size_t n = next_ < events_.size() ? next_ : events_.size();
+  out.reserve(n);
+  const uint64_t first = next_ - n;
+  for (uint64_t i = first; i < next_; i++) {
+    out.push_back(events_[i % events_.size()]);
+  }
+  return out;
+}
+
+void TraceStore::Build(std::vector<TraceEvent> events,
+                       const std::vector<std::string>& task_components,
+                       uint64_t dropped_events) {
+  trees_.clear();
+  complete_trees_ = 0;
+  dropped_events_ = dropped_events;
+  task_components_ = task_components;
+
+  // Group events by trace id (ordered map for deterministic output — trace
+  // ids are allocated in emit order, so this sorts trees chronologically).
+  std::map<uint64_t, std::vector<TraceEvent>> by_trace;
+  for (TraceEvent& event : events) {
+    by_trace[event.trace_id].push_back(event);
+  }
+
+  trees_.reserve(by_trace.size());
+  for (auto& [trace_id, tree_events] : by_trace) {
+    TraceTree tree;
+    tree.trace_id = trace_id;
+
+    // Root-first span order: the root's span id equals the trace id.
+    std::stable_sort(tree_events.begin(), tree_events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if ((a.parent_span == 0) != (b.parent_span == 0)) {
+                         return a.parent_span == 0;
+                       }
+                       return a.start_nanos < b.start_nanos;
+                     });
+
+    std::unordered_map<uint64_t, size_t> index_of_span;
+    tree.spans.reserve(tree_events.size());
+    for (const TraceEvent& event : tree_events) {
+      TraceTree::Span span;
+      span.event = event;
+      if (event.task < task_components_.size()) {
+        span.component = task_components_[event.task];
+      }
+      index_of_span[event.span_id] = tree.spans.size();
+      tree.spans.push_back(std::move(span));
+    }
+
+    bool has_root = false;
+    bool parents_resolved = true;
+    uint64_t root_start = 0;
+    for (size_t i = 0; i < tree.spans.size(); i++) {
+      const TraceEvent& event = tree.spans[i].event;
+      if (event.parent_span == 0) {
+        has_root = true;
+        root_start = event.start_nanos;
+        continue;
+      }
+      auto parent = index_of_span.find(event.parent_span);
+      if (parent == index_of_span.end()) {
+        parents_resolved = false;
+        continue;
+      }
+      tree.spans[parent->second].children.push_back(i);
+    }
+    tree.complete = has_root && parents_resolved;
+    if (tree.complete) {
+      complete_trees_++;
+      for (const TraceTree::Span& span : tree.spans) {
+        const uint64_t end = span.event.start_nanos + span.event.execute_nanos;
+        if (end > root_start) {
+          tree.end_to_end_nanos =
+              std::max(tree.end_to_end_nanos, end - root_start);
+        }
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<TraceStore::HopStats> TraceStore::ComponentHopStats() const {
+  struct Digests {
+    TDigest wait{100.0};
+    TDigest execute{100.0};
+    uint64_t hops = 0;
+  };
+  std::map<std::string, Digests> by_component;
+  for (const TraceTree& tree : trees_) {
+    for (const TraceTree::Span& span : tree.spans) {
+      if (span.event.parent_span == 0) continue;  // Roots carry no timings.
+      Digests& d = by_component[span.component];
+      d.wait.Add(static_cast<double>(span.event.wait_nanos));
+      d.execute.Add(static_cast<double>(span.event.execute_nanos));
+      d.hops++;
+    }
+  }
+  std::vector<HopStats> stats;
+  stats.reserve(by_component.size());
+  for (auto& [component, d] : by_component) {
+    HopStats s;
+    s.component = component;
+    s.hops = d.hops;
+    s.wait_p50_us = d.wait.Quantile(0.5) / 1000.0;
+    s.wait_p99_us = d.wait.Quantile(0.99) / 1000.0;
+    s.execute_p50_us = d.execute.Quantile(0.5) / 1000.0;
+    s.execute_p99_us = d.execute.Quantile(0.99) / 1000.0;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace streamlib::platform

@@ -1,0 +1,111 @@
+#ifndef STREAMLIB_PLATFORM_TRACE_H_
+#define STREAMLIB_PLATFORM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/quantiles/tdigest.h"
+
+namespace streamlib::platform {
+
+/// One hop of a sampled tuple tree through the topology — the in-process
+/// analogue of a distributed-trace span. Roots are recorded by the spout at
+/// emit time (wait == execute == 0); every downstream hop records how long
+/// the tuple waited in the input channel (enqueue -> dequeue) and how long
+/// its Execute ran.
+struct TraceEvent {
+  uint64_t trace_id = 0;     ///< Root span id; shared by the whole tree.
+  uint64_t span_id = 0;      ///< Unique per hop.
+  uint64_t parent_span = 0;  ///< 0 for the root.
+  uint32_t task = 0;         ///< Engine global task index.
+  uint64_t start_nanos = 0;  ///< Emit time (root) / execute start (hop).
+  uint64_t wait_nanos = 0;   ///< Enqueue -> dequeue queueing delay.
+  uint64_t execute_nanos = 0;  ///< Bolt Execute duration.
+};
+
+/// Fixed-capacity per-task event buffer with exactly one writer (the thread
+/// running the task), so Record is a plain array store — no synchronization
+/// on the traced path. On overflow the oldest events are overwritten and
+/// counted; the drain marks trees missing a dropped parent as incomplete.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : events_(capacity) {}
+
+  /// Single-writer append (the task's executor thread).
+  void Record(const TraceEvent& event) {
+    events_[next_ % events_.size()] = event;
+    next_++;
+  }
+
+  /// Events still buffered, oldest first. Only call after the writer
+  /// thread has stopped (the engine drains post-join).
+  std::vector<TraceEvent> Drain() const;
+
+  /// Events overwritten because the ring wrapped.
+  uint64_t dropped() const {
+    return next_ > events_.size() ? next_ - events_.size() : 0;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  uint64_t next_ = 0;  // Free-running write index.
+};
+
+/// One reassembled tuple tree: spans in a parent-before-child order with
+/// child links, plus derived whole-tree timings.
+struct TraceTree {
+  struct Span {
+    TraceEvent event;
+    std::string component;         ///< Component of event.task.
+    std::vector<size_t> children;  ///< Indices into spans.
+  };
+
+  uint64_t trace_id = 0;
+  std::vector<Span> spans;  ///< spans[0] is the root when complete.
+  /// Max over spans of (start + execute) - root start.
+  uint64_t end_to_end_nanos = 0;
+  /// True when the root and every referenced parent were recovered (ring
+  /// overflow can drop interior hops).
+  bool complete = false;
+};
+
+/// Post-run store of sampled trace trees plus per-component hop timing
+/// summaries. Built once by the engine after all executor threads join.
+class TraceStore {
+ public:
+  /// Per-component percentile summary over all non-root hops.
+  struct HopStats {
+    std::string component;
+    uint64_t hops = 0;
+    double wait_p50_us = 0;
+    double wait_p99_us = 0;
+    double execute_p50_us = 0;
+    double execute_p99_us = 0;
+  };
+
+  /// Groups `events` by trace id and builds span trees. `task_components`
+  /// maps engine task index -> component name (registry order).
+  void Build(std::vector<TraceEvent> events,
+             const std::vector<std::string>& task_components,
+             uint64_t dropped_events);
+
+  const std::vector<TraceTree>& trees() const { return trees_; }
+  uint64_t dropped_events() const { return dropped_events_; }
+  size_t complete_tree_count() const { return complete_trees_; }
+
+  /// p50/p99 queueing wait and execute time per component, over every
+  /// non-root hop in every tree (complete or not — hop timings are valid
+  /// even when an ancestor was dropped).
+  std::vector<HopStats> ComponentHopStats() const;
+
+ private:
+  std::vector<TraceTree> trees_;
+  uint64_t dropped_events_ = 0;
+  size_t complete_trees_ = 0;
+  std::vector<std::string> task_components_;
+};
+
+}  // namespace streamlib::platform
+
+#endif  // STREAMLIB_PLATFORM_TRACE_H_

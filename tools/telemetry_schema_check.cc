@@ -1,0 +1,422 @@
+// Validates a TelemetryReport JSON document (as written by
+// `bench_t2_platform --telemetry-out=PATH`) against the schema the
+// observability layer promises: required keys with the right JSON types,
+// plus the quick-run minimums the ctest acceptance bar sets (non-empty
+// task table, >= 2 time-series samples, >= 1 trace span tree).
+//
+// Self-contained: ships its own minimal recursive-descent JSON parser so
+// the check needs no third-party dependency. Exit code 0 on success; on
+// failure prints every schema violation found and exits 1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model + parser.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+const char* KindName(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing content after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word, JsonValue::Kind kind, bool bool_value,
+                   JsonValue* out) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    out->kind = kind;
+    out->bool_value = bool_value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // The report writer only emits \u00XX escapes; decode the code
+            // point to a single byte and accept (lossily) anything larger.
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            out->push_back(
+                static_cast<char>(std::strtol(hex.c_str(), nullptr, 16)));
+            break;
+          }
+          default: return Fail("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) return Fail("expected number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') return ConsumeWord("true", JsonValue::Kind::kBool, true, out);
+    if (c == 'f') {
+      return ConsumeWord("false", JsonValue::Kind::kBool, false, out);
+    }
+    if (c == 'n') {
+      return ConsumeWord("null", JsonValue::Kind::kNull, false, out);
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return Fail("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return Fail("expected '['");
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->items.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema checks.
+// ---------------------------------------------------------------------------
+
+int g_errors = 0;
+
+void Error(const std::string& path, const std::string& what) {
+  std::fprintf(stderr, "schema error: %s: %s\n", path.c_str(), what.c_str());
+  g_errors++;
+}
+
+const JsonValue* RequireKey(const JsonValue& obj, const std::string& path,
+                            const std::string& key, JsonValue::Kind kind) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    Error(path, "missing key \"" + key + "\"");
+    return nullptr;
+  }
+  if (v->kind != kind) {
+    Error(path + "." + key, std::string("expected ") + KindName(kind) +
+                                ", got " + KindName(v->kind));
+    return nullptr;
+  }
+  return v;
+}
+
+double RequireNumber(const JsonValue& obj, const std::string& path,
+                     const std::string& key) {
+  const JsonValue* v =
+      RequireKey(obj, path, key, JsonValue::Kind::kNumber);
+  return v != nullptr ? v->number : 0;
+}
+
+void CheckNumberKeys(const JsonValue& obj, const std::string& path,
+                     const std::vector<std::string>& keys) {
+  for (const std::string& key : keys) {
+    RequireNumber(obj, path, key);
+  }
+}
+
+void CheckTaskRow(const JsonValue& row, const std::string& path) {
+  if (row.kind != JsonValue::Kind::kObject) {
+    Error(path, "task row is not an object");
+    return;
+  }
+  RequireKey(row, path, "component", JsonValue::Kind::kString);
+  CheckNumberKeys(row, path,
+                  {"task", "task_index", "emitted", "executed", "acked",
+                   "failed", "backpressure_stalls", "flushes",
+                   "flushed_tuples", "avg_flush_size", "max_queue_depth",
+                   "p50_latency_us", "p99_latency_us"});
+}
+
+void CheckSample(const JsonValue& sample, const std::string& path) {
+  if (sample.kind != JsonValue::Kind::kObject) {
+    Error(path, "sample is not an object");
+    return;
+  }
+  CheckNumberKeys(sample, path, {"t_ms", "interval_ms"});
+  const JsonValue* tasks =
+      RequireKey(sample, path, "tasks", JsonValue::Kind::kArray);
+  if (tasks == nullptr) return;
+  for (size_t i = 0; i < tasks->items.size(); i++) {
+    const std::string tpath = path + ".tasks[" + std::to_string(i) + "]";
+    const JsonValue& t = tasks->items[i];
+    if (t.kind != JsonValue::Kind::kObject) {
+      Error(tpath, "sample task delta is not an object");
+      continue;
+    }
+    CheckNumberKeys(t, tpath,
+                    {"task", "emitted", "executed", "acked", "failed",
+                     "backpressure_stalls", "flushes", "flushed_tuples",
+                     "queue_depth"});
+  }
+}
+
+void CheckTraceTree(const JsonValue& tree, const std::string& path) {
+  if (tree.kind != JsonValue::Kind::kObject) {
+    Error(path, "trace tree is not an object");
+    return;
+  }
+  CheckNumberKeys(tree, path, {"trace_id", "end_to_end_us"});
+  RequireKey(tree, path, "complete", JsonValue::Kind::kBool);
+  const JsonValue* spans =
+      RequireKey(tree, path, "spans", JsonValue::Kind::kArray);
+  if (spans == nullptr) return;
+  if (spans->items.empty()) Error(path, "trace tree has no spans");
+  for (size_t i = 0; i < spans->items.size(); i++) {
+    const std::string spath = path + ".spans[" + std::to_string(i) + "]";
+    const JsonValue& span = spans->items[i];
+    if (span.kind != JsonValue::Kind::kObject) {
+      Error(spath, "span is not an object");
+      continue;
+    }
+    RequireKey(span, spath, "component", JsonValue::Kind::kString);
+    CheckNumberKeys(span, spath,
+                    {"span", "parent", "task", "wait_us", "execute_us"});
+  }
+}
+
+void CheckReport(const JsonValue& root) {
+  const std::string path = "$";
+  if (root.kind != JsonValue::Kind::kObject) {
+    Error(path, "document is not an object");
+    return;
+  }
+  const double version = RequireNumber(root, path, "schema_version");
+  if (g_errors == 0 && version != 1) {
+    Error(path + ".schema_version", "expected 1");
+  }
+  CheckNumberKeys(root, path, {"sample_interval_ms", "trace_sample_every"});
+
+  const JsonValue* tasks =
+      RequireKey(root, path, "tasks", JsonValue::Kind::kArray);
+  if (tasks != nullptr) {
+    if (tasks->items.empty()) Error(path + ".tasks", "no per-task rows");
+    for (size_t i = 0; i < tasks->items.size(); i++) {
+      CheckTaskRow(tasks->items[i],
+                   path + ".tasks[" + std::to_string(i) + "]");
+    }
+  }
+
+  const JsonValue* series =
+      RequireKey(root, path, "time_series", JsonValue::Kind::kObject);
+  if (series != nullptr) {
+    const JsonValue* samples = RequireKey(*series, path + ".time_series",
+                                          "samples", JsonValue::Kind::kArray);
+    if (samples != nullptr) {
+      if (samples->items.size() < 2) {
+        Error(path + ".time_series.samples",
+              "expected >= 2 sampler intervals, got " +
+                  std::to_string(samples->items.size()));
+      }
+      for (size_t i = 0; i < samples->items.size(); i++) {
+        CheckSample(samples->items[i], path + ".time_series.samples[" +
+                                           std::to_string(i) + "]");
+      }
+    }
+  }
+
+  const JsonValue* traces =
+      RequireKey(root, path, "traces", JsonValue::Kind::kObject);
+  if (traces != nullptr) {
+    const std::string tpath = path + ".traces";
+    CheckNumberKeys(*traces, tpath,
+                    {"tree_count", "complete_trees", "dropped_events"});
+    const JsonValue* hop_stats =
+        RequireKey(*traces, tpath, "hop_stats", JsonValue::Kind::kArray);
+    if (hop_stats != nullptr) {
+      for (size_t i = 0; i < hop_stats->items.size(); i++) {
+        const std::string hpath =
+            tpath + ".hop_stats[" + std::to_string(i) + "]";
+        const JsonValue& h = hop_stats->items[i];
+        if (h.kind != JsonValue::Kind::kObject) {
+          Error(hpath, "hop stat is not an object");
+          continue;
+        }
+        RequireKey(h, hpath, "component", JsonValue::Kind::kString);
+        CheckNumberKeys(h, hpath,
+                        {"hops", "wait_p50_us", "wait_p99_us",
+                         "execute_p50_us", "execute_p99_us"});
+      }
+    }
+    const JsonValue* trees =
+        RequireKey(*traces, tpath, "trees", JsonValue::Kind::kArray);
+    if (trees != nullptr) {
+      if (trees->items.empty()) {
+        Error(tpath + ".trees", "expected >= 1 trace span tree");
+      }
+      for (size_t i = 0; i < trees->items.size(); i++) {
+        CheckTraceTree(trees->items[i],
+                       tpath + ".trees[" + std::to_string(i) + "]");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: telemetry_schema_check REPORT.json\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  JsonParser parser(buf.str());
+  JsonValue root;
+  if (!parser.Parse(&root)) {
+    std::fprintf(stderr, "parse error: %s: %s\n", argv[1],
+                 parser.error().c_str());
+    return 1;
+  }
+  CheckReport(root);
+  if (g_errors > 0) {
+    std::fprintf(stderr, "%s: %d schema error(s)\n", argv[1], g_errors);
+    return 1;
+  }
+  std::printf("%s: telemetry schema OK\n", argv[1]);
+  return 0;
+}
