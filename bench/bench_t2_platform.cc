@@ -520,10 +520,84 @@ bool EmitTelemetryReport(const std::string& path, bool quick) {
   return true;
 }
 
+/// Chaos characterization (--chaos): one fixed fault mix, both delivery
+/// modes, measured loss and duplication rates at the sink. The numbers
+/// make the semantics gap concrete: at-most-once loses tuples silently,
+/// at-least-once converts the same injected faults into failed roots the
+/// spout is told about (and a replaying spout would recover). Feeds the
+/// EXPERIMENTS.md C-fault-injection table.
+void RunChaosBench(bool quick) {
+  const uint64_t n = quick ? 20000u : 100000u;
+  std::printf("\n== chaos: loss/duplication per delivery mode "
+              "(n=%llu, drop=2%%, dup=2%%, throw=1%%) ==\n",
+              static_cast<unsigned long long>(n));
+  std::printf("  %-14s %10s %10s %10s %10s %10s %10s\n", "semantics",
+              "delivered", "loss%", "dup_inj", "drop_inj", "completed",
+              "failed");
+  for (const DeliverySemantics sem :
+       {DeliverySemantics::kAtMostOnce, DeliverySemantics::kAtLeastOnce}) {
+    auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+    auto delivered = std::make_shared<std::atomic<uint64_t>>(0);
+    TopologyBuilder builder;
+    builder.AddSpout("src", [counter, n]() -> std::unique_ptr<Spout> {
+      return std::make_unique<GeneratorSpout>(
+          [counter, n]() -> std::optional<Tuple> {
+            const uint64_t i = counter->fetch_add(1);
+            if (i >= n) return std::nullopt;
+            return Tuple::Of(static_cast<int64_t>(i));
+          });
+    });
+    builder.AddBolt(
+        "relay",
+        []() -> std::unique_ptr<Bolt> {
+          return std::make_unique<FunctionBolt>(
+              [](const Tuple& t, OutputCollector* out) { out->Emit(t); });
+        },
+        2, {{"src", Grouping::Shuffle()}});
+    builder.AddBolt(
+        "sink",
+        [delivered]() -> std::unique_ptr<Bolt> {
+          return std::make_unique<FunctionBolt>(
+              [delivered](const Tuple&, OutputCollector*) {
+                delivered->fetch_add(1, std::memory_order_relaxed);
+              });
+        },
+        2, {{"relay", Grouping::Shuffle()}});
+
+    EngineConfig config;
+    config.semantics = sem;
+    config.ack_timeout_seconds = 1.0;
+    config.faults.seed = 0xbe9c;
+    config.faults.drop_tuple_prob = 0.02;
+    config.faults.duplicate_tuple_prob = 0.02;
+    config.faults.bolt_throw_prob = 0.01;
+    TopologyEngine engine(builder.Build().value(), config);
+    engine.Run();
+
+    const FaultPlan* plan = engine.fault_plan();
+    const uint64_t got = delivered->load();
+    const double loss =
+        got >= n ? 0.0
+                 : 100.0 * static_cast<double>(n - got) /
+                       static_cast<double>(n);
+    std::printf("  %-14s %10llu %9.2f%% %10llu %10llu %10llu %10llu\n",
+                sem == DeliverySemantics::kAtMostOnce ? "at-most-once"
+                                                      : "at-least-once",
+                static_cast<unsigned long long>(got), loss,
+                static_cast<unsigned long long>(
+                    plan->injected(FaultKind::kDuplicateTuple)),
+                static_cast<unsigned long long>(
+                    plan->injected(FaultKind::kDropTuple)),
+                static_cast<unsigned long long>(engine.completed_roots()),
+                static_cast<unsigned long long>(engine.failed_roots()));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool chaos = false;
   std::string out_path = "BENCH_platform.json";
   std::string telemetry_out;
   std::vector<char*> passthrough;
@@ -531,6 +605,8 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = std::string(arg.substr(6));
     } else if (arg.rfind("--telemetry-out=", 0) == 0) {
@@ -538,6 +614,10 @@ int main(int argc, char** argv) {
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (chaos) {
+    RunChaosBench(quick);
+    return 0;
   }
   int pass_argc = static_cast<int>(passthrough.size());
   if (!quick) {

@@ -78,7 +78,7 @@ class ByteReader {
   Status GetU32(uint32_t* out) { return GetFixed(out, sizeof(*out)); }
   Status GetU64(uint64_t* out) { return GetFixed(out, sizeof(*out)); }
   Status GetI64(int64_t* out) {
-    uint64_t u;
+    uint64_t u = 0;  // GCC -O1 can't see GetU64's success path assigns it.
     STREAMLIB_RETURN_NOT_OK(GetU64(&u));
     *out = static_cast<int64_t>(u);
     return Status::OK();

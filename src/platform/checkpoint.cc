@@ -1,8 +1,113 @@
 #include "platform/checkpoint.h"
 
+#include <cstdio>
+
 #include "common/serde.h"
 
 namespace streamlib::platform {
+
+namespace {
+
+/// File magic ("SLCK") + format version; a reader seeing anything else
+/// knows immediately it is not looking at a checkpoint file.
+constexpr uint32_t kCheckpointMagic = 0x534c434bu;
+constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+Status KvCheckpointStore::SaveToFile(const std::string& path) const {
+  ByteWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU32(kCheckpointVersion);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    w.PutVarint(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      w.PutString(key);
+      w.PutU64(entry.version);
+      w.PutVarint(entry.state.size());
+      w.PutBytes(entry.state.data(), entry.state.size());
+    }
+  }
+  const std::vector<uint8_t> bytes = w.TakeBytes();
+  // Write-then-rename: the file under `path` is always either the old
+  // complete checkpoint or the new complete checkpoint, never a torn mix.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + tmp + "' for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status KvCheckpointStore::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no checkpoint file at '" + path + "'");
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("read error on '" + path + "'");
+  }
+
+  ByteReader r(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("'" + path + "' is not a checkpoint file");
+  }
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  uint64_t count = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+  // Decode into a staging map so a torn file (Corruption below) leaves the
+  // live store untouched.
+  std::unordered_map<std::string, Entry> staged;
+  staged.reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    std::string key;
+    Entry entry;
+    uint64_t state_len = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetString(&key));
+    STREAMLIB_RETURN_NOT_OK(r.GetU64(&entry.version));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&state_len));
+    if (state_len > bytes.size()) {
+      // A length longer than the whole file is garbage; reject before
+      // resize so a torn file can't make us allocate gigabytes.
+      return Status::Corruption("checkpoint state length exceeds file size");
+    }
+    entry.state.resize(state_len);
+    STREAMLIB_RETURN_NOT_OK(r.GetBytes(entry.state.data(), state_len));
+    staged[std::move(key)] = std::move(entry);
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("checkpoint file has trailing bytes");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(staged);
+  return Status::OK();
+}
 
 std::vector<uint8_t> DedupLedger::Serialize() const {
 

@@ -38,6 +38,19 @@ class KvCheckpointStore {
     return it->second.state;
   }
 
+  /// Status-typed restore lookup: NotFound (with the key in the message)
+  /// when `key` was never checkpointed. Restore paths use this instead of
+  /// Get so a component renamed between save and restore produces a clean
+  /// diagnosable error rather than silently starting empty.
+  Result<std::vector<uint8_t>> Fetch(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return Status::NotFound("no checkpoint for key '" + key + "'");
+    }
+    return it->second.state;
+  }
+
   /// Latest version for `key` (0 if never checkpointed).
   uint64_t VersionOf(const std::string& key) const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -49,6 +62,17 @@ class KvCheckpointStore {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
   }
+
+  /// Durability across "process" restarts: writes every entry (key,
+  /// version, state) to `path` atomically (temp file + rename), so a crash
+  /// mid-save can never leave a half-written file under the real name. An
+  /// empty store saves a valid file that restores to an empty store.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Replaces this store's contents with the entries in `path`. Rejects
+  /// torn/truncated/garbage files with Corruption (the store is left
+  /// untouched on any error) and a missing file with NotFound.
+  Status LoadFromFile(const std::string& path);
 
  private:
   struct Entry {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -39,11 +40,17 @@ Status EngineConfig::Validate() const {
     return Status::InvalidArgument(
         "multiplexed mode needs at least one executor thread");
   }
-  if (semantics == DeliverySemantics::kAtLeastOnce &&
-      (max_spout_pending == 0 || ack_timeout_seconds <= 0)) {
+  // Checked regardless of semantics: the knob must always be sane, and the
+  // isfinite guard keeps NaN (for which every comparison is false) from
+  // slipping through to the acker's timeout arithmetic.
+  if (!std::isfinite(ack_timeout_seconds) || ack_timeout_seconds <= 0) {
     return Status::InvalidArgument(
-        "at-least-once needs max_spout_pending >= 1 and a positive "
-        "ack_timeout_seconds");
+        "ack_timeout_seconds must be positive and finite");
+  }
+  if (semantics == DeliverySemantics::kAtLeastOnce &&
+      max_spout_pending == 0) {
+    return Status::InvalidArgument(
+        "at-least-once needs max_spout_pending >= 1");
   }
   // Telemetry knobs: 0 = disabled, not an error. Guard against intervals
   // so short the sampler becomes a busy loop perturbing the data path.
@@ -51,6 +58,7 @@ Status EngineConfig::Validate() const {
     return Status::InvalidArgument(
         "telemetry_sample_interval_ms must be <= 60000 (0 disables)");
   }
+  STREAMLIB_RETURN_NOT_OK(faults.Validate());
   return Status::OK();
 }
 
@@ -92,6 +100,12 @@ struct TopologyEngine::Task {
   std::unique_ptr<TaskCollector> collector;
   TaskMetrics* metrics = nullptr;
   std::unique_ptr<TraceRing> trace_ring;  // Null when tracing is disabled.
+  // Fault-injection decision streams, null when injection is disabled.
+  // All are consulted only by the thread currently running this task
+  // (which the engine serializes), so each stream is deterministic.
+  std::unique_ptr<FaultSite> transport_faults;  // Stage: drop/dup/delay.
+  std::unique_ptr<FaultSite> executor_faults;   // Execute/crash/acker loss.
+  std::unique_ptr<FaultSite> stall_faults;      // Input-queue drain stalls.
 
   size_t InPushAll(std::span<Message> b) {
     return ring ? ring->PushAll(b) : queue->PushAll(b);
@@ -261,7 +275,20 @@ class TopologyEngine::TaskCollector : public OutputCollector {
     }
   }
 
-  void StageAck(const AckerEvent& event) { acker_staging_.push_back(event); }
+  void StageAck(const AckerEvent& event) {
+    // Acker-loss fault: only kUpdate events may be dropped. Dropping a
+    // kInit would leave the ledger entry uninitialized forever — the
+    // timeout scan skips those, so the root could never fail and the
+    // engine's drain would hang. Losing an update models the real failure
+    // (an executor's ack lost in transit): the root stays unresolved until
+    // the timeout fails it back to the spout.
+    if (event.kind == AckerEvent::kUpdate &&
+        task_->executor_faults != nullptr &&
+        task_->executor_faults->FireAckerLoss()) {
+      return;
+    }
+    acker_staging_.push_back(event);
+  }
 
   /// Flushes every staging buffer, the emitted-counter delta, and staged
   /// acker events. Must run before the owning thread blocks on anything a
@@ -285,10 +312,32 @@ class TopologyEngine::TaskCollector : public OutputCollector {
     std::vector<Message> buffer;
   };
 
-  /// Stages one copy for `target`; returns the created edge id
-  /// (0 untracked). Flushes the slot when it reaches the batch size.
+  /// Stages one copy for `target`; returns the XOR of the edge ids created
+  /// for this delivery (0 untracked — normally one id, a dropped delivery
+  /// still creates one, a duplicated delivery creates two). Flushes the
+  /// slot when it reaches the batch size. Transport faults (delay, drop,
+  /// duplicate) inject here — the staging buffer is this engine's wire.
   uint64_t Stage(Task* target, Tuple&& tuple, uint64_t root,
                  uint64_t emit_time) {
+    FaultSite* faults = task_->transport_faults.get();
+    if (faults != nullptr) {
+      const uint32_t delay_us = faults->DeliveryDelayMicros();
+      if (delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
+      if (faults->FireDropTuple()) {
+        // Transport loss: allocate and anchor the edge id but never stage
+        // the message — like a packet dropped after send. The ledger now
+        // holds a bit no execution will clear, so under at-least-once the
+        // root times out and the spout's OnFail replays it; at-most-once
+        // simply loses the tuple. Dropped deliveries never touch
+        // pending_messages_ (counted at flush), so the drain protocol is
+        // unaffected.
+        return root != 0 ? engine_->next_edge_id_.fetch_add(
+                               1, std::memory_order_relaxed)
+                         : 0;
+      }
+    }
     const uint64_t edge_id =
         root != 0
             ? engine_->next_edge_id_.fetch_add(1, std::memory_order_relaxed)
@@ -306,8 +355,23 @@ class TopologyEngine::TaskCollector : public OutputCollector {
       message.trace_parent_span = current_span_;
       message.trace_enqueue_nanos = NowNanos();
     }
+    uint64_t edge_xor = edge_id;
+    if (faults != nullptr && faults->FireDuplicateTuple()) {
+      // Redelivery: a second copy with its own ledger entry, so the XOR
+      // accounting stays balanced while downstream genuinely sees the
+      // tuple twice — the duplication at-least-once permits and the
+      // MillWheel-style DedupLedger exists to suppress.
+      const uint64_t dup_edge =
+          root != 0
+              ? engine_->next_edge_id_.fetch_add(1, std::memory_order_relaxed)
+              : 0;
+      Message dup = slot.buffer.back();  // Copy before any reallocation.
+      dup.edge_id = dup_edge;
+      slot.buffer.push_back(std::move(dup));
+      edge_xor ^= dup_edge;
+    }
     if (slot.buffer.size() >= batch_size_) FlushSlot(slot);
-    return edge_id;
+    return edge_xor;
   }
 
   /// Pushes one slot's staged messages downstream as a batch. Fast path is
@@ -372,6 +436,10 @@ void TopologyEngine::BuildTasks() {
   const auto& components = topology_.components();
   std::vector<std::vector<Task*>> tasks_by_component(components.size());
 
+  if (config_.faults.Enabled()) {
+    fault_plan_ = std::make_unique<FaultPlan>(config_.faults);
+  }
+
   for (size_t ci = 0; ci < components.size(); ci++) {
     const ComponentSpec& spec = components[ci];
     for (uint32_t ti = 0; ti < spec.parallelism; ti++) {
@@ -389,6 +457,16 @@ void TopologyEngine::BuildTasks() {
         task->spout = spec.spout_factory();
       } else {
         task->bolt = spec.bolt_factory();
+      }
+      if (fault_plan_ != nullptr) {
+        // Site ids derive from the global task index, which is itself a
+        // pure function of the topology (component order × parallelism) —
+        // so a given (topology, seed) always yields the same per-site
+        // streams. One id-space slot per role.
+        task->transport_faults =
+            fault_plan_->MakeSite(task->global_index * 4 + 0, task->metrics);
+        task->executor_faults =
+            fault_plan_->MakeSite(task->global_index * 4 + 1, task->metrics);
       }
       task->collector = std::make_unique<TaskCollector>(
           this, task.get(),
@@ -434,12 +512,36 @@ void TopologyEngine::BuildTasks() {
       task->queue =
           std::make_unique<BlockingQueue<Message>>(config_.queue_capacity);
     }
+    if (fault_plan_ != nullptr && config_.faults.queue_stall_prob > 0) {
+      // Queue-stall injection: the interceptor fires on the consumer
+      // thread after each successful drain with the drained count, and
+      // draws one stall decision per message (not per pop) — batch
+      // boundaries depend on thread timing, per-message consultation does
+      // not, which keeps the site's decision stream replayable.
+      task->stall_faults =
+          fault_plan_->MakeSite(task->global_index * 4 + 2, task->metrics);
+      Task* t = task.get();
+      auto stall = [t](size_t drained) {
+        for (size_t i = 0; i < drained; i++) {
+          const uint32_t stall_us = t->stall_faults->QueueStallMicros();
+          if (stall_us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+          }
+        }
+      };
+      if (task->ring) {
+        task->ring->SetPopInterceptor(std::move(stall));
+      } else {
+        task->queue->SetPopInterceptor(std::move(stall));
+      }
+    }
   }
 
   for (auto& task : tasks_) task->collector->InitStaging();
   metrics_.Freeze();
   telemetry_.Bind(&metrics_, config_.telemetry_sample_interval_ms,
                   config_.trace_sample_every);
+  telemetry_.BindFaultPlan(fault_plan_.get());
 }
 
 /// Builds the sampler's per-task probes (counters + instantaneous input
@@ -520,6 +622,8 @@ void TopologyEngine::SpoutLoop(Task* task) {
 void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
   TaskCollector* collector = task->collector.get();
   const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
+  FaultSite* faults = task->executor_faults.get();
+  size_t executed = 0;
   for (Message& message : batch) {
     // Tracing costs exactly this one branch on untraced tuples; traced
     // hops pay the span allocation and two clock reads.
@@ -531,8 +635,23 @@ void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
     }
     collector->BeginExecute(message.root_id, message.emit_time_nanos,
                             message.trace_id, hop_span);
-    task->bolt->Execute(message.tuple, collector);
+    bool ok = true;
+    try {
+      if (faults != nullptr && faults->FireBoltThrow()) {
+        throw InjectedBoltError("injected bolt failure");
+      }
+      task->bolt->Execute(message.tuple, collector);
+    } catch (...) {
+      // A throwing Execute fails the tuple, never the engine: whatever
+      // children it emitted before throwing stay anchored, no ack is
+      // recorded, and under at-least-once the root times out into the
+      // spout's OnFail.
+      ok = false;
+      task->metrics->IncBoltExceptions();
+    }
     const uint64_t xor_out = collector->EndExecute();
+    if (!ok) continue;
+    executed++;
     if (message.trace_id != 0) {
       task->trace_ring->Record(TraceEvent{
           message.trace_id, hop_span, message.trace_parent_span,
@@ -543,21 +662,46 @@ void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
     if (message.emit_time_nanos > 0) {
       task->metrics->RecordLatencyNanos(NowNanos() - message.emit_time_nanos);
     }
-    if (track && message.root_id != 0) {
+    // Crash draw sits between Execute and the ack — the MillWheel torn
+    // window. The completed Execute's state mutations (and any checkpoint
+    // Put) survive, but the ack is swallowed with the "process", so the
+    // root replays into restored state: exactly the duplicate-delivery
+    // case checkpoint-then-ack dedup (DedupLedger) must absorb.
+    const bool crash_now = faults != nullptr && faults->FireTaskCrash();
+    if (track && message.root_id != 0 && !crash_now) {
       collector->StageAck(AckerEvent{AckerEvent::kUpdate, message.root_id,
                                      message.edge_id ^ xor_out, 0});
+    }
+    if (crash_now) {
+      // The rest of the popped batch dies with the task — in-memory input
+      // of a dead process. Its messages were never executed and never
+      // acked; at-least-once replays them via the ack timeout. The bolt
+      // instance is rebuilt from its factory like a restarted worker.
+      RestartBolt(task);
+      break;
     }
   }
   // Children enqueue (and acker events post) before the parents' pending
   // count releases, so pending_messages_ == 0 always means fully drained.
   collector->FlushAll();
-  task->metrics->IncExecuted(batch.size());
+  task->metrics->IncExecuted(executed);
   const uint64_t prev =
       pending_messages_.fetch_sub(batch.size(), std::memory_order_acq_rel);
   if (prev == batch.size() &&
       spouts_done_.load(std::memory_order_acquire)) {
     progress_cv_.notify_all();  // Wake the drain wait in Run().
   }
+}
+
+/// Crash-restart recovery: discards the bolt instance (all in-memory
+/// state) and builds a fresh one from the component factory, re-running
+/// Prepare as a restarted worker would. State that matters must have been
+/// checkpointed by the bolt itself — that contract is exactly what the
+/// chaos suite verifies.
+void TopologyEngine::RestartBolt(Task* task) {
+  const ComponentSpec& spec = topology_.components()[task->component_index];
+  task->bolt = spec.bolt_factory();
+  task->bolt->Prepare(task->task_index, spec.parallelism);
 }
 
 void TopologyEngine::DedicatedBoltLoop(Task* task) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "platform/fault.h"
 #include "platform/metrics.h"
 #include "platform/metrics_sampler.h"
 #include "platform/queue.h"
@@ -72,6 +73,10 @@ struct EngineConfig {
   /// that merge into span trees after Run(). 0 disables tracing; untraced
   /// tuples pay exactly one branch per hop.
   uint32_t trace_sample_every = 0;
+  /// Deterministic fault injection (chaos testing): per-injection-point
+  /// probabilities, all 0 by default — fully disabled, and the engine
+  /// builds no sites or hooks. See fault.h for the determinism model.
+  FaultSpec faults;
 
   /// Checks knob ranges (0 means "disabled" for the telemetry knobs, not
   /// an error). Run() aborts on an invalid config; callers building
@@ -111,6 +116,10 @@ class TopologyEngine {
   /// Number of bolt input queues backed by the SPSC ring (after Run()).
   size_t spsc_edges() const { return spsc_edges_; }
 
+  /// Injected-fault counters for this run; null when config.faults is
+  /// disabled. Valid from Run() start (tests read it after Run returns).
+  const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
  private:
   struct Task;
   struct Edge;
@@ -126,6 +135,7 @@ class TopologyEngine {
   void MultiplexedWorkerLoop(const std::vector<Task*>& tasks);
   void AckerLoop();
   void ExecuteBatch(Task* task, std::span<struct Message> batch);
+  void RestartBolt(Task* task);
   void RunFinishPass();
 
   Topology topology_;
@@ -133,6 +143,7 @@ class TopologyEngine {
   MetricsRegistry metrics_;
   Telemetry telemetry_;
   std::unique_ptr<MetricsSampler> sampler_;
+  std::unique_ptr<FaultPlan> fault_plan_;
 
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::vector<Edge>> outgoing_;  // Per component index.

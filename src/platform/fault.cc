@@ -1,0 +1,146 @@
+#include "platform/fault.h"
+
+#include <cmath>
+
+#include "platform/metrics.h"
+
+namespace streamlib::platform {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropTuple: return "drop_tuple";
+    case FaultKind::kDuplicateTuple: return "duplicate_tuple";
+    case FaultKind::kDelayDelivery: return "delay_delivery";
+    case FaultKind::kBoltThrow: return "bolt_throw";
+    case FaultKind::kTaskCrash: return "task_crash";
+    case FaultKind::kQueueStall: return "queue_stall";
+    case FaultKind::kAckerEventLoss: return "acker_event_loss";
+  }
+  return "unknown";
+}
+
+bool FaultSpec::Enabled() const {
+  return drop_tuple_prob > 0 || duplicate_tuple_prob > 0 ||
+         delay_delivery_prob > 0 || bolt_throw_prob > 0 ||
+         task_crash_prob > 0 || queue_stall_prob > 0 || acker_loss_prob > 0;
+}
+
+Status FaultSpec::Validate() const {
+  const struct {
+    const char* name;
+    double value;
+  } probs[] = {
+      {"drop_tuple_prob", drop_tuple_prob},
+      {"duplicate_tuple_prob", duplicate_tuple_prob},
+      {"delay_delivery_prob", delay_delivery_prob},
+      {"bolt_throw_prob", bolt_throw_prob},
+      {"task_crash_prob", task_crash_prob},
+      {"queue_stall_prob", queue_stall_prob},
+      {"acker_loss_prob", acker_loss_prob},
+  };
+  for (const auto& p : probs) {
+    if (!std::isfinite(p.value) || p.value < 0.0 || p.value > 1.0) {
+      return Status::InvalidArgument(std::string("FaultSpec::") + p.name +
+                                     " must be in [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+FaultPlan::FaultPlan(FaultSpec spec)
+    : spec_(spec), crash_budget_(spec.max_task_crashes) {}
+
+std::unique_ptr<FaultSite> FaultPlan::MakeSite(uint64_t site_id,
+                                               TaskMetrics* metrics) {
+  return std::unique_ptr<FaultSite>(new FaultSite(this, site_id, metrics));
+}
+
+uint64_t FaultPlan::total_injected() const {
+  uint64_t total = 0;
+  for (const auto& counter : injected_) {
+    total += counter.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<uint64_t, kNumFaultKinds> FaultPlan::Snapshot() const {
+  std::array<uint64_t, kNumFaultKinds> out{};
+  for (size_t i = 0; i < kNumFaultKinds; i++) {
+    out[i] = injected_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+bool FaultPlan::ConsumeCrashBudget() {
+  uint32_t budget = crash_budget_.load(std::memory_order_relaxed);
+  while (budget > 0) {
+    if (crash_budget_.compare_exchange_weak(budget, budget - 1,
+                                            std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultSite::FaultSite(FaultPlan* plan, uint64_t site_id, TaskMetrics* metrics)
+    // Golden-ratio mixing keeps adjacent site ids from producing
+    // correlated streams (Rng's SplitMix64 expansion finishes the job).
+    : plan_(plan),
+      rng_(plan->spec_.seed ^ (0x9e3779b97f4a7c15ULL * (site_id + 1))),
+      metrics_(metrics) {}
+
+bool FaultSite::Draw(double prob, FaultKind kind) {
+  if (prob <= 0.0) return false;
+  if (rng_.NextDouble() >= prob) return false;
+  plan_->Record(kind);
+  if (metrics_ != nullptr) metrics_->IncFaultsInjected();
+  return true;
+}
+
+bool FaultSite::FireDropTuple() {
+  return Draw(plan_->spec_.drop_tuple_prob, FaultKind::kDropTuple);
+}
+
+bool FaultSite::FireDuplicateTuple() {
+  return Draw(plan_->spec_.duplicate_tuple_prob, FaultKind::kDuplicateTuple);
+}
+
+uint32_t FaultSite::DeliveryDelayMicros() {
+  const uint32_t max = plan_->spec_.delay_max_micros;
+  if (max == 0 ||
+      !Draw(plan_->spec_.delay_delivery_prob, FaultKind::kDelayDelivery)) {
+    return 0;
+  }
+  return 1 + static_cast<uint32_t>(rng_.NextBounded(max));
+}
+
+bool FaultSite::FireBoltThrow() {
+  return Draw(plan_->spec_.bolt_throw_prob, FaultKind::kBoltThrow);
+}
+
+bool FaultSite::FireTaskCrash() {
+  const double prob = plan_->spec_.task_crash_prob;
+  if (prob <= 0.0) return false;
+  // Always advance the PRNG so an exhausted budget leaves the site's
+  // decision stream (and every later draw) unchanged.
+  if (rng_.NextDouble() >= prob) return false;
+  if (!plan_->ConsumeCrashBudget()) return false;
+  plan_->Record(FaultKind::kTaskCrash);
+  if (metrics_ != nullptr) metrics_->IncFaultsInjected();
+  return true;
+}
+
+bool FaultSite::FireAckerLoss() {
+  return Draw(plan_->spec_.acker_loss_prob, FaultKind::kAckerEventLoss);
+}
+
+uint32_t FaultSite::QueueStallMicros() {
+  const uint32_t max = plan_->spec_.queue_stall_micros;
+  if (max == 0 ||
+      !Draw(plan_->spec_.queue_stall_prob, FaultKind::kQueueStall)) {
+    return 0;
+  }
+  return 1 + static_cast<uint32_t>(rng_.NextBounded(max));
+}
+
+}  // namespace streamlib::platform

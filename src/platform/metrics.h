@@ -58,6 +58,15 @@ class TaskMetrics {
   void IncBackpressureStalls(uint64_t n = 1) {
     backpressure_stalls_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Faults the chaos harness injected at this task's sites (fault.h).
+  void IncFaultsInjected(uint64_t n = 1) {
+    faults_injected_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Exceptions the engine caught escaping this task's Execute — injected
+  /// bolt-throws and genuine user-bolt bugs alike.
+  void IncBoltExceptions(uint64_t n = 1) {
+    bolt_exceptions_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Records one transport flush of `batch_tuples` tuples from this task's
   /// staging buffer into a downstream queue. flushes() and AvgFlushSize()
@@ -94,6 +103,12 @@ class TaskMetrics {
   uint64_t failed() const { return failed_.load(std::memory_order_relaxed); }
   uint64_t backpressure_stalls() const {
     return backpressure_stalls_.load(std::memory_order_relaxed);
+  }
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t bolt_exceptions() const {
+    return bolt_exceptions_.load(std::memory_order_relaxed);
   }
   uint64_t flushes() const {
     return flushes_.load(std::memory_order_relaxed);
@@ -134,6 +149,8 @@ class TaskMetrics {
   std::atomic<uint64_t> acked_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> backpressure_stalls_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> bolt_exceptions_{0};
   std::atomic<uint64_t> flushes_{0};
   std::atomic<uint64_t> flushed_tuples_{0};
   std::atomic<uint64_t> max_queue_depth_{0};
@@ -154,6 +171,8 @@ class ComponentAggregate {
   uint64_t acked() const { return acked_; }
   uint64_t failed() const { return failed_; }
   uint64_t backpressure_stalls() const { return backpressure_stalls_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t bolt_exceptions() const { return bolt_exceptions_; }
   uint64_t flushes() const { return flushes_; }
   uint64_t flushed_tuples() const { return flushed_tuples_; }
   uint64_t max_queue_depth() const { return max_queue_depth_; }
@@ -179,6 +198,8 @@ class ComponentAggregate {
   uint64_t acked_ = 0;
   uint64_t failed_ = 0;
   uint64_t backpressure_stalls_ = 0;
+  uint64_t faults_injected_ = 0;
+  uint64_t bolt_exceptions_ = 0;
   uint64_t flushes_ = 0;
   uint64_t flushed_tuples_ = 0;
   uint64_t max_queue_depth_ = 0;
@@ -231,6 +252,8 @@ class MetricsRegistry {
       agg.acked_ += task->acked();
       agg.failed_ += task->failed();
       agg.backpressure_stalls_ += task->backpressure_stalls();
+      agg.faults_injected_ += task->faults_injected();
+      agg.bolt_exceptions_ += task->bolt_exceptions();
       agg.flushes_ += task->flushes();
       agg.flushed_tuples_ += task->flushed_tuples();
       agg.max_queue_depth_ =

@@ -36,10 +36,10 @@ void MetricsSampler::Start() {
   // attached mid-flight still produces correct deltas.
   for (size_t i = 0; i < probes_.size(); i++) {
     const TaskMetrics* m = probes_[i].metrics;
-    previous_[i] = CounterSnapshot{m->emitted(),   m->executed(),
-                                   m->acked(),     m->failed(),
-                                   m->backpressure_stalls(), m->flushes(),
-                                   m->flushed_tuples()};
+    previous_[i] = CounterSnapshot{
+        m->emitted(), m->executed(),         m->acked(),
+        m->failed(),  m->backpressure_stalls(), m->faults_injected(),
+        m->flushes(), m->flushed_tuples()};
   }
   thread_ = std::thread([this] { Loop(); });
 }
@@ -79,10 +79,10 @@ void MetricsSampler::TakeSample() {
   for (size_t i = 0; i < probes_.size(); i++) {
     const Probe& probe = probes_[i];
     const TaskMetrics* m = probe.metrics;
-    const CounterSnapshot current{m->emitted(),   m->executed(),
-                                  m->acked(),     m->failed(),
-                                  m->backpressure_stalls(), m->flushes(),
-                                  m->flushed_tuples()};
+    const CounterSnapshot current{
+        m->emitted(), m->executed(),         m->acked(),
+        m->failed(),  m->backpressure_stalls(), m->faults_injected(),
+        m->flushes(), m->flushed_tuples()};
     CounterSnapshot& prev = previous_[i];
     TaskSampleDelta delta;
     delta.task = static_cast<uint32_t>(m->ordinal());
@@ -92,6 +92,7 @@ void MetricsSampler::TakeSample() {
     delta.failed = current.failed - prev.failed;
     delta.backpressure_stalls =
         current.backpressure_stalls - prev.backpressure_stalls;
+    delta.faults_injected = current.faults_injected - prev.faults_injected;
     delta.flushes = current.flushes - prev.flushes;
     delta.flushed_tuples = current.flushed_tuples - prev.flushed_tuples;
     if (probe.queue_depth) {

@@ -24,6 +24,7 @@ struct TaskSampleDelta {
   uint64_t acked = 0;
   uint64_t failed = 0;
   uint64_t backpressure_stalls = 0;
+  uint64_t faults_injected = 0;
   uint64_t flushes = 0;
   uint64_t flushed_tuples = 0;
   uint64_t queue_depth = 0;  ///< Gauge, not a delta (0 for spout tasks).
@@ -85,6 +86,7 @@ class MetricsSampler {
     uint64_t acked = 0;
     uint64_t failed = 0;
     uint64_t backpressure_stalls = 0;
+    uint64_t faults_injected = 0;
     uint64_t flushes = 0;
     uint64_t flushed_tuples = 0;
   };

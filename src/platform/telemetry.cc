@@ -59,6 +59,8 @@ TelemetryReport Telemetry::BuildReport() const {
       row.acked = m.acked();
       row.failed = m.failed();
       row.backpressure_stalls = m.backpressure_stalls();
+      row.faults_injected = m.faults_injected();
+      row.bolt_exceptions = m.bolt_exceptions();
       row.flushes = m.flushes();
       row.flushed_tuples = m.flushed_tuples();
       row.max_queue_depth = m.max_queue_depth();
@@ -67,6 +69,12 @@ TelemetryReport Telemetry::BuildReport() const {
       row.p99_latency_us = m.LatencyPercentileNanos(0.99) / 1000.0;
       report.tasks.push_back(std::move(row));
     }
+  }
+  if (fault_plan_ != nullptr) {
+    report.faults.enabled = true;
+    report.faults.seed = fault_plan_->spec().seed;
+    report.faults.by_kind = fault_plan_->Snapshot();
+    report.faults.total_injected = fault_plan_->total_injected();
   }
   if (sampler_ != nullptr) report.time_series = sampler_->Snapshot();
   report.trace_trees = traces_.trees();
@@ -82,6 +90,16 @@ void TelemetryReport::WriteJson(std::ostream& out,
       << "  \"sample_interval_ms\": " << sample_interval_ms << ",\n"
       << "  \"trace_sample_every\": " << trace_sample_every << ",\n";
 
+  out << "  \"fault_injection\": {\"enabled\": "
+      << (faults.enabled ? "true" : "false") << ", \"seed\": " << faults.seed
+      << ", \"total_injected\": " << faults.total_injected
+      << ", \"by_kind\": {";
+  for (size_t k = 0; k < kNumFaultKinds; k++) {
+    out << JsonStr(FaultKindName(static_cast<FaultKind>(k))) << ": "
+        << faults.by_kind[k] << (k + 1 < kNumFaultKinds ? ", " : "");
+  }
+  out << "}},\n";
+
   out << "  \"tasks\": [\n";
   for (size_t i = 0; i < tasks.size(); i++) {
     const TaskRow& t = tasks[i];
@@ -90,6 +108,8 @@ void TelemetryReport::WriteJson(std::ostream& out,
         << ", \"emitted\": " << t.emitted << ", \"executed\": " << t.executed
         << ", \"acked\": " << t.acked << ", \"failed\": " << t.failed
         << ", \"backpressure_stalls\": " << t.backpressure_stalls
+        << ", \"faults_injected\": " << t.faults_injected
+        << ", \"bolt_exceptions\": " << t.bolt_exceptions
         << ", \"flushes\": " << t.flushes
         << ", \"flushed_tuples\": " << t.flushed_tuples
         << ", \"avg_flush_size\": " << JsonNum(t.avg_flush_size)
@@ -111,6 +131,7 @@ void TelemetryReport::WriteJson(std::ostream& out,
           << ", \"executed\": " << d.executed << ", \"acked\": " << d.acked
           << ", \"failed\": " << d.failed
           << ", \"backpressure_stalls\": " << d.backpressure_stalls
+          << ", \"faults_injected\": " << d.faults_injected
           << ", \"flushes\": " << d.flushes
           << ", \"flushed_tuples\": " << d.flushed_tuples
           << ", \"queue_depth\": " << d.queue_depth << "}"
@@ -171,6 +192,21 @@ void TelemetryReport::WriteJson(std::ostream& out,
 
 void TelemetryReport::WriteTable(std::ostream& out) const {
   char line[256];
+  if (faults.enabled) {
+    std::snprintf(line, sizeof(line),
+                  "== telemetry: fault injection (seed 0x%llx, %llu "
+                  "injected) ==\n",
+                  static_cast<unsigned long long>(faults.seed),
+                  static_cast<unsigned long long>(faults.total_injected));
+    out << line;
+    for (size_t k = 0; k < kNumFaultKinds; k++) {
+      if (faults.by_kind[k] == 0) continue;
+      std::snprintf(line, sizeof(line), "  %-16s %8llu\n",
+                    FaultKindName(static_cast<FaultKind>(k)),
+                    static_cast<unsigned long long>(faults.by_kind[k]));
+      out << line;
+    }
+  }
   out << "== telemetry: per-task counters ==\n";
   std::snprintf(line, sizeof(line),
                 "  %-12s %4s %10s %10s %8s %8s %9s %9s %8s %8s\n",

@@ -1,11 +1,13 @@
 #ifndef STREAMLIB_PLATFORM_TELEMETRY_H_
 #define STREAMLIB_PLATFORM_TELEMETRY_H_
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "platform/fault.h"
 #include "platform/metrics.h"
 #include "platform/metrics_sampler.h"
 #include "platform/trace.h"
@@ -25,6 +27,8 @@ struct TelemetryReport {
     uint64_t acked = 0;
     uint64_t failed = 0;
     uint64_t backpressure_stalls = 0;
+    uint64_t faults_injected = 0;
+    uint64_t bolt_exceptions = 0;
     uint64_t flushes = 0;
     uint64_t flushed_tuples = 0;
     uint64_t max_queue_depth = 0;
@@ -33,8 +37,19 @@ struct TelemetryReport {
     double p99_latency_us = 0;
   };
 
+  /// Chaos-run summary: whether injection was armed, the master seed (so a
+  /// failing run's report is enough to replay its fault schedule), and the
+  /// engine-wide injected counts per FaultKind.
+  struct FaultSummary {
+    bool enabled = false;
+    uint64_t seed = 0;
+    uint64_t total_injected = 0;
+    std::array<uint64_t, kNumFaultKinds> by_kind{};
+  };
+
   uint32_t sample_interval_ms = 0;  ///< 0 = sampler was disabled.
   uint32_t trace_sample_every = 0;  ///< 0 = tracing was disabled.
+  FaultSummary faults;              ///< enabled=false outside chaos runs.
   /// Indexed by engine task id — TaskSampleDelta::task points here.
   std::vector<TaskRow> tasks;
   std::vector<TelemetrySample> time_series;
@@ -69,6 +84,8 @@ class Telemetry {
     trace_sample_every_ = trace_sample_every;
   }
   void AttachSampler(const MetricsSampler* sampler) { sampler_ = sampler; }
+  /// Null outside chaos runs (injection disabled).
+  void BindFaultPlan(const FaultPlan* plan) { fault_plan_ = plan; }
   TraceStore& mutable_traces() { return traces_; }
 
   /// Snapshot of the sampler time series; safe to call from any thread
@@ -87,6 +104,7 @@ class Telemetry {
  private:
   const MetricsRegistry* registry_ = nullptr;
   const MetricsSampler* sampler_ = nullptr;
+  const FaultPlan* fault_plan_ = nullptr;
   TraceStore traces_;
   uint32_t sample_interval_ms_ = 0;
   uint32_t trace_sample_every_ = 0;

@@ -1,0 +1,538 @@
+// Chaos verification suite for the deterministic fault injector: seeded
+// replay of fault schedules, at-least-once delivery under drops/dups/
+// throws/crashes, exactly-once *state* via checkpoint-then-ack across an
+// injected crash-restart, checkpoint restore-path edge cases, and the
+// fault counters' telemetry surface.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos_util.h"
+#include "platform/checkpoint.h"
+#include "platform/components.h"
+#include "platform/engine.h"
+#include "platform/fault.h"
+#include "platform/topology.h"
+#include "test_seed.h"
+
+namespace streamlib::platform {
+namespace {
+
+// ------------------------------------------------------ config validation
+
+TEST(EngineConfigValidationTest, RejectsNonPositiveAckTimeout) {
+  // The timeout knob must be sane under *both* semantics — a bad value
+  // must not hide behind at-most-once mode.
+  for (const DeliverySemantics semantics :
+       {DeliverySemantics::kAtMostOnce, DeliverySemantics::kAtLeastOnce}) {
+    EngineConfig config;
+    config.semantics = semantics;
+    config.ack_timeout_seconds = 0.0;
+    EXPECT_FALSE(config.Validate().ok());
+    config.ack_timeout_seconds = -1.5;
+    EXPECT_FALSE(config.Validate().ok());
+    config.ack_timeout_seconds = std::nan("");
+    EXPECT_FALSE(config.Validate().ok());
+    config.ack_timeout_seconds = 5.0;
+    EXPECT_TRUE(config.Validate().ok());
+  }
+}
+
+TEST(EngineConfigValidationDeathTest, RunAbortsOnNonPositiveAckTimeout) {
+  TopologyBuilder builder;
+  builder.AddSpout("src", []() -> std::unique_ptr<Spout> {
+    return std::make_unique<GeneratorSpout>(
+        []() -> std::optional<Tuple> { return std::nullopt; });
+  });
+  EngineConfig config;
+  config.ack_timeout_seconds = 0.0;
+  TopologyEngine engine(builder.Build().value(), config);
+  EXPECT_DEATH(engine.Run(), "ack_timeout_seconds");
+}
+
+TEST(FaultSpecValidationTest, RejectsOutOfRangeProbabilities) {
+  FaultSpec spec;
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_FALSE(spec.Enabled());  // All-zero default: injection off.
+
+  spec.drop_tuple_prob = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.drop_tuple_prob = -0.1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.drop_tuple_prob = std::nan("");
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.drop_tuple_prob = 0.5;
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_TRUE(spec.Enabled());
+}
+
+// --------------------------------------------------- deterministic replay
+
+struct ChaosRunResult {
+  std::array<uint64_t, kNumFaultKinds> injected{};
+  uint64_t total_injected = 0;
+  uint64_t sink_count = 0;
+};
+
+/// One at-most-once chain run (src -> relay -> sink, parallelism 1) under
+/// `spec`. With one task per component every injection site is consulted a
+/// deterministic number of times — no acker, no replays, no timeout races —
+/// so two runs with the same spec must produce identical fault schedules.
+ChaosRunResult RunAtMostOnceChain(const FaultSpec& spec, uint64_t n,
+                                  ExecutionMode mode) {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  auto sunk = std::make_shared<std::atomic<uint64_t>>(0);
+  TopologyBuilder builder;
+  builder.AddSpout("src", [counter, n]() -> std::unique_ptr<Spout> {
+    return std::make_unique<GeneratorSpout>(
+        [counter, n]() -> std::optional<Tuple> {
+          const uint64_t i = counter->fetch_add(1);
+          if (i >= n) return std::nullopt;
+          return Tuple::Of(static_cast<int64_t>(i));
+        });
+  });
+  builder.AddBolt(
+      "relay",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [](const Tuple& t, OutputCollector* out) { out->Emit(t); });
+      },
+      1, {{"src", Grouping::Shuffle()}});
+  builder.AddBolt(
+      "sink",
+      [sunk]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [sunk](const Tuple&, OutputCollector*) {
+              sunk->fetch_add(1, std::memory_order_relaxed);
+            });
+      },
+      1, {{"relay", Grouping::Global()}});
+
+  EngineConfig config;
+  config.mode = mode;
+  config.semantics = DeliverySemantics::kAtMostOnce;
+  config.faults = spec;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  ChaosRunResult result;
+  result.injected = engine.fault_plan()->Snapshot();
+  result.total_injected = engine.fault_plan()->total_injected();
+  result.sink_count = sunk->load();
+  return result;
+}
+
+TEST(FaultDeterminismTest, SeededReplayProducesIdenticalFaultSchedule) {
+  FaultSpec spec;
+  spec.seed = TestSeed() ^ 0xfa17;
+  spec.drop_tuple_prob = 0.02;
+  spec.duplicate_tuple_prob = 0.02;
+  spec.delay_delivery_prob = 0.005;
+  spec.delay_max_micros = 30;
+  spec.bolt_throw_prob = 0.01;
+  spec.queue_stall_prob = 0.01;
+  spec.queue_stall_micros = 30;
+  // Crash injection is excluded on purpose: a crash discards the *rest of
+  // the popped batch*, and batch boundaries depend on thread timing, so
+  // downstream consultation counts would no longer be schedule-free.
+
+  const ChaosRunResult a = RunAtMostOnceChain(spec, 4000,
+                                              ExecutionMode::kDedicated);
+  const ChaosRunResult b = RunAtMostOnceChain(spec, 4000,
+                                              ExecutionMode::kDedicated);
+
+  EXPECT_GT(a.total_injected, 0u);
+  EXPECT_GT(a.injected[static_cast<size_t>(FaultKind::kDropTuple)], 0u);
+  EXPECT_GT(a.injected[static_cast<size_t>(FaultKind::kDuplicateTuple)], 0u);
+  EXPECT_GT(a.injected[static_cast<size_t>(FaultKind::kBoltThrow)], 0u);
+  EXPECT_GT(a.injected[static_cast<size_t>(FaultKind::kQueueStall)], 0u);
+  for (size_t k = 0; k < kNumFaultKinds; k++) {
+    EXPECT_EQ(a.injected[k], b.injected[k])
+        << FaultKindName(static_cast<FaultKind>(k));
+  }
+  EXPECT_EQ(a.sink_count, b.sink_count);
+  // And a different seed must produce a different schedule (astronomically
+  // unlikely to collide across four active sites).
+  FaultSpec other = spec;
+  other.seed = spec.seed + 1;
+  const ChaosRunResult c = RunAtMostOnceChain(other, 4000,
+                                              ExecutionMode::kDedicated);
+  EXPECT_NE(a.injected, c.injected);
+}
+
+// ------------------------------------------- at-least-once under chaos mix
+
+/// The acceptance mix: drops, duplicates, bolt throws, acker losses, and a
+/// one-crash budget, against a replaying spout. Returns the per-payload
+/// delivery counts observed by the (dedup-free) sink.
+void RunAtLeastOnceChaos(ExecutionMode mode, uint64_t seed_salt) {
+  constexpr int64_t kN = 250;
+  auto state = std::make_shared<ReplayState>(kN);
+  auto delivered = std::make_shared<std::atomic<uint64_t>>(0);
+
+  TopologyBuilder builder;
+  builder.AddSpout("src", [state]() -> std::unique_ptr<Spout> {
+    return std::make_unique<ReplaySpout>(state);
+  });
+  builder.AddBolt(
+      "relay",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [](const Tuple& t, OutputCollector* out) { out->Emit(t); });
+      },
+      2, {{"src", Grouping::Shuffle()}});
+  builder.AddBolt(
+      "sink",
+      [delivered]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [delivered](const Tuple&, OutputCollector*) {
+              delivered->fetch_add(1, std::memory_order_relaxed);
+            });
+      },
+      2, {{"relay", Grouping::Fields(0)}});
+
+  EngineConfig config;
+  config.mode = mode;
+  config.semantics = DeliverySemantics::kAtLeastOnce;
+  config.ack_timeout_seconds = 0.15;  // Fast replay rounds.
+  config.faults.seed = TestSeed() ^ seed_salt;
+  config.faults.drop_tuple_prob = 0.01;
+  config.faults.duplicate_tuple_prob = 0.01;
+  config.faults.bolt_throw_prob = 0.005;
+  config.faults.task_crash_prob = 0.02;
+  config.faults.max_task_crashes = 1;
+  config.faults.acker_loss_prob = 0.005;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  // Termination alone proves no root was lost forever (the spout only ends
+  // the stream once every payload is acked); now check the books.
+  EXPECT_EQ(state->acked, static_cast<uint64_t>(kN));
+  EXPECT_TRUE(state->pending.empty());
+  EXPECT_TRUE(state->inflight.empty());
+  EXPECT_EQ(engine.completed_roots(), state->acked);
+  EXPECT_EQ(engine.failed_roots(), state->failed);
+  // Every payload reached the sink at least once; with injected drops and
+  // replays the total can exceed kN but can never fall short.
+  EXPECT_GE(delivered->load(), static_cast<uint64_t>(kN));
+  EXPECT_GT(engine.fault_plan()->total_injected(), 0u);
+}
+
+TEST(ChaosMixTest, AtLeastOnceNeverLosesRootsDedicated) {
+  RunAtLeastOnceChaos(ExecutionMode::kDedicated, 0xa110);
+}
+
+TEST(ChaosMixTest, AtLeastOnceNeverLosesRootsMultiplexed) {
+  RunAtLeastOnceChaos(ExecutionMode::kMultiplexed, 0xa111);
+}
+
+TEST(ChaosMixTest, AtMostOnceChaosTerminatesAndNeverDoubleCounts) {
+  // At-most-once under a no-duplication mix: faults may lose tuples but
+  // the engine must drain cleanly and the sink must never see a tuple
+  // twice (count bounded above by emissions, below by emissions minus
+  // everything droppable).
+  FaultSpec spec;
+  spec.seed = TestSeed() ^ 0xa105;
+  spec.drop_tuple_prob = 0.05;
+  spec.bolt_throw_prob = 0.02;
+  spec.queue_stall_prob = 0.01;
+  spec.queue_stall_micros = 50;
+  spec.task_crash_prob = 0.01;
+  spec.max_task_crashes = 2;
+  for (const ExecutionMode mode :
+       {ExecutionMode::kDedicated, ExecutionMode::kMultiplexed}) {
+    const ChaosRunResult r = RunAtMostOnceChain(spec, 4000, mode);
+    EXPECT_LE(r.sink_count, 4000u);
+    EXPECT_GT(r.total_injected, 0u);
+  }
+}
+
+// ----------------------------------- exactly-once state across a crash
+
+TEST(CrashRestoreTest, CheckpointRestoreReproducesExactOperatorState) {
+  // src -> count(1 task, checkpoint-then-ack + dedup). The injected crash
+  // fires between an Execute (state already checkpointed) and its ack —
+  // the torn window — so the root replays into restored state and the
+  // ledger must absorb the redelivery. Ground truth: every payload counted
+  // exactly once, crash or no crash, duplicates or not.
+  constexpr int64_t kN = 200;
+  auto state = std::make_shared<ReplayState>(kN);
+  KvCheckpointStore store;
+
+  TopologyBuilder builder;
+  builder.AddSpout("src", [state]() -> std::unique_ptr<Spout> {
+    return std::make_unique<ReplaySpout>(state);
+  });
+  builder.AddBolt(
+      "count",
+      [&store]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<CheckpointedCountBolt>(&store, "count");
+      },
+      1, {{"src", Grouping::Global()}});
+
+  EngineConfig config;
+  config.semantics = DeliverySemantics::kAtLeastOnce;
+  config.ack_timeout_seconds = 0.15;
+  config.faults.seed = TestSeed() ^ 0xc4a5;
+  config.faults.duplicate_tuple_prob = 0.02;
+  config.faults.task_crash_prob = 0.1;
+  config.faults.max_task_crashes = 1;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  // The crash all but surely fired (p_miss = 0.9^200 ~ 7e-10); assert so
+  // the test can't silently pass without exercising restore.
+  ASSERT_EQ(engine.fault_plan()->injected(FaultKind::kTaskCrash), 1u);
+  EXPECT_EQ(state->acked, static_cast<uint64_t>(kN));
+
+  // The store's final checkpoint *is* the operator state an independent
+  // restore would see; decode it and compare against ground truth.
+  Result<std::vector<uint8_t>> bytes = store.Fetch("count:0");
+  ASSERT_TRUE(bytes.ok());
+  const auto counts = CheckpointedCountBolt::DecodeCounts(bytes.value());
+  ASSERT_EQ(counts.size(), static_cast<size_t>(kN));
+  for (int64_t i = 0; i < kN; i++) {
+    auto it = counts.find(i);
+    ASSERT_NE(it, counts.end()) << "payload " << i << " lost";
+    EXPECT_EQ(it->second, 1u) << "payload " << i << " double-counted";
+  }
+}
+
+// -------------------------------------------- ack-timeout replay (no dup)
+
+TEST(AckTimeoutReplayTest, DroppedTupleFailsThenReplaysToFullAck) {
+  // Drops only: a root whose delivery was dropped can resolve only via
+  // ack-timeout -> OnFail -> spout re-emission. Termination requires that
+  // whole path to work.
+  constexpr int64_t kN = 100;
+  auto state = std::make_shared<ReplayState>(kN);
+  auto delivered = std::make_shared<std::atomic<uint64_t>>(0);
+
+  TopologyBuilder builder;
+  builder.AddSpout("src", [state]() -> std::unique_ptr<Spout> {
+    return std::make_unique<ReplaySpout>(state);
+  });
+  builder.AddBolt(
+      "sink",
+      [delivered]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [delivered](const Tuple&, OutputCollector*) {
+              delivered->fetch_add(1, std::memory_order_relaxed);
+            });
+      },
+      1, {{"src", Grouping::Global()}});
+
+  EngineConfig config;
+  config.semantics = DeliverySemantics::kAtLeastOnce;
+  config.ack_timeout_seconds = 0.1;
+  config.faults.seed = TestSeed() ^ 0xd409;
+  config.faults.drop_tuple_prob = 0.05;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  const uint64_t drops =
+      engine.fault_plan()->injected(FaultKind::kDropTuple);
+  EXPECT_GT(drops, 0u);          // The fault actually fired...
+  EXPECT_GT(state->failed, 0u);  // ...and OnFail replay was exercised.
+  EXPECT_EQ(state->acked, static_cast<uint64_t>(kN));
+  EXPECT_EQ(delivered->load(), static_cast<uint64_t>(kN));
+  EXPECT_EQ(engine.failed_roots(), state->failed);
+}
+
+// ----------------------------------------- checkpoint restore edge cases
+
+TEST(CheckpointRestoreEdgeTest, EmptyStoreRoundTripsThroughFile) {
+  const std::string path = ::testing::TempDir() + "empty_ckpt.bin";
+  KvCheckpointStore empty;
+  ASSERT_TRUE(empty.SaveToFile(path).ok());
+  KvCheckpointStore restored;
+  restored.Put("stale", {1, 2, 3});  // Load must replace, not merge.
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.NumKeys(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRestoreEdgeTest, PopulatedStoreRoundTripsThroughFile) {
+  const std::string path = ::testing::TempDir() + "full_ckpt.bin";
+  KvCheckpointStore store;
+  store.Put("a", {1, 2, 3});
+  store.Put("a", {4, 5});  // Version 2 — versions must survive the trip.
+  store.Put("b", {});      // Empty state is valid state.
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+
+  KvCheckpointStore restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.NumKeys(), 2u);
+  EXPECT_EQ(restored.Get("a").value(), (std::vector<uint8_t>{4, 5}));
+  EXPECT_EQ(restored.VersionOf("a"), 2u);
+  EXPECT_EQ(restored.Get("b").value(), std::vector<uint8_t>{});
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRestoreEdgeTest, TornFileIsRejectedAndStoreUntouched) {
+  const std::string path = ::testing::TempDir() + "torn_ckpt.bin";
+  KvCheckpointStore store;
+  std::vector<uint8_t> blob(64);
+  for (size_t i = 0; i < blob.size(); i++) {
+    blob[i] = static_cast<uint8_t>(i);
+  }
+  store.Put("state", blob);
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+
+  // Truncate at every prefix length; no prefix except the full file may
+  // load, and a failed load must leave existing contents intact.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> full;
+  uint8_t buf[512];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    full.insert(full.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  const std::string torn = ::testing::TempDir() + "torn_ckpt_cut.bin";
+  for (size_t cut = 0; cut < full.size(); cut += 7) {
+    std::FILE* out = std::fopen(torn.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(full.data(), 1, cut, out);
+    std::fclose(out);
+    KvCheckpointStore victim;
+    victim.Put("keep", {9});
+    EXPECT_FALSE(victim.LoadFromFile(torn).ok()) << "cut=" << cut;
+    EXPECT_EQ(victim.Get("keep").value(), std::vector<uint8_t>{9})
+        << "failed load must not clobber the store (cut=" << cut << ")";
+  }
+  std::remove(torn.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRestoreEdgeTest, GarbageAndMissingFiles) {
+  KvCheckpointStore store;
+  EXPECT_EQ(store.LoadFromFile("/nonexistent/dir/ckpt.bin").code(),
+            StatusCode::kNotFound);
+
+  const std::string path = ::testing::TempDir() + "garbage_ckpt.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "this is not a checkpoint file at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_FALSE(store.LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRestoreEdgeTest, RenamedComponentRestoreIsCleanError) {
+  // A bolt renamed between checkpoint and restore must get a diagnosable
+  // NotFound (and start empty), never someone else's state or UB.
+  KvCheckpointStore store;
+  store.Put("old_name:0", {1, 2, 3});
+  const Result<std::vector<uint8_t>> result = store.Fetch("new_name:0");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().ToString().find("new_name:0"),
+            std::string::npos);  // The message names the missing key.
+
+  // The bolt-level behaviour: restore under the wrong name starts empty.
+  CheckpointedCountBolt bolt(&store, "new_name");
+  bolt.Prepare(0, 1);
+  EXPECT_TRUE(bolt.counts().empty());
+}
+
+TEST(CheckpointRestoreEdgeTest, TruncatedDedupLedgerBytesAreRejected) {
+  DedupLedger ledger;
+  for (uint64_t seq : {5u, 7u, 9u}) {
+    ASSERT_TRUE(ledger.CheckAndRecord(1, seq));
+  }
+  const std::vector<uint8_t> good = ledger.Serialize();
+  for (size_t cut = 0; cut + 1 < good.size(); cut += 3) {
+    const std::vector<uint8_t> torn(good.begin(), good.begin() + cut);
+    EXPECT_FALSE(DedupLedger::Deserialize(torn).ok()) << "cut=" << cut;
+  }
+  EXPECT_TRUE(DedupLedger::Deserialize(good).ok());
+}
+
+// ------------------------------------------------------ telemetry surface
+
+TEST(FaultTelemetryTest, InjectedCountersSurfaceInReportAndJson) {
+  FaultSpec spec;
+  spec.seed = TestSeed() ^ 0x7e1e;
+  spec.drop_tuple_prob = 0.05;
+  spec.duplicate_tuple_prob = 0.05;
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  TopologyBuilder builder;
+  builder.AddSpout("src", [counter]() -> std::unique_ptr<Spout> {
+    return std::make_unique<GeneratorSpout>(
+        [counter]() -> std::optional<Tuple> {
+          const uint64_t i = counter->fetch_add(1);
+          if (i >= 2000) return std::nullopt;
+          return Tuple::Of(static_cast<int64_t>(i));
+        });
+  });
+  builder.AddBolt(
+      "sink",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [](const Tuple&, OutputCollector*) {});
+      },
+      1, {{"src", Grouping::Global()}});
+
+  EngineConfig config;
+  config.faults = spec;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  const FaultPlan* plan = engine.fault_plan();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GT(plan->total_injected(), 0u);
+
+  const TelemetryReport report = engine.telemetry().BuildReport();
+  EXPECT_TRUE(report.faults.enabled);
+  EXPECT_EQ(report.faults.seed, spec.seed);
+  EXPECT_EQ(report.faults.total_injected, plan->total_injected());
+  EXPECT_EQ(report.faults.by_kind, plan->Snapshot());
+  // Per-task counters roll up to the engine-wide total: every injected
+  // fault is attributed to exactly one task.
+  uint64_t per_task_sum = 0;
+  for (const TelemetryReport::TaskRow& row : report.tasks) {
+    per_task_sum += row.faults_injected;
+  }
+  EXPECT_EQ(per_task_sum, plan->total_injected());
+
+  std::ostringstream json;
+  report.WriteJson(json);
+  const std::string doc = json.str();
+  EXPECT_NE(doc.find("\"fault_injection\""), std::string::npos);
+  EXPECT_NE(doc.find("\"drop_tuple\""), std::string::npos);
+  EXPECT_NE(doc.find("\"faults_injected\""), std::string::npos);
+}
+
+TEST(FaultTelemetryTest, DisabledInjectionReportsDisabled) {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  TopologyBuilder builder;
+  builder.AddSpout("src", [counter]() -> std::unique_ptr<Spout> {
+    return std::make_unique<GeneratorSpout>(
+        [counter]() -> std::optional<Tuple> {
+          if (counter->fetch_add(1) >= 100) return std::nullopt;
+          return Tuple::Of(int64_t{1});
+        });
+  });
+  TopologyEngine engine(builder.Build().value(), EngineConfig{});
+  engine.Run();
+  EXPECT_EQ(engine.fault_plan(), nullptr);
+  const TelemetryReport report = engine.telemetry().BuildReport();
+  EXPECT_FALSE(report.faults.enabled);
+  EXPECT_EQ(report.faults.total_injected, 0u);
+}
+
+}  // namespace
+}  // namespace streamlib::platform

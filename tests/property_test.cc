@@ -18,6 +18,7 @@
 #include "core/frequency/dyadic_count_min.h"
 #include "core/moments/ams_sketch.h"
 #include "core/quantiles/qdigest.h"
+#include "test_seed.h"
 #include "workload/zipf.h"
 
 namespace streamlib {
@@ -131,7 +132,7 @@ TEST(MergePropertyTest, LinearCounterUnionIsIdempotent) {
 }
 
 TEST(MergePropertyTest, QDigestMergeOrderInsensitiveWithinError) {
-  Rng rng(2);
+  Rng rng(TestSeed() ^ 2);
   QDigest parts[3] = {QDigest(12, 100), QDigest(12, 100), QDigest(12, 100)};
   for (int i = 0; i < 30000; i++) {
     parts[i % 3].Add(static_cast<uint32_t>(rng.NextBounded(1 << 12)));
@@ -161,7 +162,7 @@ TEST(SerializationFuzzTest, HllSurvivesCorruption) {
   HyperLogLog hll(10);
   for (uint64_t i = 0; i < 50000; i++) hll.Add(i);
   const std::vector<uint8_t> good = hll.Serialize();
-  Rng rng(3);
+  Rng rng(TestSeed() ^ 3);
 
   // Truncations at every prefix length (sampled).
   for (size_t len = 0; len < good.size(); len += 37) {
@@ -200,7 +201,7 @@ TEST(SerializationFuzzTest, CmsSurvivesCorruption) {
   workload::ZipfGenerator zipf(1000, 1.2, 5);
   for (int i = 0; i < 20000; i++) cms.Add(zipf.Next());
   const std::vector<uint8_t> good = cms.Serialize();
-  Rng rng(6);
+  Rng rng(TestSeed() ^ 6);
 
   for (size_t len = 0; len < good.size(); len += 53) {
     std::vector<uint8_t> cut(good.begin(), good.begin() + len);
@@ -249,7 +250,7 @@ TEST(DeterminismTest, SeededStructuresReproduceExactly) {
 
 TEST(DyadicCountMinTest, RangeCountsMatchExactWithinBound) {
   DyadicCountMin dcm(16, 4096, 5);
-  Rng rng(7);
+  Rng rng(TestSeed() ^ 7);
   std::vector<uint32_t> data;
   const int kN = 200000;
   for (int i = 0; i < kN; i++) {
@@ -280,7 +281,7 @@ TEST(DyadicCountMinTest, RangeCountsMatchExactWithinBound) {
 
 TEST(DyadicCountMinTest, QuantilesFromRangeCounts) {
   DyadicCountMin dcm(16, 4096, 5);
-  Rng rng(8);
+  Rng rng(TestSeed() ^ 8);
   std::vector<uint32_t> data;
   for (int i = 0; i < 100000; i++) {
     const uint32_t v = static_cast<uint32_t>(rng.NextBounded(1 << 16));
