@@ -21,6 +21,12 @@
 //   --telemetry-out=PATH  run a telemetry-instrumented word count (sampler
 //                + sampled tracing) and write the TelemetryReport JSON to
 //                PATH (validated by the telemetry_schema_check ctest).
+//   --shards=N   run ONLY the D-shard-merge sweep: key-sharded
+//                SketchBolt tasks (1..N, powers of two) feeding a global
+//                SketchCombinerBolt, verifying merged estimates equal a
+//                single-instance run and measuring throughput per shard
+//                count. Writes BENCH_shard_merge.json (--shards-out=PATH
+//                to relocate).
 //
 // Workload: the word-count topology every platform paper uses
 // (spout -> splitter x3 -> fields-grouped counter x4 -> sink).
@@ -37,9 +43,12 @@
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "core/cardinality/hyperloglog.h"
+#include "core/frequency/count_min_sketch.h"
 #include "platform/components.h"
 #include "platform/engine.h"
 #include "platform/event_time.h"
+#include "platform/stream_operators.h"
 #include "platform/topology.h"
 #include "workload/zipf.h"
 
@@ -593,12 +602,218 @@ void RunChaosBench(bool quick) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// D-shard-merge: the key-sharded partial-aggregation pattern. N fields-
+// grouped SketchBolt tasks each summarize their key partition; one global
+// SketchCombinerBolt merges the shard blobs. Mergeability (Agarwal et al.)
+// says the merged estimates must EQUAL a single-instance run — this sweep
+// checks that on every cell while measuring throughput per shard count.
+
+struct ShardCell {
+  size_t shards = 0;
+  uint64_t tuples = 0;
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  double hll_merged = 0;
+  double hll_single = 0;
+  bool hll_equal = false;
+  size_t cms_probes = 0;
+  bool cms_equal = false;
+};
+
+/// Result slots filled by the combiner bolts' Finish callbacks; the engine
+/// joins its threads before Run() returns, so plain members are safe to
+/// read afterwards.
+struct ShardOutcome {
+  double hll_estimate = 0;
+  bool cms_equal = false;
+  size_t cms_probes = 0;
+};
+
+ShardCell RunShardCell(size_t shards,
+                       const std::shared_ptr<std::vector<std::string>>& words,
+                       const HyperLogLog& hll_single,
+                       const CountMinSketch& cms_single,
+                       const std::vector<std::string>& probe_keys) {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  auto outcome = std::make_shared<ShardOutcome>();
+  const uint64_t n = words->size();
+
+  TopologyBuilder builder;
+  builder.AddSpout("spout", [counter, words, n]() -> std::unique_ptr<Spout> {
+    return std::make_unique<GeneratorSpout>(
+        [counter, words, n]() -> std::optional<Tuple> {
+          const uint64_t i = counter->fetch_add(1);
+          if (i >= n) return std::nullopt;
+          return Tuple::Of((*words)[i]);
+        });
+  });
+  builder.AddBolt(
+      "hll_shard",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SketchBolt<HyperLogLog>>(
+            HyperLogLog(12), [](HyperLogLog& sketch, const Tuple& t) {
+              sketch.Add(t.Str(0));
+            });
+      },
+      static_cast<uint32_t>(shards), {{"spout", Grouping::Fields(0)}});
+  builder.AddBolt(
+      "hll_merge",
+      [outcome]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SketchCombinerBolt<HyperLogLog>>(
+            HyperLogLog(12),
+            [outcome](const HyperLogLog& merged, OutputCollector*) {
+              outcome->hll_estimate = merged.Estimate();
+            });
+      },
+      1, {{"hll_shard", Grouping::Global()}});
+  builder.AddBolt(
+      "cms_shard",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SketchBolt<CountMinSketch>>(
+            CountMinSketch(2048, 4), [](CountMinSketch& sketch,
+                                        const Tuple& t) {
+              sketch.Add(t.Str(0));
+            });
+      },
+      static_cast<uint32_t>(shards), {{"spout", Grouping::Fields(0)}});
+  builder.AddBolt(
+      "cms_merge",
+      [outcome, &cms_single, &probe_keys]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SketchCombinerBolt<CountMinSketch>>(
+            CountMinSketch(2048, 4),
+            [outcome, &cms_single, &probe_keys](const CountMinSketch& merged,
+                                                OutputCollector*) {
+              bool equal = merged.total_count() == cms_single.total_count();
+              for (const std::string& key : probe_keys) {
+                equal = equal &&
+                        merged.Estimate(key) == cms_single.Estimate(key);
+              }
+              outcome->cms_equal = equal;
+              outcome->cms_probes = probe_keys.size();
+            });
+      },
+      1, {{"cms_shard", Grouping::Global()}});
+
+  EngineConfig config;
+  TopologyEngine engine(builder.Build().value(), config);
+  WallTimer timer;
+  engine.Run();
+
+  ShardCell cell;
+  cell.shards = shards;
+  cell.tuples = n;
+  cell.seconds = timer.ElapsedSeconds();
+  cell.tuples_per_sec = static_cast<double>(n) / cell.seconds;
+  cell.hll_merged = outcome->hll_estimate;
+  cell.hll_single = hll_single.Estimate();
+  cell.hll_equal = cell.hll_merged == cell.hll_single;
+  cell.cms_probes = outcome->cms_probes;
+  cell.cms_equal = outcome->cms_equal;
+  return cell;
+}
+
+bool WriteShardMergeJson(const std::string& path, bool quick,
+                         const std::vector<ShardCell>& cells) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"bench_t2_platform\",\n"
+      << "  \"experiment\": \"D-shard-merge\",\n"
+      << "  \"topology\": \"spout x1 -> SketchBolt xN (fields) -> "
+         "SketchCombinerBolt x1 (global)\",\n"
+      << "  \"sketches\": \"hll(p=12), count-min(2048x4)\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); i++) {
+    const ShardCell& c = cells[i];
+    out << "    {\"shards\": " << c.shards << ", \"tuples\": " << c.tuples
+        << ", \"seconds\": " << c.seconds
+        << ", \"tuples_per_sec\": " << static_cast<uint64_t>(c.tuples_per_sec)
+        << ", \"hll_merged\": " << c.hll_merged
+        << ", \"hll_single\": " << c.hll_single
+        << ", \"hll_equal\": " << (c.hll_equal ? "true" : "false")
+        << ", \"cms_probes\": " << c.cms_probes
+        << ", \"cms_equal\": " << (c.cms_equal ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+bool RunShardMergeSweep(size_t max_shards, bool quick,
+                        const std::string& out_path) {
+  using bench::Row;
+  const uint64_t n = quick ? 60000u : 1000000u;
+
+  // Deterministic Zipf word stream shared by every cell and the
+  // single-instance references.
+  auto words = std::make_shared<std::vector<std::string>>();
+  words->reserve(n);
+  workload::ZipfGenerator zipf(20000, 1.1, 42);
+  for (uint64_t i = 0; i < n; i++) {
+    std::string word("w");  // Avoids GCC 12 -Wrestrict FP.
+    word += std::to_string(zipf.Next() % 5000);
+    words->push_back(std::move(word));
+  }
+  HyperLogLog hll_single(12);
+  CountMinSketch cms_single(2048, 4);
+  for (const std::string& w : *words) {
+    hll_single.Add(w);
+    cms_single.Add(w);
+  }
+  std::vector<std::string> probe_keys;
+  for (int k = 0; k < 200; k++) {
+    std::string key("w");  // Avoids GCC 12 -Wrestrict FP.
+    key += std::to_string(k);
+    probe_keys.push_back(std::move(key));
+  }
+
+  std::vector<ShardCell> cells;
+  for (size_t shards = 1; shards <= max_shards; shards *= 2) {
+    cells.push_back(
+        RunShardCell(shards, words, hll_single, cms_single, probe_keys));
+  }
+
+  bench::TableTitle("D-shard-merge",
+                    "key-sharded SketchBolt tasks -> global combiner: "
+                    "merged estimate vs single instance, throughput per "
+                    "shard count");
+  Row("%-8s | %12s %14s %14s %8s %10s", "shards", "ktuples/s", "hll merged",
+      "hll single", "equal", "cms equal");
+  bool all_equal = true;
+  for (const ShardCell& c : cells) {
+    Row("%-8zu | %12.0f %14.1f %14.1f %8s %10s", c.shards,
+        c.tuples_per_sec / 1000.0, c.hll_merged, c.hll_single,
+        c.hll_equal ? "yes" : "NO", c.cms_equal ? "yes" : "NO");
+    all_equal = all_equal && c.hll_equal && c.cms_equal;
+  }
+  Row("paper-shape check (mergeable summaries, Agarwal et al.): sharding");
+  Row("the stream by key and merging the shard sketches through the");
+  Row("SketchBlob envelope reproduces the single-instance estimates");
+  Row("exactly on every cell — accuracy is free, parallelism is not.");
+
+  if (!WriteShardMergeJson(out_path, quick, cells)) return false;
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!all_equal) {
+    std::fprintf(stderr,
+                 "error: merged shard estimates diverged from the "
+                 "single-instance reference\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool chaos = false;
+  size_t shards = 0;
   std::string out_path = "BENCH_platform.json";
+  std::string shards_out = "BENCH_shard_merge.json";
   std::string telemetry_out;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; i++) {
@@ -609,6 +824,10 @@ int main(int argc, char** argv) {
       chaos = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = std::string(arg.substr(6));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<size_t>(std::stoul(std::string(arg.substr(9))));
+    } else if (arg.rfind("--shards-out=", 0) == 0) {
+      shards_out = std::string(arg.substr(13));
     } else if (arg.rfind("--telemetry-out=", 0) == 0) {
       telemetry_out = std::string(arg.substr(16));
     } else {
@@ -618,6 +837,9 @@ int main(int argc, char** argv) {
   if (chaos) {
     RunChaosBench(quick);
     return 0;
+  }
+  if (shards > 0) {
+    return RunShardMergeSweep(shards, quick, shards_out) ? 0 : 1;
   }
   int pass_argc = static_cast<int>(passthrough.size());
   if (!quick) {

@@ -4,25 +4,29 @@
 //
 // Topology:
 //   tweets (spout, x2) --shuffle--> extract (bolt, x3)
-//          --fields(tag)--> count (SpaceSaving bolt, x4)
-//          --global--> rank (merger bolt, x1)
+//          --fields(tag)--> count (SketchBolt<SpaceSaving>, x4)
+//          --global--> rank (SketchCombinerBolt<SpaceSaving>, x1)
 //
-// Each counting task maintains its own SpaceSaving summary over its key
-// partition; at end of stream the partial top-k lists merge in the ranker —
-// the distributed heavy-hitter pattern behind real trending pipelines.
+// The counting and ranking stages are the generic key-sharded
+// partial-aggregation pattern from platform/stream_operators.h: each
+// fields-grouped SketchBolt task maintains a SpaceSaving summary over its
+// key partition and ships it downstream as a versioned SketchBlob; the
+// global SketchCombinerBolt merges the shard blobs into one summary whose
+// top-k equals a single-instance run — the distributed heavy-hitter
+// deployment behind real trending pipelines.
 //
 //   ./trending_hashtags
 
 #include <atomic>
 #include <cstdio>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <string>
 
 #include "core/frequency/space_saving.h"
 #include "platform/components.h"
 #include "platform/engine.h"
+#include "platform/stream_operators.h"
 #include "platform/topology.h"
 #include "workload/text_stream.h"
 
@@ -34,59 +38,22 @@ using namespace streamlib::platform;
 constexpr uint64_t kTweets = 500000;
 constexpr uint64_t kVocabulary = 50000;
 constexpr size_t kTopK = 10;
+constexpr size_t kSummaryCapacity = 1000;
 
-/// Counting bolt: SpaceSaving over this task's key partition; emits its
-/// local top candidates at end of stream.
-class TrendingBolt : public Bolt {
- public:
-  TrendingBolt() : summary_(1000) {}
-
-  void Execute(const Tuple& input, OutputCollector* collector) override {
-    (void)collector;
-    summary_.Add(input.Str(0));
+/// End-of-stream callback for the combiner: rank and print the merged
+/// summary.
+void PrintTrending(const SpaceSaving<std::string>& merged) {
+  std::printf("\n== trending now (top %zu of %llu tweets, merged from 4 "
+              "shard sketches) ==\n",
+              kTopK, static_cast<unsigned long long>(kTweets));
+  size_t rank = 1;
+  for (const auto& item : merged.TopK(kTopK)) {
+    std::printf("  %2zu. %-10s ~%llu occurrences (overestimate <= %llu)\n",
+                rank++, item.key.c_str(),
+                static_cast<unsigned long long>(item.estimate),
+                static_cast<unsigned long long>(item.error_bound));
   }
-
-  void Finish(OutputCollector* collector) override {
-    for (const auto& item : summary_.TopK(3 * kTopK)) {
-      collector->Emit(Tuple::Of(item.key,
-                                static_cast<int64_t>(item.estimate),
-                                static_cast<int64_t>(item.error_bound)));
-    }
-  }
-
- private:
-  SpaceSaving<std::string> summary_;
-};
-
-/// Ranking bolt: merges partial top lists (fields grouping guarantees each
-/// tag lives in exactly one partition, so merge = union).
-class RankBolt : public Bolt {
- public:
-  void Execute(const Tuple& input, OutputCollector* collector) override {
-    (void)collector;
-    merged_[input.Str(0)] = {input.Int(1), input.Int(2)};
-  }
-
-  void Finish(OutputCollector* collector) override {
-    (void)collector;
-    std::multimap<int64_t, std::string, std::greater<int64_t>> ranked;
-    for (const auto& [tag, entry] : merged_) {
-      ranked.emplace(entry.first, tag);
-    }
-    std::printf("\n== trending now (top %zu of %llu tweets) ==\n", kTopK,
-                static_cast<unsigned long long>(kTweets));
-    size_t rank = 1;
-    for (const auto& [count, tag] : ranked) {
-      if (rank > kTopK) break;
-      std::printf("  %2zu. %-10s ~%lld occurrences (overestimate <= %lld)\n",
-                  rank++, tag.c_str(), static_cast<long long>(count),
-                  static_cast<long long>(merged_[tag].second));
-    }
-  }
-
- private:
-  std::map<std::string, std::pair<int64_t, int64_t>> merged_;
-};
+}
 
 }  // namespace
 
@@ -121,11 +88,23 @@ int main() {
       3, {{"tweets", Grouping::Shuffle()}});
   builder.AddBolt(
       "count",
-      []() -> std::unique_ptr<Bolt> { return std::make_unique<TrendingBolt>(); },
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SketchBolt<SpaceSaving<std::string>>>(
+            SpaceSaving<std::string>(kSummaryCapacity),
+            [](SpaceSaving<std::string>& summary, const Tuple& in) {
+              summary.Add(in.Str(0));
+            });
+      },
       4, {{"extract", Grouping::Fields(0)}});
   builder.AddBolt(
       "rank",
-      []() -> std::unique_ptr<Bolt> { return std::make_unique<RankBolt>(); },
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SketchCombinerBolt<SpaceSaving<std::string>>>(
+            SpaceSaving<std::string>(kSummaryCapacity),
+            [](const SpaceSaving<std::string>& merged, OutputCollector*) {
+              PrintTrending(merged);
+            });
+      },
       1, {{"count", Grouping::Global()}});
 
   auto topology = builder.Build();

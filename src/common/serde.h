@@ -21,7 +21,13 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Pre-sizes the buffer (also keeps GCC 12's stringop-overflow analysis
+  /// from flagging the first small fixed-width append as an overflow).
+  void Reserve(size_t n) { buf_.reserve(n); }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU16(uint16_t v) { PutFixed(&v, sizeof(v)); }
 
   void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
 
@@ -38,6 +44,12 @@ class ByteWriter {
       v >>= 7;
     }
     buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Zigzag-mapped signed varint (small magnitudes stay short).
+  void PutVarintSigned(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
   }
 
   /// Length-prefixed byte string.
@@ -75,6 +87,7 @@ class ByteReader {
       : ByteReader(bytes.data(), bytes.size()) {}
 
   Status GetU8(uint8_t* out) { return GetFixed(out, sizeof(*out)); }
+  Status GetU16(uint16_t* out) { return GetFixed(out, sizeof(*out)); }
   Status GetU32(uint32_t* out) { return GetFixed(out, sizeof(*out)); }
   Status GetU64(uint64_t* out) { return GetFixed(out, sizeof(*out)); }
   Status GetI64(int64_t* out) {
@@ -100,8 +113,16 @@ class ByteReader {
     return Status::OK();
   }
 
+  Status GetVarintSigned(int64_t* out) {
+    uint64_t z = 0;
+    STREAMLIB_RETURN_NOT_OK(GetVarint(&z));
+    *out = static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+    return Status::OK();
+  }
+
   Status GetString(std::string* out) {
-    uint64_t n;
+    uint64_t n = 0;  // see GetI64: GCC can't see GetVarint's success path
+
     STREAMLIB_RETURN_NOT_OK(GetVarint(&n));
     if (pos_ + n > len_) return Status::Corruption("string: truncated buffer");
     out->assign(reinterpret_cast<const char*>(data_ + pos_), n);

@@ -1,0 +1,186 @@
+#ifndef STREAMLIB_COMMON_STATE_H_
+#define STREAMLIB_COMMON_STATE_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace streamlib::state {
+
+/// \file state.h
+/// The mergeable sketch-state contract: every summary in the Table 1
+/// catalog that supports distributed aggregation exposes the same three
+/// verbs —
+///
+///   Status Merge(const T& other);            // combine two partial states
+///   void SerializeTo(ByteWriter& w) const;   // payload bytes, no framing
+///   static Result<T> Deserialize(ByteReader& r);
+///
+/// — plus two static tags identifying the on-wire format:
+///
+///   static constexpr TypeId  T::kTypeId;
+///   static constexpr uint16_t T::kStateVersion;
+///
+/// Snapshots travel between layers as a *SketchBlob*: a self-describing
+/// envelope (magic, type id, version, payload) produced by ToBlob() and
+/// validated by FromBlob(). The envelope is what checkpoint stores, shard
+/// combiners, and the Lambda serving layer exchange; nothing above src/core
+/// needs to know a sketch's payload layout.
+
+/// Identifies the concrete sketch type inside a SketchBlob. Values are part
+/// of the persisted format: never renumber, only append.
+enum class TypeId : uint16_t {
+  kHyperLogLog = 1,
+  kSlidingHyperLogLog = 2,
+  kKmvSketch = 3,
+  kPcsa = 4,
+  kLinearCounter = 5,
+  kLogLog = 6,
+  kCountMinSketch = 7,
+  kCountSketch = 8,
+  kDyadicCountMin = 9,
+  kSpaceSavingString = 10,
+  kSpaceSavingU64 = 11,
+  kMisraGriesString = 12,
+  kMisraGriesU64 = 13,
+  kTDigest = 14,
+  kGkQuantile = 15,
+  kCkmsQuantile = 16,
+  kQDigest = 17,
+  kAmsSketch = 18,
+  kExponentialHistogram = 19,
+  kEhSum = 20,
+  kMicroCluster = 21,
+};
+
+/// First four bytes of every SketchBlob ("SKB1" little-endian).
+inline constexpr uint32_t kBlobMagic = 0x31424b53u;
+
+/// The C++20 contract. `MergeableSketch<T>` is the constraint SketchBolt,
+/// the shard combiner, and the blob helpers are written against.
+template <typename T>
+concept MergeableSketch = requires(T t, const T& other, ByteWriter& w,
+                                   ByteReader& r) {
+  { T::kTypeId } -> std::convertible_to<TypeId>;
+  { T::kStateVersion } -> std::convertible_to<uint16_t>;
+  { t.Merge(other) } -> std::same_as<Status>;
+  { std::as_const(t).SerializeTo(w) } -> std::same_as<void>;
+  { T::Deserialize(r) } -> std::same_as<Result<T>>;
+};
+
+/// Key encoding for key-templated sketches (SpaceSaving<K>, MisraGries<K>).
+/// Specialized per supported key type; an unsupported key type fails to
+/// compile at the SerializeTo/Deserialize instantiation site.
+template <typename Key>
+struct KeyCodec;
+
+template <>
+struct KeyCodec<std::string> {
+  static void Write(ByteWriter& w, const std::string& key) {
+    w.PutString(key);
+  }
+  static Status Read(ByteReader& r, std::string* out) {
+    return r.GetString(out);
+  }
+};
+
+template <>
+struct KeyCodec<uint64_t> {
+  static void Write(ByteWriter& w, uint64_t key) { w.PutVarint(key); }
+  static Status Read(ByteReader& r, uint64_t* out) {
+    return r.GetVarint(out);
+  }
+};
+
+/// Envelope header as read back by PeekBlobHeader / FromBlob.
+struct BlobHeader {
+  TypeId type_id = static_cast<TypeId>(0);  // 0 is reserved / never issued
+  uint16_t version = 0;
+};
+
+/// Wraps a sketch's payload in the versioned envelope.
+template <MergeableSketch T>
+std::vector<uint8_t> ToBlob(const T& sketch) {
+  ByteWriter w;
+  w.Reserve(64);
+  w.PutU32(kBlobMagic);
+  w.PutU16(static_cast<uint16_t>(T::kTypeId));
+  w.PutU16(T::kStateVersion);
+  sketch.SerializeTo(w);
+  return w.TakeBytes();
+}
+
+/// Reads and validates the envelope header, leaving `r` positioned at the
+/// payload. Rejects wrong magic with Corruption; type/version checks are
+/// the caller's (FromBlob's) job since only it knows what it expects.
+inline Status ReadBlobHeader(ByteReader& r, BlobHeader* out) {
+  uint32_t magic = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&magic));
+  if (magic != kBlobMagic) {
+    return Status::Corruption("sketch blob: bad magic");
+  }
+  uint16_t type_id = 0;
+  uint16_t version = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU16(&type_id));
+  STREAMLIB_RETURN_NOT_OK(r.GetU16(&version));
+  out->type_id = static_cast<TypeId>(type_id);
+  out->version = version;
+  return Status::OK();
+}
+
+/// Header peek for dispatch without deserializing the payload.
+inline Result<BlobHeader> PeekBlobHeader(const std::vector<uint8_t>& blob) {
+  ByteReader r(blob);
+  BlobHeader header;
+  STREAMLIB_RETURN_NOT_OK(ReadBlobHeader(r, &header));
+  return header;
+}
+
+/// Unwraps a SketchBlob into a `T`. Every malformed input maps to a typed
+/// error, never UB: wrong magic / truncated header -> Corruption, a blob of
+/// a different sketch type -> InvalidArgument, an envelope version this
+/// build doesn't understand -> Corruption, payload bytes left over after a
+/// successful decode -> Corruption (a torn or concatenated blob).
+template <MergeableSketch T>
+Result<T> FromBlob(const std::vector<uint8_t>& blob) {
+  ByteReader r(blob);
+  BlobHeader header;
+  STREAMLIB_RETURN_NOT_OK(ReadBlobHeader(r, &header));
+  if (header.type_id != T::kTypeId) {
+    return Status::InvalidArgument(
+        "sketch blob: type id " +
+        std::to_string(static_cast<uint16_t>(header.type_id)) +
+        " does not match expected " +
+        std::to_string(static_cast<uint16_t>(T::kTypeId)));
+  }
+  if (header.version != T::kStateVersion) {
+    return Status::Corruption(
+        "sketch blob: unsupported state version " +
+        std::to_string(header.version));
+  }
+  Result<T> decoded = T::Deserialize(r);
+  STREAMLIB_RETURN_NOT_OK(decoded.status());
+  if (!r.AtEnd()) {
+    return Status::Corruption("sketch blob: trailing bytes after payload");
+  }
+  return decoded;
+}
+
+/// Merges a serialized partial state into a live accumulator — the inner
+/// loop of both the shard combiner and the Lambda serving layer.
+template <MergeableSketch T>
+Status MergeBlob(T& into, const std::vector<uint8_t>& blob) {
+  Result<T> other = FromBlob<T>(blob);
+  STREAMLIB_RETURN_NOT_OK(other.status());
+  return into.Merge(other.value());
+}
+
+}  // namespace streamlib::state
+
+#endif  // STREAMLIB_COMMON_STATE_H_

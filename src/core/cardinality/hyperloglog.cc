@@ -6,6 +6,7 @@
 #include "common/bitutil.h"
 #include "common/check.h"
 #include "common/serde.h"
+#include "core/cardinality/hll_register.h"
 
 namespace streamlib {
 
@@ -16,18 +17,7 @@ HyperLogLog::HyperLogLog(int precision, bool sparse)
   if (!sparse_) registers_.assign(size_t{1} << precision_, 0);
 }
 
-double HyperLogLog::Alpha(uint32_t m) {
-  switch (m) {
-    case 16:
-      return 0.673;
-    case 32:
-      return 0.697;
-    case 64:
-      return 0.709;
-    default:
-      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
-  }
-}
+double HyperLogLog::Alpha(uint32_t m) { return hll::Alpha(m); }
 
 void HyperLogLog::AddHash(uint64_t hash) {
   if (sparse_) {
@@ -44,12 +34,10 @@ void HyperLogLog::AddHash(uint64_t hash) {
 }
 
 void HyperLogLog::AddHashDense(uint64_t hash) {
-  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
-  // The remaining 64-p low bits, kept low-aligned for RankOfLeadingOne.
-  const uint64_t remaining = (hash << precision_) >> precision_;
-  const uint8_t rank =
-      static_cast<uint8_t>(RankOfLeadingOne(remaining, 64 - precision_));
-  if (rank > registers_[index]) registers_[index] = rank;
+  const hll::RegisterProbe probe = hll::ProbeHash(hash, precision_);
+  if (probe.rank > registers_[probe.index]) {
+    registers_[probe.index] = probe.rank;
+  }
 }
 
 void HyperLogLog::Densify() {
@@ -76,15 +64,7 @@ double HyperLogLog::EstimateDense() const {
     inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
     if (r == 0) zeros++;
   }
-  const double md = static_cast<double>(m);
-  const double raw = Alpha(m) * md * md / inverse_sum;
-  // Small-range correction: linear counting while any register is empty and
-  // the raw estimate is below the 2.5m threshold from the HLL paper.
-  if (raw <= 2.5 * md && zeros > 0) {
-    return md * std::log(md / static_cast<double>(zeros));
-  }
-  // 64-bit hashing: no large-range correction required (HLL++ observation).
-  return raw;
+  return hll::EstimateFromRegisterSum(m, inverse_sum, zeros);
 }
 
 Status HyperLogLog::Merge(const HyperLogLog& other) {
@@ -107,29 +87,42 @@ size_t HyperLogLog::MemoryBytes() const {
   return registers_.size();
 }
 
-std::vector<uint8_t> HyperLogLog::Serialize() const {
+void HyperLogLog::SerializeTo(ByteWriter& w) const {
   HyperLogLog dense = *this;
   if (dense.sparse_) dense.Densify();
-  ByteWriter w;
   w.PutU8(static_cast<uint8_t>(dense.precision_));
   w.PutBytes(dense.registers_.data(), dense.registers_.size());
-  return w.TakeBytes();
 }
 
-Result<HyperLogLog> HyperLogLog::Deserialize(
-    const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
+Result<HyperLogLog> HyperLogLog::Deserialize(ByteReader& r) {
   uint8_t precision;
   STREAMLIB_RETURN_NOT_OK(r.GetU8(&precision));
   if (precision < 4 || precision > 18) {
     return Status::Corruption("HLL: precision out of range");
   }
   HyperLogLog hll(precision, /*sparse=*/false);
-  if (r.remaining() != hll.registers_.size()) {
-    return Status::Corruption("HLL: register payload size mismatch");
+  if (r.remaining() < hll.registers_.size()) {
+    return Status::Corruption("HLL: register payload truncated");
   }
   STREAMLIB_RETURN_NOT_OK(
       r.GetBytes(hll.registers_.data(), hll.registers_.size()));
+  return hll;
+}
+
+std::vector<uint8_t> HyperLogLog::Serialize() const {
+  ByteWriter w;
+  SerializeTo(w);
+  return w.TakeBytes();
+}
+
+Result<HyperLogLog> HyperLogLog::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Result<HyperLogLog> hll = Deserialize(r);
+  STREAMLIB_RETURN_NOT_OK(hll.status());
+  if (!r.AtEnd()) {
+    return Status::Corruption("HLL: register payload size mismatch");
+  }
   return hll;
 }
 

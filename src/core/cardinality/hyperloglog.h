@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -24,6 +26,9 @@ namespace streamlib {
 /// Application (Table 1): site-audience analysis — distinct users/queries.
 class HyperLogLog {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kHyperLogLog;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param precision  p in [4, 18]; 2^p registers, stderr ~1.04/sqrt(2^p).
   /// \param sparse     start in sparse mode (HLL++-style) when true.
   explicit HyperLogLog(int precision, bool sparse = true);
@@ -51,8 +56,12 @@ class HyperLogLog {
   /// Current memory footprint (sparse buffer or dense registers).
   size_t MemoryBytes() const;
 
-  /// Serializes to bytes / restores. The wire format carries precision and
-  /// the dense registers (sparse sketches are densified on save).
+  /// state::MergeableSketch payload: precision byte plus the dense 2^p
+  /// registers (sparse sketches are densified on save).
+  void SerializeTo(ByteWriter& w) const;
+  static Result<HyperLogLog> Deserialize(ByteReader& r);
+
+  /// Legacy whole-buffer forms (wire-compatible with SerializeTo).
   std::vector<uint8_t> Serialize() const;
   static Result<HyperLogLog> Deserialize(const std::vector<uint8_t>& bytes);
 

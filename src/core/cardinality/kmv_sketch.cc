@@ -47,6 +47,36 @@ Status KmvSketch::Merge(const KmvSketch& other) {
   return Status::OK();
 }
 
+void KmvSketch::SerializeTo(ByteWriter& w) const {
+  w.PutU32(k_);
+  w.PutVarint(minima_.size());
+  for (uint64_t h : minima_) w.PutU64(h);
+}
+
+Result<KmvSketch> KmvSketch::Deserialize(ByteReader& r) {
+  uint32_t k = 0;
+  uint64_t count = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&k));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+  if (k < 3) return Status::Corruption("KMV: k out of range");
+  if (count > k) return Status::Corruption("KMV: more minima than k");
+  if (count * sizeof(uint64_t) > r.remaining()) {
+    return Status::Corruption("KMV: minima count exceeds payload");
+  }
+  KmvSketch sketch(k);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t h = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetU64(&h));
+    if (i > 0 && h <= prev) {
+      return Status::Corruption("KMV: minima not strictly increasing");
+    }
+    sketch.minima_.insert(sketch.minima_.end(), h);
+    prev = h;
+  }
+  return sketch;
+}
+
 double KmvSketch::EstimateJaccard(const KmvSketch& a, const KmvSketch& b) {
   STREAMLIB_CHECK_MSG(a.k_ == b.k_, "Jaccard requires equal k");
   // k smallest hashes of the union.

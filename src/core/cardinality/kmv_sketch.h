@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -17,6 +19,9 @@ namespace streamlib {
 /// "audience overlap" query in the paper's site-analysis application.
 class KmvSketch {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kKmvSketch;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param k  number of minima retained; stderr ~ 1/sqrt(k-2).
   explicit KmvSketch(uint32_t k);
 
@@ -39,6 +44,10 @@ class KmvSketch {
 
   /// Estimated intersection size: Jaccard * |A ∪ B|.
   static double EstimateIntersection(const KmvSketch& a, const KmvSketch& b);
+
+  /// state::MergeableSketch payload: k, then the sorted minima.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<KmvSketch> Deserialize(ByteReader& r);
 
   uint32_t k() const { return k_; }
   size_t size() const { return minima_.size(); }

@@ -35,4 +35,25 @@ Status LinearCounter::Union(const LinearCounter& other) {
   return Status::OK();
 }
 
+void LinearCounter::SerializeTo(ByteWriter& w) const {
+  w.PutU64(num_bits_);
+  for (uint64_t word : words_) w.PutU64(word);
+}
+
+Result<LinearCounter> LinearCounter::Deserialize(ByteReader& r) {
+  uint64_t num_bits = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU64(&num_bits));
+  if (num_bits < 64 || num_bits % 64 != 0) {
+    return Status::Corruption("LinearCounter: bit count not a multiple of 64");
+  }
+  if (num_bits / 64 * sizeof(uint64_t) > r.remaining()) {
+    return Status::Corruption("LinearCounter: bit count exceeds payload");
+  }
+  LinearCounter counter(num_bits);
+  for (uint64_t& word : counter.words_) {
+    STREAMLIB_RETURN_NOT_OK(r.GetU64(&word));
+  }
+  return counter;
+}
+
 }  // namespace streamlib

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -15,6 +17,9 @@ namespace streamlib {
 /// (distinct count up to a small multiple of m); memory O(m) bits.
 class LinearCounter {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kLinearCounter;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param num_bits  bitmap size (rounded up to a multiple of 64).
   explicit LinearCounter(uint64_t num_bits);
 
@@ -31,6 +36,13 @@ class LinearCounter {
 
   /// In-place union with an identically sized counter.
   Status Union(const LinearCounter& other);
+
+  /// Contract-spelling alias for Union.
+  Status Merge(const LinearCounter& other) { return Union(other); }
+
+  /// state::MergeableSketch payload: bit count, then the bitmap words.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<LinearCounter> Deserialize(ByteReader& r);
 
   uint64_t num_bits() const { return num_bits_; }
   size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }

@@ -1,9 +1,10 @@
 #include "core/cardinality/loglog.h"
 
+#include <algorithm>
 #include <cmath>
 
-#include "common/bitutil.h"
 #include "common/check.h"
+#include "core/cardinality/hll_register.h"
 
 namespace streamlib {
 
@@ -14,12 +15,10 @@ LogLogCounter::LogLogCounter(int precision) : precision_(precision) {
 }
 
 void LogLogCounter::AddHash(uint64_t hash) {
-  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
-  // The remaining 64-p low bits, kept low-aligned for RankOfLeadingOne.
-  const uint64_t remaining = (hash << precision_) >> precision_;
-  const uint8_t rank =
-      static_cast<uint8_t>(RankOfLeadingOne(remaining, 64 - precision_));
-  if (rank > registers_[index]) registers_[index] = rank;
+  const hll::RegisterProbe probe = hll::ProbeHash(hash, precision_);
+  if (probe.rank > registers_[probe.index]) {
+    registers_[probe.index] = probe.rank;
+  }
 }
 
 double LogLogCounter::Estimate() const {
@@ -30,6 +29,36 @@ double LogLogCounter::Estimate() const {
   // (Durand & Flajolet), accurate for m >= 64.
   const double alpha = 0.39701;
   return alpha * m * std::exp2(rank_sum / m);
+}
+
+Status LogLogCounter::Merge(const LogLogCounter& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("LogLog merge: precision mismatch");
+  }
+  for (size_t i = 0; i < registers_.size(); i++) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::OK();
+}
+
+void LogLogCounter::SerializeTo(ByteWriter& w) const {
+  w.PutU8(static_cast<uint8_t>(precision_));
+  w.PutBytes(registers_.data(), registers_.size());
+}
+
+Result<LogLogCounter> LogLogCounter::Deserialize(ByteReader& r) {
+  uint8_t precision = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU8(&precision));
+  if (precision < 4 || precision > 16) {
+    return Status::Corruption("LogLog: precision out of range");
+  }
+  LogLogCounter counter(precision);
+  if (r.remaining() < counter.registers_.size()) {
+    return Status::Corruption("LogLog: register payload truncated");
+  }
+  STREAMLIB_RETURN_NOT_OK(
+      r.GetBytes(counter.registers_.data(), counter.registers_.size()));
+  return counter;
 }
 
 }  // namespace streamlib

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
 
 namespace streamlib {
 
@@ -15,6 +18,9 @@ namespace streamlib {
 /// baseline the cardinality bench compares against.
 class LogLogCounter {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kLogLog;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param precision  p in [4, 16]; 2^p registers.
   explicit LogLogCounter(int precision);
 
@@ -27,6 +33,13 @@ class LogLogCounter {
 
   /// LogLog estimate (geometric mean of register ranks).
   double Estimate() const;
+
+  /// In-place union (register-wise max); requires equal precision.
+  Status Merge(const LogLogCounter& other);
+
+  /// state::MergeableSketch payload: precision byte plus the 2^p registers.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<LogLogCounter> Deserialize(ByteReader& r);
 
   int precision() const { return precision_; }
   size_t MemoryBytes() const { return registers_.size(); }

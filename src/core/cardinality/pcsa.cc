@@ -48,4 +48,26 @@ Status PcsaCounter::Merge(const PcsaCounter& other) {
   return Status::OK();
 }
 
+void PcsaCounter::SerializeTo(ByteWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(bitmaps_.size()));
+  for (uint64_t bitmap : bitmaps_) w.PutU64(bitmap);
+}
+
+Result<PcsaCounter> PcsaCounter::Deserialize(ByteReader& r) {
+  uint32_t m = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&m));
+  // The constructor rounds up to a power of two, so a serialized m is one.
+  if (m < 2 || !IsPowerOfTwo(m)) {
+    return Status::Corruption("PCSA: bitmap count not a power of two >= 2");
+  }
+  if (static_cast<uint64_t>(m) * sizeof(uint64_t) > r.remaining()) {
+    return Status::Corruption("PCSA: bitmap count exceeds payload");
+  }
+  PcsaCounter counter(m);
+  for (uint32_t i = 0; i < m; i++) {
+    STREAMLIB_RETURN_NOT_OK(r.GetU64(&counter.bitmaps_[i]));
+  }
+  return counter;
+}
+
 }  // namespace streamlib

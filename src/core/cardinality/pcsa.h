@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -18,6 +20,9 @@ namespace streamlib {
 /// baseline the cardinality bench charts against LogLog and HLL.
 class PcsaCounter {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kPcsa;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param num_bitmaps  m (rounded up to a power of two), 64 bits each.
   explicit PcsaCounter(uint32_t num_bitmaps);
 
@@ -33,6 +38,10 @@ class PcsaCounter {
 
   /// In-place union (bitwise OR of bitmaps).
   Status Merge(const PcsaCounter& other);
+
+  /// state::MergeableSketch payload: bitmap count, then the 64-bit bitmaps.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<PcsaCounter> Deserialize(ByteReader& r);
 
   uint32_t num_bitmaps() const {
     return static_cast<uint32_t>(bitmaps_.size());

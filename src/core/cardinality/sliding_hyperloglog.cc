@@ -1,9 +1,10 @@
 #include "core/cardinality/sliding_hyperloglog.h"
 
+#include <algorithm>
 #include <cmath>
 
-#include "common/bitutil.h"
 #include "common/check.h"
+#include "core/cardinality/hll_register.h"
 
 namespace streamlib {
 
@@ -16,13 +17,9 @@ SlidingHyperLogLog::SlidingHyperLogLog(int precision, uint64_t max_window)
 }
 
 void SlidingHyperLogLog::AddHash(uint64_t hash, uint64_t timestamp) {
-  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
-  // The remaining 64-p low bits, kept low-aligned for RankOfLeadingOne.
-  const uint64_t remaining = (hash << precision_) >> precision_;
-  const uint8_t rank =
-      static_cast<uint8_t>(RankOfLeadingOne(remaining, 64 - precision_));
+  const hll::RegisterProbe probe = hll::ProbeHash(hash, precision_);
 
-  std::deque<Entry>& lfpm = registers_[index];
+  std::deque<Entry>& lfpm = registers_[probe.index];
   // Expire entries older than the maximum horizon.
   while (!lfpm.empty() &&
          lfpm.front().timestamp + max_window_ <= timestamp) {
@@ -30,10 +27,10 @@ void SlidingHyperLogLog::AddHash(uint64_t hash, uint64_t timestamp) {
   }
   // Dominance pruning: an older entry with rank <= the new rank can never be
   // the max of any future window that still contains the new entry.
-  while (!lfpm.empty() && lfpm.back().rank <= rank) {
+  while (!lfpm.empty() && lfpm.back().rank <= probe.rank) {
     lfpm.pop_back();
   }
-  lfpm.push_back(Entry{timestamp, rank});
+  lfpm.push_back(Entry{timestamp, probe.rank});
 }
 
 double SlidingHyperLogLog::Estimate(uint64_t now, uint64_t window) const {
@@ -58,17 +55,100 @@ double SlidingHyperLogLog::Estimate(uint64_t now, uint64_t window) const {
     if (best == 0) zeros++;
   }
 
-  const double md = static_cast<double>(m);
-  const double alpha =
-      m <= 16 ? 0.673
-      : m <= 32 ? 0.697
-      : m <= 64 ? 0.709
-                : 0.7213 / (1.0 + 1.079 / md);
-  const double raw = alpha * md * md / inverse_sum;
-  if (raw <= 2.5 * md && zeros > 0) {
-    return md * std::log(md / static_cast<double>(zeros));
+  return hll::EstimateFromRegisterSum(m, inverse_sum, zeros);
+}
+
+Status SlidingHyperLogLog::Merge(const SlidingHyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("sliding HLL merge: precision mismatch");
   }
-  return raw;
+  if (other.max_window_ != max_window_) {
+    return Status::InvalidArgument("sliding HLL merge: max_window mismatch");
+  }
+  // The merged stream's "now" is the newest timestamp on either side;
+  // entries that have already aged past max_window relative to it can never
+  // influence a future estimate.
+  uint64_t latest = 0;
+  for (const auto& reg : registers_) {
+    if (!reg.empty()) latest = std::max(latest, reg.back().timestamp);
+  }
+  for (const auto& reg : other.registers_) {
+    if (!reg.empty()) latest = std::max(latest, reg.back().timestamp);
+  }
+  for (size_t i = 0; i < registers_.size(); i++) {
+    const std::deque<Entry>& a = registers_[i];
+    const std::deque<Entry>& b = other.registers_[i];
+    if (b.empty()) continue;
+    // Interleave both LFPMs by timestamp, then re-apply dominance pruning —
+    // exactly what replaying the combined arrival order would have built.
+    std::vector<Entry> merged;
+    merged.reserve(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(merged),
+               [](const Entry& x, const Entry& y) {
+                 return x.timestamp < y.timestamp;
+               });
+    std::deque<Entry> out;
+    for (const Entry& e : merged) {
+      if (e.timestamp + max_window_ <= latest) continue;  // Expired.
+      while (!out.empty() && out.back().rank <= e.rank) out.pop_back();
+      out.push_back(e);
+    }
+    registers_[i] = std::move(out);
+  }
+  return Status::OK();
+}
+
+void SlidingHyperLogLog::SerializeTo(ByteWriter& w) const {
+  w.PutU8(static_cast<uint8_t>(precision_));
+  w.PutU64(max_window_);
+  for (const auto& lfpm : registers_) {
+    w.PutVarint(lfpm.size());
+    for (const Entry& e : lfpm) {
+      w.PutVarint(e.timestamp);
+      w.PutU8(e.rank);
+    }
+  }
+}
+
+Result<SlidingHyperLogLog> SlidingHyperLogLog::Deserialize(ByteReader& r) {
+  uint8_t precision = 0;
+  uint64_t max_window = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU8(&precision));
+  STREAMLIB_RETURN_NOT_OK(r.GetU64(&max_window));
+  if (precision < 4 || precision > 16) {
+    return Status::Corruption("sliding HLL: precision out of range");
+  }
+  if (max_window < 1) {
+    return Status::Corruption("sliding HLL: max_window out of range");
+  }
+  SlidingHyperLogLog sketch(precision, max_window);
+  for (auto& lfpm : sketch.registers_) {
+    uint64_t count = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+    // Two bytes minimum per serialized entry: a count the remaining payload
+    // cannot possibly hold is corruption, caught before allocating.
+    if (count * 2 > r.remaining()) {
+      return Status::Corruption("sliding HLL: LFPM count exceeds payload");
+    }
+    uint64_t prev_timestamp = 0;
+    uint8_t prev_rank = 255;
+    for (uint64_t i = 0; i < count; i++) {
+      uint64_t timestamp = 0;
+      uint8_t rank = 0;
+      STREAMLIB_RETURN_NOT_OK(r.GetVarint(&timestamp));
+      STREAMLIB_RETURN_NOT_OK(r.GetU8(&rank));
+      // LFPM invariant: timestamps nondecreasing, ranks strictly decreasing.
+      if (rank == 0 || rank >= prev_rank ||
+          (i > 0 && timestamp < prev_timestamp)) {
+        return Status::Corruption("sliding HLL: LFPM invariant violated");
+      }
+      lfpm.push_back(Entry{timestamp, rank});
+      prev_timestamp = timestamp;
+      prev_rank = rank;
+    }
+  }
+  return sketch;
 }
 
 size_t SlidingHyperLogLog::TotalEntries() const {

@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
 
 namespace streamlib {
 
@@ -17,6 +20,9 @@ namespace streamlib {
 /// memory stays O(log window) in expectation.
 class SlidingHyperLogLog {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kSlidingHyperLogLog;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param precision   p in [4, 16]; 2^p registers.
   /// \param max_window  maximum look-back horizon in time units.
   SlidingHyperLogLog(int precision, uint64_t max_window);
@@ -32,6 +38,17 @@ class SlidingHyperLogLog {
   /// Estimated distinct keys among arrivals in (now - window, now].
   /// `window` must be <= max_window; `now` >= the last Add timestamp.
   double Estimate(uint64_t now, uint64_t window) const;
+
+  /// In-place union over two partial streams; requires equal precision and
+  /// max_window. Each register's merged LFPM is the dominance-pruned union
+  /// of both sides' entries, so any window estimate over the merged sketch
+  /// equals the estimate over the interleaved combined stream.
+  Status Merge(const SlidingHyperLogLog& other);
+
+  /// state::MergeableSketch payload: precision, max_window, then each
+  /// register's LFPM as (count, (timestamp, rank)...).
+  void SerializeTo(ByteWriter& w) const;
+  static Result<SlidingHyperLogLog> Deserialize(ByteReader& r);
 
   int precision() const { return precision_; }
   uint64_t max_window() const { return max_window_; }

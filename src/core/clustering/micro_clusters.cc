@@ -47,11 +47,14 @@ void MicroCluster::Absorb(const Point& p, double timestamp) {
   timestamp_sq += timestamp * timestamp;
 }
 
-void MicroCluster::Merge(const MicroCluster& other) {
-  if (other.n == 0) return;
+Status MicroCluster::Merge(const MicroCluster& other) {
+  if (other.n == 0) return Status::OK();
   if (n == 0) {
     *this = other;
-    return;
+    return Status::OK();
+  }
+  if (other.linear_sum.size() != linear_sum.size()) {
+    return Status::InvalidArgument("micro-cluster merge: dimension mismatch");
   }
   n += other.n;
   for (size_t j = 0; j < linear_sum.size(); j++) {
@@ -67,6 +70,63 @@ void MicroCluster::Merge(const MicroCluster& other) {
              std::back_inserter(merged));
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
   ids = std::move(merged);
+  return Status::OK();
+}
+
+void MicroCluster::SerializeTo(ByteWriter& w) const {
+  w.PutVarint(n);
+  w.PutVarint(linear_sum.size());
+  for (double v : linear_sum) w.PutDouble(v);
+  for (double v : squared_sum) w.PutDouble(v);
+  w.PutDouble(timestamp_sum);
+  w.PutDouble(timestamp_sq);
+  w.PutVarint(ids.size());
+  for (uint32_t id : ids) w.PutU32(id);
+}
+
+Result<MicroCluster> MicroCluster::Deserialize(ByteReader& r) {
+  MicroCluster mc;
+  uint64_t dims = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&mc.n));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&dims));
+  if (mc.n == 0 && dims != 0) {
+    return Status::Corruption("micro-cluster: empty cluster with dimensions");
+  }
+  if (dims * 2 * sizeof(double) > r.remaining()) {
+    return Status::Corruption("micro-cluster: dimension count exceeds payload");
+  }
+  mc.linear_sum.resize(dims);
+  mc.squared_sum.resize(dims);
+  for (uint64_t j = 0; j < dims; j++) {
+    STREAMLIB_RETURN_NOT_OK(r.GetDouble(&mc.linear_sum[j]));
+  }
+  for (uint64_t j = 0; j < dims; j++) {
+    STREAMLIB_RETURN_NOT_OK(r.GetDouble(&mc.squared_sum[j]));
+    if (!std::isfinite(mc.linear_sum[j]) ||
+        !std::isfinite(mc.squared_sum[j]) || mc.squared_sum[j] < 0.0) {
+      return Status::Corruption("micro-cluster: malformed CF statistics");
+    }
+  }
+  STREAMLIB_RETURN_NOT_OK(r.GetDouble(&mc.timestamp_sum));
+  STREAMLIB_RETURN_NOT_OK(r.GetDouble(&mc.timestamp_sq));
+  if (!std::isfinite(mc.timestamp_sum) || !std::isfinite(mc.timestamp_sq)) {
+    return Status::Corruption("micro-cluster: malformed timestamp sums");
+  }
+  uint64_t num_ids = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_ids));
+  if (num_ids * sizeof(uint32_t) > r.remaining()) {
+    return Status::Corruption("micro-cluster: id count exceeds payload");
+  }
+  mc.ids.reserve(num_ids);
+  for (uint64_t i = 0; i < num_ids; i++) {
+    uint32_t id = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetU32(&id));
+    if (!mc.ids.empty() && id <= mc.ids.back()) {
+      return Status::Corruption("micro-cluster: id list not sorted");
+    }
+    mc.ids.push_back(id);
+  }
+  return mc;
 }
 
 void MicroCluster::Subtract(const MicroCluster& other) {

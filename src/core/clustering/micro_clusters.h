@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
 #include "core/clustering/kmeans_util.h"
 
 namespace streamlib {
@@ -17,6 +20,9 @@ namespace streamlib {
 /// *subtracted* (ids only ever merge, so an old cluster's ids are a subset
 /// of exactly one current cluster's).
 struct MicroCluster {
+  static constexpr state::TypeId kTypeId = state::TypeId::kMicroCluster;
+  static constexpr uint16_t kStateVersion = 1;
+
   uint64_t n = 0;
   Point linear_sum;           ///< per-dimension sum of points
   Point squared_sum;          ///< per-dimension sum of squares
@@ -34,7 +40,14 @@ struct MicroCluster {
   double MeanTimestamp() const;
 
   void Absorb(const Point& p, double timestamp);
-  void Merge(const MicroCluster& other);
+
+  /// Adds another CF vector (additivity). Dimension mismatch between two
+  /// non-empty clusters is InvalidArgument.
+  Status Merge(const MicroCluster& other);
+
+  /// state::MergeableSketch payload: CF statistics then the sorted id list.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<MicroCluster> Deserialize(ByteReader& r);
 
   /// Subtracts another CF (must describe a subset of this one's points —
   /// the pyramidal-time-frame subtraction of CluStream).

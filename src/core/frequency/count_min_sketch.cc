@@ -83,19 +83,15 @@ Result<uint64_t> CountMinSketch::InnerProduct(
   return best;
 }
 
-std::vector<uint8_t> CountMinSketch::Serialize() const {
-  ByteWriter w;
+void CountMinSketch::SerializeTo(ByteWriter& w) const {
   w.PutU32(width_);
   w.PutU32(depth_);
   w.PutU8(conservative_ ? 1 : 0);
   w.PutU64(total_count_);
   for (uint64_t cell : table_) w.PutVarint(cell);
-  return w.TakeBytes();
 }
 
-Result<CountMinSketch> CountMinSketch::Deserialize(
-    const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
+Result<CountMinSketch> CountMinSketch::Deserialize(ByteReader& r) {
   uint32_t width;
   uint32_t depth;
   uint8_t conservative;
@@ -119,6 +115,20 @@ Result<CountMinSketch> CountMinSketch::Deserialize(
   for (uint64_t& cell : sketch.table_) {
     STREAMLIB_RETURN_NOT_OK(r.GetVarint(&cell));
   }
+  return sketch;
+}
+
+std::vector<uint8_t> CountMinSketch::Serialize() const {
+  ByteWriter w;
+  SerializeTo(w);
+  return w.TakeBytes();
+}
+
+Result<CountMinSketch> CountMinSketch::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Result<CountMinSketch> sketch = Deserialize(r);
+  STREAMLIB_RETURN_NOT_OK(sketch.status());
   if (!r.AtEnd()) return Status::Corruption("CMS: trailing bytes");
   return sketch;
 }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -23,6 +25,9 @@ namespace streamlib {
 /// ablation bench.
 class CountMinSketch {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kCountMinSketch;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param width  counters per row (error ~ e/width of total count).
   /// \param depth  rows (failure probability ~ exp(-depth)).
   /// \param conservative  enable conservative update.
@@ -54,8 +59,12 @@ class CountMinSketch {
   /// when `other` is this sketch) — min over rows of the row dot-product.
   Result<uint64_t> InnerProduct(const CountMinSketch& other) const;
 
-  /// Serializes to bytes / restores — used by the platform checkpoint
-  /// store so stateful bolts can persist sketch state.
+  /// state::MergeableSketch payload: geometry, mode, total, varint cells.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<CountMinSketch> Deserialize(ByteReader& r);
+
+  /// Legacy whole-buffer forms (wire-compatible with SerializeTo) — used by
+  /// the platform checkpoint store so stateful bolts can persist state.
   std::vector<uint8_t> Serialize() const;
   static Result<CountMinSketch> Deserialize(const std::vector<uint8_t>& bytes);
 

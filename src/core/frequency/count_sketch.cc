@@ -61,4 +61,30 @@ Status CountSketch::Merge(const CountSketch& other) {
   return Status::OK();
 }
 
+void CountSketch::SerializeTo(ByteWriter& w) const {
+  w.PutU32(width_);
+  w.PutU32(depth_);
+  for (int64_t cell : table_) w.PutVarintSigned(cell);
+}
+
+Result<CountSketch> CountSketch::Deserialize(ByteReader& r) {
+  uint32_t width = 0;
+  uint32_t depth = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&width));
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&depth));
+  if (width < 1 || depth < 1 || depth > 64) {
+    return Status::Corruption("CountSketch: geometry out of range");
+  }
+  // One varint byte minimum per cell: reject impossible geometry before
+  // allocating the table.
+  if (static_cast<uint64_t>(width) * depth > r.remaining()) {
+    return Status::Corruption("CountSketch: geometry exceeds payload");
+  }
+  CountSketch sketch(width, depth);
+  for (int64_t& cell : sketch.table_) {
+    STREAMLIB_RETURN_NOT_OK(r.GetVarintSigned(&cell));
+  }
+  return sketch;
+}
+
 }  // namespace streamlib

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -17,6 +19,9 @@ namespace streamlib {
 /// estimation (row L2 norms).
 class CountSketch {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kCountSketch;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param width  counters per row.
   /// \param depth  rows; the median over rows needs depth >= 3 (odd).
   CountSketch(uint32_t width, uint32_t depth);
@@ -42,6 +47,10 @@ class CountSketch {
 
   /// In-place merge with an identically shaped sketch.
   Status Merge(const CountSketch& other);
+
+  /// state::MergeableSketch payload: geometry, then zigzag-varint cells.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<CountSketch> Deserialize(ByteReader& r);
 
   uint32_t width() const { return width_; }
   uint32_t depth() const { return depth_; }

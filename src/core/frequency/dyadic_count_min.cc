@@ -74,6 +74,56 @@ uint32_t DyadicCountMin::Quantile(double phi) const {
   return static_cast<uint32_t>(lo);
 }
 
+Status DyadicCountMin::Merge(const DyadicCountMin& other) {
+  if (other.universe_bits_ != universe_bits_) {
+    return Status::InvalidArgument("dyadic CM merge: universe mismatch");
+  }
+  // Probe geometry compatibility up front so a mismatch cannot leave the
+  // structure half-merged.
+  for (size_t l = 0; l < levels_.size(); l++) {
+    if (levels_[l].width() != other.levels_[l].width() ||
+        levels_[l].depth() != other.levels_[l].depth()) {
+      return Status::InvalidArgument("dyadic CM merge: geometry mismatch");
+    }
+  }
+  for (size_t l = 0; l < levels_.size(); l++) {
+    STREAMLIB_RETURN_NOT_OK(levels_[l].Merge(other.levels_[l]));
+  }
+  total_ += other.total_;
+  return Status::OK();
+}
+
+void DyadicCountMin::SerializeTo(ByteWriter& w) const {
+  w.PutU32(universe_bits_);
+  w.PutU64(total_);
+  for (const CountMinSketch& level : levels_) level.SerializeTo(w);
+}
+
+Result<DyadicCountMin> DyadicCountMin::Deserialize(ByteReader& r) {
+  uint32_t universe_bits = 0;
+  uint64_t total = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&universe_bits));
+  STREAMLIB_RETURN_NOT_OK(r.GetU64(&total));
+  if (universe_bits < 1 || universe_bits > 32) {
+    return Status::Corruption("dyadic CM: universe_bits out of range");
+  }
+  std::vector<CountMinSketch> levels;
+  levels.reserve(universe_bits + 1);
+  for (uint32_t l = 0; l <= universe_bits; l++) {
+    Result<CountMinSketch> level = CountMinSketch::Deserialize(r);
+    STREAMLIB_RETURN_NOT_OK(level.status());
+    if (l > 0 && (level.value().width() != levels[0].width() ||
+                  level.value().depth() != levels[0].depth())) {
+      return Status::Corruption("dyadic CM: level geometry mismatch");
+    }
+    levels.push_back(std::move(level).value());
+  }
+  DyadicCountMin sketch(universe_bits, levels[0].width(), levels[0].depth());
+  sketch.levels_ = std::move(levels);
+  sketch.total_ = total;
+  return sketch;
+}
+
 size_t DyadicCountMin::MemoryBytes() const {
   size_t total = 0;
   for (const auto& level : levels_) total += level.MemoryBytes();

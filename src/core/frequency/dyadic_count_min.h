@@ -17,6 +17,9 @@ namespace streamlib {
 /// point-query sketch into a full distribution summary.
 class DyadicCountMin {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kDyadicCountMin;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param universe_bits  values in [0, 2^universe_bits), <= 32.
   /// \param width/depth    per-level CM geometry.
   DyadicCountMin(uint32_t universe_bits, uint32_t width, uint32_t depth);
@@ -33,6 +36,16 @@ class DyadicCountMin {
   /// Value x such that rank(x) ~ phi * n, via binary search on prefix
   /// counts. Rank error ~ 2 * universe_bits * (e/width) * n.
   uint32_t Quantile(double phi) const;
+
+  /// In-place merge; all levels delegate to CountMinSketch::Merge, so both
+  /// structures must share universe_bits and per-level geometry.
+  Status Merge(const DyadicCountMin& other);
+
+  /// state::MergeableSketch payload: universe_bits, total, then each
+  /// level's CountMinSketch payload (delegated serde — no duplicate cell
+  /// encoding here).
+  void SerializeTo(ByteWriter& w) const;
+  static Result<DyadicCountMin> Deserialize(ByteReader& r);
 
   uint64_t total_count() const { return total_; }
   size_t MemoryBytes() const;

@@ -3,10 +3,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
 
 namespace streamlib {
 
@@ -32,6 +38,17 @@ struct FrequentItem {
 template <typename Key>
 class MisraGries {
  public:
+  static constexpr state::TypeId kTypeId = [] {
+    if constexpr (std::is_same_v<Key, std::string>) {
+      return state::TypeId::kMisraGriesString;
+    } else {
+      static_assert(std::is_same_v<Key, uint64_t>,
+                    "no TypeId registered for this MisraGries key type");
+      return state::TypeId::kMisraGriesU64;
+    }
+  }();
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param num_counters  k-1 counters: detects items with freq > n/k where
   ///                      k = num_counters + 1; estimate error <= n/k.
   explicit MisraGries(size_t num_counters) : capacity_(num_counters) {
@@ -92,6 +109,81 @@ class MisraGries {
   uint64_t count() const { return count_; }
   size_t size() const { return counters_.size(); }
   size_t capacity() const { return capacity_; }
+
+  /// Mergeable-summaries combine (Agarwal et al., §3): add counters
+  /// pointwise, then subtract the (capacity+1)-th largest combined value
+  /// from every counter and evict the non-positive ones. The subtraction is
+  /// a batch of decrement-all steps, so the merged summary obeys the same
+  /// n/(capacity+1) error bound over the combined stream.
+  Status Merge(const MisraGries& other) {
+    if (other.capacity_ != capacity_) {
+      return Status::InvalidArgument("MisraGries merge: capacity mismatch");
+    }
+    for (const auto& [key, cnt] : other.counters_) counters_[key] += cnt;
+    count_ += other.count_;
+    if (counters_.size() > capacity_) {
+      std::vector<uint64_t> values;
+      values.reserve(counters_.size());
+      for (const auto& [key, cnt] : counters_) values.push_back(cnt);
+      // The (capacity+1)-th largest value: subtracting it leaves at most
+      // `capacity` strictly positive counters.
+      std::nth_element(values.begin(), values.begin() + capacity_,
+                       values.end(), std::greater<uint64_t>());
+      const uint64_t decrement = values[capacity_];
+      for (auto it = counters_.begin(); it != counters_.end();) {
+        if (it->second <= decrement) {
+          it = counters_.erase(it);
+        } else {
+          it->second -= decrement;
+          ++it;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// state::MergeableSketch payload: capacity, processed count, then the
+  /// (key, counter) pairs.
+  void SerializeTo(ByteWriter& w) const {
+    w.PutVarint(capacity_);
+    w.PutVarint(count_);
+    w.PutVarint(counters_.size());
+    for (const auto& [key, cnt] : counters_) {
+      state::KeyCodec<Key>::Write(w, key);
+      w.PutVarint(cnt);
+    }
+  }
+
+  static Result<MisraGries> Deserialize(ByteReader& r) {
+    uint64_t capacity = 0;
+    uint64_t count = 0;
+    uint64_t num_counters = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&capacity));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_counters));
+    if (capacity < 1) {
+      return Status::Corruption("MisraGries: capacity out of range");
+    }
+    if (num_counters > capacity) {
+      return Status::Corruption("MisraGries: more counters than capacity");
+    }
+    if (num_counters * 2 > r.remaining()) {
+      return Status::Corruption("MisraGries: counter count exceeds payload");
+    }
+    MisraGries sketch(capacity);
+    for (uint64_t i = 0; i < num_counters; i++) {
+      Key key{};
+      uint64_t cnt = 0;
+      STREAMLIB_RETURN_NOT_OK(state::KeyCodec<Key>::Read(r, &key));
+      STREAMLIB_RETURN_NOT_OK(r.GetVarint(&cnt));
+      if (cnt == 0) return Status::Corruption("MisraGries: zero counter");
+      if (!sketch.counters_.emplace(std::move(key), cnt).second) {
+        return Status::Corruption("MisraGries: duplicate keys");
+      }
+    }
+    sketch.count_ = count;
+    return sketch;
+  }
 
  private:
   size_t capacity_;

@@ -3,10 +3,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
 #include "core/frequency/misra_gries.h"
 
 namespace streamlib {
@@ -26,6 +31,17 @@ namespace streamlib {
 template <typename Key>
 class SpaceSaving {
  public:
+  static constexpr state::TypeId kTypeId = [] {
+    if constexpr (std::is_same_v<Key, std::string>) {
+      return state::TypeId::kSpaceSavingString;
+    } else {
+      static_assert(std::is_same_v<Key, uint64_t>,
+                    "no TypeId registered for this SpaceSaving key type");
+      return state::TypeId::kSpaceSavingU64;
+    }
+  }();
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param capacity  number of monitored entries k; error <= n/k.
   explicit SpaceSaving(size_t capacity) : capacity_(capacity) {
     STREAMLIB_CHECK_MSG(capacity >= 1, "capacity must be >= 1");
@@ -110,6 +126,97 @@ class SpaceSaving {
     return entries_.empty() ? 0 : entries_[heap_[0]].count;
   }
 
+  /// Mergeable-summaries combine (Agarwal et al.): counts and errors add
+  /// pointwise; a key monitored on only one side inherits the other side's
+  /// MinCount as both count and error (its upper bound there), and the top
+  /// `capacity` combined entries survive. The merged error bound is the sum
+  /// of the two sides' bounds, matching the paper's isomorphism between
+  /// merged SpaceSaving summaries.
+  Status Merge(const SpaceSaving& other) {
+    if (other.capacity_ != capacity_) {
+      return Status::InvalidArgument("SpaceSaving merge: capacity mismatch");
+    }
+    const uint64_t my_min = entries_.size() < capacity_ ? 0 : MinCount();
+    const uint64_t other_min =
+        other.entries_.size() < other.capacity_ ? 0 : other.MinCount();
+    std::vector<Entry> combined;
+    combined.reserve(entries_.size() + other.entries_.size());
+    for (const Entry& e : entries_) {
+      Entry merged = e;
+      auto it = other.index_.find(e.key);
+      if (it != other.index_.end()) {
+        merged.count += other.entries_[it->second].count;
+        merged.error += other.entries_[it->second].error;
+      } else {
+        merged.count += other_min;
+        merged.error += other_min;
+      }
+      combined.push_back(std::move(merged));
+    }
+    for (const Entry& e : other.entries_) {
+      if (index_.find(e.key) != index_.end()) continue;  // Already merged.
+      combined.push_back(Entry{e.key, e.count + my_min, e.error + my_min, 0});
+    }
+    std::sort(combined.begin(), combined.end(),
+              [](const Entry& a, const Entry& b) { return a.count > b.count; });
+    if (combined.size() > capacity_) combined.resize(capacity_);
+    count_ += other.count_;
+    Rebuild(std::move(combined));
+    return Status::OK();
+  }
+
+  /// state::MergeableSketch payload: capacity, processed count, then the
+  /// monitored (key, count, error) entries.
+  void SerializeTo(ByteWriter& w) const {
+    w.PutVarint(capacity_);
+    w.PutVarint(count_);
+    w.PutVarint(entries_.size());
+    for (const Entry& e : entries_) {
+      state::KeyCodec<Key>::Write(w, e.key);
+      w.PutVarint(e.count);
+      w.PutVarint(e.error);
+    }
+  }
+
+  static Result<SpaceSaving> Deserialize(ByteReader& r) {
+    uint64_t capacity = 0;
+    uint64_t count = 0;
+    uint64_t num_entries = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&capacity));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_entries));
+    if (capacity < 1) {
+      return Status::Corruption("SpaceSaving: capacity out of range");
+    }
+    if (num_entries > capacity) {
+      return Status::Corruption("SpaceSaving: more entries than capacity");
+    }
+    // Three varint bytes minimum per entry (empty string keys still carry a
+    // length byte): reject impossible counts before allocating.
+    if (num_entries * 3 > r.remaining()) {
+      return Status::Corruption("SpaceSaving: entry count exceeds payload");
+    }
+    SpaceSaving sketch(capacity);
+    std::vector<Entry> entries;
+    entries.reserve(num_entries);
+    for (uint64_t i = 0; i < num_entries; i++) {
+      Entry e{};
+      STREAMLIB_RETURN_NOT_OK(state::KeyCodec<Key>::Read(r, &e.key));
+      STREAMLIB_RETURN_NOT_OK(r.GetVarint(&e.count));
+      STREAMLIB_RETURN_NOT_OK(r.GetVarint(&e.error));
+      if (e.error >= e.count) {
+        return Status::Corruption("SpaceSaving: entry error >= count");
+      }
+      entries.push_back(std::move(e));
+    }
+    sketch.count_ = count;
+    sketch.Rebuild(std::move(entries));
+    if (sketch.index_.size() != sketch.entries_.size()) {
+      return Status::Corruption("SpaceSaving: duplicate keys");
+    }
+    return sketch;
+  }
+
  private:
   struct Entry {
     Key key;
@@ -148,6 +255,21 @@ class SpaceSaving {
       if (smallest == pos) break;
       HeapSwap(pos, smallest);
       pos = smallest;
+    }
+  }
+
+  /// Replaces the monitored set and rebuilds the heap and key index.
+  void Rebuild(std::vector<Entry> entries) {
+    entries_ = std::move(entries);
+    heap_.resize(entries_.size());
+    index_.clear();
+    for (size_t i = 0; i < entries_.size(); i++) {
+      heap_[i] = i;
+      entries_[i].heap_pos = i;
+      index_.emplace(entries_[i].key, i);
+    }
+    if (heap_.size() > 1) {
+      for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
     }
   }
 

@@ -50,4 +50,29 @@ Status AmsSketch::Merge(const AmsSketch& other) {
   return Status::OK();
 }
 
+void AmsSketch::SerializeTo(ByteWriter& w) const {
+  w.PutU32(groups_);
+  w.PutU32(group_size_);
+  for (int64_t c : counters_) w.PutVarintSigned(c);
+}
+
+Result<AmsSketch> AmsSketch::Deserialize(ByteReader& r) {
+  uint32_t groups = 0;
+  uint32_t group_size = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&groups));
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&group_size));
+  if (groups < 1 || group_size < 1) {
+    return Status::Corruption("AMS: geometry out of range");
+  }
+  const uint64_t n = static_cast<uint64_t>(groups) * group_size;
+  if (n > r.remaining()) {
+    return Status::Corruption("AMS: counter payload truncated");
+  }
+  AmsSketch sketch(groups, group_size);
+  for (uint64_t i = 0; i < n; i++) {
+    STREAMLIB_RETURN_NOT_OK(r.GetVarintSigned(&sketch.counters_[i]));
+  }
+  return sketch;
+}
+
 }  // namespace streamlib

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -19,6 +21,9 @@ namespace streamlib {
 /// Application (Table 1): self-join size estimation in databases.
 class AmsSketch {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kAmsSketch;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param groups      number of independent groups (median dimension);
   ///                    failure probability ~ exp(-groups/...).
   /// \param group_size  counters averaged per group (variance dimension);
@@ -37,6 +42,10 @@ class AmsSketch {
 
   /// In-place merge (the sketch is linear).
   Status Merge(const AmsSketch& other);
+
+  /// state::MergeableSketch payload: geometry then the signed counters.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<AmsSketch> Deserialize(ByteReader& r);
 
   uint32_t groups() const { return groups_; }
   uint32_t group_size() const { return group_size_; }

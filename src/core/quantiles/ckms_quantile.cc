@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "core/quantiles/rank_merge.h"
 
 namespace streamlib {
 
@@ -116,6 +118,94 @@ double CkmsQuantile::Query(double phi) {
 size_t CkmsQuantile::SummarySize() {
   Flush();
   return tuples_.size();
+}
+
+Status CkmsQuantile::Merge(const CkmsQuantile& other) {
+  if (other.targets_.size() != targets_.size()) {
+    return Status::InvalidArgument("CKMS merge: target list mismatch");
+  }
+  for (size_t i = 0; i < targets_.size(); i++) {
+    if (other.targets_[i].quantile != targets_[i].quantile ||
+        other.targets_[i].error != targets_[i].error) {
+      return Status::InvalidArgument("CKMS merge: target list mismatch");
+    }
+  }
+  Flush();
+  CkmsQuantile copy = other;
+  copy.Flush();
+  tuples_ = rank_merge::MergeRankSummaries(tuples_, copy.tuples_);
+  count_ += copy.count_;
+  return Status::OK();
+}
+
+void CkmsQuantile::SerializeTo(ByteWriter& w) const {
+  CkmsQuantile flushed = *this;
+  flushed.Flush();
+  w.PutVarint(flushed.targets_.size());
+  for (const QuantileTarget& t : flushed.targets_) {
+    w.PutDouble(t.quantile);
+    w.PutDouble(t.error);
+  }
+  w.PutVarint(flushed.count_);
+  w.PutVarint(flushed.tuples_.size());
+  for (const Tuple& t : flushed.tuples_) {
+    w.PutDouble(t.value);
+    w.PutVarint(t.g);
+    w.PutVarint(t.delta);
+  }
+}
+
+Result<CkmsQuantile> CkmsQuantile::Deserialize(ByteReader& r) {
+  uint64_t num_targets = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_targets));
+  if (num_targets < 1 ||
+      num_targets * 2 * sizeof(double) > r.remaining()) {
+    return Status::Corruption("CKMS: bad target count");
+  }
+  std::vector<QuantileTarget> targets;
+  targets.reserve(num_targets);
+  for (uint64_t i = 0; i < num_targets; i++) {
+    QuantileTarget t{};
+    STREAMLIB_RETURN_NOT_OK(r.GetDouble(&t.quantile));
+    STREAMLIB_RETURN_NOT_OK(r.GetDouble(&t.error));
+    if (!(t.quantile > 0.0 && t.quantile < 1.0) ||
+        !(t.error > 0.0 && t.error < 1.0)) {
+      return Status::Corruption("CKMS: target out of range");
+    }
+    targets.push_back(t);
+  }
+  uint64_t count = 0;
+  uint64_t num_tuples = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_tuples));
+  if (num_tuples > count) {
+    return Status::Corruption("CKMS: more tuples than observations");
+  }
+  if (num_tuples * (sizeof(double) + 2) > r.remaining()) {
+    return Status::Corruption("CKMS: tuple count exceeds payload");
+  }
+  CkmsQuantile summary(std::move(targets));
+  summary.tuples_.reserve(num_tuples);
+  uint64_t g_sum = 0;
+  double prev_value = 0.0;
+  for (uint64_t i = 0; i < num_tuples; i++) {
+    Tuple t{};
+    STREAMLIB_RETURN_NOT_OK(r.GetDouble(&t.value));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&t.g));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&t.delta));
+    if (!std::isfinite(t.value) || t.g < 1 ||
+        (i > 0 && t.value < prev_value)) {
+      return Status::Corruption("CKMS: malformed tuple");
+    }
+    g_sum += t.g;
+    prev_value = t.value;
+    summary.tuples_.push_back(t);
+  }
+  if (g_sum != count) {
+    return Status::Corruption("CKMS: tuple weights do not sum to count");
+  }
+  summary.count_ = count;
+  return summary;
 }
 
 }  // namespace streamlib

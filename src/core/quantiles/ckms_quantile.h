@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
+
 namespace streamlib {
 
 /// A quantile the summary must answer with a given rank error.
@@ -27,6 +31,9 @@ struct QuantileTarget {
 /// is quantified in the quantile bench.
 class CkmsQuantile {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kCkmsQuantile;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param targets  quantiles of interest with per-quantile error budgets.
   explicit CkmsQuantile(std::vector<QuantileTarget> targets);
 
@@ -39,6 +46,16 @@ class CkmsQuantile {
   double Query(double phi);
 
   uint64_t count() const { return count_ + buffer_.size(); }
+
+  /// Mergeable-summaries combine (same rank composition as GkQuantile):
+  /// rank error over the merged stream is bounded by the sum of both sides'
+  /// target budgets. Requires identical target lists.
+  Status Merge(const CkmsQuantile& other);
+
+  /// state::MergeableSketch payload: targets, count, then the flushed
+  /// (value, g, delta) tuples in value order.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<CkmsQuantile> Deserialize(ByteReader& r);
 
   /// Summary tuples held after the pending buffer is flushed.
   size_t SummarySize();

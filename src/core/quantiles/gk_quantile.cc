@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/quantiles/rank_merge.h"
 
 namespace streamlib {
 
@@ -54,6 +55,68 @@ void GkQuantile::Compress() {
   }
   if (tuples_.size() > 1) out.push_back(tuples_.back());
   tuples_ = std::move(out);
+}
+
+Status GkQuantile::Merge(const GkQuantile& other) {
+  if (other.eps_ != eps_) {
+    return Status::InvalidArgument("GK merge: eps mismatch");
+  }
+  tuples_ = rank_merge::MergeRankSummaries(tuples_, other.tuples_);
+  count_ += other.count_;
+  // No re-compression: compressing against the uniform 2*eps*n threshold
+  // would assume the single-stream budget the merged summary no longer has.
+  return Status::OK();
+}
+
+void GkQuantile::SerializeTo(ByteWriter& w) const {
+  w.PutDouble(eps_);
+  w.PutVarint(count_);
+  w.PutVarint(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    w.PutDouble(t.value);
+    w.PutVarint(t.g);
+    w.PutVarint(t.delta);
+  }
+}
+
+Result<GkQuantile> GkQuantile::Deserialize(ByteReader& r) {
+  double eps = 0.0;
+  uint64_t count = 0;
+  uint64_t num_tuples = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetDouble(&eps));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_tuples));
+  if (!(eps > 0.0 && eps < 1.0)) {
+    return Status::Corruption("GK: eps out of range");
+  }
+  if (num_tuples > count) {
+    return Status::Corruption("GK: more tuples than observations");
+  }
+  if (num_tuples * (sizeof(double) + 2) > r.remaining()) {
+    return Status::Corruption("GK: tuple count exceeds payload");
+  }
+  GkQuantile summary(eps);
+  summary.tuples_.reserve(num_tuples);
+  uint64_t g_sum = 0;
+  double prev_value = 0.0;
+  for (uint64_t i = 0; i < num_tuples; i++) {
+    Tuple t{};
+    STREAMLIB_RETURN_NOT_OK(r.GetDouble(&t.value));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&t.g));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&t.delta));
+    if (!std::isfinite(t.value) || t.g < 1 ||
+        (i > 0 && t.value < prev_value)) {
+      return Status::Corruption("GK: malformed tuple");
+    }
+    g_sum += t.g;
+    prev_value = t.value;
+    summary.tuples_.push_back(t);
+  }
+  if (g_sum != count) {
+    return Status::Corruption("GK: tuple weights do not sum to count");
+  }
+  summary.count_ = count;
+  return summary;
 }
 
 double GkQuantile::Query(double phi) const {

@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
+
 namespace streamlib {
 
 /// Greenwald–Khanna quantile summary (SIGMOD 2001, cited as [93]):
@@ -16,6 +20,9 @@ namespace streamlib {
 /// Application (Table 1): network latency analysis — p50/p99/p999 tracking.
 class GkQuantile {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kGkQuantile;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param eps  rank-error bound, in (0, 1); e.g. 0.001 for p99 tracking.
   explicit GkQuantile(double eps);
 
@@ -25,6 +32,17 @@ class GkQuantile {
   /// Value with rank within eps*n of ceil(phi*n). phi in [0, 1].
   /// Requires at least one insertion.
   double Query(double phi) const;
+
+  /// Mergeable-summaries combine: the merged summary covers both streams
+  /// with rank error bounded by the *sum* of the two sides' eps*n budgets
+  /// (GK is one-way mergeable, not eps-preserving — widen query tolerance
+  /// accordingly after S-way shard merges). Requires equal eps.
+  Status Merge(const GkQuantile& other);
+
+  /// state::MergeableSketch payload: eps, count, then the (value, g, delta)
+  /// tuples in value order.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<GkQuantile> Deserialize(ByteReader& r);
 
   uint64_t count() const { return count_; }
   double eps() const { return eps_; }

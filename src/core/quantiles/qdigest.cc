@@ -102,4 +102,53 @@ Status QDigest::Merge(const QDigest& other) {
   return Status::OK();
 }
 
+void QDigest::SerializeTo(ByteWriter& w) const {
+  w.PutU32(universe_bits_);
+  w.PutU32(compression_);
+  w.PutVarint(count_);
+  w.PutVarint(nodes_.size());
+  for (const auto& [id, cnt] : nodes_) {
+    w.PutVarint(id);
+    w.PutVarint(cnt);
+  }
+}
+
+Result<QDigest> QDigest::Deserialize(ByteReader& r) {
+  uint32_t universe_bits = 0;
+  uint32_t compression = 0;
+  uint64_t count = 0;
+  uint64_t num_nodes = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&universe_bits));
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&compression));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_nodes));
+  if (universe_bits < 1 || universe_bits > 32 || compression < 1) {
+    return Status::Corruption("QDigest: parameters out of range");
+  }
+  if (num_nodes * 2 > r.remaining()) {
+    return Status::Corruption("QDigest: node count exceeds payload");
+  }
+  QDigest digest(universe_bits, compression);
+  uint64_t weight_sum = 0;
+  const uint64_t max_node = uint64_t{1} << (universe_bits + 1);
+  for (uint64_t i = 0; i < num_nodes; i++) {
+    uint64_t id = 0;
+    uint64_t cnt = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&id));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&cnt));
+    if (id < 1 || id >= max_node || cnt == 0) {
+      return Status::Corruption("QDigest: malformed node");
+    }
+    if (!digest.nodes_.emplace(id, cnt).second) {
+      return Status::Corruption("QDigest: duplicate node id");
+    }
+    weight_sum += cnt;
+  }
+  if (weight_sum != count) {
+    return Status::Corruption("QDigest: node weights do not sum to count");
+  }
+  digest.count_ = count;
+  return digest;
+}
+
 }  // namespace streamlib

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -17,6 +19,9 @@ namespace streamlib {
 /// uses them.
 class QDigest {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kQDigest;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param universe_bits  values live in [0, 2^universe_bits), <= 32.
   /// \param compression    k; rank error <= universe_bits/k * n, size
   ///                       O(k * universe_bits).
@@ -30,6 +35,11 @@ class QDigest {
 
   /// Merges another digest over the same universe/compression.
   Status Merge(const QDigest& other);
+
+  /// state::MergeableSketch payload: parameters, count, then the
+  /// (node id, weight) pairs.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<QDigest> Deserialize(ByteReader& r);
 
   uint64_t count() const { return count_; }
   size_t NumNodes() const { return nodes_.size(); }

@@ -134,7 +134,7 @@ double TDigest::Cdf(double value) {
   return 1.0;
 }
 
-void TDigest::Merge(const TDigest& other) {
+Status TDigest::Merge(const TDigest& other) {
   TDigest copy = other;
   copy.Flush();
   const uint64_t count_before = count_;
@@ -148,6 +148,67 @@ void TDigest::Merge(const TDigest& other) {
     min_ = count_before > 0 ? std::min(min_, copy.min_) : copy.min_;
     max_ = count_before > 0 ? std::max(max_, copy.max_) : copy.max_;
   }
+  return Status::OK();
+}
+
+void TDigest::SerializeTo(ByteWriter& w) const {
+  TDigest flushed = *this;
+  flushed.Flush();
+  w.PutDouble(flushed.compression_);
+  w.PutVarint(flushed.count_);
+  w.PutDouble(flushed.min_);
+  w.PutDouble(flushed.max_);
+  w.PutVarint(flushed.centroids_.size());
+  for (const Centroid& c : flushed.centroids_) {
+    w.PutDouble(c.mean);
+    w.PutDouble(c.weight);
+  }
+}
+
+Result<TDigest> TDigest::Deserialize(ByteReader& r) {
+  double compression = 0.0;
+  uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  uint64_t num_centroids = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetDouble(&compression));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+  STREAMLIB_RETURN_NOT_OK(r.GetDouble(&min));
+  STREAMLIB_RETURN_NOT_OK(r.GetDouble(&max));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_centroids));
+  if (!std::isfinite(compression) || compression < 10.0) {
+    return Status::Corruption("t-digest: compression out of range");
+  }
+  if (!std::isfinite(min) || !std::isfinite(max) || min > max) {
+    return Status::Corruption("t-digest: invalid extrema");
+  }
+  if ((count == 0) != (num_centroids == 0)) {
+    return Status::Corruption("t-digest: count/centroid mismatch");
+  }
+  if (num_centroids * 2 * sizeof(double) > r.remaining()) {
+    return Status::Corruption("t-digest: centroid count exceeds payload");
+  }
+  TDigest digest(compression);
+  digest.centroids_.reserve(num_centroids);
+  double total_weight = 0.0;
+  double prev_mean = min;
+  for (uint64_t i = 0; i < num_centroids; i++) {
+    Centroid c{};
+    STREAMLIB_RETURN_NOT_OK(r.GetDouble(&c.mean));
+    STREAMLIB_RETURN_NOT_OK(r.GetDouble(&c.weight));
+    if (!std::isfinite(c.mean) || !std::isfinite(c.weight) ||
+        c.weight <= 0.0 || c.mean < prev_mean || c.mean > max) {
+      return Status::Corruption("t-digest: malformed centroid");
+    }
+    total_weight += c.weight;
+    prev_mean = c.mean;
+    digest.centroids_.push_back(c);
+  }
+  digest.count_ = count;
+  digest.total_weight_ = total_weight;
+  digest.min_ = min;
+  digest.max_ = max;
+  return digest;
 }
 
 size_t TDigest::NumCentroids() {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serde.h"
+#include "common/state.h"
 #include "common/status.h"
 
 namespace streamlib {
@@ -16,6 +18,9 @@ namespace streamlib {
 /// than the uniform-eps guarantee of GK.
 class TDigest {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kTDigest;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param compression  delta; centroid count is bounded by ~2*compression.
   explicit TDigest(double compression = 100.0);
 
@@ -31,8 +36,15 @@ class TDigest {
   /// Approximate CDF: fraction of observations <= value. Requires data.
   double Cdf(double value);
 
-  /// Merges another digest into this one.
-  void Merge(const TDigest& other);
+  /// Merges another digest into this one. Digests of different compression
+  /// merge fine (centroids re-compact under this digest's scale), so this
+  /// never fails — the Status return is the uniform contract spelling.
+  Status Merge(const TDigest& other);
+
+  /// state::MergeableSketch payload: compression, count, extrema, then the
+  /// flushed centroid list.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<TDigest> Deserialize(ByteReader& r);
 
   double TotalWeight() {
     Flush();

@@ -1,5 +1,7 @@
 #include "core/windowing/eh_sum.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace streamlib {
@@ -41,6 +43,46 @@ size_t EhSum::MemoryBytes() const {
   size_t total = 0;
   for (const auto& h : bit_histograms_) total += h.MemoryBytes();
   return total;
+}
+
+Status EhSum::Merge(const EhSum& other) {
+  if (other.window_ != window_ || other.value_bits_ != value_bits_ ||
+      other.bit_histograms_[0].k() != bit_histograms_[0].k()) {
+    return Status::InvalidArgument("EH-sum merge: parameter mismatch");
+  }
+  for (uint32_t b = 0; b < value_bits_; b++) {
+    STREAMLIB_RETURN_NOT_OK(bit_histograms_[b].Merge(other.bit_histograms_[b]));
+  }
+  return Status::OK();
+}
+
+void EhSum::SerializeTo(ByteWriter& w) const {
+  w.PutVarint(window_);
+  w.PutU32(bit_histograms_[0].k());
+  w.PutU32(value_bits_);
+  for (const auto& h : bit_histograms_) h.SerializeTo(w);
+}
+
+Result<EhSum> EhSum::Deserialize(ByteReader& r) {
+  uint64_t window = 0;
+  uint32_t k = 0;
+  uint32_t value_bits = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&window));
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&k));
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&value_bits));
+  if (window < 1 || k < 1 || value_bits < 1 || value_bits > 32) {
+    return Status::Corruption("EH-sum: parameters out of range");
+  }
+  EhSum sum(window, k, value_bits);
+  for (uint32_t b = 0; b < value_bits; b++) {
+    Result<ExponentialHistogram> hist = ExponentialHistogram::Deserialize(r);
+    STREAMLIB_RETURN_NOT_OK(hist.status());
+    if (hist.value().window() != window || hist.value().k() != k) {
+      return Status::Corruption("EH-sum: bit histogram parameter mismatch");
+    }
+    sum.bit_histograms_[b] = std::move(hist).value();
+  }
+  return sum;
 }
 
 }  // namespace streamlib

@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
 #include "core/windowing/exponential_histogram.h"
 
 namespace streamlib {
@@ -16,6 +19,9 @@ namespace streamlib {
 /// O(bits * k * log W) buckets — constant in the window contents.
 class EhSum {
  public:
+  static constexpr state::TypeId kTypeId = state::TypeId::kEhSum;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param window      window size W in elements.
   /// \param k           DGIM buckets per size class (error ~ 1/k).
   /// \param value_bits  values must fit in this many bits (<= 32).
@@ -30,6 +36,15 @@ class EhSum {
   uint64_t window() const { return window_; }
   size_t NumBuckets() const;
   size_t MemoryBytes() const;
+
+  /// Merges bit-slice by bit-slice; same timeline caveat as
+  /// ExponentialHistogram::Merge. Parameters must match.
+  Status Merge(const EhSum& other);
+
+  /// state::MergeableSketch payload: parameters then each bit histogram's
+  /// own payload (delegated, like DyadicCountMin's per-level sketches).
+  void SerializeTo(ByteWriter& w) const;
+  static Result<EhSum> Deserialize(ByteReader& r);
 
  private:
   uint64_t window_;

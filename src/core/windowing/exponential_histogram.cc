@@ -1,5 +1,12 @@
 #include "core/windowing/exponential_histogram.h"
 
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <vector>
+
+#include "common/bitutil.h"
+
 namespace streamlib {
 
 ExponentialHistogram::ExponentialHistogram(uint64_t window, uint32_t k)
@@ -55,6 +62,102 @@ uint64_t ExponentialHistogram::Estimate() const {
   if (buckets_.empty()) return 0;
   // All of every bucket except the oldest, plus half the oldest.
   return total_ - buckets_.front().size / 2;
+}
+
+void ExponentialHistogram::Canonicalize() {
+  // Re-establish the <= k+1 buckets-per-size-class invariant after a merge,
+  // which may have left any class over-full. Classes are processed smallest
+  // first so merges cascade upward, exactly like MergeOverflow.
+  std::map<uint64_t, std::vector<Bucket>> classes;  // size -> oldest-first.
+  for (const Bucket& b : buckets_) classes[b.size].push_back(b);
+  for (auto it = classes.begin(); it != classes.end(); ++it) {
+    std::vector<Bucket>& vec = it->second;
+    while (vec.size() >= k_ + 2) {
+      Bucket merged{vec[1].newest_position, it->first * 2};
+      vec.erase(vec.begin(), vec.begin() + 2);
+      std::vector<Bucket>& up = classes[it->first * 2];
+      up.insert(std::upper_bound(up.begin(), up.end(), merged,
+                                 [](const Bucket& a, const Bucket& b) {
+                                   return a.newest_position <
+                                          b.newest_position;
+                                 }),
+                merged);
+    }
+  }
+  std::vector<Bucket> all;
+  all.reserve(buckets_.size());
+  for (const auto& [size, vec] : classes) {
+    all.insert(all.end(), vec.begin(), vec.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Bucket& a, const Bucket& b) {
+    return a.newest_position < b.newest_position;
+  });
+  buckets_.assign(all.begin(), all.end());
+}
+
+Status ExponentialHistogram::Merge(const ExponentialHistogram& other) {
+  if (other.window_ != window_ || other.k_ != k_) {
+    return Status::InvalidArgument("EH merge: parameter mismatch");
+  }
+  std::deque<Bucket> merged;
+  std::merge(buckets_.begin(), buckets_.end(), other.buckets_.begin(),
+             other.buckets_.end(), std::back_inserter(merged),
+             [](const Bucket& a, const Bucket& b) {
+               return a.newest_position < b.newest_position;
+             });
+  buckets_ = std::move(merged);
+  position_ = std::max(position_, other.position_);
+  total_ += other.total_;
+  ExpireOld();
+  Canonicalize();
+  return Status::OK();
+}
+
+void ExponentialHistogram::SerializeTo(ByteWriter& w) const {
+  w.PutVarint(window_);
+  w.PutU32(k_);
+  w.PutVarint(position_);
+  w.PutVarint(buckets_.size());
+  for (const Bucket& b : buckets_) {
+    w.PutVarint(b.newest_position);
+    w.PutVarint(b.size);
+  }
+}
+
+Result<ExponentialHistogram> ExponentialHistogram::Deserialize(
+    ByteReader& r) {
+  uint64_t window = 0;
+  uint32_t k = 0;
+  uint64_t position = 0;
+  uint64_t num_buckets = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&window));
+  STREAMLIB_RETURN_NOT_OK(r.GetU32(&k));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&position));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&num_buckets));
+  if (window < 1 || k < 1) {
+    return Status::Corruption("EH: parameters out of range");
+  }
+  if (num_buckets * 2 > r.remaining()) {
+    return Status::Corruption("EH: bucket count exceeds payload");
+  }
+  ExponentialHistogram hist(window, k);
+  hist.position_ = position;
+  uint64_t prev_position = 0;
+  for (uint64_t i = 0; i < num_buckets; i++) {
+    Bucket b{};
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&b.newest_position));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&b.size));
+    if (b.size == 0 || !IsPowerOfTwo(b.size) ||
+        b.newest_position > position ||
+        b.newest_position + window <= position ||
+        (i > 0 && b.newest_position < prev_position)) {
+      return Status::Corruption("EH: malformed bucket");
+    }
+    prev_position = b.newest_position;
+    hist.buckets_.push_back(b);
+    hist.total_ += b.size;
+  }
+  return hist;
 }
 
 }  // namespace streamlib

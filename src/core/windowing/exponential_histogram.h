@@ -5,6 +5,9 @@
 #include <deque>
 
 #include "common/check.h"
+#include "common/serde.h"
+#include "common/state.h"
+#include "common/status.h"
 
 namespace streamlib {
 
@@ -19,6 +22,10 @@ namespace streamlib {
 /// impressions clicked".
 class ExponentialHistogram {
  public:
+  static constexpr state::TypeId kTypeId =
+      state::TypeId::kExponentialHistogram;
+  static constexpr uint16_t kStateVersion = 1;
+
   /// \param window  window size W in stream positions.
   /// \param k       buckets per size class; relative error <= 1/k... with
   ///                the guarantee |m_hat - m| <= m/k (set k = ceil(1/eps)).
@@ -39,6 +46,19 @@ class ExponentialHistogram {
 
   uint64_t window() const { return window_; }
   uint64_t position() const { return position_; }
+  uint32_t k() const { return k_; }
+
+  /// Merges a histogram over the *same global position timeline* (the
+  /// sharded pattern where each shard sees a subset of a shared stream and
+  /// positions are event indices, as in SlidingHyperLogLog). Buckets are
+  /// interleaved by position, expired against the later of the two
+  /// positions, and the k+1-per-size-class invariant is re-established.
+  Status Merge(const ExponentialHistogram& other);
+
+  /// state::MergeableSketch payload: parameters, position, then the buckets
+  /// oldest-first.
+  void SerializeTo(ByteWriter& w) const;
+  static Result<ExponentialHistogram> Deserialize(ByteReader& r);
 
   /// Number of buckets currently held (space diagnostic, O(k log W)).
   size_t NumBuckets() const { return buckets_.size(); }
@@ -52,6 +72,7 @@ class ExponentialHistogram {
 
   void ExpireOld();
   void MergeOverflow();
+  void Canonicalize();
 
   uint64_t window_;
   uint32_t k_;

@@ -6,8 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/cardinality/hyperloglog.h"
+#include "common/status.h"
 #include "lambda/master_log.h"
+#include "platform/checkpoint.h"
 
 namespace streamlib::lambda {
 
@@ -19,13 +20,28 @@ namespace streamlib::lambda {
 struct BatchView {
   uint64_t through_offset = 0;  ///< exclusive end of the covered prefix
   std::unordered_map<std::string, double> key_totals;  ///< exact sums
-  HyperLogLog distinct_keys{12};  ///< cardinality of the key set
+
+  /// Cardinality of the key set as a versioned SketchBlob (HyperLogLog,
+  /// precision 12). Kept in envelope form so the serving layer merges it
+  /// with the speed layer's blob through the state contract, and so the
+  /// view persists byte-for-byte through a KvCheckpointStore.
+  std::vector<uint8_t> distinct_keys_blob;
 
   /// Exact total for a key over the covered prefix (0 if absent).
   double TotalOf(const std::string& key) const;
 
   /// Top-k keys by total, descending.
   std::vector<std::pair<std::string, double>> TopK(size_t k) const;
+
+  /// Persists the view into `store` under `prefix` — the distinct-key
+  /// sketch as its SketchBlob, the exact totals + offset as a meta entry.
+  void SnapshotTo(platform::KvCheckpointStore* store,
+                  const std::string& prefix) const;
+
+  /// Rebuilds a view previously written by SnapshotTo. Corrupt or missing
+  /// entries surface as the underlying Status.
+  static Result<BatchView> RestoreFrom(const platform::KvCheckpointStore& store,
+                                       const std::string& prefix);
 };
 
 /// The batch layer: recomputes a BatchView from scratch over the current

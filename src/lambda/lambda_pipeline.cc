@@ -41,4 +41,23 @@ void LambdaPipeline::RunBatchNow() {
   batch_recomputes_++;
 }
 
+Status LambdaPipeline::SaveViews(const std::string& path) const {
+  platform::KvCheckpointStore store;
+  serving_.CurrentBatchView()->SnapshotTo(&store, "batch");
+  speed_.SnapshotTo(&store, "speed");
+  return store.SaveToFile(path);
+}
+
+Status LambdaPipeline::LoadViews(const std::string& path) {
+  platform::KvCheckpointStore store;
+  STREAMLIB_RETURN_NOT_OK(store.LoadFromFile(path));
+  Result<BatchView> view = BatchView::RestoreFrom(store, "batch");
+  STREAMLIB_RETURN_NOT_OK(view.status());
+  // RestoreFrom validates every blob before mutating, so ordering it first
+  // means a corrupt file cannot leave the pipeline half-restored.
+  STREAMLIB_RETURN_NOT_OK(speed_.RestoreFrom(store, "speed"));
+  serving_.InstallBatchView(std::move(view).value());
+  return Status::OK();
+}
+
 }  // namespace streamlib::lambda

@@ -45,6 +45,17 @@ class LambdaPipeline {
   /// Forces a batch recompute over the entire current log.
   void RunBatchNow();
 
+  /// Persists both views (batch + speed) to `path`: every sketch travels as
+  /// a versioned SketchBlob inside a KvCheckpointStore image, so a restarted
+  /// process answers merged queries without replaying the log.
+  Status SaveViews(const std::string& path) const;
+
+  /// Restores views written by SaveViews. The master log itself is NOT
+  /// restored (it is the immutable dataset; callers re-attach or replay it
+  /// separately) — only the derived views. Corrupt files leave the pipeline
+  /// untouched.
+  Status LoadViews(const std::string& path);
+
   /// Merged query interface (Figure 1, step 5).
   double QueryTotal(const std::string& key) const {
     return serving_.TotalOf(key);

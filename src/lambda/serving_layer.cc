@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
+#include "common/state.h"
+#include "core/cardinality/hyperloglog.h"
 
 namespace streamlib::lambda {
 
@@ -58,9 +61,26 @@ double ServingLayer::DistinctKeys() const {
     std::lock_guard<std::mutex> lock(mu_);
     batch = batch_;
   }
-  HyperLogLog merged = batch->distinct_keys;
-  STREAMLIB_CHECK(merged.Merge(speed_->DistinctKeysSketch()).ok());
-  return merged.Estimate();
+  // Both layers hand over SketchBlobs; the merge goes through the state
+  // contract rather than any sketch-specific API, so swapping the distinct
+  // sketch (e.g. HLL -> KMV) is a TypeId change, not a serving-layer change.
+  Result<HyperLogLog> merged =
+      state::FromBlob<HyperLogLog>(speed_->DistinctKeysBlob());
+  STREAMLIB_CHECK_MSG(merged.ok(), "speed distinct blob: %s",
+                      merged.status().ToString().c_str());
+  HyperLogLog sketch = std::move(merged).value();
+  if (!batch->distinct_keys_blob.empty()) {
+    const Status status =
+        state::MergeBlob(sketch, batch->distinct_keys_blob);
+    STREAMLIB_CHECK_MSG(status.ok(), "batch distinct blob: %s",
+                        status.ToString().c_str());
+  }
+  return sketch.Estimate();
+}
+
+std::shared_ptr<const BatchView> ServingLayer::CurrentBatchView() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_;
 }
 
 uint64_t ServingLayer::BatchThroughOffset() const {

@@ -37,6 +37,9 @@ class ServingLayer {
   /// Offset through which results are exact (batch coverage).
   uint64_t BatchThroughOffset() const;
 
+  /// The currently installed batch view (never null).
+  std::shared_ptr<const BatchView> CurrentBatchView() const;
+
  private:
   const SpeedLayer* speed_;
   mutable std::mutex mu_;

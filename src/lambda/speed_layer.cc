@@ -1,8 +1,11 @@
 #include "lambda/speed_layer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "common/serde.h"
+#include "common/state.h"
 
 namespace streamlib::lambda {
 
@@ -45,9 +48,62 @@ std::vector<std::pair<std::string, double>> SpeedLayer::TopK(size_t k) const {
   return out;
 }
 
-HyperLogLog SpeedLayer::DistinctKeysSketch() const {
+std::vector<uint8_t> SpeedLayer::DistinctKeysBlob() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return distinct_;
+  return state::ToBlob(distinct_);
+}
+
+void SpeedLayer::SnapshotTo(platform::KvCheckpointStore* store,
+                            const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  store->Put(prefix + "/totals", state::ToBlob(totals_));
+  store->Put(prefix + "/topk", state::ToBlob(topk_));
+  store->Put(prefix + "/distinct_keys", state::ToBlob(distinct_));
+  ByteWriter w;
+  w.PutVarint(from_offset_);
+  w.PutVarint(ingested_);
+  store->Put(prefix + "/meta", w.TakeBytes());
+}
+
+Status SpeedLayer::RestoreFrom(const platform::KvCheckpointStore& store,
+                               const std::string& prefix) {
+  Result<std::vector<uint8_t>> totals_blob = store.Fetch(prefix + "/totals");
+  STREAMLIB_RETURN_NOT_OK(totals_blob.status());
+  Result<CountMinSketch> totals =
+      state::FromBlob<CountMinSketch>(totals_blob.value());
+  STREAMLIB_RETURN_NOT_OK(totals.status());
+
+  Result<std::vector<uint8_t>> topk_blob = store.Fetch(prefix + "/topk");
+  STREAMLIB_RETURN_NOT_OK(topk_blob.status());
+  Result<SpaceSaving<std::string>> topk =
+      state::FromBlob<SpaceSaving<std::string>>(topk_blob.value());
+  STREAMLIB_RETURN_NOT_OK(topk.status());
+
+  Result<std::vector<uint8_t>> distinct_blob =
+      store.Fetch(prefix + "/distinct_keys");
+  STREAMLIB_RETURN_NOT_OK(distinct_blob.status());
+  Result<HyperLogLog> distinct =
+      state::FromBlob<HyperLogLog>(distinct_blob.value());
+  STREAMLIB_RETURN_NOT_OK(distinct.status());
+
+  Result<std::vector<uint8_t>> meta = store.Fetch(prefix + "/meta");
+  STREAMLIB_RETURN_NOT_OK(meta.status());
+  ByteReader r(meta.value());
+  uint64_t from_offset = 0;
+  uint64_t ingested = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&from_offset));
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&ingested));
+  if (!r.AtEnd()) {
+    return Status::Corruption("speed layer: trailing meta bytes");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_ = std::move(totals).value();
+  topk_ = std::move(topk).value();
+  distinct_ = std::move(distinct).value();
+  from_offset_ = from_offset;
+  ingested_ = ingested;
+  return Status::OK();
 }
 
 void SpeedLayer::Reset(uint64_t from_offset) {

@@ -6,10 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/cardinality/hyperloglog.h"
 #include "core/frequency/count_min_sketch.h"
 #include "core/frequency/space_saving.h"
 #include "lambda/master_log.h"
+#include "platform/checkpoint.h"
 
 namespace streamlib::lambda {
 
@@ -37,8 +39,21 @@ class SpeedLayer {
   /// Real-time top-k keys by estimated total.
   std::vector<std::pair<std::string, double>> TopK(size_t k) const;
 
-  /// Real-time distinct-key sketch (merged into the batch one at query).
-  HyperLogLog DistinctKeysSketch() const;
+  /// Real-time distinct-key sketch as a SketchBlob (the serving layer
+  /// merges it against the batch view's blob through the state contract).
+  std::vector<uint8_t> DistinctKeysBlob() const;
+
+  /// Persists all three sketches into `store` as SketchBlobs under
+  /// `prefix`/totals, `prefix`/topk, `prefix`/distinct_keys, plus a meta
+  /// entry (from_offset, ingested).
+  void SnapshotTo(platform::KvCheckpointStore* store,
+                  const std::string& prefix) const;
+
+  /// Replaces this layer's state with a snapshot written by SnapshotTo.
+  /// Corrupt or missing entries surface as the underlying Status and leave
+  /// the layer untouched.
+  Status RestoreFrom(const platform::KvCheckpointStore& store,
+                     const std::string& prefix);
 
   /// Resets the layer to cover the suffix starting at `from_offset` — the
   /// hand-off performed whenever a fresh batch view lands. All sketch state

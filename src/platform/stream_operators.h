@@ -3,12 +3,130 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/check.h"
+#include "common/state.h"
+#include "platform/checkpoint.h"
 #include "platform/topology.h"
 
 namespace streamlib::platform {
+
+/// Checkpointing knobs for SketchBolt. With a null store the bolt is
+/// stateless-on-failure (pure recompute); with a store it snapshots its
+/// sketch as a versioned SketchBlob every `every` tuples and on Finish,
+/// and restores the latest blob in Prepare — the generic replacement for
+/// hand-rolled per-bolt tuple snapshots.
+struct SketchCheckpoint {
+  KvCheckpointStore* store = nullptr;  ///< not owned; may be null
+  std::string key_prefix;              ///< store key = prefix + ":" + task
+  uint64_t every = 256;                ///< Put frequency in tuples
+};
+
+/// Generic sketch-maintaining bolt over any state::MergeableSketch: applies
+/// a caller-supplied update per tuple, checkpoints through the SketchBlob
+/// envelope, and on end-of-stream emits its sketch as a single blob tuple
+/// (field 0: the blob bytes as a string) for a downstream combiner.
+///
+/// The key-sharded partial-aggregation pattern (the mergeable-summaries
+/// deployment from Agarwal et al. applied to a Storm-style topology): run N
+/// parallel SketchBolt tasks behind a fields grouping, then subscribe one
+/// SketchCombinerBolt via a global grouping — each shard's final blob is
+/// merged into one sketch whose estimates equal a single-instance run.
+template <state::MergeableSketch T>
+class SketchBolt : public Bolt {
+ public:
+  using UpdateFn = std::function<void(T&, const Tuple&)>;
+
+  SketchBolt(T initial, UpdateFn update, SketchCheckpoint checkpoint = {})
+      : sketch_(std::move(initial)),
+        update_(std::move(update)),
+        checkpoint_(std::move(checkpoint)) {}
+
+  void Prepare(uint32_t task_index, uint32_t num_tasks) override {
+    (void)num_tasks;
+    if (checkpoint_.store == nullptr) return;
+    key_ = checkpoint_.key_prefix + ":" + std::to_string(task_index);
+    Result<std::vector<uint8_t>> blob = checkpoint_.store->Fetch(key_);
+    if (!blob.ok()) return;  // NotFound: first start, keep the initial sketch.
+    Result<T> restored = state::FromBlob<T>(blob.value());
+    STREAMLIB_CHECK_MSG(restored.ok(), "sketch restore failed: %s",
+                        restored.status().ToString().c_str());
+    sketch_ = std::move(restored).value();
+  }
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    (void)collector;
+    update_(sketch_, input);
+    if (checkpoint_.store != nullptr &&
+        ++since_checkpoint_ >= checkpoint_.every) {
+      checkpoint_.store->Put(key_, state::ToBlob(sketch_));
+      since_checkpoint_ = 0;
+    }
+  }
+
+  void Finish(OutputCollector* collector) override {
+    if (checkpoint_.store != nullptr) {
+      checkpoint_.store->Put(key_, state::ToBlob(sketch_));
+    }
+    const std::vector<uint8_t> blob = state::ToBlob(sketch_);
+    collector->Emit(Tuple::Of(std::string(blob.begin(), blob.end())));
+  }
+
+  const T& sketch() const { return sketch_; }
+
+ private:
+  T sketch_;
+  UpdateFn update_;
+  SketchCheckpoint checkpoint_;
+  std::string key_;
+  uint64_t since_checkpoint_ = 0;
+};
+
+/// Merge side of the sharded pattern: consumes the blob tuples emitted by
+/// upstream SketchBolt tasks (subscribe with a global grouping so every
+/// shard lands on one task), folds each into its sketch via the envelope,
+/// and on end-of-stream either invokes `on_result` or re-emits the merged
+/// blob for further combining (multi-level merge trees).
+template <state::MergeableSketch T>
+class SketchCombinerBolt : public Bolt {
+ public:
+  using ResultFn = std::function<void(const T&, OutputCollector*)>;
+
+  explicit SketchCombinerBolt(T initial, ResultFn on_result = nullptr)
+      : merged_(std::move(initial)), on_result_(std::move(on_result)) {}
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    (void)collector;
+    const std::string& bytes = input.Str(0);
+    const std::vector<uint8_t> blob(bytes.begin(), bytes.end());
+    const Status status = state::MergeBlob(merged_, blob);
+    STREAMLIB_CHECK_MSG(status.ok(), "shard blob merge failed: %s",
+                        status.ToString().c_str());
+    shards_merged_++;
+  }
+
+  void Finish(OutputCollector* collector) override {
+    if (on_result_) {
+      on_result_(merged_, collector);
+      return;
+    }
+    const std::vector<uint8_t> blob = state::ToBlob(merged_);
+    collector->Emit(Tuple::Of(std::string(blob.begin(), blob.end())));
+  }
+
+  const T& merged() const { return merged_; }
+  uint64_t shards_merged() const { return shards_merged_; }
+
+ private:
+  T merged_;
+  ResultFn on_result_;
+  uint64_t shards_merged_ = 0;
+};
 
 /// Tumbling aggregation operator — the paper's "time windows, aggregation"
 /// streaming operators. Tuples are (key: string, value: double); every

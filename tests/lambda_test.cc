@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "lambda/batch_layer.h"
 #include "lambda/lambda_pipeline.h"
@@ -171,6 +174,67 @@ TEST(LambdaPipelineTest, StalenessBoundedByInterval) {
     pipeline.Ingest(i, NumberedKey("k", i % 7), 1.0);
     EXPECT_LT(pipeline.SpeedSuffixLength(), 250u);
   }
+}
+
+TEST(LambdaPipelineTest, SaveAndLoadViewsRoundTripsQueries) {
+  LambdaConfig config;
+  config.batch_interval_records = 1000000;
+  LambdaPipeline pipeline(config);
+  for (int i = 0; i < 3000; i++) {
+    pipeline.Ingest(i, NumberedKey("batch-key-", i % 40), 1.0 + i % 3);
+  }
+  pipeline.RunBatchNow();
+  for (int i = 0; i < 2000; i++) {
+    pipeline.Ingest(i, NumberedKey("speed-key-", i % 25), 2.0);
+  }
+
+  const std::string path = ::testing::TempDir() + "lambda_views.bin";
+  ASSERT_TRUE(pipeline.SaveViews(path).ok());
+
+  // A fresh pipeline restored from the image must answer every merged
+  // query identically — both views travelled as SketchBlobs.
+  LambdaPipeline restored(config);
+  ASSERT_TRUE(restored.LoadViews(path).ok());
+  EXPECT_DOUBLE_EQ(restored.QueryTotal("batch-key-7"),
+                   pipeline.QueryTotal("batch-key-7"));
+  EXPECT_DOUBLE_EQ(restored.QueryTotal("speed-key-3"),
+                   pipeline.QueryTotal("speed-key-3"));
+  EXPECT_DOUBLE_EQ(restored.QueryDistinctKeys(),
+                   pipeline.QueryDistinctKeys());
+  const auto top_a = restored.QueryTopK(10);
+  const auto top_b = pipeline.QueryTopK(10);
+  ASSERT_EQ(top_a.size(), top_b.size());
+  for (size_t i = 0; i < top_a.size(); i++) {
+    EXPECT_EQ(top_a[i].first, top_b[i].first);
+    EXPECT_DOUBLE_EQ(top_a[i].second, top_b[i].second);
+  }
+}
+
+TEST(LambdaPipelineTest, LoadViewsRejectsCorruptImageAtomically) {
+  LambdaConfig config;
+  LambdaPipeline pipeline(config);
+  for (int i = 0; i < 500; i++) {
+    pipeline.Ingest(i, NumberedKey("k", i % 10), 1.0);
+  }
+  const std::string path = ::testing::TempDir() + "lambda_views_corrupt.bin";
+  ASSERT_TRUE(pipeline.SaveViews(path).ok());
+
+  // Truncate the image: the load must fail and leave the target untouched.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  LambdaPipeline restored(config);
+  for (int i = 0; i < 100; i++) {
+    restored.Ingest(i, NumberedKey("live", i), 1.0);
+  }
+  const double before = restored.QueryTotal("live0");
+  EXPECT_FALSE(restored.LoadViews(path).ok());
+  EXPECT_DOUBLE_EQ(restored.QueryTotal("live0"), before);
 }
 
 }  // namespace
