@@ -1,0 +1,144 @@
+// Seed scalar baselines for E-kernel-simd. See bench_seed_baseline.h.
+//
+// Fidelity contract: this TU replays the *seed commit's* update path, not
+// an idealized tight loop — same arithmetic (hash mix, per-row re-mix +
+// 64-bit modulo, rho), same call structure (AddHash and ColumnOf were
+// out-of-line in the seed's .cc, so every key paid a real call and every
+// probe another), same per-add sparse/conservative branches. Everything is
+// `static`/noinline local copies rather than calls into common/ inline
+// helpers: those helpers are comdat-folded across the binary, and this TU
+// must keep its own no-ISA-extension codegen (see CMakeLists: compiled
+// with -mno-avx2 -mno-bmi -mno-bmi2 -mno-lzcnt) to stay a faithful
+// baseline.
+
+#include "bench_seed_baseline.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <vector>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SEED_NOINLINE __attribute__((noinline))
+#else
+#define SEED_NOINLINE
+#endif
+
+namespace streamlib::bench {
+namespace {
+
+// Murmur3 fmix64, exactly as common/hash.h Mix64.
+static uint64_t SeedMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+static uint64_t SeedHashInt64(uint64_t x, uint64_t seed) {
+  return SeedMix64(x + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+// bitutil.h RankOfLeadingOne, seed vintage (identical source then and now;
+// the difference under test is codegen: without -mlzcnt the zero check is
+// a real branch and countl_zero lowers to bsr).
+static int SeedRank(uint64_t x, int bits) {
+  if (x == 0) return bits + 1;
+  return std::countl_zero(x) - (64 - bits) + 1;
+}
+
+// Seed CountMinSketch, structurally: AddHash and ColumnOf both lived in
+// count_min_sketch.cc, so within that TU the compiler was free to inline
+// ColumnOf into AddHash — but callers of Add(key) sat in *other* TUs (no
+// LTO), so each key paid one real AddHash call. noinline on AddHash alone
+// reproduces exactly that boundary.
+class SeedCountMin {
+ public:
+  SeedCountMin(uint32_t width, uint32_t depth)
+      : width_(width), depth_(depth),
+        table_(static_cast<size_t>(width) * depth, 0) {}
+
+  void Add(uint64_t key) { AddHash(SeedHashInt64(key, kHashSeed), 1); }
+  uint64_t cell0() const { return table_[0]; }
+
+ private:
+  uint64_t ColumnOf(uint64_t hash, uint32_t row) const {
+    // The seed's indexing: full re-mix per row, then a 64-bit modulo —
+    // no power-of-two mask, no double hashing.
+    return SeedHashInt64(hash, row + 1) % width_;
+  }
+  SEED_NOINLINE void AddHash(uint64_t hash, uint64_t count) {
+    total_count_ += count;
+    for (uint32_t row = 0; row < depth_; row++) {
+      table_[static_cast<size_t>(row) * width_ + ColumnOf(hash, row)] +=
+          count;
+    }
+  }
+
+  static constexpr uint64_t kHashSeed = 0x0b4c61d34d2f5ee9ULL;
+  uint32_t width_;
+  uint32_t depth_;
+  uint64_t total_count_ = 0;
+  std::vector<uint64_t> table_;
+};
+
+// Seed HyperLogLog, structurally: Add(key) inlined the hash, then called
+// the out-of-line AddHash whose first duty was the sparse-mode branch.
+class SeedHyperLogLog {
+ public:
+  explicit SeedHyperLogLog(int precision) : precision_(precision) {
+    registers_.assign(size_t{1} << precision_, 0);
+  }
+
+  void Add(uint64_t key) { AddHash(SeedHashInt64(key, kHashSeed)); }
+  uint8_t reg0() const { return registers_[0]; }
+
+ private:
+  SEED_NOINLINE void AddHash(uint64_t hash) {
+    if (sparse_) return;  // Bench runs dense, as the seed did post-densify.
+    const int value_bits = 64 - precision_;
+    const uint32_t index = static_cast<uint32_t>(hash >> value_bits);
+    const uint64_t value = hash & ((uint64_t{1} << value_bits) - 1);
+    const uint8_t rank = static_cast<uint8_t>(SeedRank(value, value_bits));
+    if (rank > registers_[index]) registers_[index] = rank;
+  }
+
+  static constexpr uint64_t kHashSeed = 0x5bd1e9955bd1e995ULL;
+  int precision_;
+  bool sparse_ = false;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace
+
+double SeedCountMinUpdatesPerSec(const std::vector<uint64_t>& keys,
+                                 uint32_t width, uint32_t depth, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; r++) {
+    SeedCountMin sketch(width, depth);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t key : keys) sketch.Add(key);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (sketch.cell0() == ~0ull) return -1;  // Keep the table observable.
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return static_cast<double>(keys.size()) / best;
+}
+
+double SeedHyperLogLogUpdatesPerSec(const std::vector<uint64_t>& keys,
+                                    int precision, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; r++) {
+    SeedHyperLogLog sketch(precision);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t key : keys) sketch.Add(key);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (sketch.reg0() == 0xff) return -1;  // Keep the registers observable.
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return static_cast<double>(keys.size()) / best;
+}
+
+}  // namespace streamlib::bench

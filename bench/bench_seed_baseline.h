@@ -1,0 +1,23 @@
+#ifndef STREAMLIB_BENCH_BENCH_SEED_BASELINE_H_
+#define STREAMLIB_BENCH_BENCH_SEED_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlib::bench {
+
+/// Frozen replicas of the *seed* scalar update loops, for the E-kernel-simd
+/// speedup denominator. These live in their own translation unit compiled
+/// WITHOUT the SIMD flag set (-mno-avx2 -mno-bmi -mno-bmi2 -mno-lzcnt, see
+/// bench/CMakeLists.txt) so the baseline reflects what the repo actually
+/// shipped before the batched kernels: per-row re-mix + 64-bit modulo
+/// indexing for Count-Min, branchy bsr-codegen rank for HyperLogLog.
+/// Both return best-of-`reps` updates/sec over `keys`.
+double SeedCountMinUpdatesPerSec(const std::vector<uint64_t>& keys,
+                                 uint32_t width, uint32_t depth, int reps);
+double SeedHyperLogLogUpdatesPerSec(const std::vector<uint64_t>& keys,
+                                    int precision, int reps);
+
+}  // namespace streamlib::bench
+
+#endif  // STREAMLIB_BENCH_BENCH_SEED_BASELINE_H_

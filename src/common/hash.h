@@ -7,6 +7,8 @@
 #include <string_view>
 #include <type_traits>
 
+#include "common/simd.h"
+
 namespace streamlib {
 
 /// \file hash.h
@@ -74,6 +76,62 @@ inline uint64_t HashValue(const T& value, uint64_t seed = 0) {
 /// cites Kirsch & Mitzenmacher ("Less hashing, same performance").
 inline uint64_t DoubleHash(uint64_t h1, uint64_t h2, uint32_t i) {
   return h1 + static_cast<uint64_t>(i) * h2;
+}
+
+/// The KM step hash h2 for a base digest: an independent re-mix of the
+/// digest, forced odd so g_i = h1 + i*h2 walks the full power-of-two index
+/// space without short cycles. Count-min / count-sketch derive all row
+/// indices from (h1, h2) instead of re-hashing per row.
+inline uint64_t KmStepHash(uint64_t hash, uint64_t salt) {
+  return Mix64(hash ^ salt) | 1;
+}
+
+/// Batched seeded integer hash: out[i] = HashInt64(keys[i], seed) for all i,
+/// bit-identical to the scalar loop in either backend. The AVX2 path runs
+/// four Mix64 lanes per iteration; the portable path is the same loop
+/// unrolled, so estimate-identical semantics hold by construction.
+inline void HashBatch64(const uint64_t* keys, size_t n, uint64_t seed,
+                        uint64_t* out) {
+  const uint64_t offset = 0x9e3779b97f4a7c15ULL * (seed + 1);
+  size_t i = 0;
+#if STREAMLIB_SIMD_AVX2
+  const simd::U64x4 voffset = simd::Set1(offset);
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    simd::U64x4 v = simd::Add64(simd::Load4(keys + i), voffset);
+    simd::Store4(out + i, simd::Mix64x4(v));
+  }
+#else
+  for (; i + 4 <= n; i += 4) {
+    out[i] = Mix64(keys[i] + offset);
+    out[i + 1] = Mix64(keys[i + 1] + offset);
+    out[i + 2] = Mix64(keys[i + 2] + offset);
+    out[i + 3] = Mix64(keys[i + 3] + offset);
+  }
+#endif
+  for (; i < n; i++) out[i] = Mix64(keys[i] + offset);
+}
+
+/// Batched KmStepHash: out[i] = Mix64(hashes[i] ^ salt) | 1, bit-identical
+/// across backends (same contract as HashBatch64).
+inline void KmStepHashBatch(const uint64_t* hashes, size_t n, uint64_t salt,
+                            uint64_t* out) {
+  size_t i = 0;
+#if STREAMLIB_SIMD_AVX2
+  const simd::U64x4 vsalt = simd::Set1(salt);
+  const simd::U64x4 vone = simd::Set1(1);
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    simd::U64x4 v = simd::Xor(simd::Load4(hashes + i), vsalt);
+    simd::Store4(out + i, simd::Or(simd::Mix64x4(v), vone));
+  }
+#else
+  for (; i + 4 <= n; i += 4) {
+    out[i] = Mix64(hashes[i] ^ salt) | 1;
+    out[i + 1] = Mix64(hashes[i + 1] ^ salt) | 1;
+    out[i + 2] = Mix64(hashes[i + 2] ^ salt) | 1;
+    out[i + 3] = Mix64(hashes[i + 3] ^ salt) | 1;
+  }
+#endif
+  for (; i < n; i++) out[i] = Mix64(hashes[i] ^ salt) | 1;
 }
 
 }  // namespace streamlib

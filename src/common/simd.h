@@ -1,0 +1,161 @@
+#ifndef STREAMLIB_COMMON_SIMD_H_
+#define STREAMLIB_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file simd.h
+/// Portable SIMD wrapper for the batched sketch kernels.
+///
+/// Backend selection is purely compile-time:
+///   * `STREAMLIB_SIMD_ENABLED` — defined by CMake when the STREAMLIB_SIMD
+///     option is ON and the build host both compiles and *runs* AVX2
+///     (check_cxx_source_runs), so a binary never executes illegal
+///     instructions on its own build machine.
+///   * `STREAMLIB_FORCE_SCALAR` — overrides everything; the
+///     simd_fallback_test / streamlib_kernels_scalar targets define it so
+///     the scalar path keeps compiling and passing tests even on AVX2
+///     hosts (the fallback cannot rot).
+///
+/// Every operation here is exact integer arithmetic, so the AVX2 and
+/// scalar paths are bit-identical by construction — the property the
+/// `simd`-labeled test suite asserts kernel by kernel.
+
+#if defined(STREAMLIB_SIMD_ENABLED) && defined(__AVX2__) && \
+    !defined(STREAMLIB_FORCE_SCALAR)
+#define STREAMLIB_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace streamlib::simd {
+
+/// Lane count of the batched kernels. Fixed at 4 (one AVX2 register of
+/// u64) in both backends so batch-size edge cases behave identically.
+inline constexpr size_t kLanes = 4;
+
+/// Name of the compiled backend, for bench JSON and logs.
+inline constexpr const char* BackendName() {
+#if STREAMLIB_SIMD_AVX2
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+inline constexpr bool Enabled() {
+#if STREAMLIB_SIMD_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Read-prefetch into all cache levels. A hint only — correctness never
+/// depends on it (and it compiles to nothing where unsupported).
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+#if STREAMLIB_SIMD_AVX2
+
+/// Four u64 lanes. Thin typedef — helpers below are the whole contract the
+/// kernels use, so the scalar build simply never mentions the type.
+using U64x4 = __m256i;
+
+inline U64x4 Load4(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline void Store4(uint64_t* p, U64x4 v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+inline U64x4 Set1(uint64_t x) {
+  return _mm256_set1_epi64x(static_cast<long long>(x));
+}
+inline U64x4 Add64(U64x4 a, U64x4 b) { return _mm256_add_epi64(a, b); }
+inline U64x4 Xor(U64x4 a, U64x4 b) { return _mm256_xor_si256(a, b); }
+inline U64x4 And(U64x4 a, U64x4 b) { return _mm256_and_si256(a, b); }
+inline U64x4 Or(U64x4 a, U64x4 b) { return _mm256_or_si256(a, b); }
+template <int kShift>
+inline U64x4 ShiftRight(U64x4 v) {
+  return _mm256_srli_epi64(v, kShift);
+}
+template <int kShift>
+inline U64x4 ShiftLeft(U64x4 v) {
+  return _mm256_slli_epi64(v, kShift);
+}
+
+/// Lane-wise 64x64 -> low-64 multiply. AVX2 has no 64-bit mullo
+/// (_mm256_mullo_epi64 is AVX-512DQ), so build it from 32-bit partial
+/// products: ab mod 2^64 = al*bl + ((al*bh + ah*bl) << 32).
+inline U64x4 Mul64(U64x4 a, U64x4 b) {
+  const U64x4 ah = _mm256_srli_epi64(a, 32);
+  const U64x4 bh = _mm256_srli_epi64(b, 32);
+  const U64x4 al_bl = _mm256_mul_epu32(a, b);
+  const U64x4 al_bh = _mm256_mul_epu32(a, bh);
+  const U64x4 ah_bl = _mm256_mul_epu32(ah, b);
+  const U64x4 cross = _mm256_add_epi64(al_bh, ah_bl);
+  return _mm256_add_epi64(al_bl, _mm256_slli_epi64(cross, 32));
+}
+
+/// Four-lane Murmur3 fmix64 / Mix64 finalizer — bit-identical to
+/// streamlib::Mix64 per lane.
+inline U64x4 Mix64x4(U64x4 x) {
+  x = Xor(x, ShiftRight<33>(x));
+  x = Mul64(x, Set1(0xff51afd7ed558ccdULL));
+  x = Xor(x, ShiftRight<33>(x));
+  x = Mul64(x, Set1(0xc4ceb9fe1a85ec53ULL));
+  x = Xor(x, ShiftRight<33>(x));
+  return x;
+}
+
+/// Lane-wise shifts by a runtime count (vpsrlq/vpsllq with an xmm count).
+inline U64x4 ShiftRightVar(U64x4 v, int count) {
+  return _mm256_srl_epi64(v, _mm_cvtsi32_si128(count));
+}
+inline U64x4 ShiftLeftVar(U64x4 v, int count) {
+  return _mm256_sll_epi64(v, _mm_cvtsi32_si128(count));
+}
+
+inline U64x4 Sub64(U64x4 a, U64x4 b) { return _mm256_sub_epi64(a, b); }
+
+/// Lane-wise all-ones mask where a == b, else all-zeros.
+inline U64x4 CmpEq64(U64x4 a, U64x4 b) { return _mm256_cmpeq_epi64(a, b); }
+
+/// Lane-wise all-ones mask where a > b (signed compare — fine for small
+/// non-negative lane values like HLL ranks), else all-zeros.
+inline U64x4 CmpGt64(U64x4 a, U64x4 b) { return _mm256_cmpgt_epi64(a, b); }
+
+/// One bit per u64 lane (bit i = lane i's sign bit — set for all-ones
+/// compare masks), packed into the low 4 bits.
+inline int MoveMask64(U64x4 v) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(v));
+}
+
+/// Lane-wise select: mask lanes (all-ones) take `when_set`, others `v`.
+inline U64x4 Select(U64x4 v, U64x4 when_set, U64x4 mask) {
+  return _mm256_blendv_epi8(v, when_set, mask);
+}
+
+/// Lane-wise floor(log2(x)) for 1 <= x < 2^52, exact via the u64->double
+/// conversion trick: OR-ing the bits of 2^52 makes the lane read, as a
+/// double, exactly 2^52 + x; subtracting 2^52 then yields x converted
+/// exactly (x fits the 52-bit mantissa), so the exponent field is
+/// 1023 + floor(log2 x). Lanes with x == 0 return garbage — callers must
+/// mask them (see the HLL rank kernel).
+inline U64x4 FloorLog2Below52(U64x4 x) {
+  const __m256d magic = _mm256_set1_pd(0x1.0p52);
+  const U64x4 magic_bits = _mm256_castpd_si256(magic);
+  const __m256d d =
+      _mm256_sub_pd(_mm256_castsi256_pd(Or(x, magic_bits)), magic);
+  return Sub64(ShiftRight<52>(_mm256_castpd_si256(d)), Set1(1023));
+}
+
+#endif  // STREAMLIB_SIMD_AVX2
+
+}  // namespace streamlib::simd
+
+#endif  // STREAMLIB_COMMON_SIMD_H_

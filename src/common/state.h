@@ -3,6 +3,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -72,6 +73,16 @@ concept MergeableSketch = requires(T t, const T& other, ByteWriter& w,
   { t.Merge(other) } -> std::same_as<Status>;
   { std::as_const(t).SerializeTo(w) } -> std::same_as<void>;
   { T::Deserialize(r) } -> std::same_as<Result<T>>;
+};
+
+/// A sketch whose hot path accepts whole batches of pre-hashed digests —
+/// the contract the batched bolt path (SketchBolt's ExecuteBatch) and the
+/// kernel benches key on. `kHashSeed` is required so feeders can produce
+/// digests identical to the sketch's own scalar Add path.
+template <typename T>
+concept BatchUpdatable = requires(T t, std::span<const uint64_t> hashes) {
+  { t.AddHashBatch(hashes) } -> std::same_as<void>;
+  { T::kHashSeed } -> std::convertible_to<uint64_t>;
 };
 
 /// Key encoding for key-templated sketches (SpaceSaving<K>, MisraGries<K>).

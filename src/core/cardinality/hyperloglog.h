@@ -2,6 +2,7 @@
 #define STREAMLIB_CORE_CARDINALITY_HYPERLOGLOG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
@@ -29,6 +30,9 @@ class HyperLogLog {
   static constexpr state::TypeId kTypeId = state::TypeId::kHyperLogLog;
   static constexpr uint16_t kStateVersion = 1;
 
+  /// Digest seed — public so batched feeders can pre-hash keys once.
+  static constexpr uint64_t kHashSeed = 0x5bd1e9955bd1e995ULL;
+
   /// \param precision  p in [4, 18]; 2^p registers, stderr ~1.04/sqrt(2^p).
   /// \param sparse     start in sparse mode (HLL++-style) when true.
   explicit HyperLogLog(int precision, bool sparse = true);
@@ -39,6 +43,33 @@ class HyperLogLog {
   }
 
   void AddHash(uint64_t hash);
+
+  /// Batched AddHash. While sparse it replays the scalar sequence exactly
+  /// (including a mid-batch densify); once dense it streams register maxes
+  /// with prefetch. Register max commutes, so the final state is
+  /// bit-identical to calling AddHash per digest in order.
+  void AddHashBatch(std::span<const uint64_t> hashes);
+
+  /// Batched Add over raw keys. 64-bit integral keys take a fused
+  /// hash+probe kernel (no digest buffer round-trip); other key types hash
+  /// per chunk into AddHashBatch. Bit-identical to N scalar Add calls.
+  template <typename T>
+  void AddBatch(std::span<const T> keys) {
+    if constexpr (std::is_integral_v<T> && sizeof(T) == sizeof(uint64_t)) {
+      AddBatch64(reinterpret_cast<const uint64_t*>(keys.data()), keys.size());
+      return;
+    }
+    uint64_t digests[kBatchChunk];
+    for (size_t done = 0; done < keys.size();) {
+      const size_t n = keys.size() - done < kBatchChunk ? keys.size() - done
+                                                        : kBatchChunk;
+      for (size_t i = 0; i < n; i++) {
+        digests[i] = HashValue(keys[done + i], kHashSeed);
+      }
+      AddHashBatch(std::span<const uint64_t>(digests, n));
+      done += n;
+    }
+  }
 
   /// Estimated distinct count.
   double Estimate() const;
@@ -66,11 +97,12 @@ class HyperLogLog {
   static Result<HyperLogLog> Deserialize(const std::vector<uint8_t>& bytes);
 
  private:
-  static constexpr uint64_t kHashSeed = 0x5bd1e9955bd1e995ULL;
+  static constexpr size_t kBatchChunk = 64;
   // Sparse set upgrades to dense when it would exceed dense memory * 0.75.
   size_t SparseLimit() const { return (size_t{1} << precision_) * 3 / 4 / 8; }
 
   void AddHashDense(uint64_t hash);
+  void AddBatch64(const uint64_t* keys, size_t n);
   void Densify();
   double EstimateDense() const;
   static double Alpha(uint32_t m);

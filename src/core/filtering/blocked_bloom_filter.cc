@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace streamlib {
 
@@ -36,6 +37,29 @@ void BlockedBloomFilter::AddHash(uint64_t hash) {
     const uint32_t bit = static_cast<uint32_t>(h) % kBlockBits;
     base[bit >> 6] |= uint64_t{1} << (bit & 63);
     h = Mix64(h + 0x9e3779b97f4a7c15ULL);
+  }
+}
+
+void BlockedBloomFilter::AddHashBatch(std::span<const uint64_t> hashes) {
+  constexpr size_t kAhead = 4;
+  for (size_t i = 0; i < hashes.size(); i++) {
+    if (i + kAhead < hashes.size()) {
+      const uint64_t block = (hashes[i + kAhead] >> 32) % num_blocks_;
+      simd::PrefetchRead(&words_[block * kWordsPerBlock]);
+    }
+    AddHash(hashes[i]);
+  }
+}
+
+void BlockedBloomFilter::ContainsHashBatch(std::span<const uint64_t> hashes,
+                                           uint8_t* results) const {
+  constexpr size_t kAhead = 4;
+  for (size_t i = 0; i < hashes.size(); i++) {
+    if (i + kAhead < hashes.size()) {
+      const uint64_t block = (hashes[i + kAhead] >> 32) % num_blocks_;
+      simd::PrefetchRead(&words_[block * kWordsPerBlock]);
+    }
+    results[i] = ContainsHash(hashes[i]) ? 1 : 0;
   }
 }
 

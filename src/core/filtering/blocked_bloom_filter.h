@@ -2,6 +2,7 @@
 #define STREAMLIB_CORE_FILTERING_BLOCKED_BLOOM_FILTER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
@@ -38,12 +39,43 @@ class BlockedBloomFilter {
   void AddHash(uint64_t hash);
   bool ContainsHash(uint64_t hash) const;
 
+  /// Batched inserts/probes with each lead key's whole block prefetched —
+  /// the blocked layout's one-line-per-key property makes a single
+  /// prefetch cover every probe of that key. Bit-identical to scalar order.
+  void AddHashBatch(std::span<const uint64_t> hashes);
+  void ContainsHashBatch(std::span<const uint64_t> hashes,
+                         uint8_t* results) const;
+
+  /// Batched insert over raw keys: vectorized hashing (64-bit integral
+  /// keys) feeding AddHashBatch. Bit-identical to N scalar Add calls.
+  template <typename T>
+  void AddBatch(std::span<const T> keys) {
+    uint64_t digests[kBatchChunk];
+    for (size_t done = 0; done < keys.size();) {
+      const size_t n = keys.size() - done < kBatchChunk ? keys.size() - done
+                                                        : kBatchChunk;
+      if constexpr (std::is_integral_v<T> && sizeof(T) == sizeof(uint64_t)) {
+        HashBatch64(reinterpret_cast<const uint64_t*>(keys.data() + done), n,
+                    kHashSeed, digests);
+      } else {
+        for (size_t i = 0; i < n; i++) {
+          digests[i] = HashValue(keys[done + i], kHashSeed);
+        }
+      }
+      AddHashBatch(std::span<const uint64_t>(digests, n));
+      done += n;
+    }
+  }
+
   uint64_t num_bits() const { return num_blocks_ * kBlockBits; }
   uint32_t num_hashes() const { return num_hashes_; }
   size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
 
- private:
+  /// Digest seed — public so batched feeders can pre-hash keys once.
   static constexpr uint64_t kHashSeed = 0x2545f4914f6cdd1dULL;
+
+ private:
+  static constexpr size_t kBatchChunk = 64;
   static constexpr uint64_t kBlockBits = 512;
   static constexpr uint64_t kWordsPerBlock = kBlockBits / 64;
 

@@ -4,16 +4,21 @@
 #include <cmath>
 #include <limits>
 
+#include "common/bitutil.h"
 #include "common/check.h"
 #include "common/serde.h"
+#include "common/simd.h"
 
 namespace streamlib {
 
 CountMinSketch::CountMinSketch(uint32_t width, uint32_t depth,
                                bool conservative)
-    : width_(width), depth_(depth), conservative_(conservative) {
+    : width_(0), mask_(0), depth_(depth), conservative_(conservative) {
   STREAMLIB_CHECK_MSG(width >= 1, "width must be >= 1");
   STREAMLIB_CHECK_MSG(depth >= 1 && depth <= 64, "depth must be in [1, 64]");
+  STREAMLIB_CHECK_MSG(width <= (1u << 31), "width must be <= 2^31");
+  width_ = static_cast<uint32_t>(NextPowerOfTwo(width));
+  mask_ = width_ - 1;
   table_.assign(static_cast<size_t>(width_) * depth_, 0);
 }
 
@@ -27,16 +32,12 @@ CountMinSketch CountMinSketch::WithErrorBound(double eps, double delta,
   return CountMinSketch(width, std::max<uint32_t>(1, depth), conservative);
 }
 
-uint64_t CountMinSketch::ColumnOf(uint64_t hash, uint32_t row) const {
-  // Independent row hashes via seeded remixing of the base digest.
-  return HashInt64(hash, row + 1) % width_;
-}
-
 void CountMinSketch::AddHash(uint64_t hash, uint64_t count) {
   total_count_ += count;
+  const uint64_t h2 = KmStepHash(hash, kKmSalt);
   if (!conservative_) {
     for (uint32_t row = 0; row < depth_; row++) {
-      Cell(row, ColumnOf(hash, row)) += count;
+      Cell(row, ColumnOf(hash, h2, row)) += count;
     }
     return;
   }
@@ -45,17 +46,78 @@ void CountMinSketch::AddHash(uint64_t hash, uint64_t count) {
   uint64_t current = EstimateHash(hash);
   const uint64_t target = current + count;
   for (uint32_t row = 0; row < depth_; row++) {
-    uint64_t& cell = Cell(row, ColumnOf(hash, row));
+    uint64_t& cell = Cell(row, ColumnOf(hash, h2, row));
     cell = std::max(cell, target);
   }
 }
 
 uint64_t CountMinSketch::EstimateHash(uint64_t hash) const {
+  const uint64_t h2 = KmStepHash(hash, kKmSalt);
   uint64_t estimate = std::numeric_limits<uint64_t>::max();
   for (uint32_t row = 0; row < depth_; row++) {
-    estimate = std::min(estimate, Cell(row, ColumnOf(hash, row)));
+    estimate = std::min(estimate, Cell(row, ColumnOf(hash, h2, row)));
   }
   return estimate;
+}
+
+void CountMinSketch::AddHashBatch(std::span<const uint64_t> hashes,
+                                  uint64_t count) {
+  uint64_t h2s[kBatchChunk];
+  for (size_t done = 0; done < hashes.size(); done += kBatchChunk) {
+    const size_t n = std::min(kBatchChunk, hashes.size() - done);
+    const uint64_t* h1s = hashes.data() + done;
+    // One vectorized h2 derivation feeds every row of the chunk.
+    KmStepHashBatch(h1s, n, kKmSalt, h2s);
+    if (conservative_) {
+      // Conservative updates are order-dependent (an in-batch duplicate
+      // must see the estimate raised by its predecessor), so only the
+      // hashing is batched; the raise pass stays sequential and therefore
+      // bit-identical to the scalar loop.
+      for (size_t i = 0; i < n; i++) {
+        uint64_t estimate = std::numeric_limits<uint64_t>::max();
+        for (uint32_t row = 0; row < depth_; row++) {
+          estimate = std::min(estimate, Cell(row, ColumnOf(h1s[i], h2s[i], row)));
+        }
+        const uint64_t target = estimate + count;
+        for (uint32_t row = 0; row < depth_; row++) {
+          uint64_t& cell = Cell(row, ColumnOf(h1s[i], h2s[i], row));
+          cell = std::max(cell, target);
+        }
+      }
+      total_count_ += count * n;
+      continue;
+    }
+    // Row-major sweep: all chunk increments for row r land in one width_
+    // region before moving on. Addition commutes, so reordering per-key
+    // work across rows leaves the final counters bit-identical to the
+    // scalar order. Prefetch only pays when a row overflows L2 — on a
+    // cache-resident row the extra address computation just steals issue
+    // slots from the increments.
+    const bool stream_row =
+        static_cast<size_t>(width_) * sizeof(uint64_t) > (size_t{256} << 10);
+    for (uint32_t row = 0; row < depth_; row++) {
+      uint64_t* base = table_.data() + static_cast<size_t>(row) * width_;
+      if (stream_row) {
+        constexpr size_t kAhead = 8;
+        const size_t lead = std::min(kAhead, n);
+        for (size_t i = 0; i < lead; i++) {
+          simd::PrefetchRead(base + ColumnOf(h1s[i], h2s[i], row));
+        }
+        for (size_t i = 0; i < n; i++) {
+          if (i + kAhead < n) {
+            simd::PrefetchRead(
+                base + ColumnOf(h1s[i + kAhead], h2s[i + kAhead], row));
+          }
+          base[ColumnOf(h1s[i], h2s[i], row)] += count;
+        }
+      } else {
+        for (size_t i = 0; i < n; i++) {
+          base[ColumnOf(h1s[i], h2s[i], row)] += count;
+        }
+      }
+    }
+    total_count_ += count * n;
+  }
 }
 
 Status CountMinSketch::Merge(const CountMinSketch& other) {
@@ -102,6 +164,10 @@ Result<CountMinSketch> CountMinSketch::Deserialize(ByteReader& r) {
   STREAMLIB_RETURN_NOT_OK(r.GetU64(&total));
   if (width < 1 || depth < 1 || depth > 64) {
     return Status::Corruption("CMS: geometry out of range");
+  }
+  // v2 only ever writes power-of-two widths; anything else is corruption.
+  if (!IsPowerOfTwo(width)) {
+    return Status::Corruption("CMS: width not a power of two");
   }
   // Each cell is at least one varint byte: a corrupted geometry claiming
   // more cells than the payload could hold must be rejected *before*

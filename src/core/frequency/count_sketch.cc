@@ -2,39 +2,74 @@
 
 #include <algorithm>
 
+#include "common/bitutil.h"
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace streamlib {
 
 CountSketch::CountSketch(uint32_t width, uint32_t depth)
-    : width_(width), depth_(depth) {
+    : width_(0), mask_(0), depth_(depth) {
   STREAMLIB_CHECK_MSG(width >= 1, "width must be >= 1");
   STREAMLIB_CHECK_MSG(depth >= 1 && depth <= 64, "depth must be in [1, 64]");
+  STREAMLIB_CHECK_MSG(width <= (1u << 31), "width must be <= 2^31");
+  width_ = static_cast<uint32_t>(NextPowerOfTwo(width));
+  mask_ = width_ - 1;
   table_.assign(static_cast<size_t>(width_) * depth_, 0);
 }
 
 void CountSketch::AddHash(uint64_t hash, int64_t count) {
+  const uint64_t h2 = KmStepHash(hash, kKmSalt);
   for (uint32_t row = 0; row < depth_; row++) {
-    const uint64_t h = HashInt64(hash, row + 1);
-    const uint64_t col = (h >> 1) % width_;
-    const int64_t sign = (h & 1) != 0 ? 1 : -1;
+    const uint64_t g = DoubleHash(hash, h2, row);
+    const uint64_t col = (g >> 1) & mask_;
+    const int64_t sign = (g & 1) != 0 ? 1 : -1;
     Cell(row, col) += sign * count;
   }
 }
 
 int64_t CountSketch::EstimateHash(uint64_t hash) const {
+  const uint64_t h2 = KmStepHash(hash, kKmSalt);
   std::vector<int64_t> row_estimates;
   row_estimates.reserve(depth_);
   for (uint32_t row = 0; row < depth_; row++) {
-    const uint64_t h = HashInt64(hash, row + 1);
-    const uint64_t col = (h >> 1) % width_;
-    const int64_t sign = (h & 1) != 0 ? 1 : -1;
+    const uint64_t g = DoubleHash(hash, h2, row);
+    const uint64_t col = (g >> 1) & mask_;
+    const int64_t sign = (g & 1) != 0 ? 1 : -1;
     row_estimates.push_back(sign * Cell(row, col));
   }
   std::nth_element(row_estimates.begin(),
                    row_estimates.begin() + row_estimates.size() / 2,
                    row_estimates.end());
   return row_estimates[row_estimates.size() / 2];
+}
+
+void CountSketch::AddHashBatch(std::span<const uint64_t> hashes,
+                               int64_t count) {
+  uint64_t h2s[kBatchChunk];
+  for (size_t done = 0; done < hashes.size(); done += kBatchChunk) {
+    const size_t n = std::min(kBatchChunk, hashes.size() - done);
+    const uint64_t* h1s = hashes.data() + done;
+    KmStepHashBatch(h1s, n, kKmSalt, h2s);
+    // Row-major sweep with prefetch; signed addition commutes, so the
+    // reordered increments leave counters bit-identical to scalar order.
+    for (uint32_t row = 0; row < depth_; row++) {
+      int64_t* base = table_.data() + static_cast<size_t>(row) * width_;
+      constexpr size_t kAhead = 8;
+      const size_t lead = std::min(kAhead, n);
+      for (size_t i = 0; i < lead; i++) {
+        simd::PrefetchRead(base + ((DoubleHash(h1s[i], h2s[i], row) >> 1) & mask_));
+      }
+      for (size_t i = 0; i < n; i++) {
+        if (i + kAhead < n) {
+          const uint64_t g = DoubleHash(h1s[i + kAhead], h2s[i + kAhead], row);
+          simd::PrefetchRead(base + ((g >> 1) & mask_));
+        }
+        const uint64_t g = DoubleHash(h1s[i], h2s[i], row);
+        base[(g >> 1) & mask_] += ((g & 1) != 0 ? count : -count);
+      }
+    }
+  }
 }
 
 double CountSketch::EstimateF2() const {
@@ -74,6 +109,10 @@ Result<CountSketch> CountSketch::Deserialize(ByteReader& r) {
   STREAMLIB_RETURN_NOT_OK(r.GetU32(&depth));
   if (width < 1 || depth < 1 || depth > 64) {
     return Status::Corruption("CountSketch: geometry out of range");
+  }
+  // v2 only ever writes power-of-two widths; anything else is corruption.
+  if (!IsPowerOfTwo(width)) {
+    return Status::Corruption("CountSketch: width not a power of two");
   }
   // One varint byte minimum per cell: reject impossible geometry before
   // allocating the table.

@@ -2,6 +2,7 @@
 #define STREAMLIB_CORE_FREQUENCY_COUNT_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
@@ -17,12 +18,21 @@ namespace streamlib {
 /// to sqrt(F2)/sqrt(width) — much tighter than Count-Min's eps*F1 on
 /// skewed streams where a few heavy items dominate F2. Also the basis of F2
 /// estimation (row L2 norms).
+///
+/// Width is rounded up to a power of two; row r's probe derives from one
+/// base digest via Kirsch–Mitzenmacher double hashing g = h1 + r*h2, with
+/// col = (g >> 1) & mask and sign = g & 1 (state version 2).
 class CountSketch {
  public:
   static constexpr state::TypeId kTypeId = state::TypeId::kCountSketch;
-  static constexpr uint16_t kStateVersion = 1;
+  /// v2: power-of-two width, Kirsch–Mitzenmacher row indexing — v1 blobs
+  /// map cells differently and are rejected by the envelope version check.
+  static constexpr uint16_t kStateVersion = 2;
 
-  /// \param width  counters per row.
+  /// Base-digest seed — public so batched feeders can pre-hash keys once.
+  static constexpr uint64_t kHashSeed = 0x9ddfea08eb382d69ULL;
+
+  /// \param width  counters per row, rounded up to a power of two.
   /// \param depth  rows; the median over rows needs depth >= 3 (odd).
   CountSketch(uint32_t width, uint32_t depth);
 
@@ -41,6 +51,31 @@ class CountSketch {
   void AddHash(uint64_t hash, int64_t count);
   int64_t EstimateHash(uint64_t hash) const;
 
+  /// Batched update over pre-hashed digests, each weighted `count`. Final
+  /// state is bit-identical to calling AddHash per digest in order.
+  void AddHashBatch(std::span<const uint64_t> hashes, int64_t count = 1);
+
+  /// Batched update over raw keys: vectorized hashing (integral keys) into
+  /// AddHashBatch. Bit-identical to N scalar Add calls.
+  template <typename T>
+  void AddBatch(std::span<const T> keys, int64_t count = 1) {
+    uint64_t digests[kBatchChunk];
+    for (size_t done = 0; done < keys.size();) {
+      const size_t n = keys.size() - done < kBatchChunk ? keys.size() - done
+                                                        : kBatchChunk;
+      if constexpr (std::is_integral_v<T> && sizeof(T) == sizeof(uint64_t)) {
+        HashBatch64(reinterpret_cast<const uint64_t*>(keys.data() + done), n,
+                    kHashSeed, digests);
+      } else {
+        for (size_t i = 0; i < n; i++) {
+          digests[i] = HashValue(keys[done + i], kHashSeed);
+        }
+      }
+      AddHashBatch(std::span<const uint64_t>(digests, n), count);
+      done += n;
+    }
+  }
+
   /// Median across rows of the row's sum of squared counters: an estimate of
   /// the second frequency moment F2 (see AmsSketch for the lineage).
   double EstimateF2() const;
@@ -57,7 +92,8 @@ class CountSketch {
   size_t MemoryBytes() const { return table_.size() * sizeof(int64_t); }
 
  private:
-  static constexpr uint64_t kHashSeed = 0x9ddfea08eb382d69ULL;
+  static constexpr size_t kBatchChunk = 64;
+  static constexpr uint64_t kKmSalt = 0x452821e638d01377ULL;
 
   int64_t& Cell(uint32_t row, uint64_t col) {
     return table_[static_cast<size_t>(row) * width_ + col];
@@ -67,6 +103,7 @@ class CountSketch {
   }
 
   uint32_t width_;
+  uint64_t mask_;  ///< width_ - 1 (width_ is a power of two)
   uint32_t depth_;
   std::vector<int64_t> table_;
 };

@@ -1,6 +1,9 @@
 #include "core/frequency/dyadic_count_min.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace streamlib {
 
@@ -25,6 +28,32 @@ void DyadicCountMin::Add(uint32_t value, uint64_t count) {
     // same numeric prefix at different levels doesn't collide.
     const uint64_t key = (static_cast<uint64_t>(l) << 32) | (value >> l);
     levels_[l].Add(key, count);
+  }
+}
+
+void DyadicCountMin::AddBatch(std::span<const uint32_t> values,
+                              uint64_t count) {
+  constexpr size_t kChunk = 64;
+  uint64_t keys[kChunk];
+  uint64_t digests[kChunk];
+  for (size_t done = 0; done < values.size(); done += kChunk) {
+    const size_t n = std::min(kChunk, values.size() - done);
+    const uint32_t* chunk = values.data() + done;
+    for (size_t i = 0; i < n; i++) {
+      STREAMLIB_CHECK_MSG(
+          universe_bits_ == 32 || chunk[i] < (uint32_t{1} << universe_bits_),
+          "value outside universe");
+    }
+    for (uint32_t l = 0; l <= universe_bits_; l++) {
+      // Same level-salted prefix keys as the scalar Add; one vectorized
+      // hash pass replaces n per-key HashValue calls.
+      for (size_t i = 0; i < n; i++) {
+        keys[i] = (static_cast<uint64_t>(l) << 32) | (chunk[i] >> l);
+      }
+      HashBatch64(keys, n, CountMinSketch::kHashSeed, digests);
+      levels_[l].AddHashBatch(std::span<const uint64_t>(digests, n), count);
+    }
+    total_ += count * n;
   }
 }
 

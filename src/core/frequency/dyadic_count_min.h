@@ -2,6 +2,7 @@
 #define STREAMLIB_CORE_FREQUENCY_DYADIC_COUNT_MIN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/frequency/count_min_sketch.h"
@@ -18,7 +19,9 @@ namespace streamlib {
 class DyadicCountMin {
  public:
   static constexpr state::TypeId kTypeId = state::TypeId::kDyadicCountMin;
-  static constexpr uint16_t kStateVersion = 1;
+  /// v2: embeds CountMinSketch v2 payloads (power-of-two width, KM row
+  /// indexing), whose cells a v1 reader would misinterpret.
+  static constexpr uint16_t kStateVersion = 2;
 
   /// \param universe_bits  values in [0, 2^universe_bits), <= 32.
   /// \param width/depth    per-level CM geometry.
@@ -26,6 +29,11 @@ class DyadicCountMin {
 
   /// Adds `count` occurrences of `value`.
   void Add(uint32_t value, uint64_t count = 1);
+
+  /// Batched Add: per level, builds the salted prefix keys for a chunk of
+  /// values, hashes them in vectorized lanes, and feeds the level's
+  /// CountMinSketch::AddHashBatch. Bit-identical to N scalar Add calls.
+  void AddBatch(std::span<const uint32_t> values, uint64_t count = 1);
 
   /// Point estimate (level-0 sketch).
   uint64_t EstimatePoint(uint32_t value) const;

@@ -620,6 +620,23 @@ void TopologyEngine::SpoutLoop(Task* task) {
 }
 
 void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
+  // Fused path: a batch-capable bolt takes the whole batch through one
+  // ExecuteBatch call. Traced batches keep per-tuple delivery so their
+  // span trees stay per-hop-accurate.
+  if (config_.enable_bolt_batch && batch.size() > 1 &&
+      task->bolt->BatchCapable()) {
+    bool any_traced = false;
+    for (const Message& message : batch) {
+      if (message.trace_id != 0) {
+        any_traced = true;
+        break;
+      }
+    }
+    if (!any_traced) {
+      ExecuteBatchFused(task, batch);
+      return;
+    }
+  }
   TaskCollector* collector = task->collector.get();
   const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
   FaultSite* faults = task->executor_faults.get();
@@ -685,6 +702,76 @@ void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
   // count releases, so pending_messages_ == 0 always means fully drained.
   collector->FlushAll();
   task->metrics->IncExecuted(executed);
+  const uint64_t prev =
+      pending_messages_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+  if (prev == batch.size() &&
+      spouts_done_.load(std::memory_order_acquire)) {
+    progress_cv_.notify_all();  // Wake the drain wait in Run().
+  }
+}
+
+/// The fused batch path: one dispatch, one fault draw per site, one
+/// ack-staging pass for the whole batch. Only reached for batch-capable
+/// bolts (pure accumulators that never emit from execution) on fully
+/// untraced batches.
+void TopologyEngine::ExecuteBatchFused(Task* task, std::span<Message> batch) {
+  TaskCollector* collector = task->collector.get();
+  const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
+  FaultSite* faults = task->executor_faults.get();
+  // One crash draw covers the batch and fires *before* execution: a crash
+  // kills the batch unexecuted and unacked (at-least-once replays it via
+  // the ack timeout), never torn mid-batch. The scalar path keeps covering
+  // the mid-batch torn-window case for per-tuple bolts.
+  const bool crash_now = faults != nullptr && faults->FireTaskCrash();
+  bool executed_ok = false;
+  if (!crash_now) {
+    thread_local std::vector<const Tuple*> inputs;
+    inputs.clear();
+    inputs.reserve(batch.size());
+    for (const Message& message : batch) inputs.push_back(&message.tuple);
+    const uint64_t emitted_before = collector->total_emitted();
+    collector->BeginExecute(0, 0, 0, 0);
+    bool ok = true;
+    try {
+      if (faults != nullptr && faults->FireBoltThrow()) {
+        throw InjectedBoltError("injected bolt failure");
+      }
+      task->bolt->ExecuteBatch(
+          std::span<const Tuple* const>(inputs.data(), inputs.size()),
+          collector);
+    } catch (...) {
+      // The whole batch fails as one unit: no acks are staged, so under
+      // at-least-once every root in it times out and replays.
+      ok = false;
+      task->metrics->IncBoltExceptions();
+    }
+    collector->EndExecute();
+    STREAMLIB_CHECK_MSG(collector->total_emitted() == emitted_before,
+                        "batch-capable bolt emitted during ExecuteBatch");
+    if (ok) {
+      executed_ok = true;
+      const uint64_t now = NowNanos();
+      for (const Message& message : batch) {
+        if (message.emit_time_nanos > 0) {
+          task->metrics->RecordLatencyNanos(now - message.emit_time_nanos);
+        }
+      }
+      if (track) {
+        // Nothing was emitted, so each input's ledger entry closes with
+        // its own edge id (xor_out == 0).
+        for (const Message& message : batch) {
+          if (message.root_id != 0) {
+            collector->StageAck(AckerEvent{AckerEvent::kUpdate,
+                                           message.root_id, message.edge_id,
+                                           0});
+          }
+        }
+      }
+    }
+  }
+  collector->FlushAll();
+  if (executed_ok) task->metrics->IncExecuted(batch.size());
+  if (crash_now) RestartBolt(task);
   const uint64_t prev =
       pending_messages_.fetch_sub(batch.size(), std::memory_order_acq_rel);
   if (prev == batch.size() &&

@@ -63,6 +63,12 @@ struct EngineConfig {
   /// Use a lock-free SPSC ring (instead of the mutex BlockingQueue) for
   /// bolt input queues with exactly one producer task, in dedicated mode.
   bool enable_spsc = true;
+  /// Fused batch execution: deliver whole input batches to bolts that
+  /// declare BatchCapable() through one ExecuteBatch call (one dispatch,
+  /// one ack-staging pass, batched sketch kernels) instead of per-tuple
+  /// Execute. Traced batches and non-capable bolts always take the
+  /// per-tuple path. false restores tuple-at-a-time delivery everywhere.
+  bool enable_bolt_batch = true;
   /// Telemetry sampler period: every N ms a background thread snapshots
   /// all per-task counters and instantaneous queue depths into the time
   /// series exposed by TopologyEngine::telemetry(). 0 disables the sampler
@@ -135,6 +141,7 @@ class TopologyEngine {
   void MultiplexedWorkerLoop(const std::vector<Task*>& tasks);
   void AckerLoop();
   void ExecuteBatch(Task* task, std::span<struct Message> batch);
+  void ExecuteBatchFused(Task* task, std::span<struct Message> batch);
   void RestartBolt(Task* task);
   void RunFinishPass();
 

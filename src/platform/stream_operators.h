@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/state.h"
 #include "platform/checkpoint.h"
 #include "platform/topology.h"
@@ -41,10 +44,24 @@ template <state::MergeableSketch T>
 class SketchBolt : public Bolt {
  public:
   using UpdateFn = std::function<void(T&, const Tuple&)>;
+  /// Batched update: applies a whole engine batch in one call (e.g. one
+  /// UpdateBatch on a BatchUpdatable sketch). Must leave the sketch in the
+  /// same state as applying the scalar UpdateFn per tuple in order.
+  using BatchUpdateFn = std::function<void(T&, std::span<const Tuple* const>)>;
 
   SketchBolt(T initial, UpdateFn update, SketchCheckpoint checkpoint = {})
       : sketch_(std::move(initial)),
         update_(std::move(update)),
+        checkpoint_(std::move(checkpoint)) {}
+
+  /// With a batched kernel: the engine's fused path lands in one
+  /// batch_update call per input batch; everything else (checkpointing,
+  /// Finish, restore) is shared with the scalar form.
+  SketchBolt(T initial, UpdateFn update, BatchUpdateFn batch_update,
+             SketchCheckpoint checkpoint = {})
+      : sketch_(std::move(initial)),
+        update_(std::move(update)),
+        batch_update_(std::move(batch_update)),
         checkpoint_(std::move(checkpoint)) {}
 
   void Prepare(uint32_t task_index, uint32_t num_tasks) override {
@@ -62,11 +79,22 @@ class SketchBolt : public Bolt {
   void Execute(const Tuple& input, OutputCollector* collector) override {
     (void)collector;
     update_(sketch_, input);
-    if (checkpoint_.store != nullptr &&
-        ++since_checkpoint_ >= checkpoint_.every) {
-      checkpoint_.store->Put(key_, state::ToBlob(sketch_));
-      since_checkpoint_ = 0;
+    AfterUpdates(1);
+  }
+
+  /// Pure accumulator: never emits from execution, so the engine may fuse
+  /// whole batches into one call.
+  bool BatchCapable() const override { return true; }
+
+  void ExecuteBatch(std::span<const Tuple* const> inputs,
+                    OutputCollector* collector) override {
+    (void)collector;
+    if (batch_update_) {
+      batch_update_(sketch_, inputs);
+    } else {
+      for (const Tuple* input : inputs) update_(sketch_, *input);
     }
+    AfterUpdates(inputs.size());
   }
 
   void Finish(OutputCollector* collector) override {
@@ -80,12 +108,60 @@ class SketchBolt : public Bolt {
   const T& sketch() const { return sketch_; }
 
  private:
+  /// Checkpoint cadence, counted in tuples but evaluated only at update
+  /// boundaries: a batch is applied in full before the threshold check, so
+  /// every snapshot the store sees is a between-batches consistent sketch —
+  /// never one with half a batch applied.
+  void AfterUpdates(uint64_t n) {
+    if (checkpoint_.store == nullptr) return;
+    since_checkpoint_ += n;
+    if (since_checkpoint_ >= checkpoint_.every) {
+      checkpoint_.store->Put(key_, state::ToBlob(sketch_));
+      since_checkpoint_ = 0;
+    }
+  }
+
   T sketch_;
   UpdateFn update_;
+  BatchUpdateFn batch_update_;
   SketchCheckpoint checkpoint_;
   std::string key_;
   uint64_t since_checkpoint_ = 0;
 };
+
+/// Builds a SketchBolt BatchUpdateFn for a BatchUpdatable sketch keyed by
+/// one tuple field: hashes the field per tuple with the sketch's own seed
+/// (so digests match the scalar `sketch.Add(field)` path bit for bit) and
+/// feeds chunks into one AddHashBatch call. String and int64 fields are
+/// supported — the two key shapes the workload generators emit.
+template <typename T>
+  requires state::BatchUpdatable<T>
+std::function<void(T&, std::span<const Tuple* const>)> FieldKeyBatchUpdate(
+    size_t field_index) {
+  return [field_index](T& sketch, std::span<const Tuple* const> inputs) {
+    constexpr size_t kChunk = 64;
+    uint64_t digests[kChunk];
+    size_t n = 0;
+    for (const Tuple* input : inputs) {
+      const Value& v = input->field(field_index);
+      if (const std::string* s = std::get_if<std::string>(&v)) {
+        digests[n++] = Murmur3_64(s->data(), s->size(), T::kHashSeed);
+      } else if (const int64_t* i = std::get_if<int64_t>(&v)) {
+        digests[n++] = HashInt64(static_cast<uint64_t>(*i), T::kHashSeed);
+      } else {
+        STREAMLIB_CHECK_MSG(false,
+                            "FieldKeyBatchUpdate: field %zu is neither "
+                            "string nor int64",
+                            field_index);
+      }
+      if (n == kChunk) {
+        sketch.AddHashBatch(std::span<const uint64_t>(digests, n));
+        n = 0;
+      }
+    }
+    if (n > 0) sketch.AddHashBatch(std::span<const uint64_t>(digests, n));
+  };
+}
 
 /// Merge side of the sharded pattern: consumes the blob tuples emitted by
 /// upstream SketchBolt tasks (subscribe with a global grouping so every
@@ -99,6 +175,10 @@ class SketchCombinerBolt : public Bolt {
 
   explicit SketchCombinerBolt(T initial, ResultFn on_result = nullptr)
       : merged_(std::move(initial)), on_result_(std::move(on_result)) {}
+
+  /// Pure accumulator (emits only from Finish): eligible for the engine's
+  /// fused batch path via the default per-tuple ExecuteBatch loop.
+  bool BatchCapable() const override { return true; }
 
   void Execute(const Tuple& input, OutputCollector* collector) override {
     (void)collector;

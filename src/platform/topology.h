@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,22 @@ class Bolt {
 
   /// Processes one input tuple; emissions are anchored to it automatically.
   virtual void Execute(const Tuple& input, OutputCollector* collector) = 0;
+
+  /// Opt-in for the engine's fused batch path: when true, the engine may
+  /// deliver whole transport batches through ExecuteBatch instead of
+  /// per-tuple Execute. Contract: a batch-capable bolt must NOT emit from
+  /// Execute/ExecuteBatch (pure accumulators such as SketchBolt) — the
+  /// engine CHECKs this, because batched delivery acks the inputs without
+  /// per-tuple anchoring.
+  virtual bool BatchCapable() const { return false; }
+
+  /// Batched execution hook. Default: the per-tuple loop, so overriding
+  /// BatchCapable alone already yields dispatch-fused semantics; batch-aware
+  /// bolts override this to feed one UpdateBatch-style call.
+  virtual void ExecuteBatch(std::span<const Tuple* const> inputs,
+                            OutputCollector* collector) {
+    for (const Tuple* input : inputs) Execute(*input, collector);
+  }
 
   /// End-of-stream hook: called once after all input has been processed
   /// (single-threaded, in topological order) — the place aggregating bolts

@@ -10,10 +10,14 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/state.h"
+#include "core/cardinality/hyperloglog.h"
+#include "core/frequency/count_min_sketch.h"
 #include "platform/components.h"
 #include "platform/engine.h"
 #include "platform/queue.h"
 #include "platform/replayable_log.h"
+#include "platform/stream_operators.h"
 #include "platform/topology.h"
 #include "platform/tuple.h"
 
@@ -460,6 +464,102 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{ExecutionMode::kMultiplexed, 1u},
                       std::pair{ExecutionMode::kMultiplexed, 2u},
                       std::pair{ExecutionMode::kMultiplexed, 4u}));
+
+// ------------------------------------------------------- Fused batch path
+
+// Spout of n int64 keys -> one SketchBolt<CountMinSketch> shard pair ->
+// global combiner capturing the merged blob. Used to pin down the fused
+// ExecuteBatch path: same topology, enable_bolt_batch toggled.
+std::vector<uint8_t> RunSketchTopology(const EngineConfig& config, uint64_t n,
+                                       bool with_batch_fn) {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  auto blob = std::make_shared<std::vector<uint8_t>>();
+  TopologyBuilder builder;
+  builder.AddSpout("keys", [counter, n]() -> std::unique_ptr<Spout> {
+    return std::make_unique<GeneratorSpout>(
+        [counter, n]() -> std::optional<Tuple> {
+          const uint64_t i = counter->fetch_add(1);
+          if (i >= n) return std::nullopt;
+          return Tuple::Of(static_cast<int64_t>(i % 257));
+        });
+  });
+  builder.AddBolt(
+      "acc",
+      [with_batch_fn]() -> std::unique_ptr<Bolt> {
+        auto update = [](CountMinSketch& sketch, const Tuple& t) {
+          sketch.Add(static_cast<uint64_t>(t.Int(0)));
+        };
+        if (with_batch_fn) {
+          return std::make_unique<SketchBolt<CountMinSketch>>(
+              CountMinSketch(1024, 4), update,
+              FieldKeyBatchUpdate<CountMinSketch>(0));
+        }
+        return std::make_unique<SketchBolt<CountMinSketch>>(
+            CountMinSketch(1024, 4), update);
+      },
+      2, {{"keys", Grouping::Fields(0)}});
+  builder.AddBolt(
+      "merge",
+      [blob]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SketchCombinerBolt<CountMinSketch>>(
+            CountMinSketch(1024, 4),
+            [blob](const CountMinSketch& merged, OutputCollector*) {
+              *blob = state::ToBlob(merged);
+            });
+      },
+      1, {{"acc", Grouping::Global()}});
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+  return *blob;
+}
+
+TEST(TopologyEngineTest, FusedBatchPathMatchesPerTupleState) {
+  const uint64_t n = 20000;
+  // Reference: per-tuple Execute only (fused path disabled).
+  EngineConfig scalar_config;
+  scalar_config.enable_bolt_batch = false;
+  const auto reference = RunSketchTopology(scalar_config, n, false);
+  ASSERT_FALSE(reference.empty());
+  // Fused ExecuteBatch with the batched kernel fn, and fused with the
+  // default per-tuple fallback loop: both must land on the same bytes.
+  EngineConfig fused_config;
+  fused_config.enable_bolt_batch = true;
+  EXPECT_EQ(RunSketchTopology(fused_config, n, true), reference);
+  EXPECT_EQ(RunSketchTopology(fused_config, n, false), reference);
+}
+
+TEST(TopologyEngineTest, FusedBatchPathAcksAtLeastOnce) {
+  const uint64_t n = 8000;
+  EngineConfig config;
+  config.semantics = DeliverySemantics::kAtLeastOnce;
+  config.enable_bolt_batch = true;
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  TopologyBuilder builder;
+  builder.AddSpout("keys", [counter, n]() -> std::unique_ptr<Spout> {
+    return std::make_unique<GeneratorSpout>(
+        [counter, n]() -> std::optional<Tuple> {
+          const uint64_t i = counter->fetch_add(1);
+          if (i >= n) return std::nullopt;
+          return Tuple::Of(static_cast<int64_t>(i));
+        });
+  });
+  builder.AddBolt(
+      "acc",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SketchBolt<HyperLogLog>>(
+            HyperLogLog(10, /*sparse=*/false),
+            [](HyperLogLog& sketch, const Tuple& t) {
+              sketch.Add(static_cast<uint64_t>(t.Int(0)));
+            },
+            FieldKeyBatchUpdate<HyperLogLog>(0));
+      },
+      2, {{"keys", Grouping::Shuffle()}});
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+  // Every root must complete through the fused path's batched ack.
+  EXPECT_EQ(engine.completed_roots(), n);
+  EXPECT_EQ(engine.failed_roots(), 0u);
+}
 
 // ----------------------------------------------------------- ReplayableLog
 
