@@ -1,0 +1,84 @@
+#ifndef STREAMLIB_COMMON_CRC32_H_
+#define STREAMLIB_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace streamlib {
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+/// Used as the per-segment integrity check of the flight-recorder file
+/// format (recorder.h) and the SketchBlob envelope: cheap enough for the
+/// record hot path, strong enough to catch torn writes and bit rot on
+/// read-back.
+///
+/// The bulk loop is slice-by-8 — eight table lookups fold eight input
+/// bytes per iteration instead of one, which measurably matters when the
+/// flight recorder checksums every 256 KiB records segment on a machine
+/// the topology is also running on. The checksum value is identical to
+/// the classic one-byte-at-a-time form (the extra tables are just the
+/// CRC of a byte shifted further into the window), so persisted formats
+/// are unaffected.
+
+namespace internal {
+
+inline constexpr std::array<std::array<uint32_t, 256>, 8> MakeCrc32Tables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  // tables[k][b] = CRC of byte b followed by k zero bytes: one step of
+  // the bytewise recurrence applied to the previous slice's entry.
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      const uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xffu] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+inline constexpr std::array<std::array<uint32_t, 256>, 8> kCrc32Tables =
+    MakeCrc32Tables();
+
+}  // namespace internal
+
+/// Incremental form: pass the previous return value as `seed` to extend a
+/// checksum over discontiguous buffers. The default seed starts a fresh
+/// checksum.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto& t = internal::kCrc32Tables;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  while (len >= 8) {
+    // Byte loads (not a type-punned u64) keep this endian-agnostic and
+    // strict-aliasing clean; compilers fuse them into one wide load.
+    const uint32_t lo = c ^ (static_cast<uint32_t>(p[0]) |
+                             static_cast<uint32_t>(p[1]) << 8 |
+                             static_cast<uint32_t>(p[2]) << 16 |
+                             static_cast<uint32_t>(p[3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(p[4]) |
+                        static_cast<uint32_t>(p[5]) << 8 |
+                        static_cast<uint32_t>(p[6]) << 16 |
+                        static_cast<uint32_t>(p[7]) << 24;
+    c = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+        t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][hi & 0xffu] ^
+        t[2][(hi >> 8) & 0xffu] ^ t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  for (; len > 0; --len) {
+    c = t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace streamlib
+
+#endif  // STREAMLIB_COMMON_CRC32_H_

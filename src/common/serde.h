@@ -25,6 +25,10 @@ class ByteWriter {
   /// from flagging the first small fixed-width append as an overflow).
   void Reserve(size_t n) { buf_.reserve(n); }
 
+  /// Drops the contents but keeps the capacity — lets a thread-local
+  /// scratch writer serve a hot path without per-call allocation.
+  void Clear() { buf_.clear(); }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
 
   void PutU16(uint16_t v) { PutFixed(&v, sizeof(v)); }

@@ -1,0 +1,68 @@
+#ifndef STREAMLIB_COMMON_STATE_DEBUG_H_
+#define STREAMLIB_COMMON_STATE_DEBUG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/state.h"
+#include "common/status.h"
+
+namespace streamlib::state {
+
+/// \file state_debug.h
+/// Human-facing views of the SketchBlob envelope, for the time-travel
+/// debugger's `dump-state` command and test diagnostics. Pure inspection:
+/// nothing here deserializes a payload, so these helpers work on any blob
+/// regardless of which sketch types the caller links in.
+
+/// Stable lowercase name of a TypeId ("hyper_log_log", ...); "unknown"
+/// for ids this build does not know (a blob from a newer format).
+inline const char* TypeIdName(TypeId id) {
+  switch (id) {
+    case TypeId::kHyperLogLog: return "hyper_log_log";
+    case TypeId::kSlidingHyperLogLog: return "sliding_hyper_log_log";
+    case TypeId::kKmvSketch: return "kmv_sketch";
+    case TypeId::kPcsa: return "pcsa";
+    case TypeId::kLinearCounter: return "linear_counter";
+    case TypeId::kLogLog: return "log_log";
+    case TypeId::kCountMinSketch: return "count_min_sketch";
+    case TypeId::kCountSketch: return "count_sketch";
+    case TypeId::kDyadicCountMin: return "dyadic_count_min";
+    case TypeId::kSpaceSavingString: return "space_saving_string";
+    case TypeId::kSpaceSavingU64: return "space_saving_u64";
+    case TypeId::kMisraGriesString: return "misra_gries_string";
+    case TypeId::kMisraGriesU64: return "misra_gries_u64";
+    case TypeId::kTDigest: return "t_digest";
+    case TypeId::kGkQuantile: return "gk_quantile";
+    case TypeId::kCkmsQuantile: return "ckms_quantile";
+    case TypeId::kQDigest: return "q_digest";
+    case TypeId::kAmsSketch: return "ams_sketch";
+    case TypeId::kExponentialHistogram: return "exponential_histogram";
+    case TypeId::kEhSum: return "eh_sum";
+    case TypeId::kMicroCluster: return "micro_cluster";
+  }
+  return "unknown";
+}
+
+/// One-line description of a blob: type, version, payload size, and a
+/// CRC32 fingerprint of the whole envelope (two blobs describe identical
+/// state iff their bytes — and hence fingerprints — match). Malformed
+/// envelopes return the typed error from PeekBlobHeader.
+inline Result<std::string> DescribeBlob(const std::vector<uint8_t>& blob) {
+  Result<BlobHeader> header = PeekBlobHeader(blob);
+  STREAMLIB_RETURN_NOT_OK(header.status());
+  const size_t payload = blob.size() - 8;  // magic u32 + type u16 + ver u16
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s v%u payload=%zuB crc32=%08x",
+                TypeIdName(header.value().type_id), header.value().version,
+                payload, Crc32(blob.data(), blob.size()));
+  return std::string(buf);
+}
+
+}  // namespace streamlib::state
+
+#endif  // STREAMLIB_COMMON_STATE_DEBUG_H_

@@ -63,6 +63,16 @@ class KvCheckpointStore {
     return entries_.size();
   }
 
+  /// Total Put() calls absorbed across all keys (the sum of per-key
+  /// versions). The replay debugger's "on checkpoint K" breakpoint keys on
+  /// this monotonic count.
+  uint64_t TotalPuts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& [key, entry] : entries_) total += entry.version;
+    return total;
+  }
+
   /// Durability across "process" restarts: writes every entry (key,
   /// version, state) to `path` atomically (temp file + rename), so a crash
   /// mid-save can never leave a half-written file under the real name. An

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "platform/recorder.h"
 #include "platform/spsc_ring.h"
 
 namespace streamlib::platform {
@@ -203,6 +204,13 @@ class TopologyEngine::TaskCollector : public OutputCollector {
     uint64_t root = current_root_;
     uint64_t emit_time = current_emit_time_;
     if (from_spout) {
+      // Flight recorder tap: capture the emission before routing consumes
+      // (moves) the tuple. Everything downstream is deterministic given
+      // the config, so spout output is all the recording needs.
+      if (engine_->config_.recorder != nullptr) {
+        engine_->config_.recorder->RecordEmission(
+            static_cast<uint32_t>(task_->global_index), tuple);
+      }
       // Source-side latency sampling: stamp every Nth emission instead of
       // reading the clock per tuple; executors sample exactly the stamped
       // tuples (and their descendants, which inherit the stamp).
@@ -542,6 +550,7 @@ void TopologyEngine::BuildTasks() {
   telemetry_.Bind(&metrics_, config_.telemetry_sample_interval_ms,
                   config_.trace_sample_every);
   telemetry_.BindFaultPlan(fault_plan_.get());
+  telemetry_.BindRecorder(config_.recorder);
 }
 
 /// Builds the sampler's per-task probes (counters + instantaneous input
@@ -1055,6 +1064,27 @@ void TopologyEngine::Run() {
   // trace rings into span trees — all writers have joined by now.
   if (sampler_) sampler_->Stop();
   DrainTraces();
+
+  // Attach the run's final counters to the recording so a replay can be
+  // verified against the original from the file alone. The caller still
+  // owns Finalize().
+  if (config_.recorder != nullptr) {
+    RunSummary summary;
+    summary.completed_roots =
+        completed_roots_.load(std::memory_order_relaxed);
+    summary.failed_roots = failed_roots_.load(std::memory_order_relaxed);
+    if (fault_plan_ != nullptr) {
+      summary.faults_by_kind = fault_plan_->Snapshot();
+    }
+    summary.tasks.reserve(metrics_.task_count());
+    for (size_t i = 0; i < metrics_.task_count(); i++) {
+      const TaskMetrics& m = metrics_.task(i);
+      summary.tasks.push_back(RunSummary::TaskCounters{
+          m.emitted(), m.executed(), m.acked(), m.failed(),
+          m.bolt_exceptions()});
+    }
+    config_.recorder->SetSummary(summary);
+  }
 }
 
 }  // namespace streamlib::platform

@@ -21,6 +21,8 @@
 
 namespace streamlib::platform {
 
+class RunRecorder;
+
 /// How bolt tasks map onto threads — the architectural axis the paper's
 /// Storm-vs-Heron discussion (Section 3) turns on.
 enum class ExecutionMode {
@@ -83,6 +85,11 @@ struct EngineConfig {
   /// probabilities, all 0 by default — fully disabled, and the engine
   /// builds no sites or hooks. See fault.h for the determinism model.
   FaultSpec faults;
+  /// Flight recorder (recorder.h): when set, every spout emission is
+  /// captured before routing, and Run() attaches the final counters as the
+  /// recording's summary. Not owned; the caller Finalize()s after Run().
+  /// Null (the default) records nothing and costs one branch per emission.
+  RunRecorder* recorder = nullptr;
 
   /// Checks knob ranges (0 means "disabled" for the telemetry knobs, not
   /// an error). Run() aborts on an invalid config; callers building

@@ -1,6 +1,7 @@
 #ifndef STREAMLIB_PLATFORM_REPLAYABLE_LOG_H_
 #define STREAMLIB_PLATFORM_REPLAYABLE_LOG_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -35,6 +36,24 @@ class ReplayableLog {
     return log_[offset];
   }
 
+  /// Reads up to `max_count` consecutive tuples starting at `offset` under
+  /// one lock acquisition — the batched consumer read (Kafka's fetch):
+  /// per-tuple Read() pays a mutex round-trip per tuple, which dominates
+  /// hot replay loops. Returns fewer than `max_count` at the tail; empty
+  /// past the end.
+  std::vector<Tuple> ReadBatch(uint64_t offset, size_t max_count) const {
+    std::vector<Tuple> batch;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (offset >= log_.size()) return batch;
+    const size_t n =
+        std::min<size_t>(max_count, log_.size() - static_cast<size_t>(offset));
+    batch.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+      batch.push_back(log_[static_cast<size_t>(offset) + i]);
+    }
+    return batch;
+  }
+
   uint64_t Size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return log_.size();
@@ -61,12 +80,24 @@ class LogReplaySpout : public Spout {
   bool NextTuple(OutputCollector* collector) override {
     // Redeliveries first.
     uint64_t offset;
+    std::optional<Tuple> tuple;
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (!redelivery_.empty()) {
         offset = redelivery_.back();
         redelivery_.pop_back();
       } else if (next_ < end_ && next_ < log_->Size()) {
+        // Sequential reads drain a prefetch buffer filled by one ReadBatch
+        // per kPrefetchBatch tuples, instead of taking the log's mutex per
+        // tuple. The log is append-only, so a refill at next_ < Size() is
+        // never empty. Redeliveries (rare, random-access) still Read().
+        if (prefetch_pos_ == prefetch_.size()) {
+          prefetch_ = log_->ReadBatch(
+              next_, static_cast<size_t>(
+                         std::min<uint64_t>(kPrefetchBatch, end_ - next_)));
+          prefetch_pos_ = 0;
+        }
+        tuple = std::move(prefetch_[prefetch_pos_++]);
         offset = next_++;
       } else if (pending_ > 0) {
         // Idle poll: waiting for acks/fails of emitted roots. Back off so
@@ -79,7 +110,7 @@ class LogReplaySpout : public Spout {
       }
       pending_++;
     }
-    std::optional<Tuple> tuple = log_->Read(offset);
+    if (!tuple.has_value()) tuple = log_->Read(offset);
     if (!tuple.has_value()) {
       std::lock_guard<std::mutex> lock(mu_);
       pending_--;
@@ -124,10 +155,14 @@ class LogReplaySpout : public Spout {
   }
 
  private:
+  static constexpr size_t kPrefetchBatch = 64;
+
   const ReplayableLog* log_;
   mutable std::mutex mu_;
   uint64_t next_;
   uint64_t end_;
+  std::vector<Tuple> prefetch_;  // Tuples [next_, next_ + size) pre-read.
+  size_t prefetch_pos_ = 0;
   uint64_t pending_ = 0;
   uint64_t acked_ = 0;
   uint64_t failed_ = 0;

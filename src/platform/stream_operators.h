@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -105,6 +106,11 @@ class SketchBolt : public Bolt {
     collector->Emit(Tuple::Of(std::string(blob.begin(), blob.end())));
   }
 
+  /// Debugger state inspection: the live sketch as a SketchBlob.
+  std::optional<std::vector<uint8_t>> StateBlob() const override {
+    return state::ToBlob(sketch_);
+  }
+
   const T& sketch() const { return sketch_; }
 
  private:
@@ -197,6 +203,11 @@ class SketchCombinerBolt : public Bolt {
     }
     const std::vector<uint8_t> blob = state::ToBlob(merged_);
     collector->Emit(Tuple::Of(std::string(blob.begin(), blob.end())));
+  }
+
+  /// Debugger state inspection: the merged sketch as a SketchBlob.
+  std::optional<std::vector<uint8_t>> StateBlob() const override {
+    return state::ToBlob(merged_);
   }
 
   const T& merged() const { return merged_; }

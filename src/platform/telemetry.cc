@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "platform/recorder.h"
+
 namespace streamlib::platform {
 
 namespace {
@@ -76,6 +78,13 @@ TelemetryReport Telemetry::BuildReport() const {
     report.faults.by_kind = fault_plan_->Snapshot();
     report.faults.total_injected = fault_plan_->total_injected();
   }
+  if (recorder_ != nullptr) {
+    report.recording.enabled = true;
+    report.recording.path = recorder_->path();
+    report.recording.records = recorder_->records_written();
+    report.recording.bytes = recorder_->bytes_written();
+    report.recording.dropped = recorder_->dropped_records();
+  }
   if (sampler_ != nullptr) report.time_series = sampler_->Snapshot();
   report.trace_trees = traces_.trees();
   report.hop_stats = traces_.ComponentHopStats();
@@ -99,6 +108,13 @@ void TelemetryReport::WriteJson(std::ostream& out,
         << faults.by_kind[k] << (k + 1 < kNumFaultKinds ? ", " : "");
   }
   out << "}},\n";
+
+  out << "  \"recording\": {\"enabled\": "
+      << (recording.enabled ? "true" : "false")
+      << ", \"path\": " << JsonStr(recording.path)
+      << ", \"records\": " << recording.records
+      << ", \"bytes\": " << recording.bytes
+      << ", \"dropped\": " << recording.dropped << "},\n";
 
   out << "  \"tasks\": [\n";
   for (size_t i = 0; i < tasks.size(); i++) {

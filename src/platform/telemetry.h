@@ -14,6 +14,8 @@
 
 namespace streamlib::platform {
 
+class RunRecorder;
+
 /// Materialized snapshot of everything the observability layer collected:
 /// per-task counters, the sampler's time series, and trace summaries.
 /// Serializable to JSON (machine consumers — the schema the telemetry
@@ -47,9 +49,21 @@ struct TelemetryReport {
     std::array<uint64_t, kNumFaultKinds> by_kind{};
   };
 
+  /// Flight-recorder summary: whether a RunRecorder was attached to the
+  /// run, where the recording lands, and its record/byte/drop counters —
+  /// a report alone shows whether the run left a replayable artifact.
+  struct RecordingSummary {
+    bool enabled = false;
+    std::string path;
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    uint64_t dropped = 0;
+  };
+
   uint32_t sample_interval_ms = 0;  ///< 0 = sampler was disabled.
   uint32_t trace_sample_every = 0;  ///< 0 = tracing was disabled.
   FaultSummary faults;              ///< enabled=false outside chaos runs.
+  RecordingSummary recording;       ///< enabled=false without a recorder.
   /// Indexed by engine task id — TaskSampleDelta::task points here.
   std::vector<TaskRow> tasks;
   std::vector<TelemetrySample> time_series;
@@ -86,6 +100,8 @@ class Telemetry {
   void AttachSampler(const MetricsSampler* sampler) { sampler_ = sampler; }
   /// Null outside chaos runs (injection disabled).
   void BindFaultPlan(const FaultPlan* plan) { fault_plan_ = plan; }
+  /// Null when the run is not being recorded (recorder.h).
+  void BindRecorder(const RunRecorder* recorder) { recorder_ = recorder; }
   TraceStore& mutable_traces() { return traces_; }
 
   /// Snapshot of the sampler time series; safe to call from any thread
@@ -105,6 +121,7 @@ class Telemetry {
   const MetricsRegistry* registry_ = nullptr;
   const MetricsSampler* sampler_ = nullptr;
   const FaultPlan* fault_plan_ = nullptr;
+  const RunRecorder* recorder_ = nullptr;
   TraceStore traces_;
   uint32_t sample_interval_ms_ = 0;
   uint32_t trace_sample_every_ = 0;

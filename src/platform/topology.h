@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -109,6 +110,14 @@ class Bolt {
   /// (single-threaded, in topological order) — the place aggregating bolts
   /// emit their final results.
   virtual void Finish(OutputCollector* collector) { (void)collector; }
+
+  /// Debugger hook: a self-describing snapshot of this bolt's state (for
+  /// sketch bolts, the SketchBlob envelope), or nullopt for stateless /
+  /// non-inspectable bolts. Called only while the bolt is not executing
+  /// (the replay debugger pauses between tuples); must not mutate state.
+  virtual std::optional<std::vector<uint8_t>> StateBlob() const {
+    return std::nullopt;
+  }
 };
 
 using SpoutFactory = std::function<std::unique_ptr<Spout>()>;

@@ -325,6 +325,15 @@ void CheckReport(const JsonValue& root) {
   }
   CheckNumberKeys(root, path, {"sample_interval_ms", "trace_sample_every"});
 
+  const JsonValue* recording =
+      RequireKey(root, path, "recording", JsonValue::Kind::kObject);
+  if (recording != nullptr) {
+    const std::string rpath = path + ".recording";
+    RequireKey(*recording, rpath, "enabled", JsonValue::Kind::kBool);
+    RequireKey(*recording, rpath, "path", JsonValue::Kind::kString);
+    CheckNumberKeys(*recording, rpath, {"records", "bytes", "dropped"});
+  }
+
   const JsonValue* tasks =
       RequireKey(root, path, "tasks", JsonValue::Kind::kArray);
   if (tasks != nullptr) {
