@@ -24,6 +24,10 @@
 //   --record-out=PATH  run the word count with the flight recorder
 //                (recorder.h) attached and write the SLFR recording to
 //                PATH — inspectable with `streamlib_debug dump-trace`.
+//   --rescale    run ONLY the G-rescale acceptance bench: exactly-once
+//                crash/resume with the last complete epoch's key-grouped
+//                frames resharded N -> 2N, verified against an unsharded
+//                baseline (recovery + rescale timings to stdout).
 //   --shards=N   run ONLY the D-shard-merge sweep: key-sharded
 //                SketchBolt tasks (1..N, powers of two) feeding a global
 //                SketchCombinerBolt, verifying merged estimates equal a
@@ -40,17 +44,21 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/state.h"
 #include "common/timer.h"
 #include "core/cardinality/hyperloglog.h"
 #include "core/frequency/count_min_sketch.h"
+#include "platform/checkpoint.h"
 #include "platform/components.h"
 #include "platform/engine.h"
+#include "platform/epoch.h"
 #include "platform/event_time.h"
 #include "platform/recorder.h"
 #include "platform/stream_operators.h"
@@ -761,6 +769,142 @@ void RunChaosBench(bool quick) {
 }
 
 // ---------------------------------------------------------------------------
+// G-rescale (--rescale): live rescaling through epoch-aligned barrier
+// checkpoints. Phase 1 runs a key-grouped sketch pipeline on N shards
+// under exactly-once semantics and halts the source mid-stream (a
+// simulated failure); the last complete epoch's frames are resharded
+// N -> 2N with RescaleEpochFrames and phase 2 resumes on 2N shards to
+// finish the stream. Reports the recovery timeline (resume epoch, frame
+// surgery time, resumed-run wall time) and verifies the merged sketch is
+// identical — total count and every key estimate — to an unsharded
+// baseline fed each payload exactly once. Feeds EXPERIMENTS.md section
+// G-exactly-once.
+
+struct RescaleBlobs {
+  std::mutex mu;
+  std::vector<std::string> blobs;
+};
+
+Topology MakeRescaleTopology(uint32_t parallelism, int64_t limit,
+                             int64_t halt, int64_t keys,
+                             std::shared_ptr<RescaleBlobs> blobs) {
+  TopologyBuilder builder;
+  builder.AddSpout("src", [limit, halt, keys]() -> std::unique_ptr<Spout> {
+    return std::make_unique<ReplayableSequenceSpout>(
+        limit,
+        [keys](int64_t seq) { return Tuple::Of(seq % keys, seq); },
+        halt);
+  });
+  builder.AddBolt(
+      "shard",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<KeyGroupedSketchBolt<CountMinSketch>>(
+            [] { return CountMinSketch(64, 4); },
+            [](CountMinSketch& sketch, const Tuple& t) {
+              sketch.Add(static_cast<uint64_t>(t.Int(0)));
+            },
+            /*key_field=*/0, /*dedup_seq_field=*/1);
+      },
+      parallelism, {{"src", Grouping::Fields(0)}});
+  builder.AddBolt(
+      "collect",
+      [blobs]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [blobs](const Tuple& t, OutputCollector*) {
+              std::lock_guard<std::mutex> lock(blobs->mu);
+              blobs->blobs.push_back(t.Str(0));
+            });
+      },
+      1, {{"shard", Grouping::Global()}});
+  return builder.Build().value();
+}
+
+bool RunRescaleBench(bool quick) {
+  const int64_t n = quick ? 60000 : 400000;
+  const int64_t halt = n / 2;
+  const uint64_t interval = quick ? 2000 : 5000;
+  const int64_t keys = 997;
+  std::printf("\n== rescale: exactly-once crash/resume onto 2N shards "
+              "(n=%lld, halt=%lld, epoch every %llu tuples) ==\n",
+              static_cast<long long>(n), static_cast<long long>(halt),
+              static_cast<unsigned long long>(interval));
+  std::printf("  %-10s %-10s %12s %10s %12s %10s %9s\n", "shards_in",
+              "shards_out", "resume_epoch", "p1_ms", "rescale_us", "p2_ms",
+              "verified");
+  bool all_ok = true;
+  for (const uint32_t base : {2u, 4u}) {
+    KvCheckpointStore store;
+    EngineConfig config;
+    config.semantics = DeliverySemantics::kExactlyOnce;
+    config.checkpoint_store = &store;
+    config.epoch_interval_tuples = interval;
+
+    WallTimer phase1_timer;
+    {
+      auto ignored = std::make_shared<RescaleBlobs>();
+      TopologyEngine engine(MakeRescaleTopology(base, n, halt, keys, ignored),
+                            config);
+      engine.Run();
+    }
+    const double phase1_ms = phase1_timer.ElapsedSeconds() * 1e3;
+
+    const uint64_t resume = LastCompleteEpoch(store);
+    if (resume == 0) {
+      std::printf("  %-10u %-10u  no complete epoch before halt — FAILED\n",
+                  base, 2 * base);
+      all_ok = false;
+      continue;
+    }
+    WallTimer rescale_timer;
+    const Status rescaled =
+        RescaleEpochFrames(store, resume, "shard", base, 2 * base);
+    const double rescale_us = rescale_timer.ElapsedSeconds() * 1e6;
+    if (!rescaled.ok()) {
+      std::printf("  %-10u %-10u  rescale failed: %s\n", base, 2 * base,
+                  rescaled.ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+
+    config.resume_from_epoch = resume;
+    auto blobs = std::make_shared<RescaleBlobs>();
+    WallTimer phase2_timer;
+    TopologyEngine engine(
+        MakeRescaleTopology(2 * base, n, /*halt=*/-1, keys, blobs), config);
+    engine.Run();
+    const double phase2_ms = phase2_timer.ElapsedSeconds() * 1e3;
+
+    // Merge the 2N shard blobs and compare against an unsharded baseline
+    // fed every payload exactly once: linearity of the sketch makes the
+    // comparison exact, so any lost, duplicated, or misrouted key group
+    // shows up as a mismatch.
+    bool verified = blobs->blobs.size() == 2 * base;
+    CountMinSketch merged(64, 4);
+    for (const std::string& blob : blobs->blobs) {
+      verified =
+          verified &&
+          state::MergeBlob(merged,
+                           std::vector<uint8_t>(blob.begin(), blob.end()))
+              .ok();
+    }
+    CountMinSketch baseline(64, 4);
+    for (int64_t seq = 0; seq < n; seq++) {
+      baseline.Add(static_cast<uint64_t>(seq % keys));
+    }
+    verified = verified && merged.total_count() == baseline.total_count();
+    for (uint64_t key = 0; verified && key < static_cast<uint64_t>(keys);
+         key++) {
+      verified = merged.Estimate(key) == baseline.Estimate(key);
+    }
+    std::printf("  %-10u %-10u %12llu %10.1f %12.1f %10.1f %9s\n", base,
+                2 * base, static_cast<unsigned long long>(resume), phase1_ms,
+                rescale_us, phase2_ms, verified ? "OK" : "FAILED");
+    all_ok = all_ok && verified;
+  }
+  return all_ok;
+}
+
+// ---------------------------------------------------------------------------
 // D-shard-merge: the key-sharded partial-aggregation pattern. N fields-
 // grouped SketchBolt tasks each summarize their key partition; one global
 // SketchCombinerBolt merges the shard blobs. Mergeability (Agarwal et al.)
@@ -1082,6 +1226,7 @@ int main(int argc, char** argv) {
   std::string telemetry_out;
   std::string record_out;
   bool recorder_overhead_only = false;
+  bool rescale = false;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; i++) {
     const std::string_view arg = argv[i];
@@ -1101,9 +1246,14 @@ int main(int argc, char** argv) {
       record_out = std::string(arg.substr(13));
     } else if (arg == "--recorder-overhead") {
       recorder_overhead_only = true;
+    } else if (arg == "--rescale") {
+      rescale = true;
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (rescale) {
+    return RunRescaleBench(quick) ? 0 : 1;
   }
   if (chaos) {
     RunChaosBench(quick);

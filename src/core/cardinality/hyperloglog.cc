@@ -201,7 +201,7 @@ void HyperLogLog::SerializeTo(ByteWriter& w) const {
 }
 
 Result<HyperLogLog> HyperLogLog::Deserialize(ByteReader& r) {
-  uint8_t precision;
+  uint8_t precision = 0;
   STREAMLIB_RETURN_NOT_OK(r.GetU8(&precision));
   if (precision < 4 || precision > 18) {
     return Status::Corruption("HLL: precision out of range");

@@ -63,6 +63,13 @@ class KvCheckpointStore {
     return entries_.size();
   }
 
+  /// Removes `key` (all versions); returns whether it existed. Rescaling
+  /// uses this to retire epoch frames of task indices that no longer exist.
+  bool Erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.erase(key) > 0;
+  }
+
   /// Total Put() calls absorbed across all keys (the sum of per-key
   /// versions). The replay debugger's "on checkpoint K" breakpoint keys on
   /// this monotonic count.

@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "platform/checkpoint.h"
+#include "platform/epoch.h"
 #include "platform/recorder.h"
 #include "platform/spsc_ring.h"
 
@@ -48,10 +50,33 @@ Status EngineConfig::Validate() const {
     return Status::InvalidArgument(
         "ack_timeout_seconds must be positive and finite");
   }
-  if (semantics == DeliverySemantics::kAtLeastOnce &&
-      max_spout_pending == 0) {
+  if (TracksTuples(semantics) && max_spout_pending == 0) {
     return Status::InvalidArgument(
-        "at-least-once needs max_spout_pending >= 1");
+        "tracked delivery needs max_spout_pending >= 1");
+  }
+  if (semantics == DeliverySemantics::kExactlyOnce &&
+      (checkpoint_store == nullptr || epoch_interval_tuples == 0)) {
+    return Status::InvalidArgument(
+        "exactly-once needs a checkpoint_store and epoch_interval_tuples "
+        ">= 1");
+  }
+  if ((epoch_interval_tuples > 0 || resume_from_epoch > 0) &&
+      checkpoint_store == nullptr) {
+    return Status::InvalidArgument(
+        "epoch checkpointing needs a checkpoint_store");
+  }
+  if (!std::isfinite(epoch_align_timeout_seconds) ||
+      epoch_align_timeout_seconds <= 0) {
+    return Status::InvalidArgument(
+        "epoch_align_timeout_seconds must be positive and finite");
+  }
+  // Recording captures spout emissions only; barrier schedules and restored
+  // state are outside the recording's determinism envelope, so a replay
+  // could not reproduce the run. Reject the combination up front.
+  if (recorder != nullptr &&
+      (epoch_interval_tuples > 0 || resume_from_epoch > 0)) {
+    return Status::InvalidArgument(
+        "flight recording and epoch checkpointing are mutually exclusive");
   }
   // Telemetry knobs: 0 = disabled, not an error. Guard against intervals
   // so short the sampler becomes a busy loop perturbing the data path.
@@ -69,6 +94,10 @@ struct Message {
   uint64_t root_id = 0;          // Ack-tree root; 0 = untracked.
   uint64_t edge_id = 0;          // This delivery's ledger entry.
   uint64_t emit_time_nanos = 0;  // Spout emission time (end-to-end latency).
+  // Producing task's global index. Barrier alignment needs it: an MPMC
+  // input queue merges producers, but the aligner must know *whose*
+  // barrier (and whose post-barrier data) each message is.
+  uint32_t producer_task = 0;
   // Sampled tracing (all 0 on untraced tuples — the common case).
   uint64_t trace_id = 0;            // Root span id of the sampled tree.
   uint64_t trace_parent_span = 0;   // Span of the hop that emitted this.
@@ -107,6 +136,14 @@ struct TopologyEngine::Task {
   std::unique_ptr<FaultSite> transport_faults;  // Stage: drop/dup/delay.
   std::unique_ptr<FaultSite> executor_faults;   // Execute/crash/acker loss.
   std::unique_ptr<FaultSite> stall_faults;      // Input-queue drain stalls.
+  std::unique_ptr<FaultSite> barrier_faults;    // Barrier drop/delay.
+
+  // Epoch-barrier state (null/empty unless epoch_interval_tuples > 0; all
+  // touched only by the thread currently running this task).
+  std::unique_ptr<EpochAligner> aligner;  // Bolts only.
+  std::vector<Message> held;        // Post-barrier input awaiting alignment.
+  std::vector<uint64_t> held_tags;  // held[i] belongs to epoch held_tags[i].
+  uint64_t last_snapshot_epoch = 0;  // Frame a crash-restart restores from.
 
   size_t InPushAll(std::span<Message> b) {
     return ring ? ring->PushAll(b) : queue->PushAll(b);
@@ -124,6 +161,11 @@ struct TopologyEngine::Task {
   }
   size_t InTryPopBatch(std::vector<Message>& out, size_t max) {
     return ring ? ring->TryPopBatch(out, max) : queue->TryPopBatch(out, max);
+  }
+  size_t InPopBatchTimed(std::vector<Message>& out, size_t max,
+                         std::chrono::nanoseconds timeout) {
+    return ring ? ring->PopBatchWithTimeout(out, max, timeout)
+                : queue->PopBatchWithTimeout(out, max, timeout);
   }
   void InClose() {
     if (ring) {
@@ -231,7 +273,7 @@ class TopologyEngine::TaskCollector : public OutputCollector {
         current_trace_ = 0;
         current_span_ = 0;
       }
-      if (engine_->config_.semantics == DeliverySemantics::kAtLeastOnce) {
+      if (TracksTuples(engine_->config_.semantics)) {
         root = engine_->next_root_id_.fetch_add(1, std::memory_order_relaxed);
         engine_->inflight_roots_.fetch_add(1, std::memory_order_relaxed);
         last_spout_root_ = root;
@@ -251,8 +293,8 @@ class TopologyEngine::TaskCollector : public OutputCollector {
               edge.targets[rng_.NextBounded(edge.targets.size())]);
           break;
         case GroupingKind::kFields: {
-          const uint64_t h =
-              HashOfValue(tuple.field(edge.grouping.field_index), 77);
+          const uint64_t h = HashOfValue(tuple.field(edge.grouping.field_index),
+                                         kFieldsGroupingHashSeed);
           targets_scratch_.push_back(edge.targets[h % edge.targets.size()]);
           break;
         }
@@ -272,7 +314,7 @@ class TopologyEngine::TaskCollector : public OutputCollector {
     total_emitted_++;
     unflushed_emits_++;
 
-    if (engine_->config_.semantics == DeliverySemantics::kAtLeastOnce) {
+    if (TracksTuples(engine_->config_.semantics)) {
       if (from_spout) {
         // Register the root with its initial ledger value.
         StageAck(AckerEvent{AckerEvent::kInit, root, edge_xor,
@@ -280,6 +322,34 @@ class TopologyEngine::TaskCollector : public OutputCollector {
       } else if (root != 0) {
         xor_out_ ^= edge_xor;
       }
+    }
+  }
+
+  /// Stages the epoch-barrier marker to every downstream task and flushes
+  /// immediately: per-slot FIFO puts the marker after every already-staged
+  /// tuple of its epoch, and prompt flushing keeps downstream alignment
+  /// latency off the data's critical path. Barrier faults (drop/delay)
+  /// inject here, one decision per (barrier, target).
+  void EmitBarrier(uint64_t epoch) {
+    FaultSite* faults = task_->barrier_faults.get();
+    for (StagingSlot& slot : slots_) {
+      if (faults != nullptr) {
+        const uint32_t delay_us = faults->BarrierDelayMicros();
+        if (delay_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        }
+        if (faults->FireBarrierDrop()) {
+          // Marker lost toward this one target: its alignment on `epoch`
+          // starves until the timeout force-advances past it. The staged
+          // data still flows.
+          FlushSlot(slot);
+          continue;
+        }
+      }
+      Message& message = slot.buffer.emplace_back();
+      message.tuple = Tuple::Barrier(epoch);
+      message.producer_task = static_cast<uint32_t>(task_->global_index);
+      FlushSlot(slot);
     }
   }
 
@@ -356,6 +426,7 @@ class TopologyEngine::TaskCollector : public OutputCollector {
     message.root_id = root;
     message.edge_id = edge_id;
     message.emit_time_nanos = emit_time;
+    message.producer_task = static_cast<uint32_t>(task_->global_index);
     if (current_trace_ != 0) {
       // Traced path only: one extra clock read to timestamp the enqueue
       // (queue-wait = dequeue - enqueue at the consumer).
@@ -475,6 +546,10 @@ void TopologyEngine::BuildTasks() {
             fault_plan_->MakeSite(task->global_index * 4 + 0, task->metrics);
         task->executor_faults =
             fault_plan_->MakeSite(task->global_index * 4 + 1, task->metrics);
+        if (config_.epoch_interval_tuples > 0) {
+          task->barrier_faults =
+              fault_plan_->MakeSite(task->global_index * 4 + 3, task->metrics);
+        }
       }
       task->collector = std::make_unique<TaskCollector>(
           this, task.get(),
@@ -519,6 +594,14 @@ void TopologyEngine::BuildTasks() {
     } else {
       task->queue =
           std::make_unique<BlockingQueue<Message>>(config_.queue_capacity);
+    }
+    if (config_.epoch_interval_tuples > 0) {
+      // Alignment spans *producer tasks*, not components: every producer
+      // task's collector broadcasts each barrier to every consumer task.
+      task->aligner = std::make_unique<EpochAligner>(
+          producer_tasks[task->component_index],
+          static_cast<uint64_t>(config_.epoch_align_timeout_seconds * 1e9),
+          config_.resume_from_epoch);
     }
     if (fault_plan_ != nullptr && config_.faults.queue_stall_prob > 0) {
       // Queue-stall injection: the interceptor fires on the consumer
@@ -596,9 +679,16 @@ void TopologyEngine::DrainTraces() {
 void TopologyEngine::SpoutLoop(Task* task) {
   task->spout->Open(task->task_index,
                     topology_.components()[task->component_index].parallelism);
+  RestoreTaskState(task);
   TaskCollector* collector = task->collector.get();
   const size_t batch = std::max<size_t>(1, config_.emit_batch_size);
-  const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
+  const bool track = TracksTuples(config_.semantics);
+  // Barrier injection cadence: epoch e's marker follows this spout's
+  // e*K-th emission, so epoch boundaries are a pure function of the
+  // emission sequence (the determinism the torture test pins down).
+  const uint64_t epoch_k = config_.epoch_interval_tuples;
+  uint64_t next_epoch = config_.resume_from_epoch + 1;
+  uint64_t next_barrier_at = epoch_k;
   auto throttled = [this] {
     return inflight_roots_.load(std::memory_order_relaxed) >=
            config_.max_spout_pending;
@@ -622,6 +712,11 @@ void TopologyEngine::SpoutLoop(Task* task) {
       } else if (collector->total_emitted() == before) {
         break;  // Idle poll: flush promptly instead of batching waits.
       }
+      while (epoch_k > 0 && collector->total_emitted() >= next_barrier_at) {
+        InjectSpoutBarrier(task, next_epoch);
+        next_epoch++;
+        next_barrier_at += epoch_k;
+      }
       if (track && throttled()) break;
     }
     collector->FlushAll();
@@ -629,6 +724,13 @@ void TopologyEngine::SpoutLoop(Task* task) {
 }
 
 void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
+  // Epoch barriers in the stream demand per-message inspection (markers,
+  // alignment holds), so the aligned path replaces both the fused and the
+  // plain scalar path whenever barriers are enabled.
+  if (task->aligner != nullptr) {
+    ExecuteBatchAligned(task, batch);
+    return;
+  }
   // Fused path: a batch-capable bolt takes the whole batch through one
   // ExecuteBatch call. Traced batches keep per-tuple delivery so their
   // span trees stay per-hop-accurate.
@@ -647,58 +749,9 @@ void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
     }
   }
   TaskCollector* collector = task->collector.get();
-  const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
-  FaultSite* faults = task->executor_faults.get();
   size_t executed = 0;
   for (Message& message : batch) {
-    // Tracing costs exactly this one branch on untraced tuples; traced
-    // hops pay the span allocation and two clock reads.
-    uint64_t hop_span = 0;
-    uint64_t execute_start = 0;
-    if (message.trace_id != 0) {
-      hop_span = next_span_id_.fetch_add(1, std::memory_order_relaxed);
-      execute_start = NowNanos();
-    }
-    collector->BeginExecute(message.root_id, message.emit_time_nanos,
-                            message.trace_id, hop_span);
-    bool ok = true;
-    try {
-      if (faults != nullptr && faults->FireBoltThrow()) {
-        throw InjectedBoltError("injected bolt failure");
-      }
-      task->bolt->Execute(message.tuple, collector);
-    } catch (...) {
-      // A throwing Execute fails the tuple, never the engine: whatever
-      // children it emitted before throwing stay anchored, no ack is
-      // recorded, and under at-least-once the root times out into the
-      // spout's OnFail.
-      ok = false;
-      task->metrics->IncBoltExceptions();
-    }
-    const uint64_t xor_out = collector->EndExecute();
-    if (!ok) continue;
-    executed++;
-    if (message.trace_id != 0) {
-      task->trace_ring->Record(TraceEvent{
-          message.trace_id, hop_span, message.trace_parent_span,
-          static_cast<uint32_t>(task->global_index), execute_start,
-          execute_start - message.trace_enqueue_nanos,
-          NowNanos() - execute_start});
-    }
-    if (message.emit_time_nanos > 0) {
-      task->metrics->RecordLatencyNanos(NowNanos() - message.emit_time_nanos);
-    }
-    // Crash draw sits between Execute and the ack — the MillWheel torn
-    // window. The completed Execute's state mutations (and any checkpoint
-    // Put) survive, but the ack is swallowed with the "process", so the
-    // root replays into restored state: exactly the duplicate-delivery
-    // case checkpoint-then-ack dedup (DedupLedger) must absorb.
-    const bool crash_now = faults != nullptr && faults->FireTaskCrash();
-    if (track && message.root_id != 0 && !crash_now) {
-      collector->StageAck(AckerEvent{AckerEvent::kUpdate, message.root_id,
-                                     message.edge_id ^ xor_out, 0});
-    }
-    if (crash_now) {
+    if (ExecuteOne(task, message, &executed) == ExecOutcome::kCrashed) {
       // The rest of the popped batch dies with the task — in-memory input
       // of a dead process. Its messages were never executed and never
       // acked; at-least-once replays them via the ack timeout. The bolt
@@ -711,10 +764,75 @@ void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
   // count releases, so pending_messages_ == 0 always means fully drained.
   collector->FlushAll();
   task->metrics->IncExecuted(executed);
+  FinishPending(batch.size());
+}
+
+/// Runs one input tuple through the bolt: tracing, throw-catch, latency,
+/// the post-Execute crash draw, and ack staging. kFailed = Execute threw
+/// (tuple fails, engine continues); kCrashed = the task "process" died
+/// after Execute (the caller restarts the bolt and decides the fate of any
+/// not-yet-executed input it holds).
+TopologyEngine::ExecOutcome TopologyEngine::ExecuteOne(Task* task,
+                                                       Message& message,
+                                                       size_t* executed) {
+  TaskCollector* collector = task->collector.get();
+  FaultSite* faults = task->executor_faults.get();
+  // Tracing costs exactly this one branch on untraced tuples; traced
+  // hops pay the span allocation and two clock reads.
+  uint64_t hop_span = 0;
+  uint64_t execute_start = 0;
+  if (message.trace_id != 0) {
+    hop_span = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+    execute_start = NowNanos();
+  }
+  collector->BeginExecute(message.root_id, message.emit_time_nanos,
+                          message.trace_id, hop_span);
+  bool ok = true;
+  try {
+    if (faults != nullptr && faults->FireBoltThrow()) {
+      throw InjectedBoltError("injected bolt failure");
+    }
+    task->bolt->Execute(message.tuple, collector);
+  } catch (...) {
+    // A throwing Execute fails the tuple, never the engine: whatever
+    // children it emitted before throwing stay anchored, no ack is
+    // recorded, and under at-least-once the root times out into the
+    // spout's OnFail.
+    ok = false;
+    task->metrics->IncBoltExceptions();
+  }
+  const uint64_t xor_out = collector->EndExecute();
+  if (!ok) return ExecOutcome::kFailed;
+  (*executed)++;
+  if (message.trace_id != 0) {
+    task->trace_ring->Record(TraceEvent{
+        message.trace_id, hop_span, message.trace_parent_span,
+        static_cast<uint32_t>(task->global_index), execute_start,
+        execute_start - message.trace_enqueue_nanos,
+        NowNanos() - execute_start});
+  }
+  if (message.emit_time_nanos > 0) {
+    task->metrics->RecordLatencyNanos(NowNanos() - message.emit_time_nanos);
+  }
+  // Crash draw sits between Execute and the ack — the MillWheel torn
+  // window. The completed Execute's state mutations (and any checkpoint
+  // Put) survive, but the ack is swallowed with the "process", so the
+  // root replays into restored state: exactly the duplicate-delivery
+  // case checkpoint-then-ack dedup (DedupLedger) must absorb.
+  const bool crash_now = faults != nullptr && faults->FireTaskCrash();
+  if (TracksTuples(config_.semantics) && message.root_id != 0 && !crash_now) {
+    collector->StageAck(AckerEvent{AckerEvent::kUpdate, message.root_id,
+                                   message.edge_id ^ xor_out, 0});
+  }
+  return crash_now ? ExecOutcome::kCrashed : ExecOutcome::kOk;
+}
+
+/// Pending-count release with the drain-wait wakeup the plain paths inline.
+void TopologyEngine::FinishPending(size_t n) {
+  if (n == 0) return;
   const uint64_t prev =
-      pending_messages_.fetch_sub(batch.size(), std::memory_order_acq_rel);
-  if (prev == batch.size() &&
-      spouts_done_.load(std::memory_order_acquire)) {
+      pending_messages_.fetch_sub(n, std::memory_order_acq_rel);
+  if (prev == n && spouts_done_.load(std::memory_order_acquire)) {
     progress_cv_.notify_all();  // Wake the drain wait in Run().
   }
 }
@@ -725,7 +843,7 @@ void TopologyEngine::ExecuteBatch(Task* task, std::span<Message> batch) {
 /// untraced batches.
 void TopologyEngine::ExecuteBatchFused(Task* task, std::span<Message> batch) {
   TaskCollector* collector = task->collector.get();
-  const bool track = config_.semantics == DeliverySemantics::kAtLeastOnce;
+  const bool track = TracksTuples(config_.semantics);
   FaultSite* faults = task->executor_faults.get();
   // One crash draw covers the batch and fires *before* execution: a crash
   // kills the batch unexecuted and unacked (at-least-once replays it via
@@ -781,12 +899,202 @@ void TopologyEngine::ExecuteBatchFused(Task* task, std::span<Message> batch) {
   collector->FlushAll();
   if (executed_ok) task->metrics->IncExecuted(batch.size());
   if (crash_now) RestartBolt(task);
-  const uint64_t prev =
-      pending_messages_.fetch_sub(batch.size(), std::memory_order_acq_rel);
-  if (prev == batch.size() &&
-      spouts_done_.load(std::memory_order_acquire)) {
-    progress_cv_.notify_all();  // Wake the drain wait in Run().
+  FinishPending(batch.size());
+}
+
+/// The barrier-aware execute path (replaces scalar and fused delivery when
+/// epochs are on). Barriers feed the aligner; data from a producer that
+/// already barriered past this task's aligned epoch is parked in
+/// `task->held` until alignment catches up, so a bolt's state at snapshot
+/// time contains exactly the effects of epochs <= the snapshot epoch.
+void TopologyEngine::ExecuteBatchAligned(Task* task,
+                                         std::span<Message> batch) {
+  TaskCollector* collector = task->collector.get();
+  size_t consumed = 0;  // Messages leaving the pending count this call.
+  size_t executed = 0;
+  bool crashed = false;
+  for (Message& message : batch) {
+    if (crashed) {
+      // Input of a dead "process": never executed, never acked;
+      // at-least-once replays it via the ack timeout.
+      consumed++;
+      continue;
+    }
+    if (message.tuple.IsBarrier()) {
+      consumed++;
+      HandleBarrier(task, message.producer_task,
+                    message.tuple.barrier_epoch(), &executed, &crashed);
+      continue;
+    }
+    if (task->aligner->ShouldHold(message.producer_task)) {
+      // This producer already barriered ahead: the message belongs to a
+      // later epoch than this task has aligned on. It stays pending (the
+      // drain protocol keeps the topology open) until released.
+      task->held_tags.push_back(task->aligner->HoldTag(message.producer_task));
+      task->held.push_back(std::move(message));
+      continue;
+    }
+    consumed++;
+    if (ExecuteOne(task, message, &executed) == ExecOutcome::kCrashed) {
+      RestartBolt(task);
+      crashed = true;
+    }
   }
+  if (crashed && !task->held.empty()) {
+    // Held input dies with the crashed task too.
+    consumed += task->held.size();
+    task->held.clear();
+    task->held_tags.clear();
+  }
+  collector->FlushAll();
+  task->metrics->IncExecuted(executed);
+  FinishPending(consumed);
+}
+
+/// One barrier marker reached this task. When the aligner reports full
+/// alignment on a new epoch: snapshot first (state now holds exactly
+/// epochs <= snap), then forward the barrier (emissions so far precede it
+/// in every slot), then release held input (its emissions land after the
+/// barrier, in the next epoch — matching the tags the data carries).
+void TopologyEngine::HandleBarrier(Task* task, uint32_t producer,
+                                   uint64_t epoch, size_t* executed,
+                                   bool* crashed) {
+  const uint64_t snap = task->aligner->OnBarrier(producer, epoch, NowNanos());
+  if (snap == 0) return;
+  SnapshotBoltEpoch(task, snap);
+  task->collector->EmitBarrier(snap);
+  ReleaseHeld(task, snap + 1, executed, crashed);
+}
+
+/// Executes (and finishes) every held message with tag <= max_tag,
+/// compacting the rest in place. A crash mid-release kills all remaining
+/// held input, released or not — it was the in-memory input of the dead
+/// task.
+void TopologyEngine::ReleaseHeld(Task* task, uint64_t max_tag,
+                                 size_t* executed, bool* crashed) {
+  if (task->held.empty()) return;
+  size_t finished = 0;
+  size_t kept = 0;
+  for (size_t i = 0; i < task->held.size(); i++) {
+    if (!*crashed && task->held_tags[i] > max_tag) {
+      if (kept != i) {
+        task->held[kept] = std::move(task->held[i]);
+        task->held_tags[kept] = task->held_tags[i];
+      }
+      kept++;
+      continue;
+    }
+    finished++;
+    if (*crashed) continue;
+    if (ExecuteOne(task, task->held[i], executed) == ExecOutcome::kCrashed) {
+      RestartBolt(task);
+      *crashed = true;
+    }
+  }
+  if (*crashed && kept > 0) {
+    finished += kept;
+    kept = 0;
+  }
+  task->held.resize(kept);
+  task->held_tags.resize(kept);
+  FinishPending(finished);
+}
+
+/// Shutdown safety valve: unconditionally releases whatever is still held
+/// when this task's input is closed and drained. Normally unreachable —
+/// held messages keep pending_messages_ > 0, so Run() cannot close the
+/// queues before an alignment or a timeout released them — but it
+/// guarantees the loop exit never strands pending counts.
+void TopologyEngine::FlushHeld(Task* task) {
+  if (task->aligner == nullptr || task->held.empty()) return;
+  size_t executed = 0;
+  bool crashed = false;
+  ReleaseHeld(task, UINT64_MAX, &executed, &crashed);
+  task->collector->FlushAll();
+  task->metrics->IncExecuted(executed);
+}
+
+/// Alignment-timeout recovery: a barrier lost or badly delayed toward this
+/// task would otherwise starve its alignment (and hold its data, and
+/// starve downstream alignments) forever. On timeout the task abandons the
+/// stuck epochs — no snapshot, no ack, so they simply never complete and
+/// restore will not use them — realigns at the highest barrier it has
+/// seen, forwards that barrier, and releases the held data. Checkpointing
+/// retries at the next epoch instead of wedging the data plane.
+void TopologyEngine::MaybeEpochTimeout(Task* task) {
+  if (task->aligner == nullptr) return;
+  if (!task->aligner->TimedOut(NowNanos())) return;
+  const uint64_t forced = task->aligner->ForceAdvance();
+  epoch_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  size_t executed = 0;
+  bool crashed = false;
+  task->collector->EmitBarrier(forced);
+  ReleaseHeld(task, forced + 1, &executed, &crashed);
+  task->collector->FlushAll();
+  task->metrics->IncExecuted(executed);
+}
+
+void TopologyEngine::SnapshotBoltEpoch(Task* task, uint64_t epoch) {
+  std::optional<std::vector<uint8_t>> frame = task->bolt->SnapshotEpoch(epoch);
+  if (frame.has_value()) {
+    config_.checkpoint_store->Put(
+        EpochTaskKey(epoch,
+                     topology_.components()[task->component_index].name,
+                     task->task_index),
+        std::move(*frame));
+  }
+  task->last_snapshot_epoch = epoch;
+  coordinator_->AckEpoch(epoch, task->global_index);
+}
+
+/// Spout-side epoch cut: snapshot *before* the marker enters the stream.
+/// The frame holds every payload this spout still owes (unemitted cursor +
+/// unacked in-flight); anything acked before this instant is guaranteed
+/// inside the downstream epoch frames, and the overlap (acked after) is
+/// re-emitted on restore and absorbed by the restored DedupLedgers.
+void TopologyEngine::InjectSpoutBarrier(Task* task, uint64_t epoch) {
+  std::optional<std::vector<uint8_t>> frame =
+      task->spout->SnapshotEpoch(epoch);
+  if (frame.has_value()) {
+    config_.checkpoint_store->Put(
+        EpochTaskKey(epoch,
+                     topology_.components()[task->component_index].name,
+                     task->task_index),
+        std::move(*frame));
+  }
+  task->last_snapshot_epoch = epoch;
+  coordinator_->AckEpoch(epoch, task->global_index);
+  task->collector->EmitBarrier(epoch);
+}
+
+/// Resume path: rehydrate this task from its frame at resume_from_epoch
+/// (a complete epoch — Run() checked the marker). Runs on the task's own
+/// thread after Open/Prepare, before any traffic. Tasks without a frame
+/// were stateless at snapshot time and start fresh.
+void TopologyEngine::RestoreTaskState(Task* task) {
+  if (config_.resume_from_epoch == 0) return;
+  const uint64_t epoch = config_.resume_from_epoch;
+  task->last_snapshot_epoch = epoch;
+  const std::string key = EpochTaskKey(
+      epoch, topology_.components()[task->component_index].name,
+      task->task_index);
+  Result<std::vector<uint8_t>> frame = config_.checkpoint_store->Fetch(key);
+  if (!frame.ok()) return;
+  const Status restored =
+      task->spout != nullptr
+          ? task->spout->RestoreEpoch(epoch, frame.value())
+          : task->bolt->RestoreEpoch(epoch, frame.value());
+  STREAMLIB_CHECK_MSG(restored.ok(), "epoch %llu restore failed for %s: %s",
+                      static_cast<unsigned long long>(epoch), key.c_str(),
+                      restored.ToString().c_str());
+}
+
+uint64_t TopologyEngine::last_complete_epoch() const {
+  return coordinator_ != nullptr ? coordinator_->last_complete() : 0;
+}
+
+uint64_t TopologyEngine::epochs_completed() const {
+  return coordinator_ != nullptr ? coordinator_->epochs_completed() : 0;
 }
 
 /// Crash-restart recovery: discards the bolt instance (all in-memory
@@ -798,20 +1106,60 @@ void TopologyEngine::RestartBolt(Task* task) {
   const ComponentSpec& spec = topology_.components()[task->component_index];
   task->bolt = spec.bolt_factory();
   task->bolt->Prepare(task->task_index, spec.parallelism);
+  if (coordinator_ == nullptr) return;
+  // Epoch fence: the restarted instance rebuilds from its frame at
+  // last_snapshot_epoch, which is missing every already-acked effect
+  // applied after that snapshot — and acked roots will not replay. Any
+  // frame this task writes later inherits that gap, so no epoch beyond
+  // the snapshot may ever be marked complete in this run; the resumable
+  // point stays at the last epoch whose frames are known whole.
+  coordinator_->FenceEpochsAfter(task->last_snapshot_epoch);
+  if (task->last_snapshot_epoch == 0) return;
+  const std::string key =
+      EpochTaskKey(task->last_snapshot_epoch, spec.name, task->task_index);
+  Result<std::vector<uint8_t>> frame = config_.checkpoint_store->Fetch(key);
+  if (!frame.ok()) return;  // Stateless at snapshot time: fresh start.
+  const Status restored =
+      task->bolt->RestoreEpoch(task->last_snapshot_epoch, frame.value());
+  STREAMLIB_CHECK_MSG(
+      restored.ok(), "crash-restart restore failed for %s: %s", key.c_str(),
+      restored.ToString().c_str());
 }
 
 void TopologyEngine::DedicatedBoltLoop(Task* task) {
   task->bolt->Prepare(
       task->task_index,
       topology_.components()[task->component_index].parallelism);
+  RestoreTaskState(task);
   const size_t max_batch = std::max<size_t>(1, config_.execute_batch_size);
   std::vector<Message> batch;
   batch.reserve(max_batch);
+  if (task->aligner == nullptr) {
+    while (true) {
+      batch.clear();
+      const size_t n = task->InPopBatch(batch, max_batch);
+      if (n == 0) break;  // Closed and drained.
+      ExecuteBatch(task, std::span<Message>(batch.data(), n));
+    }
+    return;
+  }
+  // Epoch variant: the blocking pop becomes a timed pop so a task whose
+  // alignment is starving (dropped barrier, stalled producer) still gets
+  // to run the timeout check while its queue is quiet.
   while (true) {
     batch.clear();
-    const size_t n = task->InPopBatch(batch, max_batch);
-    if (n == 0) break;  // Closed and drained.
+    const size_t n =
+        task->InPopBatchTimed(batch, max_batch, std::chrono::milliseconds(1));
+    if (n == 0) {
+      if (task->InClosed() && task->InSize() == 0) {
+        FlushHeld(task);
+        break;
+      }
+      MaybeEpochTimeout(task);
+      continue;
+    }
     ExecuteBatch(task, std::span<Message>(batch.data(), n));
+    MaybeEpochTimeout(task);
   }
 }
 
@@ -827,9 +1175,13 @@ void TopologyEngine::MultiplexedWorkerLoop(const std::vector<Task*>& tasks) {
     for (Task* task : tasks) {
       batch.clear();
       const size_t n = task->InTryPopBatch(batch, max_batch);
-      if (n == 0) continue;
+      if (n == 0) {
+        MaybeEpochTimeout(task);
+        continue;
+      }
       any = true;
       ExecuteBatch(task, std::span<Message>(batch.data(), n));
+      MaybeEpochTimeout(task);
     }
     if (!any) {
       bool all_done = true;
@@ -839,7 +1191,17 @@ void TopologyEngine::MultiplexedWorkerLoop(const std::vector<Task*>& tasks) {
           break;
         }
       }
-      if (all_done) return;
+      if (all_done) {
+        bool flushed = false;
+        for (Task* task : tasks) {
+          if (task->aligner != nullptr && !task->held.empty()) {
+            FlushHeld(task);
+            flushed = true;
+          }
+        }
+        if (flushed) continue;  // Released emissions may need a last sweep.
+        return;
+      }
       std::this_thread::sleep_for(std::chrono::microseconds(20));
     }
   }
@@ -944,8 +1306,8 @@ class TopologyEngine::FinishCollector : public OutputCollector {
           Deliver(edge.targets[rng_.NextBounded(edge.targets.size())], tuple);
           break;
         case GroupingKind::kFields: {
-          const uint64_t h =
-              HashOfValue(tuple.field(edge.grouping.field_index), 77);
+          const uint64_t h = HashOfValue(tuple.field(edge.grouping.field_index),
+                                         kFieldsGroupingHashSeed);
           Deliver(edge.targets[h % edge.targets.size()], tuple);
           break;
         }
@@ -986,9 +1348,22 @@ void TopologyEngine::Run() {
   STREAMLIB_CHECK_MSG(config_status.ok(), "invalid EngineConfig: %s",
                       config_status.ToString().c_str());
   BuildTasks();
+  if (config_.epoch_interval_tuples > 0) {
+    // Every task (spouts included) acks every epoch; the coordinator marks
+    // an epoch complete — restorable — only on the full set.
+    coordinator_ = std::make_unique<CheckpointCoordinator>(
+        config_.checkpoint_store, tasks_.size(), config_.resume_from_epoch);
+  }
+  if (config_.resume_from_epoch > 0) {
+    STREAMLIB_CHECK_MSG(
+        config_.checkpoint_store->Get(EpochCompleteKey(config_.resume_from_epoch))
+            .has_value(),
+        "resume_from_epoch %llu was never marked complete",
+        static_cast<unsigned long long>(config_.resume_from_epoch));
+  }
   StartSampler();
 
-  if (config_.semantics == DeliverySemantics::kAtLeastOnce) {
+  if (TracksTuples(config_.semantics)) {
     acker_queue_ = std::make_unique<BlockingQueue<AckerEvent>>(1 << 16);
     acker_thread_ = std::thread([this] { AckerLoop(); });
   }
@@ -1013,6 +1388,7 @@ void TopologyEngine::Run() {
       task->bolt->Prepare(
           task->task_index,
           topology_.components()[task->component_index].parallelism);
+      RestoreTaskState(task);
     }
     for (uint32_t w = 0; w < workers; w++) {
       if (assignment[w].empty()) continue;
@@ -1038,7 +1414,7 @@ void TopologyEngine::Run() {
   {
     auto drained = [this] {
       return pending_messages_.load(std::memory_order_acquire) == 0 &&
-             (config_.semantics != DeliverySemantics::kAtLeastOnce ||
+             (!TracksTuples(config_.semantics) ||
               inflight_roots_.load(std::memory_order_relaxed) == 0);
     };
     std::unique_lock<std::mutex> lock(progress_mu_);
@@ -1052,7 +1428,7 @@ void TopologyEngine::Run() {
   for (auto& t : threads_) t.join();
   threads_.clear();
 
-  if (config_.semantics == DeliverySemantics::kAtLeastOnce) {
+  if (TracksTuples(config_.semantics)) {
     acker_queue_->Close();
     acker_thread_.join();
   }

@@ -22,6 +22,8 @@
 namespace streamlib::platform {
 
 class RunRecorder;
+class KvCheckpointStore;
+class CheckpointCoordinator;
 
 /// How bolt tasks map onto threads — the architectural axis the paper's
 /// Storm-vs-Heron discussion (Section 3) turns on.
@@ -39,7 +41,18 @@ enum class ExecutionMode {
 enum class DeliverySemantics {
   kAtMostOnce,   ///< no tracking; failures lose tuples
   kAtLeastOnce,  ///< XOR-ledger acker; spouts see OnAck/OnFail
+  /// At-least-once replay plus epoch-aligned barrier checkpoints plus
+  /// checkpointed dedup state (DESIGN.md §12): every payload's effect is
+  /// applied exactly once even across crash/restore. Requires a
+  /// checkpoint_store and epoch_interval_tuples > 0.
+  kExactlyOnce,
 };
+
+/// Whether a semantics level runs the acker / root-tracking machinery
+/// (everything above at-most-once does).
+inline bool TracksTuples(DeliverySemantics s) {
+  return s != DeliverySemantics::kAtMostOnce;
+}
 
 /// Engine tuning knobs.
 struct EngineConfig {
@@ -90,6 +103,25 @@ struct EngineConfig {
   /// recording's summary. Not owned; the caller Finalize()s after Run().
   /// Null (the default) records nothing and costs one branch per emission.
   RunRecorder* recorder = nullptr;
+  /// Epoch-aligned barrier checkpointing (DESIGN.md §12). Spouts inject an
+  /// epoch barrier every `epoch_interval_tuples` emissions; bolts align on
+  /// barriers across their input edges, snapshot their state into per-epoch
+  /// frames in `checkpoint_store`, and a coordinator marks an epoch
+  /// complete once every task acked it. 0 disables barriers entirely.
+  /// Required (with a non-null store) for kExactlyOnce.
+  uint64_t epoch_interval_tuples = 0;
+  /// Per-epoch frame storage. Not owned; must outlive Run(). Required when
+  /// epoch_interval_tuples > 0 or resume_from_epoch > 0.
+  KvCheckpointStore* checkpoint_store = nullptr;
+  /// A bolt whose alignment on the next barrier stalls longer than this
+  /// (dropped/delayed barrier, stalled producer) force-advances: it skips
+  /// the stuck epochs — they simply never complete — and realigns at the
+  /// highest barrier it has seen, so checkpointing retries instead of
+  /// wedging the data plane.
+  double epoch_align_timeout_seconds = 0.5;
+  /// Resume: restore every task from its frame at this (complete) epoch
+  /// before pumping data, and number new epochs from here. 0 = fresh run.
+  uint64_t resume_from_epoch = 0;
 
   /// Checks knob ranges (0 means "disabled" for the telemetry knobs, not
   /// an error). Run() aborts on an invalid config; callers building
@@ -133,6 +165,16 @@ class TopologyEngine {
   /// disabled. Valid from Run() start (tests read it after Run returns).
   const FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
+  /// Epoch checkpointing results (barriers enabled; after Run()).
+  /// Highest epoch every task acked — the epoch a resumed run restores.
+  uint64_t last_complete_epoch() const;
+  /// Epochs that reached completion during this run.
+  uint64_t epochs_completed() const;
+  /// Alignment timeouts: times a bolt force-advanced past a stuck barrier.
+  uint64_t epoch_timeouts() const {
+    return epoch_timeouts_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Task;
   struct Edge;
@@ -152,12 +194,30 @@ class TopologyEngine {
   void RestartBolt(Task* task);
   void RunFinishPass();
 
+  // Epoch-barrier plumbing (all no-ops unless epoch_interval_tuples > 0).
+  enum class ExecOutcome { kOk, kFailed, kCrashed };
+  ExecOutcome ExecuteOne(Task* task, struct Message& message,
+                         size_t* executed);
+  void ExecuteBatchAligned(Task* task, std::span<struct Message> batch);
+  void HandleBarrier(Task* task, uint32_t producer, uint64_t epoch,
+                     size_t* executed, bool* crashed);
+  void ReleaseHeld(Task* task, uint64_t max_tag, size_t* executed,
+                   bool* crashed);
+  void FlushHeld(Task* task);
+  void MaybeEpochTimeout(Task* task);
+  void SnapshotBoltEpoch(Task* task, uint64_t epoch);
+  void InjectSpoutBarrier(Task* task, uint64_t epoch);
+  void RestoreTaskState(Task* task);
+  void FinishPending(size_t n);
+
   Topology topology_;
   EngineConfig config_;
   MetricsRegistry metrics_;
   Telemetry telemetry_;
   std::unique_ptr<MetricsSampler> sampler_;
   std::unique_ptr<FaultPlan> fault_plan_;
+  std::unique_ptr<CheckpointCoordinator> coordinator_;
+  std::atomic<uint64_t> epoch_timeouts_{0};
 
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::vector<Edge>> outgoing_;  // Per component index.

@@ -1,0 +1,254 @@
+#include "platform/epoch.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace streamlib::platform {
+
+namespace {
+
+/// Magic prefix of EncodeGroupedState blobs ("EPoch Grouped v1").
+constexpr uint8_t kGroupedMagic[4] = {'E', 'P', 'G', '1'};
+
+}  // namespace
+
+std::string EpochTaskKey(uint64_t epoch, const std::string& component,
+                         uint32_t task_index) {
+  return "epoch:" + std::to_string(epoch) + ":task:" + component + ":" +
+         std::to_string(task_index);
+}
+
+std::string EpochCompleteKey(uint64_t epoch) {
+  return "epoch:" + std::to_string(epoch) + ":complete";
+}
+
+uint64_t LastCompleteEpoch(const KvCheckpointStore& store) {
+  const Result<std::vector<uint8_t>> bytes = store.Fetch(kLastCompleteEpochKey);
+  if (!bytes.ok()) return 0;
+  ByteReader r(bytes.value());
+  uint64_t epoch = 0;
+  if (!r.GetVarint(&epoch).ok()) return 0;
+  return epoch;
+}
+
+std::vector<uint8_t> EncodeGroupedState(
+    const std::map<uint32_t, std::vector<uint8_t>>& groups) {
+  ByteWriter w;
+  w.PutBytes(kGroupedMagic, sizeof(kGroupedMagic));
+  w.PutVarint(groups.size());
+  for (const auto& [group, payload] : groups) {
+    w.PutVarint(group);
+    w.PutVarint(payload.size());
+    w.PutBytes(payload.data(), payload.size());
+  }
+  return w.TakeBytes();
+}
+
+Result<std::map<uint32_t, std::vector<uint8_t>>> DecodeGroupedState(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint8_t magic[4] = {};
+  if (!r.GetBytes(magic, sizeof(magic)).ok() ||
+      std::memcmp(magic, kGroupedMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "not a key-grouped state blob (missing EPG1 magic)");
+  }
+  uint64_t count = 0;
+  STREAMLIB_RETURN_NOT_OK(r.GetVarint(&count));
+  std::map<uint32_t, std::vector<uint8_t>> groups;
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t group = 0;
+    uint64_t len = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&group));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&len));
+    if (group >= kNumKeyGroups) {
+      return Status::Corruption("group id " + std::to_string(group) +
+                                " out of range (kNumKeyGroups=" +
+                                std::to_string(kNumKeyGroups) + ")");
+    }
+    if (len > r.remaining()) {
+      return Status::Corruption("grouped state payload truncated");
+    }
+    std::vector<uint8_t> payload(len);
+    STREAMLIB_RETURN_NOT_OK(r.GetBytes(payload.data(), len));
+    if (!groups.emplace(static_cast<uint32_t>(group), std::move(payload))
+             .second) {
+      return Status::Corruption("duplicate group id " + std::to_string(group));
+    }
+  }
+  return groups;
+}
+
+Status RescaleEpochFrames(KvCheckpointStore& store, uint64_t epoch,
+                          const std::string& component, uint32_t old_tasks,
+                          uint32_t new_tasks) {
+  if (old_tasks == 0 || new_tasks == 0) {
+    return Status::InvalidArgument("task counts must be >= 1");
+  }
+  if (kNumKeyGroups % old_tasks != 0 || kNumKeyGroups % new_tasks != 0) {
+    return Status::InvalidArgument(
+        "rescale parallelism must divide kNumKeyGroups=" +
+        std::to_string(kNumKeyGroups) + " (got " + std::to_string(old_tasks) +
+        " -> " + std::to_string(new_tasks) + ")");
+  }
+  if (!store.Fetch(EpochCompleteKey(epoch)).ok()) {
+    return Status::FailedPrecondition(
+        "epoch " + std::to_string(epoch) +
+        " is not complete; only complete epochs can be rescaled");
+  }
+  // Collect every group's payload across the old shards before writing
+  // anything, so a malformed frame leaves the store untouched.
+  std::map<uint32_t, std::vector<uint8_t>> all_groups;
+  for (uint32_t t = 0; t < old_tasks; t++) {
+    const std::string key = EpochTaskKey(epoch, component, t);
+    Result<std::vector<uint8_t>> frame = store.Fetch(key);
+    STREAMLIB_RETURN_NOT_OK(frame.status());
+    Result<std::map<uint32_t, std::vector<uint8_t>>> groups =
+        DecodeGroupedState(frame.value());
+    STREAMLIB_RETURN_NOT_OK(groups.status());
+    for (auto& [group, payload] : groups.value()) {
+      if (group % old_tasks != t) {
+        return Status::Corruption(
+            "group " + std::to_string(group) + " found in frame of task " +
+            std::to_string(t) + " but belongs to task " +
+            std::to_string(group % old_tasks));
+      }
+      all_groups[group] = std::move(payload);
+    }
+  }
+  for (uint32_t t = 0; t < new_tasks; t++) {
+    std::map<uint32_t, std::vector<uint8_t>> shard;
+    for (const auto& [group, payload] : all_groups) {
+      if (group % new_tasks == t) shard[group] = payload;
+    }
+    store.Put(EpochTaskKey(epoch, component, t), EncodeGroupedState(shard));
+  }
+  for (uint32_t t = new_tasks; t < old_tasks; t++) {
+    store.Erase(EpochTaskKey(epoch, component, t));
+  }
+  return Status::OK();
+}
+
+CheckpointCoordinator::CheckpointCoordinator(KvCheckpointStore* store,
+                                             size_t participants,
+                                             uint64_t base_epoch)
+    : store_(store),
+      participants_(participants),
+      last_complete_(base_epoch),
+      fence_(UINT64_MAX) {}
+
+bool CheckpointCoordinator::AckEpoch(uint64_t epoch, size_t participant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Epochs at/below the resume base are complete by definition; epochs
+  // beyond the crash fence may be missing lost effects and must never
+  // complete; epochs below an already-advanced pointer are moot.
+  if (epoch <= last_complete_ || epoch > fence_) return false;
+  PendingEpoch& pending = pending_[epoch];
+  if (pending.acked.empty()) pending.acked.assign(participants_, false);
+  if (participant >= participants_ || pending.acked[participant]) return false;
+  pending.acked[participant] = true;
+  if (++pending.count < participants_) return false;
+  pending_.erase(epoch);
+  epochs_completed_++;
+  ByteWriter manifest;
+  manifest.PutVarint(epoch);
+  manifest.PutVarint(participants_);
+  store_->Put(EpochCompleteKey(epoch), manifest.TakeBytes());
+  last_complete_ = epoch;
+  ByteWriter pointer;
+  pointer.PutVarint(epoch);
+  store_->Put(kLastCompleteEpochKey, pointer.TakeBytes());
+  return true;
+}
+
+void CheckpointCoordinator::FenceEpochsAfter(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fence_ = std::min(fence_, epoch);
+  // Drop gathered acks for epochs that can no longer complete.
+  pending_.erase(pending_.upper_bound(fence_), pending_.end());
+}
+
+uint64_t CheckpointCoordinator::last_complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_complete_;
+}
+
+uint64_t CheckpointCoordinator::epochs_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_completed_;
+}
+
+uint64_t CheckpointCoordinator::fence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fence_;
+}
+
+EpochAligner::EpochAligner(size_t num_producers, uint64_t timeout_nanos,
+                           uint64_t base_epoch)
+    : num_producers_(num_producers),
+      timeout_nanos_(timeout_nanos),
+      aligned_epoch_(base_epoch) {}
+
+uint64_t EpochAligner::OnBarrier(uint32_t producer, uint64_t epoch,
+                                 uint64_t now_nanos) {
+  uint64_t& watermark = watermark_[producer];
+  if (epoch > watermark) watermark = epoch;
+  if (watermark_.size() >= num_producers_) {
+    uint64_t min_watermark = UINT64_MAX;
+    for (const auto& [p, w] : watermark_) {
+      min_watermark = std::min(min_watermark, w);
+    }
+    if (min_watermark > aligned_epoch_) {
+      aligned_epoch_ = min_watermark;
+      RearmHoldClock(now_nanos);
+      return aligned_epoch_;
+    }
+  }
+  RearmHoldClock(now_nanos);
+  return 0;
+}
+
+bool EpochAligner::ShouldHold(uint32_t producer) const {
+  const auto it = watermark_.find(producer);
+  return it != watermark_.end() && it->second > aligned_epoch_;
+}
+
+uint64_t EpochAligner::HoldTag(uint32_t producer) const {
+  const auto it = watermark_.find(producer);
+  return (it == watermark_.end() ? 0 : it->second) + 1;
+}
+
+bool EpochAligner::TimedOut(uint64_t now_nanos) const {
+  return hold_since_nanos_ != 0 &&
+         now_nanos - hold_since_nanos_ > timeout_nanos_;
+}
+
+uint64_t EpochAligner::ForceAdvance() {
+  uint64_t max_watermark = aligned_epoch_;
+  for (const auto& [p, w] : watermark_) {
+    max_watermark = std::max(max_watermark, w);
+  }
+  aligned_epoch_ = max_watermark;
+  hold_since_nanos_ = 0;
+  epochs_timed_out_++;
+  return aligned_epoch_;
+}
+
+void EpochAligner::RearmHoldClock(uint64_t now_nanos) {
+  bool any_ahead = false;
+  for (const auto& [p, w] : watermark_) {
+    if (w > aligned_epoch_) {
+      any_ahead = true;
+      break;
+    }
+  }
+  if (!any_ahead) {
+    hold_since_nanos_ = 0;
+  } else if (hold_since_nanos_ == 0) {
+    hold_since_nanos_ = now_nanos;
+  }
+}
+
+}  // namespace streamlib::platform

@@ -1,0 +1,170 @@
+#ifndef STREAMLIB_PLATFORM_EPOCH_H_
+#define STREAMLIB_PLATFORM_EPOCH_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "platform/checkpoint.h"
+
+namespace streamlib::platform {
+
+/// Epoch-aligned barrier checkpointing (DESIGN.md §12) — the Chandy-Lamport
+/// / Flink snapshot model composed from the pieces this engine already has:
+/// spouts inject numbered barrier markers every `epoch_interval_tuples`
+/// emissions, bolts align on barriers across all their producer tasks,
+/// every task writes its state for epoch E into a KvCheckpointStore frame,
+/// and a coordinator declares E complete once all tasks acked it. Restoring
+/// every task from the last complete epoch (plus the spout contract of
+/// re-emitting its frame's unacked payloads, deduplicated by ledgers inside
+/// the bolt frames) yields exactly-once delivery of root effects.
+
+/// Number of key groups fields-grouped rescalable state is partitioned
+/// into (the Flink key-group model). Group of a key = hash % kNumKeyGroups;
+/// the task owning group g at parallelism N is g % N, which matches the
+/// router's h % N exactly when N divides kNumKeyGroups — the invariant
+/// KeyGroupedSketchBolt checks in Prepare. Rescaling N -> M is then pure
+/// frame surgery: regroup the per-group payloads by g % M (MergeBlob at
+/// query time folds a task's groups into one sketch).
+inline constexpr uint32_t kNumKeyGroups = 64;
+
+/// Store key of one task's state frame for one epoch.
+std::string EpochTaskKey(uint64_t epoch, const std::string& component,
+                         uint32_t task_index);
+
+/// Store key of the completion marker written when every task acked `epoch`.
+std::string EpochCompleteKey(uint64_t epoch);
+
+/// Store key of the monotonic last-complete-epoch pointer.
+inline constexpr const char* kLastCompleteEpochKey = "epoch:last_complete";
+
+/// Reads the last-complete-epoch pointer; 0 when no epoch ever completed.
+uint64_t LastCompleteEpoch(const KvCheckpointStore& store);
+
+/// Key-grouped frame payload: an ordered (group id -> opaque payload bytes)
+/// map under a magic header, so RescaleEpochFrames can re-bucket groups
+/// without understanding what a bolt put inside each payload. Decode
+/// returns typed errors (Corruption / InvalidArgument) on any malformed
+/// input — the negative-path contract every serde in this repo follows.
+std::vector<uint8_t> EncodeGroupedState(
+    const std::map<uint32_t, std::vector<uint8_t>>& groups);
+Result<std::map<uint32_t, std::vector<uint8_t>>> DecodeGroupedState(
+    const std::vector<uint8_t>& bytes);
+
+/// Rewrites component `component`'s frames for (complete) `epoch` from
+/// `old_tasks` shards to `new_tasks` shards by reassigning key groups
+/// (g % old_tasks -> g % new_tasks). Frames must be EncodeGroupedState
+/// blobs; anything else is a typed error and the store is left with every
+/// original frame intact (new frames are only written after every old one
+/// decoded). Shrinking erases the now-orphaned task frames.
+Status RescaleEpochFrames(KvCheckpointStore& store, uint64_t epoch,
+                          const std::string& component, uint32_t old_tasks,
+                          uint32_t new_tasks);
+
+/// Tracks per-epoch acknowledgements from every task and maintains the
+/// durable completion markers. Thread-safe: spout threads ack at barrier
+/// injection, bolt executors at alignment, and RestartBolt fences from
+/// whichever thread crashed.
+class CheckpointCoordinator {
+ public:
+  /// `participants` is the total task count (spouts + bolts) — every one
+  /// must ack an epoch before it completes. `base_epoch` marks epochs
+  /// <= base as already complete (resuming a restored run).
+  CheckpointCoordinator(KvCheckpointStore* store, size_t participants,
+                        uint64_t base_epoch);
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  /// Records `participant`'s ack of `epoch` (idempotent). Returns true
+  /// exactly when this ack completed the epoch — the completion marker and
+  /// last-complete pointer are then already in the store.
+  bool AckEpoch(uint64_t epoch, size_t participant);
+
+  /// Crash fence: after a task crash-restarts into its epoch-`epoch`
+  /// snapshot, any epoch beyond it may be missing that task's
+  /// post-restore-lost effects, so epochs > `epoch` must never complete.
+  /// Monotonic (the lowest fence wins across multiple crashes).
+  void FenceEpochsAfter(uint64_t epoch);
+
+  uint64_t last_complete() const;
+  uint64_t epochs_completed() const;
+  uint64_t fence() const;
+
+ private:
+  struct PendingEpoch {
+    std::vector<bool> acked;
+    size_t count = 0;
+  };
+
+  KvCheckpointStore* store_;
+  const size_t participants_;
+  mutable std::mutex mu_;
+  uint64_t last_complete_;
+  uint64_t epochs_completed_ = 0;
+  uint64_t fence_;
+  std::map<uint64_t, PendingEpoch> pending_;
+};
+
+/// Pure barrier-alignment logic for one bolt task: per-producer barrier
+/// watermarks, the aligned (snapshot-safe) epoch, and the hold/release
+/// decision for post-barrier input. Not thread-safe — owned by the thread
+/// currently executing the task, like FaultSite.
+///
+/// The epoch tag of a data message from producer p is watermark(p) + 1
+/// (it was sent after p's barrier watermark(p) and before the next one).
+/// A message may execute only once every epoch below its tag has had its
+/// chance to snapshot, i.e. once aligned_epoch >= tag - 1; until then it
+/// is held. Alignment advances to the minimum watermark across all
+/// producers; barriers for skipped epochs simply never get this task's ack
+/// (so those epochs never complete — safe, never wrong).
+class EpochAligner {
+ public:
+  EpochAligner(size_t num_producers, uint64_t timeout_nanos,
+               uint64_t base_epoch);
+
+  /// Consumes one barrier marker. Returns the epoch to snapshot now (> 0)
+  /// when this barrier completed an alignment, else 0. `now_nanos` feeds
+  /// the hold clock for TimedOut.
+  uint64_t OnBarrier(uint32_t producer, uint64_t epoch, uint64_t now_nanos);
+
+  /// True when data from `producer` belongs to an epoch this task has not
+  /// aligned yet (the message must be held, tagged with HoldTag).
+  bool ShouldHold(uint32_t producer) const;
+  uint64_t HoldTag(uint32_t producer) const;
+
+  /// True when input has been held longer than the alignment timeout —
+  /// some producer's barrier was lost or delayed (kBarrierDrop /
+  /// kBarrierDelay are built to cause exactly this).
+  bool TimedOut(uint64_t now_nanos) const;
+
+  /// Timeout recovery: jumps the aligned epoch to the maximum watermark
+  /// WITHOUT snapshotting (the state is torn for the skipped epochs, which
+  /// therefore never complete) and returns the new aligned epoch so the
+  /// caller can forward the barrier and release held input. Alignment then
+  /// retries naturally at the next epoch's barriers.
+  uint64_t ForceAdvance();
+
+  uint64_t aligned_epoch() const { return aligned_epoch_; }
+  uint64_t epochs_timed_out() const { return epochs_timed_out_; }
+
+ private:
+  /// Re-arms (or clears) the hold clock after any state change: ticking
+  /// while some producer's watermark is ahead of the aligned epoch.
+  void RearmHoldClock(uint64_t now_nanos);
+
+  const size_t num_producers_;
+  const uint64_t timeout_nanos_;
+  uint64_t aligned_epoch_;
+  uint64_t hold_since_nanos_ = 0;  // 0 = nothing held.
+  uint64_t epochs_timed_out_ = 0;
+  std::unordered_map<uint32_t, uint64_t> watermark_;
+};
+
+}  // namespace streamlib::platform
+
+#endif  // STREAMLIB_PLATFORM_EPOCH_H_

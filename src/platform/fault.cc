@@ -15,6 +15,8 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kTaskCrash: return "task_crash";
     case FaultKind::kQueueStall: return "queue_stall";
     case FaultKind::kAckerEventLoss: return "acker_event_loss";
+    case FaultKind::kBarrierDrop: return "barrier_drop";
+    case FaultKind::kBarrierDelay: return "barrier_delay";
   }
   return "unknown";
 }
@@ -22,7 +24,8 @@ const char* FaultKindName(FaultKind kind) {
 bool FaultSpec::Enabled() const {
   return drop_tuple_prob > 0 || duplicate_tuple_prob > 0 ||
          delay_delivery_prob > 0 || bolt_throw_prob > 0 ||
-         task_crash_prob > 0 || queue_stall_prob > 0 || acker_loss_prob > 0;
+         task_crash_prob > 0 || queue_stall_prob > 0 || acker_loss_prob > 0 ||
+         barrier_drop_prob > 0 || barrier_delay_prob > 0;
 }
 
 Status FaultSpec::Validate() const {
@@ -37,6 +40,8 @@ Status FaultSpec::Validate() const {
       {"task_crash_prob", task_crash_prob},
       {"queue_stall_prob", queue_stall_prob},
       {"acker_loss_prob", acker_loss_prob},
+      {"barrier_drop_prob", barrier_drop_prob},
+      {"barrier_delay_prob", barrier_delay_prob},
   };
   for (const auto& p : probs) {
     if (!std::isfinite(p.value) || p.value < 0.0 || p.value > 1.0) {
@@ -132,6 +137,19 @@ bool FaultSite::FireTaskCrash() {
 
 bool FaultSite::FireAckerLoss() {
   return Draw(plan_->spec_.acker_loss_prob, FaultKind::kAckerEventLoss);
+}
+
+bool FaultSite::FireBarrierDrop() {
+  return Draw(plan_->spec_.barrier_drop_prob, FaultKind::kBarrierDrop);
+}
+
+uint32_t FaultSite::BarrierDelayMicros() {
+  const uint32_t max = plan_->spec_.barrier_delay_max_micros;
+  if (max == 0 ||
+      !Draw(plan_->spec_.barrier_delay_prob, FaultKind::kBarrierDelay)) {
+    return 0;
+  }
+  return 1 + static_cast<uint32_t>(rng_.NextBounded(max));
 }
 
 uint32_t FaultSite::QueueStallMicros() {

@@ -28,9 +28,11 @@ enum class FaultKind : uint8_t {
   kTaskCrash,        ///< bolt instance dies and restarts from its factory
   kQueueStall,       ///< consumer stalls after draining its input queue
   kAckerEventLoss,   ///< executor→acker kUpdate event lost
+  kBarrierDrop,      ///< epoch-barrier marker lost toward one target task
+  kBarrierDelay,     ///< epoch-barrier marker held back a bounded interval
 };
 
-inline constexpr size_t kNumFaultKinds = 7;
+inline constexpr size_t kNumFaultKinds = 9;
 
 /// Short stable identifier ("drop_tuple", ...) — JSON keys and logs.
 const char* FaultKindName(FaultKind kind);
@@ -59,6 +61,14 @@ struct FaultSpec {
   double queue_stall_prob = 0.0;      ///< per message drained from a queue
   uint32_t queue_stall_micros = 100;  ///< stall drawn uniform in [1, max]
   double acker_loss_prob = 0.0;       ///< per staged kUpdate acker event
+  // Barrier-marker faults (epoch checkpointing only): consulted per
+  // (barrier, target task) in EmitBarrier. A dropped barrier starves the
+  // target's alignment for that epoch; the alignment timeout then
+  // force-advances, the epoch goes incomplete, and checkpointing retries
+  // at the next epoch — the wedge-resistance the chaos suite certifies.
+  double barrier_drop_prob = 0.0;         ///< per barrier per target task
+  double barrier_delay_prob = 0.0;        ///< per barrier per target task
+  uint32_t barrier_delay_max_micros = 200;  ///< delay uniform in [1, max]
 
   /// Any probability > 0 — i.e. the engine must build sites and hooks.
   bool Enabled() const;
@@ -137,6 +147,12 @@ class FaultSite {
 
   /// Ack path, consulted per staged kUpdate event.
   bool FireAckerLoss();
+
+  /// Barrier path (TaskCollector::EmitBarrier), consulted once per
+  /// (barrier, target task). Data tuples never draw from these.
+  bool FireBarrierDrop();
+  /// 0 = no delay; otherwise microseconds to hold the barrier back.
+  uint32_t BarrierDelayMicros();
 
   /// Queue consumer path, consulted per drained message.
   /// 0 = no stall; otherwise microseconds the consumer sleeps.

@@ -42,6 +42,14 @@ namespace streamlib::platform {
 /// order; (2) pins the executor fault-draw order per tuple; the live ack
 /// timeout must also be long enough that only structurally unresolvable
 /// trees fail.
+///
+/// Epoch checkpointing (DESIGN.md §12) is outside this contract entirely:
+/// recording requires epoch_interval_tuples == 0 and resume_from_epoch ==
+/// 0 (EngineConfig::Validate rejects the combination). A resumed run's
+/// first emission depends on restored spout state, and barrier alignment
+/// (hold timers, force-advance) depends on wall-clock timing the SLFR
+/// format does not capture — replay a *fresh* run, or use the epoch
+/// determinism guarantees of exactly_once_test.cc instead.
 
 /// A pause condition for replayed execution.
 struct Breakpoint {

@@ -157,6 +157,29 @@ class SpscRing {
     }
   }
 
+  /// Timed batch pop: like PopBatch but gives up after `timeout` if nothing
+  /// arrives (returning 0 without closing). Lets a consumer with periodic
+  /// side-work — the engine's barrier-alignment timeout check — block
+  /// instead of spin-polling. Mirrors BlockingQueue::PopBatchWithTimeout.
+  size_t PopBatchWithTimeout(std::vector<T>& out, size_t max,
+                             std::chrono::nanoseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      const size_t n = TryPopBatch(out, max);
+      if (n > 0) return n;
+      if (closed_.load(std::memory_order_seq_cst)) {
+        // Closed: only remaining items count (see PopBatch).
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        cached_tail_ = tail_.load(std::memory_order_acquire);
+        return TryPopBatch(out, max);
+      }
+      if (!SpinUntilNotEmpty() && !WaitNotEmptyUntil(deadline)) return 0;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return TryPopBatch(out, max);
+      }
+    }
+  }
+
   /// Non-blocking batch pop.
   size_t TryPopBatch(std::vector<T>& out, size_t max) {
     const uint64_t head = head_.load(std::memory_order_relaxed);

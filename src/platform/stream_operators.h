@@ -1,12 +1,16 @@
 #ifndef STREAMLIB_PLATFORM_STREAM_OPERATORS_H_
 #define STREAMLIB_PLATFORM_STREAM_OPERATORS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <variant>
@@ -14,8 +18,10 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/serde.h"
 #include "common/state.h"
 #include "platform/checkpoint.h"
+#include "platform/epoch.h"
 #include "platform/topology.h"
 
 namespace streamlib::platform {
@@ -109,6 +115,21 @@ class SketchBolt : public Bolt {
   /// Debugger state inspection: the live sketch as a SketchBlob.
   std::optional<std::vector<uint8_t>> StateBlob() const override {
     return state::ToBlob(sketch_);
+  }
+
+  /// Epoch-barrier frames: the sketch travels through the same SketchBlob
+  /// envelope the periodic checkpoints use.
+  std::optional<std::vector<uint8_t>> SnapshotEpoch(uint64_t epoch) override {
+    (void)epoch;
+    return state::ToBlob(sketch_);
+  }
+  Status RestoreEpoch(uint64_t epoch,
+                      const std::vector<uint8_t>& state) override {
+    (void)epoch;
+    Result<T> restored = state::FromBlob<T>(state);
+    STREAMLIB_RETURN_NOT_OK(restored.status());
+    sketch_ = std::move(restored).value();
+    return Status::OK();
   }
 
   const T& sketch() const { return sketch_; }
@@ -208,6 +229,20 @@ class SketchCombinerBolt : public Bolt {
   /// Debugger state inspection: the merged sketch as a SketchBlob.
   std::optional<std::vector<uint8_t>> StateBlob() const override {
     return state::ToBlob(merged_);
+  }
+
+  /// Epoch-barrier frames for the merge side.
+  std::optional<std::vector<uint8_t>> SnapshotEpoch(uint64_t epoch) override {
+    (void)epoch;
+    return state::ToBlob(merged_);
+  }
+  Status RestoreEpoch(uint64_t epoch,
+                      const std::vector<uint8_t>& state) override {
+    (void)epoch;
+    Result<T> restored = state::FromBlob<T>(state);
+    STREAMLIB_RETURN_NOT_OK(restored.status());
+    merged_ = std::move(restored).value();
+    return Status::OK();
   }
 
   const T& merged() const { return merged_; }
@@ -355,6 +390,280 @@ class EnrichBolt : public Bolt {
   std::unordered_map<std::string, Value> reference_;
   size_t key_index_;
   Value default_;
+};
+
+/// Rescalable sketch shard: state lives in key groups (epoch.h), the
+/// Flink-style unit of state redistribution. The key in `key_field` hashes
+/// (with the fields-grouping seed, so group ownership agrees with routing)
+/// into one of kNumKeyGroups groups, each holding its own sketch plus its
+/// own DedupLedger — so when RescaleEpochFrames re-deals the groups across
+/// a different task count, the duplicate-suppression state moves *with*
+/// the keys it protects. Deploy behind Fields(key_field) grouping with a
+/// parallelism dividing kNumKeyGroups.
+///
+/// With `dedup_seq_field` set, that int64 field is a unique payload
+/// sequence number and each group's ledger drops redeliveries — the
+/// checkpoint-then-ack exactly-once recipe, rescale-safe.
+template <state::MergeableSketch T>
+class KeyGroupedSketchBolt : public Bolt {
+ public:
+  using MakeFn = std::function<T()>;
+  using UpdateFn = std::function<void(T&, const Tuple&)>;
+
+  KeyGroupedSketchBolt(MakeFn make, UpdateFn update, size_t key_field,
+                       std::optional<size_t> dedup_seq_field = std::nullopt)
+      : make_(std::move(make)),
+        update_(std::move(update)),
+        key_field_(key_field),
+        dedup_seq_field_(dedup_seq_field) {}
+
+  void Prepare(uint32_t task_index, uint32_t num_tasks) override {
+    STREAMLIB_CHECK_MSG(num_tasks > 0 && kNumKeyGroups % num_tasks == 0,
+                        "KeyGroupedSketchBolt parallelism %u must divide %u "
+                        "key groups",
+                        num_tasks, kNumKeyGroups);
+    task_index_ = task_index;
+    num_tasks_ = num_tasks;
+  }
+
+  void Execute(const Tuple& input, OutputCollector* collector) override {
+    (void)collector;
+    const uint64_t h =
+        HashOfValue(input.field(key_field_), kFieldsGroupingHashSeed);
+    const uint32_t g = static_cast<uint32_t>(h % kNumKeyGroups);
+    auto it = groups_.find(g);
+    if (it == groups_.end()) {
+      it = groups_.emplace(g, Group{make_(), DedupLedger{}}).first;
+    }
+    Group& group = it->second;
+    if (dedup_seq_field_.has_value() &&
+        !group.ledger.CheckAndRecord(
+            0, static_cast<uint64_t>(input.Int(*dedup_seq_field_)))) {
+      return;  // Redelivery of an already-applied payload: drop.
+    }
+    update_(group.sketch, input);
+  }
+
+  /// Pure accumulator (emits only from Finish).
+  bool BatchCapable() const override { return true; }
+
+  /// Epoch frame: the grouped-state envelope (EncodeGroupedState), each
+  /// group payload = [sketch SketchBlob][ledger bytes], both
+  /// length-prefixed. std::map iteration keeps the bytes deterministic.
+  std::optional<std::vector<uint8_t>> SnapshotEpoch(uint64_t epoch) override {
+    (void)epoch;
+    std::map<uint32_t, std::vector<uint8_t>> grouped;
+    for (const auto& [g, group] : groups_) {
+      ByteWriter w;
+      const std::vector<uint8_t> sketch_blob = state::ToBlob(group.sketch);
+      w.PutVarint(sketch_blob.size());
+      w.PutBytes(sketch_blob.data(), sketch_blob.size());
+      const std::vector<uint8_t> ledger = group.ledger.Serialize();
+      w.PutVarint(ledger.size());
+      w.PutBytes(ledger.data(), ledger.size());
+      grouped.emplace(g, std::move(w).TakeBytes());
+    }
+    return EncodeGroupedState(grouped);
+  }
+
+  Status RestoreEpoch(uint64_t epoch,
+                      const std::vector<uint8_t>& state) override {
+    (void)epoch;
+    Result<std::map<uint32_t, std::vector<uint8_t>>> grouped =
+        DecodeGroupedState(state);
+    STREAMLIB_RETURN_NOT_OK(grouped.status());
+    std::map<uint32_t, Group> restored;
+    for (const auto& [g, payload] : grouped.value()) {
+      if (g % num_tasks_ != task_index_) {
+        return Status::InvalidArgument(
+            "key group " + std::to_string(g) + " does not belong to task " +
+            std::to_string(task_index_) + "/" + std::to_string(num_tasks_) +
+            " (frame not rescaled?)");
+      }
+      ByteReader r(payload);
+      uint64_t sketch_len = 0;
+      STREAMLIB_RETURN_NOT_OK(r.GetVarint(&sketch_len));
+      if (sketch_len > r.remaining()) {
+        return Status::Corruption("key-group payload truncated (sketch)");
+      }
+      std::vector<uint8_t> sketch_bytes(sketch_len);
+      STREAMLIB_RETURN_NOT_OK(r.GetBytes(sketch_bytes.data(), sketch_len));
+      uint64_t ledger_len = 0;
+      STREAMLIB_RETURN_NOT_OK(r.GetVarint(&ledger_len));
+      if (ledger_len > r.remaining()) {
+        return Status::Corruption("key-group payload truncated (ledger)");
+      }
+      std::vector<uint8_t> ledger_bytes(ledger_len);
+      STREAMLIB_RETURN_NOT_OK(r.GetBytes(ledger_bytes.data(), ledger_len));
+      Result<T> sketch = state::FromBlob<T>(sketch_bytes);
+      STREAMLIB_RETURN_NOT_OK(sketch.status());
+      Result<DedupLedger> ledger = DedupLedger::Deserialize(ledger_bytes);
+      STREAMLIB_RETURN_NOT_OK(ledger.status());
+      restored.emplace(g, Group{std::move(sketch).value(),
+                                std::move(ledger).value()});
+    }
+    groups_ = std::move(restored);
+    return Status::OK();
+  }
+
+  /// All of this task's groups folded into one sketch (query side).
+  T Merged() const {
+    T out = make_();
+    for (const auto& [g, group] : groups_) {
+      const Status merged = state::MergeBlob(out, state::ToBlob(group.sketch));
+      STREAMLIB_CHECK_MSG(merged.ok(), "key-group merge failed: %s",
+                          merged.ToString().c_str());
+    }
+    return out;
+  }
+
+  void Finish(OutputCollector* collector) override {
+    const std::vector<uint8_t> blob = state::ToBlob(Merged());
+    collector->Emit(Tuple::Of(std::string(blob.begin(), blob.end())));
+  }
+
+  std::optional<std::vector<uint8_t>> StateBlob() const override {
+    return state::ToBlob(Merged());
+  }
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct Group {
+    T sketch;
+    DedupLedger ledger;
+  };
+
+  MakeFn make_;
+  UpdateFn update_;
+  size_t key_field_;
+  std::optional<size_t> dedup_seq_field_;
+  uint32_t task_index_ = 0;
+  uint32_t num_tasks_ = 1;
+  std::map<uint32_t, Group> groups_;  // Ordered: deterministic frame bytes.
+};
+
+/// Replayable integer-sequence source with full epoch-snapshot support —
+/// the chaos suite's reference spout. Emits payloads 0..limit-1 (through
+/// `make_tuple` when given, else as single-field int tuples); under
+/// tracked delivery it keeps every payload owed until acked, re-queueing
+/// failures, and only declares exhaustion once nothing is owed.
+///
+/// `halt_at` >= 0 simulates a mid-stream source crash: the spout stops
+/// dead once the cursor reaches it, abandoning pending and in-flight
+/// payloads exactly as a killed process would. A later run restoring its
+/// epoch frame (cursor + owed payloads) re-emits precisely what the
+/// snapshot still owed.
+class ReplayableSequenceSpout : public Spout {
+ public:
+  using TupleFn = std::function<Tuple(int64_t)>;
+
+  explicit ReplayableSequenceSpout(int64_t limit, TupleFn make_tuple = nullptr,
+                                   int64_t halt_at = -1)
+      : limit_(limit),
+        make_tuple_(std::move(make_tuple)),
+        halt_at_(halt_at) {}
+
+  bool NextTuple(OutputCollector* collector) override {
+    int64_t seq = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (halt_at_ >= 0 && cursor_ >= halt_at_) {
+        return false;  // Simulated crash: abandon everything still owed.
+      }
+      if (!pending_.empty()) {
+        seq = pending_.front();
+        pending_.pop_front();
+      } else if (cursor_ < limit_) {
+        seq = cursor_++;
+      } else if (inflight_.empty()) {
+        return false;  // Every payload emitted and acked.
+      }
+    }
+    if (seq < 0) {
+      // Only in-flight payloads remain: idle-poll for acks/failures.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      return true;
+    }
+    collector->Emit(make_tuple_ ? make_tuple_(seq) : Tuple::Of(seq));
+    const uint64_t root = collector->LastRootId();
+    if (root != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_[root] = seq;
+    }
+    return true;
+  }
+
+  void OnAck(uint64_t root_id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_.erase(root_id) > 0) acked_++;
+  }
+
+  void OnFail(uint64_t root_id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(root_id);
+    if (it == inflight_.end()) return;
+    pending_.push_back(it->second);
+    inflight_.erase(it);
+  }
+
+  /// Frame = cursor + every payload still owed (pending ∪ in-flight),
+  /// sorted for canonical bytes. Payloads acked before this instant are
+  /// excluded — they are inside the downstream frames of this epoch.
+  /// Runs on the spout thread while OnAck/OnFail run on the acker thread;
+  /// mu_ makes the cut atomic.
+  std::optional<std::vector<uint8_t>> SnapshotEpoch(uint64_t epoch) override {
+    (void)epoch;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<int64_t> owed(pending_.begin(), pending_.end());
+    for (const auto& [root, seq] : inflight_) owed.push_back(seq);
+    std::sort(owed.begin(), owed.end());
+    ByteWriter w;
+    w.PutVarint(static_cast<uint64_t>(cursor_));
+    w.PutVarint(owed.size());
+    for (int64_t seq : owed) w.PutI64(seq);
+    return std::move(w).TakeBytes();
+  }
+
+  Status RestoreEpoch(uint64_t epoch,
+                      const std::vector<uint8_t>& state) override {
+    (void)epoch;
+    std::lock_guard<std::mutex> lock(mu_);
+    ByteReader r(state);
+    uint64_t cursor = 0;
+    uint64_t owed = 0;
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&cursor));
+    STREAMLIB_RETURN_NOT_OK(r.GetVarint(&owed));
+    std::deque<int64_t> pending;
+    for (uint64_t i = 0; i < owed; i++) {
+      int64_t seq = 0;
+      STREAMLIB_RETURN_NOT_OK(r.GetI64(&seq));
+      pending.push_back(seq);
+    }
+    pending_ = std::move(pending);
+    inflight_.clear();
+    cursor_ = static_cast<int64_t>(cursor);
+    return Status::OK();
+  }
+
+  uint64_t acked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return acked_;
+  }
+  size_t owed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size() + inflight_.size();
+  }
+
+ private:
+  const int64_t limit_;
+  TupleFn make_tuple_;
+  const int64_t halt_at_;
+  mutable std::mutex mu_;
+  int64_t cursor_ = 0;
+  std::deque<int64_t> pending_;                   // Failed: re-emit next.
+  std::unordered_map<uint64_t, int64_t> inflight_;  // root id -> payload.
+  uint64_t acked_ = 0;
 };
 
 }  // namespace streamlib::platform

@@ -23,6 +23,12 @@ enum class GroupingKind {
   kBroadcast,  ///< every task receives a copy
 };
 
+/// Hash seed the engine's fields-grouping router uses (HashOfValue with
+/// this seed, mod target parallelism). Key-grouped rescalable state
+/// (KeyGroupedSketchBolt) must hash with the same seed so its key-group
+/// assignment stays consistent with routing.
+inline constexpr uint64_t kFieldsGroupingHashSeed = 77;
+
 /// A grouping specification on a subscription edge.
 struct Grouping {
   GroupingKind kind = GroupingKind::kShuffle;
@@ -74,6 +80,29 @@ class Spout {
   /// Called from the acker thread, serialized per spout instance.
   virtual void OnAck(uint64_t root_id) { (void)root_id; }
   virtual void OnFail(uint64_t root_id) { (void)root_id; }
+
+  /// Epoch-barrier checkpoint hooks (DESIGN.md §12). SnapshotEpoch runs on
+  /// the spout thread at the instant barrier `epoch` is injected: return a
+  /// blob capturing every payload this spout still owes the stream (the
+  /// unemitted cursor plus all in-flight unacked payloads), or nullopt for
+  /// sources with nothing to persist. Payloads acked *before* the barrier
+  /// are guaranteed to be inside the downstream epoch-`epoch` bolt frames,
+  /// so the unacked set is exactly the right re-emission set on restore —
+  /// downstream DedupLedgers (restored from the same epoch) absorb the
+  /// overlap. OnAck/OnFail run concurrently on the acker thread, so
+  /// implementations guard shared state with their own mutex.
+  virtual std::optional<std::vector<uint8_t>> SnapshotEpoch(uint64_t epoch) {
+    (void)epoch;
+    return std::nullopt;
+  }
+  /// Rehydrates a SnapshotEpoch blob when the engine resumes from `epoch`.
+  /// Called once after Open, before the first NextTuple.
+  virtual Status RestoreEpoch(uint64_t epoch,
+                              const std::vector<uint8_t>& state) {
+    (void)epoch;
+    (void)state;
+    return Status::Unimplemented("spout has no epoch restore");
+  }
 };
 
 /// A processing node (Storm bolt). One instance exists per task.
@@ -117,6 +146,25 @@ class Bolt {
   /// (the replay debugger pauses between tuples); must not mutate state.
   virtual std::optional<std::vector<uint8_t>> StateBlob() const {
     return std::nullopt;
+  }
+
+  /// Epoch-barrier checkpoint hooks (DESIGN.md §12): called by the engine
+  /// on the executor thread the moment this task aligned on barrier
+  /// `epoch` — the state at that instant contains exactly the effects of
+  /// epochs <= epoch. Return nullopt to skip the frame (stateless bolts);
+  /// opting in means RestoreEpoch must round-trip the blob, because both
+  /// crash-restarts and resumed runs restore through it. Bolts holding a
+  /// DedupLedger serialize it inside the blob — that is what makes
+  /// restored state exactly-once under at-least-once replays.
+  virtual std::optional<std::vector<uint8_t>> SnapshotEpoch(uint64_t epoch) {
+    (void)epoch;
+    return std::nullopt;
+  }
+  virtual Status RestoreEpoch(uint64_t epoch,
+                              const std::vector<uint8_t>& state) {
+    (void)epoch;
+    (void)state;
+    return Status::Unimplemented("bolt has no epoch restore");
   }
 };
 

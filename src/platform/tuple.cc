@@ -39,6 +39,9 @@ std::string ValueToString(const Value& v) {
 }
 
 std::string Tuple::ToString() const {
+  if (IsBarrier()) {
+    return "(barrier:" + std::to_string(barrier_epoch_) + ")";
+  }
   std::string out = "(";
   for (size_t i = 0; i < values_.size(); i++) {
     if (i > 0) out += ", ";

@@ -67,6 +67,19 @@ class Tuple {
   uint64_t edge_id() const { return edge_id_; }
   void set_edge_id(uint64_t id) { edge_id_ = id; }
 
+  /// Epoch-barrier marker (Chandy-Lamport snapshot token, DESIGN.md §12):
+  /// a field-less control tuple the engine routes to every downstream task.
+  /// Bolts never see barriers in Execute — the engine consumes them for
+  /// alignment. Epoch numbers start at 1, so 0 doubles as "not a barrier".
+  static Tuple Barrier(uint64_t epoch) {
+    STREAMLIB_CHECK_MSG(epoch != 0, "barrier epochs start at 1");
+    Tuple t;
+    t.barrier_epoch_ = epoch;
+    return t;
+  }
+  bool IsBarrier() const { return barrier_epoch_ != 0; }
+  uint64_t barrier_epoch() const { return barrier_epoch_; }
+
   std::string ToString() const;
 
  private:
@@ -81,6 +94,7 @@ class Tuple {
   std::vector<Value> values_;
   uint64_t anchor_id_ = 0;
   uint64_t edge_id_ = 0;
+  uint64_t barrier_epoch_ = 0;
 };
 
 }  // namespace streamlib::platform

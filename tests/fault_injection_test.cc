@@ -8,12 +8,14 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chaos_util.h"
@@ -22,6 +24,7 @@
 #include "platform/checkpoint.h"
 #include "platform/components.h"
 #include "platform/engine.h"
+#include "platform/epoch.h"
 #include "platform/fault.h"
 #include "platform/stream_operators.h"
 #include "platform/topology.h"
@@ -606,6 +609,132 @@ TEST(FaultTelemetryTest, DisabledInjectionReportsDisabled) {
   const TelemetryReport report = engine.telemetry().BuildReport();
   EXPECT_FALSE(report.faults.enabled);
   EXPECT_EQ(report.faults.total_injected, 0u);
+}
+
+// --------------------------------------- barrier faults (epoch protocol)
+
+TEST(BarrierFaultTest, DroppedAndDelayedBarriersNeverWedgeDelivery) {
+  // Barriers themselves are a fault target: a dropped marker starves one
+  // consumer's alignment until the epoch_align_timeout force-advance kicks
+  // in, a delayed one jitters alignment order. Neither may wedge the data
+  // plane or corrupt at-least-once delivery — epochs that lose a barrier
+  // simply never complete and checkpointing retries at the next epoch.
+  constexpr int64_t kN = 240;
+  auto state = std::make_shared<ReplayState>(kN);
+  auto delivered = std::make_shared<std::atomic<uint64_t>>(0);
+
+  TopologyBuilder builder;
+  builder.AddSpout("src", [state]() -> std::unique_ptr<Spout> {
+    return std::make_unique<ReplaySpout>(state);
+  });
+  builder.AddBolt(
+      "relay",
+      []() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [](const Tuple& t, OutputCollector* out) { out->Emit(t); });
+      },
+      2, {{"src", Grouping::Shuffle()}});
+  builder.AddBolt(
+      "sink",
+      [delivered]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [delivered](const Tuple&, OutputCollector*) {
+              delivered->fetch_add(1, std::memory_order_relaxed);
+            });
+      },
+      1, {{"relay", Grouping::Global()}});
+
+  KvCheckpointStore store;
+  EngineConfig config;
+  config.semantics = DeliverySemantics::kAtLeastOnce;
+  config.checkpoint_store = &store;
+  config.epoch_interval_tuples = 16;
+  config.ack_timeout_seconds = 0.15;
+  config.epoch_align_timeout_seconds = 0.1;  // Fast force-advance rounds.
+  config.faults.seed = TestSeed() ^ 0xbab1;
+  config.faults.barrier_drop_prob = 0.25;
+  config.faults.barrier_delay_prob = 0.2;
+  config.faults.barrier_delay_max_micros = 100;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  // Termination + full ack: barrier chaos never blocked or lost payloads.
+  EXPECT_EQ(state->acked, static_cast<uint64_t>(kN));
+  EXPECT_TRUE(state->pending.empty());
+  EXPECT_TRUE(state->inflight.empty());
+  EXPECT_GE(delivered->load(), static_cast<uint64_t>(kN));
+
+  // Both barrier fault kinds actually fired (0.25/0.2 over ~15 epochs x 3
+  // barrier deliveries makes either vanishingly unlikely to stay at zero).
+  const std::array<uint64_t, kNumFaultKinds> injected =
+      engine.fault_plan()->Snapshot();
+  EXPECT_GT(injected[static_cast<size_t>(FaultKind::kBarrierDrop)], 0u);
+  EXPECT_GT(injected[static_cast<size_t>(FaultKind::kBarrierDelay)], 0u);
+
+  // The durable pointer agrees with the coordinator's view, and any epoch
+  // it names has a complete manifest.
+  EXPECT_EQ(LastCompleteEpoch(store), engine.last_complete_epoch());
+  if (engine.last_complete_epoch() > 0) {
+    EXPECT_TRUE(
+        store.Get(EpochCompleteKey(engine.last_complete_epoch())).has_value());
+  }
+}
+
+TEST(BarrierFaultTest, AlignmentTimesOutOnSkewThenRetriesToCompletion) {
+  // A deterministic alignment stall, no randomness. srcA paces steadily
+  // (~0.5ms/tuple => a barrier every ~8ms); srcB sleeps 3ms per tuple for
+  // its first 16 tuples (~48ms), then free-runs. The sink holds srcA's
+  // post-barrier data from ~8ms on, so its 30ms hold clock must expire
+  // before srcB's first barrier (~48ms): force-advance => epoch_timeouts
+  // > 0, and the skipped epochs never complete. Then srcB overtakes the
+  // still-pacing srcA and alignment succeeds again for later epochs —
+  // the protocol retries rather than wedging, and no data is lost.
+  static constexpr int64_t kPerSpout = 400;
+  auto delivered = std::make_shared<std::atomic<uint64_t>>(0);
+  auto MakeCountdownSpout = [](bool slow_start) {
+    auto remaining = std::make_shared<std::atomic<int64_t>>(kPerSpout);
+    return [remaining, slow_start]() -> std::unique_ptr<Spout> {
+      return std::make_unique<GeneratorSpout>(
+          [remaining, slow_start]() -> std::optional<Tuple> {
+            const int64_t left = remaining->fetch_sub(1);
+            if (left <= 0) return std::nullopt;
+            if (slow_start) {
+              if (left > kPerSpout - 16) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(3));
+              }
+            } else {
+              std::this_thread::sleep_for(std::chrono::microseconds(500));
+            }
+            return Tuple::Of(int64_t{kPerSpout - left});
+          });
+    };
+  };
+
+  TopologyBuilder builder;
+  builder.AddSpout("srcA", MakeCountdownSpout(false));
+  builder.AddSpout("srcB", MakeCountdownSpout(true));
+  builder.AddBolt(
+      "sink",
+      [delivered]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [delivered](const Tuple&, OutputCollector*) {
+              delivered->fetch_add(1, std::memory_order_relaxed);
+            });
+      },
+      1, {{"srcA", Grouping::Global()}, {"srcB", Grouping::Global()}});
+
+  KvCheckpointStore store;
+  EngineConfig config;
+  config.checkpoint_store = &store;
+  config.epoch_interval_tuples = 16;
+  config.epoch_align_timeout_seconds = 0.03;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  EXPECT_EQ(delivered->load(), static_cast<uint64_t>(2 * kPerSpout));
+  EXPECT_GT(engine.epoch_timeouts(), 0u) << "skew never tripped the hold";
+  EXPECT_GT(engine.epochs_completed(), 0u) << "alignment never recovered";
+  EXPECT_EQ(LastCompleteEpoch(store), engine.last_complete_epoch());
 }
 
 }  // namespace
