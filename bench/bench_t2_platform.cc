@@ -28,6 +28,10 @@
 //                crash/resume with the last complete epoch's key-grouped
 //                frames resharded N -> 2N, verified against an unsharded
 //                baseline (recovery + rescale timings to stdout).
+//   --fusion     run ONLY the H-fusion matrix (fused-operator chains vs
+//                queued execution, DESIGN.md §13) plus the fused-vs-queued
+//                sketch bit-identity check, writing a self-contained JSON
+//                to --out (the bench_fusion_smoke ctest fixture).
 //   --shards=N   run ONLY the D-shard-merge sweep: key-sharded
 //                SketchBolt tasks (1..N, powers of two) feeding a global
 //                SketchCombinerBolt, verifying merged estimates equal a
@@ -361,8 +365,16 @@ void RunMatrixCell(MatrixCell& cell,
   cell.failed = engine.failed_roots();
 }
 
+// H-fusion results (defined with the fusion section below) ride along in
+// the combined BENCH_platform.json document.
+struct FusionCell;
+void WriteFusionSection(std::ostream& out, bool sketch_identical,
+                        const std::vector<FusionCell>& cells);
+
 bool WriteMatrixJson(const std::string& path, bool quick,
-                     const std::vector<MatrixCell>& cells) {
+                     const std::vector<MatrixCell>& cells,
+                     bool fusion_sketch_identical,
+                     const std::vector<FusionCell>& fusion_cells) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -411,11 +423,15 @@ bool WriteMatrixJson(const std::string& path, bool quick,
           << "}";
     }
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],\n";
+  WriteFusionSection(out, fusion_sketch_identical, fusion_cells);
+  out << "\n}\n";
   return out.good();
 }
 
-bool RunTransportMatrix(bool quick, const std::string& out_path) {
+bool RunTransportMatrix(bool quick, const std::string& out_path,
+                        bool fusion_sketch_identical,
+                        const std::vector<FusionCell>& fusion_cells) {
   using bench::Row;
   const int reps = quick ? 1 : 2;
   std::vector<MatrixCell> cells;
@@ -467,7 +483,10 @@ bool RunTransportMatrix(bool quick, const std::string& out_path) {
   Row("lock-free SPSC ring. Unbatched rows replay the per-tuple data");
   Row("plane (emit/execute batch = 1, SPSC off) for the comparison.");
 
-  if (!WriteMatrixJson(out_path, quick, cells)) return false;
+  if (!WriteMatrixJson(out_path, quick, cells, fusion_sketch_identical,
+                       fusion_cells)) {
+    return false;
+  }
   std::printf("\nwrote %s\n", out_path.c_str());
   return true;
 }
@@ -1215,6 +1234,262 @@ bool RunBatchedSketchPath(bool quick) {
   return identical;
 }
 
+// ---------------------------------------------------------------------------
+// H-fusion: fused-operator compilation (DESIGN.md §13). Each shape runs
+// twice on the identical topology — enable_fusion on vs off — and the
+// matrix reports the throughput ratio alongside how many edges actually
+// fused (0 for the honest no-fusion-possible rows). A separate fusible
+// sketch chain must produce byte-identical CountMinSketch state on both
+// channels: fusion is an execution strategy, never a semantics change.
+
+struct FusionCell {
+  std::string shape;
+  DeliverySemantics semantics = DeliverySemantics::kAtMostOnce;
+  bool fused = false;  // enable_fusion for this run
+  uint64_t tuples = 0;
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  uint64_t fused_edges = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+};
+
+/// Builds one of the named fusion-matrix shapes over `n` generated tuples.
+/// Every bolt ends in a DoNotOptimize sink stage so the work survives -O2.
+Topology MakeFusionShape(const std::string& shape, uint64_t n) {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  auto spout_factory = [counter, n]() -> std::unique_ptr<Spout> {
+    return std::make_unique<GeneratorSpout>(
+        [counter, n]() -> std::optional<Tuple> {
+          const uint64_t i = counter->fetch_add(1);
+          if (i >= n) return std::nullopt;
+          return Tuple::Of(static_cast<int64_t>(i));
+        });
+  };
+  auto map_factory = []() -> std::unique_ptr<Bolt> {
+    return std::make_unique<FunctionBolt>(
+        [](const Tuple& in, OutputCollector* out) { out->Emit(Tuple(in)); });
+  };
+  auto sink_factory = []() -> std::unique_ptr<Bolt> {
+    return std::make_unique<FunctionBolt>(
+        [](const Tuple& in, OutputCollector*) {
+          benchmark::DoNotOptimize(in.Int(0));
+        });
+  };
+
+  TopologyBuilder builder;
+  if (shape == "3stage_shuffle_p1") {
+    // The acceptance chain: spout -> map -> sink, all parallelism 1.
+    builder.AddSpout("spout", spout_factory);
+    builder.AddBolt("map", map_factory, 1, {{"spout", Grouping::Shuffle()}});
+    builder.AddBolt("sink", sink_factory, 1, {{"map", Grouping::Shuffle()}});
+  } else if (shape == "2stage_pipeline_p1") {
+    builder.AddSpout("spout", spout_factory);
+    builder.AddBolt("sink", sink_factory, 1, {{"spout", Grouping::Shuffle()}});
+  } else if (shape == "3stage_parallel2") {
+    // Equal-parallelism shuffle: fused pairs producer task i with
+    // consumer task i; two independent fused chains.
+    builder.AddSpout("spout", spout_factory, 2);
+    builder.AddBolt("map", map_factory, 2, {{"spout", Grouping::Shuffle()}});
+    builder.AddBolt("sink", sink_factory, 2, {{"map", Grouping::Shuffle()}});
+  } else if (shape == "fields_tail") {
+    // Partial fusion: spout -> map fuses, the fields-grouped tail keeps
+    // hash routing across 4 shards on a queued edge.
+    builder.AddSpout("spout", spout_factory);
+    builder.AddBolt("map", map_factory, 1, {{"spout", Grouping::Shuffle()}});
+    builder.AddBolt("sink", sink_factory, 4, {{"map", Grouping::Fields(0)}});
+  } else {  // "mixed_parallelism": nothing fuses; the honest ~1.0x row.
+    builder.AddSpout("spout", spout_factory);
+    builder.AddBolt("sink", sink_factory, 4, {{"spout", Grouping::Shuffle()}});
+  }
+  return builder.Build().value();
+}
+
+void RunFusionCell(FusionCell& cell) {
+  EngineConfig config;
+  config.semantics = cell.semantics;
+  config.enable_fusion = cell.fused;
+  TopologyEngine engine(MakeFusionShape(cell.shape, cell.tuples), config);
+  WallTimer timer;
+  engine.Run();
+  cell.seconds = timer.ElapsedSeconds();
+  cell.tuples_per_sec = static_cast<double>(cell.tuples) / cell.seconds;
+  cell.fused_edges = engine.fused_edges();
+  cell.completed = engine.completed_roots();
+  cell.failed = engine.failed_roots();
+}
+
+/// Fused-vs-queued bit-identity on a fully fusible sketch chain:
+/// keys x1 -> CountMinSketch SketchBolt x1 (shuffle) -> combiner x1
+/// (global). Same inputs, both channels, byte-compared ToBlob state.
+bool CheckFusionSketchIdentity(uint64_t n) {
+  auto run = [n](bool fused) {
+    auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+    auto blob = std::make_shared<std::vector<uint8_t>>();
+    TopologyBuilder builder;
+    builder.AddSpout("keys", [counter, n]() -> std::unique_ptr<Spout> {
+      return std::make_unique<GeneratorSpout>(
+          [counter, n]() -> std::optional<Tuple> {
+            const uint64_t i = counter->fetch_add(1);
+            if (i >= n) return std::nullopt;
+            const uint64_t k = HashInt64(i, 7) % 4096;
+            return Tuple::Of(static_cast<int64_t>((k * k) >> 6));
+          });
+    });
+    builder.AddBolt(
+        "cms",
+        []() -> std::unique_ptr<Bolt> {
+          return std::make_unique<SketchBolt<CountMinSketch>>(
+              CountMinSketch(8192, 4),
+              [](CountMinSketch& sketch, const Tuple& t) {
+                sketch.Add(static_cast<uint64_t>(t.Int(0)));
+              });
+        },
+        1, {{"keys", Grouping::Shuffle()}});
+    builder.AddBolt(
+        "out",
+        [blob]() -> std::unique_ptr<Bolt> {
+          return std::make_unique<SketchCombinerBolt<CountMinSketch>>(
+              CountMinSketch(8192, 4),
+              [blob](const CountMinSketch& merged, OutputCollector*) {
+                *blob = state::ToBlob(merged);
+              });
+        },
+        1, {{"cms", Grouping::Global()}});
+    EngineConfig config;
+    config.enable_fusion = fused;
+    TopologyEngine engine(builder.Build().value(), config);
+    engine.Run();
+    return *blob;
+  };
+  return run(true) == run(false) && !run(true).empty();
+}
+
+void WriteFusionSection(std::ostream& out, bool sketch_identical,
+                        const std::vector<FusionCell>& cells) {
+  out << "  \"fusion\": {\n"
+      << "    \"experiment\": \"H-fusion\",\n"
+      << "    \"sketch_state_identical\": "
+      << (sketch_identical ? "true" : "false") << ",\n"
+      << "    \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); i++) {
+    const FusionCell& c = cells[i];
+    out << "      {\"shape\": \"" << c.shape << "\", \"semantics\": \""
+        << SemanticsName(c.semantics) << "\", \"channel\": \""
+        << (c.fused ? "fused" : "queued") << "\", \"tuples\": " << c.tuples
+        << ", \"seconds\": " << c.seconds << ", \"tuples_per_sec\": "
+        << static_cast<uint64_t>(c.tuples_per_sec)
+        << ", \"fused_edges\": " << c.fused_edges
+        << ", \"completed_roots\": " << c.completed
+        << ", \"failed_roots\": " << c.failed << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n    \"speedups\": [\n";
+  bool first = true;
+  for (const FusionCell& f : cells) {
+    if (!f.fused) continue;
+    for (const FusionCell& q : cells) {
+      if (q.fused || q.shape != f.shape || q.semantics != f.semantics) {
+        continue;
+      }
+      if (!first) out << ",\n";
+      first = false;
+      out << "      {\"shape\": \"" << f.shape << "\", \"semantics\": \""
+          << SemanticsName(f.semantics) << "\", \"fused_edges\": "
+          << f.fused_edges << ", \"speedup\": "
+          << (q.tuples_per_sec > 0 ? f.tuples_per_sec / q.tuples_per_sec : 0)
+          << "}";
+    }
+  }
+  out << "\n    ]\n  }";
+}
+
+bool RunFusionMatrix(bool quick, std::vector<FusionCell>* cells_out,
+                     bool* sketch_identical_out) {
+  using bench::Row;
+  const int reps = quick ? 1 : 2;
+  const std::vector<std::string> shapes = {
+      "3stage_shuffle_p1", "2stage_pipeline_p1", "3stage_parallel2",
+      "fields_tail", "mixed_parallelism"};
+  std::vector<FusionCell> cells;
+  for (const std::string& shape : shapes) {
+    for (DeliverySemantics sem : {DeliverySemantics::kAtMostOnce,
+                                  DeliverySemantics::kAtLeastOnce}) {
+      for (bool fused : {true, false}) {
+        FusionCell best;
+        best.shape = shape;
+        best.semantics = sem;
+        best.fused = fused;
+        best.tuples = quick ? (sem == DeliverySemantics::kAtMostOnce
+                                   ? 60000u
+                                   : 25000u)
+                            : (sem == DeliverySemantics::kAtMostOnce
+                                   ? 1000000u
+                                   : 300000u);
+        for (int rep = 0; rep < reps; rep++) {
+          FusionCell attempt = best;
+          attempt.tuples_per_sec = 0;
+          RunFusionCell(attempt);
+          if (attempt.tuples_per_sec > best.tuples_per_sec) best = attempt;
+        }
+        cells.push_back(best);
+      }
+    }
+  }
+  const bool sketch_identical =
+      CheckFusionSketchIdentity(quick ? 100000u : 1000000u);
+
+  bench::TableTitle("H-fusion",
+                    "fused-operator chains (in-thread, no queue hop) vs "
+                    "queued execution of the identical topology");
+  Row("%-20s %-14s | %12s %12s %8s %7s", "shape", "semantics", "queued t/s",
+      "fused t/s", "speedup", "edges");
+  for (size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const FusionCell& f = cells[i];      // fused run pushed first
+    const FusionCell& q = cells[i + 1];  // queued partner
+    Row("%-20s %-14s | %12.0f %12.0f %7.2fx %7llu", f.shape.c_str(),
+        SemanticsName(f.semantics), q.tuples_per_sec, f.tuples_per_sec,
+        q.tuples_per_sec > 0 ? f.tuples_per_sec / q.tuples_per_sec : 0,
+        static_cast<unsigned long long>(f.fused_edges));
+  }
+  Row("sketch state fused vs queued: %s",
+      sketch_identical ? "byte-identical" : "DIVERGED");
+  Row("paper-shape check (Section 3, operator chains): collapsing a");
+  Row("linear chain into one thread removes the queue handoff and the");
+  Row("per-hop ack edge; shapes that need routing (fields, fan-out to");
+  Row("shards) keep queued edges and show ~1x — fusion helps pipelines,");
+  Row("not shuffles-to-many.");
+
+  if (!sketch_identical) {
+    std::fprintf(stderr, "error: fused chain produced different sketch "
+                 "state than the queued run\n");
+  }
+  *cells_out = std::move(cells);
+  *sketch_identical_out = sketch_identical;
+  return sketch_identical;
+}
+
+/// --fusion standalone mode: matrix + identity check only, written as a
+/// self-contained JSON document (the bench_fusion_smoke ctest fixture).
+bool RunFusionOnly(bool quick, const std::string& out_path) {
+  std::vector<FusionCell> cells;
+  bool sketch_identical = false;
+  if (!RunFusionMatrix(quick, &cells, &sketch_identical)) return false;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"bench_t2_platform\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  WriteFusionSection(out, sketch_identical, cells);
+  out << "\n}\n";
+  if (!out.good()) return false;
+  out.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1227,6 +1502,7 @@ int main(int argc, char** argv) {
   std::string record_out;
   bool recorder_overhead_only = false;
   bool rescale = false;
+  bool fusion_only = false;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; i++) {
     const std::string_view arg = argv[i];
@@ -1248,12 +1524,17 @@ int main(int argc, char** argv) {
       recorder_overhead_only = true;
     } else if (arg == "--rescale") {
       rescale = true;
+    } else if (arg == "--fusion") {
+      fusion_only = true;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
   if (rescale) {
     return RunRescaleBench(quick) ? 0 : 1;
+  }
+  if (fusion_only) {
+    return RunFusionOnly(quick, out_path) ? 0 : 1;
   }
   if (chaos) {
     RunChaosBench(quick);
@@ -1283,7 +1564,15 @@ int main(int argc, char** argv) {
     if (!EmitRecording(record_out, quick)) return 1;
     if (quick) return 0;  // fixture-style run: recording only.
   }
-  if (!RunTransportMatrix(quick, out_path)) return 1;
+  std::vector<FusionCell> fusion_cells;
+  bool fusion_sketch_identical = false;
+  const bool fusion_ok =
+      RunFusionMatrix(quick, &fusion_cells, &fusion_sketch_identical);
+  if (!RunTransportMatrix(quick, out_path, fusion_sketch_identical,
+                          fusion_cells)) {
+    return 1;
+  }
+  if (!fusion_ok) return 1;
   if (!RunBatchedSketchPath(quick)) return 1;
   if (!quick) {
     RunTelemetryOverhead(quick);

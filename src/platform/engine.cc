@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "platform/checkpoint.h"
+#include "platform/clock.h"
 #include "platform/epoch.h"
 #include "platform/recorder.h"
 #include "platform/spsc_ring.h"
@@ -15,13 +16,6 @@
 namespace streamlib::platform {
 
 namespace {
-
-uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 /// Per-task trace event buffer size. Bounds tracing memory regardless of
 /// run length; overflow overwrites oldest events (counted, and affected
@@ -145,6 +139,14 @@ struct TopologyEngine::Task {
   std::vector<uint64_t> held_tags;  // held[i] belongs to epoch held_tags[i].
   uint64_t last_snapshot_epoch = 0;  // Frame a crash-restart restores from.
 
+  // Fused-chain wiring (DESIGN.md §13). On a chain head: the downstream
+  // stage tasks in chain order (stage s of tuple routing = fused_stages[s]).
+  // A follower has no input channel and no thread of its own — its bolt
+  // runs inline on the head's thread, so all its state keeps the
+  // one-consulting-thread invariant.
+  std::vector<Task*> fused_stages;
+  bool fused_follower = false;
+
   size_t InPushAll(std::span<Message> b) {
     return ring ? ring->PushAll(b) : queue->PushAll(b);
   }
@@ -185,6 +187,9 @@ struct TopologyEngine::Task {
 struct TopologyEngine::Edge {
   Grouping grouping;
   std::vector<Task*> targets;
+  // Realized as an in-thread fused hop: no queue, no staging slot; the
+  // producer's Emit runs the consumer's chain inline (RunFusedChain).
+  bool fused = false;
 };
 
 /// Engine-side OutputCollector for one task: routes, anchors, applies
@@ -210,6 +215,7 @@ class TopologyEngine::TaskCollector : public OutputCollector {
   void InitStaging() {
     slot_of_task_.assign(engine_->tasks_.size(), -1);
     for (const Edge& edge : engine_->outgoing_[task_->component_index]) {
+      if (edge.fused) continue;  // Fused hops bypass staging entirely.
       for (Task* target : edge.targets) {
         if (slot_of_task_[target->global_index] < 0) {
           slot_of_task_[target->global_index] =
@@ -257,7 +263,8 @@ class TopologyEngine::TaskCollector : public OutputCollector {
       // reading the clock per tuple; executors sample exactly the stamped
       // tuples (and their descendants, which inherit the stamp).
       const uint32_t every = engine_->config_.latency_sample_every;
-      emit_time = every > 0 && total_emitted_ % every == 0 ? NowNanos() : 0;
+      emit_time =
+          every > 0 && total_emitted_ % every == 0 ? engine_->NowNanos() : 0;
       // Trace sampling rides the same counter: every Kth root becomes a
       // span tree, rooted at a span recorded right here.
       const uint32_t trace_every = engine_->config_.trace_sample_every;
@@ -267,7 +274,7 @@ class TopologyEngine::TaskCollector : public OutputCollector {
         current_span_ = current_trace_;
         task_->trace_ring->Record(TraceEvent{
             current_trace_, current_trace_, /*parent_span=*/0,
-            static_cast<uint32_t>(task_->global_index), NowNanos(),
+            static_cast<uint32_t>(task_->global_index), engine_->NowNanos(),
             /*wait_nanos=*/0, /*execute_nanos=*/0});
       } else {
         current_trace_ = 0;
@@ -279,6 +286,28 @@ class TopologyEngine::TaskCollector : public OutputCollector {
         last_spout_root_ = root;
         xor_out_ = 0;
       }
+    }
+
+    // Fused chain head: run every downstream stage inline on this thread
+    // instead of routing into queues. The chain returns the XOR of poison
+    // edge ids for failed hops — 0 when everything succeeded, which under
+    // tracking makes the root's ledger resolve immediately (the same
+    // eventual outcome the queued path reaches after its ack round-trips).
+    if (!task_->fused_stages.empty()) {
+      const uint64_t chain_xor = engine_->RunFusedChain(
+          task_, std::move(tuple), root, emit_time, current_trace_,
+          current_span_);
+      total_emitted_++;
+      unflushed_emits_++;
+      if (TracksTuples(engine_->config_.semantics)) {
+        if (from_spout) {
+          StageAck(AckerEvent{AckerEvent::kInit, root, chain_xor,
+                              task_->global_index});
+        } else if (root != 0) {
+          xor_out_ ^= chain_xor;
+        }
+      }
+      return;
     }
 
     // Resolve this tuple's target task set across all outgoing edges.
@@ -373,6 +402,10 @@ class TopologyEngine::TaskCollector : public OutputCollector {
   /// staged tuple could be needed to unblock (execute-batch end, spout
   /// throttle wait, shutdown).
   void FlushAll() {
+    // A chain head flushes its followers first: a fused tail may have
+    // staged tuples toward queued edges past the chain (and kUpdate acker
+    // events), and those obey the same flush-before-blocking contract.
+    for (Task* follower : task_->fused_stages) follower->collector->FlushAll();
     for (StagingSlot& slot : slots_) FlushSlot(slot);
     if (unflushed_emits_ > 0) {
       task_->metrics->IncEmitted(unflushed_emits_);
@@ -432,7 +465,7 @@ class TopologyEngine::TaskCollector : public OutputCollector {
       // (queue-wait = dequeue - enqueue at the consumer).
       message.trace_id = current_trace_;
       message.trace_parent_span = current_span_;
-      message.trace_enqueue_nanos = NowNanos();
+      message.trace_enqueue_nanos = engine_->NowNanos();
     }
     uint64_t edge_xor = edge_id;
     if (faults != nullptr && faults->FireDuplicateTuple()) {
@@ -507,9 +540,13 @@ class TopologyEngine::TaskCollector : public OutputCollector {
 };
 
 TopologyEngine::TopologyEngine(Topology topology, EngineConfig config)
-    : topology_(std::move(topology)), config_(config) {}
+    : topology_(std::move(topology)),
+      config_(config),
+      clock_(config.clock != nullptr ? config.clock : Clock::Steady()) {}
 
 TopologyEngine::~TopologyEngine() = default;
+
+uint64_t TopologyEngine::NowNanos() const { return clock_->NowNanos(); }
 
 void TopologyEngine::BuildTasks() {
   const auto& components = topology_.components();
@@ -580,11 +617,48 @@ void TopologyEngine::BuildTasks() {
     }
   }
 
+  // Fused-operator compilation (DESIGN.md §13): lower the topology into
+  // the dataflow IR, run the fusion pass, and wire each fused chain: the
+  // chain head keeps its thread and routes emissions through RunFusedChain;
+  // followers lose their input channel and thread — their bolts run inline
+  // on the head's thread, paired task i with task i (rule 7 guarantees
+  // equal parallelism on every fused edge).
+  plan_ = std::make_unique<TopologyPlan>(TopologyPlan::FromTopology(topology_));
+  FusionOptions fusion_options;
+  fusion_options.enable_fusion = config_.enable_fusion;
+  fusion_options.dedicated_mode = config_.mode == ExecutionMode::kDedicated;
+  fusion_options.tracked = TracksTuples(config_.semantics);
+  fusion_options.epochs_enabled =
+      config_.epoch_interval_tuples > 0 || config_.resume_from_epoch > 0;
+  fusion_options.recorder_attached = config_.recorder != nullptr;
+  plan_->RunFusionPass(fusion_options);
+  fused_edges_ = plan_->fused_edge_count();
+  for (const std::vector<size_t>& chain : plan_->chains()) {
+    for (size_t i = 0; i + 1 < chain.size(); i++) {
+      // Rule 9: a fused producer has exactly one outgoing edge.
+      outgoing_[chain[i]][0].fused = true;
+    }
+    const uint32_t chain_parallelism = components[chain[0]].parallelism;
+    for (uint32_t ti = 0; ti < chain_parallelism; ti++) {
+      Task* head = tasks_by_component[chain[0]][ti];
+      for (size_t s = 1; s < chain.size(); s++) {
+        Task* follower = tasks_by_component[chain[s]][ti];
+        follower->fused_follower = true;
+        head->fused_stages.push_back(follower);
+      }
+    }
+  }
+
   // Input channels: a bolt task whose input has exactly one producer task
   // gets the lock-free SPSC ring (dedicated mode only — both endpoints are
   // single threads there); everything else gets the MPMC blocking queue.
   for (auto& task : tasks_) {
     if (task->bolt == nullptr) continue;
+    // Fused followers have no input channel at all: their tuples arrive as
+    // inline calls on the chain head's thread. (No queue also means no
+    // queue-stall site — the fused analogue of a stall is simply the head
+    // thread running the stage.)
+    if (task->fused_follower) continue;
     const bool spsc = config_.enable_spsc &&
                       config_.mode == ExecutionMode::kDedicated &&
                       producer_tasks[task->component_index] == 1;
@@ -645,7 +719,7 @@ void TopologyEngine::StartSampler() {
   for (auto& task : tasks_) {
     MetricsSampler::Probe probe;
     probe.metrics = task->metrics;
-    if (task->bolt != nullptr) {
+    if (task->bolt != nullptr && !task->fused_follower) {
       Task* t = task.get();
       probe.queue_depth = [t] { return t->InApproxSize(); };
     }
@@ -680,6 +754,14 @@ void TopologyEngine::SpoutLoop(Task* task) {
   task->spout->Open(task->task_index,
                     topology_.components()[task->component_index].parallelism);
   RestoreTaskState(task);
+  // A fused chain head prepares its followers: they have no thread of
+  // their own, and their bolts will run inline right here.
+  for (Task* follower : task->fused_stages) {
+    follower->bolt->Prepare(
+        follower->task_index,
+        topology_.components()[follower->component_index].parallelism);
+    RestoreTaskState(follower);
+  }
   TaskCollector* collector = task->collector.get();
   const size_t batch = std::max<size_t>(1, config_.emit_batch_size);
   const bool track = TracksTuples(config_.semantics);
@@ -837,19 +919,200 @@ void TopologyEngine::FinishPending(size_t n) {
   }
 }
 
-/// The fused batch path: one dispatch, one fault draw per site, one
-/// ack-staging pass for the whole batch. Only reached for batch-capable
-/// bolts (pure accumulators that never emit from execution) on fully
-/// untraced batches.
+/// Collector for a non-tail fused stage: every Emit becomes the next hop
+/// of the chain, executed inline (stack recursion instead of a queue).
+class TopologyEngine::FusedStageCollector : public OutputCollector {
+ public:
+  FusedStageCollector(TopologyEngine* engine, Task* head, size_t next_stage,
+                      uint64_t root, uint64_t emit_time, uint64_t trace_id,
+                      uint64_t parent_span, uint64_t* chain_xor)
+      : engine_(engine),
+        head_(head),
+        next_stage_(next_stage),
+        root_(root),
+        emit_time_(emit_time),
+        trace_id_(trace_id),
+        parent_span_(parent_span),
+        chain_xor_(chain_xor) {}
+
+  void Emit(Tuple tuple) override {
+    head_->fused_stages[next_stage_ - 1]->metrics->IncEmitted();
+    engine_->DeliverFusedHop(head_, next_stage_, std::move(tuple), root_,
+                             emit_time_, trace_id_, parent_span_, chain_xor_);
+  }
+
+ private:
+  TopologyEngine* engine_;
+  Task* head_;
+  const size_t next_stage_;
+  const uint64_t root_;
+  const uint64_t emit_time_;
+  const uint64_t trace_id_;
+  const uint64_t parent_span_;
+  uint64_t* chain_xor_;
+};
+
+uint64_t TopologyEngine::RunFusedChain(Task* head, Tuple tuple, uint64_t root,
+                                       uint64_t emit_time, uint64_t trace_id,
+                                       uint64_t parent_span) {
+  uint64_t chain_xor = 0;
+  DeliverFusedHop(head, 0, std::move(tuple), root, emit_time, trace_id,
+                  parent_span, &chain_xor);
+  return chain_xor;
+}
+
+/// One fused hop: the producer's transport faults are consulted in the
+/// exact per-site order of the queued Stage() path (delay → drop →
+/// duplicate), so the same seed draws the same transport schedule fused
+/// or queued. Delivered hops allocate NO ledger edge ids — the inline
+/// call both "delivers" and "acks", a net ledger zero either way — but
+/// every failure (drop, throw, crash) poisons the chain ledger with a
+/// fresh edge id no execution will ever clear, so under tracking the root
+/// fails by ack timeout exactly like its queued counterpart.
+void TopologyEngine::DeliverFusedHop(Task* head, size_t stage, Tuple tuple,
+                                     uint64_t root, uint64_t emit_time,
+                                     uint64_t trace_id, uint64_t parent_span,
+                                     uint64_t* chain_xor) {
+  Task* producer = stage == 0 ? head : head->fused_stages[stage - 1];
+  FaultSite* faults = producer->transport_faults.get();
+  bool duplicate = false;
+  if (faults != nullptr) {
+    const uint32_t delay_us = faults->DeliveryDelayMicros();
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    if (faults->FireDropTuple()) {
+      if (root != 0) {
+        *chain_xor ^= next_edge_id_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    duplicate = faults->FireDuplicateTuple();
+  }
+  if (duplicate) {
+    // Redelivery: the stage genuinely executes twice (the duplication
+    // at-least-once permits), with the copy going first like the queued
+    // path's staged copy-then-original order.
+    ExecuteFusedStage(head, stage, tuple, root, emit_time, trace_id,
+                      parent_span, chain_xor);
+  }
+  ExecuteFusedStage(head, stage, tuple, root, emit_time, trace_id,
+                    parent_span, chain_xor);
+}
+
+/// Runs one stage's bolt on one tuple, inline. Mirrors ExecuteOne's
+/// sequence exactly — throw inside the try (a thrown tuple fails, no
+/// crash draw), then metrics/trace/latency, then the post-Execute crash
+/// draw — so the executor site's decision stream is identical to the
+/// queued path's. A crash restarts the stage bolt in place (the head's
+/// thread IS this "process"; subsequent tuples meet the fresh instance).
+void TopologyEngine::ExecuteFusedStage(Task* head, size_t stage,
+                                       const Tuple& tuple, uint64_t root,
+                                       uint64_t emit_time, uint64_t trace_id,
+                                       uint64_t parent_span,
+                                       uint64_t* chain_xor) {
+  Task* task = head->fused_stages[stage];
+  const bool tail = stage + 1 == head->fused_stages.size();
+  FaultSite* faults = task->executor_faults.get();
+  uint64_t hop_span = 0;
+  uint64_t execute_start = 0;
+  if (trace_id != 0) {
+    hop_span = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+    execute_start = NowNanos();
+  }
+  bool ok = true;
+  if (tail) {
+    // The tail may feed queued edges past the chain: its own TaskCollector
+    // stages those (and accumulates their edge ids in xor_out), which the
+    // chain merges into the root's ledger like any bolt's children.
+    TaskCollector* collector = task->collector.get();
+    collector->BeginExecute(root, emit_time, trace_id, hop_span);
+    try {
+      if (faults != nullptr && faults->FireBoltThrow()) {
+        throw InjectedBoltError("injected bolt failure");
+      }
+      task->bolt->Execute(tuple, collector);
+    } catch (...) {
+      ok = false;
+      task->metrics->IncBoltExceptions();
+    }
+    const uint64_t xor_out = collector->EndExecute();
+    if (ok) *chain_xor ^= xor_out;
+  } else {
+    FusedStageCollector next(this, head, stage + 1, root, emit_time, trace_id,
+                             hop_span, chain_xor);
+    try {
+      if (faults != nullptr && faults->FireBoltThrow()) {
+        throw InjectedBoltError("injected bolt failure");
+      }
+      task->bolt->Execute(tuple, &next);
+    } catch (...) {
+      ok = false;
+      task->metrics->IncBoltExceptions();
+    }
+  }
+  if (!ok) {
+    // Failed hop: poison the chain ledger (the queued throw reaches the
+    // same end state — an uncleared edge id timing the root out).
+    if (root != 0) {
+      *chain_xor ^= next_edge_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  task->metrics->IncExecuted();
+  if (trace_id != 0) {
+    task->trace_ring->Record(TraceEvent{
+        trace_id, hop_span, parent_span,
+        static_cast<uint32_t>(task->global_index), execute_start,
+        /*wait_nanos=*/0, NowNanos() - execute_start});
+  }
+  if (emit_time > 0) {
+    task->metrics->RecordLatencyNanos(NowNanos() - emit_time);
+  }
+  if (faults != nullptr && faults->FireTaskCrash()) {
+    // The completed Execute's effects stand but the hop's ack is
+    // swallowed with the "process" (the MillWheel torn window): poison
+    // the ledger so the root replays, and rebuild the stage bolt.
+    if (root != 0) {
+      *chain_xor ^= next_edge_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    RestartBolt(task);
+  }
+}
+
+/// The fused batch path: one dispatch, one ack-staging pass for the whole
+/// batch — but one fault draw PER MESSAGE, exactly like the scalar path.
+/// Batch boundaries depend on thread timing (how much the consumer drains
+/// per pop), so per-batch draws would make the executor site's decision
+/// stream timing-dependent and break the same-seed ⇒ same-schedule replay
+/// contract; per-message consultation keeps the stream a pure function of
+/// the message sequence (the same reasoning as the queue-stall
+/// interceptor in BuildTasks). Blast radius stays batch-granular: any
+/// throw fails the whole batch, any crash kills it before execution.
+/// Only reached for batch-capable bolts (pure accumulators that never
+/// emit from execution) on fully untraced batches.
 void TopologyEngine::ExecuteBatchFused(Task* task, std::span<Message> batch) {
   TaskCollector* collector = task->collector.get();
   const bool track = TracksTuples(config_.semantics);
   FaultSite* faults = task->executor_faults.get();
-  // One crash draw covers the batch and fires *before* execution: a crash
-  // kills the batch unexecuted and unacked (at-least-once replays it via
-  // the ack timeout), never torn mid-batch. The scalar path keeps covering
-  // the mid-batch torn-window case for per-tuple bolts.
-  const bool crash_now = faults != nullptr && faults->FireTaskCrash();
+  // Per-message draws in the scalar path's per-site order (throw, then
+  // crash). A thrown message draws no crash (ExecuteOne returns kFailed
+  // before its crash draw); the first crash ends the stream for the batch
+  // (the scalar loop breaks on kCrashed, leaving the remainder undrawn).
+  bool throw_now = false;
+  bool crash_now = false;
+  if (faults != nullptr) {
+    for (size_t i = 0; i < batch.size() && !crash_now; i++) {
+      if (faults->FireBoltThrow()) {
+        throw_now = true;
+        continue;
+      }
+      if (faults->FireTaskCrash()) crash_now = true;
+    }
+  }
+  // A crash kills the batch unexecuted and unacked (at-least-once replays
+  // it via the ack timeout), never torn mid-batch. The scalar path keeps
+  // covering the mid-batch torn-window case for per-tuple bolts.
   bool executed_ok = false;
   if (!crash_now) {
     thread_local std::vector<const Tuple*> inputs;
@@ -860,7 +1123,7 @@ void TopologyEngine::ExecuteBatchFused(Task* task, std::span<Message> batch) {
     collector->BeginExecute(0, 0, 0, 0);
     bool ok = true;
     try {
-      if (faults != nullptr && faults->FireBoltThrow()) {
+      if (throw_now) {
         throw InjectedBoltError("injected bolt failure");
       }
       task->bolt->ExecuteBatch(
@@ -1131,6 +1394,14 @@ void TopologyEngine::DedicatedBoltLoop(Task* task) {
       task->task_index,
       topology_.components()[task->component_index].parallelism);
   RestoreTaskState(task);
+  // Bolt-headed fused chains (the spout edge stayed queued but downstream
+  // bolt→bolt edges fused): prepare the followers on this thread too.
+  for (Task* follower : task->fused_stages) {
+    follower->bolt->Prepare(
+        follower->task_index,
+        topology_.components()[follower->component_index].parallelism);
+    RestoreTaskState(follower);
+  }
   const size_t max_batch = std::max<size_t>(1, config_.execute_batch_size);
   std::vector<Message> batch;
   batch.reserve(max_batch);
@@ -1368,10 +1639,14 @@ void TopologyEngine::Run() {
     acker_thread_ = std::thread([this] { AckerLoop(); });
   }
 
-  // Bolt executors.
+  // Bolt executors. Fused followers get no thread (and have no input
+  // channel to drain or close) — they execute inline on their chain
+  // head's thread.
   std::vector<Task*> bolt_tasks;
   for (const auto& task : tasks_) {
-    if (task->bolt != nullptr) bolt_tasks.push_back(task.get());
+    if (task->bolt != nullptr && !task->fused_follower) {
+      bolt_tasks.push_back(task.get());
+    }
   }
   if (config_.mode == ExecutionMode::kDedicated) {
     for (Task* task : bolt_tasks) {

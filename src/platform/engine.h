@@ -14,6 +14,7 @@
 #include "platform/fault.h"
 #include "platform/metrics.h"
 #include "platform/metrics_sampler.h"
+#include "platform/plan.h"
 #include "platform/queue.h"
 #include "platform/telemetry.h"
 #include "platform/topology.h"
@@ -24,6 +25,7 @@ namespace streamlib::platform {
 class RunRecorder;
 class KvCheckpointStore;
 class CheckpointCoordinator;
+class Clock;
 
 /// How bolt tasks map onto threads — the architectural axis the paper's
 /// Storm-vs-Heron discussion (Section 3) turns on.
@@ -122,6 +124,18 @@ struct EngineConfig {
   /// Resume: restore every task from its frame at this (complete) epoch
   /// before pumping data, and number new epochs from here. 0 = fresh run.
   uint64_t resume_from_epoch = 0;
+  /// Fused-operator compilation (DESIGN.md §13): lower the topology to a
+  /// dataflow IR, collapse eligible spout→bolt→bolt chains into in-thread
+  /// fused operators (no queue, no per-hop ack traffic), and fall back to
+  /// queued edges wherever the legality rules demand it. Off by default:
+  /// fusion removes queues, which changes the observable transport shape
+  /// (spsc_edges(), queue-depth gauges) existing callers rely on.
+  bool enable_fusion = false;
+  /// Time source for latency stamps, ack/alignment timeouts, and trace
+  /// timestamps. Null (the default) uses the process steady clock; tests
+  /// inject a ManualClock to drive timeout paths deterministically.
+  /// Not owned; must outlive Run().
+  Clock* clock = nullptr;
 
   /// Checks knob ranges (0 means "disabled" for the telemetry knobs, not
   /// an error). Run() aborts on an invalid config; callers building
@@ -161,6 +175,15 @@ class TopologyEngine {
   /// Number of bolt input queues backed by the SPSC ring (after Run()).
   size_t spsc_edges() const { return spsc_edges_; }
 
+  /// The dataflow IR the engine compiled this topology into, with fusion
+  /// decisions and per-edge vetoes. Built during Run()'s BuildTasks (null
+  /// before Run()); always present afterwards, even with fusion disabled.
+  const TopologyPlan* plan() const { return plan_.get(); }
+
+  /// Edges realized as in-thread fused hops instead of queues (after
+  /// Run()). 0 whenever enable_fusion is false or nothing was eligible.
+  size_t fused_edges() const { return fused_edges_; }
+
   /// Injected-fault counters for this run; null when config.faults is
   /// disabled. Valid from Run() start (tests read it after Run returns).
   const FaultPlan* fault_plan() const { return fault_plan_.get(); }
@@ -180,6 +203,7 @@ class TopologyEngine {
   struct Edge;
   class TaskCollector;
   class FinishCollector;
+  class FusedStageCollector;
   struct AckerEvent;
 
   void BuildTasks();
@@ -193,6 +217,24 @@ class TopologyEngine {
   void ExecuteBatchFused(Task* task, std::span<struct Message> batch);
   void RestartBolt(Task* task);
   void RunFinishPass();
+
+  /// Injected time source (config.clock or the steady default).
+  uint64_t NowNanos() const;
+
+  // Fused-chain execution (DESIGN.md §13). RunFusedChain drives one spout
+  // emission through every stage of `head`'s fused chain inline on the
+  // calling thread; the return value is the XOR of the poison edge ids of
+  // any hops that failed (0 = the whole chain succeeded — kInit with
+  // ledger 0 resolves immediately, matching the queued eventual outcome).
+  uint64_t RunFusedChain(Task* head, Tuple tuple, uint64_t root,
+                         uint64_t emit_time, uint64_t trace_id,
+                         uint64_t parent_span);
+  void DeliverFusedHop(Task* head, size_t stage, Tuple tuple, uint64_t root,
+                       uint64_t emit_time, uint64_t trace_id,
+                       uint64_t parent_span, uint64_t* chain_xor);
+  void ExecuteFusedStage(Task* head, size_t stage, const Tuple& tuple,
+                         uint64_t root, uint64_t emit_time, uint64_t trace_id,
+                         uint64_t parent_span, uint64_t* chain_xor);
 
   // Epoch-barrier plumbing (all no-ops unless epoch_interval_tuples > 0).
   enum class ExecOutcome { kOk, kFailed, kCrashed };
@@ -222,6 +264,9 @@ class TopologyEngine {
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::vector<Edge>> outgoing_;  // Per component index.
   size_t spsc_edges_ = 0;
+  std::unique_ptr<TopologyPlan> plan_;
+  size_t fused_edges_ = 0;
+  Clock* clock_;  // Never null after construction; not owned.
 
   std::atomic<uint64_t> pending_messages_{0};
   std::atomic<uint64_t> next_root_id_{1};

@@ -57,7 +57,10 @@ FaultPlan::FaultPlan(FaultSpec spec)
 
 std::unique_ptr<FaultSite> FaultPlan::MakeSite(uint64_t site_id,
                                                TaskMetrics* metrics) {
-  return std::unique_ptr<FaultSite>(new FaultSite(this, site_id, metrics));
+  auto& slot = site_stats_[site_id];
+  if (slot == nullptr) slot = std::make_unique<FaultSiteStats>();
+  return std::unique_ptr<FaultSite>(
+      new FaultSite(this, site_id, metrics, slot.get()));
 }
 
 uint64_t FaultPlan::total_injected() const {
@@ -76,6 +79,14 @@ std::array<uint64_t, kNumFaultKinds> FaultPlan::Snapshot() const {
   return out;
 }
 
+std::map<uint64_t, FaultSiteStats> FaultPlan::SiteStatsSnapshot() const {
+  std::map<uint64_t, FaultSiteStats> out;
+  for (const auto& [site_id, stats] : site_stats_) {
+    out[site_id] = *stats;
+  }
+  return out;
+}
+
 bool FaultPlan::ConsumeCrashBudget() {
   uint32_t budget = crash_budget_.load(std::memory_order_relaxed);
   while (budget > 0) {
@@ -87,16 +98,20 @@ bool FaultPlan::ConsumeCrashBudget() {
   return false;
 }
 
-FaultSite::FaultSite(FaultPlan* plan, uint64_t site_id, TaskMetrics* metrics)
+FaultSite::FaultSite(FaultPlan* plan, uint64_t site_id, TaskMetrics* metrics,
+                     FaultSiteStats* stats)
     // Golden-ratio mixing keeps adjacent site ids from producing
     // correlated streams (Rng's SplitMix64 expansion finishes the job).
     : plan_(plan),
       rng_(plan->spec_.seed ^ (0x9e3779b97f4a7c15ULL * (site_id + 1))),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      stats_(stats) {}
 
 bool FaultSite::Draw(double prob, FaultKind kind) {
   if (prob <= 0.0) return false;
+  stats_->consulted[static_cast<size_t>(kind)]++;
   if (rng_.NextDouble() >= prob) return false;
+  stats_->fired[static_cast<size_t>(kind)]++;
   plan_->Record(kind);
   if (metrics_ != nullptr) metrics_->IncFaultsInjected();
   return true;
@@ -128,8 +143,10 @@ bool FaultSite::FireTaskCrash() {
   if (prob <= 0.0) return false;
   // Always advance the PRNG so an exhausted budget leaves the site's
   // decision stream (and every later draw) unchanged.
+  stats_->consulted[static_cast<size_t>(FaultKind::kTaskCrash)]++;
   if (rng_.NextDouble() >= prob) return false;
   if (!plan_->ConsumeCrashBudget()) return false;
+  stats_->fired[static_cast<size_t>(FaultKind::kTaskCrash)]++;
   plan_->Record(FaultKind::kTaskCrash);
   if (metrics_ != nullptr) metrics_->IncFaultsInjected();
   return true;

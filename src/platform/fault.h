@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -79,6 +80,19 @@ struct FaultSpec {
 
 class FaultSite;
 
+/// Per-site decision-stream accounting: how many times each kind's draw
+/// was consulted (PRNG advanced) and how many of those fired. Two runs
+/// with the same seed executed the same fault schedule iff their per-site
+/// stats maps compare equal — this is what the fused-vs-queued schedule
+/// equality regression test asserts, and what caught the per-batch draw
+/// sizing drift in the fused execute path.
+struct FaultSiteStats {
+  std::array<uint64_t, kNumFaultKinds> consulted{};
+  std::array<uint64_t, kNumFaultKinds> fired{};
+
+  bool operator==(const FaultSiteStats&) const = default;
+};
+
 /// Engine-wide fault-injection state for one run: the spec, the per-kind
 /// injected counters (atomic — sites on different threads record into
 /// them), and the crash budget. Owned by the engine; tests read the
@@ -106,6 +120,11 @@ class FaultPlan {
   uint64_t total_injected() const;
   std::array<uint64_t, kNumFaultKinds> Snapshot() const;
 
+  /// Copies every site's consulted/fired counters, keyed by site id. Call
+  /// only after the run's worker threads have joined (each site's stats are
+  /// written by the one thread that consults the site).
+  std::map<uint64_t, FaultSiteStats> SiteStatsSnapshot() const;
+
  private:
   friend class FaultSite;
 
@@ -120,6 +139,10 @@ class FaultPlan {
   const FaultSpec spec_;
   std::array<std::atomic<uint64_t>, kNumFaultKinds> injected_{};
   std::atomic<uint32_t> crash_budget_;
+  // Stats slots live here (stable addresses) so a site can outlive nothing:
+  // MakeSite is called single-threaded from BuildTasks; afterwards each
+  // slot is written only by its site's consulting thread.
+  std::map<uint64_t, std::unique_ptr<FaultSiteStats>> site_stats_;
 };
 
 /// One injection site's deterministic decision stream. NOT thread-safe:
@@ -161,7 +184,8 @@ class FaultSite {
  private:
   friend class FaultPlan;
 
-  FaultSite(FaultPlan* plan, uint64_t site_id, TaskMetrics* metrics);
+  FaultSite(FaultPlan* plan, uint64_t site_id, TaskMetrics* metrics,
+            FaultSiteStats* stats);
 
   /// One Bernoulli draw against `prob`; records `kind` on fire. Skips the
   /// PRNG entirely when prob == 0 so disabled kinds cost nothing and do
@@ -171,6 +195,7 @@ class FaultSite {
   FaultPlan* plan_;
   Rng rng_;
   TaskMetrics* metrics_;  // Nullable (sites not tied to one task).
+  FaultSiteStats* stats_;  // Owned by the plan; written only by this site.
 };
 
 /// The exception the bolt-throw injection point raises inside Execute.

@@ -7,6 +7,16 @@
 
 namespace streamlib::platform {
 
+const char* GroupingKindName(GroupingKind kind) {
+  switch (kind) {
+    case GroupingKind::kShuffle: return "shuffle";
+    case GroupingKind::kFields: return "fields";
+    case GroupingKind::kGlobal: return "global";
+    case GroupingKind::kBroadcast: return "broadcast";
+  }
+  return "unknown";
+}
+
 size_t Topology::IndexOf(const std::string& name) const {
   for (size_t i = 0; i < components_.size(); i++) {
     if (components_[i].name == name) return i;

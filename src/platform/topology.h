@@ -23,6 +23,10 @@ enum class GroupingKind {
   kBroadcast,  ///< every task receives a copy
 };
 
+/// Short stable identifier ("shuffle", "fields", ...) — plan dumps, bench
+/// JSON keys, and fusion-veto messages.
+const char* GroupingKindName(GroupingKind kind);
+
 /// Hash seed the engine's fields-grouping router uses (HashOfValue with
 /// this seed, mod target parallelism). Key-grouped rescalable state
 /// (KeyGroupedSketchBolt) must hash with the same seed so its key-group

@@ -1,0 +1,519 @@
+// Fused-operator topology compilation (DESIGN.md §13): the dataflow IR's
+// shape, every fusion-legality veto, engine execution through fused chains
+// (counts and results identical to the queued baseline), the
+// fused-vs-queued fault-schedule equality contract, the per-message draw
+// sizing of the batched execute path, and the injectable-Clock
+// alignment-timeout determinism fix.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/checkpoint.h"
+#include "platform/clock.h"
+#include "platform/components.h"
+#include "platform/engine.h"
+#include "platform/fault.h"
+#include "platform/plan.h"
+#include "platform/topology.h"
+
+namespace streamlib::platform {
+namespace {
+
+// --------------------------------------------------------------- helpers
+
+std::unique_ptr<Spout> MakeCountingSpout(int64_t n) {
+  return std::make_unique<GeneratorSpout>(
+      [n, i = int64_t{0}]() mutable -> std::optional<Tuple> {
+        if (i >= n) return std::nullopt;
+        const int64_t v = i++;
+        std::string key = "k";
+        key += std::to_string(v % 17);
+        return Tuple::Of(std::move(key), v);
+      });
+}
+
+std::unique_ptr<Bolt> MakePassThroughBolt() {
+  return std::make_unique<FunctionBolt>(
+      [](const Tuple& input, OutputCollector* collector) {
+        collector->Emit(Tuple(input));
+      });
+}
+
+/// spout -> map -> sink, all parallelism 1, shuffle edges — the canonical
+/// fully fusible 3-stage chain.
+Topology ThreeStageChain(TupleSink* sink, int64_t tuples) {
+  TopologyBuilder builder;
+  builder.AddSpout("src", [tuples] { return MakeCountingSpout(tuples); });
+  builder.AddBolt(
+      "map", [] { return MakePassThroughBolt(); }, 1,
+      {{"src", Grouping::Shuffle()}});
+  builder.AddBolt(
+      "sink",
+      [sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(sink);
+      },
+      1, {{"map", Grouping::Shuffle()}});
+  return builder.Build().value();
+}
+
+TopologyPlan PlanFor(const Topology& topology, const FusionOptions& options) {
+  TopologyPlan plan = TopologyPlan::FromTopology(topology);
+  plan.RunFusionPass(options);
+  return plan;
+}
+
+FusionOptions FusionOn() {
+  FusionOptions options;
+  options.enable_fusion = true;
+  return options;
+}
+
+const PlanEdge& EdgeBetween(const TopologyPlan& plan, const std::string& from,
+                            const std::string& to) {
+  for (const PlanEdge& edge : plan.edges()) {
+    if (plan.nodes()[edge.from].name == from &&
+        plan.nodes()[edge.to].name == to) {
+      return edge;
+    }
+  }
+  ADD_FAILURE() << "no edge " << from << " -> " << to;
+  static PlanEdge missing;
+  return missing;
+}
+
+// ------------------------------------------------------------ IR + pass
+
+TEST(TopologyPlanTest, IrMirrorsTopologyShape) {
+  TupleSink sink;
+  Topology topology = ThreeStageChain(&sink, 1);
+  TopologyPlan plan = TopologyPlan::FromTopology(topology);
+
+  ASSERT_EQ(plan.nodes().size(), 3u);
+  ASSERT_EQ(plan.edges().size(), 2u);
+  EXPECT_TRUE(plan.nodes()[0].is_spout);
+  EXPECT_EQ(plan.nodes()[0].name, "src");
+  for (size_t i = 0; i < plan.nodes().size(); i++) {
+    EXPECT_EQ(plan.nodes()[i].component_index, i);
+  }
+  const PlanEdge& first = EdgeBetween(plan, "src", "map");
+  EXPECT_EQ(first.grouping.kind, GroupingKind::kShuffle);
+  EXPECT_EQ(first.shards, 1u);
+  EXPECT_EQ(first.channel, EdgeChannel::kQueued);  // Pass not run yet.
+  EXPECT_TRUE(plan.chains().empty());
+}
+
+TEST(TopologyPlanTest, FusesThreeStageShuffleChain) {
+  TupleSink sink;
+  TopologyPlan plan = PlanFor(ThreeStageChain(&sink, 1), FusionOn());
+
+  EXPECT_EQ(plan.fused_edge_count(), 2u);
+  ASSERT_EQ(plan.chains().size(), 1u);
+  EXPECT_EQ(plan.chains()[0], (std::vector<size_t>{0, 1, 2}));
+  for (const PlanEdge& edge : plan.edges()) {
+    EXPECT_EQ(edge.channel, EdgeChannel::kFused);
+    EXPECT_TRUE(edge.veto.empty());
+  }
+  EXPECT_NE(plan.ToString().find("FUSED"), std::string::npos);
+}
+
+TEST(TopologyPlanTest, DisabledByDefault) {
+  TupleSink sink;
+  TopologyPlan plan = PlanFor(ThreeStageChain(&sink, 1), FusionOptions{});
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  EXPECT_TRUE(plan.chains().empty());
+  for (const PlanEdge& edge : plan.edges()) {
+    EXPECT_EQ(edge.veto, "fusion disabled");
+  }
+}
+
+// Each legality rule refuses with a typed Status and a stamped veto.
+
+TEST(FusionLegalityTest, FieldsGroupedEdgeRefuses) {
+  TupleSink sink;
+  TopologyBuilder builder;
+  builder.AddSpout("src", [] { return MakeCountingSpout(1); });
+  builder.AddBolt(
+      "agg",
+      [&sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(&sink);
+      },
+      1, {{"src", Grouping::Fields(0)}});
+  TopologyPlan plan = PlanFor(builder.Build().value(), FusionOn());
+
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  const PlanEdge& edge = EdgeBetween(plan, "src", "agg");
+  EXPECT_NE(edge.veto.find("fields"), std::string::npos);
+  const Status status = TopologyPlan::FusionLegality(
+      plan.nodes()[edge.from], plan.nodes()[edge.to], edge, FusionOn());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FusionLegalityTest, BroadcastEdgeRefuses) {
+  TupleSink sink;
+  TopologyBuilder builder;
+  builder.AddSpout("src", [] { return MakeCountingSpout(1); });
+  builder.AddBolt(
+      "fan",
+      [&sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(&sink);
+      },
+      1, {{"src", Grouping::Broadcast()}});
+  TopologyPlan plan = PlanFor(builder.Build().value(), FusionOn());
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  EXPECT_NE(EdgeBetween(plan, "src", "fan").veto.find("broadcast"),
+            std::string::npos);
+}
+
+TEST(FusionLegalityTest, MixedParallelismRefuses) {
+  TupleSink sink;
+  TopologyBuilder builder;
+  builder.AddSpout("src", [] { return MakeCountingSpout(1); });
+  builder.AddBolt(
+      "wide",
+      [&sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(&sink);
+      },
+      4, {{"src", Grouping::Shuffle()}});
+  TopologyPlan plan = PlanFor(builder.Build().value(), FusionOn());
+
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  const PlanEdge& edge = EdgeBetween(plan, "src", "wide");
+  EXPECT_NE(edge.veto.find("mismatched parallelism"), std::string::npos);
+  const Status status = TopologyPlan::FusionLegality(
+      plan.nodes()[edge.from], plan.nodes()[edge.to], edge, FusionOn());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FusionLegalityTest, GlobalGroupingFusesOnlyAtParallelismOne) {
+  TupleSink sink;
+  TopologyBuilder builder;
+  builder.AddSpout("src", [] { return MakeCountingSpout(1); }, 2);
+  builder.AddBolt(
+      "gather",
+      [&sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(&sink);
+      },
+      1, {{"src", Grouping::Global()}});
+  TopologyPlan plan = PlanFor(builder.Build().value(), FusionOn());
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  EXPECT_NE(EdgeBetween(plan, "src", "gather").veto.find("parallelism 1"),
+            std::string::npos);
+}
+
+TEST(FusionLegalityTest, FanInAndFanOutRefuse) {
+  TupleSink sink;
+  TopologyBuilder builder;
+  builder.AddSpout("srcA", [] { return MakeCountingSpout(1); });
+  builder.AddSpout("srcB", [] { return MakeCountingSpout(1); });
+  builder.AddBolt(
+      "merge", [] { return MakePassThroughBolt(); }, 1,
+      {{"srcA", Grouping::Shuffle()}, {"srcB", Grouping::Shuffle()}});
+  builder.AddBolt(
+      "left",
+      [&sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(&sink);
+      },
+      1, {{"merge", Grouping::Shuffle()}});
+  builder.AddBolt(
+      "right",
+      [&sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(&sink);
+      },
+      1, {{"merge", Grouping::Shuffle()}});
+  TopologyPlan plan = PlanFor(builder.Build().value(), FusionOn());
+
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  EXPECT_NE(EdgeBetween(plan, "srcA", "merge").veto.find("fan-in"),
+            std::string::npos);
+  EXPECT_NE(EdgeBetween(plan, "merge", "left").veto.find("fan-out"),
+            std::string::npos);
+}
+
+TEST(FusionLegalityTest, MultiplexedModeRefuses) {
+  TupleSink sink;
+  FusionOptions options = FusionOn();
+  options.dedicated_mode = false;
+  TopologyPlan plan = PlanFor(ThreeStageChain(&sink, 1), options);
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  EXPECT_NE(EdgeBetween(plan, "src", "map").veto.find("multiplexed"),
+            std::string::npos);
+}
+
+TEST(FusionLegalityTest, EpochBarrierEdgesRefuse) {
+  TupleSink sink;
+  FusionOptions options = FusionOn();
+  options.epochs_enabled = true;
+  TopologyPlan plan = PlanFor(ThreeStageChain(&sink, 1), options);
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  const PlanEdge& edge = EdgeBetween(plan, "src", "map");
+  EXPECT_NE(edge.veto.find("barrier"), std::string::npos);
+  EXPECT_TRUE(edge.barriered);
+  const Status status = TopologyPlan::FusionLegality(
+      plan.nodes()[edge.from], plan.nodes()[edge.to], edge, options);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FusionLegalityTest, RecorderTappedSpoutRefusesButBoltChainFuses) {
+  TupleSink sink;
+  FusionOptions options = FusionOn();
+  options.recorder_attached = true;
+  TopologyPlan plan = PlanFor(ThreeStageChain(&sink, 1), options);
+  // The spout edge must stay queued (recordings replay through queued
+  // edges), but the bolt->bolt tail is still eligible.
+  EXPECT_EQ(plan.fused_edge_count(), 1u);
+  EXPECT_NE(EdgeBetween(plan, "src", "map").veto.find("recorder"),
+            std::string::npos);
+  EXPECT_EQ(EdgeBetween(plan, "map", "sink").channel, EdgeChannel::kFused);
+  ASSERT_EQ(plan.chains().size(), 1u);
+  EXPECT_EQ(plan.chains()[0], (std::vector<size_t>{1, 2}));
+}
+
+// ------------------------------------------------------ engine execution
+
+struct RunOutcome {
+  size_t sink_tuples = 0;
+  uint64_t completed_roots = 0;
+  uint64_t failed_roots = 0;
+  size_t fused_edges = 0;
+  std::map<std::string, uint64_t> emitted;   // Per component.
+  std::map<std::string, uint64_t> executed;  // Per component.
+  std::map<uint64_t, FaultSiteStats> site_stats;
+  std::array<uint64_t, kNumFaultKinds> injected{};
+};
+
+RunOutcome RunChain(int64_t tuples, bool fuse, DeliverySemantics semantics,
+                    FaultSpec faults = FaultSpec{}) {
+  TupleSink sink;
+  EngineConfig config;
+  config.semantics = semantics;
+  config.enable_fusion = fuse;
+  config.seed = 0xfeed;
+  config.ack_timeout_seconds = 0.5;  // Poisoned roots fail fast.
+  config.telemetry_sample_interval_ms = 0;
+  config.faults = faults;
+  TopologyEngine engine(ThreeStageChain(&sink, tuples), config);
+  engine.Run();
+
+  RunOutcome outcome;
+  outcome.sink_tuples = sink.Size();
+  outcome.completed_roots = engine.completed_roots();
+  outcome.failed_roots = engine.failed_roots();
+  outcome.fused_edges = engine.fused_edges();
+  for (size_t i = 0; i < engine.metrics().task_count(); i++) {
+    const TaskMetrics& m = engine.metrics().task(i);
+    outcome.emitted[m.component()] += m.emitted();
+    outcome.executed[m.component()] += m.executed();
+  }
+  if (engine.fault_plan() != nullptr) {
+    outcome.site_stats = engine.fault_plan()->SiteStatsSnapshot();
+    outcome.injected = engine.fault_plan()->Snapshot();
+  }
+  return outcome;
+}
+
+TEST(FusedEngineTest, FusedCountsMatchQueuedAtMostOnce) {
+  const RunOutcome queued =
+      RunChain(5000, /*fuse=*/false, DeliverySemantics::kAtMostOnce);
+  const RunOutcome fused =
+      RunChain(5000, /*fuse=*/true, DeliverySemantics::kAtMostOnce);
+
+  EXPECT_EQ(queued.fused_edges, 0u);
+  EXPECT_EQ(fused.fused_edges, 2u);
+  EXPECT_EQ(queued.sink_tuples, 5000u);
+  EXPECT_EQ(fused.sink_tuples, 5000u);
+  EXPECT_EQ(fused.emitted, queued.emitted);
+  EXPECT_EQ(fused.executed, queued.executed);
+}
+
+TEST(FusedEngineTest, FusedCountsMatchQueuedAtLeastOnce) {
+  const RunOutcome queued =
+      RunChain(3000, /*fuse=*/false, DeliverySemantics::kAtLeastOnce);
+  const RunOutcome fused =
+      RunChain(3000, /*fuse=*/true, DeliverySemantics::kAtLeastOnce);
+
+  EXPECT_EQ(fused.fused_edges, 2u);
+  EXPECT_EQ(queued.sink_tuples, 3000u);
+  EXPECT_EQ(fused.sink_tuples, 3000u);
+  EXPECT_EQ(queued.completed_roots, 3000u);
+  EXPECT_EQ(fused.completed_roots, 3000u);
+  EXPECT_EQ(queued.failed_roots, 0u);
+  EXPECT_EQ(fused.failed_roots, 0u);
+  EXPECT_EQ(fused.emitted, queued.emitted);
+  EXPECT_EQ(fused.executed, queued.executed);
+}
+
+TEST(FusedEngineTest, FieldsTopologyFallsBackCleanly) {
+  // enable_fusion on an ineligible topology must be a clean no-op, not an
+  // error: the fields tail stays queued and results are untouched.
+  TupleSink sink;
+  TopologyBuilder builder;
+  builder.AddSpout("src", [] { return MakeCountingSpout(2000); });
+  builder.AddBolt(
+      "map", [] { return MakePassThroughBolt(); }, 1,
+      {{"src", Grouping::Shuffle()}});
+  builder.AddBolt(
+      "shard",
+      [&sink]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<SinkBolt>(&sink);
+      },
+      4, {{"map", Grouping::Fields(0)}});
+  EngineConfig config;
+  config.enable_fusion = true;
+  config.telemetry_sample_interval_ms = 0;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  // src->map fuses (partial chain); map->shard stays queued for routing.
+  EXPECT_EQ(engine.fused_edges(), 1u);
+  ASSERT_NE(engine.plan(), nullptr);
+  EXPECT_NE(EdgeBetween(*engine.plan(), "map", "shard").veto.find("fields"),
+            std::string::npos);
+  EXPECT_EQ(sink.Size(), 2000u);
+}
+
+// -------------------------------------------- fault-schedule equality
+
+TEST(FusedFaultScheduleTest, FusedChainDrawsIdenticalScheduleToQueued) {
+  // The PR 3 contract, extended across compilation modes: with the same
+  // seed, every fault site must consult its PRNG the same number of times
+  // and fire the same draws whether the chain runs fused or queued.
+  // (Crash and stall stay 0: a crash's blast radius is defined in terms
+  // of queue batches, and fused chains have no queues to stall.)
+  FaultSpec faults;
+  faults.seed = 0xabcde;
+  faults.drop_tuple_prob = 0.05;
+  faults.duplicate_tuple_prob = 0.05;
+  faults.delay_delivery_prob = 0.02;
+  faults.delay_max_micros = 1;
+  faults.bolt_throw_prob = 0.03;
+
+  const RunOutcome queued =
+      RunChain(1500, /*fuse=*/false, DeliverySemantics::kAtLeastOnce, faults);
+  const RunOutcome fused =
+      RunChain(1500, /*fuse=*/true, DeliverySemantics::kAtLeastOnce, faults);
+
+  ASSERT_FALSE(queued.site_stats.empty());
+  EXPECT_EQ(fused.site_stats, queued.site_stats);
+  EXPECT_EQ(fused.injected, queued.injected);
+  // Identical schedules resolve identical root fates.
+  EXPECT_EQ(fused.completed_roots, queued.completed_roots);
+  EXPECT_EQ(fused.failed_roots, queued.failed_roots);
+}
+
+// -------------------------------------- batched-path draw sizing bugfix
+
+/// Pure accumulator that opts into the batched execute path.
+class BatchAccumBolt : public Bolt {
+ public:
+  void Execute(const Tuple& input, OutputCollector*) override {
+    sum_ += input.Int(1);
+  }
+  bool BatchCapable() const override { return true; }
+
+ private:
+  int64_t sum_ = 0;
+};
+
+TEST(FusedFaultScheduleTest, BatchedExecuteDrawsPerMessageLikeScalar) {
+  // Regression for the fused-ExecuteBatch sizing drift: the batched path
+  // used to draw ONE throw + ONE crash decision per batch, making the
+  // executor site's stream depend on timing-sensitive batch boundaries.
+  // Per-message draws make batched and scalar delivery consult the site
+  // identically for the same seed.
+  auto run = [](bool batched) {
+    TupleSink unused;
+    (void)unused;
+    TopologyBuilder builder;
+    builder.AddSpout("src", [] { return MakeCountingSpout(4000); });
+    builder.AddBolt(
+        "accum", []() -> std::unique_ptr<Bolt> {
+          return std::make_unique<BatchAccumBolt>();
+        },
+        1, {{"src", Grouping::Shuffle()}});
+    EngineConfig config;
+    config.enable_bolt_batch = batched;
+    config.telemetry_sample_interval_ms = 0;
+    config.faults.seed = 0x77;
+    config.faults.bolt_throw_prob = 0.05;
+    TopologyEngine engine(builder.Build().value(), config);
+    engine.Run();
+    return engine.fault_plan()->SiteStatsSnapshot();
+  };
+
+  const auto batched = run(true);
+  const auto scalar = run(false);
+  ASSERT_FALSE(batched.empty());
+  EXPECT_EQ(batched, scalar);
+}
+
+// ------------------------------------------- deterministic clock timeout
+
+TEST(ManualClockTest, AdvancesOnlyWhenDriven) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowNanos(), 100u);
+  clock.AdvanceNanos(50);
+  EXPECT_EQ(clock.NowNanos(), 150u);
+  EXPECT_EQ(clock.PeekNanos(), 150u);
+
+  ManualClock auto_clock(0, 10);
+  EXPECT_EQ(auto_clock.NowNanos(), 10u);
+  EXPECT_EQ(auto_clock.NowNanos(), 20u);
+  EXPECT_EQ(auto_clock.PeekNanos(), 20u);
+}
+
+TEST(ManualClockTest, AlignmentTimeoutFiresDeterministically) {
+  // The epoch-alignment timeout used to depend on raw wall time: a loaded
+  // host could starve or spuriously trip it. With an injected ManualClock
+  // the whole scenario is virtual-time-deterministic: srcB emits nothing,
+  // so the sink's alignment on srcA's barriers can never complete and
+  // MUST force-advance — every run, with zero real-time sleeps. Each
+  // engine-internal deadline check costs 50 virtual ms, so the 2 s
+  // timeout trips after ~40 checks no matter how slow the host is.
+  ManualClock clock(uint64_t{1} << 30, /*advance_per_read_nanos=*/50'000'000);
+  const uint64_t start = clock.PeekNanos();
+
+  auto delivered = std::make_shared<std::atomic<uint64_t>>(0);
+  TopologyBuilder builder;
+  builder.AddSpout("srcA", [] { return MakeCountingSpout(200); });
+  builder.AddSpout("srcB", [] {
+    return std::make_unique<GeneratorSpout>(
+        []() -> std::optional<Tuple> { return std::nullopt; });
+  });
+  builder.AddBolt(
+      "sink",
+      [delivered]() -> std::unique_ptr<Bolt> {
+        return std::make_unique<FunctionBolt>(
+            [delivered](const Tuple&, OutputCollector*) {
+              delivered->fetch_add(1, std::memory_order_relaxed);
+            });
+      },
+      1, {{"srcA", Grouping::Global()}, {"srcB", Grouping::Global()}});
+
+  KvCheckpointStore store;
+  EngineConfig config;
+  config.checkpoint_store = &store;
+  config.epoch_interval_tuples = 50;
+  config.epoch_align_timeout_seconds = 2.0;
+  config.clock = &clock;
+  config.latency_sample_every = 0;  // No latency stamps off virtual time.
+  config.telemetry_sample_interval_ms = 0;
+  TopologyEngine engine(builder.Build().value(), config);
+  engine.Run();
+
+  EXPECT_EQ(delivered->load(), 200u) << "force-advance lost data";
+  EXPECT_GT(engine.epoch_timeouts(), 0u) << "virtual clock never tripped";
+  // srcB never barriers, so no epoch can ever complete.
+  EXPECT_EQ(engine.epochs_completed(), 0u);
+  EXPECT_GT(clock.PeekNanos(), start) << "engine never read the clock";
+}
+
+}  // namespace
+}  // namespace streamlib::platform
