@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validates the I-serving-qps JSON emitted by `bench_f1_lambda --serving`.
+
+Usage: check_serving_json.py PATH
+
+Checks, in order:
+  * the file parses as JSON and carries a "serving_bench" object;
+  * the pair-consistency gate passed (no query ever observed batch
+    coverage beyond total coverage — the snapshot-isolation contract);
+  * every cell has the expected keys with sane values, and mutex/frontend
+    runs come in pairs per (readers, tenants);
+  * the speedups array covers every pair with positive ratios;
+  * frontend cells actually used the cache and account every query
+    (served == queries when nothing was rejected);
+  * the embedded "serving" telemetry section is present with per-tenant
+    rows (its schema is validated by `telemetry_schema_check --serving`).
+
+Exit 0 on success, 1 with a diagnostic on the first failure. Throughput
+ratios are NOT asserted here — a loaded CI host must not flake the suite;
+the measured speedups live in EXPERIMENTS.md (I-serving-qps).
+"""
+
+import json
+import sys
+
+CELL_KEYS = {
+    "mode", "readers", "tenants", "seconds", "queries", "qps", "p50_us",
+    "p99_us", "ingest_records", "ingest_per_sec", "served",
+    "rejected_quota", "rejected_queue", "cache_hits", "cache_misses",
+}
+
+
+def fail(msg):
+    print("check_serving_json: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_serving_json.py PATH")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot load %s: %s" % (sys.argv[1], e))
+
+    bench = doc.get("serving_bench")
+    if not isinstance(bench, dict):
+        fail("no \"serving_bench\" object in %s" % sys.argv[1])
+    if bench.get("pair_consistent") is not True:
+        fail("pair_consistent is not true: a query observed a torn "
+             "(batch, speed) pair")
+
+    cells = bench.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail("serving_bench.cells missing or empty")
+    pairs = {}
+    for cell in cells:
+        missing = CELL_KEYS - set(cell)
+        if missing:
+            fail("cell %r missing keys %s" % (cell.get("mode"),
+                                              sorted(missing)))
+        if cell["mode"] not in ("mutex", "frontend"):
+            fail("bad mode %r" % cell["mode"])
+        if cell["readers"] <= 0 or cell["tenants"] <= 0:
+            fail("non-positive readers/tenants in a cell")
+        if cell["seconds"] <= 0 or cell["queries"] <= 0 or cell["qps"] <= 0:
+            fail("non-positive seconds/queries/qps in %s r%d t%d" %
+                 (cell["mode"], cell["readers"], cell["tenants"]))
+        if cell["ingest_records"] <= 0:
+            fail("ingest thread appended nothing in %s r%d t%d" %
+                 (cell["mode"], cell["readers"], cell["tenants"]))
+        if cell["mode"] == "frontend":
+            accounted = (cell["served"] + cell["rejected_quota"] +
+                         cell["rejected_queue"])
+            if accounted < cell["queries"]:
+                fail("frontend cell r%d t%d accounts %d of %d queries" %
+                     (cell["readers"], cell["tenants"], accounted,
+                      cell["queries"]))
+        key = (cell["readers"], cell["tenants"])
+        pairs.setdefault(key, set()).add(cell["mode"])
+    for key, modes in pairs.items():
+        if modes != {"mutex", "frontend"}:
+            fail("cell (readers=%d, tenants=%d) lacks a mutex/frontend "
+                 "pair (has %s)" % (key[0], key[1], sorted(modes)))
+    if not any(c["mode"] == "frontend" and c["cache_hits"] > 0
+               for c in cells):
+        fail("no frontend cell ever hit the result cache")
+
+    speedups = bench.get("speedups")
+    if not isinstance(speedups, list):
+        fail("serving_bench.speedups missing")
+    covered = {(s["readers"], s["tenants"]) for s in speedups}
+    if covered != set(pairs):
+        fail("speedups cover %s but cells pair %s" %
+             (sorted(covered), sorted(pairs)))
+    for s in speedups:
+        if s["speedup"] <= 0 or s["mutex_qps"] <= 0 or s["frontend_qps"] <= 0:
+            fail("non-positive speedup entry for readers=%d tenants=%d" %
+                 (s["readers"], s["tenants"]))
+
+    serving = doc.get("serving")
+    if not isinstance(serving, dict):
+        fail("no embedded \"serving\" telemetry section")
+    if serving.get("enabled") is not True:
+        fail("embedded serving section is not enabled")
+    tenants = serving.get("tenants")
+    if not isinstance(tenants, list) or not tenants:
+        fail("embedded serving section has no per-tenant rows")
+
+    print("check_serving_json: OK (%d cells, %d pairs, %d tenants)" %
+          (len(cells), len(pairs), len(tenants)))
+
+
+if __name__ == "__main__":
+    main()

@@ -4,44 +4,92 @@
 
 namespace streamlib::lambda {
 
+Status LambdaConfig::Validate() const {
+  if (batch_interval_records < 1) {
+    return Status::InvalidArgument("batch_interval_records must be >= 1");
+  }
+  if (cms_width == 0 || cms_depth == 0) {
+    return Status::InvalidArgument(
+        "speed-layer Count-Min geometry must be non-zero (width and depth)");
+  }
+  if (topk_capacity == 0) {
+    return Status::InvalidArgument("topk_capacity must be >= 1");
+  }
+  // The batch layer's distinct-key HLL is fixed at precision 12; merged
+  // queries need both layers on the same register geometry.
+  if (hll_precision != 12) {
+    return Status::OutOfRange(
+        "hll_precision must be 12 (batch view HLL precision is fixed at 12; "
+        "the speed layer must match for merges)");
+  }
+  if (speed_snapshot_interval_records < 1) {
+    return Status::InvalidArgument(
+        "speed_snapshot_interval_records must be >= 1 (1 publishes on every "
+        "ingest)");
+  }
+  return Status::OK();
+}
+
 LambdaPipeline::LambdaPipeline(const LambdaConfig& config)
     : config_(config),
       speed_(config.cms_width, config.cms_depth, config.topk_capacity,
-             config.hll_precision),
+             config.hll_precision, config.speed_snapshot_interval_records),
       serving_(&speed_) {
-  STREAMLIB_CHECK_MSG(config.hll_precision == 12,
-                      "batch view HLL precision is fixed at 12; the speed "
-                      "layer must match for merges");
-  STREAMLIB_CHECK_MSG(config.batch_interval_records >= 1,
-                      "batch interval must be >= 1");
+  const Status status = config.Validate();
+  STREAMLIB_CHECK_MSG(status.ok(), "invalid LambdaConfig: %s",
+                      status.ToString().c_str());
 }
 
 void LambdaPipeline::Ingest(int64_t timestamp, const std::string& key,
                             double value) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   const uint64_t offset = log_.Append(timestamp, key, value);
   LogRecord record;
   record.offset = offset;
   record.timestamp = timestamp;
   record.key = key;
   record.value = value;
-  speed_.Ingest(record);
+  if (speed_.Ingest(record)) {
+    serving_.RefreshSpeedView();  // A fresh SpeedView was published.
+  }
 
   if (log_.size() - serving_.BatchThroughOffset() >=
       config_.batch_interval_records) {
-    RunBatchNow();
+    RunBatchNowLocked();
   }
 }
 
 void LambdaPipeline::RunBatchNow() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  RunBatchNowLocked();
+}
+
+void LambdaPipeline::RunBatchNowLocked() {
   BatchView view = batch_.Recompute(log_);
   const uint64_t covered = view.through_offset;
-  serving_.InstallBatchView(std::move(view));
-  // Hand-off: the speed layer now only owns the (currently empty) suffix.
+  // Hand-off order matters: reset the speed layer to the batch boundary
+  // first (publishing an empty suffix view), then install the batch view,
+  // which composes the new (batch, speed) pair in ONE atomic snapshot swap.
+  // Readers either see the old pair (old batch + old suffix) or the new
+  // pair (new batch + empty suffix) — never a torn mix. Writers are
+  // serialized on writer_mu_, so no record can be ingested between the
+  // recompute and the reset (the data-loss race the unserialized hand-off
+  // had).
   speed_.Reset(covered);
+  serving_.InstallBatchView(std::move(view));
   batch_recomputes_++;
 }
 
+void LambdaPipeline::PublishSpeedSnapshot() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  speed_.PublishSnapshot();
+  serving_.RefreshSpeedView();
+}
+
 Status LambdaPipeline::SaveViews(const std::string& path) const {
+  // Writers are locked out so the (batch, speed) image is one consistent
+  // pair even while ingest threads are running.
+  std::lock_guard<std::mutex> lock(writer_mu_);
   platform::KvCheckpointStore store;
   serving_.CurrentBatchView()->SnapshotTo(&store, "batch");
   speed_.SnapshotTo(&store, "speed");
@@ -49,12 +97,15 @@ Status LambdaPipeline::SaveViews(const std::string& path) const {
 }
 
 Status LambdaPipeline::LoadViews(const std::string& path) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   platform::KvCheckpointStore store;
   STREAMLIB_RETURN_NOT_OK(store.LoadFromFile(path));
   Result<BatchView> view = BatchView::RestoreFrom(store, "batch");
   STREAMLIB_RETURN_NOT_OK(view.status());
   // RestoreFrom validates every blob before mutating, so ordering it first
-  // means a corrupt file cannot leave the pipeline half-restored.
+  // means a corrupt file cannot leave the pipeline half-restored. The
+  // restore publishes a fresh SpeedView; InstallBatchView then pairs it
+  // with the restored batch view in one snapshot swap.
   STREAMLIB_RETURN_NOT_OK(speed_.RestoreFrom(store, "speed"));
   serving_.InstallBatchView(std::move(view).value());
   return Status::OK();

@@ -2,9 +2,11 @@
 #define STREAMLIB_LAMBDA_LAMBDA_PIPELINE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "lambda/batch_layer.h"
 #include "lambda/master_log.h"
 #include "lambda/serving_layer.h"
@@ -21,6 +23,18 @@ struct LambdaConfig {
   uint32_t cms_depth = 4;      ///< speed-layer Count-Min depth
   size_t topk_capacity = 256;  ///< speed-layer SpaceSaving entries
   int hll_precision = 12;      ///< both layers' HLL precision (must match)
+
+  /// The speed layer publishes an immutable SpeedView every this many
+  /// ingests (plus on every batch hand-off). This is the staleness bound of
+  /// the lock-free read path: a query may miss at most the last
+  /// `speed_snapshot_interval_records - 1` ingested records. 1 = publish on
+  /// every ingest (exact freshness, full sketch copy per record).
+  uint64_t speed_snapshot_interval_records = 256;
+
+  /// Typed validation of every knob; mirrors EngineConfig::Validate. The
+  /// LambdaPipeline constructor checks this and aborts on invalid configs;
+  /// callers taking config from the outside validate first.
+  Status Validate() const;
 };
 
 /// The full Lambda Architecture of Figure 1, wired end to end:
@@ -32,9 +46,13 @@ struct LambdaConfig {
 ///      not seen, with the Section-2 sketches.
 ///   5. Queries merge batch + real-time views.
 ///
-/// Recomputation runs synchronously inside Ingest when due (deterministic
-/// and testable); callers wanting background batches call RunBatchNow from
-/// their own thread — all layers are individually thread-safe.
+/// Concurrency (DESIGN.md §14): writers — Ingest, RunBatchNow, LoadViews —
+/// serialize on one pipeline mutex, which makes the batch hand-off atomic
+/// with respect to ingest (no record can land in the speed layer while its
+/// offset range is being absorbed into a batch view). Readers never take
+/// that mutex: every query runs against an immutable ServingSnapshot
+/// obtained by a single atomic load, so read throughput scales with reader
+/// threads while ingest runs at full rate.
 class LambdaPipeline {
  public:
   explicit LambdaPipeline(const LambdaConfig& config);
@@ -44,6 +62,11 @@ class LambdaPipeline {
 
   /// Forces a batch recompute over the entire current log.
   void RunBatchNow();
+
+  /// Forces publication of a fresh speed view + serving snapshot, so the
+  /// very next query sees everything ingested so far (bypasses the
+  /// snapshot-interval staleness bound).
+  void PublishSpeedSnapshot();
 
   /// Persists both views (batch + speed) to `path`: every sketch travels as
   /// a versioned SketchBlob inside a KvCheckpointStore image, so a restarted
@@ -56,7 +79,10 @@ class LambdaPipeline {
   /// untouched.
   Status LoadViews(const std::string& path);
 
-  /// Merged query interface (Figure 1, step 5).
+  /// Merged query interface (Figure 1, step 5). Lock-free: each call runs
+  /// against one immutable snapshot. Multi-query consistency (e.g. a total
+  /// and a top-k answered from the same state) comes from holding the
+  /// snapshot: serving().Snapshot().
   double QueryTotal(const std::string& key) const {
     return serving_.TotalOf(key);
   }
@@ -68,19 +94,33 @@ class LambdaPipeline {
   const MasterLog& log() const { return log_; }
   const ServingLayer& serving() const { return serving_; }
   const SpeedLayer& speed() const { return speed_; }
-  uint64_t batch_recomputes() const { return batch_recomputes_; }
+  uint64_t batch_recomputes() const {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return batch_recomputes_;
+  }
 
   /// Records not yet covered by the batch view (staleness in records).
+  /// Reads the batch offset *before* the log size: the log only grows, and
+  /// the batch view always covers a prefix of it, so that order guarantees
+  /// size >= offset; the subtraction is additionally clamped at zero so a
+  /// reordered or racing read can never wrap the unsigned difference.
   uint64_t SpeedSuffixLength() const {
-    return log_.size() - serving_.BatchThroughOffset();
+    const uint64_t batch_through = serving_.BatchThroughOffset();
+    const uint64_t log_size = log_.size();
+    return log_size > batch_through ? log_size - batch_through : 0;
   }
 
  private:
+  void RunBatchNowLocked();
+
   LambdaConfig config_;
   MasterLog log_;
   BatchLayer batch_;
   SpeedLayer speed_;
   ServingLayer serving_;
+  /// Serializes writers (ingest / batch hand-off / restore). Queries never
+  /// take it.
+  mutable std::mutex writer_mu_;
   uint64_t batch_recomputes_ = 0;
 };
 

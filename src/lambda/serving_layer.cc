@@ -10,43 +10,22 @@
 
 namespace streamlib::lambda {
 
-ServingLayer::ServingLayer(const SpeedLayer* speed)
-    : speed_(speed), batch_(std::make_shared<BatchView>()) {
-  STREAMLIB_CHECK(speed != nullptr);
+double ServingSnapshot::TotalOf(const std::string& key) const {
+  return batch->TotalOf(key) + speed->TotalOf(key);
 }
 
-void ServingLayer::InstallBatchView(BatchView view) {
-  auto shared = std::make_shared<const BatchView>(std::move(view));
-  std::lock_guard<std::mutex> lock(mu_);
-  batch_ = std::move(shared);
-}
-
-double ServingLayer::TotalOf(const std::string& key) const {
-  std::shared_ptr<const BatchView> batch;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    batch = batch_;
-  }
-  return batch->TotalOf(key) + speed_->TotalOf(key);
-}
-
-std::vector<std::pair<std::string, double>> ServingLayer::TopK(
+std::vector<std::pair<std::string, double>> ServingSnapshot::TopK(
     size_t k) const {
-  std::shared_ptr<const BatchView> batch;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    batch = batch_;
-  }
   // Candidates: top keys of either view (taking 2k from each side bounds
   // the merge error the same way distributed top-k merges do).
   std::set<std::string> candidates;
   for (const auto& [key, total] : batch->TopK(2 * k)) candidates.insert(key);
-  for (const auto& [key, total] : speed_->TopK(2 * k)) candidates.insert(key);
+  for (const auto& [key, total] : speed->TopK(2 * k)) candidates.insert(key);
 
   std::vector<std::pair<std::string, double>> merged;
   merged.reserve(candidates.size());
   for (const std::string& key : candidates) {
-    merged.emplace_back(key, batch->TotalOf(key) + speed_->TotalOf(key));
+    merged.emplace_back(key, TotalOf(key));
   }
   std::sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
     return a.second != b.second ? a.second > b.second : a.first < b.first;
@@ -55,37 +34,46 @@ std::vector<std::pair<std::string, double>> ServingLayer::TopK(
   return merged;
 }
 
-double ServingLayer::DistinctKeys() const {
-  std::shared_ptr<const BatchView> batch;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    batch = batch_;
-  }
-  // Both layers hand over SketchBlobs; the merge goes through the state
-  // contract rather than any sketch-specific API, so swapping the distinct
-  // sketch (e.g. HLL -> KMV) is a TypeId change, not a serving-layer change.
-  Result<HyperLogLog> merged =
-      state::FromBlob<HyperLogLog>(speed_->DistinctKeysBlob());
-  STREAMLIB_CHECK_MSG(merged.ok(), "speed distinct blob: %s",
-                      merged.status().ToString().c_str());
-  HyperLogLog sketch = std::move(merged).value();
-  if (!batch->distinct_keys_blob.empty()) {
+ServingLayer::ServingLayer(const SpeedLayer* speed) : speed_(speed) {
+  STREAMLIB_CHECK(speed != nullptr);
+  std::lock_guard<std::mutex> lock(compose_mu_);
+  PublishLocked(std::make_shared<const BatchView>(), speed_->View());
+}
+
+void ServingLayer::PublishLocked(std::shared_ptr<const BatchView> batch,
+                                 std::shared_ptr<const SpeedView> speed) {
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->version = ++next_version_;
+  snap->batch = std::move(batch);
+  snap->speed = std::move(speed);
+  // Fold the distinct-key union once per snapshot. Both layers hand over
+  // their sketch through the state contract, so swapping the distinct
+  // sketch type (e.g. HLL -> KMV) is a TypeId change, not a serving change.
+  HyperLogLog merged = snap->speed->distinct;
+  if (!snap->batch->distinct_keys_blob.empty()) {
     const Status status =
-        state::MergeBlob(sketch, batch->distinct_keys_blob);
+        state::MergeBlob(merged, snap->batch->distinct_keys_blob);
     STREAMLIB_CHECK_MSG(status.ok(), "batch distinct blob: %s",
                         status.ToString().c_str());
   }
-  return sketch.Estimate();
+  snap->distinct_estimate = merged.Estimate();
+  snap_.store(std::shared_ptr<const ServingSnapshot>(std::move(snap)));
 }
 
-std::shared_ptr<const BatchView> ServingLayer::CurrentBatchView() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return batch_;
+void ServingLayer::InstallBatchView(BatchView view) {
+  auto shared = std::make_shared<const BatchView>(std::move(view));
+  std::lock_guard<std::mutex> lock(compose_mu_);
+  PublishLocked(std::move(shared), speed_->View());
 }
 
-uint64_t ServingLayer::BatchThroughOffset() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return batch_->through_offset;
+void ServingLayer::RefreshSpeedView() {
+  std::lock_guard<std::mutex> lock(compose_mu_);
+  std::shared_ptr<const SpeedView> speed = speed_->View();
+  const std::shared_ptr<const ServingSnapshot> current = snap_.load();
+  // Two refreshes can race to the composition lock; whichever loses must
+  // not regress the pair to an older speed view.
+  if (speed->version <= current->speed->version) return;
+  PublishLocked(current->batch, std::move(speed));
 }
 
 }  // namespace streamlib::lambda

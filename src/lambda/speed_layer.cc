@@ -9,17 +9,47 @@
 
 namespace streamlib::lambda {
 
+std::vector<std::pair<std::string, double>> SpeedView::TopK(size_t k) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& item : topk.TopK(k)) {
+    out.emplace_back(item.key, static_cast<double>(item.estimate));
+  }
+  return out;
+}
+
 SpeedLayer::SpeedLayer(uint32_t cms_width, uint32_t cms_depth,
-                       size_t topk_capacity, int hll_precision)
+                       size_t topk_capacity, int hll_precision,
+                       uint64_t snapshot_interval)
     : cms_width_(cms_width),
       cms_depth_(cms_depth),
       topk_capacity_(topk_capacity),
       hll_precision_(hll_precision),
+      snapshot_interval_(snapshot_interval),
       totals_(cms_width, cms_depth, /*conservative=*/true),
       topk_(topk_capacity),
-      distinct_(hll_precision) {}
+      distinct_(hll_precision) {
+  STREAMLIB_CHECK_MSG(snapshot_interval >= 1,
+                      "speed-layer snapshot interval must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  PublishLocked();  // View() is never null, even before the first ingest.
+}
 
-void SpeedLayer::Ingest(const LogRecord& record) {
+std::shared_ptr<const SpeedView> SpeedLayer::PublishLocked() {
+  auto view = std::make_shared<SpeedView>(cms_width_, cms_depth_,
+                                          topk_capacity_, hll_precision_);
+  view->version = ++next_version_;
+  view->from_offset = from_offset_;
+  view->ingested = ingested_;
+  view->totals = totals_;
+  view->topk = topk_;
+  view->distinct = distinct_;
+  since_publish_ = 0;
+  std::shared_ptr<const SpeedView> frozen = std::move(view);
+  view_.store(frozen);
+  return frozen;
+}
+
+bool SpeedLayer::Ingest(const LogRecord& record) {
   // Record values are event weights (typically 1.0 for count semantics);
   // the integer sketches ingest the rounded weight.
   const uint64_t weight = static_cast<uint64_t>(
@@ -27,11 +57,22 @@ void SpeedLayer::Ingest(const LogRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
   STREAMLIB_DCHECK(record.offset >= from_offset_);
   ingested_++;
+  since_publish_++;
   if (weight > 0) {
     totals_.Add(record.key, weight);
     topk_.Add(record.key, weight);
   }
   distinct_.Add(record.key);
+  if (since_publish_ >= snapshot_interval_) {
+    PublishLocked();
+    return true;
+  }
+  return false;
+}
+
+std::shared_ptr<const SpeedView> SpeedLayer::PublishSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PublishLocked();
 }
 
 double SpeedLayer::TotalOf(const std::string& key) const {
@@ -103,6 +144,7 @@ Status SpeedLayer::RestoreFrom(const platform::KvCheckpointStore& store,
   distinct_ = std::move(distinct).value();
   from_offset_ = from_offset;
   ingested_ = ingested;
+  PublishLocked();  // Readers see the restored state immediately.
   return Status::OK();
 }
 
@@ -113,6 +155,7 @@ void SpeedLayer::Reset(uint64_t from_offset) {
   totals_ = CountMinSketch(cms_width_, cms_depth_, /*conservative=*/true);
   topk_ = SpaceSaving<std::string>(topk_capacity_);
   distinct_ = HyperLogLog(hll_precision_);
+  PublishLocked();  // The hand-off always publishes (empty suffix view).
 }
 
 uint64_t SpeedLayer::from_offset() const {

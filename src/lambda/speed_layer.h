@@ -2,10 +2,12 @@
 #define STREAMLIB_LAMBDA_SPEED_LAYER_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/rcu_ptr.h"
 #include "common/status.h"
 #include "core/cardinality/hyperloglog.h"
 #include "core/frequency/count_min_sketch.h"
@@ -15,6 +17,38 @@
 
 namespace streamlib::lambda {
 
+/// An immutable, versioned snapshot of the speed layer's sketches. Published
+/// RCU-style: once a SpeedView is handed out it never changes, so any number
+/// of reader threads can query it concurrently without synchronization while
+/// ingest keeps mutating the live sketches behind it. Readers obtain the
+/// latest view through SpeedLayer::View() (a lock-free atomic load).
+struct SpeedView {
+  uint64_t version = 0;      ///< monotone publication counter
+  uint64_t from_offset = 0;  ///< first log offset this view covers
+  uint64_t ingested = 0;     ///< records folded into the sketches
+
+  CountMinSketch totals;
+  SpaceSaving<std::string> topk;
+  HyperLogLog distinct;
+
+  SpeedView(uint32_t cms_width, uint32_t cms_depth, size_t topk_capacity,
+            int hll_precision)
+      : totals(cms_width, cms_depth, /*conservative=*/true),
+        topk(topk_capacity),
+        distinct(hll_precision) {}
+
+  /// Exclusive end of the log range the view covers.
+  uint64_t through_offset() const { return from_offset + ingested; }
+
+  /// Estimated total for `key` over [from_offset, through_offset()).
+  double TotalOf(const std::string& key) const {
+    return static_cast<double>(totals.Estimate(key));
+  }
+
+  /// Top-k keys by estimated total over the covered suffix.
+  std::vector<std::pair<std::string, double>> TopK(size_t k) const;
+};
+
 /// The speed layer (Figure 1, step 4): compensates for batch staleness by
 /// maintaining *approximate, incremental* real-time views over the log
 /// suffix the latest batch view does not cover. This is where the paper's
@@ -22,25 +56,46 @@ namespace streamlib::lambda {
 /// makes the real-time view cheap (Count-Min for per-key totals,
 /// SpaceSaving for top-k, HyperLogLog for cardinality — the Summingbird
 /// pattern). Thread-safe.
+///
+/// Concurrency model (DESIGN.md §14): writers (Ingest/Reset/RestoreFrom)
+/// serialize on an internal mutex; every `snapshot_interval` ingests — and
+/// on every Reset/Restore — the layer publishes an immutable SpeedView via
+/// an atomic shared_ptr swap. Queries against View() never contend with
+/// ingest. The live query methods (TotalOf/TopK/DistinctKeysBlob) remain
+/// for single-threaded exactness and as the mutex-merge baseline the
+/// serving bench compares against; the scalable read path is View().
 class SpeedLayer {
  public:
   /// \param cms_width/cms_depth  Count-Min geometry for per-key totals.
   /// \param topk_capacity        SpaceSaving entries for real-time top-k.
   /// \param hll_precision        HyperLogLog precision for distinct keys.
+  /// \param snapshot_interval    publish a fresh SpeedView every this many
+  ///                             ingests (the staleness bound of the
+  ///                             lock-free read path; >= 1).
   SpeedLayer(uint32_t cms_width, uint32_t cms_depth, size_t topk_capacity,
-             int hll_precision);
+             int hll_precision, uint64_t snapshot_interval = 256);
 
-  /// Ingests one record (must have offset >= from_offset()).
-  void Ingest(const LogRecord& record);
+  /// Ingests one record (must have offset >= from_offset()). Returns true
+  /// when this ingest crossed the snapshot interval and published a fresh
+  /// SpeedView (the caller — LambdaPipeline — then refreshes the serving
+  /// layer's snapshot pair).
+  bool Ingest(const LogRecord& record);
 
-  /// Real-time estimate of the total for `key` over ingested records.
+  /// Latest published immutable view. Never null; lock-free.
+  std::shared_ptr<const SpeedView> View() const { return view_.load(); }
+
+  /// Forces publication of a fresh view of the current live state and
+  /// returns it (also swapped into View()).
+  std::shared_ptr<const SpeedView> PublishSnapshot();
+
+  /// Real-time estimate of the total for `key` over ingested records,
+  /// against the *live* sketches (locks against ingest).
   double TotalOf(const std::string& key) const;
 
-  /// Real-time top-k keys by estimated total.
+  /// Real-time top-k keys by estimated total (live, locked).
   std::vector<std::pair<std::string, double>> TopK(size_t k) const;
 
-  /// Real-time distinct-key sketch as a SketchBlob (the serving layer
-  /// merges it against the batch view's blob through the state contract).
+  /// Real-time distinct-key sketch as a SketchBlob (live, locked).
   std::vector<uint8_t> DistinctKeysBlob() const;
 
   /// Persists all three sketches into `store` as SketchBlobs under
@@ -49,32 +104,44 @@ class SpeedLayer {
   void SnapshotTo(platform::KvCheckpointStore* store,
                   const std::string& prefix) const;
 
-  /// Replaces this layer's state with a snapshot written by SnapshotTo.
-  /// Corrupt or missing entries surface as the underlying Status and leave
-  /// the layer untouched.
+  /// Replaces this layer's state with a snapshot written by SnapshotTo and
+  /// publishes a fresh SpeedView of it. Corrupt or missing entries surface
+  /// as the underlying Status and leave the layer (and the published view)
+  /// untouched.
   Status RestoreFrom(const platform::KvCheckpointStore& store,
                      const std::string& prefix);
 
   /// Resets the layer to cover the suffix starting at `from_offset` — the
   /// hand-off performed whenever a fresh batch view lands. All sketch state
-  /// is discarded (its information is now in the batch view).
+  /// is discarded (its information is now in the batch view) and an empty
+  /// SpeedView is published.
   void Reset(uint64_t from_offset);
 
   uint64_t from_offset() const;
   uint64_t ingested() const;
+  uint64_t snapshot_interval() const { return snapshot_interval_; }
 
  private:
+  /// Builds + publishes a view of the live state. Caller holds mu_.
+  std::shared_ptr<const SpeedView> PublishLocked();
+
   uint32_t cms_width_;
   uint32_t cms_depth_;
   size_t topk_capacity_;
   int hll_precision_;
+  uint64_t snapshot_interval_;
 
   mutable std::mutex mu_;
   uint64_t from_offset_ = 0;
   uint64_t ingested_ = 0;
+  uint64_t since_publish_ = 0;  ///< ingests since the last published view
+  uint64_t next_version_ = 0;
   CountMinSketch totals_;
   SpaceSaving<std::string> topk_;
   HyperLogLog distinct_;
+
+  /// RCU publication point: readers atomic-load, writers swap whole views.
+  RcuPtr<SpeedView> view_;
 };
 
 }  // namespace streamlib::lambda

@@ -116,6 +116,10 @@ void TelemetryReport::WriteJson(std::ostream& out,
       << ", \"bytes\": " << recording.bytes
       << ", \"dropped\": " << recording.dropped << "},\n";
 
+  out << "  \"serving\": ";
+  WriteServingJson(out, serving, "  ");
+  out << ",\n";
+
   out << "  \"tasks\": [\n";
   for (size_t i = 0; i < tasks.size(); i++) {
     const TaskRow& t = tasks[i];
@@ -206,8 +210,58 @@ void TelemetryReport::WriteJson(std::ostream& out,
   out << "    ]\n  }\n}\n";
 }
 
+void TelemetryReport::WriteServingJson(std::ostream& out,
+                                       const ServingSummary& serving,
+                                       const char* line_indent) {
+  out << "{\"enabled\": " << (serving.enabled ? "true" : "false")
+      << ", \"snapshot_version\": " << serving.snapshot_version
+      << ", \"served\": " << serving.served
+      << ", \"rejected_quota\": " << serving.rejected_quota
+      << ", \"rejected_queue\": " << serving.rejected_queue
+      << ", \"cache_hits\": " << serving.cache_hits
+      << ", \"cache_misses\": " << serving.cache_misses
+      << ",\n" << line_indent << "  \"tenants\": [";
+  for (size_t i = 0; i < serving.tenants.size(); i++) {
+    const ServingTenantRow& t = serving.tenants[i];
+    out << "\n" << line_indent << "    {\"tenant\": " << JsonStr(t.tenant)
+        << ", \"served\": " << t.served
+        << ", \"rejected_quota\": " << t.rejected_quota
+        << ", \"rejected_queue\": " << t.rejected_queue
+        << ", \"cache_hits\": " << t.cache_hits
+        << ", \"cache_misses\": " << t.cache_misses << "}"
+        << (i + 1 < serving.tenants.size() ? "," : "");
+  }
+  if (!serving.tenants.empty()) out << "\n" << line_indent << "  ";
+  out << "]}";
+}
+
 void TelemetryReport::WriteTable(std::ostream& out) const {
   char line[256];
+  if (serving.enabled) {
+    std::snprintf(line, sizeof(line),
+                  "== telemetry: query serving (snapshot v%llu, %llu served, "
+                  "%llu rejected) ==\n",
+                  static_cast<unsigned long long>(serving.snapshot_version),
+                  static_cast<unsigned long long>(serving.served),
+                  static_cast<unsigned long long>(serving.rejected_quota +
+                                                  serving.rejected_queue));
+    out << line;
+    std::snprintf(line, sizeof(line), "  %-16s %10s %10s %10s %10s %10s\n",
+                  "tenant", "served", "rej-quota", "rej-queue", "cache-hit",
+                  "cache-miss");
+    out << line;
+    for (const ServingTenantRow& t : serving.tenants) {
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %10llu %10llu %10llu %10llu %10llu\n",
+                    t.tenant.c_str(),
+                    static_cast<unsigned long long>(t.served),
+                    static_cast<unsigned long long>(t.rejected_quota),
+                    static_cast<unsigned long long>(t.rejected_queue),
+                    static_cast<unsigned long long>(t.cache_hits),
+                    static_cast<unsigned long long>(t.cache_misses));
+      out << line;
+    }
+  }
   if (faults.enabled) {
     std::snprintf(line, sizeof(line),
                   "== telemetry: fault injection (seed 0x%llx, %llu "

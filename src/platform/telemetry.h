@@ -60,10 +60,36 @@ struct TelemetryReport {
     uint64_t dropped = 0;
   };
 
+  /// Per-tenant accounting of one query front-end (the Lambda serving
+  /// layer's admission control — DESIGN.md §14).
+  struct ServingTenantRow {
+    std::string tenant;
+    uint64_t served = 0;
+    uint64_t rejected_quota = 0;
+    uint64_t rejected_queue = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+  };
+
+  /// Serving-layer summary: snapshot-isolated query front-end counters,
+  /// filled by lambda::QueryFrontend::FillTelemetry. enabled=false when no
+  /// front-end contributed to the report (the platform-only default).
+  struct ServingSummary {
+    bool enabled = false;
+    uint64_t snapshot_version = 0;  ///< serving snapshot at export time
+    uint64_t served = 0;
+    uint64_t rejected_quota = 0;
+    uint64_t rejected_queue = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    std::vector<ServingTenantRow> tenants;  ///< sorted by tenant name
+  };
+
   uint32_t sample_interval_ms = 0;  ///< 0 = sampler was disabled.
   uint32_t trace_sample_every = 0;  ///< 0 = tracing was disabled.
   FaultSummary faults;              ///< enabled=false outside chaos runs.
   RecordingSummary recording;       ///< enabled=false without a recorder.
+  ServingSummary serving;           ///< enabled=false without a front-end.
   /// Indexed by engine task id — TaskSampleDelta::task points here.
   std::vector<TaskRow> tasks;
   std::vector<TelemetrySample> time_series;
@@ -75,6 +101,14 @@ struct TelemetryReport {
   /// Serializes the full report as one JSON document ("schema_version": 1).
   /// Span trees are capped at `max_json_trees` to bound file size.
   void WriteJson(std::ostream& out, size_t max_json_trees = 8) const;
+
+  /// Serializes just the serving section as a JSON object (no trailing
+  /// newline). Reused by the serving bench, which embeds the same schema
+  /// inside BENCH_lambda_serving.json — tools/telemetry_schema_check
+  /// validates both placements.
+  static void WriteServingJson(std::ostream& out,
+                               const ServingSummary& serving,
+                               const char* line_indent);
 
   /// Human-readable tables: per-task counters, interval throughput, hop
   /// percentiles, and one example span tree.

@@ -80,6 +80,7 @@ TEST(BatchLayerTest, TopKOrdering) {
 TEST(LambdaPipelineTest, SpeedLayerServesBeforeAnyBatch) {
   LambdaConfig config;
   config.batch_interval_records = 1000000;  // Never triggers.
+  config.speed_snapshot_interval_records = 1;  // Exact freshness for asserts.
   LambdaPipeline pipeline(config);
   for (int i = 0; i < 500; i++) pipeline.Ingest(i, "tag", 1.0);
   EXPECT_NEAR(pipeline.QueryTotal("tag"), 500.0, 1.0);
@@ -89,6 +90,7 @@ TEST(LambdaPipelineTest, SpeedLayerServesBeforeAnyBatch) {
 TEST(LambdaPipelineTest, BatchAbsorbsSpeedState) {
   LambdaConfig config;
   config.batch_interval_records = 1000000;
+  config.speed_snapshot_interval_records = 1;
   LambdaPipeline pipeline(config);
   for (int i = 0; i < 1000; i++) pipeline.Ingest(i, "k", 1.0);
   pipeline.RunBatchNow();
@@ -134,6 +136,7 @@ TEST(LambdaPipelineTest, MergedTotalsTrackExactCounts) {
 TEST(LambdaPipelineTest, TopKMergesBatchAndSpeed) {
   LambdaConfig config;
   config.batch_interval_records = 1000000;
+  config.speed_snapshot_interval_records = 1;
   LambdaPipeline pipeline(config);
   // Batch phase: "old" dominates, then a batch runs.
   for (int i = 0; i < 300; i++) pipeline.Ingest(i, "old", 1.0);
@@ -154,6 +157,7 @@ TEST(LambdaPipelineTest, TopKMergesBatchAndSpeed) {
 TEST(LambdaPipelineTest, DistinctKeysMergedAcrossViews) {
   LambdaConfig config;
   config.batch_interval_records = 1000000;
+  config.speed_snapshot_interval_records = 1;
   LambdaPipeline pipeline(config);
   for (int i = 0; i < 3000; i++) {
     pipeline.Ingest(i, NumberedKey("batch-key-", i), 1.0);
@@ -179,6 +183,7 @@ TEST(LambdaPipelineTest, StalenessBoundedByInterval) {
 TEST(LambdaPipelineTest, SaveAndLoadViewsRoundTripsQueries) {
   LambdaConfig config;
   config.batch_interval_records = 1000000;
+  config.speed_snapshot_interval_records = 1;
   LambdaPipeline pipeline(config);
   for (int i = 0; i < 3000; i++) {
     pipeline.Ingest(i, NumberedKey("batch-key-", i % 40), 1.0 + i % 3);

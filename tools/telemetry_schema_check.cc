@@ -313,6 +313,36 @@ void CheckTraceTree(const JsonValue& tree, const std::string& path) {
   }
 }
 
+// Validates one "serving" object — the multi-tenant query front-end section
+// (lambda::QueryFrontend::FillTelemetry). The same shape appears in full
+// telemetry reports and embedded inside BENCH_lambda_serving.json (checked
+// via --serving).
+void CheckServing(const JsonValue& serving, const std::string& path) {
+  if (serving.kind != JsonValue::Kind::kObject) {
+    Error(path, "serving section is not an object");
+    return;
+  }
+  RequireKey(serving, path, "enabled", JsonValue::Kind::kBool);
+  CheckNumberKeys(serving, path,
+                  {"snapshot_version", "served", "rejected_quota",
+                   "rejected_queue", "cache_hits", "cache_misses"});
+  const JsonValue* tenants =
+      RequireKey(serving, path, "tenants", JsonValue::Kind::kArray);
+  if (tenants == nullptr) return;
+  for (size_t i = 0; i < tenants->items.size(); i++) {
+    const std::string tpath = path + ".tenants[" + std::to_string(i) + "]";
+    const JsonValue& row = tenants->items[i];
+    if (row.kind != JsonValue::Kind::kObject) {
+      Error(tpath, "tenant row is not an object");
+      continue;
+    }
+    RequireKey(row, tpath, "tenant", JsonValue::Kind::kString);
+    CheckNumberKeys(row, tpath,
+                    {"served", "rejected_quota", "rejected_queue",
+                     "cache_hits", "cache_misses"});
+  }
+}
+
 void CheckReport(const JsonValue& root) {
   const std::string path = "$";
   if (root.kind != JsonValue::Kind::kObject) {
@@ -332,6 +362,12 @@ void CheckReport(const JsonValue& root) {
     RequireKey(*recording, rpath, "enabled", JsonValue::Kind::kBool);
     RequireKey(*recording, rpath, "path", JsonValue::Kind::kString);
     CheckNumberKeys(*recording, rpath, {"records", "bytes", "dropped"});
+  }
+
+  const JsonValue* serving =
+      RequireKey(root, path, "serving", JsonValue::Kind::kObject);
+  if (serving != nullptr) {
+    CheckServing(*serving, path + ".serving");
   }
 
   const JsonValue* tasks =
@@ -402,13 +438,29 @@ void CheckReport(const JsonValue& root) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: telemetry_schema_check REPORT.json\n");
+  // --serving: validate only the top-level "serving" object of the given
+  // document (the section BENCH_lambda_serving.json embeds), instead of
+  // the full telemetry-report schema.
+  bool serving_only = false;
+  const char* file = nullptr;
+  for (int i = 1; i < argc; i++) {
+    if (std::string(argv[i]) == "--serving") {
+      serving_only = true;
+    } else if (file == nullptr) {
+      file = argv[i];
+    } else {
+      file = nullptr;
+      break;
+    }
+  }
+  if (file == nullptr) {
+    std::fprintf(stderr,
+                 "usage: telemetry_schema_check [--serving] REPORT.json\n");
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(file);
   if (!in) {
-    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
+    std::fprintf(stderr, "error: cannot read %s\n", file);
     return 2;
   }
   std::ostringstream buf;
@@ -417,15 +469,25 @@ int main(int argc, char** argv) {
   JsonParser parser(buf.str());
   JsonValue root;
   if (!parser.Parse(&root)) {
-    std::fprintf(stderr, "parse error: %s: %s\n", argv[1],
-                 parser.error().c_str());
+    std::fprintf(stderr, "parse error: %s: %s\n", file, parser.error().c_str());
     return 1;
   }
-  CheckReport(root);
+  if (serving_only) {
+    if (root.kind != JsonValue::Kind::kObject) {
+      Error("$", "document is not an object");
+    } else {
+      const JsonValue* serving =
+          RequireKey(root, "$", "serving", JsonValue::Kind::kObject);
+      if (serving != nullptr) CheckServing(*serving, "$.serving");
+    }
+  } else {
+    CheckReport(root);
+  }
   if (g_errors > 0) {
-    std::fprintf(stderr, "%s: %d schema error(s)\n", argv[1], g_errors);
+    std::fprintf(stderr, "%s: %d schema error(s)\n", file, g_errors);
     return 1;
   }
-  std::printf("%s: telemetry schema OK\n", argv[1]);
+  std::printf("%s: telemetry schema OK%s\n", file,
+              serving_only ? " (serving section)" : "");
   return 0;
 }
